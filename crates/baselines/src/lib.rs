@@ -1,0 +1,24 @@
+//! Baseline fusion strategies the paper compares DNNFusion against.
+//!
+//! The paper's competitors (MNN, TVM, TensorFlow-Lite, PyTorch-Mobile) all
+//! use *fixed-pattern* operator fusion: a hand-maintained list of operator
+//! sequences (Conv+Bias+ReLU, GEMM+Bias+Activation, short element-wise
+//! chains, …) that get merged when matched exactly. This crate models each
+//! framework's pattern set with a [`PatternFuser`], producing ordinary
+//! [`FusionPlan`]s so the same runtime can execute and measure them, plus a
+//! TASO-like substitution-only pass ([`taso_optimize`]) used by the Figure 6
+//! comparison.
+//!
+//! These are *models of* the competitors' fusion behaviour, not ports of
+//! their code: the pattern sets are chosen to reflect what each framework's
+//! documentation and the paper's own comparison describe (e.g. TVM fuses an
+//! anchor with a following chain of injective operators, TFLite only fuses
+//! bias+activation into Conv/FC, PyTorch-Mobile folds Conv+BN+ReLU).
+
+#![warn(missing_docs)]
+
+mod patterns;
+mod taso;
+
+pub use patterns::{BaselineFramework, PatternConfig, PatternFuser};
+pub use taso::taso_optimize;

@@ -1,0 +1,35 @@
+//! Figure 10: portability — YOLO-V4 and GPT-2 latency per framework on the
+//! two older phones (Samsung Galaxy S10 and Honor Magic 2).
+//!
+//! Run with `cargo run --release -p dnnf-bench --bin fig10_portability`.
+
+use dnnf_bench::{cell, evaluate, format_table, ExecutionConfig};
+use dnnf_models::{ModelKind, ModelScale};
+use dnnf_simdev::{DeviceKind, Phone};
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--reduced") {
+        ModelScale::reduced()
+    } else {
+        ModelScale::tiny()
+    };
+    for phone in [Phone::GalaxyS10, Phone::HonorMagic2] {
+        for kind in [ModelKind::YoloV4, ModelKind::Gpt2] {
+            let mut rows = Vec::new();
+            for &config in ExecutionConfig::all() {
+                let mut row = vec![config.name().to_string()];
+                for device_kind in [DeviceKind::MobileCpu, DeviceKind::MobileGpu] {
+                    let device = phone.device(device_kind);
+                    let latency =
+                        evaluate(kind, scale, config, &device).map(|r| r.counters.latency_us / 1e3);
+                    row.push(cell(latency, 2));
+                }
+                rows.push(row);
+            }
+            println!("Figure 10 — {} latency (ms) on the {}\n", kind.name(), phone.name());
+            println!("{}", format_table(&["Framework", "CPU ms", "GPU ms"], &rows));
+            println!();
+        }
+    }
+    println!("Older devices with smaller caches are more sensitive to fusion, as the paper observes.");
+}

@@ -1,0 +1,39 @@
+//! Figure 6: speedup of DNNFusion over TASO-optimized execution (TASO graph
+//! substitutions + TFLite-style fixed-pattern fusion) on the mobile CPU.
+//!
+//! Run with `cargo run --release -p dnnf-bench --bin fig6_taso`.
+
+use dnnf_bench::{format_table, taso_speedup};
+use dnnf_models::{ModelKind, ModelScale};
+use dnnf_simdev::DeviceSpec;
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--reduced") {
+        ModelScale::reduced()
+    } else {
+        ModelScale::tiny()
+    };
+    let device = DeviceSpec::snapdragon_865_cpu();
+    // The eleven TFLite-supported models of Figure 6.
+    let models = [
+        ModelKind::EfficientNetB0,
+        ModelKind::Vgg16,
+        ModelKind::MobileNetV1Ssd,
+        ModelKind::YoloV4,
+        ModelKind::UNet,
+        ModelKind::TinyBert,
+        ModelKind::DistilBert,
+        ModelKind::Albert,
+        ModelKind::BertBase,
+        ModelKind::MobileBert,
+        ModelKind::Gpt2,
+    ];
+    let mut rows = Vec::new();
+    for kind in models {
+        let speedup = taso_speedup(kind, scale, &device);
+        rows.push(vec![kind.name().to_string(), format!("{speedup:.2}x")]);
+    }
+    println!("Figure 6 — DNNFusion speedup over TASO-optimized execution (mobile CPU)\n");
+    println!("{}", format_table(&["Model", "Speedup"], &rows));
+    println!("Paper reports 1.4x–2.6x over TASO on the mobile CPU.");
+}

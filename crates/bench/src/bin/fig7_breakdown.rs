@@ -1,0 +1,41 @@
+//! Figure 7: optimization breakdown — speedup over the no-fusion baseline
+//! (`OurB`) of graph rewriting (GR), GR + fusion, the full pipeline, and
+//! fusion without rewriting, on EfficientNet-B0, YOLO-V4, S3D and GPT-2.
+//!
+//! Run with `cargo run --release -p dnnf-bench --bin fig7_breakdown`.
+
+use dnnf_bench::{ablation_latency, evaluate, format_table, AblationConfig, ExecutionConfig};
+use dnnf_models::{ModelKind, ModelScale};
+use dnnf_simdev::{DeviceKind, Phone};
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--reduced") {
+        ModelScale::reduced()
+    } else {
+        ModelScale::tiny()
+    };
+    let models = [ModelKind::EfficientNetB0, ModelKind::YoloV4, ModelKind::S3d, ModelKind::Gpt2];
+    for device_kind in [DeviceKind::MobileCpu, DeviceKind::MobileGpu] {
+        let device = Phone::GalaxyS20.device(device_kind);
+        let mut rows = Vec::new();
+        for kind in models {
+            let graph = kind.build(scale).expect("model builds");
+            let baseline = evaluate(kind, scale, ExecutionConfig::OurBaseline, &device)
+                .expect("OurB always supported")
+                .counters
+                .latency_us;
+            let mut row = vec![kind.name().to_string()];
+            for &ablation in AblationConfig::all() {
+                let latency = ablation_latency(&graph, ablation, &device);
+                row.push(format!("{:.2}x", baseline / latency));
+            }
+            rows.push(row);
+        }
+        println!("Figure 7 — speedup over OurB on the {} ({device_kind})\n", device.name);
+        let headers: Vec<&str> = std::iter::once("Model")
+            .chain(AblationConfig::all().iter().map(|a| a.label()))
+            .collect();
+        println!("{}", format_table(&headers, &rows));
+        println!();
+    }
+}

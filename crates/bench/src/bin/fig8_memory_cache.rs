@@ -1,0 +1,71 @@
+//! Figure 8: memory and cache analysis for YOLO-V4 — memory accesses (MA),
+//! memory consumption (MC) and cache/TLB miss counts per framework,
+//! normalized to DNNFusion, on the mobile CPU and GPU.
+//!
+//! Run with `cargo run --release -p dnnf-bench --bin fig8_memory_cache`.
+
+use dnnf_bench::{evaluate, format_table, ExecutionConfig};
+use dnnf_models::{ModelKind, ModelScale};
+use dnnf_simdev::{Counters, DeviceKind, Phone};
+
+fn normalized(value: f64, reference: f64) -> String {
+    if reference <= 0.0 {
+        "-".into()
+    } else {
+        format!("{:.2}", value / reference)
+    }
+}
+
+fn cache_level(counters: &Counters, level: usize) -> f64 {
+    counters.cache.level_misses.get(level).copied().unwrap_or(0) as f64
+}
+
+fn tlb_level(counters: &Counters, level: usize) -> f64 {
+    counters.cache.tlb_misses.get(level).copied().unwrap_or(0) as f64
+}
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--reduced") {
+        ModelScale::reduced()
+    } else {
+        ModelScale::tiny()
+    };
+    let kind = ModelKind::YoloV4;
+    for device_kind in [DeviceKind::MobileCpu, DeviceKind::MobileGpu] {
+        let device = Phone::GalaxyS20.device(device_kind);
+        let dnnf = evaluate(kind, scale, ExecutionConfig::DnnFusion, &device)
+            .expect("DNNFusion supports everything")
+            .counters;
+        let mut rows = Vec::new();
+        for &config in ExecutionConfig::all() {
+            let Some(result) = evaluate(kind, scale, config, &device) else {
+                continue;
+            };
+            let c = result.counters;
+            let mut row = vec![
+                config.name().to_string(),
+                normalized(c.memory_access_mib(), dnnf.memory_access_mib()),
+                normalized(c.peak_memory_mib(), dnnf.peak_memory_mib()),
+                normalized(cache_level(&c, 0), cache_level(&dnnf, 0)),
+                normalized(cache_level(&c, 1), cache_level(&dnnf, 1)),
+            ];
+            if device_kind == DeviceKind::MobileCpu {
+                row.push(normalized(cache_level(&c, 2), cache_level(&dnnf, 2)));
+                row.push(normalized(tlb_level(&c, 0), tlb_level(&dnnf, 0)));
+                row.push(normalized(tlb_level(&c, 1), tlb_level(&dnnf, 1)));
+            }
+            rows.push(row);
+        }
+        let headers: Vec<&str> = if device_kind == DeviceKind::MobileCpu {
+            vec!["Framework", "MA", "MC", "L1 miss", "L2 miss", "L3 miss", "L1-TLB", "L2-TLB"]
+        } else {
+            vec!["Framework", "MA", "MC", "L1 miss", "L2 miss"]
+        };
+        println!(
+            "Figure 8 — YOLO-V4 memory accesses / consumption / cache misses on the {} ({device_kind}), normalized to DNNF\n",
+            device.name
+        );
+        println!("{}", format_table(&headers, &rows));
+        println!();
+    }
+}

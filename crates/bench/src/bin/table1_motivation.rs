@@ -1,0 +1,60 @@
+//! Table 1: the motivation study — execution efficiency (FLOPs/s) versus
+//! layer count under the fixed-pattern-fusion baseline (`OurB+`) on the
+//! mobile GPU.
+//!
+//! Run with `cargo run --release -p dnnf-bench --bin table1_motivation`
+//! (append `--reduced` for full structural depth).
+
+use dnnf_bench::{evaluate, format_table, ExecutionConfig};
+use dnnf_models::{ModelKind, ModelScale};
+use dnnf_simdev::DeviceSpec;
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--reduced") {
+        ModelScale::reduced()
+    } else {
+        ModelScale::tiny()
+    };
+    let device = DeviceSpec::snapdragon_865_gpu();
+    let models = [
+        ModelKind::Vgg16,
+        ModelKind::YoloV4,
+        ModelKind::DistilBert,
+        ModelKind::MobileBert,
+        ModelKind::Gpt2,
+    ];
+    let mut rows = Vec::new();
+    for kind in models {
+        let graph = kind.build(scale).expect("model builds");
+        let stats = graph.stats();
+        let result = evaluate(kind, scale, ExecutionConfig::OurBaselinePlus, &device)
+            .expect("OurB+ supports every model");
+        let paper = kind.paper_reference();
+        rows.push(vec![
+            kind.name().to_string(),
+            format!("{}", stats.total_layers),
+            format!("{}", paper.total_layers),
+            format!("{:.1} MiB", stats.intermediate_mib()),
+            format!("{:.3}", stats.gflops()),
+            format!("{:.1}", paper.flops_b),
+            format!("{:.1}", result.counters.achieved_gflops()),
+        ]);
+    }
+    println!("Table 1 — computation, layer count and execution efficiency (OurB+, mobile GPU)\n");
+    println!(
+        "{}",
+        format_table(
+            &[
+                "Model",
+                "#Layers",
+                "#Layers (paper)",
+                "IR size",
+                "GFLOPs",
+                "GFLOPs (paper)",
+                "Speed (GFLOP/s)",
+            ],
+            &rows
+        )
+    );
+    println!("Deeper, thinner models achieve lower FLOPs/s — the imbalance motivating DNNFusion.");
+}

@@ -1,0 +1,35 @@
+//! Table 2: the classification of DNN operators into the five mapping types.
+//!
+//! Run with `cargo run -p dnnf-bench --bin table2_classification`.
+
+use dnnf_bench::format_table;
+use dnnf_ops::{MappingType, OpKind};
+
+fn main() {
+    let mut rows = Vec::new();
+    for &mapping in MappingType::all() {
+        let ops: Vec<&str> = OpKind::all()
+            .into_iter()
+            .filter(|op| op.mapping_type() == mapping)
+            .map(OpKind::name)
+            .collect();
+        let representative = match mapping {
+            MappingType::OneToOne => "Add, Relu",
+            MappingType::OneToMany => "Expand",
+            MappingType::ManyToMany => "Conv, GEMM",
+            MappingType::Reorganize => "Reshape",
+            MappingType::Shuffle => "Transpose",
+        };
+        rows.push(vec![
+            mapping.to_string(),
+            format!("{}", ops.len()),
+            representative.to_string(),
+            ops.join(", "),
+        ]);
+    }
+    println!("Table 2 — classification of DNN operators in mapping types\n");
+    println!(
+        "{}",
+        format_table(&["Mapping type", "#Ops", "Representative", "Operators"], &rows)
+    );
+}

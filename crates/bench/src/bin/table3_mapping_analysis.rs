@@ -1,0 +1,35 @@
+//! Table 3: the pairwise mapping type analysis — for every ordered pair of
+//! mapping types, the fused mapping type and the green/yellow/red verdict.
+//!
+//! Run with `cargo run -p dnnf-bench --bin table3_mapping_analysis`.
+
+use dnnf_bench::format_table;
+use dnnf_core::{analyze_pair, fusable_cell_count, FusionVerdict};
+use dnnf_ops::MappingType;
+
+fn main() {
+    let headers: Vec<&str> = std::iter::once("First \\ Second")
+        .chain(MappingType::all().iter().map(|m| m.name()))
+        .collect();
+    let mut rows = Vec::new();
+    for &first in MappingType::all() {
+        let mut row = vec![first.to_string()];
+        for &second in MappingType::all() {
+            let decision = analyze_pair(first, second);
+            let colour = match decision.verdict {
+                FusionVerdict::Direct => "green",
+                FusionVerdict::Profile => "yellow",
+                FusionVerdict::Break => "RED",
+            };
+            row.push(format!("{} ({colour})", decision.fused_type));
+        }
+        rows.push(row);
+    }
+    println!("Table 3 — mapping type analysis (fused type and profitability verdict)\n");
+    println!("{}", format_table(&headers, &rows));
+    println!(
+        "green/yellow cells: {} (one code-generation rule each, as in the paper); red cells: {}",
+        fusable_cell_count(),
+        MappingType::all().len() * MappingType::all().len() - fusable_cell_count()
+    );
+}

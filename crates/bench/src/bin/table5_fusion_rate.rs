@@ -1,0 +1,68 @@
+//! Table 5: fusion-rate evaluation — layer counts and intermediate-result
+//! sizes before and after fusion, per framework, for all 15 models.
+//!
+//! Run with `cargo run --release -p dnnf-bench --bin table5_fusion_rate`
+//! (append `--reduced` for full structural depth; tiny scale by default).
+
+use dnnf_bench::{cell, evaluate, format_table, ExecutionConfig};
+use dnnf_models::{ModelKind, ModelScale};
+use dnnf_simdev::DeviceSpec;
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--reduced") {
+        ModelScale::reduced()
+    } else {
+        ModelScale::tiny()
+    };
+    let device = DeviceSpec::snapdragon_865_cpu();
+    let mut rows = Vec::new();
+    for &kind in ModelKind::all() {
+        let graph = kind.build(scale).expect("model builds");
+        let stats = graph.stats();
+        let paper = kind.paper_reference();
+        let mut row = vec![
+            kind.name().to_string(),
+            kind.family().to_string(),
+            format!("{}", stats.compute_intensive_layers),
+            format!("{}", stats.memory_intensive_layers),
+            format!("{}", stats.total_layers),
+            format!("{}", paper.total_layers),
+            format!("{:.1}", stats.intermediate_mib()),
+        ];
+        let mut dnnf_irs = None;
+        for &config in ExecutionConfig::frameworks() {
+            let result = evaluate(kind, scale, config, &device);
+            row.push(cell(result.as_ref().map(|r| r.fused_layers as f64), 0));
+            if config == ExecutionConfig::DnnFusion {
+                dnnf_irs = result.map(|r| r.fused_irs_bytes as f64 / (1024.0 * 1024.0));
+            }
+        }
+        row.push(format!("{}", paper.dnnf_fused_layers));
+        row.push(cell(dnnf_irs, 2));
+        rows.push(row);
+    }
+    println!("Table 5 — fusion rate: layer counts and IRS size before/after fusion\n");
+    println!(
+        "{}",
+        format_table(
+            &[
+                "Model",
+                "Type",
+                "#CIL",
+                "#MIL",
+                "#Total",
+                "#Total (paper)",
+                "IRS MiB",
+                "MNN",
+                "TVM",
+                "TFLite",
+                "PyTorch",
+                "DNNF",
+                "DNNF (paper)",
+                "DNNF IRS MiB",
+            ],
+            &rows
+        )
+    );
+    println!("'-' marks model/framework combinations the paper reports as unsupported.");
+}

@@ -1,0 +1,63 @@
+//! Table 6: inference latency comparison across frameworks on the simulated
+//! mobile CPU and GPU for all 15 models.
+//!
+//! Run with `cargo run --release -p dnnf-bench --bin table6_latency`
+//! (append `--reduced` for full structural depth; tiny scale by default).
+
+use dnnf_bench::{cell, evaluate, format_table, ExecutionConfig};
+use dnnf_models::{ModelKind, ModelScale};
+use dnnf_simdev::{DeviceKind, Phone};
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--reduced") {
+        ModelScale::reduced()
+    } else {
+        ModelScale::tiny()
+    };
+    for device_kind in [DeviceKind::MobileCpu, DeviceKind::MobileGpu] {
+        let device = Phone::GalaxyS20.device(device_kind);
+        let mut rows = Vec::new();
+        for &kind in ModelKind::all() {
+            let graph = kind.build(scale).expect("model builds");
+            let stats = graph.stats();
+            let mut row = vec![
+                kind.name().to_string(),
+                format!("{:.2}", stats.params_millions()),
+                format!("{:.3}", stats.gflops()),
+            ];
+            let mut speedup_base: Option<f64> = None;
+            for &config in ExecutionConfig::all() {
+                let latency_ms = evaluate(kind, scale, config, &device)
+                    .map(|r| r.counters.latency_us / 1e3);
+                if config == ExecutionConfig::OurBaseline {
+                    speedup_base = latency_ms;
+                }
+                row.push(cell(latency_ms, 2));
+            }
+            let dnnf = evaluate(kind, scale, ExecutionConfig::DnnFusion, &device)
+                .map(|r| r.counters.latency_us / 1e3);
+            let speedup = match (speedup_base, dnnf) {
+                (Some(b), Some(d)) if d > 0.0 => Some(b / d),
+                _ => None,
+            };
+            row.push(cell(speedup, 2));
+            rows.push(row);
+        }
+        println!(
+            "Table 6 — inference latency (ms) on the simulated {} ({device_kind})\n",
+            device.name
+        );
+        println!(
+            "{}",
+            format_table(
+                &[
+                    "Model", "#Params(M)", "GFLOPs", "MNN", "TVM", "TFLite", "PyTorch", "OurB",
+                    "OurB+", "DNNF", "DNNF vs OurB",
+                ],
+                &rows
+            )
+        );
+        println!();
+    }
+    println!("'-' marks model/framework/device combinations the paper reports as unsupported.");
+}

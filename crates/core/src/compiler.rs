@@ -1,0 +1,440 @@
+//! The end-to-end DNNFusion compiler driver.
+//!
+//! [`Compiler::compile`] runs the full pipeline — graph rewriting, fusion
+//! plan generation, intra-/inter-block optimization and fused code
+//! generation — and records per-phase statistics and timings. Every phase can
+//! be switched off individually, which is how the evaluation harness
+//! reproduces the optimization-breakdown experiment (Figure 7) and the
+//! compilation-time experiment (Figure 9b).
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+use dnnf_graph::Graph;
+use dnnf_profiledb::ProfileDatabase;
+
+use crate::codegen::{generate_all, FusedOp};
+use crate::rewrite::{AppliedRewrite, RewriteEngine};
+use crate::{
+    eliminate_data_movement, select_block_layouts, AnalyticLatencyModel, CoreError,
+    DataMovementElimination, Ecg, FusionPlan, FusionPlanner, LatencyModel, LayoutDecision,
+    PlanOptions,
+};
+
+/// Which optimizations the compiler runs (the knobs of Figure 7's ablation).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompilerOptions {
+    /// Mathematical-property-based graph rewriting (GR in Figure 7).
+    pub enable_graph_rewriting: bool,
+    /// Fusion plan generation + fused code generation (Fuse in Figure 7).
+    pub enable_fusion: bool,
+    /// Intra-block data-movement elimination (part of "Other").
+    pub enable_intra_block_opt: bool,
+    /// Inter-block data-format selection (part of "Other").
+    pub enable_inter_block_opt: bool,
+    /// Fusion-plan exploration knobs.
+    pub plan: PlanOptions,
+}
+
+impl Default for CompilerOptions {
+    fn default() -> Self {
+        CompilerOptions {
+            enable_graph_rewriting: true,
+            enable_fusion: true,
+            enable_intra_block_opt: true,
+            enable_inter_block_opt: true,
+            plan: PlanOptions::default(),
+        }
+    }
+}
+
+impl CompilerOptions {
+    /// Everything off: the no-fusion baseline (`OurB`).
+    #[must_use]
+    pub fn baseline() -> Self {
+        CompilerOptions {
+            enable_graph_rewriting: false,
+            enable_fusion: false,
+            enable_intra_block_opt: false,
+            enable_inter_block_opt: false,
+            plan: PlanOptions::default(),
+        }
+    }
+
+    /// Graph rewriting only (the `GR` bar of Figure 7).
+    #[must_use]
+    pub fn rewriting_only() -> Self {
+        CompilerOptions { enable_fusion: false, enable_intra_block_opt: false, enable_inter_block_opt: false, ..Default::default() }
+    }
+
+    /// Rewriting + fusion, without the additional intra/inter-block
+    /// optimizations (the `GR + Fuse` bar of Figure 7).
+    #[must_use]
+    pub fn rewriting_and_fusion() -> Self {
+        CompilerOptions { enable_intra_block_opt: false, enable_inter_block_opt: false, ..Default::default() }
+    }
+
+    /// Fusion and the other optimizations but *no* graph rewriting (the
+    /// `Fuse + Other` bar of Figure 7).
+    #[must_use]
+    pub fn without_rewriting() -> Self {
+        CompilerOptions { enable_graph_rewriting: false, ..Default::default() }
+    }
+}
+
+/// Statistics collected during one compilation.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CompilationStats {
+    /// Model name (from the input graph).
+    pub model_name: String,
+    /// Operator count before any optimization.
+    pub original_layers: usize,
+    /// Operator count after graph rewriting.
+    pub layers_after_rewriting: usize,
+    /// Fused layer count (= number of fusion blocks).
+    pub fused_layers: usize,
+    /// FLOPs before rewriting.
+    pub original_flops: u64,
+    /// FLOPs after rewriting.
+    pub optimized_flops: u64,
+    /// Intermediate-result bytes before fusion.
+    pub original_irs_bytes: u64,
+    /// Intermediate-result bytes that still cross fused-kernel boundaries.
+    pub fused_irs_bytes: u64,
+    /// Rewrites applied, in order.
+    pub rewrites: Vec<AppliedRewrite>,
+    /// Data-movement operators eliminated inside blocks.
+    pub data_movement_ops_eliminated: usize,
+    /// Bytes saved by the eliminated data-movement operators.
+    pub data_movement_bytes_saved: u64,
+    /// Layout conversions avoided by block-level format selection.
+    pub layout_conversions_avoided: usize,
+    /// How often each mapping-type-pair code-generation rule fired.
+    pub codegen_rules_used: BTreeMap<String, usize>,
+    /// Common sub-trees reused across all data-flow trees.
+    pub common_subtrees_reused: usize,
+    /// Profiling-database hits during plan exploration.
+    pub profile_db_hits: u64,
+    /// Profiling-database misses (i.e. measurements performed).
+    pub profile_db_misses: u64,
+    /// Entries in the profiling database after compilation.
+    pub profile_db_entries: usize,
+    /// Wall-clock time spent in graph rewriting.
+    pub time_rewriting: Duration,
+    /// Wall-clock time spent in fusion plan generation (including profiling).
+    pub time_planning: Duration,
+    /// Wall-clock time spent generating fused operators.
+    pub time_codegen: Duration,
+}
+
+impl CompilationStats {
+    /// Fusion rate = original layer count / fused layer count (Table 5).
+    #[must_use]
+    pub fn fusion_rate(&self) -> f64 {
+        if self.fused_layers == 0 {
+            1.0
+        } else {
+            self.original_layers as f64 / self.fused_layers as f64
+        }
+    }
+
+    /// Intermediate-result reduction factor.
+    #[must_use]
+    pub fn irs_reduction(&self) -> f64 {
+        if self.fused_irs_bytes == 0 {
+            1.0
+        } else {
+            self.original_irs_bytes as f64 / self.fused_irs_bytes as f64
+        }
+    }
+
+    /// Total compilation time across phases.
+    #[must_use]
+    pub fn total_time(&self) -> Duration {
+        self.time_rewriting + self.time_planning + self.time_codegen
+    }
+}
+
+/// The result of compiling a model with DNNFusion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledModel {
+    /// The (possibly rewritten) extended computational graph.
+    pub ecg: Ecg,
+    /// The fusion plan.
+    pub plan: FusionPlan,
+    /// Fused operators in execution order.
+    pub fused_ops: Vec<FusedOp>,
+    /// Layout decisions per block.
+    pub layouts: LayoutDecision,
+    /// Intra-block data-movement elimination results.
+    pub elimination: DataMovementElimination,
+    /// Compilation statistics.
+    pub stats: CompilationStats,
+}
+
+impl CompiledModel {
+    /// The optimized computational graph the plan refers to.
+    #[must_use]
+    pub fn graph(&self) -> &Graph {
+        self.ecg.graph()
+    }
+}
+
+/// The DNNFusion compiler.
+#[derive(Debug)]
+pub struct Compiler<L: LatencyModel = AnalyticLatencyModel> {
+    options: CompilerOptions,
+    latency: L,
+    database: ProfileDatabase,
+}
+
+impl Compiler<AnalyticLatencyModel> {
+    /// Creates a compiler with the default analytic latency model.
+    #[must_use]
+    pub fn new(options: CompilerOptions) -> Self {
+        Compiler { options, latency: AnalyticLatencyModel::default(), database: ProfileDatabase::new() }
+    }
+}
+
+impl<L: LatencyModel> Compiler<L> {
+    /// Creates a compiler with a custom latency model (e.g. a simulated
+    /// device from `dnnf-simdev`).
+    #[must_use]
+    pub fn with_latency_model(options: CompilerOptions, latency: L) -> Self {
+        Compiler { options, latency, database: ProfileDatabase::new() }
+    }
+
+    /// Pre-loads a profiling database (the "with database" configuration of
+    /// Figure 9b).
+    #[must_use]
+    pub fn with_database(mut self, database: ProfileDatabase) -> Self {
+        self.database = database;
+        self
+    }
+
+    /// The compiler's options.
+    #[must_use]
+    pub fn options(&self) -> &CompilerOptions {
+        &self.options
+    }
+
+    /// The profiling database accumulated so far.
+    #[must_use]
+    pub fn database(&self) -> &ProfileDatabase {
+        &self.database
+    }
+
+    /// Consumes the compiler and returns its profiling database (to persist
+    /// it for future compilations).
+    #[must_use]
+    pub fn into_database(self) -> ProfileDatabase {
+        self.database
+    }
+
+    /// Compiles a model graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input graph is invalid or a pipeline
+    /// invariant is violated.
+    pub fn compile(&mut self, graph: &Graph) -> Result<CompiledModel, CoreError> {
+        graph.validate()?;
+        let original_stats = graph.stats();
+        let mut stats = CompilationStats {
+            model_name: graph.name().to_string(),
+            original_layers: original_stats.total_layers,
+            original_flops: original_stats.flops,
+            original_irs_bytes: original_stats.intermediate_bytes,
+            ..CompilationStats::default()
+        };
+
+        // Phase 1: mathematical-property-based graph rewriting.
+        let t = Instant::now();
+        let rewritten = if self.options.enable_graph_rewriting {
+            let engine = RewriteEngine::with_default_rules();
+            let (g, applied) = engine.run(graph);
+            stats.rewrites = applied;
+            g
+        } else {
+            graph.clone()
+        };
+        stats.time_rewriting = t.elapsed();
+        let rewritten_stats = rewritten.stats();
+        stats.layers_after_rewriting = rewritten_stats.total_layers;
+        stats.optimized_flops = rewritten_stats.flops;
+
+        // Phase 2: fusion plan generation on the ECG.
+        let t = Instant::now();
+        let mut ecg = Ecg::new(rewritten);
+        self.database.reset_counters();
+        let plan = if self.options.enable_fusion {
+            let planner = FusionPlanner::new(&ecg, &self.latency, self.options.plan);
+            planner.plan(&mut self.database)
+        } else {
+            FusionPlan::singletons(&ecg)
+        };
+        plan.validate(ecg.graph())?;
+        stats.time_planning = t.elapsed();
+        stats.fused_layers = plan.fused_layer_count();
+        stats.fused_irs_bytes = plan.fused_irs_bytes(ecg.graph());
+        stats.profile_db_hits = self.database.hits();
+        stats.profile_db_misses = self.database.misses();
+        stats.profile_db_entries = self.database.len();
+        for value in plan.removable_values(ecg.graph()) {
+            ecg.set_ir_removable(value, true);
+        }
+
+        // Phase 3: intra-block and inter-block optimizations.
+        let elimination = if self.options.enable_intra_block_opt {
+            eliminate_data_movement(&ecg, &plan)
+        } else {
+            DataMovementElimination::default()
+        };
+        stats.data_movement_ops_eliminated = elimination.count();
+        stats.data_movement_bytes_saved = elimination.bytes_saved;
+        let layouts = if self.options.enable_inter_block_opt {
+            select_block_layouts(&ecg, &plan)
+        } else {
+            LayoutDecision {
+                block_layouts: vec![Default::default(); plan.fused_layer_count()],
+                conversions_with_fusion: 0,
+                conversions_without_fusion: 0,
+            }
+        };
+        stats.layout_conversions_avoided = layouts.conversions_avoided();
+
+        // Phase 4: fused code generation.
+        let t = Instant::now();
+        let fused_ops = generate_all(&ecg, &plan);
+        stats.time_codegen = t.elapsed();
+        for op in &fused_ops {
+            stats.common_subtrees_reused += op.common_subtrees_reused;
+            for &(a, b) in &op.rules_used {
+                *stats.codegen_rules_used.entry(format!("{a} + {b}")).or_insert(0) += 1;
+            }
+        }
+
+        Ok(CompiledModel { ecg, plan, fused_ops, layouts, elimination, stats })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnnf_ops::{Attrs, OpKind};
+    use dnnf_tensor::Shape;
+
+    /// A small CNN stage with a rewritable tail:
+    /// Conv -> BN-ish (Mul/Add with broadcast) -> Relu -> MaxPool, plus the
+    /// distributive pattern A⊙C + A⊙B on the side.
+    fn sample_model() -> Graph {
+        let mut g = Graph::new("sample");
+        let x = g.add_input("x", Shape::new(vec![1, 8, 16, 16]));
+        let w = g.add_weight("conv.w", Shape::new(vec![8, 8, 3, 3]));
+        let conv = g
+            .add_op(OpKind::Conv, Attrs::new().with_ints("pads", vec![1, 1, 1, 1]), &[x, w], "conv")
+            .unwrap()[0];
+        let scale = g.add_weight("bn.scale", Shape::new(vec![1, 8, 1, 1]));
+        let shift = g.add_weight("bn.shift", Shape::new(vec![1, 8, 1, 1]));
+        let mul = g.add_op(OpKind::Mul, Attrs::new(), &[conv, scale], "bn.mul").unwrap()[0];
+        let add = g.add_op(OpKind::Add, Attrs::new(), &[mul, shift], "bn.add").unwrap()[0];
+        let relu = g.add_op(OpKind::Relu, Attrs::new(), &[add], "relu").unwrap()[0];
+        let pool = g
+            .add_op(
+                OpKind::MaxPool,
+                Attrs::new().with_ints("kernel_shape", vec![2, 2]).with_ints("strides", vec![2, 2]),
+                &[relu],
+                "pool",
+            )
+            .unwrap()[0];
+        // Distributive tail: pool⊙C + pool⊙B.
+        let cb = g.add_weight("C", Shape::new(vec![1, 8, 8, 8]));
+        let bb = g.add_weight("B", Shape::new(vec![1, 8, 8, 8]));
+        let pc = g.add_op(OpKind::Mul, Attrs::new(), &[pool, cb], "pc").unwrap()[0];
+        let pb = g.add_op(OpKind::Mul, Attrs::new(), &[pool, bb], "pb").unwrap()[0];
+        let out = g.add_op(OpKind::Add, Attrs::new(), &[pc, pb], "out").unwrap()[0];
+        g.mark_output(out);
+        g
+    }
+
+    #[test]
+    fn full_pipeline_reduces_layers_flops_and_irs() {
+        let g = sample_model();
+        let mut compiler = Compiler::new(CompilerOptions::default());
+        let compiled = compiler.compile(&g).unwrap();
+        let s = &compiled.stats;
+        assert_eq!(s.original_layers, 8);
+        assert!(s.layers_after_rewriting < s.original_layers, "rewriting should drop layers");
+        assert!(s.fused_layers < s.layers_after_rewriting, "fusion should drop layers further");
+        assert!(s.optimized_flops <= s.original_flops);
+        assert!(s.fused_irs_bytes < s.original_irs_bytes);
+        assert!(s.fusion_rate() > 1.0);
+        assert!(s.irs_reduction() > 1.0);
+        assert_eq!(compiled.fused_ops.len(), s.fused_layers);
+    }
+
+    #[test]
+    fn baseline_options_do_nothing() {
+        let g = sample_model();
+        let mut compiler = Compiler::new(CompilerOptions::baseline());
+        let compiled = compiler.compile(&g).unwrap();
+        assert_eq!(compiled.stats.fused_layers, g.node_count());
+        assert_eq!(compiled.stats.layers_after_rewriting, g.node_count());
+        assert!(compiled.stats.rewrites.is_empty());
+        assert_eq!(compiled.stats.data_movement_ops_eliminated, 0);
+    }
+
+    #[test]
+    fn rewriting_only_keeps_every_layer_unfused() {
+        let g = sample_model();
+        let mut compiler = Compiler::new(CompilerOptions::rewriting_only());
+        let compiled = compiler.compile(&g).unwrap();
+        assert!(!compiled.stats.rewrites.is_empty());
+        assert_eq!(compiled.stats.fused_layers, compiled.stats.layers_after_rewriting);
+    }
+
+    #[test]
+    fn rewriting_enables_more_fusion_like_the_paper_gpt2_example() {
+        let g = sample_model();
+        let with = Compiler::new(CompilerOptions::default()).compile(&g).unwrap();
+        let without = Compiler::new(CompilerOptions::without_rewriting()).compile(&g).unwrap();
+        assert!(
+            with.stats.fused_layers <= without.stats.fused_layers,
+            "graph rewriting must never increase the fused layer count"
+        );
+    }
+
+    #[test]
+    fn profile_database_is_reusable_across_compilations() {
+        let g = sample_model();
+        let mut compiler = Compiler::new(CompilerOptions::default());
+        let first = compiler.compile(&g).unwrap();
+        let db = compiler.into_database();
+        let first_misses = first.stats.profile_db_misses;
+        let mut compiler2 = Compiler::new(CompilerOptions::default()).with_database(db);
+        let second = compiler2.compile(&g).unwrap();
+        assert!(second.stats.profile_db_misses <= first_misses);
+        assert!(second.stats.profile_db_hits >= first.stats.profile_db_hits);
+    }
+
+    #[test]
+    fn codegen_rules_and_timings_are_recorded() {
+        let g = sample_model();
+        let mut compiler = Compiler::new(CompilerOptions::default());
+        let compiled = compiler.compile(&g).unwrap();
+        assert!(!compiled.stats.codegen_rules_used.is_empty());
+        assert!(compiled.stats.total_time() >= compiled.stats.time_rewriting);
+        // The fused operator names are concatenations, e.g. Conv_Mul_Add_...
+        assert!(compiled.fused_ops.iter().any(|f| f.name.contains('_')));
+    }
+
+    #[test]
+    fn compile_rejects_invalid_graphs() {
+        let mut g = Graph::new("invalid");
+        let x = g.add_input("x", Shape::new(vec![4]));
+        g.add_op(OpKind::Relu, Attrs::new(), &[x], "r").unwrap();
+        // No outputs marked.
+        let mut compiler = Compiler::new(CompilerOptions::default());
+        assert!(compiler.compile(&g).is_err());
+    }
+}

@@ -1,0 +1,67 @@
+//! Error type for the DNNFusion compiler.
+
+use std::fmt;
+
+use dnnf_graph::GraphError;
+use dnnf_ops::OpError;
+
+/// Errors raised by the DNNFusion compilation pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// The input graph failed validation or could not be rebuilt.
+    Graph(GraphError),
+    /// An operator-level failure (shape inference, cost model).
+    Op(OpError),
+    /// A fusion-plan invariant was violated (indicates a compiler bug).
+    Plan {
+        /// Human-readable explanation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Graph(e) => write!(f, "graph error: {e}"),
+            CoreError::Op(e) => write!(f, "operator error: {e}"),
+            CoreError::Plan { reason } => write!(f, "fusion plan error: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Graph(e) => Some(e),
+            CoreError::Op(e) => Some(e),
+            CoreError::Plan { .. } => None,
+        }
+    }
+}
+
+impl From<GraphError> for CoreError {
+    fn from(e: GraphError) -> Self {
+        CoreError::Graph(e)
+    }
+}
+
+impl From<OpError> for CoreError {
+    fn from(e: OpError) -> Self {
+        CoreError::Op(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: CoreError = GraphError::UnknownValue { id: 1 }.into();
+        assert!(e.to_string().contains("graph error"));
+        let e = CoreError::Plan { reason: "node in two blocks".into() };
+        assert!(e.to_string().contains("fusion plan"));
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

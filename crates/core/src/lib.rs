@@ -1,0 +1,69 @@
+//! DNNFusion — the paper's primary contribution, reproduced in Rust.
+//!
+//! This crate implements the full DNNFusion compilation pipeline on top of
+//! the computational-graph IR from `dnnf-graph`:
+//!
+//! 1. the **Extended Computational Graph** ([`Ecg`]): mapping types,
+//!    mathematical properties and `IR_removable` flags attached to each node
+//!    and value (paper §3.2);
+//! 2. the **mapping type analysis** of Table 3 ([`analyze_pair`]): for every
+//!    ordered pair of mapping types, the fused mapping type and a
+//!    green/yellow/red profitability verdict;
+//! 3. **mathematical-property-based graph rewriting** ([`rewrite`]): a greedy,
+//!    FLOPs-driven engine applying associative / distributive / commutative
+//!    rules inside property-closed partitions (paper §4.2, Table 4);
+//! 4. **light-weight profile-driven fusion plan generation** ([`plan`]):
+//!    Listing 1 — seed selection, recursive successor/predecessor
+//!    exploration, constraint checks and profile-database lookups;
+//! 5. **fusion code generation** ([`codegen`]): per-block data-flow trees,
+//!    common-sub-tree elimination, and the 23 mapping-type-pair code
+//!    generation rules (paper §4.4.1, Figure 4);
+//! 6. **intra-block** data-movement elimination and **inter-block** layout
+//!    selection (paper §4.4.2);
+//! 7. an end-to-end [`Compiler`] driver with per-phase statistics used by the
+//!    evaluation harness (Figures 7 and 9b).
+//!
+//! # Example
+//!
+//! ```
+//! use dnnf_core::{Compiler, CompilerOptions};
+//! use dnnf_graph::Graph;
+//! use dnnf_ops::{Attrs, OpKind};
+//! use dnnf_tensor::Shape;
+//!
+//! # fn main() -> Result<(), dnnf_core::CoreError> {
+//! let mut g = Graph::new("conv-bn-relu");
+//! let x = g.add_input("x", Shape::new(vec![1, 8, 16, 16]));
+//! let w = g.add_weight("w", Shape::new(vec![8, 8, 3, 3]));
+//! let c = g.add_op(OpKind::Conv, Attrs::new().with_ints("pads", vec![1, 1, 1, 1]), &[x, w], "conv")?[0];
+//! let r = g.add_op(OpKind::Relu, Attrs::new(), &[c], "relu")?[0];
+//! g.mark_output(r);
+//!
+//! let mut compiler = Compiler::new(CompilerOptions::default());
+//! let compiled = compiler.compile(&g)?;
+//! assert_eq!(compiled.stats.fused_layers, 1); // Conv+Relu fuse into one block
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod codegen;
+mod compiler;
+mod ecg;
+mod error;
+mod inter;
+mod intra;
+mod latency;
+mod mapping;
+pub mod plan;
+pub mod rewrite;
+
+pub use compiler::{CompilationStats, CompiledModel, Compiler, CompilerOptions};
+pub use ecg::{Ecg, EcgNodeInfo};
+pub use error::CoreError;
+pub use inter::{select_block_layouts, LayoutDecision};
+pub use intra::{eliminate_data_movement, DataMovementElimination};
+pub use latency::{AnalyticLatencyModel, LatencyModel};
+pub use mapping::{analyze_pair, fusable_cell_count, FusionDecision, FusionVerdict};
+pub use plan::{FusionBlock, FusionPlan, FusionPlanner, PlanOptions};

@@ -1,0 +1,180 @@
+//! Mapping type analysis — the paper's Table 3.
+//!
+//! Given the mapping types of two operators about to be fused (first feeds
+//! second), the analysis produces (a) the mapping type of the resulting fused
+//! operator and (b) a profitability verdict:
+//!
+//! * **green** ([`FusionVerdict::Direct`]): legal and profitable, fuse without
+//!   further analysis;
+//! * **yellow** ([`FusionVerdict::Profile`]): legal, but profitability must be
+//!   confirmed against the profiling database;
+//! * **red** ([`FusionVerdict::Break`]): illegal or clearly unprofitable,
+//!   never fuse.
+
+use dnnf_ops::MappingType;
+
+/// Profitability verdict for fusing a pair of mapping types (the cell colour
+/// of Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FusionVerdict {
+    /// Green: fuse directly.
+    Direct,
+    /// Yellow: consult the profiling database.
+    Profile,
+    /// Red: do not fuse.
+    Break,
+}
+
+/// Result of the pairwise mapping type analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FusionDecision {
+    /// Mapping type of the fused operator.
+    pub fused_type: MappingType,
+    /// Profitability verdict (cell colour).
+    pub verdict: FusionVerdict,
+}
+
+/// Analyzes the fusion of a `first` operator followed by a `second` operator
+/// (i.e. `second` consumes `first`'s output), per Table 3 of the paper.
+#[must_use]
+pub fn analyze_pair(first: MappingType, second: MappingType) -> FusionDecision {
+    use MappingType::*;
+    let fused_type = fused_mapping_type(first, second);
+    let verdict = match (first, second) {
+        // Row One-to-One: the lowest transformation impedance — every
+        // combination is legal and profitable (e.g. Add + GEMM in either
+        // order, paper §3.2).
+        (OneToOne, _) => FusionVerdict::Direct,
+        // Column One-to-One: same reasoning in the other order.
+        (_, OneToOne) => FusionVerdict::Direct,
+        // Reorganize/Shuffle amongst themselves: pure index remapping.
+        (Reorganize | Shuffle, Reorganize | Shuffle) => FusionVerdict::Direct,
+        // Reorganize/Shuffle against the expanding/contracting types: legal,
+        // but data copies or access-order changes may make it unprofitable —
+        // profile (paper's Expand/Transpose example).
+        (Reorganize | Shuffle, OneToMany | ManyToMany) => FusionVerdict::Profile,
+        (OneToMany | ManyToMany, Reorganize | Shuffle) => FusionVerdict::Profile,
+        // One-to-Many followed by Many-to-Many (Expand then Conv): the
+        // compute-intensive operator loses its continuous reads — red.
+        (OneToMany, ManyToMany) => FusionVerdict::Break,
+        // Two Many-to-Many operators (Conv then Conv): red.
+        (ManyToMany, ManyToMany) => FusionVerdict::Break,
+        // Many-to-Many followed by One-to-Many (Conv then Expand/Resize):
+        // depends on which dimension is expanded — profile.
+        (ManyToMany, OneToMany) => FusionVerdict::Profile,
+        // One-to-Many followed by One-to-Many: repeated expansion, profile.
+        (OneToMany, OneToMany) => FusionVerdict::Profile,
+    };
+    FusionDecision { fused_type, verdict }
+}
+
+/// The mapping type of the fused operator: decided by the operand with the
+/// higher transformation impedance (paper §3.2); ties at the
+/// Reorganize/Shuffle level resolve to Reorganize only when the two types
+/// differ, and ties at the top level resolve to Many-to-Many.
+fn fused_mapping_type(first: MappingType, second: MappingType) -> MappingType {
+    use MappingType::*;
+    match first.impedance().cmp(&second.impedance()) {
+        std::cmp::Ordering::Less => second,
+        std::cmp::Ordering::Greater => first,
+        std::cmp::Ordering::Equal => {
+            if first == second {
+                first
+            } else {
+                match (first, second) {
+                    (Reorganize, Shuffle) | (Shuffle, Reorganize) => Reorganize,
+                    (OneToMany, ManyToMany) | (ManyToMany, OneToMany) => ManyToMany,
+                    _ => first,
+                }
+            }
+        }
+    }
+}
+
+/// Number of green-or-yellow cells in Table 3 — the paper defines one code
+/// generation rule per such cell (23 rules for CPU and 23 for GPU).
+#[must_use]
+pub fn fusable_cell_count() -> usize {
+    MappingType::all()
+        .iter()
+        .flat_map(|&a| MappingType::all().iter().map(move |&b| analyze_pair(a, b)))
+        .filter(|d| d.verdict != FusionVerdict::Break)
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use MappingType::*;
+
+    #[test]
+    fn one_to_one_rows_and_columns_are_green() {
+        for &t in MappingType::all() {
+            assert_eq!(analyze_pair(OneToOne, t).verdict, FusionVerdict::Direct);
+            assert_eq!(analyze_pair(t, OneToOne).verdict, FusionVerdict::Direct);
+        }
+    }
+
+    #[test]
+    fn one_to_one_adopts_the_partner_type() {
+        // Row One-to-One of Table 3: the fused type equals the second type.
+        for &t in MappingType::all() {
+            assert_eq!(analyze_pair(OneToOne, t).fused_type, t);
+            assert_eq!(analyze_pair(t, OneToOne).fused_type, t);
+        }
+    }
+
+    #[test]
+    fn red_cells_match_the_paper() {
+        assert_eq!(analyze_pair(OneToMany, ManyToMany).verdict, FusionVerdict::Break);
+        assert_eq!(analyze_pair(ManyToMany, ManyToMany).verdict, FusionVerdict::Break);
+        // These are the only two red cells.
+        let reds: Vec<_> = MappingType::all()
+            .iter()
+            .flat_map(|&a| MappingType::all().iter().map(move |&b| (a, b, analyze_pair(a, b))))
+            .filter(|(_, _, d)| d.verdict == FusionVerdict::Break)
+            .collect();
+        assert_eq!(reds.len(), 2);
+    }
+
+    #[test]
+    fn yellow_cells_require_profiling() {
+        assert_eq!(analyze_pair(ManyToMany, OneToMany).verdict, FusionVerdict::Profile);
+        assert_eq!(analyze_pair(Shuffle, ManyToMany).verdict, FusionVerdict::Profile);
+        assert_eq!(analyze_pair(Reorganize, OneToMany).verdict, FusionVerdict::Profile);
+        assert_eq!(analyze_pair(ManyToMany, Shuffle).verdict, FusionVerdict::Profile);
+        assert_eq!(analyze_pair(OneToMany, OneToMany).verdict, FusionVerdict::Profile);
+    }
+
+    #[test]
+    fn reorganize_and_shuffle_fuse_freely_together() {
+        assert_eq!(analyze_pair(Reorganize, Shuffle).verdict, FusionVerdict::Direct);
+        assert_eq!(analyze_pair(Shuffle, Reorganize).verdict, FusionVerdict::Direct);
+        assert_eq!(analyze_pair(Shuffle, Reorganize).fused_type, Reorganize);
+        assert_eq!(analyze_pair(Shuffle, Shuffle).fused_type, Shuffle);
+        assert_eq!(analyze_pair(Reorganize, Reorganize).fused_type, Reorganize);
+    }
+
+    #[test]
+    fn higher_impedance_decides_the_fused_type() {
+        assert_eq!(analyze_pair(Reorganize, ManyToMany).fused_type, ManyToMany);
+        assert_eq!(analyze_pair(ManyToMany, Shuffle).fused_type, ManyToMany);
+        assert_eq!(analyze_pair(OneToMany, OneToOne).fused_type, OneToMany);
+        assert_eq!(analyze_pair(OneToMany, ManyToMany).fused_type, ManyToMany);
+    }
+
+    #[test]
+    fn twenty_three_codegen_rules() {
+        // The paper: "23 code generation rules are defined ... with one rule
+        // corresponding to a green or yellow cell in Table 3".
+        assert_eq!(fusable_cell_count(), 23);
+    }
+
+    #[test]
+    fn conv_relu_classic_fusion_is_green() {
+        // Conv (Many-to-Many) followed by Relu (One-to-One).
+        let d = analyze_pair(ManyToMany, OneToOne);
+        assert_eq!(d.verdict, FusionVerdict::Direct);
+        assert_eq!(d.fused_type, ManyToMany);
+    }
+}

@@ -1,0 +1,767 @@
+//! Light-weight profile-driven fusion plan generation (paper §4.3, Listing 1).
+//!
+//! The planner repeatedly
+//!
+//! 1. selects a **fusion seed**: the not-yet-fused One-to-One operator with
+//!    the smallest intermediate result,
+//! 2. explores fusion candidates recursively along the seed's **successors**
+//!    and then its **predecessors**, deciding each candidate with the
+//!    mapping-type analysis (green → fuse, red → stop, yellow → consult the
+//!    profiling database / latency model), subject to a constraint check
+//!    (block size, register-pressure proxy, and block convexity so the fused
+//!    graph stays acyclic),
+//! 3. closes the block and repeats until no seed remains; remaining operators
+//!    become single-operator blocks.
+
+use std::collections::BTreeSet;
+
+use dnnf_graph::{Graph, NodeId, ValueId};
+use dnnf_ops::MappingType;
+use dnnf_profiledb::{ProfileDatabase, ProfileKey};
+
+use crate::{analyze_pair, CoreError, Ecg, FusionVerdict, LatencyModel};
+
+/// Tunable knobs of the fusion plan exploration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanOptions {
+    /// Maximum number of operators in one fusion block (constraint check —
+    /// the paper's "empirically determined threshold" against register
+    /// spills).
+    pub max_block_ops: usize,
+    /// Maximum number of distinct external input tensors a block may read
+    /// (register-pressure proxy).
+    pub max_external_inputs: usize,
+    /// Whether yellow cells consult the profiling database / latency model.
+    /// When `false`, yellow cells are fused optimistically (used by ablation
+    /// benches).
+    pub use_profile: bool,
+}
+
+impl Default for PlanOptions {
+    fn default() -> Self {
+        PlanOptions { max_block_ops: 40, max_external_inputs: 14, use_profile: true }
+    }
+}
+
+/// One fusion block: a set of operators compiled into a single fused kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FusionBlock {
+    /// Block index within its plan.
+    pub id: usize,
+    /// The seed operator the block grew from (`None` for singleton blocks
+    /// created for leftover operators).
+    pub seed: Option<NodeId>,
+    /// Member nodes in topological order.
+    pub nodes: Vec<NodeId>,
+    /// Mapping type of the fused operator.
+    pub mapping_type: MappingType,
+}
+
+impl FusionBlock {
+    /// Number of operators fused into this block.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the block is a single unfused operator.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+/// A complete fusion plan: a partition of the graph's nodes into blocks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FusionPlan {
+    blocks: Vec<FusionBlock>,
+    node_block: Vec<usize>,
+}
+
+impl FusionPlan {
+    /// Builds the trivial plan in which every operator is its own block —
+    /// the "no fusion" baseline (`OurB` in the paper's evaluation).
+    #[must_use]
+    pub fn singletons(ecg: &Ecg) -> FusionPlan {
+        let graph = ecg.graph();
+        let mut blocks = Vec::with_capacity(graph.node_count());
+        let mut node_block = vec![0usize; graph.node_count()];
+        for (i, n) in graph.topo_order().into_iter().enumerate() {
+            node_block[n.index()] = i;
+            blocks.push(FusionBlock {
+                id: i,
+                seed: None,
+                nodes: vec![n],
+                mapping_type: ecg.mapping_type(n),
+            });
+        }
+        FusionPlan { blocks, node_block }
+    }
+
+    /// Builds a plan from an explicit grouping of nodes into blocks — used by
+    /// the fixed-pattern fusion baselines (`OurB+`, TVM/MNN/TFLite-style) so
+    /// they can be executed and measured by the same runtime.
+    ///
+    /// Nodes not mentioned in `groups` become singleton blocks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Plan`] if a node appears in more than one group
+    /// or the resulting block graph is cyclic.
+    pub fn from_blocks(ecg: &Ecg, groups: Vec<Vec<NodeId>>) -> Result<FusionPlan, CoreError> {
+        let graph = ecg.graph();
+        let mut node_block = vec![usize::MAX; graph.node_count()];
+        let mut blocks = Vec::new();
+        for group in groups {
+            if group.is_empty() {
+                continue;
+            }
+            let id = blocks.len();
+            for &n in &group {
+                if node_block[n.index()] != usize::MAX {
+                    return Err(CoreError::Plan {
+                        reason: format!("node {} assigned to more than one group", n.index()),
+                    });
+                }
+                node_block[n.index()] = id;
+            }
+            let nodes: Vec<NodeId> =
+                graph.topo_order().into_iter().filter(|n| group.contains(n)).collect();
+            // Fold the members' mapping types pairwise to get the block type.
+            let mut mapping = ecg.mapping_type(nodes[0]);
+            for &n in nodes.iter().skip(1) {
+                mapping = analyze_pair(mapping, ecg.mapping_type(n)).fused_type;
+            }
+            blocks.push(FusionBlock { id, seed: None, nodes, mapping_type: mapping });
+        }
+        for n in graph.topo_order() {
+            if node_block[n.index()] == usize::MAX {
+                let id = blocks.len();
+                node_block[n.index()] = id;
+                blocks.push(FusionBlock {
+                    id,
+                    seed: None,
+                    nodes: vec![n],
+                    mapping_type: ecg.mapping_type(n),
+                });
+            }
+        }
+        let plan = FusionPlan { blocks, node_block };
+        plan.validate(graph)?;
+        Ok(plan)
+    }
+
+    /// The fusion blocks.
+    #[must_use]
+    pub fn blocks(&self) -> &[FusionBlock] {
+        &self.blocks
+    }
+
+    /// Number of fused layers (= number of blocks), the denominator of the
+    /// paper's fusion rate.
+    #[must_use]
+    pub fn fused_layer_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Fusion rate = original layer count / fused layer count.
+    #[must_use]
+    pub fn fusion_rate(&self, graph: &Graph) -> f64 {
+        if self.blocks.is_empty() {
+            return 1.0;
+        }
+        graph.node_count() as f64 / self.blocks.len() as f64
+    }
+
+    /// Index of the block containing `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not belong to the planned graph.
+    #[must_use]
+    pub fn block_of(&self, node: NodeId) -> usize {
+        self.node_block[node.index()]
+    }
+
+    /// Number of blocks containing more than one operator.
+    #[must_use]
+    pub fn multi_op_blocks(&self) -> usize {
+        self.blocks.iter().filter(|b| b.len() > 1).count()
+    }
+
+    /// Total bytes of intermediate results that still have to be
+    /// materialized after fusion: values crossing a block boundary or marked
+    /// as graph outputs. This is the paper's post-fusion "IRS size".
+    #[must_use]
+    pub fn fused_irs_bytes(&self, graph: &Graph) -> u64 {
+        let mut bytes = 0u64;
+        for value in graph.values() {
+            if !value.is_intermediate() {
+                continue;
+            }
+            let Some(producer) = value.producer else { continue };
+            let producer_block = self.block_of(producer);
+            let escapes = graph.outputs().contains(&value.id)
+                || value.consumers.is_empty()
+                || value.consumers.iter().any(|&c| self.block_of(c) != producer_block);
+            if escapes {
+                bytes += value.size_bytes() as u64;
+            }
+        }
+        bytes
+    }
+
+    /// Values that no longer need to be materialized at all (every consumer
+    /// lives in the producer's block) — the ECG's `IR_removable` set.
+    #[must_use]
+    pub fn removable_values(&self, graph: &Graph) -> Vec<ValueId> {
+        graph
+            .values()
+            .filter(|v| {
+                v.is_intermediate()
+                    && !graph.outputs().contains(&v.id)
+                    && !v.consumers.is_empty()
+                    && v.producer.map_or(false, |p| {
+                        let pb = self.block_of(p);
+                        v.consumers.iter().all(|&c| self.block_of(c) == pb)
+                    })
+            })
+            .map(|v| v.id)
+            .collect()
+    }
+
+    /// Blocks in an execution (topological) order over the quotient graph.
+    #[must_use]
+    pub fn execution_order(&self, graph: &Graph) -> Vec<usize> {
+        let n = self.blocks.len();
+        let mut succs: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
+        let mut in_degree = vec![0usize; n];
+        for node in graph.nodes() {
+            let from = self.block_of(node.id);
+            for succ in graph.successors(node.id) {
+                let to = self.block_of(succ);
+                if from != to && succs[from].insert(to) {
+                    in_degree[to] += 1;
+                }
+            }
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&b| in_degree[b] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(b) = queue.pop() {
+            order.push(b);
+            for &next in &succs[b] {
+                in_degree[next] -= 1;
+                if in_degree[next] == 0 {
+                    queue.push(next);
+                }
+            }
+        }
+        order
+    }
+
+    /// Validates the plan: every node in exactly one block and the quotient
+    /// graph acyclic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Plan`] describing the violated invariant.
+    pub fn validate(&self, graph: &Graph) -> Result<(), CoreError> {
+        let mut seen = vec![false; graph.node_count()];
+        for block in &self.blocks {
+            for &n in &block.nodes {
+                if seen[n.index()] {
+                    return Err(CoreError::Plan {
+                        reason: format!("node {} assigned to more than one block", n.index()),
+                    });
+                }
+                seen[n.index()] = true;
+                if self.node_block[n.index()] != block.id {
+                    return Err(CoreError::Plan {
+                        reason: format!("node {} block index is inconsistent", n.index()),
+                    });
+                }
+            }
+        }
+        if seen.iter().any(|&s| !s) {
+            return Err(CoreError::Plan { reason: "some nodes are not assigned to a block".into() });
+        }
+        if self.execution_order(graph).len() != self.blocks.len() {
+            return Err(CoreError::Plan { reason: "fused block graph contains a cycle".into() });
+        }
+        Ok(())
+    }
+}
+
+/// Exploration direction relative to the seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    Successor,
+    Predecessor,
+}
+
+/// The fusion planner (Listing 1 of the paper).
+#[derive(Debug)]
+pub struct FusionPlanner<'a, L: LatencyModel> {
+    ecg: &'a Ecg,
+    latency: &'a L,
+    options: PlanOptions,
+}
+
+impl<'a, L: LatencyModel> FusionPlanner<'a, L> {
+    /// Creates a planner over an ECG with a latency model for yellow cells.
+    #[must_use]
+    pub fn new(ecg: &'a Ecg, latency: &'a L, options: PlanOptions) -> Self {
+        FusionPlanner { ecg, latency, options }
+    }
+
+    /// Generates the fusion plan, consulting (and extending) the profiling
+    /// database for yellow-cell decisions.
+    #[must_use]
+    pub fn plan(&self, db: &mut ProfileDatabase) -> FusionPlan {
+        let graph = self.ecg.graph();
+        let node_count = graph.node_count();
+        let mut assigned: Vec<Option<usize>> = vec![None; node_count];
+        let mut blocks: Vec<FusionBlock> = Vec::new();
+
+        // Step 1 (iterated): pick seeds in order of increasing IRS size.
+        // One-to-One operators are preferred (lowest transformation
+        // impedance, paper §4.3.1); once they are exhausted, the remaining
+        // light-weight mapping types (Reorganize, Shuffle, One-to-Many — e.g.
+        // a broadcasted bias Add with no activation after it) may also seed a
+        // block so their producers are not stranded unfused.
+        loop {
+            let graph_nodes = graph.nodes().map(|n| n.id);
+            let seed = self
+                .ecg
+                .one_to_one_nodes()
+                .into_iter()
+                .filter(|n| assigned[n.index()].is_none())
+                .min_by_key(|&n| (self.ecg.node_info(n).output_bytes, n.index()))
+                .or_else(|| {
+                    graph_nodes
+                        .filter(|n| {
+                            assigned[n.index()].is_none()
+                                && self.ecg.mapping_type(*n) != MappingType::ManyToMany
+                        })
+                        .min_by_key(|&n| (self.ecg.node_info(n).output_bytes, n.index()))
+                });
+            let Some(seed) = seed else { break };
+
+            let block_id = blocks.len();
+            let mut members: BTreeSet<NodeId> = BTreeSet::new();
+            members.insert(seed);
+            let mut mapping = self.ecg.mapping_type(seed);
+
+            // Steps 2 and 3: propagate along the seed's predecessors and then
+            // its successors. The paper notes the two steps can be swapped;
+            // predecessor-first lets the compute-intensive producer (e.g. the
+            // Conv feeding a bias/activation seed) join the block before a
+            // downstream Many-to-Many operator locks the block's mapping type.
+            for pred in graph.predecessors(seed) {
+                self.explore(&mut members, &mut mapping, pred, Direction::Predecessor, &assigned, db);
+            }
+            for succ in graph.successors(seed) {
+                self.explore(&mut members, &mut mapping, succ, Direction::Successor, &assigned, db);
+            }
+
+            for &n in &members {
+                assigned[n.index()] = Some(block_id);
+            }
+            blocks.push(FusionBlock {
+                id: block_id,
+                seed: Some(seed),
+                nodes: sort_topo(graph, &members),
+                mapping_type: mapping,
+            });
+        }
+
+        // Remaining operators become singleton blocks, in topological order.
+        for n in graph.topo_order() {
+            if assigned[n.index()].is_none() {
+                let block_id = blocks.len();
+                assigned[n.index()] = Some(block_id);
+                blocks.push(FusionBlock {
+                    id: block_id,
+                    seed: None,
+                    nodes: vec![n],
+                    mapping_type: self.ecg.mapping_type(n),
+                });
+            }
+        }
+
+        let node_block = assigned.into_iter().map(|b| b.expect("every node assigned")).collect();
+        FusionPlan { blocks, node_block }
+    }
+
+    /// Recursive candidate exploration (Listing 1, `fuse_successor` /
+    /// `fuse_predecessor`).
+    fn explore(
+        &self,
+        members: &mut BTreeSet<NodeId>,
+        mapping: &mut MappingType,
+        candidate: NodeId,
+        direction: Direction,
+        assigned: &[Option<usize>],
+        db: &mut ProfileDatabase,
+    ) {
+        if members.contains(&candidate) || assigned[candidate.index()].is_some() {
+            return;
+        }
+        let graph = self.ecg.graph();
+        let candidate_type = self.ecg.mapping_type(candidate);
+        // Step 2.1: mapping type analysis (Table 3).
+        let decision = match direction {
+            Direction::Successor => analyze_pair(*mapping, candidate_type),
+            Direction::Predecessor => analyze_pair(candidate_type, *mapping),
+        };
+        if decision.verdict == FusionVerdict::Break {
+            return;
+        }
+        // Once the block has absorbed a compute-intensive anchor, stop
+        // claiming plain One-to-One operators further up the predecessor
+        // chain: those are the natural epilogue of the *previous* anchor's
+        // block, and stealing them would strand that anchor in a singleton
+        // block (lowering the overall fusion rate). Data-movement operators
+        // (Reorganize/Shuffle) and One-to-Many operators feeding the anchor —
+        // the paper's "MatMul + Reshape + Transpose + Add" GPT-2 example —
+        // are still absorbed.
+        if direction == Direction::Predecessor
+            && *mapping == MappingType::ManyToMany
+            && candidate_type == MappingType::OneToOne
+        {
+            return;
+        }
+        // Step 2.2: constraint check (block size, register proxy, convexity).
+        if !self.constraints_allow(members, candidate) {
+            return;
+        }
+        if would_break_convexity(graph, members, candidate) {
+            return;
+        }
+        // Step 2.3: profile-based selection for yellow cells.
+        if decision.verdict == FusionVerdict::Profile && self.options.use_profile {
+            let mut fused: Vec<NodeId> = members.iter().copied().collect();
+            fused.push(candidate);
+            let fused_latency = db.lookup_or_measure(self.profile_key(&fused), || {
+                self.latency.fused_latency_us(graph, &fused)
+            });
+            let current: Vec<NodeId> = members.iter().copied().collect();
+            let block_latency = db.lookup_or_measure(self.profile_key(&current), || {
+                self.latency.fused_latency_us(graph, &current)
+            });
+            let candidate_latency = db.lookup_or_measure(self.profile_key(&[candidate]), || {
+                self.latency.fused_latency_us(graph, &[candidate])
+            });
+            if fused_latency > block_latency + candidate_latency {
+                return;
+            }
+        }
+        // Fuse and recurse (Step 2.4).
+        members.insert(candidate);
+        *mapping = decision.fused_type;
+        match direction {
+            Direction::Successor => {
+                for succ in graph.successors(candidate) {
+                    self.explore(members, mapping, succ, Direction::Successor, assigned, db);
+                }
+            }
+            Direction::Predecessor => {
+                for pred in graph.predecessors(candidate) {
+                    self.explore(members, mapping, pred, Direction::Predecessor, assigned, db);
+                }
+            }
+        }
+    }
+
+    fn constraints_allow(&self, members: &BTreeSet<NodeId>, candidate: NodeId) -> bool {
+        if members.len() + 1 > self.options.max_block_ops {
+            return false;
+        }
+        // Register-pressure proxy: count distinct external inputs after the
+        // candidate joins.
+        let graph = self.ecg.graph();
+        let mut extended: BTreeSet<NodeId> = members.clone();
+        extended.insert(candidate);
+        let mut external_inputs: BTreeSet<ValueId> = BTreeSet::new();
+        for &n in &extended {
+            for &input in &graph.node(n).inputs {
+                let produced_inside = graph
+                    .value(input)
+                    .producer
+                    .map(|p| extended.contains(&p))
+                    .unwrap_or(false);
+                if !produced_inside {
+                    external_inputs.insert(input);
+                }
+            }
+        }
+        external_inputs.len() <= self.options.max_external_inputs
+    }
+
+    fn profile_key(&self, nodes: &[NodeId]) -> ProfileKey {
+        let graph = self.ecg.graph();
+        let ops: Vec<String> = nodes.iter().map(|&n| graph.node(n).op.name().to_string()).collect();
+        let shapes: Vec<String> = nodes
+            .iter()
+            .filter_map(|&n| graph.node(n).outputs.first().copied())
+            .map(|v| graph.value(v).shape.to_string())
+            .collect();
+        ProfileKey::new(ops, shapes.join(";"))
+    }
+}
+
+/// Sorts a node set into the graph's topological order.
+fn sort_topo(graph: &Graph, members: &BTreeSet<NodeId>) -> Vec<NodeId> {
+    graph.topo_order().into_iter().filter(|n| members.contains(n)).collect()
+}
+
+/// Returns `true` if adding `candidate` to the convex set `members` would
+/// break convexity, i.e. some path between the set and the candidate passes
+/// through an outside node — which would make the fused block graph cyclic.
+fn would_break_convexity(graph: &Graph, members: &BTreeSet<NodeId>, candidate: NodeId) -> bool {
+    let mut extended: BTreeSet<NodeId> = members.clone();
+    extended.insert(candidate);
+    // Paths from the set to the candidate.
+    let desc_of_set = reachable(graph, members.iter().copied(), |g, n| g.successors(n));
+    let anc_of_candidate = reachable(graph, [candidate], |g, n| g.predecessors(n));
+    if desc_of_set
+        .intersection(&anc_of_candidate)
+        .any(|n| !extended.contains(n))
+    {
+        return true;
+    }
+    // Paths from the candidate to the set.
+    let desc_of_candidate = reachable(graph, [candidate], |g, n| g.successors(n));
+    let anc_of_set = reachable(graph, members.iter().copied(), |g, n| g.predecessors(n));
+    desc_of_candidate
+        .intersection(&anc_of_set)
+        .any(|n| !extended.contains(n))
+}
+
+fn reachable(
+    graph: &Graph,
+    start: impl IntoIterator<Item = NodeId>,
+    next: impl Fn(&Graph, NodeId) -> Vec<NodeId>,
+) -> BTreeSet<NodeId> {
+    let mut stack: Vec<NodeId> = start.into_iter().collect();
+    let mut seen: BTreeSet<NodeId> = BTreeSet::new();
+    while let Some(n) = stack.pop() {
+        for m in next(graph, n) {
+            if seen.insert(m) {
+                stack.push(m);
+            }
+        }
+    }
+    seen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AnalyticLatencyModel;
+    use dnnf_ops::{Attrs, OpKind};
+    use dnnf_tensor::Shape;
+
+    fn plan_graph(graph: &Graph) -> FusionPlan {
+        let ecg = Ecg::new(graph.clone());
+        let model = AnalyticLatencyModel::default();
+        let planner = FusionPlanner::new(&ecg, &model, PlanOptions::default());
+        let mut db = ProfileDatabase::new();
+        let plan = planner.plan(&mut db);
+        plan.validate(graph).unwrap();
+        plan
+    }
+
+    /// Conv -> Add(bias) -> Relu -> Mul -> Sub, plus a separate GEMM joining
+    /// at the Mul — the example of Figure 3.
+    fn figure3_graph() -> Graph {
+        let mut g = Graph::new("figure3");
+        let x = g.add_input("x", Shape::new(vec![1, 8, 8, 8]));
+        let add_c = g.add_weight("add.c", Shape::new(vec![1, 8, 8, 8]));
+        let add = g.add_op(OpKind::Add, Attrs::new(), &[x, add_c], "add").unwrap()[0];
+        let w = g.add_weight("conv.w", Shape::new(vec![8, 8, 3, 3]));
+        let conv = g
+            .add_op(OpKind::Conv, Attrs::new().with_ints("pads", vec![1, 1, 1, 1]), &[add, w], "conv")
+            .unwrap()[0];
+        let relu = g.add_op(OpKind::Relu, Attrs::new(), &[conv], "relu").unwrap()[0];
+        // A separate GEMM branch that merges into Mul.
+        let a = g.add_input("a", Shape::new(vec![64, 8]));
+        let b = g.add_weight("gemm.b", Shape::new(vec![8, 8]));
+        let gemm = g.add_op(OpKind::Gemm, Attrs::new(), &[a, b], "gemm").unwrap()[0];
+        let gemm_r = g
+            .add_op(OpKind::Reshape, Attrs::new().with_ints("shape", vec![1, 8, 8, 8]), &[gemm], "reshape")
+            .unwrap()[0];
+        let mul = g.add_op(OpKind::Mul, Attrs::new(), &[relu, gemm_r], "mul").unwrap()[0];
+        let sub_c = g.add_weight("sub.c", Shape::new(vec![1, 8, 8, 8]));
+        let sub = g.add_op(OpKind::Sub, Attrs::new(), &[mul, sub_c], "sub").unwrap()[0];
+        g.mark_output(sub);
+        g
+    }
+
+    #[test]
+    fn conv_bias_relu_fuses_into_one_block() {
+        let mut g = Graph::new("cbr");
+        let x = g.add_input("x", Shape::new(vec![1, 8, 16, 16]));
+        let w = g.add_weight("w", Shape::new(vec![8, 8, 3, 3]));
+        let c = g
+            .add_op(OpKind::Conv, Attrs::new().with_ints("pads", vec![1, 1, 1, 1]), &[x, w], "conv")
+            .unwrap()[0];
+        let b = g.add_weight("b", Shape::new(vec![1, 8, 1, 1]));
+        let bias = g.add_op(OpKind::Add, Attrs::new(), &[c, b], "bias").unwrap()[0];
+        let r = g.add_op(OpKind::Relu, Attrs::new(), &[bias], "relu").unwrap()[0];
+        g.mark_output(r);
+        let plan = plan_graph(&g);
+        assert_eq!(plan.fused_layer_count(), 1);
+        assert_eq!(plan.blocks()[0].mapping_type, MappingType::ManyToMany);
+        assert!((plan.fusion_rate(&g) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_convs_never_fuse_together() {
+        let mut g = Graph::new("two-convs");
+        let x = g.add_input("x", Shape::new(vec![1, 4, 8, 8]));
+        let w1 = g.add_weight("w1", Shape::new(vec![4, 4, 3, 3]));
+        let w2 = g.add_weight("w2", Shape::new(vec![4, 4, 3, 3]));
+        let c1 = g
+            .add_op(OpKind::Conv, Attrs::new().with_ints("pads", vec![1, 1, 1, 1]), &[x, w1], "c1")
+            .unwrap()[0];
+        let r1 = g.add_op(OpKind::Relu, Attrs::new(), &[c1], "r1").unwrap()[0];
+        let c2 = g
+            .add_op(OpKind::Conv, Attrs::new().with_ints("pads", vec![1, 1, 1, 1]), &[r1, w2], "c2")
+            .unwrap()[0];
+        let r2 = g.add_op(OpKind::Relu, Attrs::new(), &[c2], "r2").unwrap()[0];
+        g.mark_output(r2);
+        let plan = plan_graph(&g);
+        assert_eq!(plan.fused_layer_count(), 2);
+        // The two convs must land in different blocks.
+        let conv_blocks: Vec<usize> = g
+            .nodes()
+            .filter(|n| n.op == OpKind::Conv)
+            .map(|n| plan.block_of(n.id))
+            .collect();
+        assert_ne!(conv_blocks[0], conv_blocks[1]);
+    }
+
+    #[test]
+    fn figure3_example_keeps_gemm_outside_the_seed_block() {
+        let g = figure3_graph();
+        let plan = plan_graph(&g);
+        // The GEMM (Many-to-Many) cannot join the block that already absorbed
+        // the Conv (fused type Many-to-Many): Table 3's red cell.
+        let gemm = g.nodes().find(|n| n.op == OpKind::Gemm).unwrap().id;
+        let conv = g.nodes().find(|n| n.op == OpKind::Conv).unwrap().id;
+        assert_ne!(plan.block_of(gemm), plan.block_of(conv));
+        // But Add/Relu/Mul/Sub all join the conv block (Figure 3's result).
+        for name in ["add", "relu", "mul", "sub"] {
+            let n = g.nodes().find(|n| n.name == name).unwrap().id;
+            assert_eq!(plan.block_of(n), plan.block_of(conv), "{name} should fuse with conv");
+        }
+        assert!(plan.fused_layer_count() < g.node_count());
+    }
+
+    #[test]
+    fn fused_irs_bytes_shrinks_versus_original() {
+        let g = figure3_graph();
+        let plan = plan_graph(&g);
+        let original: u64 = g
+            .values()
+            .filter(|v| v.is_intermediate())
+            .map(|v| v.size_bytes() as u64)
+            .sum();
+        assert!(plan.fused_irs_bytes(&g) < original);
+        assert!(!plan.removable_values(&g).is_empty());
+    }
+
+    #[test]
+    fn execution_order_respects_dependencies() {
+        let g = figure3_graph();
+        let plan = plan_graph(&g);
+        let order = plan.execution_order(&g);
+        assert_eq!(order.len(), plan.fused_layer_count());
+        // The block containing the final Sub must come last.
+        let sub = g.nodes().find(|n| n.op == OpKind::Sub).unwrap().id;
+        assert_eq!(*order.last().unwrap(), plan.block_of(sub));
+    }
+
+    #[test]
+    fn convexity_check_prevents_cyclic_blocks() {
+        // a -> conv -> b ; a -> b  (b = Add(conv_out, relu_out)). Fusing
+        // {a, b} without conv would create a cycle between the block and conv.
+        let mut g = Graph::new("convexity");
+        let x = g.add_input("x", Shape::new(vec![1, 4, 8, 8]));
+        let a = g.add_op(OpKind::Relu, Attrs::new(), &[x], "a").unwrap()[0];
+        let w = g.add_weight("w", Shape::new(vec![4, 4, 3, 3]));
+        let conv = g
+            .add_op(OpKind::Conv, Attrs::new().with_ints("pads", vec![1, 1, 1, 1]), &[a, w], "conv")
+            .unwrap()[0];
+        let b = g.add_op(OpKind::Add, Attrs::new(), &[a, conv], "b").unwrap()[0];
+        g.mark_output(b);
+        let plan = plan_graph(&g);
+        plan.validate(&g).unwrap();
+        // Either the conv joined the same block (fine) or a/b are split; in
+        // both cases the quotient graph must be acyclic, which validate()
+        // already asserts. Additionally the plan must cover all 3 nodes.
+        let covered: usize = plan.blocks().iter().map(FusionBlock::len).sum();
+        assert_eq!(covered, 3);
+    }
+
+    #[test]
+    fn max_block_ops_constraint_is_respected() {
+        let mut g = Graph::new("long-chain");
+        let mut v = g.add_input("x", Shape::new(vec![64]));
+        for i in 0..20 {
+            v = g.add_op(OpKind::Relu, Attrs::new(), &[v], format!("r{i}")).unwrap()[0];
+        }
+        g.mark_output(v);
+        let ecg = Ecg::new(g.clone());
+        let model = AnalyticLatencyModel::default();
+        let opts = PlanOptions { max_block_ops: 5, ..PlanOptions::default() };
+        let planner = FusionPlanner::new(&ecg, &model, opts);
+        let mut db = ProfileDatabase::new();
+        let plan = planner.plan(&mut db);
+        plan.validate(&g).unwrap();
+        assert!(plan.blocks().iter().all(|b| b.len() <= 5));
+        assert!(plan.fused_layer_count() >= 4);
+    }
+
+    #[test]
+    fn profiling_database_is_populated_by_yellow_decisions() {
+        // Conv -> Upsample (Many-to-Many then One-to-Many) is a yellow cell.
+        let mut g = Graph::new("yellow");
+        let x = g.add_input("x", Shape::new(vec![1, 4, 8, 8]));
+        let w = g.add_weight("w", Shape::new(vec![4, 4, 3, 3]));
+        let c = g
+            .add_op(OpKind::Conv, Attrs::new().with_ints("pads", vec![1, 1, 1, 1]), &[x, w], "conv")
+            .unwrap()[0];
+        let r = g.add_op(OpKind::Relu, Attrs::new(), &[c], "relu").unwrap()[0];
+        let up = g
+            .add_op(
+                OpKind::Upsample,
+                Attrs::new().with_floats("scales", vec![1.0, 1.0, 2.0, 2.0]),
+                &[r],
+                "up",
+            )
+            .unwrap()[0];
+        g.mark_output(up);
+        let ecg = Ecg::new(g.clone());
+        let model = AnalyticLatencyModel::default();
+        let planner = FusionPlanner::new(&ecg, &model, PlanOptions::default());
+        let mut db = ProfileDatabase::new();
+        let plan = planner.plan(&mut db);
+        plan.validate(&g).unwrap();
+        assert!(!db.is_empty(), "yellow decision should have recorded profile entries");
+    }
+
+    #[test]
+    fn plan_covers_graphs_without_one_to_one_seeds() {
+        let mut g = Graph::new("no-seed");
+        let x = g.add_input("x", Shape::new(vec![4, 8]));
+        let w = g.add_weight("w", Shape::new(vec![8, 8]));
+        let m = g.add_op(OpKind::MatMul, Attrs::new(), &[x, w], "mm").unwrap()[0];
+        let s = g.add_op(OpKind::Softmax, Attrs::new(), &[m], "sm").unwrap()[0];
+        g.mark_output(s);
+        let plan = plan_graph(&g);
+        assert_eq!(plan.fused_layer_count(), 2);
+        assert!(plan.blocks().iter().all(|b| b.seed.is_none()));
+    }
+}

@@ -1,0 +1,994 @@
+//! The concrete rewrite rules (paper Table 4 and Figure 2, plus the
+//! fusion-facilitating simplifications).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use dnnf_graph::{Graph, Node, NodeId, ValueId};
+use dnnf_ops::{Attrs, OpKind};
+use dnnf_tensor::broadcast_shapes;
+
+use super::{producer, rebuild_replacing, single_use, RewriteRule, RuleCategory};
+
+/// The full default rule set.
+#[must_use]
+pub fn default_rules() -> Vec<Box<dyn RewriteRule>> {
+    vec![
+        Box::new(RecipMulAssociative),
+        Box::new(SqrtPairAssociative),
+        Box::new(AbsMulAssociative),
+        Box::new(ReduceSumSquareAssociative),
+        Box::new(DistributiveFactor),
+        Box::new(MatMulFactor),
+        Box::new(SquareSubDistributive),
+        Box::new(BitShiftReduceSum),
+        Box::new(ExpReduceProd),
+        Box::new(ReorganizeChain),
+        Box::new(TransposePairCancel),
+        Box::new(IdentityElimination),
+    ]
+}
+
+fn binary_inputs(node: &Node) -> Option<(ValueId, ValueId)> {
+    if node.inputs.len() == 2 {
+        Some((node.inputs[0], node.inputs[1]))
+    } else {
+        None
+    }
+}
+
+fn other_operand(node: &Node, v: ValueId) -> Option<ValueId> {
+    let (a, b) = binary_inputs(node)?;
+    if a == v {
+        Some(b)
+    } else if b == v {
+        Some(a)
+    } else {
+        None
+    }
+}
+
+/// Checks that a node is a single-output producer of `value` with kind `op`
+/// and that `value` is only used once (so folding it away is legal).
+fn foldable_producer<'g>(graph: &'g Graph, value: ValueId, op: OpKind) -> Option<&'g Node> {
+    let node = producer(graph, value)?;
+    if node.op == op && single_use(graph, value) {
+        Some(node)
+    } else {
+        None
+    }
+}
+
+type Splice<'f> = dyn FnMut(
+        &mut Graph,
+        &BTreeMap<ValueId, ValueId>,
+    ) -> Result<BTreeMap<ValueId, ValueId>, dnnf_graph::GraphError>
+    + 'f;
+
+fn apply(graph: &Graph, removed: BTreeSet<NodeId>, splice: &mut Splice<'_>) -> Option<Graph> {
+    let rebuilt = rebuild_replacing(graph, &removed, splice).ok()?;
+    rebuilt.validate().ok()?;
+    Some(rebuilt)
+}
+
+// ---------------------------------------------------------------------------
+// Associative rules
+// ---------------------------------------------------------------------------
+
+/// `Recip(A) ⊙ Recip(A ⊙ B)  →  Square(Recip(A)) ⊙ Recip(B)`
+/// (Figure 2(a) / Table 4, Associative row 1). Same FLOPs, but `A` is loaded
+/// once instead of twice and the intermediate `A ⊙ B` disappears.
+#[derive(Debug)]
+pub struct RecipMulAssociative;
+
+impl RewriteRule for RecipMulAssociative {
+    fn name(&self) -> &'static str {
+        "assoc.recip-mul"
+    }
+
+    fn category(&self) -> RuleCategory {
+        RuleCategory::Associative
+    }
+
+    fn try_apply(&self, graph: &Graph, partition: &[NodeId]) -> Option<Graph> {
+        for &anchor in partition {
+            let m = graph.node(anchor);
+            if m.op != OpKind::Mul {
+                continue;
+            }
+            let (x, y) = match binary_inputs(m) {
+                Some(p) => p,
+                None => continue,
+            };
+            for (plain, composed) in [(x, y), (y, x)] {
+                let Some(rx) = foldable_producer(graph, plain, OpKind::Reciprocal) else { continue };
+                let Some(ry) = foldable_producer(graph, composed, OpKind::Reciprocal) else { continue };
+                let Some(inner) = foldable_producer(graph, ry.inputs[0], OpKind::Mul) else { continue };
+                let a = rx.inputs[0];
+                let Some(b) = other_operand(inner, a) else { continue };
+                let out_value = m.outputs[0];
+                let removed: BTreeSet<NodeId> =
+                    [m.id, rx.id, ry.id, inner.id].into_iter().collect();
+                let result = apply(graph, removed, &mut |g, map| {
+                    let r1 = g.add_op(OpKind::Reciprocal, Attrs::new(), &[map[&a]], "rw.recip_a")?[0];
+                    let s = g.add_op(OpKind::Square, Attrs::new(), &[r1], "rw.square")?[0];
+                    let r2 = g.add_op(OpKind::Reciprocal, Attrs::new(), &[map[&b]], "rw.recip_b")?[0];
+                    let out = g.add_op(OpKind::Mul, Attrs::new(), &[s, r2], "rw.mul")?[0];
+                    Ok([(out_value, out)].into_iter().collect())
+                });
+                if result.is_some() {
+                    return result;
+                }
+            }
+        }
+        None
+    }
+}
+
+/// `(A ⊙ √B) ⊙ (√B ⊙ C)  →  A ⊙ B ⊙ C` (Table 4, Associative row 2).
+#[derive(Debug)]
+pub struct SqrtPairAssociative;
+
+impl RewriteRule for SqrtPairAssociative {
+    fn name(&self) -> &'static str {
+        "assoc.sqrt-pair"
+    }
+
+    fn category(&self) -> RuleCategory {
+        RuleCategory::Associative
+    }
+
+    fn try_apply(&self, graph: &Graph, partition: &[NodeId]) -> Option<Graph> {
+        shared_operand_rule(graph, partition, OpKind::Sqrt, |g, map, a, b_source, c, out_value| {
+            let m1 = g.add_op(OpKind::Mul, Attrs::new(), &[map[&a], map[&b_source]], "rw.mul_ab")?[0];
+            let out = g.add_op(OpKind::Mul, Attrs::new(), &[m1, map[&c]], "rw.mul_abc")?[0];
+            Ok([(out_value, out)].into_iter().collect())
+        }, true)
+    }
+}
+
+/// `(A ⊙ ReduceSum(B)) ⊙ (ReduceSum(B) ⊙ C) → A ⊙ Square(ReduceSum(B)) ⊙ C`
+/// (Table 4, Associative row 4). The reduction itself is kept; its result is
+/// squared once instead of being multiplied in twice.
+#[derive(Debug)]
+pub struct ReduceSumSquareAssociative;
+
+impl RewriteRule for ReduceSumSquareAssociative {
+    fn name(&self) -> &'static str {
+        "assoc.reducesum-square"
+    }
+
+    fn category(&self) -> RuleCategory {
+        RuleCategory::Associative
+    }
+
+    fn try_apply(&self, graph: &Graph, partition: &[NodeId]) -> Option<Graph> {
+        shared_operand_rule(graph, partition, OpKind::ReduceSum, |g, map, a, shared, c, out_value| {
+            let sq = g.add_op(OpKind::Square, Attrs::new(), &[map[&shared]], "rw.square")?[0];
+            let m1 = g.add_op(OpKind::Mul, Attrs::new(), &[map[&a], sq], "rw.mul_a")?[0];
+            let out = g.add_op(OpKind::Mul, Attrs::new(), &[m1, map[&c]], "rw.mul_c")?[0];
+            Ok([(out_value, out)].into_iter().collect())
+        }, false)
+    }
+}
+
+/// Common matcher for `Mul(Mul(A, S), Mul(S, C))` where `S` is produced by
+/// `shared_op`. When `consume_shared` is true the shared producer is removed
+/// and the splice receives the producer's *input*; otherwise the shared value
+/// itself is passed through.
+fn shared_operand_rule(
+    graph: &Graph,
+    partition: &[NodeId],
+    shared_op: OpKind,
+    mut build: impl FnMut(
+        &mut Graph,
+        &BTreeMap<ValueId, ValueId>,
+        ValueId,
+        ValueId,
+        ValueId,
+        ValueId,
+    ) -> Result<BTreeMap<ValueId, ValueId>, dnnf_graph::GraphError>,
+    consume_shared: bool,
+) -> Option<Graph> {
+    for &anchor in partition {
+        let m = graph.node(anchor);
+        if m.op != OpKind::Mul {
+            continue;
+        }
+        let (x, y) = match binary_inputs(m) {
+            Some(p) => p,
+            None => continue,
+        };
+        let Some(p1) = foldable_producer(graph, x, OpKind::Mul) else { continue };
+        let Some(q1) = foldable_producer(graph, y, OpKind::Mul) else { continue };
+        // Find the shared operand produced by `shared_op`.
+        let shared = p1.inputs.iter().copied().find(|&s| {
+            q1.inputs.contains(&s)
+                && producer(graph, s).map(|n| n.op == shared_op).unwrap_or(false)
+                && graph.value(s).consumers.len() == 2
+                && !graph.outputs().contains(&s)
+        });
+        let Some(shared) = shared else { continue };
+        let Some(a) = other_operand(p1, shared) else { continue };
+        let Some(c) = other_operand(q1, shared) else { continue };
+        let shared_node = producer(graph, shared).expect("matched above");
+        let out_value = m.outputs[0];
+        let mut removed: BTreeSet<NodeId> = [m.id, p1.id, q1.id].into_iter().collect();
+        let pass_value = if consume_shared {
+            removed.insert(shared_node.id);
+            shared_node.inputs[0]
+        } else {
+            shared
+        };
+        let result = apply(graph, removed, &mut |g, map| build(g, map, a, pass_value, c, out_value));
+        if result.is_some() {
+            return result;
+        }
+    }
+    None
+}
+
+/// `Abs(A) ⊙ B ⊙ Abs(C)  →  Abs(A ⊙ C) ⊙ B` (Table 4, Associative row 3 —
+/// commutativity swaps `B` and `Abs(C)` first, then associativity merges the
+/// two `Abs`).
+#[derive(Debug)]
+pub struct AbsMulAssociative;
+
+impl RewriteRule for AbsMulAssociative {
+    fn name(&self) -> &'static str {
+        "assoc.abs-mul"
+    }
+
+    fn category(&self) -> RuleCategory {
+        RuleCategory::Associative
+    }
+
+    fn try_apply(&self, graph: &Graph, partition: &[NodeId]) -> Option<Graph> {
+        for &anchor in partition {
+            let m = graph.node(anchor);
+            if m.op != OpKind::Mul {
+                continue;
+            }
+            let (x, y) = match binary_inputs(m) {
+                Some(p) => p,
+                None => continue,
+            };
+            for (chain, abs_c_val) in [(x, y), (y, x)] {
+                let Some(abs_c) = foldable_producer(graph, abs_c_val, OpKind::Abs) else { continue };
+                let Some(inner) = foldable_producer(graph, chain, OpKind::Mul) else { continue };
+                // Inner must be Abs(A) ⊙ B.
+                let abs_a_val = inner
+                    .inputs
+                    .iter()
+                    .copied()
+                    .find(|&v| foldable_producer(graph, v, OpKind::Abs).is_some());
+                let Some(abs_a_val) = abs_a_val else { continue };
+                let abs_a = foldable_producer(graph, abs_a_val, OpKind::Abs).expect("checked");
+                let Some(b) = other_operand(inner, abs_a_val) else { continue };
+                let a = abs_a.inputs[0];
+                let c = abs_c.inputs[0];
+                let out_value = m.outputs[0];
+                let removed: BTreeSet<NodeId> =
+                    [m.id, inner.id, abs_a.id, abs_c.id].into_iter().collect();
+                let result = apply(graph, removed, &mut |g, map| {
+                    let ac = g.add_op(OpKind::Mul, Attrs::new(), &[map[&a], map[&c]], "rw.mul_ac")?[0];
+                    let abs_ac = g.add_op(OpKind::Abs, Attrs::new(), &[ac], "rw.abs_ac")?[0];
+                    let out = g.add_op(OpKind::Mul, Attrs::new(), &[abs_ac, map[&b]], "rw.mul_b")?[0];
+                    Ok([(out_value, out)].into_iter().collect())
+                });
+                if result.is_some() {
+                    return result;
+                }
+            }
+        }
+        None
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Distributive rules
+// ---------------------------------------------------------------------------
+
+/// `A ⊙ C + A ⊙ B  →  A ⊙ (C + B)` (Table 4, Distributive row 1 /
+/// Figure 2(b) element-wise case).
+#[derive(Debug)]
+pub struct DistributiveFactor;
+
+impl RewriteRule for DistributiveFactor {
+    fn name(&self) -> &'static str {
+        "dist.mul-add-factor"
+    }
+
+    fn category(&self) -> RuleCategory {
+        RuleCategory::Distributive
+    }
+
+    fn try_apply(&self, graph: &Graph, partition: &[NodeId]) -> Option<Graph> {
+        for &anchor in partition {
+            let add = graph.node(anchor);
+            if add.op != OpKind::Add {
+                continue;
+            }
+            let (x, y) = match binary_inputs(add) {
+                Some(p) => p,
+                None => continue,
+            };
+            let Some(mul1) = foldable_producer(graph, x, OpKind::Mul) else { continue };
+            let Some(mul2) = foldable_producer(graph, y, OpKind::Mul) else { continue };
+            let shared =
+                mul1.inputs.iter().copied().find(|&s| mul2.inputs.contains(&s));
+            let Some(shared) = shared else { continue };
+            let Some(o1) = other_operand(mul1, shared) else { continue };
+            let Some(o2) = other_operand(mul2, shared) else { continue };
+            // The factored expression must keep the original output shape.
+            let orig_shape = &graph.value(add.outputs[0]).shape;
+            let Ok(sum_shape) =
+                broadcast_shapes(&graph.value(o1).shape, &graph.value(o2).shape)
+            else {
+                continue;
+            };
+            let Ok(new_shape) = broadcast_shapes(&graph.value(shared).shape, &sum_shape) else {
+                continue;
+            };
+            if &new_shape != orig_shape {
+                continue;
+            }
+            let out_value = add.outputs[0];
+            let removed: BTreeSet<NodeId> = [add.id, mul1.id, mul2.id].into_iter().collect();
+            let result = apply(graph, removed, &mut |g, map| {
+                let sum = g.add_op(OpKind::Add, Attrs::new(), &[map[&o1], map[&o2]], "rw.add")?[0];
+                let out = g.add_op(OpKind::Mul, Attrs::new(), &[map[&shared], sum], "rw.mul")?[0];
+                Ok([(out_value, out)].into_iter().collect())
+            });
+            if result.is_some() {
+                return result;
+            }
+        }
+        None
+    }
+}
+
+/// `MatMul(A, B) + MatMul(A, C)  →  MatMul(A, B + C)` — the GEMM form of the
+/// distributive property (Figure 2(b)), with a large #FLOPs reduction.
+#[derive(Debug)]
+pub struct MatMulFactor;
+
+impl RewriteRule for MatMulFactor {
+    fn name(&self) -> &'static str {
+        "dist.matmul-factor"
+    }
+
+    fn category(&self) -> RuleCategory {
+        RuleCategory::Distributive
+    }
+
+    fn try_apply(&self, graph: &Graph, partition: &[NodeId]) -> Option<Graph> {
+        for &anchor in partition {
+            let add = graph.node(anchor);
+            if add.op != OpKind::Add {
+                continue;
+            }
+            let (x, y) = match binary_inputs(add) {
+                Some(p) => p,
+                None => continue,
+            };
+            for op in [OpKind::MatMul, OpKind::Gemm] {
+                let Some(mm1) = foldable_producer(graph, x, op) else { continue };
+                let Some(mm2) = foldable_producer(graph, y, op) else { continue };
+                if mm1.inputs.len() != 2 || mm2.inputs.len() != 2 {
+                    continue;
+                }
+                if mm1.inputs[0] != mm2.inputs[0] {
+                    continue;
+                }
+                if mm1.attrs != mm2.attrs {
+                    continue;
+                }
+                let a = mm1.inputs[0];
+                let b = mm1.inputs[1];
+                let c = mm2.inputs[1];
+                if graph.value(b).shape != graph.value(c).shape {
+                    continue;
+                }
+                let out_value = add.outputs[0];
+                let attrs = mm1.attrs.clone();
+                let removed: BTreeSet<NodeId> = [add.id, mm1.id, mm2.id].into_iter().collect();
+                let result = apply(graph, removed, &mut |g, map| {
+                    let sum = g.add_op(OpKind::Add, Attrs::new(), &[map[&b], map[&c]], "rw.add_bc")?[0];
+                    let out = g.add_op(op, attrs.clone(), &[map[&a], sum], "rw.matmul")?[0];
+                    Ok([(out_value, out)].into_iter().collect())
+                });
+                if result.is_some() {
+                    return result;
+                }
+            }
+        }
+        None
+    }
+}
+
+/// `Square(X) − X ⊙ C  →  X ⊙ (X − C)` (Table 4, Distributive row 3, with
+/// `X = A + B` in the paper's statement).
+#[derive(Debug)]
+pub struct SquareSubDistributive;
+
+impl RewriteRule for SquareSubDistributive {
+    fn name(&self) -> &'static str {
+        "dist.square-sub"
+    }
+
+    fn category(&self) -> RuleCategory {
+        RuleCategory::Distributive
+    }
+
+    fn try_apply(&self, graph: &Graph, partition: &[NodeId]) -> Option<Graph> {
+        for &anchor in partition {
+            let sub = graph.node(anchor);
+            if sub.op != OpKind::Sub {
+                continue;
+            }
+            let (x, y) = match binary_inputs(sub) {
+                Some(p) => p,
+                None => continue,
+            };
+            let Some(square) = foldable_producer(graph, x, OpKind::Square) else { continue };
+            let Some(mul) = foldable_producer(graph, y, OpKind::Mul) else { continue };
+            let s = square.inputs[0];
+            let Some(c) = other_operand(mul, s) else { continue };
+            let out_value = sub.outputs[0];
+            let removed: BTreeSet<NodeId> = [sub.id, square.id, mul.id].into_iter().collect();
+            let result = apply(graph, removed, &mut |g, map| {
+                let diff = g.add_op(OpKind::Sub, Attrs::new(), &[map[&s], map[&c]], "rw.sub")?[0];
+                let out = g.add_op(OpKind::Mul, Attrs::new(), &[map[&s], diff], "rw.mul")?[0];
+                Ok([(out_value, out)].into_iter().collect())
+            });
+            if result.is_some() {
+                return result;
+            }
+        }
+        None
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Commutative rules
+// ---------------------------------------------------------------------------
+
+/// `ReduceSum(BitShift(A, s))  →  BitShift(ReduceSum(A), s)` (Table 4,
+/// Commutative row 2 / Figure 2(c)): the shift is applied to the reduced
+/// tensor instead of every element.
+#[derive(Debug)]
+pub struct BitShiftReduceSum;
+
+impl RewriteRule for BitShiftReduceSum {
+    fn name(&self) -> &'static str {
+        "comm.bitshift-reducesum"
+    }
+
+    fn category(&self) -> RuleCategory {
+        RuleCategory::Commutative
+    }
+
+    fn try_apply(&self, graph: &Graph, partition: &[NodeId]) -> Option<Graph> {
+        for &anchor in partition {
+            let reduce = graph.node(anchor);
+            if reduce.op != OpKind::ReduceSum {
+                continue;
+            }
+            let x = reduce.inputs[0];
+            let Some(shift) = foldable_producer(graph, x, OpKind::BitShift) else { continue };
+            let a = shift.inputs[0];
+            let s = shift.inputs[1];
+            // The shift amount must be a scalar so it still broadcasts after
+            // the reduction.
+            if graph.value(s).shape.numel() != 1 {
+                continue;
+            }
+            let out_value = reduce.outputs[0];
+            let reduce_attrs = reduce.attrs.clone();
+            let removed: BTreeSet<NodeId> = [reduce.id, shift.id].into_iter().collect();
+            let result = apply(graph, removed, &mut |g, map| {
+                let rs = g.add_op(OpKind::ReduceSum, reduce_attrs.clone(), &[map[&a]], "rw.reduce")?[0];
+                let out = g.add_op(OpKind::BitShift, Attrs::new(), &[rs, map[&s]], "rw.shift")?[0];
+                Ok([(out_value, out)].into_iter().collect())
+            });
+            if result.is_some() {
+                return result;
+            }
+        }
+        None
+    }
+}
+
+/// `ReduceProd(Exp(A))  →  Exp(ReduceSum(A))` (Table 4, Commutative row 3).
+#[derive(Debug)]
+pub struct ExpReduceProd;
+
+impl RewriteRule for ExpReduceProd {
+    fn name(&self) -> &'static str {
+        "comm.exp-reduceprod"
+    }
+
+    fn category(&self) -> RuleCategory {
+        RuleCategory::Commutative
+    }
+
+    fn try_apply(&self, graph: &Graph, partition: &[NodeId]) -> Option<Graph> {
+        for &anchor in partition {
+            let reduce = graph.node(anchor);
+            if reduce.op != OpKind::ReduceProd {
+                continue;
+            }
+            let x = reduce.inputs[0];
+            let Some(exp) = foldable_producer(graph, x, OpKind::Exp) else { continue };
+            let a = exp.inputs[0];
+            let out_value = reduce.outputs[0];
+            let reduce_attrs = reduce.attrs.clone();
+            let removed: BTreeSet<NodeId> = [reduce.id, exp.id].into_iter().collect();
+            let result = apply(graph, removed, &mut |g, map| {
+                let rs = g.add_op(OpKind::ReduceSum, reduce_attrs.clone(), &[map[&a]], "rw.reduce")?[0];
+                let out = g.add_op(OpKind::Exp, Attrs::new(), &[rs], "rw.exp")?[0];
+                Ok([(out_value, out)].into_iter().collect())
+            });
+            if result.is_some() {
+                return result;
+            }
+        }
+        None
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Simplification rules (fusion-facilitating structure cleanups)
+// ---------------------------------------------------------------------------
+
+const REORGANIZE_OPS: [OpKind; 4] =
+    [OpKind::Reshape, OpKind::Flatten, OpKind::Squeeze, OpKind::Unsqueeze];
+
+/// Collapses chains of Reorganize operators (`Reshape`/`Flatten`/`Squeeze`/
+/// `Unsqueeze`) into a single `Reshape` to the final shape — removing a
+/// redundant intermediate copy.
+#[derive(Debug)]
+pub struct ReorganizeChain;
+
+impl RewriteRule for ReorganizeChain {
+    fn name(&self) -> &'static str {
+        "simplify.reorganize-chain"
+    }
+
+    fn category(&self) -> RuleCategory {
+        RuleCategory::Simplification
+    }
+
+    fn try_apply(&self, graph: &Graph, partition: &[NodeId]) -> Option<Graph> {
+        for &anchor in partition {
+            let second = graph.node(anchor);
+            if !REORGANIZE_OPS.contains(&second.op) {
+                continue;
+            }
+            let x = second.inputs[0];
+            let first = REORGANIZE_OPS
+                .iter()
+                .find_map(|&op| foldable_producer(graph, x, op));
+            let Some(first) = first else { continue };
+            let source = first.inputs[0];
+            let final_shape: Vec<i64> = graph
+                .value(second.outputs[0])
+                .shape
+                .dims()
+                .iter()
+                .map(|&d| d as i64)
+                .collect();
+            let out_value = second.outputs[0];
+            let removed: BTreeSet<NodeId> = [second.id, first.id].into_iter().collect();
+            let result = apply(graph, removed, &mut |g, map| {
+                let out = g.add_op(
+                    OpKind::Reshape,
+                    Attrs::new().with_ints("shape", final_shape.clone()),
+                    &[map[&source]],
+                    "rw.reshape",
+                )?[0];
+                Ok([(out_value, out)].into_iter().collect())
+            });
+            if result.is_some() {
+                return result;
+            }
+        }
+        None
+    }
+}
+
+/// Merges `Transpose(Transpose(x, p1), p2)` into a single `Transpose` (or
+/// removes both when the composition is the identity).
+#[derive(Debug)]
+pub struct TransposePairCancel;
+
+impl RewriteRule for TransposePairCancel {
+    fn name(&self) -> &'static str {
+        "simplify.transpose-pair"
+    }
+
+    fn category(&self) -> RuleCategory {
+        RuleCategory::Simplification
+    }
+
+    fn try_apply(&self, graph: &Graph, partition: &[NodeId]) -> Option<Graph> {
+        for &anchor in partition {
+            let t2 = graph.node(anchor);
+            if t2.op != OpKind::Transpose {
+                continue;
+            }
+            let x = t2.inputs[0];
+            let Some(t1) = foldable_producer(graph, x, OpKind::Transpose) else { continue };
+            let rank = graph.value(t1.inputs[0]).shape.rank();
+            let default: Vec<i64> = (0..rank as i64).rev().collect();
+            let p1: Vec<usize> =
+                t1.attrs.ints_or("perm", &default).iter().map(|&p| p as usize).collect();
+            let p2: Vec<usize> =
+                t2.attrs.ints_or("perm", &default).iter().map(|&p| p as usize).collect();
+            if p1.len() != rank || p2.len() != rank {
+                continue;
+            }
+            let composed: Vec<usize> = p2.iter().map(|&i| p1[i]).collect();
+            let identity = composed.iter().enumerate().all(|(i, &p)| i == p);
+            let source = t1.inputs[0];
+            let out_value = t2.outputs[0];
+            let removed: BTreeSet<NodeId> = [t2.id, t1.id].into_iter().collect();
+            let result = apply(graph, removed, &mut |g, map| {
+                if identity {
+                    Ok([(out_value, map[&source])].into_iter().collect())
+                } else {
+                    let perm: Vec<i64> = composed.iter().map(|&p| p as i64).collect();
+                    let out = g.add_op(
+                        OpKind::Transpose,
+                        Attrs::new().with_ints("perm", perm.clone()),
+                        &[map[&source]],
+                        "rw.transpose",
+                    )?[0];
+                    Ok([(out_value, out)].into_iter().collect())
+                }
+            });
+            if result.is_some() {
+                return result;
+            }
+        }
+        None
+    }
+}
+
+/// Removes `Identity` nodes by rewiring their consumers to the source value.
+#[derive(Debug)]
+pub struct IdentityElimination;
+
+impl RewriteRule for IdentityElimination {
+    fn name(&self) -> &'static str {
+        "simplify.identity"
+    }
+
+    fn category(&self) -> RuleCategory {
+        RuleCategory::Simplification
+    }
+
+    fn try_apply(&self, graph: &Graph, partition: &[NodeId]) -> Option<Graph> {
+        for &anchor in partition {
+            let node = graph.node(anchor);
+            if node.op != OpKind::Identity {
+                continue;
+            }
+            let source = node.inputs[0];
+            let out_value = node.outputs[0];
+            // Rewiring a graph output directly onto a graph input would lose
+            // the output marker's producer; keep such identities.
+            if graph.value(source).producer.is_none() && graph.outputs().contains(&out_value) {
+                continue;
+            }
+            let removed: BTreeSet<NodeId> = [node.id].into_iter().collect();
+            let result = apply(graph, removed, &mut |_, map| {
+                Ok([(out_value, map[&source])].into_iter().collect())
+            });
+            if result.is_some() {
+                return result;
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rewrite::RewriteEngine;
+    use dnnf_ops::execute;
+    use dnnf_tensor::{Shape, Tensor};
+    use std::collections::HashMap;
+
+    /// Executes a graph with the reference kernels (weights must carry
+    /// explicit data; inputs are passed by name).
+    fn run_graph(graph: &Graph, inputs: &HashMap<String, Tensor>) -> Vec<Tensor> {
+        let mut env: HashMap<usize, Tensor> = HashMap::new();
+        for value in graph.values() {
+            match value.kind {
+                dnnf_graph::ValueKind::Input => {
+                    env.insert(value.id.index(), inputs[&value.name].clone());
+                }
+                dnnf_graph::ValueKind::Weight => {
+                    let t = graph
+                        .weight_data(value.id)
+                        .cloned()
+                        .unwrap_or_else(|| Tensor::random(value.shape.clone(), 7));
+                    env.insert(value.id.index(), t);
+                }
+                _ => {}
+            }
+        }
+        for node_id in graph.topo_order() {
+            let node = graph.node(node_id);
+            let ins: Vec<&Tensor> = node.inputs.iter().map(|v| &env[&v.index()]).collect();
+            let outs = execute(node.op, &node.attrs, &ins).unwrap();
+            for (v, t) in node.outputs.iter().zip(outs) {
+                env.insert(v.index(), t);
+            }
+        }
+        graph.outputs().iter().map(|v| env[&v.index()].clone()).collect()
+    }
+
+    fn check_semantics_preserved(graph: &Graph, inputs: &HashMap<String, Tensor>) -> (Graph, usize) {
+        let engine = RewriteEngine::with_default_rules();
+        let (rewritten, applied) = engine.run(graph);
+        let before = run_graph(graph, inputs);
+        let after = run_graph(&rewritten, inputs);
+        assert_eq!(before.len(), after.len());
+        for (a, b) in before.iter().zip(&after) {
+            assert!(a.allclose(b, 1e-3), "rewriting changed the graph's semantics");
+        }
+        (rewritten, applied.len())
+    }
+
+    fn shape4() -> Shape {
+        Shape::new(vec![4, 4])
+    }
+
+    #[test]
+    fn recip_mul_rule_preserves_semantics_and_reduces_loads() {
+        // Recip(A) ⊙ Recip(A ⊙ B)
+        let mut g = Graph::new("recip");
+        let a = g.add_input("A", shape4());
+        let b = g.add_weight_with_data("B", Tensor::random(shape4(), 3).map(|v| v.abs() + 0.5));
+        let ra = g.add_op(OpKind::Reciprocal, Attrs::new(), &[a], "recip_a").unwrap()[0];
+        let ab = g.add_op(OpKind::Mul, Attrs::new(), &[a, b], "mul_ab").unwrap()[0];
+        let rab = g.add_op(OpKind::Reciprocal, Attrs::new(), &[ab], "recip_ab").unwrap()[0];
+        let out = g.add_op(OpKind::Mul, Attrs::new(), &[ra, rab], "mul").unwrap()[0];
+        g.mark_output(out);
+        let inputs: HashMap<String, Tensor> =
+            [("A".to_string(), Tensor::random(shape4(), 11).map(|v| v.abs() + 0.5))].into();
+        let (rewritten, applied) = check_semantics_preserved(&g, &inputs);
+        assert!(applied >= 1);
+        assert!(rewritten.nodes().any(|n| n.op == OpKind::Square));
+    }
+
+    #[test]
+    fn sqrt_pair_rule_eliminates_the_sqrt() {
+        // (A ⊙ √B) ⊙ (√B ⊙ C)
+        let mut g = Graph::new("sqrt");
+        let a = g.add_input("A", shape4());
+        let b = g.add_weight_with_data("B", Tensor::random(shape4(), 5).map(|v| v.abs() + 0.1));
+        let c = g.add_weight_with_data("C", Tensor::random(shape4(), 6));
+        let sb = g.add_op(OpKind::Sqrt, Attrs::new(), &[b], "sqrt").unwrap()[0];
+        let p = g.add_op(OpKind::Mul, Attrs::new(), &[a, sb], "p").unwrap()[0];
+        let q = g.add_op(OpKind::Mul, Attrs::new(), &[sb, c], "q").unwrap()[0];
+        let out = g.add_op(OpKind::Mul, Attrs::new(), &[p, q], "out").unwrap()[0];
+        g.mark_output(out);
+        let inputs: HashMap<String, Tensor> = [("A".to_string(), Tensor::random(shape4(), 2))].into();
+        let flops_before = g.stats().flops;
+        let (rewritten, applied) = check_semantics_preserved(&g, &inputs);
+        assert!(applied >= 1);
+        assert!(rewritten.stats().flops < flops_before);
+        assert!(!rewritten.nodes().any(|n| n.op == OpKind::Sqrt));
+    }
+
+    #[test]
+    fn abs_mul_rule_merges_the_two_abs() {
+        // Abs(A) ⊙ B ⊙ Abs(C), built as Mul(Mul(Abs(A), B), Abs(C)).
+        let mut g = Graph::new("abs");
+        let a = g.add_input("A", shape4());
+        let b = g.add_weight_with_data("B", Tensor::random(shape4(), 8));
+        let c = g.add_weight_with_data("C", Tensor::random(shape4(), 9));
+        let abs_a = g.add_op(OpKind::Abs, Attrs::new(), &[a], "abs_a").unwrap()[0];
+        let m1 = g.add_op(OpKind::Mul, Attrs::new(), &[abs_a, b], "m1").unwrap()[0];
+        let abs_c = g.add_op(OpKind::Abs, Attrs::new(), &[c], "abs_c").unwrap()[0];
+        let out = g.add_op(OpKind::Mul, Attrs::new(), &[m1, abs_c], "out").unwrap()[0];
+        g.mark_output(out);
+        let inputs: HashMap<String, Tensor> = [("A".to_string(), Tensor::random(shape4(), 4))].into();
+        let flops_before = g.stats().flops;
+        let (rewritten, applied) = check_semantics_preserved(&g, &inputs);
+        assert!(applied >= 1);
+        assert!(rewritten.stats().flops < flops_before);
+        // Only one Abs remains.
+        assert_eq!(rewritten.nodes().filter(|n| n.op == OpKind::Abs).count(), 1);
+    }
+
+    #[test]
+    fn distributive_factor_rule_reduces_flops() {
+        // A ⊙ C + A ⊙ B → A ⊙ (C + B)
+        let mut g = Graph::new("dist");
+        let a = g.add_input("A", shape4());
+        let b = g.add_weight_with_data("B", Tensor::random(shape4(), 21));
+        let c = g.add_weight_with_data("C", Tensor::random(shape4(), 22));
+        let ac = g.add_op(OpKind::Mul, Attrs::new(), &[a, c], "ac").unwrap()[0];
+        let ab = g.add_op(OpKind::Mul, Attrs::new(), &[a, b], "ab").unwrap()[0];
+        let out = g.add_op(OpKind::Add, Attrs::new(), &[ac, ab], "sum").unwrap()[0];
+        g.mark_output(out);
+        let inputs: HashMap<String, Tensor> = [("A".to_string(), Tensor::random(shape4(), 1))].into();
+        let flops_before = g.stats().flops;
+        let (rewritten, applied) = check_semantics_preserved(&g, &inputs);
+        assert!(applied >= 1);
+        assert!(rewritten.stats().flops < flops_before);
+        assert_eq!(rewritten.node_count(), 2);
+    }
+
+    #[test]
+    fn matmul_factor_rule_halves_the_matmul_work() {
+        let mut g = Graph::new("gemm-dist");
+        let a = g.add_input("A", Shape::new(vec![8, 16]));
+        let b = g.add_weight_with_data("B", Tensor::random(Shape::new(vec![16, 8]), 31));
+        let c = g.add_weight_with_data("C", Tensor::random(Shape::new(vec![16, 8]), 32));
+        let ab = g.add_op(OpKind::MatMul, Attrs::new(), &[a, b], "ab").unwrap()[0];
+        let ac = g.add_op(OpKind::MatMul, Attrs::new(), &[a, c], "ac").unwrap()[0];
+        let out = g.add_op(OpKind::Add, Attrs::new(), &[ab, ac], "sum").unwrap()[0];
+        g.mark_output(out);
+        let inputs: HashMap<String, Tensor> =
+            [("A".to_string(), Tensor::random(Shape::new(vec![8, 16]), 2))].into();
+        let flops_before = g.stats().flops;
+        let (rewritten, applied) = check_semantics_preserved(&g, &inputs);
+        assert!(applied >= 1);
+        // One matmul instead of two: close to half the FLOPs.
+        assert!(rewritten.stats().flops * 10 < flops_before * 6);
+        assert_eq!(rewritten.nodes().filter(|n| n.op == OpKind::MatMul).count(), 1);
+    }
+
+    #[test]
+    fn square_sub_rule_preserves_semantics() {
+        // Square(X) - X ⊙ C with X an input.
+        let mut g = Graph::new("sq-sub");
+        let x = g.add_input("X", shape4());
+        let c = g.add_weight_with_data("C", Tensor::random(shape4(), 41));
+        let sq = g.add_op(OpKind::Square, Attrs::new(), &[x], "sq").unwrap()[0];
+        let xc = g.add_op(OpKind::Mul, Attrs::new(), &[x, c], "xc").unwrap()[0];
+        let out = g.add_op(OpKind::Sub, Attrs::new(), &[sq, xc], "out").unwrap()[0];
+        g.mark_output(out);
+        let inputs: HashMap<String, Tensor> = [("X".to_string(), Tensor::random(shape4(), 3))].into();
+        let flops_before = g.stats().flops;
+        let (rewritten, applied) = check_semantics_preserved(&g, &inputs);
+        assert!(applied >= 1);
+        assert!(rewritten.stats().flops <= flops_before);
+    }
+
+    #[test]
+    fn bitshift_reducesum_rule_moves_the_shift_after_the_reduction() {
+        let mut g = Graph::new("shift");
+        let a = g.add_input("A", Shape::new(vec![4, 8]));
+        let s = g.add_weight_with_data("S", Tensor::scalar(2.0));
+        let shifted = g.add_op(OpKind::BitShift, Attrs::new(), &[a, s], "shift").unwrap()[0];
+        let out = g
+            .add_op(
+                OpKind::ReduceSum,
+                Attrs::new().with_ints("axes", vec![1]).with_int("keepdims", 0),
+                &[shifted],
+                "sum",
+            )
+            .unwrap()[0];
+        g.mark_output(out);
+        // Integral input so the bit-shift identity holds exactly.
+        let input = Tensor::from_vec(
+            Shape::new(vec![4, 8]),
+            (0..32).map(|i| (i % 7) as f32).collect(),
+        )
+        .unwrap();
+        let inputs: HashMap<String, Tensor> = [("A".to_string(), input)].into();
+        let flops_before = g.stats().flops;
+        let (rewritten, applied) = check_semantics_preserved(&g, &inputs);
+        assert!(applied >= 1);
+        assert!(rewritten.stats().flops < flops_before);
+        // The shift now consumes the reduced tensor.
+        let shift_node = rewritten.nodes().find(|n| n.op == OpKind::BitShift).unwrap();
+        assert_eq!(rewritten.value(shift_node.inputs[0]).shape.dims(), &[4]);
+    }
+
+    #[test]
+    fn exp_reduceprod_rule_rewrites_to_exp_of_sum() {
+        let mut g = Graph::new("expprod");
+        let a = g.add_input("A", Shape::new(vec![3, 5]));
+        let e = g.add_op(OpKind::Exp, Attrs::new(), &[a], "exp").unwrap()[0];
+        let out = g
+            .add_op(
+                OpKind::ReduceProd,
+                Attrs::new().with_ints("axes", vec![1]).with_int("keepdims", 0),
+                &[e],
+                "prod",
+            )
+            .unwrap()[0];
+        g.mark_output(out);
+        let inputs: HashMap<String, Tensor> =
+            [("A".to_string(), Tensor::random(Shape::new(vec![3, 5]), 9).map(|v| v * 0.1))].into();
+        let (rewritten, applied) = check_semantics_preserved(&g, &inputs);
+        assert!(applied >= 1);
+        assert!(rewritten.nodes().any(|n| n.op == OpKind::ReduceSum));
+        assert!(!rewritten.nodes().any(|n| n.op == OpKind::ReduceProd));
+    }
+
+    #[test]
+    fn reorganize_chain_collapses_to_one_reshape() {
+        let mut g = Graph::new("reorg");
+        let x = g.add_input("X", Shape::new(vec![2, 3, 4]));
+        let r1 = g
+            .add_op(OpKind::Reshape, Attrs::new().with_ints("shape", vec![6, 4]), &[x], "r1")
+            .unwrap()[0];
+        let r2 = g.add_op(OpKind::Flatten, Attrs::new().with_int("axis", 1), &[r1], "r2").unwrap()[0];
+        let relu = g.add_op(OpKind::Relu, Attrs::new(), &[r2], "relu").unwrap()[0];
+        g.mark_output(relu);
+        let inputs: HashMap<String, Tensor> =
+            [("X".to_string(), Tensor::random(Shape::new(vec![2, 3, 4]), 5))].into();
+        let (rewritten, applied) = check_semantics_preserved(&g, &inputs);
+        assert!(applied >= 1);
+        assert_eq!(
+            rewritten
+                .nodes()
+                .filter(|n| REORGANIZE_OPS.contains(&n.op))
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn transpose_pair_cancels_or_merges() {
+        let mut g = Graph::new("tpair");
+        let x = g.add_input("X", Shape::new(vec![2, 3, 4]));
+        let t1 = g
+            .add_op(OpKind::Transpose, Attrs::new().with_ints("perm", vec![1, 2, 0]), &[x], "t1")
+            .unwrap()[0];
+        let t2 = g
+            .add_op(OpKind::Transpose, Attrs::new().with_ints("perm", vec![2, 0, 1]), &[t1], "t2")
+            .unwrap()[0];
+        let relu = g.add_op(OpKind::Relu, Attrs::new(), &[t2], "relu").unwrap()[0];
+        g.mark_output(relu);
+        let inputs: HashMap<String, Tensor> =
+            [("X".to_string(), Tensor::random(Shape::new(vec![2, 3, 4]), 5))].into();
+        let (rewritten, applied) = check_semantics_preserved(&g, &inputs);
+        assert!(applied >= 1);
+        // The two transposes compose to the identity and disappear.
+        assert!(!rewritten.nodes().any(|n| n.op == OpKind::Transpose));
+    }
+
+    #[test]
+    fn identity_nodes_are_removed() {
+        let mut g = Graph::new("id");
+        let x = g.add_input("X", Shape::new(vec![4]));
+        let r = g.add_op(OpKind::Relu, Attrs::new(), &[x], "relu").unwrap()[0];
+        let i = g.add_op(OpKind::Identity, Attrs::new(), &[r], "id").unwrap()[0];
+        let s = g.add_op(OpKind::Sigmoid, Attrs::new(), &[i], "sig").unwrap()[0];
+        g.mark_output(s);
+        let inputs: HashMap<String, Tensor> =
+            [("X".to_string(), Tensor::random(Shape::new(vec![4]), 5))].into();
+        let (rewritten, applied) = check_semantics_preserved(&g, &inputs);
+        assert_eq!(applied, 1);
+        assert_eq!(rewritten.node_count(), 2);
+    }
+
+    #[test]
+    fn rules_do_not_fire_on_multi_consumer_intermediates() {
+        // The Mul result feeds two consumers, so folding it away is illegal.
+        let mut g = Graph::new("fanout");
+        let a = g.add_input("A", shape4());
+        let b = g.add_weight_with_data("B", Tensor::random(shape4(), 1));
+        let ab = g.add_op(OpKind::Mul, Attrs::new(), &[a, b], "ab").unwrap()[0];
+        let r = g.add_op(OpKind::Reciprocal, Attrs::new(), &[ab], "recip").unwrap()[0];
+        let ra = g.add_op(OpKind::Reciprocal, Attrs::new(), &[a], "recip_a").unwrap()[0];
+        let out = g.add_op(OpKind::Mul, Attrs::new(), &[ra, r], "out").unwrap()[0];
+        // Second consumer of the inner Mul.
+        let extra = g.add_op(OpKind::Relu, Attrs::new(), &[ab], "extra").unwrap()[0];
+        g.mark_output(out);
+        g.mark_output(extra);
+        let engine = RewriteEngine::with_default_rules();
+        let (_, applied) = engine.run(&g);
+        assert!(applied.iter().all(|a| a.rule != "assoc.recip-mul"));
+    }
+}

@@ -1,0 +1,84 @@
+//! Graph construction and validation errors.
+
+use std::fmt;
+
+use dnnf_ops::OpError;
+
+/// Errors raised while building or validating a computational graph.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// A referenced value id does not exist in the graph.
+    UnknownValue {
+        /// The offending id (raw index).
+        id: usize,
+    },
+    /// A referenced node id does not exist in the graph.
+    UnknownNode {
+        /// The offending id (raw index).
+        id: usize,
+    },
+    /// Shape inference failed while adding a node.
+    ShapeInference {
+        /// Name of the node being added.
+        node: String,
+        /// Underlying operator error.
+        source: OpError,
+    },
+    /// The graph failed validation (dangling values, cycles, …).
+    Invalid {
+        /// Human-readable explanation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownValue { id } => write!(f, "unknown value id {id}"),
+            GraphError::UnknownNode { id } => write!(f, "unknown node id {id}"),
+            GraphError::ShapeInference { node, source } => {
+                write!(f, "shape inference failed for node `{node}`: {source}")
+            }
+            GraphError::Invalid { reason } => write!(f, "invalid graph: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::ShapeInference { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<OpError> for GraphError {
+    fn from(e: OpError) -> Self {
+        GraphError::ShapeInference { node: "<unnamed>".into(), source: e }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnnf_ops::OpKind;
+
+    #[test]
+    fn display_is_informative() {
+        let e = GraphError::UnknownValue { id: 3 };
+        assert!(e.to_string().contains("3"));
+        let e = GraphError::ShapeInference {
+            node: "conv1".into(),
+            source: OpError::Unsupported { op: OpKind::Einsum },
+        };
+        assert!(e.to_string().contains("conv1"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

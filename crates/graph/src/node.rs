@@ -1,0 +1,68 @@
+//! Graph nodes (operator invocations).
+
+use dnnf_ops::{Attrs, OpKind};
+
+use crate::ValueId;
+
+/// Identifier of a node within its graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// Raw index of this node (stable for the lifetime of the graph).
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// One operator invocation in the computational graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Node {
+    /// Identifier within the graph.
+    pub id: NodeId,
+    /// Human-readable name (layer name).
+    pub name: String,
+    /// The operator performed.
+    pub op: OpKind,
+    /// Operator attributes.
+    pub attrs: Attrs,
+    /// Input values, in operator order.
+    pub inputs: Vec<ValueId>,
+    /// Output values, in operator order.
+    pub outputs: Vec<ValueId>,
+}
+
+impl Node {
+    /// Whether the node is a compute-intensive layer (CIL) in the paper's
+    /// Table 5 terminology.
+    #[must_use]
+    pub fn is_compute_intensive(&self) -> bool {
+        self.op.is_compute_intensive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_cil_follows_op() {
+        let n = Node {
+            id: NodeId(0),
+            name: "conv".into(),
+            op: OpKind::Conv,
+            attrs: Attrs::new(),
+            inputs: vec![],
+            outputs: vec![],
+        };
+        assert!(n.is_compute_intensive());
+        let n = Node { op: OpKind::Relu, ..n };
+        assert!(!n.is_compute_intensive());
+    }
+
+    #[test]
+    fn ids_expose_indices() {
+        assert_eq!(NodeId(4).index(), 4);
+    }
+}

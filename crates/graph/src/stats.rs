@@ -1,0 +1,84 @@
+//! Whole-graph statistics (the quantities reported in the paper's Tables 1
+//! and 5: layer counts, CIL/MIL split, intermediate-result size, FLOPs and
+//! parameter count).
+
+use std::fmt;
+
+/// Summary statistics of a computational graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GraphStats {
+    /// Total number of operator layers.
+    pub total_layers: usize,
+    /// Compute-intensive layers (CIL): Conv/MatMul-like.
+    pub compute_intensive_layers: usize,
+    /// Memory-intensive layers (MIL): everything else.
+    pub memory_intensive_layers: usize,
+    /// Total size of intermediate results (IRS) in bytes, counting every
+    /// non-weight, non-input value once.
+    pub intermediate_bytes: u64,
+    /// Total floating-point operations for one inference.
+    pub flops: u64,
+    /// Total parameter (weight) element count.
+    pub parameters: u64,
+    /// Total parameter size in bytes.
+    pub parameter_bytes: u64,
+}
+
+impl GraphStats {
+    /// Intermediate-result size in mebibytes (the unit of Table 5).
+    #[must_use]
+    pub fn intermediate_mib(&self) -> f64 {
+        self.intermediate_bytes as f64 / (1024.0 * 1024.0)
+    }
+
+    /// FLOPs in units of 10^9 (the unit of Tables 1 and 6).
+    #[must_use]
+    pub fn gflops(&self) -> f64 {
+        self.flops as f64 / 1e9
+    }
+
+    /// Parameter count in millions (the unit of Table 6's `#Params`).
+    #[must_use]
+    pub fn params_millions(&self) -> f64 {
+        self.parameters as f64 / 1e6
+    }
+}
+
+impl fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} layers ({} CIL / {} MIL), {:.1} MiB IRS, {:.2} GFLOPs, {:.2} M params",
+            self.total_layers,
+            self.compute_intensive_layers,
+            self.memory_intensive_layers,
+            self.intermediate_mib(),
+            self.gflops(),
+            self.params_millions()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_conversions() {
+        let s = GraphStats {
+            total_layers: 10,
+            compute_intensive_layers: 4,
+            memory_intensive_layers: 6,
+            intermediate_bytes: 2 * 1024 * 1024,
+            flops: 3_000_000_000,
+            parameters: 5_000_000,
+            parameter_bytes: 20_000_000,
+        };
+        assert!((s.intermediate_mib() - 2.0).abs() < 1e-9);
+        assert!((s.gflops() - 3.0).abs() < 1e-9);
+        assert!((s.params_millions() - 5.0).abs() < 1e-9);
+        let text = s.to_string();
+        assert!(text.contains("10 layers"));
+        assert!(text.contains("4 CIL"));
+    }
+}

@@ -1,0 +1,102 @@
+//! Values (tensors) flowing through the graph.
+
+use dnnf_tensor::{DataType, Shape};
+
+use crate::NodeId;
+
+/// Identifier of a value within its graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ValueId(pub(crate) usize);
+
+impl ValueId {
+    /// Raw index of this value (stable for the lifetime of the graph).
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// The role a value plays in the graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ValueKind {
+    /// A model input (activation fed at inference time).
+    Input,
+    /// A constant weight/parameter baked into the model.
+    Weight,
+    /// An intermediate result produced by one node and consumed by others.
+    Intermediate,
+    /// A graph output (also counted as an intermediate result for memory
+    /// accounting, matching the paper's IRS definition).
+    Output,
+}
+
+/// A tensor value in the graph: shape, dtype, role, producer and consumers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Value {
+    /// Identifier within the graph.
+    pub id: ValueId,
+    /// Human-readable name.
+    pub name: String,
+    /// Inferred (static) shape.
+    pub shape: Shape,
+    /// Element type tag.
+    pub dtype: DataType,
+    /// Role of the value.
+    pub kind: ValueKind,
+    /// The node producing this value (`None` for inputs and weights).
+    pub producer: Option<NodeId>,
+    /// Nodes consuming this value.
+    pub consumers: Vec<NodeId>,
+}
+
+impl Value {
+    /// Size of the value in bytes under its dtype tag.
+    #[must_use]
+    pub fn size_bytes(&self) -> usize {
+        self.shape.size_bytes(self.dtype.size_bytes())
+    }
+
+    /// Whether this value is an intermediate result (including outputs),
+    /// i.e. it contributes to the paper's "IRS size" metric.
+    #[must_use]
+    pub fn is_intermediate(&self) -> bool {
+        matches!(self.kind, ValueKind::Intermediate | ValueKind::Output)
+    }
+
+    /// Whether the value is a constant weight.
+    #[must_use]
+    pub fn is_weight(&self) -> bool {
+        self.kind == ValueKind::Weight
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn value(kind: ValueKind) -> Value {
+        Value {
+            id: ValueId(0),
+            name: "v".into(),
+            shape: Shape::new(vec![2, 3]),
+            dtype: DataType::F32,
+            kind,
+            producer: None,
+            consumers: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn size_bytes_uses_dtype() {
+        assert_eq!(value(ValueKind::Input).size_bytes(), 24);
+    }
+
+    #[test]
+    fn intermediate_classification() {
+        assert!(value(ValueKind::Intermediate).is_intermediate());
+        assert!(value(ValueKind::Output).is_intermediate());
+        assert!(!value(ValueKind::Input).is_intermediate());
+        assert!(!value(ValueKind::Weight).is_intermediate());
+        assert!(value(ValueKind::Weight).is_weight());
+    }
+}

@@ -1,0 +1,208 @@
+//! 3-D CNN models for action recognition: C3D and S3D.
+
+use dnnf_graph::{Graph, GraphError, ValueId};
+use dnnf_ops::{Attrs, OpKind};
+use dnnf_tensor::Shape;
+
+use crate::common::{linear, ModelScale};
+
+/// A 3-D convolution + ReLU layer.
+fn conv3d_relu(
+    g: &mut Graph,
+    input: ValueId,
+    in_ch: usize,
+    out_ch: usize,
+    kernel: [usize; 3],
+    name: &str,
+) -> Result<ValueId, GraphError> {
+    let w = g.add_weight(
+        format!("{name}.w"),
+        Shape::new(vec![out_ch, in_ch, kernel[0], kernel[1], kernel[2]]),
+    );
+    let pads: Vec<i64> = kernel
+        .iter()
+        .map(|&k| (k / 2) as i64)
+        .chain(kernel.iter().map(|&k| (k / 2) as i64))
+        .collect();
+    let conv = g.add_op(
+        OpKind::Conv,
+        Attrs::new().with_ints("pads", pads),
+        &[input, w],
+        format!("{name}.conv"),
+    )?[0];
+    Ok(g.add_op(OpKind::Relu, Attrs::new(), &[conv], format!("{name}.relu"))?[0])
+}
+
+/// A 3-D max pooling layer. The requested kernel is clamped per dimension to
+/// the input's remaining extent, so heavily scaled-down configurations never
+/// produce empty tensors.
+fn pool3d(
+    g: &mut Graph,
+    input: ValueId,
+    kernel: [usize; 3],
+    name: &str,
+) -> Result<ValueId, GraphError> {
+    let dims = g.value(input).shape.dims().to_vec();
+    let k: Vec<i64> = kernel
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| x.min(dims.get(2 + i).copied().unwrap_or(1)).max(1) as i64)
+        .collect();
+    Ok(g.add_op(
+        OpKind::MaxPool,
+        Attrs::new().with_ints("kernel_shape", k.clone()).with_ints("strides", k),
+        &[input],
+        name,
+    )?[0])
+}
+
+/// C3D: eight 3-D convolutions, five poolings and two fully-connected layers
+/// (action recognition). The original has 27 layers (paper Table 5).
+pub fn c3d(scale: ModelScale) -> Result<Graph, GraphError> {
+    let mut g = Graph::new("C3D");
+    let s = scale.spatial.max(16);
+    let frames = 8;
+    let mut x = g.add_input("clip", Shape::new(vec![1, 3, frames, s, s]));
+    let widths = [64usize, 128, 256, 256, 512, 512, 512, 512];
+    let mut ch = 3;
+    // conv1 -> pool1 (spatial only) -> conv2 -> pool2 -> conv3a/b -> pool3 ...
+    x = conv3d_relu(&mut g, x, ch, scale.ch(widths[0]), [3, 3, 3], "conv1")?;
+    ch = scale.ch(widths[0]);
+    x = pool3d(&mut g, x, [1, 2, 2], "pool1")?;
+    x = conv3d_relu(&mut g, x, ch, scale.ch(widths[1]), [3, 3, 3], "conv2")?;
+    ch = scale.ch(widths[1]);
+    x = pool3d(&mut g, x, [2, 2, 2], "pool2")?;
+    for (i, pair) in [(2usize, 3usize), (4, 5), (6, 7)].iter().enumerate() {
+        x = conv3d_relu(&mut g, x, ch, scale.ch(widths[pair.0]), [3, 3, 3], &format!("conv{}a", i + 3))?;
+        ch = scale.ch(widths[pair.0]);
+        x = conv3d_relu(&mut g, x, ch, scale.ch(widths[pair.1]), [3, 3, 3], &format!("conv{}b", i + 3))?;
+        ch = scale.ch(widths[pair.1]);
+        x = pool3d(&mut g, x, [2, 2, 2], &format!("pool{}", i + 3))?;
+    }
+    let flat = g.add_op(OpKind::Flatten, Attrs::new().with_int("axis", 1), &[x], "flatten")?[0];
+    let features = g.value(flat).shape.dim(1);
+    let fc6 = linear(&mut g, flat, features, scale.ch(4096), Some(OpKind::Relu), "fc6")?;
+    let fc7 = linear(&mut g, fc6, scale.ch(4096), scale.ch(101), None, "fc7")?;
+    let probs = g.add_op(OpKind::Softmax, Attrs::new(), &[fc7], "softmax")?[0];
+    g.mark_output(probs);
+    Ok(g)
+}
+
+/// One S3D separable temporal block: a spatial (1,k,k) convolution followed
+/// by a temporal (k,1,1) convolution, each with BN-style scaling and ReLU.
+fn sep_conv3d(
+    g: &mut Graph,
+    input: ValueId,
+    in_ch: usize,
+    out_ch: usize,
+    name: &str,
+) -> Result<ValueId, GraphError> {
+    let spatial = conv3d_relu(g, input, in_ch, out_ch, [1, 3, 3], &format!("{name}.spatial"))?;
+    conv3d_relu(g, spatial, out_ch, out_ch, [3, 1, 1], &format!("{name}.temporal"))
+}
+
+/// An S3D Inception-style branch block: 1x1x1 branch, two separable
+/// branches and a pooled branch, concatenated.
+fn s3d_inception(
+    g: &mut Graph,
+    input: ValueId,
+    in_ch: usize,
+    width: usize,
+    name: &str,
+) -> Result<(ValueId, usize), GraphError> {
+    let b0 = conv3d_relu(g, input, in_ch, width, [1, 1, 1], &format!("{name}.b0"))?;
+    let b1a = conv3d_relu(g, input, in_ch, width, [1, 1, 1], &format!("{name}.b1a"))?;
+    let b1 = sep_conv3d(g, b1a, width, width, &format!("{name}.b1"))?;
+    let b2a = conv3d_relu(g, input, in_ch, width, [1, 1, 1], &format!("{name}.b2a"))?;
+    let b2 = sep_conv3d(g, b2a, width, width, &format!("{name}.b2"))?;
+    let pooled = g.add_op(
+        OpKind::MaxPool,
+        Attrs::new()
+            .with_ints("kernel_shape", vec![3, 3, 3])
+            .with_ints("strides", vec![1, 1, 1])
+            .with_ints("pads", vec![1, 1, 1, 1, 1, 1]),
+        &[input],
+        format!("{name}.pool"),
+    )?[0];
+    let b3 = conv3d_relu(g, pooled, in_ch, width, [1, 1, 1], &format!("{name}.b3"))?;
+    let cat = g.add_op(
+        OpKind::Concat,
+        Attrs::new().with_int("axis", 1),
+        &[b0, b1, b2, b3],
+        format!("{name}.concat"),
+    )?[0];
+    Ok((cat, width * 4))
+}
+
+/// S3D: separable 3-D convolutions arranged in Inception-style blocks
+/// (action recognition).
+pub fn s3d(scale: ModelScale) -> Result<Graph, GraphError> {
+    let mut g = Graph::new("S3D");
+    let s = scale.spatial.max(16);
+    let frames = 8;
+    let input = g.add_input("clip", Shape::new(vec![1, 3, frames, s, s]));
+    let stem_ch = scale.ch(64);
+    let mut x = sep_conv3d(&mut g, input, 3, stem_ch, "stem")?;
+    x = pool3d(&mut g, x, [1, 2, 2], "stem.pool")?;
+    let mut ch = stem_ch;
+    // Inception stages, pooled between groups.
+    let stage_plan: [(usize, usize); 3] = [(2, 64), (3, 128), (2, 256)];
+    for (si, &(blocks, width)) in stage_plan.iter().enumerate() {
+        let blocks = scale.repeats(blocks).max(1);
+        for b in 0..blocks {
+            let (y, c) = s3d_inception(&mut g, x, ch, scale.ch(width), &format!("inc{si}.{b}"))?;
+            x = y;
+            ch = c;
+        }
+        if si + 1 < stage_plan.len() {
+            x = pool3d(&mut g, x, [2, 2, 2], &format!("stage{si}.pool"))?;
+        }
+    }
+    let pooled = g.add_op(OpKind::GlobalAveragePool, Attrs::new(), &[x], "avgpool")?[0];
+    let flat = g.add_op(OpKind::Flatten, Attrs::new().with_int("axis", 1), &[pooled], "flatten")?[0];
+    let logits = linear(&mut g, flat, ch, scale.ch(101), None, "classifier")?;
+    let probs = g.add_op(OpKind::Softmax, Attrs::new(), &[logits], "softmax")?[0];
+    g.mark_output(probs);
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn c3d_matches_the_paper_layer_count_closely() {
+        let g = c3d(ModelScale::tiny()).unwrap();
+        assert!(g.validate().is_ok());
+        // Paper: 27 total layers (11 CIL, 16 MIL).
+        assert!(g.node_count() >= 24 && g.node_count() <= 32, "{}", g.node_count());
+        assert!(g.nodes().any(|n| {
+            n.op == OpKind::Conv && g.value(n.inputs[0]).shape.rank() == 5
+        }));
+    }
+
+    #[test]
+    fn s3d_uses_separable_temporal_convolutions() {
+        let g = s3d(ModelScale::tiny()).unwrap();
+        assert!(g.validate().is_ok());
+        // Separable blocks mean there are (1,3,3) and (3,1,1) kernels.
+        let has_temporal = g.nodes().any(|n| {
+            n.op == OpKind::Conv
+                && g.value(n.inputs[1]).shape.dims().ends_with(&[3, 1, 1])
+        });
+        assert!(has_temporal);
+        assert!(g.node_count() > 60, "{}", g.node_count());
+    }
+
+    #[test]
+    fn s3d_is_deeper_than_c3d_but_less_compute_dense() {
+        let c3d_graph = c3d(ModelScale::tiny()).unwrap();
+        let s3d_graph = s3d(ModelScale::tiny()).unwrap();
+        assert!(s3d_graph.node_count() > 2 * c3d_graph.node_count());
+        let c3d_stats = c3d_graph.stats();
+        let s3d_stats = s3d_graph.stats();
+        let c3d_flops_per_layer = c3d_stats.flops as f64 / c3d_stats.total_layers as f64;
+        let s3d_flops_per_layer = s3d_stats.flops as f64 / s3d_stats.total_layers as f64;
+        assert!(c3d_flops_per_layer > s3d_flops_per_layer);
+    }
+}

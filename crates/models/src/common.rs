@@ -1,0 +1,283 @@
+//! Shared layer-builder helpers used by every model definition.
+
+use dnnf_graph::{Graph, GraphError, ValueId};
+use dnnf_ops::{Attrs, OpKind};
+use dnnf_tensor::Shape;
+
+/// Scaling knobs applied to every model so the structural graphs stay
+/// tractable for a pure-Rust reference runtime while keeping the operator mix
+/// and layer-count proportions of the original networks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModelScale {
+    /// Input spatial resolution for vision models (the paper uses 224–608).
+    pub spatial: usize,
+    /// Divisor applied to channel widths / hidden sizes.
+    pub channel_div: usize,
+    /// Sequence length for NLP models (the paper uses 128).
+    pub seq_len: usize,
+    /// Divisor applied to block/layer repeat counts of the very deep models
+    /// (R-CNNs, transformers keep their layer count at 1).
+    pub depth_div: usize,
+}
+
+impl ModelScale {
+    /// Very small configuration used by unit/integration tests: every model
+    /// builds and executes in milliseconds.
+    #[must_use]
+    pub fn tiny() -> Self {
+        ModelScale { spatial: 16, channel_div: 8, seq_len: 8, depth_div: 4 }
+    }
+
+    /// Reduced configuration used by the benchmark harness: full structural
+    /// depth (layer counts close to the paper's Table 5) with shrunken
+    /// shapes so graph construction, compilation and cost modeling stay fast.
+    #[must_use]
+    pub fn reduced() -> Self {
+        ModelScale { spatial: 32, channel_div: 4, seq_len: 32, depth_div: 1 }
+    }
+
+    /// Scales a channel count, keeping at least 2 channels.
+    #[must_use]
+    pub fn ch(&self, channels: usize) -> usize {
+        (channels / self.channel_div).max(2)
+    }
+
+    /// Scales a hidden size, keeping it a multiple of `heads`.
+    #[must_use]
+    pub fn hidden(&self, hidden: usize, heads: usize) -> usize {
+        let h = (hidden / self.channel_div).max(heads * 2);
+        (h / heads).max(2) * heads
+    }
+
+    /// Scales a repeat count, keeping at least 1.
+    #[must_use]
+    pub fn repeats(&self, count: usize) -> usize {
+        (count / self.depth_div).max(1)
+    }
+}
+
+impl Default for ModelScale {
+    fn default() -> Self {
+        ModelScale::tiny()
+    }
+}
+
+/// Convolution + BatchNormalization + activation, the workhorse block of the
+/// CNN models. Returns the activation output.
+#[allow(clippy::too_many_arguments)]
+pub fn conv_bn_act(
+    g: &mut Graph,
+    input: ValueId,
+    in_ch: usize,
+    out_ch: usize,
+    kernel: usize,
+    stride: usize,
+    groups: usize,
+    act: Option<OpKind>,
+    name: &str,
+) -> Result<ValueId, GraphError> {
+    let pad = (kernel / 2) as i64;
+    let w = g.add_weight(
+        format!("{name}.w"),
+        Shape::new(vec![out_ch, in_ch / groups, kernel, kernel]),
+    );
+    let mut attrs = Attrs::new()
+        .with_ints("strides", vec![stride as i64, stride as i64])
+        .with_ints("pads", vec![pad, pad, pad, pad]);
+    if groups > 1 {
+        attrs = attrs.with_int("group", groups as i64);
+    }
+    let conv = g.add_op(OpKind::Conv, attrs, &[input, w], format!("{name}.conv"))?[0];
+    let bn = batch_norm(g, conv, out_ch, name)?;
+    match act {
+        Some(op) => Ok(g.add_op(op, Attrs::new(), &[bn], format!("{name}.act"))?[0]),
+        None => Ok(bn),
+    }
+}
+
+/// Inference-form BatchNormalization over `channels`.
+pub fn batch_norm(
+    g: &mut Graph,
+    input: ValueId,
+    channels: usize,
+    name: &str,
+) -> Result<ValueId, GraphError> {
+    let c = Shape::new(vec![channels]);
+    let scale = g.add_weight(format!("{name}.bn.scale"), c.clone());
+    let bias = g.add_weight(format!("{name}.bn.bias"), c.clone());
+    let mean = g.add_weight(format!("{name}.bn.mean"), c.clone());
+    let var = g.add_weight(format!("{name}.bn.var"), c);
+    Ok(g.add_op(
+        OpKind::BatchNormalization,
+        Attrs::new().with_float("epsilon", 1e-5),
+        &[input, scale, bias, mean, var],
+        format!("{name}.bn"),
+    )?[0])
+}
+
+/// 2-D max pooling.
+pub fn max_pool(
+    g: &mut Graph,
+    input: ValueId,
+    kernel: usize,
+    stride: usize,
+    name: &str,
+) -> Result<ValueId, GraphError> {
+    Ok(g.add_op(
+        OpKind::MaxPool,
+        Attrs::new()
+            .with_ints("kernel_shape", vec![kernel as i64, kernel as i64])
+            .with_ints("strides", vec![stride as i64, stride as i64]),
+        &[input],
+        name,
+    )?[0])
+}
+
+/// Fully connected layer (`MatMul` + bias `Add`) with an optional activation.
+pub fn linear(
+    g: &mut Graph,
+    input: ValueId,
+    in_features: usize,
+    out_features: usize,
+    act: Option<OpKind>,
+    name: &str,
+) -> Result<ValueId, GraphError> {
+    let w = g.add_weight(format!("{name}.w"), Shape::new(vec![in_features, out_features]));
+    let b = g.add_weight(format!("{name}.b"), Shape::new(vec![out_features]));
+    let mm = g.add_op(OpKind::MatMul, Attrs::new(), &[input, w], format!("{name}.matmul"))?[0];
+    let biased = g.add_op(OpKind::Add, Attrs::new(), &[mm, b], format!("{name}.bias"))?[0];
+    match act {
+        Some(op) => Ok(g.add_op(op, Attrs::new(), &[biased], format!("{name}.act"))?[0]),
+        None => Ok(biased),
+    }
+}
+
+/// Layer normalization decomposed into primitive operators, the way mobile
+/// exporters emit it (the paper's "Sub + Pow + ReduceMean + Add + Sqrt"
+/// TinyBERT example). Returns the normalized output.
+pub fn layer_norm_decomposed(
+    g: &mut Graph,
+    input: ValueId,
+    features: usize,
+    name: &str,
+) -> Result<ValueId, GraphError> {
+    let mean = g.add_op(
+        OpKind::ReduceMean,
+        Attrs::new().with_ints("axes", vec![-1]).with_int("keepdims", 1),
+        &[input],
+        format!("{name}.mean"),
+    )?[0];
+    let centered = g.add_op(OpKind::Sub, Attrs::new(), &[input, mean], format!("{name}.sub"))?[0];
+    let squared = g.add_op(OpKind::Square, Attrs::new(), &[centered], format!("{name}.sq"))?[0];
+    let var = g.add_op(
+        OpKind::ReduceMean,
+        Attrs::new().with_ints("axes", vec![-1]).with_int("keepdims", 1),
+        &[squared],
+        format!("{name}.var"),
+    )?[0];
+    let eps = g.add_weight(format!("{name}.eps"), Shape::new(vec![1]));
+    let shifted = g.add_op(OpKind::Add, Attrs::new(), &[var, eps], format!("{name}.addeps"))?[0];
+    let std = g.add_op(OpKind::Sqrt, Attrs::new(), &[shifted], format!("{name}.sqrt"))?[0];
+    let normed = g.add_op(OpKind::Div, Attrs::new(), &[centered, std], format!("{name}.div"))?[0];
+    let gamma = g.add_weight(format!("{name}.gamma"), Shape::new(vec![features]));
+    let beta = g.add_weight(format!("{name}.beta"), Shape::new(vec![features]));
+    let scaled = g.add_op(OpKind::Mul, Attrs::new(), &[normed, gamma], format!("{name}.scale"))?[0];
+    Ok(g.add_op(OpKind::Add, Attrs::new(), &[scaled, beta], format!("{name}.shift"))?[0])
+}
+
+/// GELU decomposed into primitive operators (`0.5 * x * (1 + Erf(x / √2))`).
+pub fn gelu_decomposed(
+    g: &mut Graph,
+    input: ValueId,
+    name: &str,
+) -> Result<ValueId, GraphError> {
+    let inv_sqrt2 = g.add_weight(format!("{name}.inv_sqrt2"), Shape::new(vec![1]));
+    let scaled = g.add_op(OpKind::Mul, Attrs::new(), &[input, inv_sqrt2], format!("{name}.scale"))?[0];
+    let erf = g.add_op(OpKind::Erf, Attrs::new(), &[scaled], format!("{name}.erf"))?[0];
+    let one = g.add_weight(format!("{name}.one"), Shape::new(vec![1]));
+    let shifted = g.add_op(OpKind::Add, Attrs::new(), &[erf, one], format!("{name}.add1"))?[0];
+    let half = g.add_weight(format!("{name}.half"), Shape::new(vec![1]));
+    let halved = g.add_op(OpKind::Mul, Attrs::new(), &[shifted, half], format!("{name}.half"))?[0];
+    Ok(g.add_op(OpKind::Mul, Attrs::new(), &[input, halved], format!("{name}.mul"))?[0])
+}
+
+/// Softmax decomposed into primitive operators (max-subtract, exp, sum, div).
+pub fn softmax_decomposed(
+    g: &mut Graph,
+    input: ValueId,
+    name: &str,
+) -> Result<ValueId, GraphError> {
+    let max = g.add_op(
+        OpKind::ReduceMax,
+        Attrs::new().with_ints("axes", vec![-1]).with_int("keepdims", 1),
+        &[input],
+        format!("{name}.max"),
+    )?[0];
+    let shifted = g.add_op(OpKind::Sub, Attrs::new(), &[input, max], format!("{name}.sub"))?[0];
+    let exp = g.add_op(OpKind::Exp, Attrs::new(), &[shifted], format!("{name}.exp"))?[0];
+    let sum = g.add_op(
+        OpKind::ReduceSum,
+        Attrs::new().with_ints("axes", vec![-1]).with_int("keepdims", 1),
+        &[exp],
+        format!("{name}.sum"),
+    )?[0];
+    Ok(g.add_op(OpKind::Div, Attrs::new(), &[exp, sum], format!("{name}.div"))?[0])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_helpers_clamp_sanely() {
+        let s = ModelScale::tiny();
+        assert!(s.ch(64) >= 2);
+        assert_eq!(s.repeats(8), 2);
+        assert_eq!(s.hidden(768, 4) % 4, 0);
+        let r = ModelScale::reduced();
+        assert!(r.ch(64) > s.ch(64));
+        assert_eq!(ModelScale::default(), ModelScale::tiny());
+    }
+
+    #[test]
+    fn conv_bn_act_produces_expected_shape() {
+        let mut g = Graph::new("t");
+        let x = g.add_input("x", Shape::new(vec![1, 4, 8, 8]));
+        let y = conv_bn_act(&mut g, x, 4, 8, 3, 2, 1, Some(OpKind::Relu), "b0").unwrap();
+        g.mark_output(y);
+        assert_eq!(g.value(y).shape.dims(), &[1, 8, 4, 4]);
+        assert!(g.validate().is_ok());
+        // Conv + BN + activation = 3 layers.
+        assert_eq!(g.node_count(), 3);
+    }
+
+    #[test]
+    fn depthwise_conv_uses_groups() {
+        let mut g = Graph::new("dw");
+        let x = g.add_input("x", Shape::new(vec![1, 8, 8, 8]));
+        let y = conv_bn_act(&mut g, x, 8, 8, 3, 1, 8, Some(OpKind::Relu), "dw").unwrap();
+        g.mark_output(y);
+        assert_eq!(g.value(y).shape.dims(), &[1, 8, 8, 8]);
+    }
+
+    #[test]
+    fn linear_and_layer_norm_shapes() {
+        let mut g = Graph::new("t");
+        let x = g.add_input("x", Shape::new(vec![2, 16]));
+        let y = linear(&mut g, x, 16, 32, Some(OpKind::Relu), "fc").unwrap();
+        let z = layer_norm_decomposed(&mut g, y, 32, "ln").unwrap();
+        g.mark_output(z);
+        assert_eq!(g.value(z).shape.dims(), &[2, 32]);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn decomposed_softmax_and_gelu_preserve_shape() {
+        let mut g = Graph::new("t");
+        let x = g.add_input("x", Shape::new(vec![2, 4, 8]));
+        let s = softmax_decomposed(&mut g, x, "sm").unwrap();
+        let ge = gelu_decomposed(&mut g, s, "gelu").unwrap();
+        g.mark_output(ge);
+        assert_eq!(g.value(ge).shape.dims(), &[2, 4, 8]);
+    }
+}

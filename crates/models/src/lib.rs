@@ -1,0 +1,310 @@
+//! Structural re-implementations of the 15 DNN models evaluated by
+//! DNNFusion (paper Table 5 / Table 6).
+//!
+//! Each builder reproduces the original network's *structure* — operator
+//! mix, connectivity, depth and layer-count proportions — with random
+//! weights and scaled-down shapes (see [`ModelScale`]). The paper itself
+//! notes that datasets and accuracy are irrelevant to its latency
+//! evaluation; what matters to the fusion experiments is exactly the
+//! structure preserved here.
+//!
+//! # Example
+//!
+//! ```
+//! use dnnf_models::{ModelKind, ModelScale};
+//!
+//! let graph = ModelKind::Vgg16.build(ModelScale::tiny()).unwrap();
+//! assert!(graph.node_count() > 40);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod common;
+mod cnn2d;
+mod cnn3d;
+mod rcnn;
+mod transformer;
+
+use std::fmt;
+
+use dnnf_graph::{Graph, GraphError};
+
+pub use common::ModelScale;
+pub use transformer::{transformer, TransformerConfig};
+
+/// The kind of task a model targets (column "Task" of Table 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Task {
+    /// Image classification.
+    ImageClassification,
+    /// Object detection.
+    ObjectDetection,
+    /// Action recognition (video).
+    ActionRecognition,
+    /// Image segmentation.
+    ImageSegmentation,
+    /// Natural language processing.
+    Nlp,
+}
+
+impl fmt::Display for Task {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Task::ImageClassification => "Image classification",
+            Task::ObjectDetection => "Object detection",
+            Task::ActionRecognition => "Action recognition",
+            Task::ImageSegmentation => "Image segmentation",
+            Task::Nlp => "NLP",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Architectural family (column "Type" of Table 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelFamily {
+    /// 2-D convolutional network.
+    Cnn2d,
+    /// 3-D convolutional network.
+    Cnn3d,
+    /// Region-proposal CNN.
+    Rcnn,
+    /// Transformer.
+    Transformer,
+}
+
+impl fmt::Display for ModelFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ModelFamily::Cnn2d => "2D CNN",
+            ModelFamily::Cnn3d => "3D CNN",
+            ModelFamily::Rcnn => "R-CNN",
+            ModelFamily::Transformer => "Transformer",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Reference numbers reported by the paper for a model (used when printing
+/// the reproduced tables next to the published ones).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperReference {
+    /// Total layer count (Table 5, "#Total layer").
+    pub total_layers: usize,
+    /// Compute-intensive layer count (Table 5, "#CIL").
+    pub compute_intensive_layers: usize,
+    /// Fused layer count achieved by DNNFusion (Table 5, "DNNF").
+    pub dnnf_fused_layers: usize,
+    /// FLOPs in billions (Table 6, "#FLOPS").
+    pub flops_b: f64,
+    /// Parameters in millions (Table 6, "#Params").
+    pub params_m: f64,
+}
+
+/// The 15 models of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum ModelKind {
+    EfficientNetB0,
+    Vgg16,
+    MobileNetV1Ssd,
+    YoloV4,
+    C3d,
+    S3d,
+    UNet,
+    FasterRcnn,
+    MaskRcnn,
+    TinyBert,
+    DistilBert,
+    Albert,
+    BertBase,
+    MobileBert,
+    Gpt2,
+}
+
+impl ModelKind {
+    /// All 15 models, in the order of the paper's Table 5.
+    #[must_use]
+    pub fn all() -> &'static [ModelKind] {
+        use ModelKind::*;
+        &[
+            EfficientNetB0,
+            Vgg16,
+            MobileNetV1Ssd,
+            YoloV4,
+            C3d,
+            S3d,
+            UNet,
+            FasterRcnn,
+            MaskRcnn,
+            TinyBert,
+            DistilBert,
+            Albert,
+            BertBase,
+            MobileBert,
+            Gpt2,
+        ]
+    }
+
+    /// Display name as used in the paper's tables.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        use ModelKind::*;
+        match self {
+            EfficientNetB0 => "EfficientNet-B0",
+            Vgg16 => "VGG-16",
+            MobileNetV1Ssd => "MobileNetV1-SSD",
+            YoloV4 => "YOLO-V4",
+            C3d => "C3D",
+            S3d => "S3D",
+            UNet => "U-Net",
+            FasterRcnn => "Faster R-CNN",
+            MaskRcnn => "Mask R-CNN",
+            TinyBert => "TinyBERT",
+            DistilBert => "DistilBERT",
+            Albert => "ALBERT",
+            BertBase => "BERTBase",
+            MobileBert => "MobileBERT",
+            Gpt2 => "GPT-2",
+        }
+    }
+
+    /// Architectural family.
+    #[must_use]
+    pub fn family(self) -> ModelFamily {
+        use ModelKind::*;
+        match self {
+            EfficientNetB0 | Vgg16 | MobileNetV1Ssd | YoloV4 | UNet => ModelFamily::Cnn2d,
+            C3d | S3d => ModelFamily::Cnn3d,
+            FasterRcnn | MaskRcnn => ModelFamily::Rcnn,
+            TinyBert | DistilBert | Albert | BertBase | MobileBert | Gpt2 => {
+                ModelFamily::Transformer
+            }
+        }
+    }
+
+    /// Task the model targets.
+    #[must_use]
+    pub fn task(self) -> Task {
+        use ModelKind::*;
+        match self {
+            EfficientNetB0 | Vgg16 => Task::ImageClassification,
+            MobileNetV1Ssd | YoloV4 => Task::ObjectDetection,
+            C3d | S3d => Task::ActionRecognition,
+            UNet | FasterRcnn | MaskRcnn => Task::ImageSegmentation,
+            _ => Task::Nlp,
+        }
+    }
+
+    /// The paper's published reference numbers for this model.
+    #[must_use]
+    pub fn paper_reference(self) -> PaperReference {
+        use ModelKind::*;
+        let (total_layers, cil, dnnf, flops_b, params_m) = match self {
+            EfficientNetB0 => (309, 82, 97, 0.8, 5.3),
+            Vgg16 => (51, 16, 17, 31.0, 138.0),
+            MobileNetV1Ssd => (202, 16, 71, 3.0, 9.5),
+            YoloV4 => (398, 106, 135, 34.6, 64.0),
+            C3d => (27, 11, 16, 77.0, 78.0),
+            S3d => (272, 77, 98, 79.6, 8.0),
+            UNet => (292, 44, 82, 15.0, 2.1),
+            FasterRcnn => (3640, 177, 942, 47.0, 41.0),
+            MaskRcnn => (3999, 187, 981, 184.0, 44.0),
+            TinyBert => (366, 37, 74, 4.1, 15.0),
+            DistilBert => (457, 55, 109, 35.5, 66.0),
+            Albert => (936, 98, 225, 65.7, 83.0),
+            BertBase => (976, 109, 216, 67.3, 108.0),
+            MobileBert => (2387, 434, 510, 17.6, 25.0),
+            Gpt2 => (2533, 84, 254, 69.1, 125.0),
+        };
+        PaperReference {
+            total_layers,
+            compute_intensive_layers: cil,
+            dnnf_fused_layers: dnnf,
+            flops_b,
+            params_m,
+        }
+    }
+
+    /// Builds the model's computational graph at the given scale.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GraphError`] if construction fails (which would indicate a
+    /// bug in the builder).
+    pub fn build(self, scale: ModelScale) -> Result<Graph, GraphError> {
+        use ModelKind::*;
+        match self {
+            EfficientNetB0 => cnn2d::efficientnet_b0(scale),
+            Vgg16 => cnn2d::vgg16(scale),
+            MobileNetV1Ssd => cnn2d::mobilenet_v1_ssd(scale),
+            YoloV4 => cnn2d::yolo_v4(scale),
+            C3d => cnn3d::c3d(scale),
+            S3d => cnn3d::s3d(scale),
+            UNet => cnn2d::unet(scale),
+            FasterRcnn => rcnn::faster_rcnn(scale),
+            MaskRcnn => rcnn::mask_rcnn(scale),
+            TinyBert => transformer(TransformerConfig::tiny_bert(), scale),
+            DistilBert => transformer(TransformerConfig::distil_bert(), scale),
+            Albert => transformer(TransformerConfig::albert(), scale),
+            BertBase => transformer(TransformerConfig::bert_base(), scale),
+            MobileBert => transformer(TransformerConfig::mobile_bert(), scale),
+            Gpt2 => transformer(TransformerConfig::gpt2(), scale),
+        }
+    }
+}
+
+impl fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_model_builds_and_validates_at_tiny_scale() {
+        for &kind in ModelKind::all() {
+            let graph = kind.build(ModelScale::tiny()).unwrap();
+            assert!(graph.validate().is_ok(), "{kind} failed validation");
+            assert!(graph.node_count() > 10, "{kind} is too small");
+            assert!(!graph.outputs().is_empty(), "{kind} has no outputs");
+        }
+    }
+
+    #[test]
+    fn metadata_covers_all_fifteen_models() {
+        assert_eq!(ModelKind::all().len(), 15);
+        for &kind in ModelKind::all() {
+            let reference = kind.paper_reference();
+            assert!(reference.total_layers > 0);
+            assert!(reference.dnnf_fused_layers < reference.total_layers);
+            assert!(!kind.name().is_empty());
+            let _ = kind.task();
+            let _ = kind.family();
+        }
+    }
+
+    #[test]
+    fn layer_count_proportions_track_the_paper() {
+        // Deeper paper models should produce deeper structural graphs; check
+        // a few representative orderings from Table 5.
+        let count = |k: ModelKind| k.build(ModelScale::tiny()).unwrap().node_count();
+        assert!(count(ModelKind::Vgg16) < count(ModelKind::EfficientNetB0));
+        assert!(count(ModelKind::C3d) < count(ModelKind::S3d));
+        assert!(count(ModelKind::TinyBert) < count(ModelKind::BertBase));
+        assert!(count(ModelKind::BertBase) < count(ModelKind::MobileBert));
+        assert!(count(ModelKind::UNet) < count(ModelKind::FasterRcnn));
+    }
+
+    #[test]
+    fn transformers_are_memory_intensive_and_cnns_compute_intensive() {
+        let bert = ModelKind::BertBase.build(ModelScale::tiny()).unwrap().stats();
+        let vgg = ModelKind::Vgg16.build(ModelScale::tiny()).unwrap().stats();
+        let bert_mil_ratio = bert.memory_intensive_layers as f64 / bert.total_layers as f64;
+        let vgg_mil_ratio = vgg.memory_intensive_layers as f64 / vgg.total_layers as f64;
+        assert!(bert_mil_ratio > vgg_mil_ratio);
+    }
+}

@@ -1,0 +1,225 @@
+//! Operator attributes (ONNX-style).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A single attribute value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    /// Integer attribute (e.g. `axis`).
+    Int(i64),
+    /// Float attribute (e.g. `epsilon`, `alpha`).
+    Float(f32),
+    /// Integer-list attribute (e.g. `strides`, `pads`, `perm`).
+    Ints(Vec<i64>),
+    /// Float-list attribute.
+    Floats(Vec<f32>),
+    /// String attribute (e.g. `mode` for `Resize`).
+    Str(String),
+}
+
+impl fmt::Display for AttrValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrValue::Int(v) => write!(f, "{v}"),
+            AttrValue::Float(v) => write!(f, "{v}"),
+            AttrValue::Ints(v) => write!(f, "{v:?}"),
+            AttrValue::Floats(v) => write!(f, "{v:?}"),
+            AttrValue::Str(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// An ordered map of operator attributes.
+///
+/// # Example
+///
+/// ```
+/// use dnnf_ops::Attrs;
+///
+/// let attrs = Attrs::new().with_ints("strides", vec![2, 2]).with_int("group", 1);
+/// assert_eq!(attrs.ints_or("strides", &[1, 1]), vec![2, 2]);
+/// assert_eq!(attrs.int_or("group", 0), 1);
+/// assert_eq!(attrs.int_or("missing", 7), 7);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Attrs {
+    values: BTreeMap<String, AttrValue>,
+}
+
+impl Attrs {
+    /// Creates an empty attribute map.
+    #[must_use]
+    pub fn new() -> Self {
+        Attrs::default()
+    }
+
+    /// Number of attributes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the map holds no attributes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Inserts an attribute, replacing any previous value under `name`.
+    pub fn set(&mut self, name: impl Into<String>, value: AttrValue) {
+        self.values.insert(name.into(), value);
+    }
+
+    /// Builder-style integer attribute.
+    #[must_use]
+    pub fn with_int(mut self, name: impl Into<String>, value: i64) -> Self {
+        self.set(name, AttrValue::Int(value));
+        self
+    }
+
+    /// Builder-style float attribute.
+    #[must_use]
+    pub fn with_float(mut self, name: impl Into<String>, value: f32) -> Self {
+        self.set(name, AttrValue::Float(value));
+        self
+    }
+
+    /// Builder-style integer-list attribute.
+    #[must_use]
+    pub fn with_ints(mut self, name: impl Into<String>, value: Vec<i64>) -> Self {
+        self.set(name, AttrValue::Ints(value));
+        self
+    }
+
+    /// Builder-style float-list attribute.
+    #[must_use]
+    pub fn with_floats(mut self, name: impl Into<String>, value: Vec<f32>) -> Self {
+        self.set(name, AttrValue::Floats(value));
+        self
+    }
+
+    /// Builder-style string attribute.
+    #[must_use]
+    pub fn with_str(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.set(name, AttrValue::Str(value.into()));
+        self
+    }
+
+    /// Raw lookup.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&AttrValue> {
+        self.values.get(name)
+    }
+
+    /// Integer attribute or a default when absent or of a different kind.
+    #[must_use]
+    pub fn int_or(&self, name: &str, default: i64) -> i64 {
+        match self.values.get(name) {
+            Some(AttrValue::Int(v)) => *v,
+            _ => default,
+        }
+    }
+
+    /// Float attribute or a default when absent or of a different kind.
+    #[must_use]
+    pub fn float_or(&self, name: &str, default: f32) -> f32 {
+        match self.values.get(name) {
+            Some(AttrValue::Float(v)) => *v,
+            _ => default,
+        }
+    }
+
+    /// Integer-list attribute or a default when absent or of a different kind.
+    #[must_use]
+    pub fn ints_or(&self, name: &str, default: &[i64]) -> Vec<i64> {
+        match self.values.get(name) {
+            Some(AttrValue::Ints(v)) => v.clone(),
+            _ => default.to_vec(),
+        }
+    }
+
+    /// String attribute or a default when absent or of a different kind.
+    #[must_use]
+    pub fn str_or(&self, name: &str, default: &str) -> String {
+        match self.values.get(name) {
+            Some(AttrValue::Str(v)) => v.clone(),
+            _ => default.to_string(),
+        }
+    }
+
+    /// Iterates over `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &AttrValue)> {
+        self.values.iter()
+    }
+
+    /// A stable textual fingerprint of the attributes, used as part of the
+    /// profiling-database key.
+    #[must_use]
+    pub fn fingerprint(&self) -> String {
+        let mut s = String::new();
+        for (k, v) in &self.values {
+            s.push_str(k);
+            s.push('=');
+            s.push_str(&v.to_string());
+            s.push(';');
+        }
+        s
+    }
+}
+
+impl FromIterator<(String, AttrValue)> for Attrs {
+    fn from_iter<I: IntoIterator<Item = (String, AttrValue)>>(iter: I) -> Self {
+        Attrs { values: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_typed_accessors() {
+        let a = Attrs::new()
+            .with_int("axis", -1)
+            .with_float("epsilon", 1e-5)
+            .with_ints("pads", vec![1, 1, 1, 1])
+            .with_str("mode", "nearest");
+        assert_eq!(a.int_or("axis", 0), -1);
+        assert!((a.float_or("epsilon", 0.0) - 1e-5).abs() < 1e-12);
+        assert_eq!(a.ints_or("pads", &[]), vec![1, 1, 1, 1]);
+        assert_eq!(a.str_or("mode", "linear"), "nearest");
+        assert_eq!(a.len(), 4);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn defaults_apply_for_missing_or_mistyped() {
+        let a = Attrs::new().with_int("axis", 2);
+        assert_eq!(a.int_or("missing", 5), 5);
+        assert_eq!(a.float_or("axis", 1.5), 1.5);
+        assert_eq!(a.ints_or("axis", &[9]), vec![9]);
+    }
+
+    #[test]
+    fn fingerprint_is_order_independent() {
+        let a = Attrs::new().with_int("a", 1).with_int("b", 2);
+        let b = Attrs::new().with_int("b", 2).with_int("a", 1);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert!(a.fingerprint().contains("a=1"));
+    }
+
+    #[test]
+    fn set_replaces_previous_value() {
+        let mut a = Attrs::new().with_int("axis", 1);
+        a.set("axis", AttrValue::Int(3));
+        assert_eq!(a.int_or("axis", 0), 3);
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn from_iterator_collects_pairs() {
+        let a: Attrs = vec![("k".to_string(), AttrValue::Int(1))].into_iter().collect();
+        assert_eq!(a.int_or("k", 0), 1);
+    }
+}

@@ -1,0 +1,101 @@
+//! Error type for operator shape inference and execution.
+
+use std::fmt;
+
+use dnnf_tensor::TensorError;
+
+use crate::OpKind;
+
+/// Errors raised by shape inference, cost estimation or kernel execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OpError {
+    /// The operator received the wrong number of inputs.
+    ArityMismatch {
+        /// Operator concerned.
+        op: OpKind,
+        /// Expected input count (minimum).
+        expected: usize,
+        /// Actual input count.
+        actual: usize,
+    },
+    /// An input shape is invalid for the operator.
+    InvalidShape {
+        /// Operator concerned.
+        op: OpKind,
+        /// Human-readable explanation.
+        reason: String,
+    },
+    /// A required attribute is missing or malformed.
+    InvalidAttribute {
+        /// Operator concerned.
+        op: OpKind,
+        /// Attribute name.
+        name: String,
+        /// Human-readable explanation.
+        reason: String,
+    },
+    /// The reference kernel for this operator is not implemented.
+    Unsupported {
+        /// Operator concerned.
+        op: OpKind,
+    },
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+}
+
+impl fmt::Display for OpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpError::ArityMismatch { op, expected, actual } => {
+                write!(f, "{op} expects at least {expected} inputs, got {actual}")
+            }
+            OpError::InvalidShape { op, reason } => write!(f, "{op}: invalid shape: {reason}"),
+            OpError::InvalidAttribute { op, name, reason } => {
+                write!(f, "{op}: invalid attribute `{name}`: {reason}")
+            }
+            OpError::Unsupported { op } => write!(f, "{op}: reference kernel not implemented"),
+            OpError::Tensor(e) => write!(f, "tensor error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for OpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OpError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for OpError {
+    fn from(e: TensorError) -> Self {
+        OpError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_operator() {
+        let e = OpError::ArityMismatch { op: OpKind::Conv, expected: 2, actual: 1 };
+        assert!(e.to_string().contains("Conv"));
+        let e = OpError::Unsupported { op: OpKind::Einsum };
+        assert!(e.to_string().contains("not implemented"));
+    }
+
+    #[test]
+    fn tensor_errors_convert() {
+        let te = TensorError::ReshapeMismatch { from: 2, to: 3 };
+        let oe: OpError = te.clone().into();
+        assert_eq!(oe, OpError::Tensor(te));
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<OpError>();
+    }
+}

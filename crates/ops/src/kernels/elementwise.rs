@@ -1,0 +1,85 @@
+//! Element-wise unary, binary and ternary kernels.
+
+use dnnf_tensor::{broadcast_index, broadcast_shapes, Tensor};
+
+use crate::{Attrs, OpError, OpKind};
+
+/// Applies a unary element-wise operator.
+pub fn unary(op: OpKind, attrs: &Attrs, x: &Tensor) -> Tensor {
+    x.map(|v| op.scalar_unary(v, attrs).expect("caller checked op is unary"))
+}
+
+/// Applies a binary element-wise operator with ONNX broadcasting.
+pub fn binary(op: OpKind, a: &Tensor, b: &Tensor) -> Result<Tensor, OpError> {
+    a.zip_broadcast(b, |x, y| op.scalar_binary(x, y).expect("caller checked op is binary"))
+        .map_err(OpError::from)
+}
+
+/// `Where(cond, x, y)`: selects `x` where `cond != 0`, `y` elsewhere, with
+/// full three-way broadcasting.
+pub fn where_select(cond: &Tensor, x: &Tensor, y: &Tensor) -> Result<Tensor, OpError> {
+    let shape = broadcast_shapes(
+        &broadcast_shapes(cond.shape(), x.shape())?,
+        y.shape(),
+    )?;
+    let mut out = Tensor::zeros(shape.clone());
+    for offset in 0..shape.numel() {
+        let idx = shape.multi_index(offset);
+        let c = cond.at(&broadcast_index(&idx, cond.shape()))?;
+        let v = if c != 0.0 {
+            x.at(&broadcast_index(&idx, x.shape()))?
+        } else {
+            y.at(&broadcast_index(&idx, y.shape()))?
+        };
+        out.data_mut()[offset] = v;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnnf_tensor::Shape;
+
+    #[test]
+    fn unary_relu_and_sigmoid() {
+        let x = Tensor::from_vec(Shape::new(vec![4]), vec![-2.0, -0.5, 0.0, 3.0]).unwrap();
+        let y = unary(OpKind::Relu, &Attrs::new(), &x);
+        assert_eq!(y.data(), &[0.0, 0.0, 0.0, 3.0]);
+        let y = unary(OpKind::Sigmoid, &Attrs::new(), &x);
+        assert!((y.data()[2] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn binary_broadcast_add() {
+        let a = Tensor::arange(Shape::new(vec![2, 3]));
+        let b = Tensor::from_vec(Shape::new(vec![1, 3]), vec![1.0, 2.0, 3.0]).unwrap();
+        let y = binary(OpKind::Add, &a, &b).unwrap();
+        assert_eq!(y.data(), &[1.0, 3.0, 5.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn binary_rejects_incompatible_shapes() {
+        let a = Tensor::zeros(Shape::new(vec![2]));
+        let b = Tensor::zeros(Shape::new(vec![3]));
+        assert!(binary(OpKind::Mul, &a, &b).is_err());
+    }
+
+    #[test]
+    fn where_selects_per_element() {
+        let cond = Tensor::from_vec(Shape::new(vec![3]), vec![1.0, 0.0, 1.0]).unwrap();
+        let x = Tensor::full(Shape::new(vec![3]), 7.0);
+        let y = Tensor::full(Shape::new(vec![3]), -1.0);
+        let out = where_select(&cond, &x, &y).unwrap();
+        assert_eq!(out.data(), &[7.0, -1.0, 7.0]);
+    }
+
+    #[test]
+    fn where_broadcasts_condition() {
+        let cond = Tensor::from_vec(Shape::new(vec![2, 1]), vec![1.0, 0.0]).unwrap();
+        let x = Tensor::full(Shape::new(vec![2, 3]), 1.0);
+        let y = Tensor::full(Shape::new(vec![2, 3]), 2.0);
+        let out = where_select(&cond, &x, &y).unwrap();
+        assert_eq!(out.data(), &[1.0, 1.0, 1.0, 2.0, 2.0, 2.0]);
+    }
+}

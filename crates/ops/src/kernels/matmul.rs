@@ -1,0 +1,150 @@
+//! GEMM and batched matrix multiplication kernels.
+
+use dnnf_tensor::{broadcast_index, Shape, Tensor};
+
+use crate::{Attrs, OpError, OpKind};
+
+/// ONNX `Gemm`: `alpha * op(A) * op(B) + beta * C`.
+pub fn gemm(attrs: &Attrs, inputs: &[&Tensor], out_shape: &Shape) -> Result<Tensor, OpError> {
+    let a = inputs[0];
+    let b = inputs[1];
+    let alpha = attrs.float_or("alpha", 1.0);
+    let beta = attrs.float_or("beta", 1.0);
+    let trans_a = attrs.int_or("transA", 0) != 0;
+    let trans_b = attrs.int_or("transB", 0) != 0;
+    let m = out_shape.dim(0);
+    let n = out_shape.dim(1);
+    let k = if trans_a { a.shape().dim(0) } else { a.shape().dim(1) };
+
+    let mut out = Tensor::zeros(out_shape.clone());
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                let av = if trans_a { a.at(&[p, i])? } else { a.at(&[i, p])? };
+                let bv = if trans_b { b.at(&[j, p])? } else { b.at(&[p, j])? };
+                acc += av * bv;
+            }
+            let mut v = alpha * acc;
+            if let Some(c) = inputs.get(2) {
+                let idx = broadcast_index(&[i, j], c.shape());
+                v += beta * c.at(&idx)?;
+            }
+            out.set(&[i, j], v)?;
+        }
+    }
+    Ok(out)
+}
+
+/// Batched `MatMul` with broadcasting over the batch dimensions.
+pub fn matmul(a: &Tensor, b: &Tensor, out_shape: &Shape) -> Result<Tensor, OpError> {
+    let a_shape = a.shape();
+    let b_shape = b.shape();
+    if a_shape.rank() < 2 || b_shape.rank() < 2 {
+        return Err(OpError::InvalidShape {
+            op: OpKind::MatMul,
+            reason: "operands must be rank >= 2".into(),
+        });
+    }
+    let m = out_shape.dim(out_shape.rank() - 2);
+    let n = out_shape.dim(out_shape.rank() - 1);
+    let k = a_shape.dim(a_shape.rank() - 1);
+    let batch_shape = Shape::new(out_shape.dims()[..out_shape.rank() - 2].to_vec());
+    let a_batch = Shape::new(a_shape.dims()[..a_shape.rank() - 2].to_vec());
+    let b_batch = Shape::new(b_shape.dims()[..b_shape.rank() - 2].to_vec());
+
+    let mut out = Tensor::zeros(out_shape.clone());
+    let mut out_offset = 0usize;
+    for batch in 0..batch_shape.numel().max(1) {
+        let batch_idx = batch_shape.multi_index(batch);
+        let a_prefix = broadcast_index(&batch_idx, &a_batch);
+        let b_prefix = broadcast_index(&batch_idx, &b_batch);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for p in 0..k {
+                    let mut ai = a_prefix.clone();
+                    ai.push(i);
+                    ai.push(p);
+                    let mut bi = b_prefix.clone();
+                    bi.push(p);
+                    bi.push(j);
+                    acc += a.at(&ai)? * b.at(&bi)?;
+                }
+                out.data_mut()[out_offset] = acc;
+                out_offset += 1;
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::infer_shapes;
+
+    fn run_gemm(attrs: &Attrs, inputs: &[&Tensor]) -> Tensor {
+        let shapes: Vec<_> = inputs.iter().map(|t| t.shape().clone()).collect();
+        let out = infer_shapes(OpKind::Gemm, attrs, &shapes).unwrap();
+        gemm(attrs, inputs, &out[0]).unwrap()
+    }
+
+    #[test]
+    fn gemm_identity_times_matrix() {
+        let eye = Tensor::from_vec(Shape::new(vec![2, 2]), vec![1.0, 0.0, 0.0, 1.0]).unwrap();
+        let b = Tensor::from_vec(Shape::new(vec![2, 2]), vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let out = run_gemm(&Attrs::new(), &[&eye, &b]);
+        assert_eq!(out.data(), b.data());
+    }
+
+    #[test]
+    fn gemm_known_product_with_bias_and_alpha_beta() {
+        // A = [[1,2],[3,4]], B = [[5,6],[7,8]] -> AB = [[19,22],[43,50]].
+        let a = Tensor::from_vec(Shape::new(vec![2, 2]), vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let b = Tensor::from_vec(Shape::new(vec![2, 2]), vec![5.0, 6.0, 7.0, 8.0]).unwrap();
+        let c = Tensor::from_vec(Shape::new(vec![2]), vec![1.0, -1.0]).unwrap();
+        let attrs = Attrs::new().with_float("alpha", 2.0).with_float("beta", 1.0);
+        let out = run_gemm(&attrs, &[&a, &b, &c]);
+        assert_eq!(out.data(), &[39.0, 43.0, 87.0, 99.0]);
+    }
+
+    #[test]
+    fn gemm_transpose_flags() {
+        let a = Tensor::from_vec(Shape::new(vec![2, 3]), vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let b = Tensor::from_vec(Shape::new(vec![2, 3]), vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0]).unwrap();
+        // A (2x3) x B^T (3x2) = 2x2.
+        let attrs = Attrs::new().with_int("transB", 1);
+        let out = run_gemm(&attrs, &[&a, &b]);
+        assert_eq!(out.shape().dims(), &[2, 2]);
+        assert_eq!(out.data(), &[1.0, 2.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn matmul_matches_gemm_on_2d() {
+        let a = Tensor::random(Shape::new(vec![3, 4]), 1);
+        let b = Tensor::random(Shape::new(vec![4, 5]), 2);
+        let shapes = [a.shape().clone(), b.shape().clone()];
+        let out_shape = infer_shapes(OpKind::MatMul, &Attrs::new(), &shapes).unwrap();
+        let mm = matmul(&a, &b, &out_shape[0]).unwrap();
+        let gm = run_gemm(&Attrs::new(), &[&a, &b]);
+        assert!(mm.allclose(&gm, 1e-5));
+    }
+
+    #[test]
+    fn matmul_batched_with_broadcast() {
+        // Batch of 2 on the left, unbatched right operand.
+        let a = Tensor::arange(Shape::new(vec![2, 2, 3]));
+        let b = Tensor::from_vec(
+            Shape::new(vec![3, 1]),
+            vec![1.0, 1.0, 1.0],
+        )
+        .unwrap();
+        let shapes = [a.shape().clone(), b.shape().clone()];
+        let out_shape = infer_shapes(OpKind::MatMul, &Attrs::new(), &shapes).unwrap();
+        let out = matmul(&a, &b, &out_shape[0]).unwrap();
+        assert_eq!(out.shape().dims(), &[2, 2, 1]);
+        // Row sums of arange(2,2,3): [0+1+2, 3+4+5, 6+7+8, 9+10+11].
+        assert_eq!(out.data(), &[3.0, 12.0, 21.0, 30.0]);
+    }
+}

@@ -1,0 +1,180 @@
+//! Reduction kernels (`Reduce*`, `ArgMax`, `CumSum`).
+
+use dnnf_tensor::{IndexIter, Shape, Tensor};
+
+use crate::{Attrs, OpError, OpKind};
+
+fn normalized_axes(attrs: &Attrs, input: &Shape) -> Vec<usize> {
+    let axes = attrs.ints_or("axes", &[]);
+    if axes.is_empty() {
+        (0..input.rank()).collect()
+    } else {
+        axes.iter()
+            .map(|&a| if a < 0 { (a + input.rank() as i64) as usize } else { a as usize })
+            .collect()
+    }
+}
+
+/// `ReduceSum` / `ReduceMean` / `ReduceProd` / `ReduceMax` / `ReduceMin`.
+pub fn reduce(op: OpKind, attrs: &Attrs, x: &Tensor, out_shape: &Shape) -> Result<Tensor, OpError> {
+    let axes = normalized_axes(attrs, x.shape());
+    let keepdims = attrs.int_or("keepdims", 1) != 0;
+    let init = match op {
+        OpKind::ReduceSum | OpKind::ReduceMean => 0.0,
+        OpKind::ReduceProd => 1.0,
+        OpKind::ReduceMax => f32::NEG_INFINITY,
+        OpKind::ReduceMin => f32::INFINITY,
+        _ => {
+            return Err(OpError::InvalidShape { op, reason: "not a reduction".into() });
+        }
+    };
+    let mut out = Tensor::full(out_shape.clone(), init);
+    let mut counts = vec![0u64; out_shape.numel()];
+
+    for in_idx in IndexIter::new(x.shape()) {
+        // Project the input index onto the output index.
+        let mut out_idx = Vec::with_capacity(out_shape.rank());
+        for (axis, &i) in in_idx.iter().enumerate() {
+            if axes.contains(&axis) {
+                if keepdims {
+                    out_idx.push(0);
+                }
+            } else {
+                out_idx.push(i);
+            }
+        }
+        let off = out_shape.linear_offset(&out_idx)?;
+        let v = x.at(&in_idx)?;
+        let cur = out.data()[off];
+        out.data_mut()[off] = match op {
+            OpKind::ReduceSum | OpKind::ReduceMean => cur + v,
+            OpKind::ReduceProd => cur * v,
+            OpKind::ReduceMax => cur.max(v),
+            OpKind::ReduceMin => cur.min(v),
+            _ => unreachable!(),
+        };
+        counts[off] += 1;
+    }
+    if op == OpKind::ReduceMean {
+        for (o, &c) in out.data_mut().iter_mut().zip(&counts) {
+            *o /= c.max(1) as f32;
+        }
+    }
+    Ok(out)
+}
+
+/// `ArgMax` along one axis; ties resolve to the lowest index (ONNX default).
+pub fn argmax(attrs: &Attrs, x: &Tensor, out_shape: &Shape) -> Result<Tensor, OpError> {
+    let axis_raw = attrs.int_or("axis", 0);
+    let axis = x.shape().normalize_axis(axis_raw)?;
+    let keepdims = attrs.int_or("keepdims", 1) != 0;
+    let mut out = Tensor::zeros(out_shape.clone());
+    let mut best = vec![f32::NEG_INFINITY; out_shape.numel()];
+
+    for in_idx in IndexIter::new(x.shape()) {
+        let mut out_idx = in_idx.clone();
+        if keepdims {
+            out_idx[axis] = 0;
+        } else {
+            out_idx.remove(axis);
+        }
+        let off = out_shape.linear_offset(&out_idx)?;
+        let v = x.at(&in_idx)?;
+        if v > best[off] {
+            best[off] = v;
+            out.data_mut()[off] = in_idx[axis] as f32;
+        }
+    }
+    Ok(out)
+}
+
+/// `CumSum` along one axis.
+pub fn cumsum(attrs: &Attrs, x: &Tensor) -> Result<Tensor, OpError> {
+    let axis = x.shape().normalize_axis(attrs.int_or("axis", 0))?;
+    let mut out = x.clone();
+    let shape = x.shape().clone();
+    for idx in IndexIter::new(&shape) {
+        if idx[axis] == 0 {
+            continue;
+        }
+        let mut prev = idx.clone();
+        prev[axis] -= 1;
+        let v = out.at(&prev)? + out.at(&idx)?;
+        out.set(&idx, v)?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::infer_shapes;
+
+    fn run(op: OpKind, attrs: &Attrs, x: &Tensor) -> Tensor {
+        let out = infer_shapes(op, attrs, &[x.shape().clone()]).unwrap();
+        match op {
+            OpKind::ArgMax => argmax(attrs, x, &out[0]).unwrap(),
+            OpKind::CumSum => cumsum(attrs, x).unwrap(),
+            _ => reduce(op, attrs, x, &out[0]).unwrap(),
+        }
+    }
+
+    #[test]
+    fn reduce_sum_all_axes() {
+        let x = Tensor::arange(Shape::new(vec![2, 3]));
+        let y = run(OpKind::ReduceSum, &Attrs::new(), &x);
+        assert_eq!(y.shape().dims(), &[1, 1]);
+        assert_eq!(y.data(), &[15.0]);
+    }
+
+    #[test]
+    fn reduce_mean_last_axis_keepdims() {
+        let x = Tensor::arange(Shape::new(vec![2, 4]));
+        let attrs = Attrs::new().with_ints("axes", vec![-1]);
+        let y = run(OpKind::ReduceMean, &attrs, &x);
+        assert_eq!(y.shape().dims(), &[2, 1]);
+        assert_eq!(y.data(), &[1.5, 5.5]);
+    }
+
+    #[test]
+    fn reduce_max_min_prod() {
+        let x = Tensor::from_vec(Shape::new(vec![2, 2]), vec![1.0, -2.0, 3.0, 4.0]).unwrap();
+        let attrs = Attrs::new().with_ints("axes", vec![0]).with_int("keepdims", 0);
+        assert_eq!(run(OpKind::ReduceMax, &attrs, &x).data(), &[3.0, 4.0]);
+        assert_eq!(run(OpKind::ReduceMin, &attrs, &x).data(), &[1.0, -2.0]);
+        assert_eq!(run(OpKind::ReduceProd, &attrs, &x).data(), &[3.0, -8.0]);
+    }
+
+    #[test]
+    fn argmax_with_and_without_keepdims() {
+        let x = Tensor::from_vec(Shape::new(vec![2, 3]), vec![1.0, 5.0, 2.0, 9.0, 0.0, 3.0]).unwrap();
+        let attrs = Attrs::new().with_int("axis", 1).with_int("keepdims", 0);
+        assert_eq!(run(OpKind::ArgMax, &attrs, &x).data(), &[1.0, 0.0]);
+        let attrs = Attrs::new().with_int("axis", 0);
+        let y = run(OpKind::ArgMax, &attrs, &x);
+        assert_eq!(y.shape().dims(), &[1, 3]);
+        assert_eq!(y.data(), &[1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn cumsum_along_each_axis() {
+        let x = Tensor::arange(Shape::new(vec![2, 3]));
+        let y = run(OpKind::CumSum, &Attrs::new().with_int("axis", 1), &x);
+        assert_eq!(y.data(), &[0.0, 1.0, 3.0, 3.0, 7.0, 12.0]);
+        let y = run(OpKind::CumSum, &Attrs::new().with_int("axis", 0), &x);
+        assert_eq!(y.data(), &[0.0, 1.0, 2.0, 3.0, 5.0, 7.0]);
+    }
+
+    #[test]
+    fn paper_commutative_rule_holds_numerically() {
+        // ReduceSum(BitShift(A, 1)) == BitShift(ReduceSum(A), 1) for integral data.
+        let a = Tensor::from_vec(Shape::new(vec![2, 2]), vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let one = Tensor::full(Shape::new(vec![2, 2]), 1.0);
+        let shifted = crate::execute(OpKind::BitShift, &Attrs::new(), &[&a, &one]).unwrap();
+        let lhs = run(OpKind::ReduceSum, &Attrs::new(), &shifted[0]);
+        let summed = run(OpKind::ReduceSum, &Attrs::new(), &a);
+        let one_s = Tensor::full(summed.shape().clone(), 1.0);
+        let rhs = crate::execute(OpKind::BitShift, &Attrs::new(), &[&summed, &one_s]).unwrap();
+        assert_eq!(lhs.data(), rhs[0].data());
+    }
+}

@@ -1,0 +1,328 @@
+//! Data-movement kernels: concat, slice, split, pad, expand, gather, resize,
+//! transpose and the space/depth shuffles.
+
+use dnnf_tensor::{broadcast_index, IndexIter, Shape, Tensor};
+
+use crate::{Attrs, OpError, OpKind};
+
+/// `Concat` along one axis.
+pub fn concat(attrs: &Attrs, inputs: &[&Tensor], out_shape: &Shape) -> Result<Tensor, OpError> {
+    let axis = out_shape.normalize_axis(attrs.int_or("axis", 0))?;
+    let mut out = Tensor::zeros(out_shape.clone());
+    let mut axis_offset = 0usize;
+    for t in inputs {
+        for idx in IndexIter::new(t.shape()) {
+            let mut out_idx = idx.clone();
+            out_idx[axis] += axis_offset;
+            let off = out_shape.linear_offset(&out_idx)?;
+            out.data_mut()[off] = t.at(&idx)?;
+        }
+        axis_offset += t.shape().dim(axis);
+    }
+    Ok(out)
+}
+
+/// `Slice` using the `starts`/`ends`/`axes` attributes.
+pub fn slice(attrs: &Attrs, x: &Tensor, out_shape: &Shape) -> Result<Tensor, OpError> {
+    let starts = attrs.ints_or("starts", &[]);
+    let axes = attrs.ints_or("axes", &(0..starts.len() as i64).collect::<Vec<_>>());
+    // Per-axis start offset (0 for axes not sliced).
+    let mut offsets = vec![0usize; x.shape().rank()];
+    for (&s, &ax) in starts.iter().zip(&axes) {
+        let axis = x.shape().normalize_axis(ax)?;
+        let extent = x.shape().dim(axis) as i64;
+        let s = if s < 0 { s + extent } else { s };
+        offsets[axis] = s.clamp(0, extent) as usize;
+    }
+    let mut out = Tensor::zeros(out_shape.clone());
+    for (off, idx) in IndexIter::new(out_shape).enumerate() {
+        let in_idx: Vec<usize> = idx.iter().zip(&offsets).map(|(&i, &o)| i + o).collect();
+        out.data_mut()[off] = x.at(&in_idx)?;
+    }
+    Ok(out)
+}
+
+/// `Split` into the given output shapes along one axis.
+pub fn split(attrs: &Attrs, x: &Tensor, out_shapes: &[Shape]) -> Result<Vec<Tensor>, OpError> {
+    let axis = x.shape().normalize_axis(attrs.int_or("axis", 0))?;
+    let mut outs = Vec::with_capacity(out_shapes.len());
+    let mut axis_offset = 0usize;
+    for shape in out_shapes {
+        let mut t = Tensor::zeros(shape.clone());
+        for (off, idx) in IndexIter::new(shape).enumerate() {
+            let mut in_idx = idx.clone();
+            in_idx[axis] += axis_offset;
+            t.data_mut()[off] = x.at(&in_idx)?;
+        }
+        axis_offset += shape.dim(axis);
+        outs.push(t);
+    }
+    Ok(outs)
+}
+
+/// Zero-padding `Pad` using the `pads` attribute.
+pub fn pad(attrs: &Attrs, x: &Tensor, out_shape: &Shape) -> Result<Tensor, OpError> {
+    let rank = x.shape().rank();
+    let pads = attrs.ints_or("pads", &vec![0; rank * 2]);
+    let value = attrs.float_or("value", 0.0);
+    let mut out = Tensor::full(out_shape.clone(), value);
+    for idx in IndexIter::new(x.shape()) {
+        let out_idx: Vec<usize> = idx
+            .iter()
+            .enumerate()
+            .map(|(d, &i)| (i as i64 + pads[d]).max(0) as usize)
+            .collect();
+        if out_idx.iter().zip(out_shape.dims()).all(|(&i, &d)| i < d) {
+            let off = out_shape.linear_offset(&out_idx)?;
+            out.data_mut()[off] = x.at(&idx)?;
+        }
+    }
+    Ok(out)
+}
+
+/// `Expand`/`Tile`-style broadcast of `x` to `out_shape`.
+pub fn expand_like(x: &Tensor, out_shape: &Shape) -> Result<Tensor, OpError> {
+    let mut out = Tensor::zeros(out_shape.clone());
+    for (off, idx) in IndexIter::new(out_shape).enumerate() {
+        // Tile repeats cyclically; Expand broadcasts. Both agree when the
+        // source extent is 1 or equal to the target, which covers the model
+        // zoo's uses; cyclic indexing covers genuine tiling.
+        let in_idx: Vec<usize> = {
+            let base = broadcast_index(&idx, x.shape());
+            base.iter()
+                .enumerate()
+                .map(|(d, &i)| {
+                    let src = x.shape().dim(d);
+                    let out_axis = idx.len() - x.shape().rank() + d;
+                    if src == 1 {
+                        0
+                    } else if idx[out_axis] >= src {
+                        idx[out_axis] % src
+                    } else {
+                        i
+                    }
+                })
+                .collect()
+        };
+        out.data_mut()[off] = x.at(&in_idx)?;
+    }
+    Ok(out)
+}
+
+/// `Gather` along `axis` with an index tensor.
+pub fn gather(
+    attrs: &Attrs,
+    data: &Tensor,
+    indices: &Tensor,
+    out_shape: &Shape,
+) -> Result<Tensor, OpError> {
+    let axis = data.shape().normalize_axis(attrs.int_or("axis", 0))?;
+    let idx_rank = indices.shape().rank();
+    let mut out = Tensor::zeros(out_shape.clone());
+    for (off, out_idx) in IndexIter::new(out_shape).enumerate() {
+        // out index = data[..axis] ++ indices index ++ data[axis+1..]
+        let idx_part = &out_idx[axis..axis + idx_rank];
+        let gathered = indices.at(idx_part)?;
+        let extent = data.shape().dim(axis) as i64;
+        let gathered = if (gathered as i64) < 0 { gathered as i64 + extent } else { gathered as i64 };
+        if gathered < 0 || gathered >= extent {
+            return Err(OpError::InvalidShape {
+                op: OpKind::Gather,
+                reason: format!("index {gathered} out of range for axis extent {extent}"),
+            });
+        }
+        let mut data_idx = Vec::with_capacity(data.shape().rank());
+        data_idx.extend_from_slice(&out_idx[..axis]);
+        data_idx.push(gathered as usize);
+        data_idx.extend_from_slice(&out_idx[axis + idx_rank..]);
+        out.data_mut()[off] = data.at(&data_idx)?;
+    }
+    Ok(out)
+}
+
+/// Nearest-neighbour `Resize`/`Upsample`.
+pub fn resize_nearest(x: &Tensor, out_shape: &Shape) -> Result<Tensor, OpError> {
+    let mut out = Tensor::zeros(out_shape.clone());
+    for (off, idx) in IndexIter::new(out_shape).enumerate() {
+        let in_idx: Vec<usize> = idx
+            .iter()
+            .enumerate()
+            .map(|(d, &i)| {
+                let scale = out_shape.dim(d) as f32 / x.shape().dim(d) as f32;
+                ((i as f32 / scale).floor() as usize).min(x.shape().dim(d) - 1)
+            })
+            .collect();
+        out.data_mut()[off] = x.at(&in_idx)?;
+    }
+    Ok(out)
+}
+
+/// `Transpose` with the `perm` attribute (defaults to reversing dims).
+pub fn transpose(attrs: &Attrs, x: &Tensor) -> Result<Tensor, OpError> {
+    let default: Vec<i64> = (0..x.shape().rank() as i64).rev().collect();
+    let perm: Vec<usize> = attrs.ints_or("perm", &default).iter().map(|&p| p as usize).collect();
+    x.transpose(&perm).map_err(OpError::from)
+}
+
+/// `DepthToSpace` (DCR mode) for NCHW tensors.
+pub fn depth_to_space(attrs: &Attrs, x: &Tensor, out_shape: &Shape) -> Result<Tensor, OpError> {
+    let b = attrs.int_or("blocksize", 1).max(1) as usize;
+    let (n, c, h, w) = (x.shape().dim(0), x.shape().dim(1), x.shape().dim(2), x.shape().dim(3));
+    let oc = c / (b * b);
+    let mut out = Tensor::zeros(out_shape.clone());
+    for ni in 0..n {
+        for ci in 0..c {
+            for hi in 0..h {
+                for wi in 0..w {
+                    let block = ci / oc;
+                    let out_c = ci % oc;
+                    let (bh, bw) = (block / b, block % b);
+                    let out_idx = [ni, out_c, hi * b + bh, wi * b + bw];
+                    let off = out_shape.linear_offset(&out_idx)?;
+                    out.data_mut()[off] = x.at(&[ni, ci, hi, wi])?;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// `SpaceToDepth` for NCHW tensors (inverse of [`depth_to_space`]).
+pub fn space_to_depth(attrs: &Attrs, x: &Tensor, out_shape: &Shape) -> Result<Tensor, OpError> {
+    let b = attrs.int_or("blocksize", 1).max(1) as usize;
+    let (n, c, h, w) = (x.shape().dim(0), x.shape().dim(1), x.shape().dim(2), x.shape().dim(3));
+    let mut out = Tensor::zeros(out_shape.clone());
+    for ni in 0..n {
+        for ci in 0..c {
+            for hi in 0..h {
+                for wi in 0..w {
+                    let (bh, bw) = (hi % b, wi % b);
+                    let block = bh * b + bw;
+                    let out_idx = [ni, block * c + ci, hi / b, wi / b];
+                    let off = out_shape.linear_offset(&out_idx)?;
+                    out.data_mut()[off] = x.at(&[ni, ci, hi, wi])?;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{execute, infer_shapes};
+
+    #[test]
+    fn concat_then_split_roundtrip() {
+        let a = Tensor::arange(Shape::new(vec![2, 2]));
+        let b = Tensor::full(Shape::new(vec![2, 3]), 9.0);
+        let attrs = Attrs::new().with_int("axis", 1);
+        let cat = execute(OpKind::Concat, &attrs, &[&a, &b]).unwrap();
+        assert_eq!(cat[0].shape().dims(), &[2, 5]);
+        let attrs = Attrs::new().with_int("axis", 1).with_ints("split", vec![2, 3]);
+        let parts = execute(OpKind::Split, &attrs, &[&cat[0]]).unwrap();
+        assert_eq!(parts[0], a);
+        assert_eq!(parts[1], b);
+    }
+
+    #[test]
+    fn slice_extracts_block() {
+        let x = Tensor::arange(Shape::new(vec![3, 4]));
+        let attrs = Attrs::new()
+            .with_ints("starts", vec![1, 1])
+            .with_ints("ends", vec![3, 3])
+            .with_ints("axes", vec![0, 1]);
+        let y = execute(OpKind::Slice, &attrs, &[&x]).unwrap();
+        assert_eq!(y[0].shape().dims(), &[2, 2]);
+        assert_eq!(y[0].data(), &[5.0, 6.0, 9.0, 10.0]);
+    }
+
+    #[test]
+    fn pad_places_original_block() {
+        let x = Tensor::full(Shape::new(vec![2, 2]), 1.0);
+        let attrs = Attrs::new().with_ints("pads", vec![1, 1, 1, 1]);
+        let y = execute(OpKind::Pad, &attrs, &[&x]).unwrap();
+        assert_eq!(y[0].shape().dims(), &[4, 4]);
+        assert_eq!(y[0].iter().sum::<f32>(), 4.0);
+        assert_eq!(y[0].at(&[1, 1]).unwrap(), 1.0);
+        assert_eq!(y[0].at(&[0, 0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn expand_broadcasts_and_tile_repeats() {
+        let x = Tensor::from_vec(Shape::new(vec![1, 3]), vec![1.0, 2.0, 3.0]).unwrap();
+        let attrs = Attrs::new().with_ints("shape", vec![2, 3]);
+        let y = execute(OpKind::Expand, &attrs, &[&x]).unwrap();
+        assert_eq!(y[0].data(), &[1.0, 2.0, 3.0, 1.0, 2.0, 3.0]);
+        let attrs = Attrs::new().with_ints("repeats", vec![2, 1]);
+        let y = execute(OpKind::Tile, &attrs, &[&x]).unwrap();
+        assert_eq!(y[0].data(), &[1.0, 2.0, 3.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn gather_rows_like_an_embedding_lookup() {
+        let table = Tensor::arange(Shape::new(vec![4, 3]));
+        let ids = Tensor::from_vec(Shape::new(vec![2]), vec![2.0, 0.0]).unwrap();
+        let y = execute(OpKind::Gather, &Attrs::new(), &[&table, &ids]).unwrap();
+        assert_eq!(y[0].shape().dims(), &[2, 3]);
+        assert_eq!(y[0].data(), &[6.0, 7.0, 8.0, 0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn gather_rejects_out_of_range_indices() {
+        let table = Tensor::arange(Shape::new(vec![4, 3]));
+        let ids = Tensor::from_vec(Shape::new(vec![1]), vec![9.0]).unwrap();
+        assert!(execute(OpKind::Gather, &Attrs::new(), &[&table, &ids]).is_err());
+    }
+
+    #[test]
+    fn resize_nearest_doubles() {
+        let x = Tensor::from_vec(Shape::new(vec![1, 1, 2, 2]), vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let attrs = Attrs::new().with_floats("scales", vec![1.0, 1.0, 2.0, 2.0]);
+        let y = execute(OpKind::Upsample, &attrs, &[&x]).unwrap();
+        assert_eq!(y[0].shape().dims(), &[1, 1, 4, 4]);
+        assert_eq!(y[0].at(&[0, 0, 0, 0]).unwrap(), 1.0);
+        assert_eq!(y[0].at(&[0, 0, 1, 1]).unwrap(), 1.0);
+        assert_eq!(y[0].at(&[0, 0, 3, 3]).unwrap(), 4.0);
+    }
+
+    #[test]
+    fn transpose_uses_perm_attribute() {
+        let x = Tensor::arange(Shape::new(vec![2, 3]));
+        let attrs = Attrs::new().with_ints("perm", vec![1, 0]);
+        let y = execute(OpKind::Transpose, &attrs, &[&x]).unwrap();
+        assert_eq!(y[0].shape().dims(), &[3, 2]);
+        assert_eq!(y[0].data(), &[0.0, 3.0, 1.0, 4.0, 2.0, 5.0]);
+    }
+
+    #[test]
+    fn depth_space_roundtrip() {
+        let x = Tensor::random(Shape::new(vec![1, 8, 2, 2]), 11);
+        let attrs = Attrs::new().with_int("blocksize", 2);
+        let d2s = execute(OpKind::DepthToSpace, &attrs, &[&x]).unwrap();
+        assert_eq!(d2s[0].shape().dims(), &[1, 2, 4, 4]);
+        let s2d = execute(OpKind::SpaceToDepth, &attrs, &[&d2s[0]]).unwrap();
+        assert_eq!(s2d[0].shape().dims(), x.shape().dims());
+        // DCR DepthToSpace followed by SpaceToDepth permutes channels within
+        // blocks but preserves the multiset of elements.
+        let mut a: Vec<f32> = x.data().to_vec();
+        let mut b: Vec<f32> = s2d[0].data().to_vec();
+        a.sort_by(f32::total_cmp);
+        b.sort_by(f32::total_cmp);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reorganize_ops_preserve_flat_data() {
+        let x = Tensor::arange(Shape::new(vec![2, 3, 4]));
+        let attrs = Attrs::new().with_ints("shape", vec![6, 4]);
+        let y = execute(OpKind::Reshape, &attrs, &[&x]).unwrap();
+        assert_eq!(y[0].data(), x.data());
+        let y = execute(OpKind::Flatten, &Attrs::new().with_int("axis", 1), &[&x]).unwrap();
+        assert_eq!(y[0].shape().dims(), &[2, 12]);
+        assert_eq!(y[0].data(), x.data());
+        let shapes = infer_shapes(OpKind::Flatten, &Attrs::new().with_int("axis", 1), &[x.shape().clone()]).unwrap();
+        assert_eq!(shapes[0].numel(), x.numel());
+    }
+}

@@ -1,0 +1,96 @@
+//! Mathematical properties of operators used by the graph-rewriting pass.
+//!
+//! The Extended Computational Graph stores, per operator, whether the
+//! associative, commutative and/or distributive properties hold (paper §3.2
+//! "Extended Computational Graph" and §4.2). The rewriting engine partitions
+//! the graph at operators carrying *none* of these properties and explores
+//! rewrite rules only inside the resulting sub-graphs.
+
+/// Mathematical properties an operator may satisfy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct MathProperties {
+    /// `f(f(a, b), c) == f(a, f(b, c))` — e.g. `Add`, `Mul`, `Min`, `Max`.
+    pub associative: bool,
+    /// `f(a, b) == f(b, a)` — e.g. `Add`, `Mul`.
+    pub commutative: bool,
+    /// The operator distributes over addition — e.g. `Mul` and `MatMul`
+    /// (`A·B + A·C = A·(B + C)`).
+    pub distributive_over_add: bool,
+    /// The operator commutes with reductions along the reduced axis
+    /// (e.g. `BitShift`/`Exp` in the paper's commutative examples:
+    /// `ReduceSum(BitShift(A)) = BitShift(ReduceSum(A))`,
+    /// `ReduceProd(Exp(A)) = Exp(ReduceSum(A))`).
+    pub commutes_with_reduction: bool,
+}
+
+impl MathProperties {
+    /// No properties: such operators act as partitioning points for the
+    /// rewriting pass.
+    #[must_use]
+    pub fn none() -> Self {
+        MathProperties::default()
+    }
+
+    /// Fully algebraic binary operator (associative + commutative +
+    /// distributive over addition), e.g. element-wise `Mul`.
+    #[must_use]
+    pub fn ring_like() -> Self {
+        MathProperties {
+            associative: true,
+            commutative: true,
+            distributive_over_add: true,
+            commutes_with_reduction: false,
+        }
+    }
+
+    /// Associative and commutative but not distributive, e.g. `Add`, `Max`.
+    #[must_use]
+    pub fn semigroup() -> Self {
+        MathProperties {
+            associative: true,
+            commutative: true,
+            distributive_over_add: false,
+            commutes_with_reduction: false,
+        }
+    }
+
+    /// Whether the operator carries at least one rewriting-relevant property,
+    /// i.e. it does **not** partition the graph for the rewrite pass.
+    #[must_use]
+    pub fn any(self) -> bool {
+        self.associative
+            || self.commutative
+            || self.distributive_over_add
+            || self.commutes_with_reduction
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_has_no_properties() {
+        assert!(!MathProperties::none().any());
+    }
+
+    #[test]
+    fn ring_like_has_all_algebraic_properties() {
+        let p = MathProperties::ring_like();
+        assert!(p.associative && p.commutative && p.distributive_over_add);
+        assert!(p.any());
+    }
+
+    #[test]
+    fn semigroup_is_not_distributive() {
+        let p = MathProperties::semigroup();
+        assert!(p.associative && p.commutative);
+        assert!(!p.distributive_over_add);
+    }
+
+    #[test]
+    fn reduction_commuting_counts_as_a_property() {
+        let p = MathProperties { commutes_with_reduction: true, ..MathProperties::none() };
+        assert!(p.any());
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests for operator kernels and shape inference.
+
+use dnnf_ops::{execute, infer_shapes, Attrs, OpKind};
+use dnnf_tensor::{Shape, Tensor};
+use proptest::prelude::*;
+
+fn small_dims() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(1usize..5, 1..4)
+}
+
+proptest! {
+    #[test]
+    fn kernel_outputs_match_inferred_shapes_for_unary(dims in small_dims(), seed in 0u64..500) {
+        let x = Tensor::random(Shape::new(dims), seed);
+        for op in [OpKind::Relu, OpKind::Sigmoid, OpKind::Exp, OpKind::Abs, OpKind::Square] {
+            let inferred = infer_shapes(op, &Attrs::new(), &[x.shape().clone()]).unwrap();
+            let out = execute(op, &Attrs::new(), &[&x]).unwrap();
+            prop_assert_eq!(out[0].shape(), &inferred[0]);
+        }
+    }
+
+    #[test]
+    fn add_and_mul_are_commutative(dims in small_dims(), seed in 0u64..500) {
+        let shape = Shape::new(dims);
+        let a = Tensor::random(shape.clone(), seed);
+        let b = Tensor::random(shape, seed.wrapping_add(7));
+        for op in [OpKind::Add, OpKind::Mul, OpKind::Min, OpKind::Max] {
+            let ab = execute(op, &Attrs::new(), &[&a, &b]).unwrap();
+            let ba = execute(op, &Attrs::new(), &[&b, &a]).unwrap();
+            prop_assert!(ab[0].allclose(&ba[0], 1e-6));
+        }
+    }
+
+    #[test]
+    fn mul_distributes_over_add(dims in small_dims(), seed in 0u64..500) {
+        // The identity behind the paper's Distributive rewrite rules:
+        // A⊙C + B⊙C == (A + B)⊙C.
+        let shape = Shape::new(dims);
+        let a = Tensor::random(shape.clone(), seed);
+        let b = Tensor::random(shape.clone(), seed.wrapping_add(1));
+        let c = Tensor::random(shape, seed.wrapping_add(2));
+        let ac = execute(OpKind::Mul, &Attrs::new(), &[&a, &c]).unwrap();
+        let bc = execute(OpKind::Mul, &Attrs::new(), &[&b, &c]).unwrap();
+        let lhs = execute(OpKind::Add, &Attrs::new(), &[&ac[0], &bc[0]]).unwrap();
+        let ab = execute(OpKind::Add, &Attrs::new(), &[&a, &b]).unwrap();
+        let rhs = execute(OpKind::Mul, &Attrs::new(), &[&ab[0], &c]).unwrap();
+        prop_assert!(lhs[0].allclose(&rhs[0], 1e-4));
+    }
+
+    #[test]
+    fn reduce_sum_equals_manual_sum(dims in small_dims(), seed in 0u64..500) {
+        let x = Tensor::random(Shape::new(dims), seed);
+        let out = execute(OpKind::ReduceSum, &Attrs::new().with_int("keepdims", 0), &[&x]).unwrap();
+        let expected: f32 = x.iter().sum();
+        prop_assert!((out[0].data()[0] - expected).abs() < 1e-3);
+    }
+
+    #[test]
+    fn softmax_outputs_are_a_distribution(rows in 1usize..5, cols in 1usize..8, seed in 0u64..500) {
+        let x = Tensor::random(Shape::new(vec![rows, cols]), seed);
+        let out = execute(OpKind::Softmax, &Attrs::new(), &[&x]).unwrap();
+        for r in 0..rows {
+            let sum: f32 = (0..cols).map(|c| out[0].at(&[r, c]).unwrap()).sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            for c in 0..cols {
+                prop_assert!(out[0].at(&[r, c]).unwrap() >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_roundtrips_through_kernel(dims in prop::collection::vec(1usize..5, 2..4), seed in 0u64..500) {
+        let x = Tensor::random(Shape::new(dims.clone()), seed);
+        let perm: Vec<i64> = (0..dims.len() as i64).rev().collect();
+        let attrs = Attrs::new().with_ints("perm", perm.clone());
+        let once = execute(OpKind::Transpose, &attrs, &[&x]).unwrap();
+        let twice = execute(OpKind::Transpose, &attrs, &[&once[0]]).unwrap();
+        prop_assert_eq!(&twice[0], &x);
+    }
+
+    #[test]
+    fn maxpool_never_exceeds_input_max(h in 2usize..7, w in 2usize..7, seed in 0u64..500) {
+        let x = Tensor::random(Shape::new(vec![1, 2, h, w]), seed);
+        let attrs = Attrs::new().with_ints("kernel_shape", vec![2, 2]).with_ints("strides", vec![1, 1]);
+        let out = execute(OpKind::MaxPool, &attrs, &[&x]).unwrap();
+        let input_max = x.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+        for &v in out[0].iter() {
+            prop_assert!(v <= input_max + 1e-6);
+        }
+    }
+
+    #[test]
+    fn gemm_is_linear_in_first_argument(m in 1usize..4, k in 1usize..4, n in 1usize..4, seed in 0u64..200) {
+        let a1 = Tensor::random(Shape::new(vec![m, k]), seed);
+        let a2 = Tensor::random(Shape::new(vec![m, k]), seed.wrapping_add(3));
+        let b = Tensor::random(Shape::new(vec![k, n]), seed.wrapping_add(5));
+        let sum_a = execute(OpKind::Add, &Attrs::new(), &[&a1, &a2]).unwrap();
+        let lhs = execute(OpKind::Gemm, &Attrs::new(), &[&sum_a[0], &b]).unwrap();
+        let p1 = execute(OpKind::Gemm, &Attrs::new(), &[&a1, &b]).unwrap();
+        let p2 = execute(OpKind::Gemm, &Attrs::new(), &[&a2, &b]).unwrap();
+        let rhs = execute(OpKind::Add, &Attrs::new(), &[&p1[0], &p2[0]]).unwrap();
+        prop_assert!(lhs[0].allclose(&rhs[0], 1e-3));
+    }
+}

@@ -1,0 +1,304 @@
+//! Offline profiling database used by DNNFusion's fusion plan exploration.
+//!
+//! The paper resolves the "yellow" cells of its mapping-type analysis with a
+//! profiling database collected offline: each entry records the operators
+//! involved (types, shapes and combination) and the measured latency. With a
+//! pre-computed database, compilation-time profiling becomes a lookup
+//! (Figure 9b); without it, the compiler measures (or, in this reproduction,
+//! simulates) the latency and records it for future compilations.
+//!
+//! # Example
+//!
+//! ```
+//! use dnnf_profiledb::{ProfileDatabase, ProfileKey};
+//!
+//! let mut db = ProfileDatabase::new();
+//! let key = ProfileKey::new(["Conv", "Relu"], "1x16x32x32");
+//! assert_eq!(db.lookup(&key), None);
+//! db.record(key.clone(), 42.0);
+//! assert_eq!(db.lookup(&key), Some(42.0));
+//! assert_eq!(db.hits(), 1);
+//! assert_eq!(db.misses(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+/// Key identifying one profiled operator combination.
+///
+/// A key is the ordered list of operator names in the (candidate) fusion
+/// block plus a shape fingerprint — mirroring the paper's "operator types,
+/// shape, and their combinations".
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProfileKey {
+    ops: Vec<String>,
+    shape_fingerprint: String,
+}
+
+impl ProfileKey {
+    /// Creates a key from operator names and a shape fingerprint.
+    pub fn new<I, S>(ops: I, shape_fingerprint: impl Into<String>) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        ProfileKey {
+            ops: ops.into_iter().map(Into::into).collect(),
+            shape_fingerprint: shape_fingerprint.into(),
+        }
+    }
+
+    /// Operator names in block order.
+    #[must_use]
+    pub fn ops(&self) -> &[String] {
+        &self.ops
+    }
+
+    /// The shape fingerprint.
+    #[must_use]
+    pub fn shape_fingerprint(&self) -> &str {
+        &self.shape_fingerprint
+    }
+
+    fn encode(&self) -> String {
+        format!("{}|{}", self.ops.join("+"), self.shape_fingerprint)
+    }
+
+    fn decode(text: &str) -> Option<Self> {
+        let (ops, fp) = text.split_once('|')?;
+        Some(ProfileKey {
+            ops: ops.split('+').map(str::to_string).collect(),
+            shape_fingerprint: fp.to_string(),
+        })
+    }
+}
+
+impl fmt::Display for ProfileKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.encode())
+    }
+}
+
+/// A latency database keyed by [`ProfileKey`], with hit/miss accounting.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ProfileDatabase {
+    entries: BTreeMap<ProfileKey, f64>,
+    hits: u64,
+    misses: u64,
+}
+
+impl ProfileDatabase {
+    /// Creates an empty database.
+    #[must_use]
+    pub fn new() -> Self {
+        ProfileDatabase::default()
+    }
+
+    /// Number of stored entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the database holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Records a measured latency (microseconds) for a combination,
+    /// overwriting any previous value.
+    pub fn record(&mut self, key: ProfileKey, latency_us: f64) {
+        self.entries.insert(key, latency_us);
+    }
+
+    /// Looks up a latency, counting the access as a hit or a miss.
+    pub fn lookup(&mut self, key: &ProfileKey) -> Option<f64> {
+        match self.entries.get(key) {
+            Some(&v) => {
+                self.hits += 1;
+                Some(v)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Looks up a latency without touching the hit/miss counters.
+    #[must_use]
+    pub fn peek(&self, key: &ProfileKey) -> Option<f64> {
+        self.entries.get(key).copied()
+    }
+
+    /// Looks up a latency, or computes it with `measure`, records it, and
+    /// returns it. This is the paper's "profiling" step: expensive on the
+    /// first compilation, a cheap lookup afterwards.
+    pub fn lookup_or_measure(&mut self, key: ProfileKey, measure: impl FnOnce() -> f64) -> f64 {
+        if let Some(v) = self.lookup(&key) {
+            return v;
+        }
+        let v = measure();
+        self.record(key, v);
+        v
+    }
+
+    /// Number of successful lookups so far.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of failed lookups so far.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Resets the hit/miss counters (entries are kept).
+    pub fn reset_counters(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+    }
+
+    /// Iterates over `(key, latency)` entries in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&ProfileKey, f64)> {
+        self.entries.iter().map(|(k, &v)| (k, v))
+    }
+
+    /// Serializes the database to its line-based text format.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut s = String::new();
+        for (k, v) in &self.entries {
+            s.push_str(&k.encode());
+            s.push('\t');
+            s.push_str(&v.to_string());
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Parses a database from the text format produced by
+    /// [`ProfileDatabase::to_text`]. Malformed lines are skipped.
+    #[must_use]
+    pub fn from_text(text: &str) -> Self {
+        let mut db = ProfileDatabase::new();
+        for line in text.lines() {
+            if let Some((key, val)) = line.split_once('\t') {
+                if let (Some(key), Ok(val)) = (ProfileKey::decode(key), val.parse::<f64>()) {
+                    db.record(key, val);
+                }
+            }
+        }
+        db
+    }
+
+    /// Saves the database to a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any I/O error.
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.to_text().as_bytes())
+    }
+
+    /// Loads a database from a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any I/O error.
+    pub fn load(path: impl AsRef<Path>) -> io::Result<Self> {
+        let mut text = String::new();
+        std::fs::File::open(path)?.read_to_string(&mut text)?;
+        Ok(Self::from_text(&text))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_lookup_and_counters() {
+        let mut db = ProfileDatabase::new();
+        let k = ProfileKey::new(["Add", "Gemm"], "4x8;8x16");
+        assert_eq!(db.lookup(&k), None);
+        db.record(k.clone(), 12.5);
+        assert_eq!(db.lookup(&k), Some(12.5));
+        assert_eq!(db.len(), 1);
+        assert_eq!((db.hits(), db.misses()), (1, 1));
+        db.reset_counters();
+        assert_eq!((db.hits(), db.misses()), (0, 0));
+        assert_eq!(db.peek(&k), Some(12.5));
+        assert_eq!((db.hits(), db.misses()), (0, 0));
+    }
+
+    #[test]
+    fn lookup_or_measure_only_measures_once() {
+        let mut db = ProfileDatabase::new();
+        let k = ProfileKey::new(["Conv", "Relu"], "1x8x16x16");
+        let mut calls = 0;
+        let v1 = db.lookup_or_measure(k.clone(), || {
+            calls += 1;
+            7.0
+        });
+        let v2 = db.lookup_or_measure(k, || {
+            calls += 1;
+            9.0
+        });
+        assert_eq!(v1, 7.0);
+        assert_eq!(v2, 7.0);
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn text_roundtrip_preserves_entries() {
+        let mut db = ProfileDatabase::new();
+        db.record(ProfileKey::new(["Conv", "Relu", "Add"], "1x64x56x56"), 101.25);
+        db.record(ProfileKey::new(["MatMul"], "128x768;768x768"), 930.0);
+        let text = db.to_text();
+        let restored = ProfileDatabase::from_text(&text);
+        assert_eq!(restored.len(), 2);
+        assert_eq!(
+            restored.peek(&ProfileKey::new(["MatMul"], "128x768;768x768")),
+            Some(930.0)
+        );
+        // Counters are not part of the persisted state.
+        assert_eq!(restored.hits(), 0);
+    }
+
+    #[test]
+    fn from_text_skips_malformed_lines() {
+        let db = ProfileDatabase::from_text("garbage\nConv+Relu|1x1\tnot_a_number\nAdd|2x2\t5.0\n");
+        assert_eq!(db.len(), 1);
+        assert_eq!(db.peek(&ProfileKey::new(["Add"], "2x2")), Some(5.0));
+    }
+
+    #[test]
+    fn save_and_load_roundtrip() {
+        let mut db = ProfileDatabase::new();
+        db.record(ProfileKey::new(["Relu"], "1x10"), 1.5);
+        let dir = std::env::temp_dir().join("dnnf_profiledb_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("db.tsv");
+        db.save(&path).unwrap();
+        let loaded = ProfileDatabase::load(&path).unwrap();
+        assert_eq!(loaded, ProfileDatabase::from_text(&db.to_text()));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn key_display_and_accessors() {
+        let k = ProfileKey::new(["Conv", "Relu"], "1x8");
+        assert_eq!(k.to_string(), "Conv+Relu|1x8");
+        assert_eq!(k.ops(), &["Conv".to_string(), "Relu".to_string()]);
+        assert_eq!(k.shape_fingerprint(), "1x8");
+    }
+}

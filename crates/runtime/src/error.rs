@@ -1,0 +1,90 @@
+//! Runtime errors.
+
+use std::fmt;
+
+use dnnf_core::CoreError;
+use dnnf_graph::GraphError;
+use dnnf_ops::OpError;
+
+/// Errors raised while executing a model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuntimeError {
+    /// A graph input was not provided (or has the wrong shape).
+    MissingInput {
+        /// Name of the missing input.
+        name: String,
+    },
+    /// A provided input's shape does not match the graph's declaration.
+    InputShapeMismatch {
+        /// Input name.
+        name: String,
+        /// Expected dims.
+        expected: Vec<usize>,
+        /// Provided dims.
+        actual: Vec<usize>,
+    },
+    /// A kernel failed during execution.
+    Kernel(OpError),
+    /// The underlying graph or plan is malformed.
+    Graph(GraphError),
+    /// A compilation-layer invariant was violated.
+    Core(CoreError),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::MissingInput { name } => write!(f, "missing input tensor `{name}`"),
+            RuntimeError::InputShapeMismatch { name, expected, actual } => {
+                write!(f, "input `{name}` expects shape {expected:?}, got {actual:?}")
+            }
+            RuntimeError::Kernel(e) => write!(f, "kernel error: {e}"),
+            RuntimeError::Graph(e) => write!(f, "graph error: {e}"),
+            RuntimeError::Core(e) => write!(f, "compiler error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RuntimeError::Kernel(e) => Some(e),
+            RuntimeError::Graph(e) => Some(e),
+            RuntimeError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<OpError> for RuntimeError {
+    fn from(e: OpError) -> Self {
+        RuntimeError::Kernel(e)
+    }
+}
+
+impl From<GraphError> for RuntimeError {
+    fn from(e: GraphError) -> Self {
+        RuntimeError::Graph(e)
+    }
+}
+
+impl From<CoreError> for RuntimeError {
+    fn from(e: CoreError) -> Self {
+        RuntimeError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let e = RuntimeError::MissingInput { name: "x".into() };
+        assert!(e.to_string().contains("x"));
+        let e: RuntimeError = GraphError::UnknownValue { id: 3 }.into();
+        assert!(matches!(e, RuntimeError::Graph(_)));
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RuntimeError>();
+    }
+}

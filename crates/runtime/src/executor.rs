@@ -1,0 +1,441 @@
+//! The model executor.
+//!
+//! Executes a graph under an arbitrary fusion plan (DNNFusion's, a fixed-
+//! pattern baseline's, or the unfused singleton plan), producing both the
+//! output tensors and the simulated device counters: modeled latency, memory
+//! traffic, peak memory, cache/TLB misses, kernel launches and utilization.
+
+use std::collections::HashMap;
+
+use dnnf_core::{CompiledModel, Ecg, FusionPlan};
+use dnnf_graph::{Graph, ValueId};
+use dnnf_ops::execute;
+use dnnf_simdev::{BlockWork, CacheHierarchy, Counters, DeviceCostModel, DeviceSpec};
+use dnnf_tensor::Tensor;
+
+use crate::{materialize_weights, DeviceLatencyModel, MemoryPlan, RuntimeError};
+
+/// The result of one inference run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutionReport {
+    /// Output tensors, in the graph's output order.
+    pub outputs: Vec<Tensor>,
+    /// Simulated device counters for the run.
+    pub counters: Counters,
+    /// The memory plan used for the run.
+    pub memory: MemoryPlan,
+}
+
+impl ExecutionReport {
+    /// Modeled latency in milliseconds (the unit of the paper's Table 6).
+    #[must_use]
+    pub fn latency_ms(&self) -> f64 {
+        self.counters.latency_us / 1e3
+    }
+}
+
+/// Executes models on a simulated device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Executor {
+    device: DeviceSpec,
+    simulate_cache: bool,
+}
+
+impl Executor {
+    /// Creates an executor for a device.
+    #[must_use]
+    pub fn new(device: DeviceSpec) -> Self {
+        Executor { device, simulate_cache: true }
+    }
+
+    /// Disables the cache simulation (useful for large sweeps where only
+    /// latency and traffic are needed).
+    #[must_use]
+    pub fn without_cache_simulation(mut self) -> Self {
+        self.simulate_cache = false;
+        self
+    }
+
+    /// The device this executor models.
+    #[must_use]
+    pub fn device(&self) -> &DeviceSpec {
+        &self.device
+    }
+
+    /// Runs a compiled model.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RuntimeError`] if inputs are missing/mismatched or a
+    /// kernel fails.
+    pub fn run_compiled(
+        &self,
+        model: &CompiledModel,
+        inputs: &HashMap<String, Tensor>,
+    ) -> Result<ExecutionReport, RuntimeError> {
+        self.run_plan(model.graph(), &model.plan, inputs)
+    }
+
+    /// Runs a graph without any fusion (every operator is its own kernel).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RuntimeError`] if inputs are missing/mismatched or a
+    /// kernel fails.
+    pub fn run_unfused(
+        &self,
+        graph: &Graph,
+        inputs: &HashMap<String, Tensor>,
+    ) -> Result<ExecutionReport, RuntimeError> {
+        let ecg = Ecg::new(graph.clone());
+        let plan = FusionPlan::singletons(&ecg);
+        self.run_plan(graph, &plan, inputs)
+    }
+
+    /// Estimates the counters of executing a graph under a plan *without*
+    /// running any kernels: latency, traffic, peak memory, utilization and
+    /// (optionally) cache statistics are produced from the cost model and the
+    /// access trace alone. This is what the benchmark harness uses for the
+    /// full-depth models, where executing reference kernels would be
+    /// pointlessly slow and the paper's metrics are all counter-based.
+    #[must_use]
+    pub fn estimate_plan(&self, graph: &Graph, plan: &FusionPlan) -> (Counters, MemoryPlan) {
+        let elem_bytes = self.device.elem_bytes;
+        let scale = |bytes: usize| bytes as u64 / 4 * elem_bytes;
+        let mut addresses: Vec<u64> = Vec::with_capacity(graph.value_count());
+        let mut next_addr = 0u64;
+        for value in graph.values() {
+            addresses.push(next_addr);
+            let bytes = scale(value.size_bytes()).max(1);
+            next_addr += bytes.div_ceil(64) * 64;
+        }
+        let order = plan.execution_order(graph);
+        let memory = MemoryPlan::build(graph, plan, &order, elem_bytes);
+        let cost_model = DeviceCostModel::new(self.device.clone());
+        let work_model = DeviceLatencyModel::new(self.device.clone());
+        let mut cache = CacheHierarchy::new(&self.device.cache);
+        let mut counters = Counters::default();
+        let mut works: Vec<BlockWork> = Vec::with_capacity(order.len());
+        for &block_idx in &order {
+            let block = &plan.blocks()[block_idx];
+            let work = work_model.block_work(graph, &block.nodes);
+            counters.kernel_launches += 1;
+            counters.flops += work.flops;
+            counters.memory_access_bytes += work.boundary_elems * elem_bytes;
+            counters.latency_us += cost_model.kernel_latency_us(&work);
+            if self.simulate_cache {
+                self.simulate_block_accesses(graph, plan, block.id, &block.nodes, &addresses, &mut cache);
+            }
+            works.push(work);
+        }
+        counters.peak_memory_bytes = memory.peak_bytes();
+        counters.utilization_percent = cost_model.utilization_percent(&works);
+        counters.cache = cache.stats();
+        (counters, memory)
+    }
+
+    /// Estimates the counters of the unfused execution of a graph (every
+    /// operator its own kernel), without running kernels.
+    #[must_use]
+    pub fn estimate_unfused(&self, graph: &Graph) -> (Counters, MemoryPlan) {
+        let ecg = Ecg::new(graph.clone());
+        let plan = FusionPlan::singletons(&ecg);
+        self.estimate_plan(graph, &plan)
+    }
+
+    /// Runs a graph under an explicit fusion plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RuntimeError`] if inputs are missing/mismatched or a
+    /// kernel fails.
+    pub fn run_plan(
+        &self,
+        graph: &Graph,
+        plan: &FusionPlan,
+        inputs: &HashMap<String, Tensor>,
+    ) -> Result<ExecutionReport, RuntimeError> {
+        // Environment of boundary tensors: inputs, weights, block outputs.
+        let mut env: HashMap<ValueId, Tensor> = HashMap::new();
+        for &input_id in graph.inputs() {
+            let value = graph.value(input_id);
+            let tensor = inputs
+                .get(&value.name)
+                .ok_or_else(|| RuntimeError::MissingInput { name: value.name.clone() })?;
+            if tensor.shape() != &value.shape {
+                return Err(RuntimeError::InputShapeMismatch {
+                    name: value.name.clone(),
+                    expected: value.shape.dims().to_vec(),
+                    actual: tensor.shape().dims().to_vec(),
+                });
+            }
+            env.insert(input_id, tensor.clone());
+        }
+        for (id, tensor) in materialize_weights(graph) {
+            env.insert(id, tensor);
+        }
+
+        // Virtual addresses for the cache simulation: each value gets a
+        // 64-byte-aligned region of a flat address space.
+        let elem_bytes = self.device.elem_bytes;
+        let scale = |bytes: usize| bytes as u64 / 4 * elem_bytes;
+        let mut addresses: Vec<u64> = Vec::with_capacity(graph.value_count());
+        let mut next_addr = 0u64;
+        for value in graph.values() {
+            addresses.push(next_addr);
+            let bytes = scale(value.size_bytes()).max(1);
+            next_addr += bytes.div_ceil(64) * 64;
+        }
+
+        let order = plan.execution_order(graph);
+        let memory = MemoryPlan::build(graph, plan, &order, elem_bytes);
+        let cost_model = DeviceCostModel::new(self.device.clone());
+        let work_model = DeviceLatencyModel::new(self.device.clone());
+        let mut cache = CacheHierarchy::new(&self.device.cache);
+        let mut counters = Counters::default();
+        let mut works: Vec<BlockWork> = Vec::with_capacity(order.len());
+
+        for &block_idx in &order {
+            let block = &plan.blocks()[block_idx];
+            // --- Functional execution of the block ---
+            let mut scratch: HashMap<ValueId, Tensor> = HashMap::new();
+            for &node_id in &block.nodes {
+                let node = graph.node(node_id);
+                let input_tensors: Vec<&Tensor> = node
+                    .inputs
+                    .iter()
+                    .map(|v| {
+                        scratch.get(v).or_else(|| env.get(v)).ok_or_else(|| {
+                            RuntimeError::Graph(dnnf_graph::GraphError::Invalid {
+                                reason: format!(
+                                    "value `{}` not available for node `{}`",
+                                    graph.value(*v).name,
+                                    node.name
+                                ),
+                            })
+                        })
+                    })
+                    .collect::<Result<_, _>>()?;
+                let outputs = execute(node.op, &node.attrs, &input_tensors)?;
+                for (&out_id, tensor) in node.outputs.iter().zip(outputs) {
+                    scratch.insert(out_id, tensor);
+                }
+            }
+            // Promote escaping outputs to the environment; everything else in
+            // `scratch` is dropped — it was never "materialized".
+            for &node_id in &block.nodes {
+                for &out_id in &graph.node(node_id).outputs {
+                    let value = graph.value(out_id);
+                    let escapes = graph.outputs().contains(&out_id)
+                        || value.consumers.is_empty()
+                        || value.consumers.iter().any(|&c| plan.block_of(c) != block.id);
+                    if escapes {
+                        if let Some(t) = scratch.get(&out_id) {
+                            env.insert(out_id, t.clone());
+                        }
+                    }
+                }
+            }
+
+            // --- Device accounting ---
+            let work = work_model.block_work(graph, &block.nodes);
+            counters.kernel_launches += 1;
+            counters.flops += work.flops;
+            counters.memory_access_bytes += work.boundary_elems * elem_bytes;
+            counters.latency_us += cost_model.kernel_latency_us(&work);
+            if self.simulate_cache {
+                self.simulate_block_accesses(graph, plan, block.id, &block.nodes, &addresses, &mut cache);
+            }
+            works.push(work);
+        }
+
+        counters.peak_memory_bytes = memory.peak_bytes();
+        counters.utilization_percent = cost_model.utilization_percent(&works);
+        counters.cache = cache.stats();
+
+        let outputs = graph
+            .outputs()
+            .iter()
+            .map(|id| {
+                env.get(id).cloned().ok_or_else(|| {
+                    RuntimeError::Graph(dnnf_graph::GraphError::Invalid {
+                        reason: "graph output was never produced".into(),
+                    })
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        Ok(ExecutionReport { outputs, counters, memory })
+    }
+
+    /// Feeds the block's boundary reads and writes through the cache
+    /// simulator (internal values never touch memory).
+    fn simulate_block_accesses(
+        &self,
+        graph: &Graph,
+        plan: &FusionPlan,
+        block_id: usize,
+        nodes: &[dnnf_graph::NodeId],
+        addresses: &[u64],
+        cache: &mut CacheHierarchy,
+    ) {
+        let elem_bytes = self.device.elem_bytes;
+        let scale = |bytes: usize| bytes as u64 / 4 * elem_bytes;
+        let in_block =
+            |n: dnnf_graph::NodeId| plan.block_of(n) == block_id;
+        let mut seen: std::collections::BTreeSet<ValueId> = std::collections::BTreeSet::new();
+        for &node_id in nodes {
+            let node = graph.node(node_id);
+            for &input in &node.inputs {
+                let v = graph.value(input);
+                let internal = v.producer.map(&in_block).unwrap_or(false);
+                if !internal && seen.insert(input) {
+                    cache.access(addresses[input.index()], scale(v.size_bytes()));
+                }
+            }
+            for &output in &node.outputs {
+                let v = graph.value(output);
+                let escapes = graph.outputs().contains(&output)
+                    || v.consumers.is_empty()
+                    || v.consumers.iter().any(|&c| !in_block(c));
+                if escapes && seen.insert(output) {
+                    cache.access(addresses[output.index()], scale(v.size_bytes()));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnnf_core::{Compiler, CompilerOptions};
+    use dnnf_ops::{Attrs, OpKind};
+    use dnnf_tensor::Shape;
+
+    /// Conv -> bias Add -> Relu -> MaxPool -> Flatten -> MatMul network.
+    fn small_cnn() -> Graph {
+        let mut g = Graph::new("small-cnn");
+        let x = g.add_input("x", Shape::new(vec![1, 3, 8, 8]));
+        let w = g.add_weight("conv.w", Shape::new(vec![4, 3, 3, 3]));
+        let conv = g
+            .add_op(OpKind::Conv, Attrs::new().with_ints("pads", vec![1, 1, 1, 1]), &[x, w], "conv")
+            .unwrap()[0];
+        let b = g.add_weight("conv.b", Shape::new(vec![1, 4, 1, 1]));
+        let bias = g.add_op(OpKind::Add, Attrs::new(), &[conv, b], "bias").unwrap()[0];
+        let relu = g.add_op(OpKind::Relu, Attrs::new(), &[bias], "relu").unwrap()[0];
+        let pool = g
+            .add_op(
+                OpKind::MaxPool,
+                Attrs::new().with_ints("kernel_shape", vec![2, 2]).with_ints("strides", vec![2, 2]),
+                &[relu],
+                "pool",
+            )
+            .unwrap()[0];
+        let flat = g
+            .add_op(OpKind::Flatten, Attrs::new().with_int("axis", 1), &[pool], "flatten")
+            .unwrap()[0];
+        let fc = g.add_weight("fc.w", Shape::new(vec![64, 10]));
+        let out = g.add_op(OpKind::MatMul, Attrs::new(), &[flat, fc], "fc").unwrap()[0];
+        g.mark_output(out);
+        g
+    }
+
+    fn inputs_for(graph: &Graph) -> HashMap<String, Tensor> {
+        graph
+            .inputs()
+            .iter()
+            .map(|&id| {
+                let v = graph.value(id);
+                (v.name.clone(), Tensor::random(v.shape.clone(), 42))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fused_and_unfused_execution_agree_numerically() {
+        let g = small_cnn();
+        let inputs = inputs_for(&g);
+        let executor = Executor::new(DeviceSpec::snapdragon_865_cpu());
+        let unfused = executor.run_unfused(&g, &inputs).unwrap();
+
+        let mut compiler = Compiler::new(CompilerOptions::default());
+        let compiled = compiler.compile(&g).unwrap();
+        let fused = executor.run_compiled(&compiled, &inputs).unwrap();
+
+        assert_eq!(unfused.outputs.len(), fused.outputs.len());
+        for (a, b) in unfused.outputs.iter().zip(&fused.outputs) {
+            assert!(a.allclose(b, 1e-4), "fusion changed the numerical result");
+        }
+    }
+
+    #[test]
+    fn fusion_reduces_latency_launches_and_memory_traffic() {
+        let g = small_cnn();
+        let inputs = inputs_for(&g);
+        let executor = Executor::new(DeviceSpec::snapdragon_865_gpu());
+        let unfused = executor.run_unfused(&g, &inputs).unwrap();
+        let mut compiler = Compiler::new(CompilerOptions::default());
+        let compiled = compiler.compile(&g).unwrap();
+        let fused = executor.run_compiled(&compiled, &inputs).unwrap();
+
+        assert!(fused.counters.kernel_launches < unfused.counters.kernel_launches);
+        assert!(fused.counters.memory_access_bytes < unfused.counters.memory_access_bytes);
+        assert!(fused.counters.latency_us < unfused.counters.latency_us);
+        assert!(fused.counters.peak_memory_bytes <= unfused.counters.peak_memory_bytes);
+        assert!(fused.counters.utilization_percent >= unfused.counters.utilization_percent);
+    }
+
+    #[test]
+    fn cache_misses_drop_with_fusion() {
+        let g = small_cnn();
+        let inputs = inputs_for(&g);
+        let executor = Executor::new(DeviceSpec::snapdragon_865_cpu());
+        let unfused = executor.run_unfused(&g, &inputs).unwrap();
+        let mut compiler = Compiler::new(CompilerOptions::default());
+        let compiled = compiler.compile(&g).unwrap();
+        let fused = executor.run_compiled(&compiled, &inputs).unwrap();
+        let unfused_l2: u64 = unfused.counters.cache.level_misses.get(1).copied().unwrap_or(0);
+        let fused_l2: u64 = fused.counters.cache.level_misses.get(1).copied().unwrap_or(0);
+        assert!(fused_l2 <= unfused_l2);
+    }
+
+    #[test]
+    fn missing_and_mismatched_inputs_are_rejected() {
+        let g = small_cnn();
+        let executor = Executor::new(DeviceSpec::snapdragon_865_cpu());
+        let empty = HashMap::new();
+        assert!(matches!(
+            executor.run_unfused(&g, &empty),
+            Err(RuntimeError::MissingInput { .. })
+        ));
+        let bad: HashMap<String, Tensor> =
+            [("x".to_string(), Tensor::zeros(Shape::new(vec![2, 2])))].into();
+        assert!(matches!(
+            executor.run_unfused(&g, &bad),
+            Err(RuntimeError::InputShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn latency_report_converts_to_milliseconds() {
+        let g = small_cnn();
+        let inputs = inputs_for(&g);
+        let executor = Executor::new(DeviceSpec::snapdragon_865_cpu()).without_cache_simulation();
+        let report = executor.run_unfused(&g, &inputs).unwrap();
+        assert!((report.latency_ms() - report.counters.latency_us / 1e3).abs() < 1e-12);
+        assert!(report.counters.flops > 0);
+        // Cache simulation disabled: no per-level counters recorded.
+        assert!(report.counters.cache.level_accesses.iter().all(|&a| a == 0));
+    }
+
+    #[test]
+    fn gpu_uses_fp16_traffic_accounting() {
+        let g = small_cnn();
+        let inputs = inputs_for(&g);
+        let cpu = Executor::new(DeviceSpec::snapdragon_865_cpu()).without_cache_simulation();
+        let gpu = Executor::new(DeviceSpec::snapdragon_865_gpu()).without_cache_simulation();
+        let cpu_report = cpu.run_unfused(&g, &inputs).unwrap();
+        let gpu_report = gpu.run_unfused(&g, &inputs).unwrap();
+        assert_eq!(cpu_report.counters.memory_access_bytes, 2 * gpu_report.counters.memory_access_bytes);
+    }
+}

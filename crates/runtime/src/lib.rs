@@ -1,0 +1,26 @@
+//! Executor, memory planner and fused-kernel interpreter for the DNNFusion
+//! reproduction.
+//!
+//! The paper's implementation generates C++/OpenCL for each fused operator
+//! and runs it on a phone. Here the fused operator's data-flow tree is
+//! executed directly by an interpreter: within a fusion block intermediate
+//! tensors live in scratch storage that never reaches "global memory", and
+//! pure element-wise blocks are evaluated in a single pass without any
+//! intermediate buffers at all. The executor feeds every boundary tensor
+//! access through the `dnnf-simdev` cache simulator and cost model, so one
+//! run yields the outputs *and* the latency / memory / cache / utilization
+//! counters that the paper reads from real hardware.
+
+#![warn(missing_docs)]
+
+mod error;
+mod executor;
+mod latency;
+mod memory;
+mod weights;
+
+pub use error::RuntimeError;
+pub use executor::{ExecutionReport, Executor};
+pub use latency::DeviceLatencyModel;
+pub use memory::MemoryPlan;
+pub use weights::materialize_weights;

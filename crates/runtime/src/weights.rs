@@ -1,0 +1,96 @@
+//! Deterministic weight materialization.
+//!
+//! The evaluation only needs structurally-faithful models, not trained
+//! weights (the paper notes accuracy is identical across frameworks and
+//! irrelevant to latency). Weights without explicit data are materialized as
+//! small random tensors seeded by the *name* of the weight, so the same
+//! logical weight gets identical data before and after graph rewriting —
+//! which is what makes the fused-vs-unfused and rewritten-vs-original
+//! numerical equivalence checks meaningful.
+
+use std::collections::HashMap;
+
+use dnnf_graph::{Graph, ValueId};
+use dnnf_tensor::Tensor;
+
+/// Scale applied to randomly materialized weights to keep activations in a
+/// numerically comfortable range through deep models.
+const WEIGHT_SCALE: f32 = 0.05;
+
+/// FNV-1a hash of a name, used as the weight's RNG seed.
+fn name_seed(name: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        hash ^= u64::from(*b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Materializes every weight of a graph: explicit data when attached,
+/// otherwise deterministic (name-seeded) random data.
+#[must_use]
+pub fn materialize_weights(graph: &Graph) -> HashMap<ValueId, Tensor> {
+    let mut weights = HashMap::new();
+    for value in graph.values() {
+        if !value.is_weight() {
+            continue;
+        }
+        let tensor = match graph.weight_data(value.id) {
+            Some(data) => data.clone(),
+            None => Tensor::random(value.shape.clone(), name_seed(&value.name))
+                .map(|v| v * WEIGHT_SCALE),
+        };
+        weights.insert(value.id, tensor);
+    }
+    weights
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnnf_ops::{Attrs, OpKind};
+    use dnnf_tensor::Shape;
+
+    #[test]
+    fn weights_are_deterministic_in_name_not_id() {
+        let mut g1 = Graph::new("a");
+        let w1 = g1.add_weight("layer.w", Shape::new(vec![4, 4]));
+        let mut g2 = Graph::new("b");
+        // Different id (an input precedes it) but the same name.
+        let _x = g2.add_input("x", Shape::new(vec![1]));
+        let w2 = g2.add_weight("layer.w", Shape::new(vec![4, 4]));
+        let m1 = materialize_weights(&g1);
+        let m2 = materialize_weights(&g2);
+        assert_eq!(m1[&w1], m2[&w2]);
+    }
+
+    #[test]
+    fn explicit_data_wins_over_random() {
+        let mut g = Graph::new("explicit");
+        let data = Tensor::full(Shape::new(vec![2]), 3.0);
+        let w = g.add_weight_with_data("w", data.clone());
+        let m = materialize_weights(&g);
+        assert_eq!(m[&w], data);
+    }
+
+    #[test]
+    fn only_weights_are_materialized() {
+        let mut g = Graph::new("mixed");
+        let x = g.add_input("x", Shape::new(vec![2]));
+        let w = g.add_weight("w", Shape::new(vec![2]));
+        let y = g.add_op(OpKind::Add, Attrs::new(), &[x, w], "add").unwrap()[0];
+        g.mark_output(y);
+        let m = materialize_weights(&g);
+        assert_eq!(m.len(), 1);
+        assert!(m.contains_key(&w));
+    }
+
+    #[test]
+    fn random_weights_are_small() {
+        let mut g = Graph::new("scale");
+        let w = g.add_weight("w", Shape::new(vec![64]));
+        let m = materialize_weights(&g);
+        assert!(m[&w].iter().all(|v| v.abs() <= WEIGHT_SCALE));
+    }
+}

@@ -1,0 +1,321 @@
+//! Set-associative cache and TLB simulator.
+//!
+//! Figure 8 of the paper compares L1/L2/L3 data-cache and L1/L2 TLB miss
+//! counts across frameworks (CPU) and L1/L2 miss counts (GPU). The executor
+//! feeds every tensor read/write through this simulator so those counters
+//! can be regenerated from the actual access stream of fused vs unfused
+//! execution.
+
+/// Configuration of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheLevelConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Cache line size in bytes.
+    pub line_bytes: usize,
+    /// Associativity (ways per set).
+    pub associativity: usize,
+}
+
+/// Configuration of one TLB level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbConfig {
+    /// Number of entries.
+    pub entries: usize,
+    /// Page size in bytes.
+    pub page_bytes: usize,
+}
+
+/// A full cache + TLB hierarchy configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Data-cache levels, ordered L1 → last level.
+    pub levels: Vec<CacheLevelConfig>,
+    /// TLB levels, ordered L1 → last level.
+    pub tlbs: Vec<TlbConfig>,
+}
+
+impl CacheConfig {
+    /// A three-level mobile-CPU hierarchy with two TLB levels.
+    #[must_use]
+    pub fn mobile_cpu(l1: usize, l2: usize, l3: usize) -> Self {
+        CacheConfig {
+            levels: vec![
+                CacheLevelConfig { size_bytes: l1, line_bytes: 64, associativity: 4 },
+                CacheLevelConfig { size_bytes: l2, line_bytes: 64, associativity: 8 },
+                CacheLevelConfig { size_bytes: l3, line_bytes: 64, associativity: 16 },
+            ],
+            tlbs: vec![
+                TlbConfig { entries: 48, page_bytes: 4096 },
+                TlbConfig { entries: 1024, page_bytes: 4096 },
+            ],
+        }
+    }
+
+    /// A two-level mobile-GPU hierarchy (no TLB counters reported on GPU).
+    #[must_use]
+    pub fn mobile_gpu(l1: usize, l2: usize) -> Self {
+        CacheConfig {
+            levels: vec![
+                CacheLevelConfig { size_bytes: l1, line_bytes: 64, associativity: 4 },
+                CacheLevelConfig { size_bytes: l2, line_bytes: 64, associativity: 8 },
+            ],
+            tlbs: Vec::new(),
+        }
+    }
+}
+
+/// Per-level miss counts after a simulation run.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Accesses that reached each data-cache level.
+    pub level_accesses: Vec<u64>,
+    /// Misses at each data-cache level.
+    pub level_misses: Vec<u64>,
+    /// Accesses that reached each TLB level.
+    pub tlb_accesses: Vec<u64>,
+    /// Misses at each TLB level.
+    pub tlb_misses: Vec<u64>,
+}
+
+impl CacheStats {
+    /// Miss rate of a data-cache level (0 when the level saw no accesses).
+    #[must_use]
+    pub fn miss_rate(&self, level: usize) -> f64 {
+        match (self.level_accesses.get(level), self.level_misses.get(level)) {
+            (Some(&a), Some(&m)) if a > 0 => m as f64 / a as f64,
+            _ => 0.0,
+        }
+    }
+}
+
+/// One set-associative LRU cache level.
+#[derive(Debug, Clone)]
+struct CacheLevel {
+    config: CacheLevelConfig,
+    /// `sets[set] = Vec<(tag, lru_counter)>`.
+    sets: Vec<Vec<(u64, u64)>>,
+    accesses: u64,
+    misses: u64,
+    clock: u64,
+}
+
+impl CacheLevel {
+    fn new(config: CacheLevelConfig) -> Self {
+        let num_sets =
+            (config.size_bytes / config.line_bytes / config.associativity).max(1);
+        CacheLevel { config, sets: vec![Vec::new(); num_sets], accesses: 0, misses: 0, clock: 0 }
+    }
+
+    /// Accesses the line containing `address`; returns `true` on a hit.
+    fn access(&mut self, address: u64) -> bool {
+        self.clock += 1;
+        self.accesses += 1;
+        let line = address / self.config.line_bytes as u64;
+        let set_idx = (line % self.sets.len() as u64) as usize;
+        let tag = line / self.sets.len() as u64;
+        let set = &mut self.sets[set_idx];
+        if let Some(entry) = set.iter_mut().find(|(t, _)| *t == tag) {
+            entry.1 = self.clock;
+            return true;
+        }
+        self.misses += 1;
+        if set.len() >= self.config.associativity {
+            // Evict the least-recently-used way.
+            if let Some(pos) = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, lru))| *lru)
+                .map(|(i, _)| i)
+            {
+                set.remove(pos);
+            }
+        }
+        set.push((tag, self.clock));
+        false
+    }
+}
+
+/// A fully-associative LRU TLB level.
+#[derive(Debug, Clone)]
+struct TlbLevel {
+    config: TlbConfig,
+    entries: Vec<(u64, u64)>,
+    accesses: u64,
+    misses: u64,
+    clock: u64,
+}
+
+impl TlbLevel {
+    fn new(config: TlbConfig) -> Self {
+        TlbLevel { config, entries: Vec::new(), accesses: 0, misses: 0, clock: 0 }
+    }
+
+    fn access(&mut self, address: u64) -> bool {
+        self.clock += 1;
+        self.accesses += 1;
+        let page = address / self.config.page_bytes as u64;
+        if let Some(entry) = self.entries.iter_mut().find(|(p, _)| *p == page) {
+            entry.1 = self.clock;
+            return true;
+        }
+        self.misses += 1;
+        if self.entries.len() >= self.config.entries {
+            if let Some(pos) = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, lru))| *lru)
+                .map(|(i, _)| i)
+            {
+                self.entries.remove(pos);
+            }
+        }
+        self.entries.push((page, self.clock));
+        false
+    }
+}
+
+/// A simulated cache + TLB hierarchy.
+#[derive(Debug, Clone)]
+pub struct CacheHierarchy {
+    levels: Vec<CacheLevel>,
+    tlbs: Vec<TlbLevel>,
+}
+
+impl CacheHierarchy {
+    /// Builds a hierarchy from its configuration.
+    #[must_use]
+    pub fn new(config: &CacheConfig) -> Self {
+        CacheHierarchy {
+            levels: config.levels.iter().map(|&c| CacheLevel::new(c)).collect(),
+            tlbs: config.tlbs.iter().map(|&c| TlbLevel::new(c)).collect(),
+        }
+    }
+
+    /// Simulates an access of `bytes` bytes starting at `address`, walking
+    /// the hierarchy line by line: a miss at level *i* probes level *i+1*.
+    pub fn access(&mut self, address: u64, bytes: u64) {
+        let line = self.levels.first().map(|l| l.config.line_bytes as u64).unwrap_or(64);
+        let mut addr = address;
+        let end = address + bytes.max(1);
+        while addr < end {
+            // Data caches.
+            for level in &mut self.levels {
+                if level.access(addr) {
+                    break;
+                }
+            }
+            // TLBs.
+            for tlb in &mut self.tlbs {
+                if tlb.access(addr) {
+                    break;
+                }
+            }
+            addr += line;
+        }
+    }
+
+    /// Collected statistics so far.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            level_accesses: self.levels.iter().map(|l| l.accesses).collect(),
+            level_misses: self.levels.iter().map(|l| l.misses).collect(),
+            tlb_accesses: self.tlbs.iter().map(|t| t.accesses).collect(),
+            tlb_misses: self.tlbs.iter().map(|t| t.misses).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> CacheConfig {
+        CacheConfig {
+            levels: vec![
+                CacheLevelConfig { size_bytes: 1024, line_bytes: 64, associativity: 2 },
+                CacheLevelConfig { size_bytes: 8192, line_bytes: 64, associativity: 4 },
+            ],
+            tlbs: vec![TlbConfig { entries: 4, page_bytes: 4096 }],
+        }
+    }
+
+    #[test]
+    fn repeated_access_to_same_line_hits_after_first_miss() {
+        let mut h = CacheHierarchy::new(&tiny_config());
+        h.access(0, 4);
+        h.access(0, 4);
+        h.access(8, 4); // same 64-byte line
+        let s = h.stats();
+        assert_eq!(s.level_accesses[0], 3);
+        assert_eq!(s.level_misses[0], 1);
+        // L2 only sees the single L1 miss.
+        assert_eq!(s.level_accesses[1], 1);
+    }
+
+    #[test]
+    fn streaming_a_large_buffer_misses_every_line_once() {
+        let mut h = CacheHierarchy::new(&tiny_config());
+        let bytes = 64 * 100;
+        h.access(0, bytes);
+        let s = h.stats();
+        assert_eq!(s.level_accesses[0], 100);
+        assert_eq!(s.level_misses[0], 100);
+        // A second pass over a buffer much larger than L1 but smaller than
+        // L2 hits in L2.
+        h.access(0, bytes);
+        let s = h.stats();
+        assert_eq!(s.level_misses[0], 200);
+        assert_eq!(s.level_misses[1], 100);
+    }
+
+    #[test]
+    fn working_set_within_l1_stays_resident() {
+        let mut h = CacheHierarchy::new(&tiny_config());
+        // 512 bytes = 8 lines fits a 1 KiB 2-way cache.
+        for _ in 0..10 {
+            h.access(0, 512);
+        }
+        let s = h.stats();
+        assert_eq!(s.level_misses[0], 8);
+        assert!(s.miss_rate(0) < 0.11);
+    }
+
+    #[test]
+    fn lru_eviction_keeps_recent_lines() {
+        // Two lines mapping to the same set with associativity 2 plus a third
+        // forces an eviction of the least-recently-used one.
+        let config = CacheConfig {
+            levels: vec![CacheLevelConfig { size_bytes: 128, line_bytes: 64, associativity: 1 }],
+            tlbs: vec![],
+        };
+        let mut h = CacheHierarchy::new(&config);
+        // 2 sets; addresses 0 and 128 map to set 0.
+        h.access(0, 1);
+        h.access(128, 1);
+        h.access(0, 1);
+        let s = h.stats();
+        assert_eq!(s.level_misses[0], 3, "direct-mapped conflict misses");
+    }
+
+    #[test]
+    fn tlb_counts_page_granularity() {
+        let mut h = CacheHierarchy::new(&tiny_config());
+        // Touch 3 distinct pages.
+        h.access(0, 1);
+        h.access(4096, 1);
+        h.access(8192, 1);
+        h.access(0, 1);
+        let s = h.stats();
+        assert_eq!(s.tlb_misses[0], 3);
+        assert_eq!(s.tlb_accesses[0], 4);
+    }
+
+    #[test]
+    fn miss_rate_handles_empty_levels() {
+        let s = CacheStats::default();
+        assert_eq!(s.miss_rate(0), 0.0);
+    }
+}

@@ -1,0 +1,218 @@
+//! Roofline-style device cost model.
+//!
+//! Converts the machine-independent work description of a fused kernel
+//! ([`BlockWork`]) into latency and utilization estimates for a specific
+//! [`DeviceSpec`]. This is the stand-in for running on the paper's phones:
+//! the model captures the first-order effects fusion changes — memory
+//! traffic, kernel-launch count, per-kernel parallelism — while staying
+//! deliberately simple and documented.
+
+use crate::{DeviceKind, DeviceSpec};
+
+/// Machine-independent description of one kernel's work.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct BlockWork {
+    /// Floating point operations performed by the kernel.
+    pub flops: u64,
+    /// Elements read from and written to memory outside the kernel.
+    pub boundary_elems: u64,
+    /// Number of operators with access-disrupting mapping types (Shuffle /
+    /// One-to-Many) fused into the kernel.
+    pub access_disrupting_ops: usize,
+    /// Whether the kernel contains a compute-intensive (Many-to-Many) anchor.
+    pub has_compute_anchor: bool,
+    /// Number of output elements (used to estimate achievable parallelism).
+    pub output_elems: u64,
+}
+
+/// A device-calibrated cost model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceCostModel {
+    spec: DeviceSpec,
+}
+
+impl DeviceCostModel {
+    /// Creates a cost model for a device.
+    #[must_use]
+    pub fn new(spec: DeviceSpec) -> Self {
+        DeviceCostModel { spec }
+    }
+
+    /// The underlying device.
+    #[must_use]
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    /// Memory traffic in bytes for a kernel's boundary elements.
+    #[must_use]
+    pub fn boundary_bytes(&self, work: &BlockWork) -> u64 {
+        work.boundary_elems * self.spec.elem_bytes
+    }
+
+    /// Fraction of the device's parallel units a kernel with this many
+    /// output elements can keep busy (small kernels under-utilize wide
+    /// devices — the effect that makes deep, thin models slow in Table 1).
+    #[must_use]
+    pub fn parallel_efficiency(&self, work: &BlockWork) -> f64 {
+        let per_unit = 256u64; // elements of work needed to fill one unit
+        let usable = (work.output_elems / per_unit).max(1) as f64;
+        (usable / self.spec.parallel_units as f64).min(1.0)
+    }
+
+    /// Estimated latency of one kernel in microseconds.
+    #[must_use]
+    pub fn kernel_latency_us(&self, work: &BlockWork) -> f64 {
+        let penalty = if work.has_compute_anchor && work.access_disrupting_ops > 0 {
+            1.0 + self.spec.access_disruption_penalty * work.access_disrupting_ops as f64
+        } else {
+            1.0
+        };
+        let efficiency = self.parallel_efficiency(work).max(0.05);
+        let compute_us =
+            work.flops as f64 * penalty / (self.spec.flops_per_us() * efficiency);
+        let memory_us = self.boundary_bytes(work) as f64 / self.spec.bytes_per_us();
+        compute_us.max(memory_us) + self.spec.kernel_launch_us
+    }
+
+    /// Estimated latency of a whole model given its kernels' work
+    /// descriptions.
+    #[must_use]
+    pub fn model_latency_us(&self, blocks: &[BlockWork]) -> f64 {
+        blocks.iter().map(|b| self.kernel_latency_us(b)).sum()
+    }
+
+    /// Estimated processor utilization (percent) over a whole model: the
+    /// work-weighted average of per-kernel parallel efficiency, discounted by
+    /// the fraction of time spent in kernel-launch overhead.
+    #[must_use]
+    pub fn utilization_percent(&self, blocks: &[BlockWork]) -> f64 {
+        if blocks.is_empty() {
+            return 0.0;
+        }
+        let total_latency = self.model_latency_us(blocks);
+        if total_latency <= 0.0 {
+            return 0.0;
+        }
+        let launch_time = blocks.len() as f64 * self.spec.kernel_launch_us;
+        let busy_fraction = 1.0 - (launch_time / total_latency).min(1.0);
+        let weighted_eff: f64 = blocks
+            .iter()
+            .map(|b| self.parallel_efficiency(b) * self.kernel_latency_us(b))
+            .sum::<f64>()
+            / total_latency;
+        // Base utilization floor reflects that even launch-bound execution
+        // keeps some units busy.
+        let base = match self.spec.kind {
+            DeviceKind::MobileCpu => 0.55,
+            DeviceKind::MobileGpu => 0.60,
+        };
+        100.0 * (base + (1.0 - base) * busy_fraction * weighted_eff).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conv_like() -> BlockWork {
+        BlockWork {
+            flops: 200_000_000,
+            boundary_elems: 2_000_000,
+            access_disrupting_ops: 0,
+            has_compute_anchor: true,
+            output_elems: 1_000_000,
+        }
+    }
+
+    fn elementwise_like() -> BlockWork {
+        BlockWork {
+            flops: 1_000_000,
+            boundary_elems: 2_000_000,
+            access_disrupting_ops: 0,
+            has_compute_anchor: false,
+            output_elems: 1_000_000,
+        }
+    }
+
+    #[test]
+    fn compute_bound_kernels_scale_with_flops() {
+        let model = DeviceCostModel::new(DeviceSpec::snapdragon_865_cpu());
+        let small = BlockWork { flops: 10_000_000, ..conv_like() };
+        assert!(model.kernel_latency_us(&conv_like()) > model.kernel_latency_us(&small));
+    }
+
+    #[test]
+    fn memory_bound_kernels_scale_with_traffic() {
+        let model = DeviceCostModel::new(DeviceSpec::snapdragon_865_cpu());
+        let heavy = BlockWork { boundary_elems: 20_000_000, ..elementwise_like() };
+        assert!(model.kernel_latency_us(&heavy) > model.kernel_latency_us(&elementwise_like()));
+    }
+
+    #[test]
+    fn fusing_elementwise_kernels_saves_latency() {
+        // Two separate element-wise kernels vs one fused kernel with the same
+        // FLOPs but half the boundary traffic and one launch.
+        let model = DeviceCostModel::new(DeviceSpec::snapdragon_865_gpu());
+        let separate = vec![elementwise_like(), elementwise_like()];
+        let fused = vec![BlockWork {
+            flops: 2_000_000,
+            boundary_elems: 2_000_000,
+            ..elementwise_like()
+        }];
+        assert!(model.model_latency_us(&fused) < model.model_latency_us(&separate));
+    }
+
+    #[test]
+    fn gpu_benefits_more_from_launch_reduction_than_cpu() {
+        let cpu = DeviceCostModel::new(DeviceSpec::snapdragon_865_cpu());
+        let gpu = DeviceCostModel::new(DeviceSpec::snapdragon_865_gpu());
+        let many: Vec<BlockWork> = (0..50).map(|_| elementwise_like()).collect();
+        let few = vec![BlockWork {
+            flops: 50 * 1_000_000,
+            boundary_elems: 2_000_000,
+            ..elementwise_like()
+        }];
+        let cpu_speedup = cpu.model_latency_us(&many) / cpu.model_latency_us(&few);
+        let gpu_speedup = gpu.model_latency_us(&many) / gpu.model_latency_us(&few);
+        assert!(gpu_speedup > cpu_speedup, "gpu {gpu_speedup} vs cpu {cpu_speedup}");
+    }
+
+    #[test]
+    fn access_disruption_penalizes_anchored_kernels_only() {
+        let model = DeviceCostModel::new(DeviceSpec::snapdragon_865_cpu());
+        let clean = conv_like();
+        let disrupted = BlockWork { access_disrupting_ops: 2, ..conv_like() };
+        assert!(model.kernel_latency_us(&disrupted) > model.kernel_latency_us(&clean));
+        let eltwise_disrupted = BlockWork { access_disrupting_ops: 2, ..elementwise_like() };
+        assert!(
+            (model.kernel_latency_us(&eltwise_disrupted)
+                - model.kernel_latency_us(&elementwise_like()))
+            .abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn utilization_increases_with_coarser_kernels() {
+        let model = DeviceCostModel::new(DeviceSpec::snapdragon_865_gpu());
+        let many: Vec<BlockWork> = (0..100)
+            .map(|_| BlockWork { output_elems: 10_000, flops: 100_000, boundary_elems: 20_000, ..BlockWork::default() })
+            .collect();
+        let few: Vec<BlockWork> = (0..5)
+            .map(|_| BlockWork { output_elems: 200_000, flops: 2_000_000, boundary_elems: 400_000, ..BlockWork::default() })
+            .collect();
+        assert!(model.utilization_percent(&few) > model.utilization_percent(&many));
+        assert!(model.utilization_percent(&few) <= 100.0);
+        assert_eq!(model.utilization_percent(&[]), 0.0);
+    }
+
+    #[test]
+    fn small_kernels_underutilize_wide_devices() {
+        let model = DeviceCostModel::new(DeviceSpec::snapdragon_865_gpu());
+        let tiny = BlockWork { output_elems: 128, ..elementwise_like() };
+        let big = BlockWork { output_elems: 4_000_000, ..elementwise_like() };
+        assert!(model.parallel_efficiency(&tiny) < model.parallel_efficiency(&big));
+        assert!(model.parallel_efficiency(&big) <= 1.0);
+    }
+}

@@ -1,0 +1,106 @@
+//! Execution counters — the quantities the paper reads from the Snapdragon
+//! Profiler (Figure 8's memory accesses / memory consumption and Figure 9a's
+//! utilization).
+
+use crate::CacheStats;
+
+/// Counters accumulated while executing one inference.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Counters {
+    /// Number of kernel launches (one per fused operator execution).
+    pub kernel_launches: u64,
+    /// Bytes read and written to "global" memory (tensor traffic that
+    /// crosses kernel boundaries).
+    pub memory_access_bytes: u64,
+    /// Peak bytes of live tensors (weights + inputs + intermediates that
+    /// must be materialized) — the paper's "memory consumption".
+    pub peak_memory_bytes: u64,
+    /// Total floating-point operations executed.
+    pub flops: u64,
+    /// Modeled execution latency in microseconds.
+    pub latency_us: f64,
+    /// Modeled processor utilization in percent (0–100).
+    pub utilization_percent: f64,
+    /// Cache / TLB statistics from the cache simulator.
+    pub cache: CacheStats,
+}
+
+impl Counters {
+    /// Achieved throughput in GFLOP/s.
+    #[must_use]
+    pub fn achieved_gflops(&self) -> f64 {
+        if self.latency_us <= 0.0 {
+            0.0
+        } else {
+            self.flops as f64 / self.latency_us / 1e3
+        }
+    }
+
+    /// Memory accesses in mebibytes.
+    #[must_use]
+    pub fn memory_access_mib(&self) -> f64 {
+        self.memory_access_bytes as f64 / (1024.0 * 1024.0)
+    }
+
+    /// Peak memory consumption in mebibytes.
+    #[must_use]
+    pub fn peak_memory_mib(&self) -> f64 {
+        self.peak_memory_bytes as f64 / (1024.0 * 1024.0)
+    }
+
+    /// Accumulates another counter set into this one (used when summing over
+    /// fused blocks).
+    pub fn accumulate(&mut self, other: &Counters) {
+        self.kernel_launches += other.kernel_launches;
+        self.memory_access_bytes += other.memory_access_bytes;
+        self.peak_memory_bytes = self.peak_memory_bytes.max(other.peak_memory_bytes);
+        self.flops += other.flops;
+        self.latency_us += other.latency_us;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let c = Counters {
+            flops: 2_000_000,
+            latency_us: 1000.0,
+            memory_access_bytes: 2 * 1024 * 1024,
+            peak_memory_bytes: 1024 * 1024,
+            ..Counters::default()
+        };
+        assert!((c.achieved_gflops() - 2.0).abs() < 1e-9);
+        assert!((c.memory_access_mib() - 2.0).abs() < 1e-9);
+        assert!((c.peak_memory_mib() - 1.0).abs() < 1e-9);
+        assert_eq!(Counters::default().achieved_gflops(), 0.0);
+    }
+
+    #[test]
+    fn accumulate_sums_traffic_and_keeps_peak() {
+        let mut a = Counters {
+            kernel_launches: 2,
+            memory_access_bytes: 100,
+            peak_memory_bytes: 500,
+            flops: 10,
+            latency_us: 1.0,
+            ..Counters::default()
+        };
+        let b = Counters {
+            kernel_launches: 3,
+            memory_access_bytes: 50,
+            peak_memory_bytes: 300,
+            flops: 20,
+            latency_us: 2.0,
+            ..Counters::default()
+        };
+        a.accumulate(&b);
+        assert_eq!(a.kernel_launches, 5);
+        assert_eq!(a.memory_access_bytes, 150);
+        assert_eq!(a.peak_memory_bytes, 500);
+        assert_eq!(a.flops, 30);
+        assert!((a.latency_us - 3.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,244 @@
+//! Device specifications for the phones used in the paper's evaluation.
+
+use std::fmt;
+
+use crate::cache::CacheConfig;
+
+/// Whether a device model describes a mobile CPU or a mobile GPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceKind {
+    /// A multi-core mobile CPU (8 threads in the paper's runs, fp32).
+    MobileCpu,
+    /// A mobile GPU (all pipelines, fp16 in the paper's runs).
+    MobileGpu,
+}
+
+impl fmt::Display for DeviceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceKind::MobileCpu => f.write_str("CPU"),
+            DeviceKind::MobileGpu => f.write_str("GPU"),
+        }
+    }
+}
+
+/// The phones evaluated in the paper (§5.1 and §5.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phone {
+    /// Samsung Galaxy S20 — Snapdragon 865 (Kryo 585 CPU, Adreno 650 GPU).
+    GalaxyS20,
+    /// Samsung Galaxy S10 — Snapdragon 855 (Kryo 485 CPU, Adreno 640 GPU).
+    GalaxyS10,
+    /// Honor Magic 2 — Kirin 980 (ARM CPU, Mali-G76 GPU).
+    HonorMagic2,
+}
+
+impl Phone {
+    /// All phones, in the order the paper introduces them.
+    #[must_use]
+    pub fn all() -> &'static [Phone] {
+        &[Phone::GalaxyS20, Phone::GalaxyS10, Phone::HonorMagic2]
+    }
+
+    /// Marketing name of the phone.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Phone::GalaxyS20 => "Samsung Galaxy S20 (Snapdragon 865)",
+            Phone::GalaxyS10 => "Samsung Galaxy S10 (Snapdragon 855)",
+            Phone::HonorMagic2 => "Honor Magic 2 (Kirin 980)",
+        }
+    }
+
+    /// The device model for this phone's CPU or GPU.
+    #[must_use]
+    pub fn device(self, kind: DeviceKind) -> DeviceSpec {
+        match (self, kind) {
+            (Phone::GalaxyS20, DeviceKind::MobileCpu) => DeviceSpec::snapdragon_865_cpu(),
+            (Phone::GalaxyS20, DeviceKind::MobileGpu) => DeviceSpec::snapdragon_865_gpu(),
+            (Phone::GalaxyS10, DeviceKind::MobileCpu) => DeviceSpec::snapdragon_855_cpu(),
+            (Phone::GalaxyS10, DeviceKind::MobileGpu) => DeviceSpec::snapdragon_855_gpu(),
+            (Phone::HonorMagic2, DeviceKind::MobileCpu) => DeviceSpec::kirin_980_cpu(),
+            (Phone::HonorMagic2, DeviceKind::MobileGpu) => DeviceSpec::kirin_980_gpu(),
+        }
+    }
+}
+
+/// A parametric device model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceSpec {
+    /// Human-readable name.
+    pub name: String,
+    /// CPU or GPU.
+    pub kind: DeviceKind,
+    /// Peak sustained floating-point throughput in GFLOP/s for the element
+    /// width used on this device.
+    pub peak_gflops: f64,
+    /// Effective DRAM bandwidth in GB/s.
+    pub bandwidth_gbs: f64,
+    /// Per-kernel dispatch/launch overhead in microseconds.
+    pub kernel_launch_us: f64,
+    /// Bytes per tensor element (4 = fp32 CPU, 2 = fp16 GPU).
+    pub elem_bytes: u64,
+    /// Number of cores (CPU) or compute-unit groups (GPU) used to estimate
+    /// utilization for small kernels.
+    pub parallel_units: usize,
+    /// Compute penalty applied per access-disrupting operator fused into a
+    /// compute-intensive kernel (models strided / gathered reads).
+    pub access_disruption_penalty: f64,
+    /// Cache and TLB hierarchy.
+    pub cache: CacheConfig,
+}
+
+impl DeviceSpec {
+    /// Snapdragon 865 (Kryo 585) mobile CPU, fp32, 8 threads.
+    #[must_use]
+    pub fn snapdragon_865_cpu() -> Self {
+        DeviceSpec {
+            name: "Snapdragon 865 CPU (Kryo 585)".into(),
+            kind: DeviceKind::MobileCpu,
+            peak_gflops: 60.0,
+            bandwidth_gbs: 25.0,
+            kernel_launch_us: 4.0,
+            elem_bytes: 4,
+            parallel_units: 8,
+            access_disruption_penalty: 0.35,
+            cache: CacheConfig::mobile_cpu(64 * 1024, 512 * 1024, 4 * 1024 * 1024),
+        }
+    }
+
+    /// Snapdragon 865 (Adreno 650) mobile GPU, fp16.
+    #[must_use]
+    pub fn snapdragon_865_gpu() -> Self {
+        DeviceSpec {
+            name: "Snapdragon 865 GPU (Adreno 650)".into(),
+            kind: DeviceKind::MobileGpu,
+            peak_gflops: 220.0,
+            bandwidth_gbs: 34.0,
+            kernel_launch_us: 18.0,
+            elem_bytes: 2,
+            parallel_units: 512,
+            access_disruption_penalty: 0.5,
+            cache: CacheConfig::mobile_gpu(128 * 1024, 1024 * 1024),
+        }
+    }
+
+    /// Snapdragon 855 (Kryo 485) mobile CPU, fp32.
+    #[must_use]
+    pub fn snapdragon_855_cpu() -> Self {
+        DeviceSpec {
+            name: "Snapdragon 855 CPU (Kryo 485)".into(),
+            peak_gflops: 48.0,
+            bandwidth_gbs: 20.0,
+            kernel_launch_us: 5.0,
+            cache: CacheConfig::mobile_cpu(64 * 1024, 384 * 1024, 2 * 1024 * 1024),
+            ..DeviceSpec::snapdragon_865_cpu()
+        }
+    }
+
+    /// Snapdragon 855 (Adreno 640) mobile GPU, fp16.
+    #[must_use]
+    pub fn snapdragon_855_gpu() -> Self {
+        DeviceSpec {
+            name: "Snapdragon 855 GPU (Adreno 640)".into(),
+            peak_gflops: 170.0,
+            bandwidth_gbs: 28.0,
+            kernel_launch_us: 22.0,
+            cache: CacheConfig::mobile_gpu(96 * 1024, 768 * 1024),
+            ..DeviceSpec::snapdragon_865_gpu()
+        }
+    }
+
+    /// Kirin 980 mobile CPU, fp32.
+    #[must_use]
+    pub fn kirin_980_cpu() -> Self {
+        DeviceSpec {
+            name: "Kirin 980 CPU".into(),
+            peak_gflops: 42.0,
+            bandwidth_gbs: 18.0,
+            kernel_launch_us: 5.5,
+            cache: CacheConfig::mobile_cpu(64 * 1024, 512 * 1024, 2 * 1024 * 1024),
+            ..DeviceSpec::snapdragon_865_cpu()
+        }
+    }
+
+    /// Kirin 980 (Mali-G76) mobile GPU, fp16.
+    #[must_use]
+    pub fn kirin_980_gpu() -> Self {
+        DeviceSpec {
+            name: "Kirin 980 GPU (Mali-G76)".into(),
+            peak_gflops: 140.0,
+            bandwidth_gbs: 25.0,
+            kernel_launch_us: 26.0,
+            cache: CacheConfig::mobile_gpu(64 * 1024, 512 * 1024),
+            ..DeviceSpec::snapdragon_865_gpu()
+        }
+    }
+
+    /// Peak throughput in FLOPs per microsecond.
+    #[must_use]
+    pub fn flops_per_us(&self) -> f64 {
+        self.peak_gflops * 1e3
+    }
+
+    /// Bandwidth in bytes per microsecond.
+    #[must_use]
+    pub fn bytes_per_us(&self) -> f64 {
+        self.bandwidth_gbs * 1e3
+    }
+}
+
+impl fmt::Display for DeviceSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{:.0} GFLOP/s, {:.0} GB/s]", self.name, self.peak_gflops, self.bandwidth_gbs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_cover_all_phones_and_kinds() {
+        for &phone in Phone::all() {
+            for kind in [DeviceKind::MobileCpu, DeviceKind::MobileGpu] {
+                let d = phone.device(kind);
+                assert_eq!(d.kind, kind);
+                assert!(d.peak_gflops > 0.0);
+                assert!(d.bandwidth_gbs > 0.0);
+                assert!(!d.cache.levels.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn gpu_has_higher_peak_but_higher_launch_cost_and_smaller_hierarchy() {
+        let cpu = DeviceSpec::snapdragon_865_cpu();
+        let gpu = DeviceSpec::snapdragon_865_gpu();
+        assert!(gpu.peak_gflops > cpu.peak_gflops);
+        assert!(gpu.kernel_launch_us > cpu.kernel_launch_us);
+        assert!(gpu.cache.levels.len() < cpu.cache.levels.len());
+        assert_eq!(gpu.elem_bytes, 2);
+        assert_eq!(cpu.elem_bytes, 4);
+    }
+
+    #[test]
+    fn newer_devices_are_faster_than_older_ones() {
+        assert!(
+            DeviceSpec::snapdragon_865_cpu().peak_gflops
+                > DeviceSpec::snapdragon_855_cpu().peak_gflops
+        );
+        assert!(
+            DeviceSpec::snapdragon_855_gpu().peak_gflops > DeviceSpec::kirin_980_gpu().peak_gflops
+        );
+    }
+
+    #[test]
+    fn unit_conversions() {
+        let d = DeviceSpec::snapdragon_865_cpu();
+        assert!((d.flops_per_us() - 60_000.0).abs() < 1e-6);
+        assert!((d.bytes_per_us() - 25_000.0).abs() < 1e-6);
+        assert!(d.to_string().contains("Kryo"));
+        assert_eq!(DeviceKind::MobileCpu.to_string(), "CPU");
+    }
+}

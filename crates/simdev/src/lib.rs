@@ -1,0 +1,30 @@
+//! Simulated mobile devices for the DNNFusion reproduction.
+//!
+//! The paper evaluates on three phones (Samsung Galaxy S20 / Snapdragon 865,
+//! Galaxy S10 / Snapdragon 855, Honor Magic 2 / Kirin 980), each with a
+//! mobile CPU and a mobile GPU, and reports latency, memory accesses, cache
+//! misses and processor utilization measured with the Snapdragon Profiler.
+//! None of that hardware is available here, so this crate provides the
+//! substitute: parametric [`DeviceSpec`]s with published peak-throughput /
+//! bandwidth / cache figures, a set-associative [`CacheHierarchy`] simulator
+//! (including TLBs) driven by the executor's real access trace, execution
+//! [`Counters`], and a roofline-style [`DeviceCostModel`] that converts
+//! work + traffic + kernel launches into latency and utilization estimates.
+//!
+//! The absolute numbers are estimates; what the substitution preserves is
+//! the *relative* behaviour the paper's evaluation relies on — fewer
+//! intermediate tensors mean fewer memory accesses and cache misses, fewer
+//! kernel launches matter more on the GPU, and older devices with smaller
+//! caches are more sensitive to fusion.
+
+#![warn(missing_docs)]
+
+mod cache;
+mod cost;
+mod counters;
+mod device;
+
+pub use cache::{CacheConfig, CacheHierarchy, CacheLevelConfig, CacheStats, TlbConfig};
+pub use cost::{BlockWork, DeviceCostModel};
+pub use counters::Counters;
+pub use device::{DeviceKind, DeviceSpec, Phone};

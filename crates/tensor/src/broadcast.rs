@@ -1,0 +1,132 @@
+//! NumPy/ONNX-style broadcasting rules.
+//!
+//! Broadcasting is what turns an element-wise operator into the paper's
+//! *One-to-Many* mapping type ("Elementwise w/ broadcast" in Table 2), so the
+//! exact same rules are reused by the operator library's shape inference and
+//! mapping-type classification.
+
+use crate::{Shape, TensorError};
+
+/// Computes the broadcast result shape of two shapes.
+///
+/// Follows the ONNX multidirectional broadcasting rules: shapes are aligned
+/// at the trailing dimensions and each pair of extents must be equal or one
+/// of them must be 1.
+///
+/// # Errors
+///
+/// Returns [`TensorError::BroadcastMismatch`] if the shapes are incompatible.
+///
+/// # Example
+///
+/// ```
+/// use dnnf_tensor::{broadcast_shapes, Shape};
+///
+/// # fn main() -> Result<(), dnnf_tensor::TensorError> {
+/// let out = broadcast_shapes(&Shape::new(vec![8, 1, 6]), &Shape::new(vec![7, 1]))?;
+/// assert_eq!(out, Shape::new(vec![8, 7, 6]));
+/// # Ok(())
+/// # }
+/// ```
+pub fn broadcast_shapes(lhs: &Shape, rhs: &Shape) -> Result<Shape, TensorError> {
+    let rank = lhs.rank().max(rhs.rank());
+    let mut dims = vec![0usize; rank];
+    for i in 0..rank {
+        let l = extent_from_end(lhs, rank - 1 - i);
+        let r = extent_from_end(rhs, rank - 1 - i);
+        dims[i] = match (l, r) {
+            (a, b) if a == b => a,
+            (1, b) => b,
+            (a, 1) => a,
+            _ => {
+                return Err(TensorError::BroadcastMismatch {
+                    lhs: lhs.dims().to_vec(),
+                    rhs: rhs.dims().to_vec(),
+                })
+            }
+        };
+    }
+    Ok(Shape::new(dims))
+}
+
+/// Maps an index into the broadcast output shape back to an index into an
+/// input of shape `input`, assuming `output` was produced by broadcasting.
+///
+/// Dimensions where the input extent is 1 are pinned to 0; leading output
+/// dimensions absent from the input are dropped.
+#[must_use]
+pub fn broadcast_index(output_index: &[usize], input: &Shape) -> Vec<usize> {
+    let out_rank = output_index.len();
+    let in_rank = input.rank();
+    let mut idx = vec![0usize; in_rank];
+    for axis in 0..in_rank {
+        let out_axis = out_rank - in_rank + axis;
+        idx[axis] = if input.dim(axis) == 1 { 0 } else { output_index[out_axis] };
+    }
+    idx
+}
+
+fn extent_from_end(shape: &Shape, from_end: usize) -> usize {
+    if from_end < shape.rank() {
+        shape.dim(shape.rank() - 1 - from_end)
+    } else {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_shapes_broadcast_to_themselves() {
+        let s = Shape::new(vec![2, 3, 4]);
+        assert_eq!(broadcast_shapes(&s, &s).unwrap(), s);
+    }
+
+    #[test]
+    fn scalar_broadcasts_with_anything() {
+        let s = Shape::new(vec![2, 3]);
+        assert_eq!(broadcast_shapes(&s, &Shape::scalar()).unwrap(), s);
+        assert_eq!(broadcast_shapes(&Shape::scalar(), &s).unwrap(), s);
+    }
+
+    #[test]
+    fn ones_expand() {
+        let a = Shape::new(vec![256, 256, 3]);
+        let b = Shape::new(vec![3]);
+        assert_eq!(broadcast_shapes(&a, &b).unwrap(), a);
+
+        let a = Shape::new(vec![8, 1, 6, 1]);
+        let b = Shape::new(vec![7, 1, 5]);
+        assert_eq!(broadcast_shapes(&a, &b).unwrap(), Shape::new(vec![8, 7, 6, 5]));
+    }
+
+    #[test]
+    fn mismatched_shapes_error() {
+        let a = Shape::new(vec![3]);
+        let b = Shape::new(vec![4]);
+        assert!(broadcast_shapes(&a, &b).is_err());
+        let a = Shape::new(vec![2, 1]);
+        let b = Shape::new(vec![8, 4, 3]);
+        assert!(broadcast_shapes(&a, &b).is_err());
+    }
+
+    #[test]
+    fn broadcast_index_pins_size_one_dims() {
+        let input = Shape::new(vec![1, 3]);
+        assert_eq!(broadcast_index(&[5, 2], &input), vec![0, 2]);
+    }
+
+    #[test]
+    fn broadcast_index_drops_leading_dims() {
+        let input = Shape::new(vec![3]);
+        assert_eq!(broadcast_index(&[7, 4, 2], &input), vec![2]);
+    }
+
+    #[test]
+    fn broadcast_index_identity_when_shapes_match() {
+        let input = Shape::new(vec![2, 3]);
+        assert_eq!(broadcast_index(&[1, 2], &input), vec![1, 2]);
+    }
+}

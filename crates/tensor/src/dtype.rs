@@ -1,0 +1,90 @@
+//! Element data types.
+//!
+//! Execution in this reproduction is carried out in `f32` (the paper uses
+//! fp32 on CPU and fp16 on GPU); the [`DataType`] enum is carried as metadata
+//! so that the cost model can account for element width — e.g. the GPU device
+//! model uses 2-byte elements just like the paper's fp16 GPU runs.
+
+use std::fmt;
+
+/// Element type of a tensor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DataType {
+    /// 32-bit IEEE-754 float (mobile CPU runs in the paper).
+    #[default]
+    F32,
+    /// 16-bit IEEE-754 float (mobile GPU runs in the paper). Stored as `f32`
+    /// in memory here; only the *size* is used by the cost model.
+    F16,
+    /// 64-bit signed integer, used for index tensors (Gather indices, shapes).
+    I64,
+    /// Boolean, used by comparison operators such as `Greater` and `Not`.
+    Bool,
+    /// 8-bit unsigned integer, used by quantized models.
+    U8,
+}
+
+impl DataType {
+    /// Size of one element in bytes as seen by the memory/cost model.
+    #[must_use]
+    pub fn size_bytes(self) -> usize {
+        match self {
+            DataType::F32 => 4,
+            DataType::F16 => 2,
+            DataType::I64 => 8,
+            DataType::Bool | DataType::U8 => 1,
+        }
+    }
+
+    /// Whether the data type represents a floating-point value.
+    #[must_use]
+    pub fn is_float(self) -> bool {
+        matches!(self, DataType::F32 | DataType::F16)
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::F32 => "f32",
+            DataType::F16 => "f16",
+            DataType::I64 => "i64",
+            DataType::Bool => "bool",
+            DataType::U8 => "u8",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match_ieee_widths() {
+        assert_eq!(DataType::F32.size_bytes(), 4);
+        assert_eq!(DataType::F16.size_bytes(), 2);
+        assert_eq!(DataType::I64.size_bytes(), 8);
+        assert_eq!(DataType::Bool.size_bytes(), 1);
+        assert_eq!(DataType::U8.size_bytes(), 1);
+    }
+
+    #[test]
+    fn float_classification() {
+        assert!(DataType::F32.is_float());
+        assert!(DataType::F16.is_float());
+        assert!(!DataType::I64.is_float());
+        assert!(!DataType::Bool.is_float());
+    }
+
+    #[test]
+    fn default_is_f32() {
+        assert_eq!(DataType::default(), DataType::F32);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(DataType::F32.to_string(), "f32");
+        assert_eq!(DataType::I64.to_string(), "i64");
+    }
+}

@@ -1,0 +1,104 @@
+//! Error type shared by all tensor operations.
+
+use std::fmt;
+
+/// Errors raised by tensor construction and manipulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The provided element count does not match the shape's element count.
+    LengthMismatch {
+        /// Number of elements implied by the shape.
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// Two shapes cannot be broadcast together.
+    BroadcastMismatch {
+        /// Left-hand shape dims.
+        lhs: Vec<usize>,
+        /// Right-hand shape dims.
+        rhs: Vec<usize>,
+    },
+    /// A multi-dimensional index is out of bounds for the shape.
+    IndexOutOfBounds {
+        /// Offending index.
+        index: Vec<usize>,
+        /// Shape being indexed.
+        shape: Vec<usize>,
+    },
+    /// A reshape was requested to a shape with a different element count.
+    ReshapeMismatch {
+        /// Source element count.
+        from: usize,
+        /// Target element count.
+        to: usize,
+    },
+    /// An axis argument is out of range for the tensor rank.
+    InvalidAxis {
+        /// Offending axis.
+        axis: usize,
+        /// Rank of the tensor.
+        rank: usize,
+    },
+    /// A permutation argument is not a valid permutation of `0..rank`.
+    InvalidPermutation {
+        /// Offending permutation.
+        perm: Vec<usize>,
+        /// Rank of the tensor.
+        rank: usize,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { expected, actual } => {
+                write!(f, "length mismatch: shape expects {expected} elements, got {actual}")
+            }
+            TensorError::BroadcastMismatch { lhs, rhs } => {
+                write!(f, "shapes {lhs:?} and {rhs:?} cannot be broadcast together")
+            }
+            TensorError::IndexOutOfBounds { index, shape } => {
+                write!(f, "index {index:?} out of bounds for shape {shape:?}")
+            }
+            TensorError::ReshapeMismatch { from, to } => {
+                write!(f, "cannot reshape {from} elements into a shape with {to} elements")
+            }
+            TensorError::InvalidAxis { axis, rank } => {
+                write!(f, "axis {axis} is invalid for rank {rank}")
+            }
+            TensorError::InvalidPermutation { perm, rank } => {
+                write!(f, "permutation {perm:?} is invalid for rank {rank}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = TensorError::LengthMismatch { expected: 4, actual: 3 };
+        assert!(e.to_string().contains("length mismatch"));
+        let e = TensorError::BroadcastMismatch { lhs: vec![2], rhs: vec![3] };
+        assert!(e.to_string().contains("broadcast"));
+        let e = TensorError::IndexOutOfBounds { index: vec![5], shape: vec![2] };
+        assert!(e.to_string().contains("out of bounds"));
+        let e = TensorError::ReshapeMismatch { from: 6, to: 8 };
+        assert!(e.to_string().contains("reshape"));
+        let e = TensorError::InvalidAxis { axis: 3, rank: 2 };
+        assert!(e.to_string().contains("axis"));
+        let e = TensorError::InvalidPermutation { perm: vec![0, 0], rank: 2 };
+        assert!(e.to_string().contains("permutation"));
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

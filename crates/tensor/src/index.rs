@@ -1,0 +1,104 @@
+//! Multi-dimensional index iteration.
+
+use crate::Shape;
+
+/// Iterator over all multi-dimensional indices of a [`Shape`] in row-major
+/// order.
+///
+/// # Example
+///
+/// ```
+/// use dnnf_tensor::{IndexIter, Shape};
+///
+/// let indices: Vec<Vec<usize>> = IndexIter::new(&Shape::new(vec![2, 2])).collect();
+/// assert_eq!(indices, vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct IndexIter {
+    dims: Vec<usize>,
+    current: Vec<usize>,
+    remaining: usize,
+}
+
+impl IndexIter {
+    /// Creates an iterator over every index of `shape`.
+    #[must_use]
+    pub fn new(shape: &Shape) -> Self {
+        IndexIter {
+            dims: shape.dims().to_vec(),
+            current: vec![0; shape.rank()],
+            remaining: if shape.is_empty() { 0 } else { shape.numel() },
+        }
+    }
+}
+
+impl Iterator for IndexIter {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let item = self.current.clone();
+        self.remaining -= 1;
+        // Advance odometer-style.
+        for axis in (0..self.dims.len()).rev() {
+            self.current[axis] += 1;
+            if self.current[axis] < self.dims[axis] {
+                break;
+            }
+            self.current[axis] = 0;
+        }
+        Some(item)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for IndexIter {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iterates_in_row_major_order() {
+        let shape = Shape::new(vec![2, 3]);
+        let all: Vec<_> = IndexIter::new(&shape).collect();
+        assert_eq!(all.len(), 6);
+        assert_eq!(all[0], vec![0, 0]);
+        assert_eq!(all[1], vec![0, 1]);
+        assert_eq!(all[3], vec![1, 0]);
+        assert_eq!(all[5], vec![1, 2]);
+    }
+
+    #[test]
+    fn scalar_shape_yields_single_empty_index() {
+        let all: Vec<_> = IndexIter::new(&Shape::scalar()).collect();
+        assert_eq!(all, vec![Vec::<usize>::new()]);
+    }
+
+    #[test]
+    fn empty_shape_yields_nothing() {
+        let all: Vec<_> = IndexIter::new(&Shape::new(vec![2, 0, 3])).collect();
+        assert!(all.is_empty());
+    }
+
+    #[test]
+    fn size_hint_is_exact() {
+        let mut it = IndexIter::new(&Shape::new(vec![4, 5]));
+        assert_eq!(it.len(), 20);
+        it.next();
+        assert_eq!(it.len(), 19);
+    }
+
+    #[test]
+    fn matches_linear_offsets() {
+        let shape = Shape::new(vec![3, 2, 4]);
+        for (offset, idx) in IndexIter::new(&shape).enumerate() {
+            assert_eq!(shape.linear_offset(&idx).unwrap(), offset);
+        }
+    }
+}

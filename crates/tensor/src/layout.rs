@@ -1,0 +1,93 @@
+//! Data layouts (formats).
+//!
+//! DNNFusion's inter-block optimization (paper §4.4.2) picks one *dominant*
+//! operator per fusion block and uses its preferred layout for the whole
+//! block. The runtime and cost model only need layout identity (to count
+//! conversions); kernels execute in row-major order regardless.
+
+use std::fmt;
+
+/// Memory layout of a tensor's logical dimensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Layout {
+    /// Plain row-major without a semantic interpretation (e.g. 2-D GEMM
+    /// operands, transformer activations).
+    #[default]
+    RowMajor,
+    /// Batch, channel, height, width — preferred by this repo's Conv kernels
+    /// and the paper's CPU backend.
+    Nchw,
+    /// Batch, height, width, channel — preferred by depthwise convolutions
+    /// and the paper's GPU backend for pointwise chains.
+    Nhwc,
+    /// Batch, channel, depth, height, width — 3-D CNNs (C3D, S3D).
+    Ncdhw,
+    /// Channel-blocked layout (NC/8HW8-style) used by vectorized conv kernels.
+    NchwC8,
+}
+
+impl Layout {
+    /// All layouts the inter-block optimizer may choose between.
+    #[must_use]
+    pub fn all() -> &'static [Layout] {
+        &[Layout::RowMajor, Layout::Nchw, Layout::Nhwc, Layout::Ncdhw, Layout::NchwC8]
+    }
+
+    /// Whether converting between `self` and `other` requires a physical data
+    /// reordering pass (identity conversions are free).
+    #[must_use]
+    pub fn conversion_required(self, other: Layout) -> bool {
+        self != other
+    }
+
+    /// Short name used in reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Layout::RowMajor => "row-major",
+            Layout::Nchw => "NCHW",
+            Layout::Nhwc => "NHWC",
+            Layout::Ncdhw => "NCDHW",
+            Layout::NchwC8 => "NCHWc8",
+        }
+    }
+}
+
+impl fmt::Display for Layout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversion_required_only_between_distinct_layouts() {
+        assert!(!Layout::Nchw.conversion_required(Layout::Nchw));
+        assert!(Layout::Nchw.conversion_required(Layout::Nhwc));
+        assert!(Layout::RowMajor.conversion_required(Layout::NchwC8));
+    }
+
+    #[test]
+    fn all_layouts_are_distinct() {
+        let all = Layout::all();
+        for (i, a) in all.iter().enumerate() {
+            for (j, b) in all.iter().enumerate() {
+                assert_eq!(i == j, a == b);
+            }
+        }
+    }
+
+    #[test]
+    fn default_is_row_major() {
+        assert_eq!(Layout::default(), Layout::RowMajor);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Layout::Nchw.to_string(), "NCHW");
+        assert_eq!(Layout::Nhwc.to_string(), "NHWC");
+    }
+}

@@ -1,0 +1,89 @@
+//! Property-based tests for the tensor substrate.
+
+use dnnf_tensor::{broadcast_index, broadcast_shapes, IndexIter, Shape, Tensor};
+use proptest::prelude::*;
+
+fn small_shape() -> impl Strategy<Value = Shape> {
+    prop::collection::vec(1usize..5, 0..4).prop_map(Shape::new)
+}
+
+proptest! {
+    #[test]
+    fn linear_multi_index_roundtrip(shape in small_shape()) {
+        for offset in 0..shape.numel() {
+            let idx = shape.multi_index(offset);
+            prop_assert_eq!(shape.linear_offset(&idx).unwrap(), offset);
+        }
+    }
+
+    #[test]
+    fn index_iter_covers_every_offset_once(shape in small_shape()) {
+        let offsets: Vec<usize> = IndexIter::new(&shape)
+            .map(|idx| shape.linear_offset(&idx).unwrap())
+            .collect();
+        let expected: Vec<usize> = (0..shape.numel()).collect();
+        prop_assert_eq!(offsets, expected);
+    }
+
+    #[test]
+    fn broadcast_is_commutative_in_shape(a in small_shape(), b in small_shape()) {
+        let ab = broadcast_shapes(&a, &b);
+        let ba = broadcast_shapes(&b, &a);
+        match (ab, ba) {
+            (Ok(x), Ok(y)) => prop_assert_eq!(x, y),
+            (Err(_), Err(_)) => {}
+            _ => prop_assert!(false, "broadcast compatibility must be symmetric"),
+        }
+    }
+
+    #[test]
+    fn broadcast_with_self_is_identity(a in small_shape()) {
+        prop_assert_eq!(broadcast_shapes(&a, &a).unwrap(), a);
+    }
+
+    #[test]
+    fn broadcast_index_is_always_in_bounds(a in small_shape(), b in small_shape()) {
+        if let Ok(out) = broadcast_shapes(&a, &b) {
+            for idx in IndexIter::new(&out) {
+                let ia = broadcast_index(&idx, &a);
+                let ib = broadcast_index(&idx, &b);
+                prop_assert!(a.linear_offset(&ia).is_ok());
+                prop_assert!(b.linear_offset(&ib).is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn zip_broadcast_addition_is_commutative(a in small_shape(), b in small_shape(), seed in 0u64..1000) {
+        let ta = Tensor::random(a.clone(), seed);
+        let tb = Tensor::random(b.clone(), seed.wrapping_add(1));
+        if broadcast_shapes(&a, &b).is_ok() {
+            let x = ta.zip_broadcast(&tb, |p, q| p + q).unwrap();
+            let y = tb.zip_broadcast(&ta, |p, q| p + q).unwrap();
+            prop_assert!(x.allclose(&y, 1e-6));
+        }
+    }
+
+    #[test]
+    fn transpose_roundtrip_is_identity(dims in prop::collection::vec(1usize..5, 1..4), seed in 0u64..1000) {
+        let shape = Shape::new(dims.clone());
+        let t = Tensor::random(shape, seed);
+        let rank = dims.len();
+        // Rotate the axes by one and then invert the rotation.
+        let perm: Vec<usize> = (0..rank).map(|i| (i + 1) % rank).collect();
+        let mut inverse = vec![0usize; rank];
+        for (i, &p) in perm.iter().enumerate() {
+            inverse[p] = i;
+        }
+        let back = t.transpose(&perm).unwrap().transpose(&inverse).unwrap();
+        prop_assert_eq!(back, t);
+    }
+
+    #[test]
+    fn reshape_preserves_data(dims in prop::collection::vec(1usize..5, 1..4), seed in 0u64..1000) {
+        let shape = Shape::new(dims);
+        let t = Tensor::random(shape.clone(), seed);
+        let flat = t.reshape(Shape::new(vec![shape.numel()])).unwrap();
+        prop_assert_eq!(flat.data(), t.data());
+    }
+}
