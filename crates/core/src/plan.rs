@@ -221,7 +221,7 @@ impl FusionPlan {
                 v.is_intermediate()
                     && !graph.outputs().contains(&v.id)
                     && !v.consumers.is_empty()
-                    && v.producer.map_or(false, |p| {
+                    && v.producer.is_some_and(|p| {
                         let pb = self.block_of(p);
                         v.consumers.iter().all(|&c| self.block_of(c) == pb)
                     })

@@ -181,7 +181,7 @@ fn total_load_elems(graph: &Graph) -> u64 {
 }
 
 /// The producer node of a value, if any.
-pub(crate) fn producer<'g>(graph: &'g Graph, value: ValueId) -> Option<&'g Node> {
+pub(crate) fn producer(graph: &Graph, value: ValueId) -> Option<&Node> {
     graph.value(value).producer.map(|p| graph.node(p))
 }
 
@@ -190,6 +190,13 @@ pub(crate) fn producer<'g>(graph: &'g Graph, value: ValueId) -> Option<&'g Node>
 pub(crate) fn single_use(graph: &Graph, value: ValueId) -> bool {
     graph.value(value).consumers.len() == 1 && !graph.outputs().contains(&value)
 }
+
+/// Splice callback for [`rebuild_replacing`]: given the partially-built new
+/// graph and the old-to-new value-id mapping, adds the replacement operators
+/// and returns the mapping for the removed nodes' output values.
+pub(crate) type SpliceFn<'a> =
+    dyn FnMut(&mut Graph, &BTreeMap<ValueId, ValueId>) -> Result<BTreeMap<ValueId, ValueId>, GraphError>
+        + 'a;
 
 /// Rebuilds `graph` with the nodes in `removed` deleted and a replacement
 /// sub-graph spliced in.
@@ -201,10 +208,7 @@ pub(crate) fn single_use(graph: &Graph, value: ValueId) -> bool {
 pub(crate) fn rebuild_replacing(
     graph: &Graph,
     removed: &BTreeSet<NodeId>,
-    splice: &mut dyn FnMut(
-        &mut Graph,
-        &BTreeMap<ValueId, ValueId>,
-    ) -> Result<BTreeMap<ValueId, ValueId>, GraphError>,
+    splice: &mut SpliceFn,
 ) -> Result<Graph, GraphError> {
     let mut new = Graph::new(graph.name());
     let mut map: BTreeMap<ValueId, ValueId> = BTreeMap::new();

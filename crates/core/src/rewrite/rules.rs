@@ -49,7 +49,7 @@ fn other_operand(node: &Node, v: ValueId) -> Option<ValueId> {
 
 /// Checks that a node is a single-output producer of `value` with kind `op`
 /// and that `value` is only used once (so folding it away is legal).
-fn foldable_producer<'g>(graph: &'g Graph, value: ValueId, op: OpKind) -> Option<&'g Node> {
+fn foldable_producer(graph: &Graph, value: ValueId, op: OpKind) -> Option<&Node> {
     let node = producer(graph, value)?;
     if node.op == op && single_use(graph, value) {
         Some(node)

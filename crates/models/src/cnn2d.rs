@@ -248,7 +248,7 @@ pub fn yolo_v4(scale: ModelScale) -> Result<Graph, GraphError> {
             &mut g,
             neck,
             neck_ch,
-            feat_ch / 2.max(1),
+            (feat_ch / 2).max(1),
             1,
             1,
             1,
@@ -265,7 +265,7 @@ pub fn yolo_v4(scale: ModelScale) -> Result<Graph, GraphError> {
             &mut g,
             feat,
             feat_ch,
-            feat_ch / 2.max(1),
+            (feat_ch / 2).max(1),
             1,
             1,
             1,
@@ -282,14 +282,14 @@ pub fn yolo_v4(scale: ModelScale) -> Result<Graph, GraphError> {
             &mut g,
             cat,
             feat_ch,
-            feat_ch / 2.max(1),
+            (feat_ch / 2).max(1),
             3,
             1,
             1,
             Some(OpKind::LeakyRelu),
             &format!("pan{level}.fuse"),
         )?;
-        neck_ch = feat_ch / 2.max(1);
+        neck_ch = (feat_ch / 2).max(1);
         heads.push((neck, neck_ch));
     }
     heads.push((conv_bn_act(&mut g, spp, deep_ch * 4, deep_ch, 3, 1, 1, Some(OpKind::LeakyRelu), "head.deep")?, deep_ch));

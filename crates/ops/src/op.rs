@@ -518,9 +518,9 @@ fn erf_approx(x: f32) -> f32 {
     let x = x.abs();
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let y = 1.0
-        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736)
+        - (((((1.061_405_4 * t - 1.453_152_1) * t) + 1.421_413_8) * t - 0.284_496_72)
             * t
-            + 0.254_829_592)
+            + 0.254_829_6)
             * t
             * (-x * x).exp();
     sign * y
@@ -568,7 +568,7 @@ mod tests {
         );
         // Unary ops never become One-to-Many.
         assert_eq!(
-            OpKind::Relu.mapping_type_with_shapes(&[a.clone()], &out),
+            OpKind::Relu.mapping_type_with_shapes(std::slice::from_ref(&a), &out),
             MappingType::OneToOne
         );
     }

@@ -143,7 +143,7 @@ fn infer_split(attrs: &Attrs, input: &Shape) -> Result<Vec<Shape>, OpError> {
     let splits = attrs.ints_or("split", &[]);
     let parts: Vec<usize> = if splits.is_empty() {
         let n = attrs.int_or("num_outputs", 2).max(1) as usize;
-        if extent % n != 0 {
+        if !extent.is_multiple_of(n) {
             return Err(OpError::InvalidShape {
                 op,
                 reason: format!("axis extent {extent} not divisible into {n} outputs"),
@@ -337,7 +337,7 @@ fn infer_global_pool(x: &Shape) -> Result<Shape, OpError> {
         });
     }
     let mut dims = vec![x.dim(0), x.dim(1)];
-    dims.extend(std::iter::repeat(1).take(x.rank() - 2));
+    dims.extend(std::iter::repeat_n(1, x.rank() - 2));
     Ok(Shape::new(dims))
 }
 
@@ -463,7 +463,7 @@ fn infer_reshape(op: OpKind, attrs: &Attrs, input: &Shape) -> Result<Shape, OpEr
         .map(|(_, &d)| d)
         .product();
     if let Some(pos) = infer_pos {
-        if known == 0 || input.numel() % known != 0 {
+        if known == 0 || !input.numel().is_multiple_of(known) {
             return Err(OpError::InvalidShape {
                 op,
                 reason: format!("cannot infer -1: {} elements over {known}", input.numel()),
@@ -561,7 +561,7 @@ fn infer_transpose(attrs: &Attrs, input: &Shape) -> Result<Shape, OpError> {
 fn infer_depth_to_space(attrs: &Attrs, input: &Shape) -> Result<Shape, OpError> {
     let op = OpKind::DepthToSpace;
     let b = attrs.int_or("blocksize", 1).max(1) as usize;
-    if input.rank() != 4 || input.dim(1) % (b * b) != 0 {
+    if input.rank() != 4 || !input.dim(1).is_multiple_of(b * b) {
         return Err(OpError::InvalidShape {
             op,
             reason: "expected NCHW input with C divisible by blocksize^2".into(),
@@ -573,7 +573,7 @@ fn infer_depth_to_space(attrs: &Attrs, input: &Shape) -> Result<Shape, OpError> 
 fn infer_space_to_depth(attrs: &Attrs, input: &Shape) -> Result<Shape, OpError> {
     let op = OpKind::SpaceToDepth;
     let b = attrs.int_or("blocksize", 1).max(1) as usize;
-    if input.rank() != 4 || input.dim(2) % b != 0 || input.dim(3) % b != 0 {
+    if input.rank() != 4 || !input.dim(2).is_multiple_of(b) || !input.dim(3).is_multiple_of(b) {
         return Err(OpError::InvalidShape {
             op,
             reason: "expected NCHW input with H and W divisible by blocksize".into(),

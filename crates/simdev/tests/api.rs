@@ -1,0 +1,142 @@
+//! Integration tests exercising the `dnnf-simdev` public re-export surface:
+//! device constructors, the cache simulator, the roofline cost model and the
+//! execution counters, used together the way the executor uses them.
+
+use dnnf_simdev::{
+    BlockWork, CacheHierarchy, Counters, DeviceCostModel, DeviceKind, DeviceSpec, Phone,
+};
+
+#[test]
+fn all_six_evaluated_devices_are_constructible_and_sane() {
+    let named = [
+        DeviceSpec::snapdragon_865_cpu(),
+        DeviceSpec::snapdragon_865_gpu(),
+        DeviceSpec::snapdragon_855_cpu(),
+        DeviceSpec::snapdragon_855_gpu(),
+        DeviceSpec::kirin_980_cpu(),
+        DeviceSpec::kirin_980_gpu(),
+    ];
+    for spec in &named {
+        assert!(spec.flops_per_us() > 0.0);
+        assert!(spec.bytes_per_us() > 0.0);
+    }
+    // The Phone × DeviceKind matrix must cover exactly those six devices.
+    assert_eq!(Phone::all().len(), 3);
+    for &phone in Phone::all() {
+        assert!(!phone.name().is_empty());
+        for kind in [DeviceKind::MobileCpu, DeviceKind::MobileGpu] {
+            let spec = phone.device(kind);
+            assert!(named.contains(&spec), "{}/{kind:?} not in the named set", phone.name());
+        }
+    }
+}
+
+#[test]
+fn gpus_have_more_compute_than_their_cpus() {
+    for &phone in Phone::all() {
+        let cpu = phone.device(DeviceKind::MobileCpu);
+        let gpu = phone.device(DeviceKind::MobileGpu);
+        assert!(
+            gpu.flops_per_us() > cpu.flops_per_us(),
+            "{}: mobile GPU should out-FLOP the CPU",
+            phone.name()
+        );
+    }
+}
+
+#[test]
+fn cache_hierarchy_rewards_reuse() {
+    let config = DeviceSpec::snapdragon_865_cpu().cache;
+    // A streaming pass over a large buffer: mostly cold misses.
+    let mut streaming = CacheHierarchy::new(&config);
+    for i in 0..10_000u64 {
+        streaming.access(i * 64, 4);
+    }
+    // The same number of accesses confined to one hot line.
+    let mut hot = CacheHierarchy::new(&config);
+    for _ in 0..10_000u64 {
+        hot.access(0, 4);
+    }
+    let streaming_miss = streaming.stats().miss_rate(0);
+    let hot_miss = hot.stats().miss_rate(0);
+    assert!((0.0..=1.0).contains(&streaming_miss));
+    assert!((0.0..=1.0).contains(&hot_miss));
+    assert!(
+        hot_miss < streaming_miss,
+        "repeated access to one line ({hot_miss}) must miss less than streaming ({streaming_miss})"
+    );
+}
+
+#[test]
+fn cost_model_latency_is_monotone_in_work() {
+    let model = DeviceCostModel::new(DeviceSpec::snapdragon_865_cpu());
+    let small = BlockWork {
+        flops: 1_000,
+        boundary_elems: 100,
+        output_elems: 100,
+        ..BlockWork::default()
+    };
+    let big = BlockWork { flops: 1_000_000, ..small };
+    let small_latency = model.kernel_latency_us(&small);
+    let big_latency = model.kernel_latency_us(&big);
+    assert!(small_latency > 0.0);
+    assert!(big_latency >= small_latency, "more FLOPs cannot be faster");
+    assert!(model.boundary_bytes(&small) >= small.boundary_elems);
+    let eff = model.parallel_efficiency(&small);
+    assert!((0.0..=1.0).contains(&eff));
+}
+
+#[test]
+fn fewer_larger_kernels_model_faster_than_many_small_ones() {
+    // The first-order effect fusion exploits: one kernel doing all the work
+    // beats the same work split across many launches with boundary traffic.
+    let model = DeviceCostModel::new(DeviceSpec::snapdragon_865_gpu());
+    let fused = vec![BlockWork {
+        flops: 8_000_000,
+        boundary_elems: 20_000,
+        output_elems: 10_000,
+        has_compute_anchor: true,
+        ..BlockWork::default()
+    }];
+    let unfused: Vec<BlockWork> = (0..8)
+        .map(|_| BlockWork {
+            flops: 1_000_000,
+            boundary_elems: 20_000,
+            output_elems: 10_000,
+            has_compute_anchor: true,
+            ..BlockWork::default()
+        })
+        .collect();
+    assert!(model.model_latency_us(&fused) < model.model_latency_us(&unfused));
+    for works in [&fused, &unfused] {
+        let util = model.utilization_percent(works);
+        assert!((0.0..=100.0).contains(&util));
+    }
+}
+
+#[test]
+fn counters_accumulate_sums_traffic_and_maxes_peak_memory() {
+    let mut a = Counters {
+        kernel_launches: 2,
+        memory_access_bytes: 1024 * 1024,
+        peak_memory_bytes: 500,
+        flops: 1_000,
+        latency_us: 2.0,
+        ..Counters::default()
+    };
+    let b = Counters {
+        kernel_launches: 3,
+        memory_access_bytes: 1024 * 1024,
+        peak_memory_bytes: 700,
+        flops: 500,
+        latency_us: 1.5,
+        ..Counters::default()
+    };
+    a.accumulate(&b);
+    assert_eq!(a.kernel_launches, 5);
+    assert_eq!(a.flops, 1_500);
+    assert_eq!(a.peak_memory_bytes, 700, "peak memory maxes, it does not sum");
+    assert!((a.latency_us - 3.5).abs() < 1e-9);
+    assert!((a.memory_access_mib() - 2.0).abs() < 1e-9);
+    assert!(a.achieved_gflops() > 0.0);
+}

@@ -31,10 +31,10 @@ use crate::{Shape, TensorError};
 pub fn broadcast_shapes(lhs: &Shape, rhs: &Shape) -> Result<Shape, TensorError> {
     let rank = lhs.rank().max(rhs.rank());
     let mut dims = vec![0usize; rank];
-    for i in 0..rank {
+    for (i, dim) in dims.iter_mut().enumerate() {
         let l = extent_from_end(lhs, rank - 1 - i);
         let r = extent_from_end(rhs, rank - 1 - i);
-        dims[i] = match (l, r) {
+        *dim = match (l, r) {
             (a, b) if a == b => a,
             (1, b) => b,
             (a, 1) => a,
@@ -59,9 +59,9 @@ pub fn broadcast_index(output_index: &[usize], input: &Shape) -> Vec<usize> {
     let out_rank = output_index.len();
     let in_rank = input.rank();
     let mut idx = vec![0usize; in_rank];
-    for axis in 0..in_rank {
+    for (axis, i) in idx.iter_mut().enumerate() {
         let out_axis = out_rank - in_rank + axis;
-        idx[axis] = if input.dim(axis) == 1 { 0 } else { output_index[out_axis] };
+        *i = if input.dim(axis) == 1 { 0 } else { output_index[out_axis] };
     }
     idx
 }

@@ -67,7 +67,7 @@ impl Shape {
     /// Whether any dimension is zero, i.e. the shape holds no elements.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.dims.iter().any(|&d| d == 0)
+        self.dims.contains(&0)
     }
 
     /// Row-major (C-order) strides, in elements.

@@ -1,0 +1,412 @@
+//! Minimal, dependency-free shim of the parts of the `proptest` crate API
+//! that this workspace uses. The build environment has no registry access,
+//! so the workspace vendors this crate and path-depends on it under the name
+//! `proptest`.
+//!
+//! Provided surface:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]` line);
+//! * [`Strategy`] with `prop_map`, integer-range strategies,
+//!   `prop::collection::vec`, and [`any`] for `Arbitrary` types;
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`];
+//! * [`ProptestConfig::with_cases`];
+//! * persisted regression seeds: before the random cases run, seeds listed as
+//!   `cc <u64>` lines in `<crate root>/proptest-regressions/<file stem>.txt`
+//!   are replayed first, mirroring upstream proptest's failure persistence.
+//!
+//! Unlike upstream there is no shrinking: a failing case reports the seed
+//! that produced it, which can be checked into the regression file verbatim.
+
+#![warn(missing_docs)]
+
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+
+pub mod prelude {
+    //! One-stop import mirroring `proptest::prelude`.
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy, TestRng,
+    };
+    /// Alias of the crate root so `prop::collection::vec(..)` resolves.
+    pub use crate as prop;
+}
+
+pub mod collection {
+    //! Strategies for collections.
+
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy generating `Vec`s whose length is drawn from `len` and whose
+    /// elements are drawn from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Generates vectors of values from `element` with length in `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            let n = rng.below_range(&self.len);
+            (0..n).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+/// Deterministic generator handed to strategies while a property test runs.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator for one test case from `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed ^ 0x5DEE_CE66_D1CE_CAFE }
+    }
+
+    /// Returns the next 64 random bits (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, n)`; `n` must be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        // Modulo bias is negligible for the small ranges used in tests.
+        self.next_u64() % n
+    }
+
+    fn below_range(&mut self, range: &Range<usize>) -> usize {
+        assert!(range.start < range.end, "empty range strategy");
+        range.start + self.below((range.end - range.start) as u64) as usize
+    }
+}
+
+/// A generator of values of one type, the heart of the proptest API.
+pub trait Strategy {
+    /// The type of values this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn new_value(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Types with a canonical strategy, usable through [`any`].
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct AnyStrategy<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// Canonical strategy for `T`, mirroring `proptest::prelude::any`.
+#[must_use]
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy { _marker: std::marker::PhantomData }
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Configuration for one `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test (after regression seeds).
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases per test.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01B3);
+    }
+    h
+}
+
+/// Path of the persisted-seed file for a given source file, mirroring
+/// upstream's `proptest-regressions/` convention (keyed by file stem since
+/// each package's test files have unique stems).
+fn regression_path(manifest_dir: &str, source_file: &str) -> PathBuf {
+    let stem = Path::new(source_file)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "unknown".to_owned());
+    Path::new(manifest_dir).join("proptest-regressions").join(format!("{stem}.txt"))
+}
+
+fn regression_seeds(path: &Path) -> Vec<u64> {
+    let Ok(contents) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    parse_regression_seeds(&contents)
+}
+
+fn parse_regression_seeds(contents: &str) -> Vec<u64> {
+    contents
+        .lines()
+        .filter_map(|line| {
+            let line = line.trim();
+            let rest = line.strip_prefix("cc ")?;
+            rest.trim().parse::<u64>().ok()
+        })
+        .collect()
+}
+
+/// Drives one property test: replays persisted regression seeds, then runs
+/// `config.cases` deterministic pseudo-random cases. On failure the offending
+/// seed and the regression-file line to persist it are printed before the
+/// panic is propagated.
+///
+/// Called by the [`proptest!`] macro; not part of the public proptest API.
+pub fn run_test<F: FnMut(&mut TestRng)>(
+    config: &ProptestConfig,
+    manifest_dir: &str,
+    source_file: &str,
+    test_name: &str,
+    mut body: F,
+) {
+    let reg_path = regression_path(manifest_dir, source_file);
+    let persisted = regression_seeds(&reg_path);
+    let base = fnv1a(format!("{source_file}::{test_name}").as_bytes());
+
+    let seeds = persisted
+        .iter()
+        .copied()
+        .chain((0..config.cases).map(|i| base.wrapping_add(u64::from(i).wrapping_mul(0x9E37_79B9_7F4A_7C15))));
+
+    for (case, seed) in seeds.enumerate() {
+        let mut rng = TestRng::new(seed);
+        let result = catch_unwind(AssertUnwindSafe(|| body(&mut rng)));
+        if let Err(payload) = result {
+            eprintln!(
+                "proptest: {test_name} failed at case {case} (seed {seed}).\n\
+                 proptest: to persist this case, add the line `cc {seed}` to {}",
+                reg_path.display()
+            );
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Declares property tests. Mirrors `proptest::proptest!`: an optional
+/// `#![proptest_config(expr)]` line followed by `#[test]` functions whose
+/// arguments are drawn from strategies with `name in strategy` syntax.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr); $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $config;
+                $crate::run_test(
+                    &config,
+                    env!("CARGO_MANIFEST_DIR"),
+                    file!(),
+                    stringify!($name),
+                    |rng| {
+                        $(let $arg = $crate::Strategy::new_value(&($strat), rng);)*
+                        $body
+                    },
+                );
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn range_strategy_in_bounds() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..1000 {
+            let v = Strategy::new_value(&(3usize..9), &mut rng);
+            assert!((3..9).contains(&v));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_len_in_bounds() {
+        let mut rng = TestRng::new(2);
+        for _ in 0..1000 {
+            let v = prop::collection::vec(0u8..5, 2..6).new_value(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    #[test]
+    fn prop_map_applies() {
+        let mut rng = TestRng::new(3);
+        let doubled = (1usize..10).prop_map(|x| x * 2);
+        for _ in 0..100 {
+            let v = doubled.new_value(&mut rng);
+            assert!(v % 2 == 0 && (2..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn regression_file_parsing_skips_comments_and_garbage() {
+        let contents = "# Seeds for failure cases proptest has generated.\n\
+                        cc 12345\n\
+                        not a seed line\n\
+                        cc 678\n\
+                        cc nonsense\n";
+        assert_eq!(super::parse_regression_seeds(contents), vec![12345, 678]);
+    }
+
+    #[test]
+    fn missing_regression_file_yields_no_seeds() {
+        let path = super::regression_path("/nonexistent-dir", "tests/foo.rs");
+        assert_eq!(path, std::path::Path::new("/nonexistent-dir/proptest-regressions/foo.txt"));
+        assert!(super::regression_seeds(&path).is_empty());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_roundtrip(xs in prop::collection::vec(0u8..10, 0..4), flag in any::<bool>()) {
+            prop_assert!(xs.len() < 4);
+            prop_assert_eq!(flag as u8 & 1, flag as u8);
+        }
+    }
+}

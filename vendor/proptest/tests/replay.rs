@@ -1,0 +1,27 @@
+//! End-to-end check of failure-persistence replay: the checked-in
+//! `proptest-regressions/replay.txt` lists seed 424242, and the shim promises
+//! to run persisted seeds *before* any generated cases. The first case this
+//! test observes must therefore reproduce exactly what seed 424242 generates.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use proptest::prelude::*;
+
+static FIRST_CASE_SEEN: AtomicBool = AtomicBool::new(false);
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn persisted_seed_is_replayed_first(value in 0u64..1_000_000_000) {
+        if !FIRST_CASE_SEEN.swap(true, Ordering::SeqCst) {
+            let mut expected_rng = TestRng::new(424242);
+            let expected = Strategy::new_value(&(0u64..1_000_000_000), &mut expected_rng);
+            prop_assert_eq!(
+                value,
+                expected,
+                "first case must come from the persisted seed in proptest-regressions/replay.txt"
+            );
+        }
+    }
+}

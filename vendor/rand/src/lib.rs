@@ -1,0 +1,249 @@
+//! Minimal, dependency-free shim of the parts of the `rand` crate API that
+//! this workspace uses. The build environment has no registry access, so the
+//! workspace vendors this crate and path-depends on it under the name `rand`.
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — deterministic,
+//! fast, and of ample statistical quality for test-data generation. It is
+//! **not** the real `rand` crate: streams differ from upstream `StdRng`, and
+//! only the API surface actually exercised here is provided ([`SeedableRng`],
+//! [`RngCore`], [`Rng::gen_range`], [`distributions::Uniform`]).
+
+#![warn(missing_docs)]
+
+/// Core trait for random number generators: raw integer output.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// A generator that can be deterministically constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator whose stream is fully determined by `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Convenience extension methods over [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from `range` (half-open).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: distributions::uniform::SampleUniform,
+        R: Into<distributions::Uniform<T>>,
+        Self: Sized,
+    {
+        use distributions::Distribution;
+        range.into().sample(self)
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+pub mod rngs {
+    //! Concrete generator types.
+
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator standing in for `rand::rngs::StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0]
+                .wrapping_add(s[3])
+                .rotate_left(23)
+                .wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub mod distributions {
+    //! Sampling distributions.
+
+    use super::RngCore;
+
+    /// A distribution over values of type `T`.
+    pub trait Distribution<T> {
+        /// Draws one sample using `rng`.
+        fn sample<R: RngCore>(&self, rng: &mut R) -> T;
+    }
+
+    /// Uniform distribution over a half-open range `[low, high)`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Uniform<T> {
+        low: T,
+        high: T,
+    }
+
+    impl<T: uniform::SampleUniform> Uniform<T> {
+        /// Creates a uniform distribution over `[low, high)`.
+        ///
+        /// # Panics
+        /// Panics if `low >= high`.
+        pub fn new(low: T, high: T) -> Self {
+            assert!(low < high, "Uniform::new requires low < high");
+            Uniform { low, high }
+        }
+    }
+
+    impl<T: uniform::SampleUniform> From<core::ops::Range<T>> for Uniform<T> {
+        fn from(range: core::ops::Range<T>) -> Self {
+            Uniform::new(range.start, range.end)
+        }
+    }
+
+    impl<T: uniform::SampleUniform> Distribution<T> for Uniform<T> {
+        fn sample<R: RngCore>(&self, rng: &mut R) -> T {
+            T::sample_uniform(&self.low, &self.high, rng)
+        }
+    }
+
+    pub mod uniform {
+        //! Support traits for uniform sampling.
+
+        use super::super::RngCore;
+
+        /// Types that can be sampled uniformly from a half-open range.
+        pub trait SampleUniform: PartialOrd + Copy {
+            /// Draws a value in `[low, high)`.
+            fn sample_uniform<R: RngCore>(low: &Self, high: &Self, rng: &mut R) -> Self;
+        }
+
+        macro_rules! impl_sample_uniform_int {
+            ($($t:ty),*) => {$(
+                impl SampleUniform for $t {
+                    fn sample_uniform<R: RngCore>(low: &Self, high: &Self, rng: &mut R) -> Self {
+                        let span = (*high as i128 - *low as i128) as u128;
+                        // Modulo bias is negligible for the small spans used
+                        // in tests (span << 2^64).
+                        let draw = (rng.next_u64() as u128) % span;
+                        (*low as i128 + draw as i128) as $t
+                    }
+                }
+            )*};
+        }
+
+        impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+        impl SampleUniform for f32 {
+            fn sample_uniform<R: RngCore>(low: &Self, high: &Self, rng: &mut R) -> Self {
+                // 24 random mantissa bits -> uniform in [0, 1). The final
+                // rounding of the affine map can still land on `high` (e.g.
+                // 1.0 + 0.99999994 ties-to-even up to 2.0), so clamp to keep
+                // the half-open contract.
+                let unit = (rng.next_u32() >> 8) as f32 / (1u32 << 24) as f32;
+                (low + (high - low) * unit).min(high.next_down())
+            }
+        }
+
+        impl SampleUniform for f64 {
+            fn sample_uniform<R: RngCore>(low: &Self, high: &Self, rng: &mut R) -> Self {
+                let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                (low + (high - low) * unit).min(high.next_down())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::{Distribution, Uniform};
+    use super::rngs::StdRng;
+    use super::SeedableRng;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let dist = Uniform::new(-1.0f32, 1.0f32);
+        for _ in 0..100 {
+            assert_eq!(dist.sample(&mut a), dist.sample(&mut b));
+        }
+    }
+
+    #[test]
+    fn uniform_f32_stays_in_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let dist = Uniform::new(-1.0f32, 1.0f32);
+        for _ in 0..10_000 {
+            let v = dist.sample(&mut rng);
+            assert!((-1.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn uniform_int_stays_in_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let dist = Uniform::new(3usize, 9usize);
+        for _ in 0..10_000 {
+            let v = dist.sample(&mut rng);
+            assert!((3..9).contains(&v));
+        }
+    }
+
+    #[test]
+    fn float_uniform_never_returns_high_even_on_the_maximum_draw() {
+        // A generator pinned at the all-ones draw produces the largest
+        // possible `unit`; without clamping, 1.0..2.0 would round to 2.0.
+        struct MaxRng;
+        impl super::RngCore for MaxRng {
+            fn next_u64(&mut self) -> u64 {
+                u64::MAX
+            }
+        }
+        let f32_dist = Uniform::new(1.0f32, 2.0f32);
+        assert!(f32_dist.sample(&mut MaxRng) < 2.0);
+        let f64_dist = Uniform::new(1.0f64, 2.0f64);
+        assert!(f64_dist.sample(&mut MaxRng) < 2.0);
+        // Adjacent floats: the only representable value in range is `low`.
+        let lo = 1.0f32;
+        let hi = f32::from_bits(lo.to_bits() + 1);
+        assert_eq!(Uniform::new(lo, hi).sample(&mut MaxRng), lo);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        use super::RngCore;
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+}
