@@ -1,0 +1,177 @@
+//! Wall-clock regression harness for the fused-block execution engine.
+//!
+//! Times three configurations per model and writes the medians to
+//! `BENCH_exec.json`, so future PRs can track the execution-engine
+//! trajectory the same way the `table*`/`fig*` binaries track the paper's
+//! counter metrics:
+//!
+//! * `unfused_ms` — the unfused baseline: every operator through its
+//!   reference kernel via the interpreter (`Executor::run_unfused`). This
+//!   is the paper's `OurB` role and the ISSUE's "unfused" side.
+//! * `engine_unfused_ms` — the *same singleton plan* through the compiled
+//!   engine, isolating how much of the win comes from the optimized anchor
+//!   kernels alone.
+//! * `fused_ms` — the DNNFusion plan through the compiled engine; the gap
+//!   to `engine_unfused_ms` is the fusion-only benefit (fewer launches, no
+//!   intermediate materialization).
+//!
+//! Run with `cargo run --release -p dnnf-bench --bin bench_exec`.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use dnnf_core::{compile_plan, Compiler, CompilerOptions, Ecg, FusionPlan};
+use dnnf_graph::Graph;
+use dnnf_models::{ModelKind, ModelScale};
+use dnnf_runtime::Executor;
+use dnnf_simdev::DeviceSpec;
+use dnnf_tensor::Tensor;
+
+/// Runs per configuration; the median is reported.
+const RUNS: usize = 7;
+
+fn inputs_for(graph: &Graph) -> HashMap<String, Tensor> {
+    graph
+        .inputs()
+        .iter()
+        .map(|&id| {
+            let v = graph.value(id);
+            let tensor = if v.name.contains("token") {
+                Tensor::zeros(v.shape.clone())
+            } else {
+                Tensor::random(v.shape.clone(), 7)
+            };
+            (v.name.clone(), tensor)
+        })
+        .collect()
+}
+
+fn median_ms(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[samples.len() / 2]
+}
+
+fn time_ms(mut run: impl FnMut()) -> Vec<f64> {
+    (0..RUNS)
+        .map(|_| {
+            let t = Instant::now();
+            run();
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect()
+}
+
+struct Row {
+    model: &'static str,
+    unfused_ms: f64,
+    engine_unfused_ms: f64,
+    fused_ms: f64,
+    kernel_launches_unfused: u64,
+    kernel_launches_fused: u64,
+}
+
+impl Row {
+    /// Fused engine vs the unfused reference interpreter (the ISSUE gate).
+    fn speedup(&self) -> f64 {
+        self.unfused_ms / self.fused_ms
+    }
+
+    /// Fused plan vs the singleton plan on the same engine: fusion only.
+    fn fusion_only_speedup(&self) -> f64 {
+        self.engine_unfused_ms / self.fused_ms
+    }
+}
+
+fn main() {
+    let device = DeviceSpec::snapdragon_865_cpu();
+    let executor = Executor::new(device).without_cache_simulation();
+    let mut rows = Vec::new();
+
+    for kind in [ModelKind::Vgg16, ModelKind::TinyBert, ModelKind::C3d] {
+        let graph = kind.build(ModelScale::tiny()).expect("model builds");
+        let inputs = inputs_for(&graph);
+        let mut compiler = Compiler::new(CompilerOptions::default());
+        let compiled = compiler.compile(&graph).expect("model compiles");
+
+        let ecg = Ecg::new(graph.clone());
+        let singletons = FusionPlan::singletons(&ecg);
+        // Pre-compile the singleton engine so this configuration, like the
+        // fused one, times dispatch only — not per-run plan compilation.
+        let singleton_engine = compile_plan(&graph, &singletons);
+
+        let unfused_report = executor.run_unfused(&graph, &inputs).expect("unfused runs");
+        let fused_report = executor.run_compiled(&compiled, &inputs).expect("fused runs");
+
+        let unfused_ms = median_ms(time_ms(|| {
+            executor.run_unfused(&graph, &inputs).expect("unfused runs");
+        }));
+        let engine_unfused_ms = median_ms(time_ms(|| {
+            executor
+                .run_plan_with_engine(&graph, &singletons, &singleton_engine, &inputs)
+                .expect("engine singleton runs");
+        }));
+        let fused_ms = median_ms(time_ms(|| {
+            executor.run_compiled(&compiled, &inputs).expect("fused runs");
+        }));
+
+        rows.push(Row {
+            model: kind.name(),
+            unfused_ms,
+            engine_unfused_ms,
+            fused_ms,
+            kernel_launches_unfused: unfused_report.counters.kernel_launches,
+            kernel_launches_fused: fused_report.counters.kernel_launches,
+        });
+    }
+
+    println!("Execution wall-clock, median of {RUNS} runs");
+    println!(
+        "{:<16} {:>12} {:>15} {:>10} {:>9} {:>12} {:>10} {:>10}",
+        "model", "unfused ms", "engine-unf ms", "fused ms", "speedup", "fusion-only", "launches_u", "launches_f"
+    );
+    for row in &rows {
+        println!(
+            "{:<16} {:>12.3} {:>15.3} {:>10.3} {:>8.1}x {:>11.2}x {:>10} {:>10}",
+            row.model,
+            row.unfused_ms,
+            row.engine_unfused_ms,
+            row.fused_ms,
+            row.speedup(),
+            row.fusion_only_speedup(),
+            row.kernel_launches_unfused,
+            row.kernel_launches_fused
+        );
+    }
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"schema\": \"dnnf-bench-exec/v1\",\n");
+    json.push_str(&format!("  \"runs_per_config\": {RUNS},\n"));
+    json.push_str("  \"scale\": \"tiny\",\n");
+    json.push_str("  \"models\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"model\": \"{}\", \"unfused_ms\": {:.3}, \"engine_unfused_ms\": {:.3}, \
+             \"fused_ms\": {:.3}, \"speedup\": {:.2}, \"fusion_only_speedup\": {:.2}, \
+             \"kernel_launches_unfused\": {}, \"kernel_launches_fused\": {}}}{}\n",
+            row.model,
+            row.unfused_ms,
+            row.engine_unfused_ms,
+            row.fused_ms,
+            row.speedup(),
+            row.fusion_only_speedup(),
+            row.kernel_launches_unfused,
+            row.kernel_launches_fused,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_exec.json", &json).expect("write BENCH_exec.json");
+    println!("\nwrote BENCH_exec.json");
+
+    let vgg = &rows[0];
+    assert!(
+        vgg.speedup() >= 2.0,
+        "regression: fused VGG-16 execution is only {:.2}x faster than unfused",
+        vgg.speedup()
+    );
+}

@@ -14,6 +14,7 @@ use dnnf_graph::Graph;
 use dnnf_profiledb::ProfileDatabase;
 
 use crate::codegen::{generate_all, FusedOp};
+use crate::exec::{compile_plan, CompiledPlan};
 use crate::rewrite::{AppliedRewrite, RewriteEngine};
 use crate::{
     eliminate_data_movement, select_block_layouts, AnalyticLatencyModel, CoreError,
@@ -164,6 +165,9 @@ pub struct CompiledModel {
     pub plan: FusionPlan,
     /// Fused operators in execution order.
     pub fused_ops: Vec<FusedOp>,
+    /// The plan compiled to executable kernels (see [`crate::exec`]), built
+    /// once here so repeated inference never re-compiles on the hot path.
+    pub engine: CompiledPlan,
     /// Layout decisions per block.
     pub layouts: LayoutDecision,
     /// Intra-block data-movement elimination results.
@@ -303,9 +307,11 @@ impl<L: LatencyModel> Compiler<L> {
         };
         stats.layout_conversions_avoided = layouts.conversions_avoided();
 
-        // Phase 4: fused code generation.
+        // Phase 4: fused code generation — the descriptive artefacts (DFTs,
+        // pseudo-C) and the executable kernels the runtime dispatches.
         let t = Instant::now();
         let fused_ops = generate_all(&ecg, &plan);
+        let engine = compile_plan(ecg.graph(), &plan);
         stats.time_codegen = t.elapsed();
         for op in &fused_ops {
             stats.common_subtrees_reused += op.common_subtrees_reused;
@@ -314,7 +320,7 @@ impl<L: LatencyModel> Compiler<L> {
             }
         }
 
-        Ok(CompiledModel { ecg, plan, fused_ops, layouts, elimination, stats })
+        Ok(CompiledModel { ecg, plan, fused_ops, engine, layouts, elimination, stats })
     }
 }
 

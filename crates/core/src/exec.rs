@@ -1,0 +1,942 @@
+//! The fused-block execution engine.
+//!
+//! [`compile_plan`] turns every [`FusionBlock`] of a [`FusionPlan`] into an
+//! executable [`FusedKernel`]. Within a kernel, maximal runs of element-wise
+//! / broadcast operators (including inference-form `BatchNormalization`,
+//! which decomposes into per-channel affine arithmetic) are compiled into a
+//! [`ScalarTape`]: a topologically ordered scalar-expression program that is
+//! evaluated **once per output element** in a single pass — intermediate
+//! tensors inside the run are never materialized, they live in scalar
+//! registers. The compute-heavy anchors (`Conv`, `MatMul`, `Gemm`, pooling)
+//! execute through the optimized kernels of `dnnf-ops` (bit-identical to the
+//! reference kernels), and every operator without a compiled form falls back
+//! to the reference kernel [`dnnf_ops::execute`] — so the engine covers the
+//! full operator vocabulary while the differential test harness pins it to
+//! the reference semantics.
+//!
+//! Output buffers are drawn from a [`BufferPool`] so the runtime can recycle
+//! allocations across blocks (see `dnnf-runtime`'s arena).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use dnnf_graph::{Graph, NodeId, ValueId};
+use dnnf_ops::{execute, execute_fast_into, has_fast_kernel, OpKind, ScalarUnaryFn};
+use dnnf_tensor::{broadcast_shapes, Shape, Tensor};
+
+use crate::{CoreError, FusionBlock, FusionPlan};
+
+/// A source of reusable `f32` buffers for kernel outputs.
+///
+/// The runtime implements this with a liveness-driven arena; [`FreshBuffers`]
+/// is the trivial implementation that always allocates.
+pub trait BufferPool {
+    /// Returns a zero-filled buffer of exactly `numel` elements.
+    fn take(&mut self, numel: usize) -> Vec<f32>;
+    /// Returns a buffer to the pool once its tensor has died.
+    fn recycle(&mut self, buf: Vec<f32>);
+}
+
+/// A [`BufferPool`] that always allocates and never reuses.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FreshBuffers;
+
+impl BufferPool for FreshBuffers {
+    fn take(&mut self, numel: usize) -> Vec<f32> {
+        vec![0.0; numel]
+    }
+
+    fn recycle(&mut self, _buf: Vec<f32>) {}
+}
+
+/// One value read by a tape from outside the tape (a block input, a weight,
+/// or the output of an earlier step in the same kernel).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TapeInput {
+    /// The value read.
+    pub value: ValueId,
+    /// Element stride per loop axis (0 on broadcast axes).
+    strides: Vec<usize>,
+}
+
+/// One instruction of a scalar tape. Instructions are stored in evaluation
+/// order; instruction `i` writes scalar register `i`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TapeInstr {
+    /// Read the current element of an external input.
+    Load {
+        /// Index into [`ScalarTape::inputs`].
+        input: usize,
+    },
+    /// Apply a compiled unary element-wise kernel to a register.
+    Unary {
+        /// The compiled scalar kernel.
+        f: ScalarUnaryFn,
+        /// Source register.
+        src: usize,
+    },
+    /// Apply a binary element-wise operator to two registers.
+    Binary {
+        /// The operator (must have a scalar binary kernel).
+        op: OpKind,
+        /// Left operand register.
+        lhs: usize,
+        /// Right operand register.
+        rhs: usize,
+    },
+    /// `Where`: select between two registers on a condition register.
+    Select {
+        /// Condition register (`!= 0.0` selects `on_true`).
+        cond: usize,
+        /// Register selected when the condition holds.
+        on_true: usize,
+        /// Register selected otherwise.
+        on_false: usize,
+    },
+    /// `src * mul + add` — used for constants baked in at compile time
+    /// (e.g. the `epsilon` of a decomposed `BatchNormalization`).
+    Affine {
+        /// Source register.
+        src: usize,
+        /// Multiplier.
+        mul: f32,
+        /// Addend.
+        add: f32,
+    },
+}
+
+/// One tensor written by a tape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct TapeOutput {
+    value: ValueId,
+    reg: usize,
+    strides: Vec<usize>,
+    shape: Shape,
+}
+
+/// A compiled run of element-wise operators evaluated in a single pass per
+/// output element.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalarTape {
+    loop_shape: Shape,
+    inputs: Vec<TapeInput>,
+    instrs: Vec<TapeInstr>,
+    outputs: Vec<TapeOutput>,
+    nodes: Vec<NodeId>,
+}
+
+impl ScalarTape {
+    /// The graph nodes folded into this tape.
+    #[must_use]
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Number of scalar instructions evaluated per output element.
+    #[must_use]
+    pub fn instr_count(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// The external values the tape reads.
+    #[must_use]
+    pub fn input_values(&self) -> Vec<ValueId> {
+        self.inputs.iter().map(|i| i.value).collect()
+    }
+
+    /// Evaluates the tape: one pass over `loop_shape`, all outputs written
+    /// in the same sweep.
+    fn run(
+        &self,
+        fetch: &mut dyn FnMut(ValueId) -> Option<Arc<Tensor>>,
+        pool: &mut dyn BufferPool,
+    ) -> Result<Vec<(ValueId, Tensor)>, CoreError> {
+        // Resolve input handles up front (reference-counted, no data is
+        // copied); the tape only reads the data slices.
+        let in_tensors: Vec<Arc<Tensor>> = self
+            .inputs
+            .iter()
+            .map(|i| {
+                fetch(i.value).ok_or_else(|| CoreError::Plan {
+                    reason: format!("tape input value {} is not available", i.value.index()),
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        let in_slices: Vec<&[f32]> = in_tensors.iter().map(|t| t.data()).collect();
+
+        let mut out_bufs: Vec<Vec<f32>> =
+            self.outputs.iter().map(|o| pool.take(o.shape.numel())).collect();
+
+        let dims = self.loop_shape.dims();
+        let rank = dims.len();
+        let total = self.loop_shape.numel();
+        let mut regs = vec![0.0f32; self.instrs.len()];
+        let mut in_off = vec![0usize; self.inputs.len()];
+        let mut out_off = vec![0usize; self.outputs.len()];
+        let mut idx = vec![0usize; rank];
+
+        if !self.loop_shape.is_empty() {
+            for _ in 0..total {
+                for (r, instr) in self.instrs.iter().enumerate() {
+                    regs[r] = match *instr {
+                        TapeInstr::Load { input } => in_slices[input][in_off[input]],
+                        TapeInstr::Unary { ref f, src } => f.apply(regs[src]),
+                        TapeInstr::Binary { op, lhs, rhs } => op
+                            .scalar_binary(regs[lhs], regs[rhs])
+                            .expect("tape compilation only emits scalar binary ops"),
+                        TapeInstr::Select { cond, on_true, on_false } => {
+                            if regs[cond] != 0.0 {
+                                regs[on_true]
+                            } else {
+                                regs[on_false]
+                            }
+                        }
+                        TapeInstr::Affine { src, mul, add } => regs[src] * mul + add,
+                    };
+                }
+                for (o, out) in self.outputs.iter().enumerate() {
+                    out_bufs[o][out_off[o]] = regs[out.reg];
+                }
+                // Odometer increment with incremental offset updates.
+                for axis in (0..rank).rev() {
+                    idx[axis] += 1;
+                    for (i, input) in self.inputs.iter().enumerate() {
+                        in_off[i] += input.strides[axis];
+                    }
+                    for (o, out) in self.outputs.iter().enumerate() {
+                        out_off[o] += out.strides[axis];
+                    }
+                    if idx[axis] < dims[axis] {
+                        break;
+                    }
+                    idx[axis] = 0;
+                    for (i, input) in self.inputs.iter().enumerate() {
+                        in_off[i] -= input.strides[axis] * dims[axis];
+                    }
+                    for (o, out) in self.outputs.iter().enumerate() {
+                        out_off[o] -= out.strides[axis] * dims[axis];
+                    }
+                }
+            }
+        }
+
+        Ok(self
+            .outputs
+            .iter()
+            .zip(out_bufs)
+            .map(|(o, buf)| {
+                let tensor = Tensor::from_vec(o.shape.clone(), buf)
+                    .expect("tape output buffer sized from its shape");
+                (o.value, tensor)
+            })
+            .collect())
+    }
+}
+
+/// One execution step of a fused kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Step {
+    /// A fused element-wise run evaluated in a single pass.
+    Tape(ScalarTape),
+    /// A single operator executed through the optimized anchor kernels (or
+    /// the reference kernel when no fast form exists).
+    Op {
+        /// The graph node to execute.
+        node: NodeId,
+        /// Whether `dnnf-ops` has an optimized kernel for it.
+        fast: bool,
+    },
+}
+
+/// The executable form of one fusion block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FusedKernel {
+    /// Index of the originating fusion block.
+    pub block_id: usize,
+    steps: Vec<Step>,
+    escaping: Vec<ValueId>,
+}
+
+impl FusedKernel {
+    /// The kernel's execution steps.
+    #[must_use]
+    pub fn steps(&self) -> &[Step] {
+        &self.steps
+    }
+
+    /// Values this kernel must hand back to the caller (consumed by other
+    /// blocks or graph outputs).
+    #[must_use]
+    pub fn escaping(&self) -> &[ValueId] {
+        &self.escaping
+    }
+
+    /// Number of fused element-wise runs in this kernel.
+    #[must_use]
+    pub fn tape_count(&self) -> usize {
+        self.steps.iter().filter(|s| matches!(s, Step::Tape(_))).count()
+    }
+
+    /// Executes the kernel. `fetch` resolves boundary values (graph inputs,
+    /// weights, other blocks' outputs); the returned tensors are the block's
+    /// escaping outputs in a deterministic order. Intra-block intermediates
+    /// are recycled into `pool` before returning.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Op`] when a kernel fails and [`CoreError::Plan`]
+    /// when a value the plan promised is unavailable (a planner bug).
+    pub fn run(
+        &self,
+        graph: &Graph,
+        fetch: &mut dyn FnMut(ValueId) -> Option<Arc<Tensor>>,
+        pool: &mut dyn BufferPool,
+    ) -> Result<Vec<(ValueId, Tensor)>, CoreError> {
+        let mut scratch: BTreeMap<ValueId, Arc<Tensor>> = BTreeMap::new();
+        for step in &self.steps {
+            match step {
+                Step::Op { node, fast } => {
+                    let n = graph.node(*node);
+                    let inputs: Vec<Arc<Tensor>> = n
+                        .inputs
+                        .iter()
+                        .map(|&v| {
+                            scratch.get(&v).cloned().or_else(|| fetch(v)).ok_or_else(|| {
+                                CoreError::Plan {
+                                    reason: format!(
+                                        "value `{}` not available for node `{}`",
+                                        graph.value(v).name,
+                                        n.name
+                                    ),
+                                }
+                            })
+                        })
+                        .collect::<Result<_, _>>()?;
+                    let input_refs: Vec<&Tensor> = inputs.iter().map(|t| t.as_ref()).collect();
+                    if *fast {
+                        let out_id = n.outputs[0];
+                        let shape = graph.value(out_id).shape.clone();
+                        let mut buf = pool.take(shape.numel());
+                        execute_fast_into(n.op, &n.attrs, &input_refs, &shape, &mut buf)?;
+                        let tensor = Tensor::from_vec(shape, buf)
+                            .expect("anchor output buffer sized from its shape");
+                        scratch.insert(out_id, Arc::new(tensor));
+                    } else {
+                        let outputs = execute(n.op, &n.attrs, &input_refs)?;
+                        for (&out_id, tensor) in n.outputs.iter().zip(outputs) {
+                            scratch.insert(out_id, Arc::new(tensor));
+                        }
+                    }
+                }
+                Step::Tape(tape) => {
+                    let produced = tape.run(
+                        &mut |v| scratch.get(&v).cloned().or_else(|| fetch(v)),
+                        pool,
+                    )?;
+                    for (out_id, tensor) in produced {
+                        scratch.insert(out_id, Arc::new(tensor));
+                    }
+                }
+            }
+        }
+        let mut result = Vec::with_capacity(self.escaping.len());
+        for &v in &self.escaping {
+            let handle = scratch.remove(&v).ok_or_else(|| CoreError::Plan {
+                reason: format!("block output `{}` was never produced", graph.value(v).name),
+            })?;
+            let tensor = Arc::try_unwrap(handle).unwrap_or_else(|rc| (*rc).clone());
+            result.push((v, tensor));
+        }
+        // Intra-block intermediates were never visible outside; recycle them.
+        for (_, handle) in scratch {
+            if let Ok(tensor) = Arc::try_unwrap(handle) {
+                pool.recycle(tensor.into_vec());
+            }
+        }
+        Ok(result)
+    }
+}
+
+/// An entire fusion plan compiled to executable kernels, indexed by block id.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledPlan {
+    kernels: Vec<FusedKernel>,
+}
+
+impl CompiledPlan {
+    /// The kernel compiled for block `block_id`.
+    #[must_use]
+    pub fn kernel(&self, block_id: usize) -> &FusedKernel {
+        &self.kernels[block_id]
+    }
+
+    /// All kernels, indexed by block id.
+    #[must_use]
+    pub fn kernels(&self) -> &[FusedKernel] {
+        &self.kernels
+    }
+}
+
+/// Compiles every block of a plan into a [`FusedKernel`].
+#[must_use]
+pub fn compile_plan(graph: &Graph, plan: &FusionPlan) -> CompiledPlan {
+    let kernels = plan.blocks().iter().map(|b| compile_block(graph, plan, b)).collect();
+    CompiledPlan { kernels }
+}
+
+/// Compiles one fusion block: maximal runs of tape-compatible operators
+/// become [`ScalarTape`]s, everything else becomes an anchor/reference step.
+#[must_use]
+pub fn compile_block(graph: &Graph, plan: &FusionPlan, block: &FusionBlock) -> FusedKernel {
+    let mut escaping: Vec<ValueId> = Vec::new();
+    for &n in &block.nodes {
+        for &out in &graph.node(n).outputs {
+            if plan.value_escapes(graph, out) {
+                escaping.push(out);
+            }
+        }
+    }
+
+    let mut steps = Vec::new();
+    let mut i = 0;
+    while i < block.nodes.len() {
+        let node = graph.node(block.nodes[i]);
+        if !tape_compatible(graph, node) {
+            steps.push(Step::Op {
+                node: node.id,
+                fast: has_fast_kernel(node.op) && node.outputs.len() == 1,
+            });
+            i += 1;
+            continue;
+        }
+        // Grow a maximal tape segment with one common loop shape. A node
+        // joins only when it is dataflow-related to the segment (consumes a
+        // segment value) or shares the exact loop shape — merging unrelated
+        // chains by shape coincidence would re-evaluate them once per
+        // broadcast position. BatchNormalization additionally starts a fresh
+        // segment whenever one of its per-channel parameters was computed
+        // inside the current segment: parameters are walked along the
+        // channel axis, not the trailing-broadcast axes an in-segment
+        // register would be evaluated under, so they must come from a
+        // materialized tensor.
+        let mut segment = vec![node.id];
+        let mut in_segment: BTreeSet<ValueId> =
+            graph.node(block.nodes[i]).outputs.iter().copied().collect();
+        let mut loop_shape = graph.value(node.outputs[0]).shape.clone();
+        let mut j = i + 1;
+        while j < block.nodes.len() {
+            let next = graph.node(block.nodes[j]);
+            if !tape_compatible(graph, next) {
+                break;
+            }
+            let out_shape = &graph.value(next.outputs[0]).shape;
+            let related = next.inputs.iter().any(|v| in_segment.contains(v));
+            if !related && out_shape != &loop_shape {
+                break;
+            }
+            if next.op == OpKind::BatchNormalization
+                && next.inputs[1..].iter().any(|v| in_segment.contains(v))
+            {
+                break;
+            }
+            match broadcast_shapes(&loop_shape, out_shape) {
+                Ok(merged) => {
+                    loop_shape = merged;
+                    segment.push(next.id);
+                    in_segment.extend(next.outputs.iter().copied());
+                    j += 1;
+                }
+                Err(_) => break,
+            }
+        }
+        steps.push(Step::Tape(build_tape(graph, plan, &segment, loop_shape)));
+        i = j;
+    }
+    FusedKernel { block_id: block.id, steps, escaping }
+}
+
+/// Whether a node can be folded into a scalar tape.
+fn tape_compatible(graph: &Graph, node: &dnnf_graph::Node) -> bool {
+    let op = node.op;
+    if op.is_elementwise_unary() || op.is_elementwise_binary() || op == OpKind::Where {
+        return node.outputs.len() == 1;
+    }
+    if op == OpKind::BatchNormalization && node.inputs.len() == 5 && node.outputs.len() == 1 {
+        // Decomposable only in the common inference form: rank >= 2 input
+        // with rank-1 per-channel parameters.
+        let x = graph.value(node.inputs[0]);
+        if x.shape.rank() < 2 {
+            return false;
+        }
+        let channels = x.shape.dim(1);
+        return node.inputs[1..].iter().all(|&p| {
+            let s = &graph.value(p).shape;
+            s.rank() == 1 && s.dim(0) == channels
+        });
+    }
+    false
+}
+
+/// Broadcast strides of a value of shape `shape` iterated under `loop_shape`
+/// (trailing-aligned; broadcast axes get stride 0).
+fn broadcast_strides(shape: &Shape, loop_shape: &Shape) -> Vec<usize> {
+    let strides = shape.strides();
+    let offset = loop_shape.rank() - shape.rank();
+    (0..loop_shape.rank())
+        .map(|axis| {
+            if axis < offset {
+                0
+            } else {
+                let own = axis - offset;
+                if shape.dim(own) == 1 {
+                    0
+                } else {
+                    strides[own]
+                }
+            }
+        })
+        .collect()
+}
+
+fn build_tape(
+    graph: &Graph,
+    plan: &FusionPlan,
+    segment: &[NodeId],
+    loop_shape: Shape,
+) -> ScalarTape {
+    let seg_set: BTreeMap<NodeId, ()> = segment.iter().map(|&n| (n, ())).collect();
+    let mut inputs: Vec<TapeInput> = Vec::new();
+    let mut instrs: Vec<TapeInstr> = Vec::new();
+    // Register produced for each value: either a node output computed in the
+    // segment or a memoized Load (keyed by its stride pattern so the same
+    // value can be read both element-wise and per-channel).
+    let mut value_reg: BTreeMap<ValueId, usize> = BTreeMap::new();
+    let mut load_reg: BTreeMap<(ValueId, Vec<usize>), usize> = BTreeMap::new();
+
+    let load = |value: ValueId,
+                    strides: Vec<usize>,
+                    inputs: &mut Vec<TapeInput>,
+                    instrs: &mut Vec<TapeInstr>,
+                    value_reg: &BTreeMap<ValueId, usize>,
+                    load_reg: &mut BTreeMap<(ValueId, Vec<usize>), usize>|
+     -> usize {
+        if let Some(&r) = value_reg.get(&value) {
+            return r;
+        }
+        if let Some(&r) = load_reg.get(&(value, strides.clone())) {
+            return r;
+        }
+        let input_idx = inputs.len();
+        inputs.push(TapeInput { value, strides: strides.clone() });
+        instrs.push(TapeInstr::Load { input: input_idx });
+        let reg = instrs.len() - 1;
+        load_reg.insert((value, strides), reg);
+        reg
+    };
+
+    for &nid in segment {
+        let node = graph.node(nid);
+        let operand = |value: ValueId,
+                           inputs: &mut Vec<TapeInput>,
+                           instrs: &mut Vec<TapeInstr>,
+                           value_reg: &BTreeMap<ValueId, usize>,
+                           load_reg: &mut BTreeMap<(ValueId, Vec<usize>), usize>|
+         -> usize {
+            let strides = broadcast_strides(&graph.value(value).shape, &loop_shape);
+            load(value, strides, inputs, instrs, value_reg, load_reg)
+        };
+        let out_reg = match node.op {
+            op if op.is_elementwise_unary() => {
+                let src = operand(node.inputs[0], &mut inputs, &mut instrs, &value_reg, &mut load_reg);
+                let f = ScalarUnaryFn::compile(op, &node.attrs)
+                    .expect("tape_compatible guarantees a unary kernel");
+                instrs.push(TapeInstr::Unary { f, src });
+                instrs.len() - 1
+            }
+            op if op.is_elementwise_binary() => {
+                let lhs = operand(node.inputs[0], &mut inputs, &mut instrs, &value_reg, &mut load_reg);
+                let rhs = operand(node.inputs[1], &mut inputs, &mut instrs, &value_reg, &mut load_reg);
+                instrs.push(TapeInstr::Binary { op, lhs, rhs });
+                instrs.len() - 1
+            }
+            OpKind::Where => {
+                let cond = operand(node.inputs[0], &mut inputs, &mut instrs, &value_reg, &mut load_reg);
+                let on_true =
+                    operand(node.inputs[1], &mut inputs, &mut instrs, &value_reg, &mut load_reg);
+                let on_false =
+                    operand(node.inputs[2], &mut inputs, &mut instrs, &value_reg, &mut load_reg);
+                instrs.push(TapeInstr::Select { cond, on_true, on_false });
+                instrs.len() - 1
+            }
+            OpKind::BatchNormalization => {
+                // y = scale * (x - mean) / sqrt(var + eps) + bias, with the
+                // per-channel parameters walked along the input's channel
+                // axis — the reference kernel's exact evaluation order.
+                let x_shape = &graph.value(node.inputs[0]).shape;
+                let channel_axis = loop_shape.rank() - x_shape.rank() + 1;
+                let mut param_strides = vec![0usize; loop_shape.rank()];
+                param_strides[channel_axis] = usize::from(x_shape.dim(1) != 1);
+                let eps = node.attrs.float_or("epsilon", 1e-5);
+                let x = operand(node.inputs[0], &mut inputs, &mut instrs, &value_reg, &mut load_reg);
+                let param = |value: ValueId,
+                                 inputs: &mut Vec<TapeInput>,
+                                 instrs: &mut Vec<TapeInstr>,
+                                 load_reg: &mut BTreeMap<(ValueId, Vec<usize>), usize>|
+                 -> usize {
+                    load(value, param_strides.clone(), inputs, instrs, &value_reg, load_reg)
+                };
+                let scale = param(node.inputs[1], &mut inputs, &mut instrs, &mut load_reg);
+                let bias = param(node.inputs[2], &mut inputs, &mut instrs, &mut load_reg);
+                let mean = param(node.inputs[3], &mut inputs, &mut instrs, &mut load_reg);
+                let var = param(node.inputs[4], &mut inputs, &mut instrs, &mut load_reg);
+                instrs.push(TapeInstr::Binary { op: OpKind::Sub, lhs: x, rhs: mean });
+                let centered = instrs.len() - 1;
+                instrs.push(TapeInstr::Binary { op: OpKind::Mul, lhs: scale, rhs: centered });
+                let numerator = instrs.len() - 1;
+                instrs.push(TapeInstr::Affine { src: var, mul: 1.0, add: eps });
+                let shifted = instrs.len() - 1;
+                let sqrt = ScalarUnaryFn::compile(OpKind::Sqrt, &dnnf_ops::Attrs::new())
+                    .expect("Sqrt is unary");
+                instrs.push(TapeInstr::Unary { f: sqrt, src: shifted });
+                let denominator = instrs.len() - 1;
+                instrs.push(TapeInstr::Binary {
+                    op: OpKind::Div,
+                    lhs: numerator,
+                    rhs: denominator,
+                });
+                let ratio = instrs.len() - 1;
+                instrs.push(TapeInstr::Binary { op: OpKind::Add, lhs: ratio, rhs: bias });
+                instrs.len() - 1
+            }
+            _ => unreachable!("tape_compatible admitted an unsupported operator"),
+        };
+        value_reg.insert(node.outputs[0], out_reg);
+    }
+
+    // Tape outputs: values visible beyond the segment — escaping the block
+    // entirely, or consumed by a later step of the same kernel.
+    let mut outputs = Vec::new();
+    for &nid in segment {
+        let out_id = graph.node(nid).outputs[0];
+        let v = graph.value(out_id);
+        let needed = plan.value_escapes(graph, out_id)
+            || v.consumers.iter().any(|&c| !seg_set.contains_key(&c));
+        if needed {
+            outputs.push(TapeOutput {
+                value: out_id,
+                reg: value_reg[&out_id],
+                strides: broadcast_strides(&v.shape, &loop_shape),
+                shape: v.shape.clone(),
+            });
+        }
+    }
+
+    ScalarTape { loop_shape, inputs, instrs, outputs, nodes: segment.to_vec() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Compiler, CompilerOptions, Ecg, FusionPlan};
+    use dnnf_ops::Attrs;
+    use std::collections::HashMap;
+
+    fn run_reference(graph: &Graph, env: &HashMap<ValueId, Tensor>) -> HashMap<ValueId, Tensor> {
+        let mut env = env.clone();
+        for nid in graph.topo_order() {
+            let node = graph.node(nid);
+            let inputs: Vec<&Tensor> = node.inputs.iter().map(|v| &env[v]).collect();
+            let outs = execute(node.op, &node.attrs, &inputs).unwrap();
+            for (&out, t) in node.outputs.iter().zip(outs) {
+                env.insert(out, t);
+            }
+        }
+        env
+    }
+
+    fn run_compiled(graph: &Graph, env: &HashMap<ValueId, Tensor>) -> HashMap<ValueId, Tensor> {
+        let mut compiler = Compiler::new(CompilerOptions::without_rewriting());
+        let compiled = compiler.compile(graph).unwrap();
+        let plan = &compiled.plan;
+        let engine = compile_plan(graph, plan);
+        let mut store: HashMap<ValueId, Arc<Tensor>> =
+            env.iter().map(|(&v, t)| (v, Arc::new(t.clone()))).collect();
+        let mut pool = FreshBuffers;
+        for block_idx in plan.execution_order(graph) {
+            let kernel = engine.kernel(block_idx);
+            let produced = kernel
+                .run(graph, &mut |v| store.get(&v).cloned(), &mut pool)
+                .unwrap();
+            for (v, t) in produced {
+                store.insert(v, Arc::new(t));
+            }
+        }
+        store.into_iter().map(|(v, t)| (v, (*t).clone())).collect()
+    }
+
+    /// Conv anchor + BN + activation + residual add, all in one block.
+    fn conv_block_graph() -> (Graph, HashMap<ValueId, Tensor>) {
+        let mut g = Graph::new("exec-conv");
+        let x = g.add_input("x", Shape::new(vec![1, 3, 6, 6]));
+        let w = g.add_weight("w", Shape::new(vec![3, 3, 3, 3]));
+        let conv = g
+            .add_op(OpKind::Conv, Attrs::new().with_ints("pads", vec![1, 1, 1, 1]), &[x, w], "conv")
+            .unwrap()[0];
+        let scale = g.add_weight("bn.scale", Shape::new(vec![3]));
+        let bias = g.add_weight("bn.bias", Shape::new(vec![3]));
+        let mean = g.add_weight("bn.mean", Shape::new(vec![3]));
+        let var = g.add_weight("bn.var", Shape::new(vec![3]));
+        let bn = g
+            .add_op(
+                OpKind::BatchNormalization,
+                Attrs::new().with_float("epsilon", 1e-5),
+                &[conv, scale, bias, mean, var],
+                "bn",
+            )
+            .unwrap()[0];
+        let relu = g.add_op(OpKind::Relu, Attrs::new(), &[bn], "relu").unwrap()[0];
+        let res = g.add_op(OpKind::Add, Attrs::new(), &[relu, x], "res").unwrap()[0];
+        g.mark_output(res);
+        let mut env = HashMap::new();
+        env.insert(x, Tensor::random(Shape::new(vec![1, 3, 6, 6]), 1));
+        env.insert(w, Tensor::random(Shape::new(vec![3, 3, 3, 3]), 2));
+        env.insert(scale, Tensor::random(Shape::new(vec![3]), 3));
+        env.insert(bias, Tensor::random(Shape::new(vec![3]), 4));
+        env.insert(mean, Tensor::random(Shape::new(vec![3]), 5));
+        env.insert(var, Tensor::random(Shape::new(vec![3]), 6).map(f32::abs));
+        (g, env)
+    }
+
+    #[test]
+    fn compiled_engine_matches_reference_interpreter_on_a_conv_block() {
+        let (g, env) = conv_block_graph();
+        let reference = run_reference(&g, &env);
+        let compiled = run_compiled(&g, &env);
+        for &out in g.outputs() {
+            let r = &reference[&out];
+            let c = &compiled[&out];
+            assert_eq!(r.shape(), c.shape());
+            assert!(r.allclose(c, 1e-6), "max diff {}", r.max_abs_diff(c).unwrap());
+        }
+    }
+
+    #[test]
+    fn elementwise_block_compiles_to_a_single_tape() {
+        let mut g = Graph::new("tape-only");
+        let x = g.add_input("x", Shape::new(vec![2, 8]));
+        let b = g.add_weight("b", Shape::new(vec![8]));
+        let add = g.add_op(OpKind::Add, Attrs::new(), &[x, b], "add").unwrap()[0];
+        let sig = g.add_op(OpKind::Sigmoid, Attrs::new(), &[add], "sig").unwrap()[0];
+        let mul = g.add_op(OpKind::Mul, Attrs::new(), &[sig, x], "mul").unwrap()[0];
+        g.mark_output(mul);
+        let mut compiler = Compiler::new(CompilerOptions::without_rewriting());
+        let compiled = compiler.compile(&g).unwrap();
+        assert_eq!(compiled.plan.fused_layer_count(), 1);
+        let engine = compile_plan(&g, &compiled.plan);
+        let kernel = engine.kernel(0);
+        assert_eq!(kernel.tape_count(), 1);
+        assert_eq!(kernel.steps().len(), 1);
+        // The single tape folds all three operators and only materializes
+        // the escaping output.
+        let Step::Tape(tape) = &kernel.steps()[0] else { panic!("expected tape") };
+        assert_eq!(tape.nodes().len(), 3);
+        assert_eq!(tape.outputs.len(), 1);
+        // Inputs: x (used twice but loaded once) and the broadcast bias.
+        assert_eq!(tape.input_values().len(), 2);
+    }
+
+    #[test]
+    fn broadcast_bias_uses_zero_strides() {
+        let mut g = Graph::new("broadcast");
+        let x = g.add_input("x", Shape::new(vec![2, 3]));
+        let b = g.add_weight("b", Shape::new(vec![1, 3]));
+        let add = g.add_op(OpKind::Add, Attrs::new(), &[x, b], "add").unwrap()[0];
+        g.mark_output(add);
+        let ecg = Ecg::new(g.clone());
+        let plan = FusionPlan::singletons(&ecg);
+        let engine = compile_plan(&g, &plan);
+        let Step::Tape(tape) = &engine.kernel(0).steps()[0] else { panic!("expected tape") };
+        let bias_input = tape.inputs.iter().find(|i| i.value == b).unwrap();
+        assert_eq!(bias_input.strides, vec![0, 1]);
+
+        let mut env = HashMap::new();
+        env.insert(x, Tensor::arange(Shape::new(vec![2, 3])));
+        env.insert(b, Tensor::from_vec(Shape::new(vec![1, 3]), vec![1.0, 2.0, 3.0]).unwrap());
+        let result = run_compiled(&g, &env);
+        assert_eq!(result[&add].data(), &[1.0, 3.0, 5.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn where_and_clip_fold_into_the_tape() {
+        let mut g = Graph::new("where");
+        let c = g.add_input("c", Shape::new(vec![4]));
+        let a = g.add_input("a", Shape::new(vec![4]));
+        let b = g.add_input("b", Shape::new(vec![4]));
+        let w = g.add_op(OpKind::Where, Attrs::new(), &[c, a, b], "where").unwrap()[0];
+        let clip = g
+            .add_op(
+                OpKind::Clip,
+                Attrs::new().with_float("min", -0.5).with_float("max", 0.5),
+                &[w],
+                "clip",
+            )
+            .unwrap()[0];
+        g.mark_output(clip);
+        let mut env = HashMap::new();
+        env.insert(c, Tensor::from_vec(Shape::new(vec![4]), vec![1.0, 0.0, 1.0, 0.0]).unwrap());
+        env.insert(a, Tensor::from_vec(Shape::new(vec![4]), vec![2.0, 2.0, 0.25, 2.0]).unwrap());
+        env.insert(b, Tensor::from_vec(Shape::new(vec![4]), vec![-2.0, -2.0, -2.0, -0.25]).unwrap());
+        let result = run_compiled(&g, &env);
+        assert_eq!(result[&clip].data(), &[0.5, -0.5, 0.25, -0.25]);
+    }
+
+    #[test]
+    fn batch_norm_params_computed_in_the_block_stay_channel_aligned() {
+        // Regression: when a BN parameter is itself produced by an earlier
+        // tape-compatible node (here scale = Abs(w)), reusing its in-segment
+        // register would index it along the trailing broadcast axes instead
+        // of the channel axis. The segment must split so the parameter is
+        // materialized and re-loaded with channel strides. The input shape
+        // [1, 3, 2, 3] is adversarial: the channel count equals the last
+        // dimension, so trailing alignment would "work" shape-wise while
+        // producing silently wrong numbers.
+        let mut g = Graph::new("bn-in-segment");
+        let x = g.add_input("x", Shape::new(vec![1, 3, 2, 3]));
+        let w = g.add_weight("w", Shape::new(vec![3]));
+        let scale = g.add_op(OpKind::Abs, Attrs::new(), &[w], "abs").unwrap()[0];
+        let bias = g.add_weight("bias", Shape::new(vec![3]));
+        let mean = g.add_weight("mean", Shape::new(vec![3]));
+        let var = g.add_weight("var", Shape::new(vec![3]));
+        let bn = g
+            .add_op(
+                OpKind::BatchNormalization,
+                Attrs::new().with_float("epsilon", 1e-5),
+                &[x, scale, bias, mean, var],
+                "bn",
+            )
+            .unwrap()[0];
+        g.mark_output(bn);
+        let mut env = HashMap::new();
+        env.insert(x, Tensor::random(Shape::new(vec![1, 3, 2, 3]), 30));
+        env.insert(w, Tensor::random(Shape::new(vec![3]), 31));
+        env.insert(bias, Tensor::random(Shape::new(vec![3]), 32));
+        env.insert(mean, Tensor::random(Shape::new(vec![3]), 33));
+        env.insert(var, Tensor::random(Shape::new(vec![3]), 34).map(f32::abs));
+        let reference = run_reference(&g, &env);
+        let compiled = run_compiled(&g, &env);
+        assert_eq!(
+            reference[&bn].first_disagreement(&compiled[&bn], 1e-6),
+            None,
+            "in-segment BN parameters must be read along the channel axis"
+        );
+    }
+
+    #[test]
+    fn unrelated_equal_shape_chains_share_a_tape_but_disjoint_chains_split() {
+        // Two dataflow-unrelated chains: equal shapes may share one loop;
+        // a broadcast-mergeable but unrelated chain must not be dragged into
+        // a bigger loop shape (it would re-evaluate once per broadcast
+        // position).
+        let mut g = Graph::new("relatedness");
+        let big = g.add_input("big", Shape::new(vec![4, 8]));
+        let small = g.add_input("small", Shape::new(vec![8]));
+        let rb = g.add_op(OpKind::Relu, Attrs::new(), &[big], "rb").unwrap()[0];
+        let rs = g.add_op(OpKind::Sigmoid, Attrs::new(), &[small], "rs").unwrap()[0];
+        g.mark_output(rb);
+        g.mark_output(rs);
+        let ecg = Ecg::new(g.clone());
+        let plan = FusionPlan::from_blocks(&ecg, vec![g.topo_order()]).unwrap();
+        let engine = compile_plan(&g, &plan);
+        let kernel = engine.kernel(0);
+        // The [8] chain must not run under the [4, 8] loop.
+        assert_eq!(kernel.tape_count(), 2);
+        let mut env = HashMap::new();
+        env.insert(big, Tensor::random(Shape::new(vec![4, 8]), 40));
+        env.insert(small, Tensor::random(Shape::new(vec![8]), 41));
+        let reference = run_reference(&g, &env);
+        let mut store: HashMap<ValueId, Arc<Tensor>> =
+            env.into_iter().map(|(v, t)| (v, Arc::new(t))).collect();
+        let mut pool = FreshBuffers;
+        for block_idx in plan.execution_order(&g) {
+            for (v, t) in engine
+                .kernel(block_idx)
+                .run(&g, &mut |v| store.get(&v).cloned(), &mut pool)
+                .unwrap()
+            {
+                store.insert(v, Arc::new(t));
+            }
+        }
+        for out in [rb, rs] {
+            assert_eq!(reference[&out].first_disagreement(&store[&out], 0.0), None);
+        }
+    }
+
+    #[test]
+    fn incompatible_shapes_split_tapes_and_still_execute() {
+        // Two element-wise chains over un-broadcastable shapes in one graph.
+        let mut g = Graph::new("split");
+        let x = g.add_input("x", Shape::new(vec![3]));
+        let y = g.add_input("y", Shape::new(vec![4]));
+        let rx = g.add_op(OpKind::Relu, Attrs::new(), &[x], "rx").unwrap()[0];
+        let ry = g.add_op(OpKind::Relu, Attrs::new(), &[y], "ry").unwrap()[0];
+        g.mark_output(rx);
+        g.mark_output(ry);
+        let mut env = HashMap::new();
+        env.insert(x, Tensor::from_vec(Shape::new(vec![3]), vec![-1.0, 0.0, 1.0]).unwrap());
+        env.insert(y, Tensor::from_vec(Shape::new(vec![4]), vec![-2.0, 2.0, -2.0, 2.0]).unwrap());
+        let result = run_compiled(&g, &env);
+        assert_eq!(result[&rx].data(), &[0.0, 0.0, 1.0]);
+        assert_eq!(result[&ry].data(), &[0.0, 2.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn reference_fallback_handles_ops_without_compiled_forms() {
+        let mut g = Graph::new("fallback");
+        let x = g.add_input("x", Shape::new(vec![2, 6]));
+        let sm = g.add_op(OpKind::Softmax, Attrs::new(), &[x], "sm").unwrap()[0];
+        let t = g
+            .add_op(OpKind::Transpose, Attrs::new().with_ints("perm", vec![1, 0]), &[sm], "t")
+            .unwrap()[0];
+        g.mark_output(t);
+        let mut env = HashMap::new();
+        env.insert(x, Tensor::random(Shape::new(vec![2, 6]), 9));
+        let reference = run_reference(&g, &env);
+        let compiled = run_compiled(&g, &env);
+        assert!(reference[&t].allclose(&compiled[&t], 0.0));
+    }
+
+    #[test]
+    fn pool_recycles_intra_block_intermediates() {
+        #[derive(Default)]
+        struct CountingPool {
+            taken: usize,
+            recycled: usize,
+        }
+        impl BufferPool for CountingPool {
+            fn take(&mut self, numel: usize) -> Vec<f32> {
+                self.taken += 1;
+                vec![0.0; numel]
+            }
+            fn recycle(&mut self, _buf: Vec<f32>) {
+                self.recycled += 1;
+            }
+        }
+        let (g, env) = conv_block_graph();
+        let mut compiler = Compiler::new(CompilerOptions::without_rewriting());
+        let compiled = compiler.compile(&g).unwrap();
+        let engine = compile_plan(&g, &compiled.plan);
+        let mut pool = CountingPool::default();
+        let store: HashMap<ValueId, Arc<Tensor>> =
+            env.into_iter().map(|(v, t)| (v, Arc::new(t))).collect();
+        for block_idx in compiled.plan.execution_order(&g) {
+            engine
+                .kernel(block_idx)
+                .run(&g, &mut |v| store.get(&v).cloned(), &mut pool)
+                .unwrap();
+        }
+        // The conv output never escapes its block, so at least one buffer
+        // must have come back to the pool.
+        assert!(pool.taken >= 2);
+        assert!(pool.recycled >= 1);
+    }
+}

@@ -52,6 +52,7 @@ pub mod codegen;
 mod compiler;
 mod ecg;
 mod error;
+pub mod exec;
 mod inter;
 mod intra;
 mod latency;
@@ -60,6 +61,7 @@ pub mod plan;
 pub mod rewrite;
 
 pub use compiler::{CompilationStats, CompiledModel, Compiler, CompilerOptions};
+pub use exec::{compile_plan, BufferPool, CompiledPlan, FreshBuffers, FusedKernel, ScalarTape};
 pub use ecg::{Ecg, EcgNodeInfo};
 pub use error::CoreError;
 pub use inter::{select_block_layouts, LayoutDecision};

@@ -189,26 +189,34 @@ impl FusionPlan {
         self.blocks.iter().filter(|b| b.len() > 1).count()
     }
 
+    /// Whether a produced value is visible outside its producer's block — a
+    /// graph output, a dead end, or consumed by another block. This single
+    /// predicate decides what the fused engine materializes, what the memory
+    /// planner tracks, and what the cache simulation touches; every layer
+    /// must agree on it, so they all call here.
+    ///
+    /// Values without a producer (graph inputs, weights) return `false`:
+    /// they are not block outputs.
+    #[must_use]
+    pub fn value_escapes(&self, graph: &Graph, value: ValueId) -> bool {
+        let v = graph.value(value);
+        let Some(producer) = v.producer else { return false };
+        let producer_block = self.block_of(producer);
+        graph.outputs().contains(&value)
+            || v.consumers.is_empty()
+            || v.consumers.iter().any(|&c| self.block_of(c) != producer_block)
+    }
+
     /// Total bytes of intermediate results that still have to be
     /// materialized after fusion: values crossing a block boundary or marked
     /// as graph outputs. This is the paper's post-fusion "IRS size".
     #[must_use]
     pub fn fused_irs_bytes(&self, graph: &Graph) -> u64 {
-        let mut bytes = 0u64;
-        for value in graph.values() {
-            if !value.is_intermediate() {
-                continue;
-            }
-            let Some(producer) = value.producer else { continue };
-            let producer_block = self.block_of(producer);
-            let escapes = graph.outputs().contains(&value.id)
-                || value.consumers.is_empty()
-                || value.consumers.iter().any(|&c| self.block_of(c) != producer_block);
-            if escapes {
-                bytes += value.size_bytes() as u64;
-            }
-        }
-        bytes
+        graph
+            .values()
+            .filter(|v| v.is_intermediate() && self.value_escapes(graph, v.id))
+            .map(|v| v.size_bytes() as u64)
+            .sum()
     }
 
     /// Values that no longer need to be materialized at all (every consumer

@@ -1,0 +1,622 @@
+//! Optimized kernels for the compute-heavy anchor operators, used by the
+//! fused-block execution engine.
+//!
+//! The reference kernels in this crate define the semantics; they index every
+//! element through bounds-checked multi-dimensional lookups and allocate
+//! scratch index vectors in their innermost loops, which makes them 1–2
+//! orders of magnitude slower than necessary. The kernels here compute the
+//! *same* result — they visit taps in exactly the same order and accumulate
+//! in the same sequence, so outputs are bit-identical — but with precomputed
+//! strides, flat-slice indexing and no allocation inside the hot loops.
+//!
+//! Inputs are expected to be shape-consistent with `out_shape`, exactly as
+//! produced by graph construction / shape inference (the fused engine always
+//! calls with graph-derived shapes). The differential test harness pins
+//! every kernel here against its reference twin.
+
+use dnnf_tensor::{broadcast_index, Shape, Tensor};
+
+use crate::{Attrs, OpError, OpKind};
+
+/// Whether `op` has an optimized kernel in this module. The fused engine
+/// uses this registry to decide between the fast path and the reference
+/// fallback ([`crate::execute`]).
+#[must_use]
+pub fn has_fast_kernel(op: OpKind) -> bool {
+    use OpKind::*;
+    matches!(op, Conv | MatMul | Gemm | MaxPool | AveragePool | GlobalAveragePool)
+}
+
+/// Executes `op` with its optimized kernel, writing the single output into
+/// `out` (length `out_shape.numel()`). Returns `Ok(false)` without touching
+/// `out` when the operator has no fast kernel.
+///
+/// # Errors
+///
+/// Returns an [`OpError`] when the inputs are structurally invalid for the
+/// operator (wrong arity or rank).
+///
+/// # Panics
+///
+/// May panic on inputs whose shapes are inconsistent with `out_shape`;
+/// callers are expected to pass shapes produced by shape inference.
+pub fn execute_fast_into(
+    op: OpKind,
+    attrs: &Attrs,
+    inputs: &[&Tensor],
+    out_shape: &Shape,
+    out: &mut [f32],
+) -> Result<bool, OpError> {
+    debug_assert_eq!(out.len(), out_shape.numel());
+    match op {
+        OpKind::Conv => fast_conv(attrs, inputs, out_shape, out)?,
+        OpKind::MatMul => fast_matmul(op, inputs, out_shape, out)?,
+        OpKind::Gemm => fast_gemm(attrs, inputs, out_shape, out)?,
+        OpKind::MaxPool | OpKind::AveragePool => fast_pool(op, attrs, inputs, out_shape, out)?,
+        OpKind::GlobalAveragePool => fast_global_average_pool(inputs, out_shape, out)?,
+        _ => return Ok(false),
+    }
+    Ok(true)
+}
+
+fn arity(op: OpKind, inputs: &[&Tensor], min: usize) -> Result<(), OpError> {
+    if inputs.len() < min {
+        return Err(OpError::ArityMismatch { op, expected: min, actual: inputs.len() });
+    }
+    Ok(())
+}
+
+fn spatial_attrs(attrs: &Attrs, spatial_rank: usize) -> (Vec<usize>, Vec<usize>, Vec<usize>) {
+    let strides: Vec<usize> = attrs
+        .ints_or("strides", &vec![1; spatial_rank])
+        .iter()
+        .map(|&s| s.max(1) as usize)
+        .collect();
+    let dilations: Vec<usize> = attrs
+        .ints_or("dilations", &vec![1; spatial_rank])
+        .iter()
+        .map(|&d| d.max(1) as usize)
+        .collect();
+    let pads: Vec<usize> = attrs
+        .ints_or("pads", &vec![0; spatial_rank * 2])
+        .iter()
+        .map(|&p| p.max(0) as usize)
+        .collect();
+    (strides, dilations, pads)
+}
+
+/// Direct convolution with precomputed strides. Accumulates over input
+/// channels then kernel taps in row-major order — the reference kernel's
+/// exact summation sequence.
+fn fast_conv(
+    attrs: &Attrs,
+    inputs: &[&Tensor],
+    out_shape: &Shape,
+    out: &mut [f32],
+) -> Result<(), OpError> {
+    arity(OpKind::Conv, inputs, 2)?;
+    let x = inputs[0];
+    let w = inputs[1];
+    let bias = inputs.get(2).map(|b| b.data());
+    if x.shape().rank() < 3 || w.shape().rank() != x.shape().rank() {
+        return Err(OpError::InvalidShape {
+            op: OpKind::Conv,
+            reason: "expected (N, C, spatial...) input and matching-rank weight".into(),
+        });
+    }
+    let spatial_rank = x.shape().rank() - 2;
+    let (strides, dilations, pads) = spatial_attrs(attrs, spatial_rank);
+    let group = attrs.int_or("group", 1).max(1) as usize;
+
+    let xd = x.shape().dims().to_vec();
+    let xs = x.shape().strides();
+    let ws = w.shape().strides();
+    let batch = out_shape.dim(0);
+    let out_channels = out_shape.dim(1);
+    let in_per_group = w.shape().dim(1);
+    let channels_per_group_out = (out_channels / group).max(1);
+    let xdat = x.data();
+    let wdat = w.data();
+
+    if spatial_rank == 2 {
+        let (oh, ow) = (out_shape.dim(2), out_shape.dim(3));
+        let (ih, iw) = (xd[2], xd[3]);
+        let (kh, kw) = (w.shape().dim(2), w.shape().dim(3));
+        let (sh, sw) = (strides[0], strides[1]);
+        let (dh, dw) = (dilations[0], dilations[1]);
+        let (ph, pw) = (pads[0], pads[1]);
+        let mut o = 0usize;
+        for n in 0..batch {
+            for oc in 0..out_channels {
+                let g = oc / channels_per_group_out;
+                let b0 = bias.map_or(0.0, |b| b[oc]);
+                let w_oc = oc * ws[0];
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = b0;
+                        for ic in 0..in_per_group {
+                            let x_base = n * xs[0] + (g * in_per_group + ic) * xs[1];
+                            let w_base = w_oc + ic * ws[1];
+                            for ky in 0..kh {
+                                let y = oy * sh + ky * dh;
+                                if y < ph || y - ph >= ih {
+                                    continue;
+                                }
+                                let x_row = x_base + (y - ph) * xs[2];
+                                let w_row = w_base + ky * ws[2];
+                                for kx in 0..kw {
+                                    let xx = ox * sw + kx * dw;
+                                    if xx < pw || xx - pw >= iw {
+                                        continue;
+                                    }
+                                    acc += xdat[x_row + (xx - pw)] * wdat[w_row + kx];
+                                }
+                            }
+                        }
+                        out[o] = acc;
+                        o += 1;
+                    }
+                }
+            }
+        }
+        return Ok(());
+    }
+
+    // Generic spatial rank (1-D and 3-D convolutions) with odometer loops.
+    let out_sp: Vec<usize> = out_shape.dims()[2..].to_vec();
+    let kernel_sp: Vec<usize> = w.shape().dims()[2..].to_vec();
+    let out_sp_count: usize = out_sp.iter().product();
+    let kernel_count: usize = kernel_sp.iter().product();
+    let mut o = 0usize;
+    let mut out_pos = vec![0usize; spatial_rank];
+    let mut k_pos = vec![0usize; spatial_rank];
+    for n in 0..batch {
+        for oc in 0..out_channels {
+            let g = oc / channels_per_group_out;
+            let b0 = bias.map_or(0.0, |b| b[oc]);
+            out_pos.iter_mut().for_each(|p| *p = 0);
+            for _ in 0..out_sp_count {
+                let mut acc = b0;
+                for ic in 0..in_per_group {
+                    let x_base = n * xs[0] + (g * in_per_group + ic) * xs[1];
+                    let w_base = oc * ws[0] + ic * ws[1];
+                    k_pos.iter_mut().for_each(|p| *p = 0);
+                    for _ in 0..kernel_count {
+                        let mut x_off = x_base;
+                        let mut w_off = w_base;
+                        let mut in_bounds = true;
+                        for d in 0..spatial_rank {
+                            let pos = out_pos[d] * strides[d] + k_pos[d] * dilations[d];
+                            if pos < pads[d] || pos - pads[d] >= xd[2 + d] {
+                                in_bounds = false;
+                                break;
+                            }
+                            x_off += (pos - pads[d]) * xs[2 + d];
+                            w_off += k_pos[d] * ws[2 + d];
+                        }
+                        if in_bounds {
+                            acc += xdat[x_off] * wdat[w_off];
+                        }
+                        advance(&mut k_pos, &kernel_sp);
+                    }
+                }
+                out[o] = acc;
+                o += 1;
+                advance(&mut out_pos, &out_sp);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Row-major odometer increment.
+fn advance(pos: &mut [usize], dims: &[usize]) {
+    for axis in (0..dims.len()).rev() {
+        pos[axis] += 1;
+        if pos[axis] < dims[axis] {
+            break;
+        }
+        pos[axis] = 0;
+    }
+}
+
+/// Batched matrix multiplication with broadcasting over batch dimensions.
+fn fast_matmul(
+    op: OpKind,
+    inputs: &[&Tensor],
+    out_shape: &Shape,
+    out: &mut [f32],
+) -> Result<(), OpError> {
+    arity(op, inputs, 2)?;
+    let a = inputs[0];
+    let b = inputs[1];
+    if a.shape().rank() < 2 || b.shape().rank() < 2 {
+        return Err(OpError::InvalidShape { op, reason: "operands must be rank >= 2".into() });
+    }
+    let m = out_shape.dim(out_shape.rank() - 2);
+    let n = out_shape.dim(out_shape.rank() - 1);
+    let k = a.shape().dim(a.shape().rank() - 1);
+    let batch_shape = Shape::new(out_shape.dims()[..out_shape.rank() - 2].to_vec());
+    let a_batch = Shape::new(a.shape().dims()[..a.shape().rank() - 2].to_vec());
+    let b_batch = Shape::new(b.shape().dims()[..b.shape().rank() - 2].to_vec());
+    let a_strides = a.shape().strides();
+    let b_strides = b.shape().strides();
+    let adat = a.data();
+    let bdat = b.data();
+    let a_row_stride = a_strides[a.shape().rank() - 2];
+    let b_row_stride = b_strides[b.shape().rank() - 2];
+
+    let mut o = 0usize;
+    for batch in 0..batch_shape.numel().max(1) {
+        let batch_idx = batch_shape.multi_index(batch);
+        let a_prefix = broadcast_index(&batch_idx, &a_batch);
+        let b_prefix = broadcast_index(&batch_idx, &b_batch);
+        let a_base: usize = a_prefix.iter().zip(&a_strides).map(|(&i, &s)| i * s).sum();
+        let b_base: usize = b_prefix.iter().zip(&b_strides).map(|(&i, &s)| i * s).sum();
+        for i in 0..m {
+            let a_row = &adat[a_base + i * a_row_stride..a_base + i * a_row_stride + k];
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for (p, &av) in a_row.iter().enumerate() {
+                    acc += av * bdat[b_base + p * b_row_stride + j];
+                }
+                out[o] = acc;
+                o += 1;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// ONNX `Gemm` with transpose flags, `alpha`/`beta` scaling and broadcast
+/// bias, in the reference kernel's evaluation order.
+fn fast_gemm(
+    attrs: &Attrs,
+    inputs: &[&Tensor],
+    out_shape: &Shape,
+    out: &mut [f32],
+) -> Result<(), OpError> {
+    arity(OpKind::Gemm, inputs, 2)?;
+    let a = inputs[0];
+    let b = inputs[1];
+    if a.shape().rank() != 2 || b.shape().rank() != 2 {
+        return Err(OpError::InvalidShape {
+            op: OpKind::Gemm,
+            reason: "operands must be rank 2".into(),
+        });
+    }
+    let alpha = attrs.float_or("alpha", 1.0);
+    let beta = attrs.float_or("beta", 1.0);
+    let trans_a = attrs.int_or("transA", 0) != 0;
+    let trans_b = attrs.int_or("transB", 0) != 0;
+    let m = out_shape.dim(0);
+    let n = out_shape.dim(1);
+    let k = if trans_a { a.shape().dim(0) } else { a.shape().dim(1) };
+    let adat = a.data();
+    let bdat = b.data();
+    let (a_cols, b_cols) = (a.shape().dim(1), b.shape().dim(1));
+    // Broadcast strides of the optional bias over the (m, n) output.
+    let c = inputs.get(2);
+    let (c_dat, c_si, c_sj) = match c {
+        Some(c) => {
+            let cd = c.shape().dims();
+            let (si, sj) = match cd.len() {
+                2 => (
+                    if cd[0] == 1 { 0 } else { cd[1] },
+                    if cd[1] == 1 { 0 } else { 1 },
+                ),
+                1 => (0, if cd[0] == 1 { 0 } else { 1 }),
+                _ => (0, 0),
+            };
+            (Some(c.data()), si, sj)
+        }
+        None => (None, 0, 0),
+    };
+
+    let mut o = 0usize;
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                let av = if trans_a { adat[p * a_cols + i] } else { adat[i * a_cols + p] };
+                let bv = if trans_b { bdat[j * b_cols + p] } else { bdat[p * b_cols + j] };
+                acc += av * bv;
+            }
+            let mut v = alpha * acc;
+            if let Some(cd) = c_dat {
+                v += beta * cd[i * c_si + j * c_sj];
+            }
+            out[o] = v;
+            o += 1;
+        }
+    }
+    Ok(())
+}
+
+/// `MaxPool` / `AveragePool` with the reference kernel's window order and
+/// padding-count semantics.
+fn fast_pool(
+    op: OpKind,
+    attrs: &Attrs,
+    inputs: &[&Tensor],
+    out_shape: &Shape,
+    out: &mut [f32],
+) -> Result<(), OpError> {
+    arity(op, inputs, 1)?;
+    let x = inputs[0];
+    if x.shape().rank() < 3 {
+        return Err(OpError::InvalidShape {
+            op,
+            reason: "expected (N, C, spatial...) input".into(),
+        });
+    }
+    let spatial_rank = x.shape().rank() - 2;
+    let kernel: Vec<usize> = attrs
+        .ints_or("kernel_shape", &vec![1; spatial_rank])
+        .iter()
+        .map(|&k| k.max(1) as usize)
+        .collect();
+    let (strides, _, pads) = spatial_attrs(attrs, spatial_rank);
+    let count_include_pad = attrs.int_or("count_include_pad", 0) != 0;
+    let kernel_total: usize = kernel.iter().product();
+    let is_max = op == OpKind::MaxPool;
+
+    let xd = x.shape().dims().to_vec();
+    let xs = x.shape().strides();
+    let xdat = x.data();
+    let batch = out_shape.dim(0);
+    let channels = out_shape.dim(1);
+    let out_sp: Vec<usize> = out_shape.dims()[2..].to_vec();
+    let out_sp_count: usize = out_sp.iter().product();
+
+    let mut o = 0usize;
+    if spatial_rank == 2 {
+        let (ih, iw) = (xd[2], xd[3]);
+        let (kh, kw) = (kernel[0], kernel[1]);
+        let (sh, sw) = (strides[0], strides[1]);
+        let (ph, pw) = (pads[0], pads[1]);
+        let (oh, ow) = (out_sp[0], out_sp[1]);
+        for n in 0..batch {
+            for c in 0..channels {
+                let base = n * xs[0] + c * xs[1];
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = if is_max { f32::NEG_INFINITY } else { 0.0 };
+                        let mut count = 0usize;
+                        for ky in 0..kh {
+                            let y = oy * sh + ky;
+                            if y < ph || y - ph >= ih {
+                                continue;
+                            }
+                            let row = base + (y - ph) * xs[2];
+                            for kx in 0..kw {
+                                let xx = ox * sw + kx;
+                                if xx < pw || xx - pw >= iw {
+                                    continue;
+                                }
+                                let v = xdat[row + (xx - pw)];
+                                if is_max {
+                                    acc = acc.max(v);
+                                } else {
+                                    acc += v;
+                                }
+                                count += 1;
+                            }
+                        }
+                        out[o] = pool_result(is_max, acc, count, count_include_pad, kernel_total);
+                        o += 1;
+                    }
+                }
+            }
+        }
+        return Ok(());
+    }
+
+    let mut out_pos = vec![0usize; spatial_rank];
+    let mut k_pos = vec![0usize; spatial_rank];
+    for n in 0..batch {
+        for c in 0..channels {
+            let base = n * xs[0] + c * xs[1];
+            out_pos.iter_mut().for_each(|p| *p = 0);
+            for _ in 0..out_sp_count {
+                let mut acc = if is_max { f32::NEG_INFINITY } else { 0.0 };
+                let mut count = 0usize;
+                k_pos.iter_mut().for_each(|p| *p = 0);
+                for _ in 0..kernel_total {
+                    let mut off = base;
+                    let mut in_bounds = true;
+                    for d in 0..spatial_rank {
+                        let pos = out_pos[d] * strides[d] + k_pos[d];
+                        if pos < pads[d] || pos - pads[d] >= xd[2 + d] {
+                            in_bounds = false;
+                            break;
+                        }
+                        off += (pos - pads[d]) * xs[2 + d];
+                    }
+                    if in_bounds {
+                        let v = xdat[off];
+                        if is_max {
+                            acc = acc.max(v);
+                        } else {
+                            acc += v;
+                        }
+                        count += 1;
+                    }
+                    advance(&mut k_pos, &kernel);
+                }
+                out[o] = pool_result(is_max, acc, count, count_include_pad, kernel_total);
+                o += 1;
+                advance(&mut out_pos, &out_sp);
+            }
+        }
+    }
+    Ok(())
+}
+
+fn pool_result(
+    is_max: bool,
+    acc: f32,
+    count: usize,
+    count_include_pad: bool,
+    kernel_total: usize,
+) -> f32 {
+    if is_max {
+        acc
+    } else {
+        let denom = if count_include_pad { kernel_total } else { count.max(1) };
+        acc / denom as f32
+    }
+}
+
+/// `GlobalAveragePool` over contiguous per-channel spatial slices.
+fn fast_global_average_pool(
+    inputs: &[&Tensor],
+    out_shape: &Shape,
+    out: &mut [f32],
+) -> Result<(), OpError> {
+    arity(OpKind::GlobalAveragePool, inputs, 1)?;
+    let x = inputs[0];
+    if x.shape().rank() < 3 {
+        return Err(OpError::InvalidShape {
+            op: OpKind::GlobalAveragePool,
+            reason: "expected (N, C, spatial...) input".into(),
+        });
+    }
+    let batch = out_shape.dim(0);
+    let channels = out_shape.dim(1);
+    let spatial: usize = x.shape().dims()[2..].iter().product();
+    let xdat = x.data();
+    for n in 0..batch {
+        for c in 0..channels {
+            let base = (n * channels + c) * spatial;
+            let sum: f32 = xdat[base..base + spatial].iter().sum();
+            out[n * channels + c] = sum / spatial.max(1) as f32;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{execute, infer_shapes};
+
+    /// Runs `op` through both the fast and reference kernels and checks the
+    /// outputs are bit-identical (same taps, same accumulation order).
+    fn assert_fast_matches_reference(op: OpKind, attrs: &Attrs, inputs: &[&Tensor]) {
+        let shapes: Vec<Shape> = inputs.iter().map(|t| t.shape().clone()).collect();
+        let out_shape = infer_shapes(op, attrs, &shapes).unwrap().remove(0);
+        let mut fast = vec![0.0f32; out_shape.numel()];
+        assert!(execute_fast_into(op, attrs, inputs, &out_shape, &mut fast).unwrap());
+        let reference = execute(op, attrs, inputs).unwrap().remove(0);
+        assert_eq!(fast.as_slice(), reference.data(), "{op} diverged from reference");
+    }
+
+    #[test]
+    fn registry_matches_dispatch() {
+        for op in OpKind::all() {
+            if !has_fast_kernel(op) {
+                let mut out = [0.0f32];
+                let x = Tensor::scalar(1.0);
+                // Elementwise ops get Ok(false); the registry is authoritative.
+                if op.is_elementwise_unary() {
+                    assert!(!execute_fast_into(op, &Attrs::new(), &[&x], &Shape::scalar(), &mut out)
+                        .unwrap());
+                }
+            }
+        }
+        assert!(has_fast_kernel(OpKind::Conv));
+        assert!(!has_fast_kernel(OpKind::Softmax));
+    }
+
+    #[test]
+    fn conv_2d_matches_reference_with_padding_strides_and_bias() {
+        let x = Tensor::random(Shape::new(vec![2, 3, 9, 7]), 1);
+        let w = Tensor::random(Shape::new(vec![4, 3, 3, 3]), 2);
+        let b = Tensor::random(Shape::new(vec![4]), 3);
+        for attrs in [
+            Attrs::new().with_ints("pads", vec![1, 1, 1, 1]),
+            Attrs::new().with_ints("strides", vec![2, 2]),
+            Attrs::new().with_ints("pads", vec![2, 0, 2, 0]).with_ints("dilations", vec![2, 1]),
+        ] {
+            assert_fast_matches_reference(OpKind::Conv, &attrs, &[&x, &w, &b]);
+            assert_fast_matches_reference(OpKind::Conv, &attrs, &[&x, &w]);
+        }
+    }
+
+    #[test]
+    fn grouped_conv_matches_reference() {
+        let x = Tensor::random(Shape::new(vec![1, 4, 6, 6]), 4);
+        let w = Tensor::random(Shape::new(vec![4, 1, 3, 3]), 5);
+        let attrs = Attrs::new().with_int("group", 4).with_ints("pads", vec![1, 1, 1, 1]);
+        assert_fast_matches_reference(OpKind::Conv, &attrs, &[&x, &w]);
+    }
+
+    #[test]
+    fn conv_3d_matches_reference() {
+        let x = Tensor::random(Shape::new(vec![1, 2, 4, 5, 4]), 6);
+        let w = Tensor::random(Shape::new(vec![3, 2, 3, 3, 3]), 7);
+        let attrs = Attrs::new().with_ints("pads", vec![1, 1, 1, 1, 1, 1]);
+        assert_fast_matches_reference(OpKind::Conv, &attrs, &[&x, &w]);
+    }
+
+    #[test]
+    fn matmul_matches_reference_including_batch_broadcast() {
+        let a = Tensor::random(Shape::new(vec![3, 4]), 8);
+        let b = Tensor::random(Shape::new(vec![4, 5]), 9);
+        assert_fast_matches_reference(OpKind::MatMul, &Attrs::new(), &[&a, &b]);
+        let a = Tensor::random(Shape::new(vec![2, 3, 4]), 10);
+        let b = Tensor::random(Shape::new(vec![4, 5]), 11);
+        assert_fast_matches_reference(OpKind::MatMul, &Attrs::new(), &[&a, &b]);
+        let a = Tensor::random(Shape::new(vec![2, 1, 3, 4]), 12);
+        let b = Tensor::random(Shape::new(vec![2, 4, 2]), 13);
+        assert_fast_matches_reference(OpKind::MatMul, &Attrs::new(), &[&a, &b]);
+    }
+
+    #[test]
+    fn gemm_matches_reference_with_transpose_and_bias() {
+        let a = Tensor::random(Shape::new(vec![3, 4]), 14);
+        let bt = Tensor::random(Shape::new(vec![5, 4]), 15);
+        let c = Tensor::random(Shape::new(vec![5]), 16);
+        let attrs = Attrs::new()
+            .with_int("transB", 1)
+            .with_float("alpha", 0.5)
+            .with_float("beta", 2.0);
+        assert_fast_matches_reference(OpKind::Gemm, &attrs, &[&a, &bt, &c]);
+        let at = Tensor::random(Shape::new(vec![4, 3]), 17);
+        let b = Tensor::random(Shape::new(vec![4, 5]), 18);
+        let c2 = Tensor::random(Shape::new(vec![3, 1]), 19);
+        let attrs = Attrs::new().with_int("transA", 1);
+        assert_fast_matches_reference(OpKind::Gemm, &attrs, &[&at, &b, &c2]);
+    }
+
+    #[test]
+    fn pools_match_reference() {
+        let x = Tensor::random(Shape::new(vec![1, 3, 7, 7]), 20);
+        let attrs = Attrs::new()
+            .with_ints("kernel_shape", vec![3, 3])
+            .with_ints("strides", vec![2, 2])
+            .with_ints("pads", vec![1, 1, 1, 1]);
+        assert_fast_matches_reference(OpKind::MaxPool, &attrs, &[&x]);
+        assert_fast_matches_reference(OpKind::AveragePool, &attrs, &[&x]);
+        let include = attrs.clone().with_int("count_include_pad", 1);
+        assert_fast_matches_reference(OpKind::AveragePool, &include, &[&x]);
+        // 3-D pooling takes the generic odometer path.
+        let x3 = Tensor::random(Shape::new(vec![1, 2, 4, 4, 4]), 21);
+        let attrs3 =
+            Attrs::new().with_ints("kernel_shape", vec![2, 2, 2]).with_ints("strides", vec![2, 2, 2]);
+        assert_fast_matches_reference(OpKind::MaxPool, &attrs3, &[&x3]);
+        assert_fast_matches_reference(OpKind::GlobalAveragePool, &Attrs::new(), &[&x3]);
+    }
+
+    #[test]
+    fn invalid_ranks_are_rejected_not_panicked() {
+        let x = Tensor::random(Shape::new(vec![4]), 22);
+        let w = Tensor::random(Shape::new(vec![4]), 23);
+        let mut out = vec![0.0f32; 4];
+        let shape = Shape::new(vec![4]);
+        assert!(execute_fast_into(OpKind::Conv, &Attrs::new(), &[&x, &w], &shape, &mut out).is_err());
+        assert!(execute_fast_into(OpKind::MatMul, &Attrs::new(), &[&x, &w], &shape, &mut out).is_err());
+        assert!(execute_fast_into(OpKind::MaxPool, &Attrs::new(), &[&x], &shape, &mut out).is_err());
+    }
+}

@@ -8,6 +8,7 @@
 
 mod conv;
 mod elementwise;
+pub(crate) mod fast;
 mod matmul;
 mod norm;
 mod pool;

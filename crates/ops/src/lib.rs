@@ -38,13 +38,16 @@ mod kernels;
 mod mapping;
 mod op;
 mod properties;
+mod scalar;
 mod shape_infer;
 
 pub use attrs::{AttrValue, Attrs};
 pub use cost::{bytes_accessed, flops, OpCost};
 pub use error::OpError;
 pub use kernels::execute;
+pub use kernels::fast::{execute_fast_into, has_fast_kernel};
 pub use mapping::MappingType;
 pub use op::OpKind;
 pub use properties::MathProperties;
+pub use scalar::ScalarUnaryFn;
 pub use shape_infer::infer_shapes;

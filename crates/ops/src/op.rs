@@ -408,63 +408,13 @@ impl OpKind {
     /// Applies the operator as a scalar unary function, if it is one.
     ///
     /// This is the kernel used both by the reference element-wise kernels and
-    /// by the fused-kernel interpreter when One-to-One operators are inlined
-    /// into a fusion block.
+    /// by the fused-block engine when One-to-One operators are inlined into a
+    /// fusion block. It delegates to [`crate::ScalarUnaryFn`], the compiled
+    /// form with attributes resolved ahead of time, so the two paths share
+    /// one implementation and cannot drift apart.
     #[must_use]
     pub fn scalar_unary(self, x: f32, attrs: &Attrs) -> Option<f32> {
-        use OpKind::*;
-        let y = match self {
-            Neg => -x,
-            Abs => x.abs(),
-            Sqrt => x.sqrt(),
-            Square => x * x,
-            Reciprocal => 1.0 / x,
-            Exp => x.exp(),
-            Log => x.ln(),
-            Erf => erf_approx(x),
-            Sin => x.sin(),
-            Cos => x.cos(),
-            Asin => x.asin(),
-            Relu => x.max(0.0),
-            LeakyRelu => {
-                let alpha = attrs.float_or("alpha", 0.01);
-                if x < 0.0 {
-                    alpha * x
-                } else {
-                    x
-                }
-            }
-            Sigmoid => 1.0 / (1.0 + (-x).exp()),
-            HardSigmoid => {
-                let alpha = attrs.float_or("alpha", 0.2);
-                let beta = attrs.float_or("beta", 0.5);
-                (alpha * x + beta).clamp(0.0, 1.0)
-            }
-            HardSwish => x * ((x + 3.0).clamp(0.0, 6.0) / 6.0),
-            Silu => x / (1.0 + (-x).exp()),
-            Mish => x * (1.0 + x.exp()).ln().tanh(),
-            Gelu => 0.5 * x * (1.0 + erf_approx(x / std::f32::consts::SQRT_2)),
-            Tanh => x.tanh(),
-            Softplus => (1.0 + x.exp()).ln(),
-            Clip => {
-                let lo = attrs.float_or("min", f32::NEG_INFINITY);
-                let hi = attrs.float_or("max", f32::INFINITY);
-                x.clamp(lo, hi)
-            }
-            Ceil => x.ceil(),
-            Floor => x.floor(),
-            Round => x.round(),
-            Cast | Identity => x,
-            Not => {
-                if x == 0.0 {
-                    1.0
-                } else {
-                    0.0
-                }
-            }
-            _ => return None,
-        };
-        Some(y)
+        crate::ScalarUnaryFn::compile(self, attrs).map(|f| f.apply(x))
     }
 
     /// Applies the operator as a scalar binary function, if it is one.
@@ -509,21 +459,6 @@ impl OpKind {
         };
         Some(y)
     }
-}
-
-/// Abramowitz–Stegun 7.1.26 approximation of `erf`, accurate to ~1.5e-7,
-/// matching what a mobile kernel library would use.
-fn erf_approx(x: f32) -> f32 {
-    let sign = if x < 0.0 { -1.0 } else { 1.0 };
-    let x = x.abs();
-    let t = 1.0 / (1.0 + 0.327_591_1 * x);
-    let y = 1.0
-        - (((((1.061_405_4 * t - 1.453_152_1) * t) + 1.421_413_8) * t - 0.284_496_72)
-            * t
-            + 0.254_829_6)
-            * t
-            * (-x * x).exp();
-    sign * y
 }
 
 impl fmt::Display for OpKind {
@@ -625,9 +560,10 @@ mod tests {
 
     #[test]
     fn erf_matches_known_values() {
-        assert!((erf_approx(1.0) - 0.842_700_8).abs() < 1e-4);
-        assert!((erf_approx(-1.0) + 0.842_700_8).abs() < 1e-4);
-        assert!((erf_approx(2.0) - 0.995_322_3).abs() < 1e-4);
+        let erf = |x| OpKind::Erf.scalar_unary(x, &Attrs::new()).unwrap();
+        assert!((erf(1.0) - 0.842_700_8).abs() < 1e-4);
+        assert!((erf(-1.0) + 0.842_700_8).abs() < 1e-4);
+        assert!((erf(2.0) - 0.995_322_3).abs() < 1e-4);
     }
 
     #[test]

@@ -4,16 +4,31 @@
 //! pattern baseline's, or the unfused singleton plan), producing both the
 //! output tensors and the simulated device counters: modeled latency, memory
 //! traffic, peak memory, cache/TLB misses, kernel launches and utilization.
+//!
+//! Two execution paths share the counter accounting:
+//!
+//! * [`Executor::run_plan`] — the **fused-block engine**: every block is
+//!   compiled to a [`dnnf_core::FusedKernel`] (single-pass scalar tapes for
+//!   element-wise runs, optimized anchor kernels for Conv/MatMul/pooling),
+//!   boundary tensors are stored behind `Arc` in slot-indexed storage and
+//!   their buffers recycled through a [`TensorArena`] driven by the
+//!   [`MemoryPlan`]'s lifetimes.
+//! * [`Executor::run_plan_reference`] — the **reference interpreter**: every
+//!   operator runs its reference kernel and every boundary tensor is
+//!   materialized. This is the semantic oracle the differential test harness
+//!   pins the engine against, and the baseline the wall-clock benches
+//!   compare with.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
-use dnnf_core::{CompiledModel, Ecg, FusionPlan};
+use dnnf_core::{compile_plan, BufferPool, CompiledModel, Ecg, FusionPlan};
 use dnnf_graph::{Graph, ValueId};
 use dnnf_ops::execute;
 use dnnf_simdev::{BlockWork, CacheHierarchy, Counters, DeviceCostModel, DeviceSpec};
 use dnnf_tensor::Tensor;
 
-use crate::{materialize_weights, DeviceLatencyModel, MemoryPlan, RuntimeError};
+use crate::{materialize_weights, DeviceLatencyModel, MemoryPlan, RuntimeError, TensorArena};
 
 /// The result of one inference run.
 #[derive(Debug, Clone, PartialEq)]
@@ -41,6 +56,17 @@ pub struct Executor {
     simulate_cache: bool,
 }
 
+/// Shared per-run device accounting (identical for both execution paths, so
+/// counters never depend on which engine produced the numbers).
+struct Accounting {
+    cost_model: DeviceCostModel,
+    work_model: DeviceLatencyModel,
+    cache: CacheHierarchy,
+    counters: Counters,
+    works: Vec<BlockWork>,
+    addresses: Vec<u64>,
+}
+
 impl Executor {
     /// Creates an executor for a device.
     #[must_use]
@@ -62,7 +88,7 @@ impl Executor {
         &self.device
     }
 
-    /// Runs a compiled model.
+    /// Runs a compiled model through the fused-block engine.
     ///
     /// # Errors
     ///
@@ -73,10 +99,15 @@ impl Executor {
         model: &CompiledModel,
         inputs: &HashMap<String, Tensor>,
     ) -> Result<ExecutionReport, RuntimeError> {
-        self.run_plan(model.graph(), &model.plan, inputs)
+        // The model already carries its compiled kernels; repeated inference
+        // never re-compiles the plan.
+        self.run_plan_with_engine(model.graph(), &model.plan, &model.engine, inputs)
     }
 
-    /// Runs a graph without any fusion (every operator is its own kernel).
+    /// Runs a graph without any fusion (every operator is its own kernel)
+    /// through the reference interpreter. This is the unfused baseline —
+    /// `OurB` in the paper's evaluation — and the semantic oracle of the
+    /// differential tests.
     ///
     /// # Errors
     ///
@@ -89,7 +120,7 @@ impl Executor {
     ) -> Result<ExecutionReport, RuntimeError> {
         let ecg = Ecg::new(graph.clone());
         let plan = FusionPlan::singletons(&ecg);
-        self.run_plan(graph, &plan, inputs)
+        self.run_plan_reference(graph, &plan, inputs)
     }
 
     /// Estimates the counters of executing a graph under a plan *without*
@@ -100,37 +131,14 @@ impl Executor {
     /// pointlessly slow and the paper's metrics are all counter-based.
     #[must_use]
     pub fn estimate_plan(&self, graph: &Graph, plan: &FusionPlan) -> (Counters, MemoryPlan) {
-        let elem_bytes = self.device.elem_bytes;
-        let scale = |bytes: usize| bytes as u64 / 4 * elem_bytes;
-        let mut addresses: Vec<u64> = Vec::with_capacity(graph.value_count());
-        let mut next_addr = 0u64;
-        for value in graph.values() {
-            addresses.push(next_addr);
-            let bytes = scale(value.size_bytes()).max(1);
-            next_addr += bytes.div_ceil(64) * 64;
-        }
         let order = plan.execution_order(graph);
-        let memory = MemoryPlan::build(graph, plan, &order, elem_bytes);
-        let cost_model = DeviceCostModel::new(self.device.clone());
-        let work_model = DeviceLatencyModel::new(self.device.clone());
-        let mut cache = CacheHierarchy::new(&self.device.cache);
-        let mut counters = Counters::default();
-        let mut works: Vec<BlockWork> = Vec::with_capacity(order.len());
+        let memory = MemoryPlan::build(graph, plan, &order, self.device.elem_bytes);
+        let mut acct = self.accounting(graph);
         for &block_idx in &order {
             let block = &plan.blocks()[block_idx];
-            let work = work_model.block_work(graph, &block.nodes);
-            counters.kernel_launches += 1;
-            counters.flops += work.flops;
-            counters.memory_access_bytes += work.boundary_elems * elem_bytes;
-            counters.latency_us += cost_model.kernel_latency_us(&work);
-            if self.simulate_cache {
-                self.simulate_block_accesses(graph, plan, block.id, &block.nodes, &addresses, &mut cache);
-            }
-            works.push(work);
+            self.account_block(graph, plan, block, &mut acct);
         }
-        counters.peak_memory_bytes = memory.peak_bytes();
-        counters.utilization_percent = cost_model.utilization_percent(&works);
-        counters.cache = cache.stats();
+        let counters = self.finish(acct, &memory);
         (counters, memory)
     }
 
@@ -143,7 +151,11 @@ impl Executor {
         self.estimate_plan(graph, &plan)
     }
 
-    /// Runs a graph under an explicit fusion plan.
+    /// Runs a graph under an explicit fusion plan through the fused-block
+    /// engine: each block executes as one compiled kernel, boundary tensors
+    /// live in `Arc`-backed slot storage keyed by value id, and output
+    /// buffers are recycled through an arena as the memory plan's lifetimes
+    /// expire.
     ///
     /// # Errors
     ///
@@ -155,45 +167,111 @@ impl Executor {
         plan: &FusionPlan,
         inputs: &HashMap<String, Tensor>,
     ) -> Result<ExecutionReport, RuntimeError> {
+        let engine = compile_plan(graph, plan);
+        self.run_plan_with_engine(graph, plan, &engine, inputs)
+    }
+
+    /// Engine dispatch with pre-compiled kernels — the path behind
+    /// [`Executor::run_plan`] (ad-hoc plans, compiled on the spot) and
+    /// [`Executor::run_compiled`] (kernels cached in the [`CompiledModel`]).
+    /// Callers timing repeated inference should compile once with
+    /// [`dnnf_core::compile_plan`] and dispatch here, so per-run cost never
+    /// includes plan compilation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RuntimeError`] if inputs are missing/mismatched or a
+    /// kernel fails.
+    pub fn run_plan_with_engine(
+        &self,
+        graph: &Graph,
+        plan: &FusionPlan,
+        engine: &dnnf_core::CompiledPlan,
+        inputs: &HashMap<String, Tensor>,
+    ) -> Result<ExecutionReport, RuntimeError> {
+        let order = plan.execution_order(graph);
+        let memory = MemoryPlan::build(graph, plan, &order, self.device.elem_bytes);
+
+        // Slot-indexed boundary storage: inputs, weights, block outputs.
+        let mut env: Vec<Option<Arc<Tensor>>> = vec![None; graph.value_count()];
+        for &input_id in graph.inputs() {
+            let tensor = self.checked_input(graph, input_id, inputs)?;
+            env[input_id.index()] = Some(Arc::new(tensor.clone()));
+        }
+        for (id, tensor) in materialize_weights(graph) {
+            env[id.index()] = Some(Arc::new(tensor));
+        }
+
+        // Buffer recycling: each boundary value's buffer returns to the
+        // arena right after the block at its death position has executed.
+        let mut deaths: Vec<Vec<ValueId>> = vec![Vec::new(); order.len()];
+        for lifetime in &memory.lifetimes {
+            if !graph.outputs().contains(&lifetime.value) {
+                deaths[lifetime.death].push(lifetime.value);
+            }
+        }
+        let mut arena = TensorArena::new();
+
+        let mut acct = self.accounting(graph);
+        for (pos, &block_idx) in order.iter().enumerate() {
+            let block = &plan.blocks()[block_idx];
+            let kernel = engine.kernel(block_idx);
+            let produced = kernel
+                .run(graph, &mut |v| env[v.index()].clone(), &mut arena)
+                .map_err(RuntimeError::Core)?;
+            for (out_id, tensor) in produced {
+                env[out_id.index()] = Some(Arc::new(tensor));
+            }
+            self.account_block(graph, plan, block, &mut acct);
+            for &dead in &deaths[pos] {
+                if let Some(handle) = env[dead.index()].take() {
+                    if let Ok(tensor) = Arc::try_unwrap(handle) {
+                        arena.recycle(tensor.into_vec());
+                    }
+                }
+            }
+        }
+
+        let counters = self.finish(acct, &memory);
+        // Graph outputs are excluded from recycling, so each slot holds the
+        // only reference and unwraps without copying the tensor.
+        let outputs = self.collect_outputs(graph, |id| {
+            env[id.index()]
+                .take()
+                .map(|handle| Arc::try_unwrap(handle).unwrap_or_else(|rc| (*rc).clone()))
+        })?;
+        Ok(ExecutionReport { outputs, counters, memory })
+    }
+
+    /// Runs a graph under an explicit fusion plan with the per-operator
+    /// reference interpreter: every node executes its reference kernel and
+    /// every boundary tensor is cloned into the environment. Slower than
+    /// [`Executor::run_plan`] by construction — this path *defines* the
+    /// semantics the engine must reproduce.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RuntimeError`] if inputs are missing/mismatched or a
+    /// kernel fails.
+    pub fn run_plan_reference(
+        &self,
+        graph: &Graph,
+        plan: &FusionPlan,
+        inputs: &HashMap<String, Tensor>,
+    ) -> Result<ExecutionReport, RuntimeError> {
         // Environment of boundary tensors: inputs, weights, block outputs.
         let mut env: HashMap<ValueId, Tensor> = HashMap::new();
         for &input_id in graph.inputs() {
-            let value = graph.value(input_id);
-            let tensor = inputs
-                .get(&value.name)
-                .ok_or_else(|| RuntimeError::MissingInput { name: value.name.clone() })?;
-            if tensor.shape() != &value.shape {
-                return Err(RuntimeError::InputShapeMismatch {
-                    name: value.name.clone(),
-                    expected: value.shape.dims().to_vec(),
-                    actual: tensor.shape().dims().to_vec(),
-                });
-            }
+            let tensor = self.checked_input(graph, input_id, inputs)?;
             env.insert(input_id, tensor.clone());
         }
         for (id, tensor) in materialize_weights(graph) {
             env.insert(id, tensor);
         }
 
-        // Virtual addresses for the cache simulation: each value gets a
-        // 64-byte-aligned region of a flat address space.
-        let elem_bytes = self.device.elem_bytes;
-        let scale = |bytes: usize| bytes as u64 / 4 * elem_bytes;
-        let mut addresses: Vec<u64> = Vec::with_capacity(graph.value_count());
-        let mut next_addr = 0u64;
-        for value in graph.values() {
-            addresses.push(next_addr);
-            let bytes = scale(value.size_bytes()).max(1);
-            next_addr += bytes.div_ceil(64) * 64;
-        }
-
         let order = plan.execution_order(graph);
-        let memory = MemoryPlan::build(graph, plan, &order, elem_bytes);
-        let cost_model = DeviceCostModel::new(self.device.clone());
-        let work_model = DeviceLatencyModel::new(self.device.clone());
-        let mut cache = CacheHierarchy::new(&self.device.cache);
-        let mut counters = Counters::default();
-        let mut works: Vec<BlockWork> = Vec::with_capacity(order.len());
+        let memory = MemoryPlan::build(graph, plan, &order, self.device.elem_bytes);
+        let mut acct = self.accounting(graph);
 
         for &block_idx in &order {
             let block = &plan.blocks()[block_idx];
@@ -225,46 +303,113 @@ impl Executor {
             // `scratch` is dropped — it was never "materialized".
             for &node_id in &block.nodes {
                 for &out_id in &graph.node(node_id).outputs {
-                    let value = graph.value(out_id);
-                    let escapes = graph.outputs().contains(&out_id)
-                        || value.consumers.is_empty()
-                        || value.consumers.iter().any(|&c| plan.block_of(c) != block.id);
-                    if escapes {
+                    if plan.value_escapes(graph, out_id) {
                         if let Some(t) = scratch.get(&out_id) {
                             env.insert(out_id, t.clone());
                         }
                     }
                 }
             }
-
-            // --- Device accounting ---
-            let work = work_model.block_work(graph, &block.nodes);
-            counters.kernel_launches += 1;
-            counters.flops += work.flops;
-            counters.memory_access_bytes += work.boundary_elems * elem_bytes;
-            counters.latency_us += cost_model.kernel_latency_us(&work);
-            if self.simulate_cache {
-                self.simulate_block_accesses(graph, plan, block.id, &block.nodes, &addresses, &mut cache);
-            }
-            works.push(work);
+            self.account_block(graph, plan, block, &mut acct);
         }
 
-        counters.peak_memory_bytes = memory.peak_bytes();
-        counters.utilization_percent = cost_model.utilization_percent(&works);
-        counters.cache = cache.stats();
+        let counters = self.finish(acct, &memory);
+        let outputs = self.collect_outputs(graph, |id| env.get(&id).cloned())?;
+        Ok(ExecutionReport { outputs, counters, memory })
+    }
 
-        let outputs = graph
+    fn checked_input<'a>(
+        &self,
+        graph: &Graph,
+        input_id: ValueId,
+        inputs: &'a HashMap<String, Tensor>,
+    ) -> Result<&'a Tensor, RuntimeError> {
+        let value = graph.value(input_id);
+        let tensor = inputs
+            .get(&value.name)
+            .ok_or_else(|| RuntimeError::MissingInput { name: value.name.clone() })?;
+        if tensor.shape() != &value.shape {
+            return Err(RuntimeError::InputShapeMismatch {
+                name: value.name.clone(),
+                expected: value.shape.dims().to_vec(),
+                actual: tensor.shape().dims().to_vec(),
+            });
+        }
+        Ok(tensor)
+    }
+
+    fn collect_outputs(
+        &self,
+        graph: &Graph,
+        mut get: impl FnMut(ValueId) -> Option<Tensor>,
+    ) -> Result<Vec<Tensor>, RuntimeError> {
+        graph
             .outputs()
             .iter()
-            .map(|id| {
-                env.get(id).cloned().ok_or_else(|| {
+            .map(|&id| {
+                get(id).ok_or_else(|| {
                     RuntimeError::Graph(dnnf_graph::GraphError::Invalid {
                         reason: "graph output was never produced".into(),
                     })
                 })
             })
-            .collect::<Result<_, _>>()?;
-        Ok(ExecutionReport { outputs, counters, memory })
+            .collect()
+    }
+
+    /// Virtual addresses for the cache simulation: each value gets a
+    /// 64-byte-aligned region of a flat address space.
+    fn accounting(&self, graph: &Graph) -> Accounting {
+        let elem_bytes = self.device.elem_bytes;
+        let scale = |bytes: usize| bytes as u64 / 4 * elem_bytes;
+        let mut addresses: Vec<u64> = Vec::with_capacity(graph.value_count());
+        let mut next_addr = 0u64;
+        for value in graph.values() {
+            addresses.push(next_addr);
+            let bytes = scale(value.size_bytes()).max(1);
+            next_addr += bytes.div_ceil(64) * 64;
+        }
+        Accounting {
+            cost_model: DeviceCostModel::new(self.device.clone()),
+            work_model: DeviceLatencyModel::new(self.device.clone()),
+            cache: CacheHierarchy::new(&self.device.cache),
+            counters: Counters::default(),
+            works: Vec::new(),
+            addresses,
+        }
+    }
+
+    fn account_block(
+        &self,
+        graph: &Graph,
+        plan: &FusionPlan,
+        block: &dnnf_core::FusionBlock,
+        acct: &mut Accounting,
+    ) {
+        let elem_bytes = self.device.elem_bytes;
+        let work = acct.work_model.block_work(graph, &block.nodes);
+        acct.counters.kernel_launches += 1;
+        acct.counters.flops += work.flops;
+        acct.counters.memory_access_bytes += work.boundary_elems * elem_bytes;
+        acct.counters.latency_us += acct.cost_model.kernel_latency_us(&work);
+        if self.simulate_cache {
+            self.simulate_block_accesses(
+                graph,
+                plan,
+                block.id,
+                &block.nodes,
+                &acct.addresses,
+                &mut acct.cache,
+            );
+        }
+        acct.works.push(work);
+    }
+
+    fn finish(&self, acct: Accounting, memory: &MemoryPlan) -> Counters {
+        let mut counters = acct.counters;
+        counters.peak_memory_bytes = memory.peak_bytes();
+        counters.utilization_percent = acct.cost_model.utilization_percent(&acct.works);
+        counters.cache = acct.cache.stats();
+        counters
     }
 
     /// Feeds the block's boundary reads and writes through the cache
@@ -294,10 +439,7 @@ impl Executor {
             }
             for &output in &node.outputs {
                 let v = graph.value(output);
-                let escapes = graph.outputs().contains(&output)
-                    || v.consumers.is_empty()
-                    || v.consumers.iter().any(|&c| !in_block(c));
-                if escapes && seen.insert(output) {
+                if plan.value_escapes(graph, output) && seen.insert(output) {
                     cache.access(addresses[output.index()], scale(v.size_bytes()));
                 }
             }
@@ -369,6 +511,25 @@ mod tests {
     }
 
     #[test]
+    fn engine_and_reference_interpreter_agree_on_the_same_plan() {
+        // Same graph, same plan: the compiled engine must reproduce the
+        // reference interpreter to within float-identical results.
+        let g = small_cnn();
+        let inputs = inputs_for(&g);
+        let executor = Executor::new(DeviceSpec::snapdragon_865_cpu()).without_cache_simulation();
+        let ecg = Ecg::new(g.clone());
+        let plan = FusionPlan::singletons(&ecg);
+        let engine = executor.run_plan(&g, &plan, &inputs).unwrap();
+        let reference = executor.run_plan_reference(&g, &plan, &inputs).unwrap();
+        for (a, b) in engine.outputs.iter().zip(&reference.outputs) {
+            assert!(a.allclose(b, 0.0), "engine diverged from reference");
+        }
+        // And the counters are computed identically on both paths.
+        assert_eq!(engine.counters, reference.counters);
+        assert_eq!(engine.memory, reference.memory);
+    }
+
+    #[test]
     fn fusion_reduces_latency_launches_and_memory_traffic() {
         let g = small_cnn();
         let inputs = inputs_for(&g);
@@ -413,6 +574,13 @@ mod tests {
         assert!(matches!(
             executor.run_unfused(&g, &bad),
             Err(RuntimeError::InputShapeMismatch { .. })
+        ));
+        // The engine path checks inputs the same way.
+        let ecg = Ecg::new(g.clone());
+        let plan = FusionPlan::singletons(&ecg);
+        assert!(matches!(
+            executor.run_plan(&g, &plan, &empty),
+            Err(RuntimeError::MissingInput { .. })
         ));
     }
 

@@ -1,15 +1,37 @@
-//! Executor, memory planner and fused-kernel interpreter for the DNNFusion
-//! reproduction.
+//! Executor, memory planner and fused-block execution engine for the
+//! DNNFusion reproduction.
+//!
+//! # Execution engine
 //!
 //! The paper's implementation generates C++/OpenCL for each fused operator
-//! and runs it on a phone. Here the fused operator's data-flow tree is
-//! executed directly by an interpreter: within a fusion block intermediate
-//! tensors live in scratch storage that never reaches "global memory", and
-//! pure element-wise blocks are evaluated in a single pass without any
-//! intermediate buffers at all. The executor feeds every boundary tensor
-//! access through the `dnnf-simdev` cache simulator and cost model, so one
-//! run yields the outputs *and* the latency / memory / cache / utilization
-//! counters that the paper reads from real hardware.
+//! and runs it on a phone. Here each fusion block is compiled (by
+//! [`dnnf_core::exec`]) into a [`dnnf_core::FusedKernel`] and the executor
+//! dispatches blocks through those kernels:
+//!
+//! * **Scalar tapes** — maximal element-wise/broadcast runs inside a block
+//!   (including inference-form `BatchNormalization`) evaluate in a single
+//!   pass per output element; intermediate tensors inside a tape are never
+//!   materialized, they live in scalar registers.
+//! * **Anchor kernels** — `Conv`, `MatMul`, `Gemm` and pooling execute
+//!   through optimized flat-slice kernels that visit taps in exactly the
+//!   reference kernels' order, so results stay bit-identical. Operators
+//!   without a compiled form fall back to the reference kernels.
+//! * **Memory** — boundary tensors live in `Arc`-backed slot storage keyed
+//!   by value id (no cloning between blocks), and output buffers are
+//!   recycled through a [`TensorArena`] as the [`MemoryPlan`]'s per-value
+//!   lifetimes expire, bounding allocation near the plan's peak working set.
+//!
+//! [`Executor::run_plan_reference`] keeps the original per-operator
+//! reference interpreter alive as the semantic oracle: the differential
+//! test harness (property tests plus per-model golden tests) pins the
+//! engine's outputs to it within 1e-5, and the `BENCH_exec` harness tracks
+//! the wall-clock ratio between the two (the engine is >10x faster on
+//! VGG-16-class models; see `ROADMAP.md`).
+//!
+//! The executor feeds every boundary tensor access through the
+//! `dnnf-simdev` cache simulator and cost model, so one run yields the
+//! outputs *and* the latency / memory / cache / utilization counters that
+//! the paper reads from real hardware — identically on both paths.
 
 #![warn(missing_docs)]
 
@@ -22,5 +44,5 @@ mod weights;
 pub use error::RuntimeError;
 pub use executor::{ExecutionReport, Executor};
 pub use latency::DeviceLatencyModel;
-pub use memory::MemoryPlan;
+pub use memory::{MemoryPlan, TensorArena, ValueLifetime};
 pub use weights::materialize_weights;

@@ -3,12 +3,27 @@
 //! Given a fusion plan and the order blocks execute in, the planner computes
 //! when each boundary tensor is allocated and freed and from that the peak
 //! memory consumption — the "MC" metric of the paper's Figure 8 — together
-//! with the total boundary traffic ("MA").
+//! with the total boundary traffic ("MA"). The per-value lifetimes also
+//! drive the executor's buffer arena: a boundary tensor's backing buffer is
+//! recycled the moment its last consuming block has run.
 
 use std::collections::BTreeMap;
 
-use dnnf_core::FusionPlan;
+use dnnf_core::{BufferPool, FusionPlan};
 use dnnf_graph::{Graph, ValueId};
+
+/// Lifetime of one boundary value over the block execution order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValueLifetime {
+    /// The boundary value.
+    pub value: ValueId,
+    /// Execution-order position of the producing block.
+    pub birth: usize,
+    /// Execution-order position of the last consuming block.
+    pub death: usize,
+    /// Size of the value in (element-width-scaled) bytes.
+    pub bytes: u64,
+}
 
 /// The lifetime-based memory plan for one execution.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -21,6 +36,8 @@ pub struct MemoryPlan {
     pub boundary_traffic_bytes: u64,
     /// Number of boundary tensors that had to be materialized.
     pub materialized_values: usize,
+    /// Per-boundary-value lifetimes, in value order.
+    pub lifetimes: Vec<ValueLifetime>,
 }
 
 impl MemoryPlan {
@@ -50,7 +67,10 @@ impl MemoryPlan {
         }
 
         // Boundary values: produced in one block, consumed in another (or a
-        // graph output). Record their birth and death positions.
+        // graph output). Record their birth and death positions. The escape
+        // predicate is the plan's own — the same one the fused engine and
+        // the cache simulation use, so lifetimes cover exactly the tensors
+        // the executor materializes.
         let mut live_at: BTreeMap<ValueId, (usize, usize, u64)> = BTreeMap::new();
         for value in graph.values() {
             if !value.is_intermediate() {
@@ -58,10 +78,7 @@ impl MemoryPlan {
             }
             let Some(producer) = value.producer else { continue };
             let producer_block = plan.block_of(producer);
-            let crosses = graph.outputs().contains(&value.id)
-                || value.consumers.is_empty()
-                || value.consumers.iter().any(|&c| plan.block_of(c) != producer_block);
-            if !crosses {
+            if !plan.value_escapes(graph, value.id) {
                 continue;
             }
             let birth = position[producer_block];
@@ -100,7 +117,80 @@ impl MemoryPlan {
             peak = peak.max(live);
         }
         result.peak_intermediate_bytes = peak;
+        result.lifetimes = live_at
+            .into_iter()
+            .map(|(value, (birth, death, bytes))| ValueLifetime { value, birth, death, bytes })
+            .collect();
         result
+    }
+}
+
+/// A recycling pool of `f32` buffers backing boundary and scratch tensors.
+///
+/// The executor sizes its reuse expectations from [`MemoryPlan::peak_bytes`]
+/// and returns each boundary buffer here as soon as the value's
+/// [`ValueLifetime`] ends, so a fused run allocates roughly its peak working
+/// set once instead of one fresh allocation per tensor.
+#[derive(Debug, Default)]
+pub struct TensorArena {
+    free: Vec<Vec<f32>>,
+    allocated: usize,
+    reused: usize,
+}
+
+/// Buffers retained by the arena at most (beyond this, recycled buffers are
+/// simply dropped so pathological plans cannot hoard memory).
+const MAX_POOLED_BUFFERS: usize = 64;
+
+impl TensorArena {
+    /// Creates an empty arena.
+    #[must_use]
+    pub fn new() -> Self {
+        TensorArena::default()
+    }
+
+    /// Number of buffers handed out that required a fresh allocation.
+    #[must_use]
+    pub fn allocated(&self) -> usize {
+        self.allocated
+    }
+
+    /// Number of buffers handed out that reused a recycled allocation.
+    #[must_use]
+    pub fn reused(&self) -> usize {
+        self.reused
+    }
+}
+
+impl BufferPool for TensorArena {
+    fn take(&mut self, numel: usize) -> Vec<f32> {
+        // Best-fit: the smallest free buffer whose capacity suffices.
+        let mut best: Option<(usize, usize)> = None;
+        for (i, buf) in self.free.iter().enumerate() {
+            let cap = buf.capacity();
+            if cap >= numel && best.is_none_or(|(_, c)| cap < c) {
+                best = Some((i, cap));
+            }
+        }
+        match best {
+            Some((i, _)) => {
+                let mut buf = self.free.swap_remove(i);
+                self.reused += 1;
+                buf.clear();
+                buf.resize(numel, 0.0);
+                buf
+            }
+            None => {
+                self.allocated += 1;
+                vec![0.0; numel]
+            }
+        }
+    }
+
+    fn recycle(&mut self, buf: Vec<f32>) {
+        if self.free.len() < MAX_POOLED_BUFFERS && buf.capacity() > 0 {
+            self.free.push(buf);
+        }
     }
 }
 
@@ -154,6 +244,46 @@ mod tests {
         // The single output is materialized.
         assert_eq!(mem.materialized_values, 1);
         assert!(mem.peak_bytes() >= mem.resident_bytes);
+    }
+
+    #[test]
+    fn lifetimes_cover_every_materialized_value_and_stay_ordered() {
+        let g = chain_graph(6);
+        let ecg = Ecg::new(g.clone());
+        let plan = FusionPlan::singletons(&ecg);
+        let order = plan.execution_order(&g);
+        let mem = MemoryPlan::build(&g, &plan, &order, 4);
+        assert_eq!(mem.lifetimes.len(), mem.materialized_values);
+        for lifetime in &mem.lifetimes {
+            assert!(lifetime.birth <= lifetime.death);
+            assert!(lifetime.death < order.len());
+            assert!(lifetime.bytes > 0);
+        }
+        // The graph output must live until the final block.
+        let out = g.outputs()[0];
+        let out_lifetime = mem.lifetimes.iter().find(|l| l.value == out).unwrap();
+        assert_eq!(out_lifetime.death, order.len() - 1);
+    }
+
+    #[test]
+    fn arena_reuses_recycled_buffers_best_fit() {
+        use dnnf_core::BufferPool;
+        let mut arena = TensorArena::new();
+        let a = arena.take(64);
+        let b = arena.take(16);
+        assert_eq!(arena.allocated(), 2);
+        arena.recycle(a);
+        arena.recycle(b);
+        // 10 elements fits both; best-fit must pick the 16-element buffer.
+        let c = arena.take(10);
+        assert!(c.capacity() >= 10 && c.capacity() < 64);
+        assert_eq!(c.len(), 10);
+        assert!(c.iter().all(|&v| v == 0.0), "reused buffers are zeroed");
+        assert_eq!(arena.reused(), 1);
+        // Nothing big enough left for 128 -> fresh allocation.
+        let d = arena.take(128);
+        assert_eq!(d.len(), 128);
+        assert_eq!(arena.allocated(), 3);
     }
 
     #[test]

@@ -27,6 +27,15 @@ fn name_seed(name: &str) -> u64 {
     hash
 }
 
+/// Whether a weight must be non-negative for the model to stay finite:
+/// variance parameters feed a `sqrt` (BatchNormalization, decomposed
+/// LayerNorm) and epsilon terms must not cancel the variance. A random
+/// negative value here would turn half the channels into NaN and make every
+/// fused-vs-unfused numerical comparison vacuous.
+fn must_be_non_negative(name: &str) -> bool {
+    name.ends_with(".var") || name.ends_with(".eps") || name.ends_with(".running_var")
+}
+
 /// Materializes every weight of a graph: explicit data when attached,
 /// otherwise deterministic (name-seeded) random data.
 #[must_use]
@@ -38,8 +47,15 @@ pub fn materialize_weights(graph: &Graph) -> HashMap<ValueId, Tensor> {
         }
         let tensor = match graph.weight_data(value.id) {
             Some(data) => data.clone(),
-            None => Tensor::random(value.shape.clone(), name_seed(&value.name))
-                .map(|v| v * WEIGHT_SCALE),
+            None => {
+                let t = Tensor::random(value.shape.clone(), name_seed(&value.name))
+                    .map(|v| v * WEIGHT_SCALE);
+                if must_be_non_negative(&value.name) {
+                    t.map(f32::abs)
+                } else {
+                    t
+                }
+            }
         };
         weights.insert(value.id, tensor);
     }
@@ -92,5 +108,17 @@ mod tests {
         let w = g.add_weight("w", Shape::new(vec![64]));
         let m = materialize_weights(&g);
         assert!(m[&w].iter().all(|v| v.abs() <= WEIGHT_SCALE));
+    }
+
+    #[test]
+    fn variance_like_weights_are_non_negative() {
+        let mut g = Graph::new("variance");
+        let var = g.add_weight("layer.bn.var", Shape::new(vec![64]));
+        let eps = g.add_weight("layer.eps", Shape::new(vec![1]));
+        let plain = g.add_weight("layer.w", Shape::new(vec![64]));
+        let m = materialize_weights(&g);
+        assert!(m[&var].iter().all(|&v| v >= 0.0), "variance must not feed sqrt a negative");
+        assert!(m[&eps].iter().all(|&v| v >= 0.0));
+        assert!(m[&plain].iter().any(|&v| v < 0.0), "ordinary weights stay signed");
     }
 }

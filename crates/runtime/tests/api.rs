@@ -121,6 +121,53 @@ fn materialize_weights_is_deterministic_and_covers_every_weight() {
 }
 
 #[test]
+fn engine_reference_and_estimate_paths_agree_on_counters() {
+    // The three entry points (compiled engine, reference interpreter, and
+    // kernel-free estimation) must produce identical counters for the same
+    // plan — the engine only changes how tensors are computed, never what
+    // the simulated device observes.
+    let graph = small_graph();
+    let executor = Executor::new(DeviceSpec::snapdragon_865_cpu());
+    let compiled = Compiler::new(CompilerOptions::default()).compile(&graph).unwrap();
+    let engine = executor.run_compiled(&compiled, &inputs()).unwrap();
+    let reference = executor
+        .run_plan_reference(compiled.graph(), &compiled.plan, &inputs())
+        .unwrap();
+    let (estimated, estimated_memory) = executor.estimate_plan(compiled.graph(), &compiled.plan);
+    assert_eq!(engine.counters, reference.counters);
+    assert_eq!(engine.counters, estimated);
+    assert_eq!(engine.memory, estimated_memory);
+    for (a, b) in engine.outputs.iter().zip(&reference.outputs) {
+        assert!(a.allclose(b, 1e-5), "engine must reproduce reference semantics");
+    }
+}
+
+#[test]
+fn repeated_engine_runs_are_deterministic_despite_buffer_reuse() {
+    // The arena recycles buffers across blocks; stale data must never leak
+    // into results, so back-to-back runs are bit-identical.
+    let graph = small_graph();
+    let executor = Executor::new(DeviceSpec::snapdragon_865_cpu()).without_cache_simulation();
+    let compiled = Compiler::new(CompilerOptions::default()).compile(&graph).unwrap();
+    let first = executor.run_compiled(&compiled, &inputs()).unwrap();
+    let second = executor.run_compiled(&compiled, &inputs()).unwrap();
+    assert_eq!(first.outputs, second.outputs);
+}
+
+#[test]
+fn memory_plan_lifetimes_drive_the_arena() {
+    let graph = small_graph();
+    let ecg = Ecg::new(graph.clone());
+    let plan = FusionPlan::singletons(&ecg);
+    let order = plan.execution_order(&graph);
+    let memory = MemoryPlan::build(&graph, &plan, &order, 4);
+    // Every materialized boundary value has a recorded lifetime the executor
+    // can recycle on.
+    assert_eq!(memory.lifetimes.len(), memory.materialized_values);
+    assert!(memory.lifetimes.iter().all(|l| l.birth <= l.death && l.death < order.len()));
+}
+
+#[test]
 fn device_latency_model_describes_block_work_faithfully() {
     let graph = small_graph();
     let model = DeviceLatencyModel::new(DeviceSpec::snapdragon_865_cpu());

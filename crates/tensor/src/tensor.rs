@@ -251,9 +251,32 @@ impl Tensor {
 
     /// Whether every element is within `tol` of the corresponding element of
     /// `other`. Returns `false` when shapes differ.
+    ///
+    /// Note: non-finite elements are ignored (`f32::max` drops NaN), so use
+    /// [`Tensor::first_disagreement`] when NaN/infinity classes must match —
+    /// e.g. in differential tests against a reference implementation.
     #[must_use]
     pub fn allclose(&self, other: &Tensor, tol: f32) -> bool {
         self.max_abs_diff(other).map(|d| d <= tol).unwrap_or(false)
+    }
+
+    /// Strict element-wise agreement for differential testing: finite pairs
+    /// must be within `tol`; non-finite pairs must agree in class
+    /// (`+inf` with `+inf`, `-inf` with `-inf`, NaN with NaN). Returns the
+    /// linear offset of the first disagreeing element (offset 0 when the
+    /// shapes differ), or `None` when the tensors agree everywhere.
+    #[must_use]
+    pub fn first_disagreement(&self, other: &Tensor, tol: f32) -> Option<usize> {
+        if self.shape != other.shape {
+            return Some(0);
+        }
+        self.data.iter().zip(&other.data).position(|(&a, &b)| {
+            if a.is_finite() && b.is_finite() {
+                (a - b).abs() > tol
+            } else {
+                a != b && !(a.is_nan() && b.is_nan())
+            }
+        })
     }
 
     /// Size in bytes as seen by the memory model (depends on the dtype tag).
@@ -367,6 +390,27 @@ mod tests {
         assert!(a.allclose(&b, 1e-5));
         assert!(!a.allclose(&b, 1e-8));
         assert!(a.max_abs_diff(&Tensor::zeros(Shape::new(vec![3]))).is_err());
+    }
+
+    #[test]
+    fn first_disagreement_checks_tolerance_and_nonfinite_classes() {
+        let shape = Shape::new(vec![4]);
+        let a = Tensor::from_vec(shape.clone(), vec![1.0, f32::NAN, f32::INFINITY, -1.0]).unwrap();
+        let close =
+            Tensor::from_vec(shape.clone(), vec![1.0 + 1e-7, f32::NAN, f32::INFINITY, -1.0]).unwrap();
+        assert_eq!(a.first_disagreement(&close, 1e-5), None);
+        // Tolerance violations are reported at their offset.
+        let off = Tensor::from_vec(shape.clone(), vec![1.0, f32::NAN, f32::INFINITY, -2.0]).unwrap();
+        assert_eq!(a.first_disagreement(&off, 1e-5), Some(3));
+        // Non-finite classes must match: inf vs NaN and +inf vs -inf fail.
+        let wrong_class =
+            Tensor::from_vec(shape.clone(), vec![1.0, f32::NAN, f32::NEG_INFINITY, -1.0]).unwrap();
+        assert_eq!(a.first_disagreement(&wrong_class, 1e-5), Some(2));
+        let nan_vs_inf =
+            Tensor::from_vec(shape, vec![1.0, f32::INFINITY, f32::INFINITY, -1.0]).unwrap();
+        assert_eq!(a.first_disagreement(&nan_vs_inf, 1e-5), Some(1));
+        // Shape mismatch reports offset 0.
+        assert_eq!(a.first_disagreement(&Tensor::zeros(Shape::new(vec![2])), 1e-5), Some(0));
     }
 
     #[test]
