@@ -21,7 +21,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use dnnf_graph::{Graph, NodeId, ValueId};
-use dnnf_ops::{execute, execute_fast_into, has_fast_kernel, OpKind, ScalarUnaryFn};
+use dnnf_ops::{execute, execute_fast_into_threaded, has_fast_kernel, OpKind, ScalarUnaryFn, WorkPool};
 use dnnf_tensor::{broadcast_shapes, Shape, Tensor};
 
 use crate::{CoreError, FusionBlock, FusionPlan};
@@ -146,10 +146,18 @@ impl ScalarTape {
 
     /// Evaluates the tape: one pass over `loop_shape`, all outputs written
     /// in the same sweep.
+    ///
+    /// With a parallel `workers` pool the loop is split into disjoint
+    /// contiguous ranges of the flat iteration space, each evaluated by one
+    /// thread — every output element is computed exactly once by exactly one
+    /// thread, so results are bit-identical for every thread count. The
+    /// split only applies when every tape output covers the full loop (no
+    /// broadcast-replicated writes); otherwise the sweep stays serial.
     fn run(
         &self,
         fetch: &mut dyn FnMut(ValueId) -> Option<Arc<Tensor>>,
         pool: &mut dyn BufferPool,
+        workers: WorkPool,
     ) -> Result<Vec<(ValueId, Tensor)>, CoreError> {
         // Resolve input handles up front (reference-counted, no data is
         // copied); the tape only reads the data slices.
@@ -167,57 +175,46 @@ impl ScalarTape {
         let mut out_bufs: Vec<Vec<f32>> =
             self.outputs.iter().map(|o| pool.take(o.shape.numel())).collect();
 
-        let dims = self.loop_shape.dims();
-        let rank = dims.len();
-        let total = self.loop_shape.numel();
-        let mut regs = vec![0.0f32; self.instrs.len()];
-        let mut in_off = vec![0usize; self.inputs.len()];
-        let mut out_off = vec![0usize; self.outputs.len()];
-        let mut idx = vec![0usize; rank];
+        let total = if self.loop_shape.is_empty() { 0 } else { self.loop_shape.numel() };
+        let workers = workers.for_work(total.saturating_mul(self.instrs.len().max(1)));
+        // Writes are contiguous in the flat loop order only when every output
+        // spans the whole loop; a smaller (broadcast-strided) output would be
+        // written several times per element and must stay on one thread.
+        let splittable = self.outputs.iter().all(|o| o.shape.numel() == total);
 
-        if !self.loop_shape.is_empty() {
-            for _ in 0..total {
-                for (r, instr) in self.instrs.iter().enumerate() {
-                    regs[r] = match *instr {
-                        TapeInstr::Load { input } => in_slices[input][in_off[input]],
-                        TapeInstr::Unary { ref f, src } => f.apply(regs[src]),
-                        TapeInstr::Binary { op, lhs, rhs } => op
-                            .scalar_binary(regs[lhs], regs[rhs])
-                            .expect("tape compilation only emits scalar binary ops"),
-                        TapeInstr::Select { cond, on_true, on_false } => {
-                            if regs[cond] != 0.0 {
-                                regs[on_true]
-                            } else {
-                                regs[on_false]
-                            }
-                        }
-                        TapeInstr::Affine { src, mul, add } => regs[src] * mul + add,
-                    };
+        if workers.is_serial() || !splittable || total < 2 {
+            let mut outs: Vec<(usize, &mut [f32])> =
+                out_bufs.iter_mut().map(|b| (0, b.as_mut_slice())).collect();
+            self.run_span(&in_slices, &mut outs, 0, total);
+        } else {
+            // Balanced contiguous ranges; since every output covers the full
+            // loop, range [start, start + count) writes exactly the slice
+            // [start, start + count) of each output buffer.
+            let threads = workers.threads().min(total);
+            let base = total / threads;
+            let extra = total % threads;
+            let mut cursors: Vec<&mut [f32]> =
+                out_bufs.iter_mut().map(Vec::as_mut_slice).collect();
+            let mut parts: Vec<(usize, usize, Vec<&mut [f32]>)> = Vec::with_capacity(threads);
+            let mut start = 0usize;
+            for t in 0..threads {
+                let count = base + usize::from(t < extra);
+                let mut mine = Vec::with_capacity(cursors.len());
+                let mut rest = Vec::with_capacity(cursors.len());
+                for cur in cursors {
+                    let (head, tail) = cur.split_at_mut(count);
+                    mine.push(head);
+                    rest.push(tail);
                 }
-                for (o, out) in self.outputs.iter().enumerate() {
-                    out_bufs[o][out_off[o]] = regs[out.reg];
-                }
-                // Odometer increment with incremental offset updates.
-                for axis in (0..rank).rev() {
-                    idx[axis] += 1;
-                    for (i, input) in self.inputs.iter().enumerate() {
-                        in_off[i] += input.strides[axis];
-                    }
-                    for (o, out) in self.outputs.iter().enumerate() {
-                        out_off[o] += out.strides[axis];
-                    }
-                    if idx[axis] < dims[axis] {
-                        break;
-                    }
-                    idx[axis] = 0;
-                    for (i, input) in self.inputs.iter().enumerate() {
-                        in_off[i] -= input.strides[axis] * dims[axis];
-                    }
-                    for (o, out) in self.outputs.iter().enumerate() {
-                        out_off[o] -= out.strides[axis] * dims[axis];
-                    }
-                }
+                cursors = rest;
+                parts.push((start, count, mine));
+                start += count;
             }
+            workers.run_parts(parts, |(start, count, mut slices)| {
+                let mut outs: Vec<(usize, &mut [f32])> =
+                    slices.iter_mut().map(|s| (start, &mut **s)).collect();
+                self.run_span(&in_slices, &mut outs, start, count);
+            });
         }
 
         Ok(self
@@ -230,6 +227,77 @@ impl ScalarTape {
                 (o.value, tensor)
             })
             .collect())
+    }
+
+    /// Evaluates `count` consecutive elements of the flat loop space starting
+    /// at `start`, writing each output element through its stride pattern.
+    /// `outs` pairs each output with the flat offset its slice starts at
+    /// (`0` for whole buffers, the range start for parallel sub-slices).
+    fn run_span(
+        &self,
+        in_slices: &[&[f32]],
+        outs: &mut [(usize, &mut [f32])],
+        start: usize,
+        count: usize,
+    ) {
+        let dims = self.loop_shape.dims();
+        let rank = dims.len();
+        let mut regs = vec![0.0f32; self.instrs.len()];
+        let mut idx = self.loop_shape.multi_index(start);
+        let mut in_off: Vec<usize> = self
+            .inputs
+            .iter()
+            .map(|input| idx.iter().zip(&input.strides).map(|(&i, &s)| i * s).sum())
+            .collect();
+        let mut out_off: Vec<usize> = self
+            .outputs
+            .iter()
+            .map(|out| idx.iter().zip(&out.strides).map(|(&i, &s)| i * s).sum())
+            .collect();
+
+        for _ in 0..count {
+            for (r, instr) in self.instrs.iter().enumerate() {
+                regs[r] = match *instr {
+                    TapeInstr::Load { input } => in_slices[input][in_off[input]],
+                    TapeInstr::Unary { ref f, src } => f.apply(regs[src]),
+                    TapeInstr::Binary { op, lhs, rhs } => op
+                        .scalar_binary(regs[lhs], regs[rhs])
+                        .expect("tape compilation only emits scalar binary ops"),
+                    TapeInstr::Select { cond, on_true, on_false } => {
+                        if regs[cond] != 0.0 {
+                            regs[on_true]
+                        } else {
+                            regs[on_false]
+                        }
+                    }
+                    TapeInstr::Affine { src, mul, add } => regs[src] * mul + add,
+                };
+            }
+            for (o, out) in self.outputs.iter().enumerate() {
+                let (bias, buf) = &mut outs[o];
+                buf[out_off[o] - *bias] = regs[out.reg];
+            }
+            // Odometer increment with incremental offset updates.
+            for axis in (0..rank).rev() {
+                idx[axis] += 1;
+                for (i, input) in self.inputs.iter().enumerate() {
+                    in_off[i] += input.strides[axis];
+                }
+                for (o, out) in self.outputs.iter().enumerate() {
+                    out_off[o] += out.strides[axis];
+                }
+                if idx[axis] < dims[axis] {
+                    break;
+                }
+                idx[axis] = 0;
+                for (i, input) in self.inputs.iter().enumerate() {
+                    in_off[i] -= input.strides[axis] * dims[axis];
+                }
+                for (o, out) in self.outputs.iter().enumerate() {
+                    out_off[o] -= out.strides[axis] * dims[axis];
+                }
+            }
+        }
     }
 }
 
@@ -282,6 +350,11 @@ impl FusedKernel {
     /// escaping outputs in a deterministic order. Intra-block intermediates
     /// are recycled into `pool` before returning.
     ///
+    /// `workers` parallelizes the anchor kernels and scalar tapes over
+    /// disjoint output tiles; every output element is owned by exactly one
+    /// thread and accumulated in the serial order, so results are
+    /// bit-identical for every pool (see `dnnf_ops::parallel`).
+    ///
     /// # Errors
     ///
     /// Returns [`CoreError::Op`] when a kernel fails and [`CoreError::Plan`]
@@ -291,6 +364,7 @@ impl FusedKernel {
         graph: &Graph,
         fetch: &mut dyn FnMut(ValueId) -> Option<Arc<Tensor>>,
         pool: &mut dyn BufferPool,
+        workers: WorkPool,
     ) -> Result<Vec<(ValueId, Tensor)>, CoreError> {
         let mut scratch: BTreeMap<ValueId, Arc<Tensor>> = BTreeMap::new();
         for step in &self.steps {
@@ -317,7 +391,7 @@ impl FusedKernel {
                         let out_id = n.outputs[0];
                         let shape = graph.value(out_id).shape.clone();
                         let mut buf = pool.take(shape.numel());
-                        execute_fast_into(n.op, &n.attrs, &input_refs, &shape, &mut buf)?;
+                        execute_fast_into_threaded(n.op, &n.attrs, &input_refs, &shape, &mut buf, workers)?;
                         let tensor = Tensor::from_vec(shape, buf)
                             .expect("anchor output buffer sized from its shape");
                         scratch.insert(out_id, Arc::new(tensor));
@@ -332,6 +406,7 @@ impl FusedKernel {
                     let produced = tape.run(
                         &mut |v| scratch.get(&v).cloned().or_else(|| fetch(v)),
                         pool,
+                        workers,
                     )?;
                     for (out_id, tensor) in produced {
                         scratch.insert(out_id, Arc::new(tensor));
@@ -654,7 +729,11 @@ mod tests {
         env
     }
 
-    fn run_compiled(graph: &Graph, env: &HashMap<ValueId, Tensor>) -> HashMap<ValueId, Tensor> {
+    fn run_compiled_with(
+        graph: &Graph,
+        env: &HashMap<ValueId, Tensor>,
+        workers: WorkPool,
+    ) -> HashMap<ValueId, Tensor> {
         let mut compiler = Compiler::new(CompilerOptions::without_rewriting());
         let compiled = compiler.compile(graph).unwrap();
         let plan = &compiled.plan;
@@ -665,13 +744,17 @@ mod tests {
         for block_idx in plan.execution_order(graph) {
             let kernel = engine.kernel(block_idx);
             let produced = kernel
-                .run(graph, &mut |v| store.get(&v).cloned(), &mut pool)
+                .run(graph, &mut |v| store.get(&v).cloned(), &mut pool, workers)
                 .unwrap();
             for (v, t) in produced {
                 store.insert(v, Arc::new(t));
             }
         }
         store.into_iter().map(|(v, t)| (v, (*t).clone())).collect()
+    }
+
+    fn run_compiled(graph: &Graph, env: &HashMap<ValueId, Tensor>) -> HashMap<ValueId, Tensor> {
+        run_compiled_with(graph, env, WorkPool::serial())
     }
 
     /// Conv anchor + BN + activation + residual add, all in one block.
@@ -717,6 +800,26 @@ mod tests {
             let c = &compiled[&out];
             assert_eq!(r.shape(), c.shape());
             assert!(r.allclose(c, 1e-6), "max diff {}", r.max_abs_diff(c).unwrap());
+        }
+    }
+
+    #[test]
+    fn parallel_execution_is_bit_identical_to_serial() {
+        // The whole conv block — anchor kernel plus BN/Relu/residual tape —
+        // with the work gate disabled so the parallel partitioning really
+        // runs even on this small fixture. Any thread count must reproduce
+        // the serial engine byte for byte.
+        let (g, env) = conv_block_graph();
+        let serial = run_compiled(&g, &env);
+        for threads in [2, 3, 8] {
+            let parallel = run_compiled_with(&g, &env, WorkPool::with_min_work(threads, 0));
+            for &out in g.outputs() {
+                assert_eq!(
+                    serial[&out].first_disagreement(&parallel[&out], 0.0),
+                    None,
+                    "parallel engine diverged from serial at {threads} threads"
+                );
+            }
         }
     }
 
@@ -860,7 +963,7 @@ mod tests {
         for block_idx in plan.execution_order(&g) {
             for (v, t) in engine
                 .kernel(block_idx)
-                .run(&g, &mut |v| store.get(&v).cloned(), &mut pool)
+                .run(&g, &mut |v| store.get(&v).cloned(), &mut pool, WorkPool::serial())
                 .unwrap()
             {
                 store.insert(v, Arc::new(t));
@@ -931,7 +1034,7 @@ mod tests {
         for block_idx in compiled.plan.execution_order(&g) {
             engine
                 .kernel(block_idx)
-                .run(&g, &mut |v| store.get(&v).cloned(), &mut pool)
+                .run(&g, &mut |v| store.get(&v).cloned(), &mut pool, WorkPool::serial())
                 .unwrap();
         }
         // The conv output never escapes its block, so at least one buffer

@@ -9,6 +9,15 @@
 //! in the same sequence, so outputs are bit-identical — but with precomputed
 //! strides, flat-slice indexing and no allocation inside the hot loops.
 //!
+//! Every kernel is additionally **data-parallel** over a [`WorkPool`]: the
+//! output index space is partitioned into disjoint tiles (convolution and
+//! pooling over `(batch, channel)` planes, matrix products over output
+//! rows), and each tile is computed start-to-finish by one thread with the
+//! serial kernel's exact accumulation order. No reduction is ever split
+//! across threads, so results are bit-identical for every thread count —
+//! [`execute_fast_into`] with a serial pool and
+//! [`execute_fast_into_threaded`] with any pool produce the same bytes.
+//!
 //! Inputs are expected to be shape-consistent with `out_shape`, exactly as
 //! produced by graph construction / shape inference (the fused engine always
 //! calls with graph-derived shapes). The differential test harness pins
@@ -16,6 +25,7 @@
 
 use dnnf_tensor::{broadcast_index, Shape, Tensor};
 
+use crate::parallel::WorkPool;
 use crate::{Attrs, OpError, OpKind};
 
 /// Whether `op` has an optimized kernel in this module. The fused engine
@@ -27,9 +37,29 @@ pub fn has_fast_kernel(op: OpKind) -> bool {
     matches!(op, Conv | MatMul | Gemm | MaxPool | AveragePool | GlobalAveragePool)
 }
 
+/// Executes `op` with its optimized kernel on the calling thread. Equivalent
+/// to [`execute_fast_into_threaded`] with a serial pool.
+///
+/// # Errors
+///
+/// Returns an [`OpError`] when the inputs are structurally invalid for the
+/// operator (wrong arity or rank).
+pub fn execute_fast_into(
+    op: OpKind,
+    attrs: &Attrs,
+    inputs: &[&Tensor],
+    out_shape: &Shape,
+    out: &mut [f32],
+) -> Result<bool, OpError> {
+    execute_fast_into_threaded(op, attrs, inputs, out_shape, out, WorkPool::serial())
+}
+
 /// Executes `op` with its optimized kernel, writing the single output into
-/// `out` (length `out_shape.numel()`). Returns `Ok(false)` without touching
-/// `out` when the operator has no fast kernel.
+/// `out` (length `out_shape.numel()`), splitting the output space over
+/// `pool`'s threads. Returns `Ok(false)` without touching `out` when the
+/// operator has no fast kernel. Results are bit-identical to
+/// [`execute_fast_into`] for every pool (per-element ownership split; the
+/// pool's [`WorkPool::for_work`] gate keeps small launches serial).
 ///
 /// # Errors
 ///
@@ -40,20 +70,21 @@ pub fn has_fast_kernel(op: OpKind) -> bool {
 ///
 /// May panic on inputs whose shapes are inconsistent with `out_shape`;
 /// callers are expected to pass shapes produced by shape inference.
-pub fn execute_fast_into(
+pub fn execute_fast_into_threaded(
     op: OpKind,
     attrs: &Attrs,
     inputs: &[&Tensor],
     out_shape: &Shape,
     out: &mut [f32],
+    pool: WorkPool,
 ) -> Result<bool, OpError> {
     debug_assert_eq!(out.len(), out_shape.numel());
     match op {
-        OpKind::Conv => fast_conv(attrs, inputs, out_shape, out)?,
-        OpKind::MatMul => fast_matmul(op, inputs, out_shape, out)?,
-        OpKind::Gemm => fast_gemm(attrs, inputs, out_shape, out)?,
-        OpKind::MaxPool | OpKind::AveragePool => fast_pool(op, attrs, inputs, out_shape, out)?,
-        OpKind::GlobalAveragePool => fast_global_average_pool(inputs, out_shape, out)?,
+        OpKind::Conv => fast_conv(attrs, inputs, out_shape, out, pool)?,
+        OpKind::MatMul => fast_matmul(op, inputs, out_shape, out, pool)?,
+        OpKind::Gemm => fast_gemm(attrs, inputs, out_shape, out, pool)?,
+        OpKind::MaxPool | OpKind::AveragePool => fast_pool(op, attrs, inputs, out_shape, out, pool)?,
+        OpKind::GlobalAveragePool => fast_global_average_pool(inputs, out_shape, out, pool)?,
         _ => return Ok(false),
     }
     Ok(true)
@@ -87,12 +118,14 @@ fn spatial_attrs(attrs: &Attrs, spatial_rank: usize) -> (Vec<usize>, Vec<usize>,
 
 /// Direct convolution with precomputed strides. Accumulates over input
 /// channels then kernel taps in row-major order — the reference kernel's
-/// exact summation sequence.
+/// exact summation sequence. Parallel over `(batch, out_channel)` output
+/// planes; each plane is owned by one thread.
 fn fast_conv(
     attrs: &Attrs,
     inputs: &[&Tensor],
     out_shape: &Shape,
     out: &mut [f32],
+    pool: WorkPool,
 ) -> Result<(), OpError> {
     arity(OpKind::Conv, inputs, 2)?;
     let x = inputs[0];
@@ -104,6 +137,9 @@ fn fast_conv(
             reason: "expected (N, C, spatial...) input and matching-rank weight".into(),
         });
     }
+    if out.is_empty() {
+        return Ok(());
+    }
     let spatial_rank = x.shape().rank() - 2;
     let (strides, dilations, pads) = spatial_attrs(attrs, spatial_rank);
     let group = attrs.int_or("group", 1).max(1) as usize;
@@ -111,12 +147,13 @@ fn fast_conv(
     let xd = x.shape().dims().to_vec();
     let xs = x.shape().strides();
     let ws = w.shape().strides();
-    let batch = out_shape.dim(0);
     let out_channels = out_shape.dim(1);
     let in_per_group = w.shape().dim(1);
     let channels_per_group_out = (out_channels / group).max(1);
     let xdat = x.data();
     let wdat = w.data();
+    let kernel_elems: usize = w.shape().dims()[2..].iter().product();
+    let pool = pool.for_work(out.len().saturating_mul(in_per_group).saturating_mul(kernel_elems));
 
     if spatial_rank == 2 {
         let (oh, ow) = (out_shape.dim(2), out_shape.dim(3));
@@ -125,87 +162,90 @@ fn fast_conv(
         let (sh, sw) = (strides[0], strides[1]);
         let (dh, dw) = (dilations[0], dilations[1]);
         let (ph, pw) = (pads[0], pads[1]);
-        let mut o = 0usize;
-        for n in 0..batch {
-            for oc in 0..out_channels {
-                let g = oc / channels_per_group_out;
-                let b0 = bias.map_or(0.0, |b| b[oc]);
-                let w_oc = oc * ws[0];
-                for oy in 0..oh {
-                    for ox in 0..ow {
-                        let mut acc = b0;
-                        for ic in 0..in_per_group {
-                            let x_base = n * xs[0] + (g * in_per_group + ic) * xs[1];
-                            let w_base = w_oc + ic * ws[1];
-                            for ky in 0..kh {
-                                let y = oy * sh + ky * dh;
-                                if y < ph || y - ph >= ih {
+        // Hoist the stride vectors into scalars so the closure captures
+        // plain values the optimizer keeps in registers.
+        let (xs0, xs1, xs2) = (xs[0], xs[1], xs[2]);
+        let (ws0, ws1, ws2) = (ws[0], ws[1], ws[2]);
+        // One chunk per (n, oc) output plane, written by exactly one thread.
+        pool.run_chunks(out, oh * ow, |plane, chunk| {
+            let n = plane / out_channels;
+            let oc = plane % out_channels;
+            let g = oc / channels_per_group_out;
+            let b0 = bias.map_or(0.0, |b| b[oc]);
+            let w_oc = oc * ws0;
+            let mut o = 0usize;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = b0;
+                    for ic in 0..in_per_group {
+                        let x_base = n * xs0 + (g * in_per_group + ic) * xs1;
+                        let w_base = w_oc + ic * ws1;
+                        for ky in 0..kh {
+                            let y = oy * sh + ky * dh;
+                            if y < ph || y - ph >= ih {
+                                continue;
+                            }
+                            let x_row = x_base + (y - ph) * xs2;
+                            let w_row = w_base + ky * ws2;
+                            for kx in 0..kw {
+                                let xx = ox * sw + kx * dw;
+                                if xx < pw || xx - pw >= iw {
                                     continue;
                                 }
-                                let x_row = x_base + (y - ph) * xs[2];
-                                let w_row = w_base + ky * ws[2];
-                                for kx in 0..kw {
-                                    let xx = ox * sw + kx * dw;
-                                    if xx < pw || xx - pw >= iw {
-                                        continue;
-                                    }
-                                    acc += xdat[x_row + (xx - pw)] * wdat[w_row + kx];
-                                }
+                                acc += xdat[x_row + (xx - pw)] * wdat[w_row + kx];
                             }
                         }
-                        out[o] = acc;
-                        o += 1;
                     }
+                    chunk[o] = acc;
+                    o += 1;
                 }
             }
-        }
+        });
         return Ok(());
     }
 
-    // Generic spatial rank (1-D and 3-D convolutions) with odometer loops.
+    // Generic spatial rank (1-D and 3-D convolutions) with odometer loops,
+    // parallel over the same (n, oc) planes.
     let out_sp: Vec<usize> = out_shape.dims()[2..].to_vec();
     let kernel_sp: Vec<usize> = w.shape().dims()[2..].to_vec();
     let out_sp_count: usize = out_sp.iter().product();
     let kernel_count: usize = kernel_sp.iter().product();
-    let mut o = 0usize;
-    let mut out_pos = vec![0usize; spatial_rank];
-    let mut k_pos = vec![0usize; spatial_rank];
-    for n in 0..batch {
-        for oc in 0..out_channels {
-            let g = oc / channels_per_group_out;
-            let b0 = bias.map_or(0.0, |b| b[oc]);
-            out_pos.iter_mut().for_each(|p| *p = 0);
-            for _ in 0..out_sp_count {
-                let mut acc = b0;
-                for ic in 0..in_per_group {
-                    let x_base = n * xs[0] + (g * in_per_group + ic) * xs[1];
-                    let w_base = oc * ws[0] + ic * ws[1];
-                    k_pos.iter_mut().for_each(|p| *p = 0);
-                    for _ in 0..kernel_count {
-                        let mut x_off = x_base;
-                        let mut w_off = w_base;
-                        let mut in_bounds = true;
-                        for d in 0..spatial_rank {
-                            let pos = out_pos[d] * strides[d] + k_pos[d] * dilations[d];
-                            if pos < pads[d] || pos - pads[d] >= xd[2 + d] {
-                                in_bounds = false;
-                                break;
-                            }
-                            x_off += (pos - pads[d]) * xs[2 + d];
-                            w_off += k_pos[d] * ws[2 + d];
+    pool.run_chunks(out, out_sp_count, |plane, chunk| {
+        let n = plane / out_channels;
+        let oc = plane % out_channels;
+        let g = oc / channels_per_group_out;
+        let b0 = bias.map_or(0.0, |b| b[oc]);
+        let mut out_pos = vec![0usize; spatial_rank];
+        let mut k_pos = vec![0usize; spatial_rank];
+        for slot in chunk.iter_mut() {
+            let mut acc = b0;
+            for ic in 0..in_per_group {
+                let x_base = n * xs[0] + (g * in_per_group + ic) * xs[1];
+                let w_base = oc * ws[0] + ic * ws[1];
+                k_pos.iter_mut().for_each(|p| *p = 0);
+                for _ in 0..kernel_count {
+                    let mut x_off = x_base;
+                    let mut w_off = w_base;
+                    let mut in_bounds = true;
+                    for d in 0..spatial_rank {
+                        let pos = out_pos[d] * strides[d] + k_pos[d] * dilations[d];
+                        if pos < pads[d] || pos - pads[d] >= xd[2 + d] {
+                            in_bounds = false;
+                            break;
                         }
-                        if in_bounds {
-                            acc += xdat[x_off] * wdat[w_off];
-                        }
-                        advance(&mut k_pos, &kernel_sp);
+                        x_off += (pos - pads[d]) * xs[2 + d];
+                        w_off += k_pos[d] * ws[2 + d];
                     }
+                    if in_bounds {
+                        acc += xdat[x_off] * wdat[w_off];
+                    }
+                    advance(&mut k_pos, &kernel_sp);
                 }
-                out[o] = acc;
-                o += 1;
-                advance(&mut out_pos, &out_sp);
             }
+            *slot = acc;
+            advance(&mut out_pos, &out_sp);
         }
-    }
+    });
     Ok(())
 }
 
@@ -221,17 +261,24 @@ fn advance(pos: &mut [usize], dims: &[usize]) {
 }
 
 /// Batched matrix multiplication with broadcasting over batch dimensions.
+/// Parallel over output rows across all batches (per-batch operand offsets
+/// are precomputed, so a small batch count never caps thread utilization);
+/// the per-element dot product is never split.
 fn fast_matmul(
     op: OpKind,
     inputs: &[&Tensor],
     out_shape: &Shape,
     out: &mut [f32],
+    pool: WorkPool,
 ) -> Result<(), OpError> {
     arity(op, inputs, 2)?;
     let a = inputs[0];
     let b = inputs[1];
     if a.shape().rank() < 2 || b.shape().rank() < 2 {
         return Err(OpError::InvalidShape { op, reason: "operands must be rank >= 2".into() });
+    }
+    if out.is_empty() {
+        return Ok(());
     }
     let m = out_shape.dim(out_shape.rank() - 2);
     let n = out_shape.dim(out_shape.rank() - 1);
@@ -245,36 +292,47 @@ fn fast_matmul(
     let bdat = b.data();
     let a_row_stride = a_strides[a.shape().rank() - 2];
     let b_row_stride = b_strides[b.shape().rank() - 2];
+    let batches = batch_shape.numel().max(1);
+    let pool = pool.for_work(out.len().saturating_mul(k));
 
-    let mut o = 0usize;
-    for batch in 0..batch_shape.numel().max(1) {
-        let batch_idx = batch_shape.multi_index(batch);
-        let a_prefix = broadcast_index(&batch_idx, &a_batch);
-        let b_prefix = broadcast_index(&batch_idx, &b_batch);
-        let a_base: usize = a_prefix.iter().zip(&a_strides).map(|(&i, &s)| i * s).sum();
-        let b_base: usize = b_prefix.iter().zip(&b_strides).map(|(&i, &s)| i * s).sum();
-        for i in 0..m {
-            let a_row = &adat[a_base + i * a_row_stride..a_base + i * a_row_stride + k];
-            for j in 0..n {
-                let mut acc = 0.0f32;
-                for (p, &av) in a_row.iter().enumerate() {
-                    acc += av * bdat[b_base + p * b_row_stride + j];
-                }
-                out[o] = acc;
-                o += 1;
+    // Broadcast-resolved operand offsets, one entry per batch, computed once
+    // so the per-row closure stays index-arithmetic only.
+    let bases: Vec<(usize, usize)> = (0..batches)
+        .map(|batch| {
+            let batch_idx = batch_shape.multi_index(batch);
+            let a_prefix = broadcast_index(&batch_idx, &a_batch);
+            let b_prefix = broadcast_index(&batch_idx, &b_batch);
+            let a_base = a_prefix.iter().zip(&a_strides).map(|(&i, &s)| i * s).sum();
+            let b_base = b_prefix.iter().zip(&b_strides).map(|(&i, &s)| i * s).sum();
+            (a_base, b_base)
+        })
+        .collect();
+
+    // One chunk per output row, across all batches.
+    pool.run_chunks(out, n, |row, chunk| {
+        let (a_base, b_base) = bases[row / m];
+        let i = row % m;
+        let a_row = &adat[a_base + i * a_row_stride..a_base + i * a_row_stride + k];
+        for (j, slot) in chunk.iter_mut().enumerate() {
+            let mut acc = 0.0f32;
+            for (p, &av) in a_row.iter().enumerate() {
+                acc += av * bdat[b_base + p * b_row_stride + j];
             }
+            *slot = acc;
         }
-    }
+    });
     Ok(())
 }
 
 /// ONNX `Gemm` with transpose flags, `alpha`/`beta` scaling and broadcast
-/// bias, in the reference kernel's evaluation order.
+/// bias, in the reference kernel's evaluation order. Parallel over output
+/// rows.
 fn fast_gemm(
     attrs: &Attrs,
     inputs: &[&Tensor],
     out_shape: &Shape,
     out: &mut [f32],
+    pool: WorkPool,
 ) -> Result<(), OpError> {
     arity(OpKind::Gemm, inputs, 2)?;
     let a = inputs[0];
@@ -284,6 +342,9 @@ fn fast_gemm(
             op: OpKind::Gemm,
             reason: "operands must be rank 2".into(),
         });
+    }
+    if out.is_empty() {
+        return Ok(());
     }
     let alpha = attrs.float_or("alpha", 1.0);
     let beta = attrs.float_or("beta", 1.0);
@@ -313,9 +374,9 @@ fn fast_gemm(
         None => (None, 0, 0),
     };
 
-    let mut o = 0usize;
-    for i in 0..m {
-        for j in 0..n {
+    let pool = pool.for_work(m.saturating_mul(n).saturating_mul(k));
+    pool.run_chunks(out, n, |i, chunk| {
+        for (j, slot) in chunk.iter_mut().enumerate() {
             let mut acc = 0.0f32;
             for p in 0..k {
                 let av = if trans_a { adat[p * a_cols + i] } else { adat[i * a_cols + p] };
@@ -326,21 +387,21 @@ fn fast_gemm(
             if let Some(cd) = c_dat {
                 v += beta * cd[i * c_si + j * c_sj];
             }
-            out[o] = v;
-            o += 1;
+            *slot = v;
         }
-    }
+    });
     Ok(())
 }
 
 /// `MaxPool` / `AveragePool` with the reference kernel's window order and
-/// padding-count semantics.
+/// padding-count semantics. Parallel over `(batch, channel)` output planes.
 fn fast_pool(
     op: OpKind,
     attrs: &Attrs,
     inputs: &[&Tensor],
     out_shape: &Shape,
     out: &mut [f32],
+    pool: WorkPool,
 ) -> Result<(), OpError> {
     arity(op, inputs, 1)?;
     let x = inputs[0];
@@ -349,6 +410,9 @@ fn fast_pool(
             op,
             reason: "expected (N, C, spatial...) input".into(),
         });
+    }
+    if out.is_empty() {
+        return Ok(());
     }
     let spatial_rank = x.shape().rank() - 2;
     let kernel: Vec<usize> = attrs
@@ -364,92 +428,91 @@ fn fast_pool(
     let xd = x.shape().dims().to_vec();
     let xs = x.shape().strides();
     let xdat = x.data();
-    let batch = out_shape.dim(0);
     let channels = out_shape.dim(1);
     let out_sp: Vec<usize> = out_shape.dims()[2..].to_vec();
     let out_sp_count: usize = out_sp.iter().product();
+    let pool = pool.for_work(out.len().saturating_mul(kernel_total));
 
-    let mut o = 0usize;
     if spatial_rank == 2 {
         let (ih, iw) = (xd[2], xd[3]);
         let (kh, kw) = (kernel[0], kernel[1]);
         let (sh, sw) = (strides[0], strides[1]);
         let (ph, pw) = (pads[0], pads[1]);
         let (oh, ow) = (out_sp[0], out_sp[1]);
-        for n in 0..batch {
-            for c in 0..channels {
-                let base = n * xs[0] + c * xs[1];
-                for oy in 0..oh {
-                    for ox in 0..ow {
-                        let mut acc = if is_max { f32::NEG_INFINITY } else { 0.0 };
-                        let mut count = 0usize;
-                        for ky in 0..kh {
-                            let y = oy * sh + ky;
-                            if y < ph || y - ph >= ih {
+        let (xs0, xs1, xs2) = (xs[0], xs[1], xs[2]);
+        pool.run_chunks(out, oh * ow, |plane, chunk| {
+            let n = plane / channels;
+            let c = plane % channels;
+            let base = n * xs0 + c * xs1;
+            let mut o = 0usize;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = if is_max { f32::NEG_INFINITY } else { 0.0 };
+                    let mut count = 0usize;
+                    for ky in 0..kh {
+                        let y = oy * sh + ky;
+                        if y < ph || y - ph >= ih {
+                            continue;
+                        }
+                        let row = base + (y - ph) * xs2;
+                        for kx in 0..kw {
+                            let xx = ox * sw + kx;
+                            if xx < pw || xx - pw >= iw {
                                 continue;
                             }
-                            let row = base + (y - ph) * xs[2];
-                            for kx in 0..kw {
-                                let xx = ox * sw + kx;
-                                if xx < pw || xx - pw >= iw {
-                                    continue;
-                                }
-                                let v = xdat[row + (xx - pw)];
-                                if is_max {
-                                    acc = acc.max(v);
-                                } else {
-                                    acc += v;
-                                }
-                                count += 1;
+                            let v = xdat[row + (xx - pw)];
+                            if is_max {
+                                acc = acc.max(v);
+                            } else {
+                                acc += v;
                             }
+                            count += 1;
                         }
-                        out[o] = pool_result(is_max, acc, count, count_include_pad, kernel_total);
-                        o += 1;
                     }
+                    chunk[o] = pool_result(is_max, acc, count, count_include_pad, kernel_total);
+                    o += 1;
                 }
             }
-        }
+        });
         return Ok(());
     }
 
-    let mut out_pos = vec![0usize; spatial_rank];
-    let mut k_pos = vec![0usize; spatial_rank];
-    for n in 0..batch {
-        for c in 0..channels {
-            let base = n * xs[0] + c * xs[1];
-            out_pos.iter_mut().for_each(|p| *p = 0);
-            for _ in 0..out_sp_count {
-                let mut acc = if is_max { f32::NEG_INFINITY } else { 0.0 };
-                let mut count = 0usize;
-                k_pos.iter_mut().for_each(|p| *p = 0);
-                for _ in 0..kernel_total {
-                    let mut off = base;
-                    let mut in_bounds = true;
-                    for d in 0..spatial_rank {
-                        let pos = out_pos[d] * strides[d] + k_pos[d];
-                        if pos < pads[d] || pos - pads[d] >= xd[2 + d] {
-                            in_bounds = false;
-                            break;
-                        }
-                        off += (pos - pads[d]) * xs[2 + d];
+    pool.run_chunks(out, out_sp_count, |plane, chunk| {
+        let n = plane / channels;
+        let c = plane % channels;
+        let base = n * xs[0] + c * xs[1];
+        let mut out_pos = vec![0usize; spatial_rank];
+        let mut k_pos = vec![0usize; spatial_rank];
+        for slot in chunk.iter_mut() {
+            let mut acc = if is_max { f32::NEG_INFINITY } else { 0.0 };
+            let mut count = 0usize;
+            k_pos.iter_mut().for_each(|p| *p = 0);
+            for _ in 0..kernel_total {
+                let mut off = base;
+                let mut in_bounds = true;
+                for d in 0..spatial_rank {
+                    let pos = out_pos[d] * strides[d] + k_pos[d];
+                    if pos < pads[d] || pos - pads[d] >= xd[2 + d] {
+                        in_bounds = false;
+                        break;
                     }
-                    if in_bounds {
-                        let v = xdat[off];
-                        if is_max {
-                            acc = acc.max(v);
-                        } else {
-                            acc += v;
-                        }
-                        count += 1;
-                    }
-                    advance(&mut k_pos, &kernel);
+                    off += (pos - pads[d]) * xs[2 + d];
                 }
-                out[o] = pool_result(is_max, acc, count, count_include_pad, kernel_total);
-                o += 1;
-                advance(&mut out_pos, &out_sp);
+                if in_bounds {
+                    let v = xdat[off];
+                    if is_max {
+                        acc = acc.max(v);
+                    } else {
+                        acc += v;
+                    }
+                    count += 1;
+                }
+                advance(&mut k_pos, &kernel);
             }
+            *slot = pool_result(is_max, acc, count, count_include_pad, kernel_total);
+            advance(&mut out_pos, &out_sp);
         }
-    }
+    });
     Ok(())
 }
 
@@ -468,11 +531,13 @@ fn pool_result(
     }
 }
 
-/// `GlobalAveragePool` over contiguous per-channel spatial slices.
+/// `GlobalAveragePool` over contiguous per-channel spatial slices, parallel
+/// over `(batch, channel)` — each output element's spatial sum is one task.
 fn fast_global_average_pool(
     inputs: &[&Tensor],
     out_shape: &Shape,
     out: &mut [f32],
+    pool: WorkPool,
 ) -> Result<(), OpError> {
     arity(OpKind::GlobalAveragePool, inputs, 1)?;
     let x = inputs[0];
@@ -482,17 +547,19 @@ fn fast_global_average_pool(
             reason: "expected (N, C, spatial...) input".into(),
         });
     }
-    let batch = out_shape.dim(0);
+    if out.is_empty() {
+        return Ok(());
+    }
     let channels = out_shape.dim(1);
+    debug_assert_eq!(out.len(), out_shape.dim(0) * channels);
     let spatial: usize = x.shape().dims()[2..].iter().product();
     let xdat = x.data();
-    for n in 0..batch {
-        for c in 0..channels {
-            let base = (n * channels + c) * spatial;
-            let sum: f32 = xdat[base..base + spatial].iter().sum();
-            out[n * channels + c] = sum / spatial.max(1) as f32;
-        }
-    }
+    let pool = pool.for_work(xdat.len());
+    pool.run_chunks(out, 1, |plane, chunk| {
+        let base = plane * spatial;
+        let sum: f32 = xdat[base..base + spatial].iter().sum();
+        chunk[0] = sum / spatial.max(1) as f32;
+    });
     Ok(())
 }
 
@@ -510,6 +577,32 @@ mod tests {
         assert!(execute_fast_into(op, attrs, inputs, &out_shape, &mut fast).unwrap());
         let reference = execute(op, attrs, inputs).unwrap().remove(0);
         assert_eq!(fast.as_slice(), reference.data(), "{op} diverged from reference");
+        assert_threaded_matches_serial(op, attrs, inputs, &out_shape, &fast);
+    }
+
+    /// Runs `op` through the threaded kernel at several thread counts (with
+    /// the work gate disabled, so the parallel partitioning really runs) and
+    /// checks every output byte matches the serial result.
+    fn assert_threaded_matches_serial(
+        op: OpKind,
+        attrs: &Attrs,
+        inputs: &[&Tensor],
+        out_shape: &Shape,
+        serial: &[f32],
+    ) {
+        for threads in [2, 3, 8] {
+            let pool = WorkPool::with_min_work(threads, 0);
+            let mut threaded = vec![0.0f32; out_shape.numel()];
+            assert!(
+                execute_fast_into_threaded(op, attrs, inputs, out_shape, &mut threaded, pool)
+                    .unwrap()
+            );
+            assert_eq!(
+                threaded.as_slice(),
+                serial,
+                "{op} not bit-identical at {threads} threads"
+            );
+        }
     }
 
     #[test]
@@ -571,6 +664,10 @@ mod tests {
         let a = Tensor::random(Shape::new(vec![2, 1, 3, 4]), 12);
         let b = Tensor::random(Shape::new(vec![2, 4, 2]), 13);
         assert_fast_matches_reference(OpKind::MatMul, &Attrs::new(), &[&a, &b]);
+        // Leading all-ones batch prefix takes the per-row parallel path.
+        let a = Tensor::random(Shape::new(vec![1, 6, 4]), 24);
+        let b = Tensor::random(Shape::new(vec![1, 4, 3]), 25);
+        assert_fast_matches_reference(OpKind::MatMul, &Attrs::new(), &[&a, &b]);
     }
 
     #[test]
@@ -607,6 +704,32 @@ mod tests {
             Attrs::new().with_ints("kernel_shape", vec![2, 2, 2]).with_ints("strides", vec![2, 2, 2]);
         assert_fast_matches_reference(OpKind::MaxPool, &attrs3, &[&x3]);
         assert_fast_matches_reference(OpKind::GlobalAveragePool, &Attrs::new(), &[&x3]);
+    }
+
+    #[test]
+    fn large_conv_passes_the_default_work_gate_bit_identically() {
+        // Big enough that WorkPool::new's default gate keeps the region
+        // parallel — the production configuration, not just min_work = 0.
+        let x = Tensor::random(Shape::new(vec![1, 8, 20, 20]), 26);
+        let w = Tensor::random(Shape::new(vec![16, 8, 3, 3]), 27);
+        let attrs = Attrs::new().with_ints("pads", vec![1, 1, 1, 1]);
+        let out_shape =
+            infer_shapes(OpKind::Conv, &attrs, &[x.shape().clone(), w.shape().clone()])
+                .unwrap()
+                .remove(0);
+        let mut serial = vec![0.0f32; out_shape.numel()];
+        execute_fast_into(OpKind::Conv, &attrs, &[&x, &w], &out_shape, &mut serial).unwrap();
+        let mut threaded = vec![0.0f32; out_shape.numel()];
+        execute_fast_into_threaded(
+            OpKind::Conv,
+            &attrs,
+            &[&x, &w],
+            &out_shape,
+            &mut threaded,
+            WorkPool::new(4),
+        )
+        .unwrap();
+        assert_eq!(serial, threaded);
     }
 
     #[test]

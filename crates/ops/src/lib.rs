@@ -37,6 +37,7 @@ mod error;
 mod kernels;
 mod mapping;
 mod op;
+pub mod parallel;
 mod properties;
 mod scalar;
 mod shape_infer;
@@ -45,8 +46,9 @@ pub use attrs::{AttrValue, Attrs};
 pub use cost::{bytes_accessed, flops, OpCost};
 pub use error::OpError;
 pub use kernels::execute;
-pub use kernels::fast::{execute_fast_into, has_fast_kernel};
+pub use kernels::fast::{execute_fast_into, execute_fast_into_threaded, has_fast_kernel};
 pub use mapping::MappingType;
+pub use parallel::WorkPool;
 pub use op::OpKind;
 pub use properties::MathProperties;
 pub use scalar::ScalarUnaryFn;

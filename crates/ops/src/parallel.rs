@@ -1,0 +1,226 @@
+//! A dependency-free scoped-thread work pool for data-parallel kernels.
+//!
+//! The fused execution engine splits anchor kernels and scalar tapes over
+//! threads by **output ownership**: every output element is computed, start
+//! to finish, by exactly one thread, running the very same accumulation loop
+//! the serial kernel runs. No reduction is ever split across threads
+//! (never a split-K), so results are bit-identical for every thread count
+//! and every task-to-thread assignment — determinism is structural, not a
+//! property of scheduling.
+//!
+//! [`WorkPool`] is intentionally tiny: it carries a thread count and a
+//! minimum-work threshold, and parallel regions are realized with
+//! [`std::thread::scope`] (the build environment has no crate registry, so
+//! no rayon). Threads are spawned per parallel region; the
+//! [`WorkPool::for_work`] gate keeps small kernels serial so spawn latency
+//! is only ever paid where the region is large enough to amortize it.
+
+/// Work (roughly: scalar multiply-accumulates) below which a parallel region
+/// is not worth its thread spawns. A region of this size runs in the low
+/// hundreds of microseconds serially; scoped spawn + join of a few threads
+/// costs tens of microseconds.
+pub const DEFAULT_PARALLEL_WORK_GRAIN: usize = 1 << 18;
+
+/// A scoped-thread work pool.
+///
+/// Copyable and allocation-free to hold; threads only exist for the duration
+/// of each parallel region ([`WorkPool::run_parts`] /
+/// [`WorkPool::run_chunks`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkPool {
+    threads: usize,
+    min_work: usize,
+}
+
+impl WorkPool {
+    /// A pool that runs everything on the calling thread.
+    #[must_use]
+    pub const fn serial() -> Self {
+        WorkPool { threads: 1, min_work: DEFAULT_PARALLEL_WORK_GRAIN }
+    }
+
+    /// A pool using up to `threads` threads (clamped to at least 1) with the
+    /// default work gate.
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        WorkPool { threads: threads.max(1), min_work: DEFAULT_PARALLEL_WORK_GRAIN }
+    }
+
+    /// A pool with an explicit minimum-work gate. `min_work = 0` forces the
+    /// parallel path regardless of region size — the differential tests use
+    /// this to exercise the threaded kernels on small fixtures.
+    #[must_use]
+    pub fn with_min_work(threads: usize, min_work: usize) -> Self {
+        WorkPool { threads: threads.max(1), min_work }
+    }
+
+    /// A pool sized to the host's available parallelism.
+    #[must_use]
+    pub fn host() -> Self {
+        let threads =
+            std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
+        WorkPool::new(threads)
+    }
+
+    /// Number of threads parallel regions may use.
+    #[must_use]
+    pub const fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Whether this pool runs everything on the calling thread.
+    #[must_use]
+    pub const fn is_serial(&self) -> bool {
+        self.threads <= 1
+    }
+
+    /// Gates a parallel region by its size: returns `self` when `work`
+    /// (≈ scalar operations in the region) meets the pool's threshold, and a
+    /// serial pool otherwise. Kernels call this before partitioning so tiny
+    /// launches never pay thread-spawn latency.
+    #[must_use]
+    pub fn for_work(self, work: usize) -> WorkPool {
+        if self.threads > 1 && work >= self.min_work {
+            self
+        } else {
+            WorkPool { threads: 1, ..self }
+        }
+    }
+
+    /// Runs `f` once per part, each part on exactly one thread. The caller
+    /// prepares at most [`WorkPool::threads`] parts (one per worker); the
+    /// first part runs on the calling thread while the rest run on scoped
+    /// threads. With one part (or a serial pool) nothing is spawned.
+    pub fn run_parts<T: Send>(&self, parts: Vec<T>, f: impl Fn(T) + Sync) {
+        debug_assert!(parts.len() <= self.threads.max(1));
+        if parts.len() <= 1 || self.is_serial() {
+            for part in parts {
+                f(part);
+            }
+            return;
+        }
+        std::thread::scope(|scope| {
+            let f = &f;
+            let mut rest = parts.into_iter();
+            let local = rest.next().expect("more than one part");
+            for part in rest {
+                scope.spawn(move || f(part));
+            }
+            f(local);
+        });
+    }
+
+    /// Splits `data` into consecutive chunks of `chunk_len` elements (the
+    /// last may be shorter) and calls `f(chunk_index, chunk)` for each, with
+    /// chunks distributed round-robin over the pool's threads. Chunk `i`
+    /// always covers `data[i * chunk_len ..]` — the mapping from index to
+    /// elements never depends on the thread count, and each chunk is written
+    /// by exactly one thread.
+    pub fn run_chunks(&self, data: &mut [f32], chunk_len: usize, f: impl Fn(usize, &mut [f32]) + Sync) {
+        assert!(chunk_len > 0, "chunk_len must be positive");
+        let chunks = data.len().div_ceil(chunk_len);
+        let workers = self.threads.min(chunks).max(1);
+        if workers <= 1 {
+            for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+                f(i, chunk);
+            }
+            return;
+        }
+        let mut parts: Vec<Vec<(usize, &mut [f32])>> =
+            (0..workers).map(|_| Vec::with_capacity(chunks.div_ceil(workers))).collect();
+        for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            parts[i % workers].push((i, chunk));
+        }
+        self.run_parts(parts, |part| {
+            for (i, chunk) in part {
+                f(i, chunk);
+            }
+        });
+    }
+}
+
+impl Default for WorkPool {
+    fn default() -> Self {
+        WorkPool::serial()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn serial_pool_runs_on_the_calling_thread() {
+        let pool = WorkPool::serial();
+        assert!(pool.is_serial());
+        let caller = std::thread::current().id();
+        let mut data = vec![0.0f32; 10];
+        pool.run_chunks(&mut data, 3, |i, chunk| {
+            assert_eq!(std::thread::current().id(), caller);
+            for v in chunk.iter_mut() {
+                *v = i as f32;
+            }
+        });
+        assert_eq!(data, vec![0.0, 0.0, 0.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn chunks_cover_the_slice_exactly_once_under_parallelism() {
+        let pool = WorkPool::with_min_work(8, 0);
+        let mut data = vec![-1.0f32; 1000];
+        pool.run_chunks(&mut data, 7, |i, chunk| {
+            let base = i * 7;
+            for (k, v) in chunk.iter_mut().enumerate() {
+                *v = (base + k) as f32;
+            }
+        });
+        for (k, &v) in data.iter().enumerate() {
+            assert_eq!(v, k as f32);
+        }
+    }
+
+    #[test]
+    fn run_parts_executes_every_part() {
+        let pool = WorkPool::with_min_work(4, 0);
+        let counter = AtomicUsize::new(0);
+        let parts: Vec<usize> = (0..4).collect();
+        pool.run_parts(parts, |p| {
+            counter.fetch_add(p + 1, Ordering::SeqCst);
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 1 + 2 + 3 + 4);
+    }
+
+    #[test]
+    fn work_gate_serializes_small_regions() {
+        let pool = WorkPool::new(8);
+        assert!(pool.for_work(16).is_serial());
+        assert_eq!(pool.for_work(DEFAULT_PARALLEL_WORK_GRAIN).threads(), 8);
+        // An explicit zero gate always stays parallel.
+        let eager = WorkPool::with_min_work(8, 0);
+        assert_eq!(eager.for_work(0).threads(), 8);
+        // Serial pools stay serial regardless of work size.
+        assert!(WorkPool::serial().for_work(usize::MAX).is_serial());
+    }
+
+    #[test]
+    fn chunk_count_caps_the_worker_count() {
+        // Two chunks, eight threads: only two parts may be built; the
+        // debug_assert in run_parts would catch an oversubscribed split.
+        let pool = WorkPool::with_min_work(8, 0);
+        let mut data = vec![0.0f32; 8];
+        pool.run_chunks(&mut data, 4, |i, chunk| {
+            for v in chunk.iter_mut() {
+                *v = i as f32 + 1.0;
+            }
+        });
+        assert_eq!(&data[..4], &[1.0; 4]);
+        assert_eq!(&data[4..], &[2.0; 4]);
+    }
+
+    #[test]
+    fn host_pool_reports_at_least_one_thread() {
+        assert!(WorkPool::host().threads() >= 1);
+        assert_eq!(WorkPool::default(), WorkPool::serial());
+    }
+}

@@ -28,7 +28,9 @@ use dnnf_ops::execute;
 use dnnf_simdev::{BlockWork, CacheHierarchy, Counters, DeviceCostModel, DeviceSpec};
 use dnnf_tensor::Tensor;
 
-use crate::{materialize_weights, DeviceLatencyModel, MemoryPlan, RuntimeError, TensorArena};
+use crate::{
+    materialize_weights, DeviceLatencyModel, ExecOptions, MemoryPlan, RuntimeError, TensorArena,
+};
 
 /// The result of one inference run.
 #[derive(Debug, Clone, PartialEq)]
@@ -54,6 +56,7 @@ impl ExecutionReport {
 pub struct Executor {
     device: DeviceSpec,
     simulate_cache: bool,
+    options: ExecOptions,
 }
 
 /// Shared per-run device accounting (identical for both execution paths, so
@@ -68,10 +71,11 @@ struct Accounting {
 }
 
 impl Executor {
-    /// Creates an executor for a device.
+    /// Creates an executor for a device with the default [`ExecOptions`]
+    /// (thread count from the host, or `DNNF_NUM_THREADS` when set).
     #[must_use]
     pub fn new(device: DeviceSpec) -> Self {
-        Executor { device, simulate_cache: true }
+        Executor { device, simulate_cache: true, options: ExecOptions::default() }
     }
 
     /// Disables the cache simulation (useful for large sweeps where only
@@ -80,6 +84,27 @@ impl Executor {
     pub fn without_cache_simulation(mut self) -> Self {
         self.simulate_cache = false;
         self
+    }
+
+    /// Replaces the execution options (thread count and parallelism gate).
+    #[must_use]
+    pub fn with_options(mut self, options: ExecOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Caps kernel launches at `num_threads` threads; `1` recovers the
+    /// fully serial engine. Results are bit-identical either way.
+    #[must_use]
+    pub fn with_num_threads(mut self, num_threads: usize) -> Self {
+        self.options.num_threads = num_threads.max(1);
+        self
+    }
+
+    /// The execution options in effect.
+    #[must_use]
+    pub fn options(&self) -> &ExecOptions {
+        &self.options
     }
 
     /// The device this executor models.
@@ -211,13 +236,14 @@ impl Executor {
             }
         }
         let mut arena = TensorArena::new();
+        let workers = self.options.pool();
 
         let mut acct = self.accounting(graph);
         for (pos, &block_idx) in order.iter().enumerate() {
             let block = &plan.blocks()[block_idx];
             let kernel = engine.kernel(block_idx);
             let produced = kernel
-                .run(graph, &mut |v| env[v.index()].clone(), &mut arena)
+                .run(graph, &mut |v| env[v.index()].clone(), &mut arena, workers)
                 .map_err(RuntimeError::Core)?;
             for (out_id, tensor) in produced {
                 env[out_id.index()] = Some(Arc::new(tensor));
@@ -491,6 +517,37 @@ mod tests {
                 (v.name.clone(), Tensor::random(v.shape.clone(), 42))
             })
             .collect()
+    }
+
+    #[test]
+    fn threaded_execution_is_bit_identical_to_serial_with_identical_counters() {
+        let g = small_cnn();
+        let inputs = inputs_for(&g);
+        let mut compiler = Compiler::new(CompilerOptions::default());
+        let compiled = compiler.compile(&g).unwrap();
+        let serial = Executor::new(DeviceSpec::snapdragon_865_cpu())
+            .with_options(ExecOptions::serial());
+        let base = serial.run_compiled(&compiled, &inputs).unwrap();
+        for threads in [2, 8] {
+            // min_parallel_work = 0 forces the parallel partitioning even on
+            // this small model.
+            let threaded = serial
+                .clone()
+                .with_options(ExecOptions { num_threads: threads, min_parallel_work: 0 });
+            assert_eq!(threaded.options().num_threads, threads);
+            let report = threaded.run_compiled(&compiled, &inputs).unwrap();
+            for (a, b) in base.outputs.iter().zip(&report.outputs) {
+                assert_eq!(
+                    a.first_disagreement(b, 0.0),
+                    None,
+                    "threaded execution diverged at {threads} threads"
+                );
+            }
+            // Threading changes wall-clock only; the modeled device counters
+            // and memory plan are identical.
+            assert_eq!(base.counters, report.counters);
+            assert_eq!(base.memory, report.memory);
+        }
     }
 
     #[test]

@@ -20,6 +20,13 @@
 //!   by value id (no cloning between blocks), and output buffers are
 //!   recycled through a [`TensorArena`] as the [`MemoryPlan`]'s per-value
 //!   lifetimes expire, bounding allocation near the plan's peak working set.
+//! * **Threads** — anchor kernels and scalar tapes are data-parallel over a
+//!   scoped-thread [`WorkPool`] ([`ExecOptions::num_threads`], default =
+//!   host parallelism, overridable via the `DNNF_NUM_THREADS` environment
+//!   variable). The partitioning is a per-element **ownership** split —
+//!   every output element is computed by exactly one thread in the serial
+//!   accumulation order, never a split reduction — so outputs are
+//!   bit-identical for every thread count. See `docs/execution.md`.
 //!
 //! [`Executor::run_plan_reference`] keeps the original per-operator
 //! reference interpreter alive as the semantic oracle: the differential
@@ -39,10 +46,13 @@ mod error;
 mod executor;
 mod latency;
 mod memory;
+mod options;
 mod weights;
 
+pub use dnnf_ops::WorkPool;
 pub use error::RuntimeError;
 pub use executor::{ExecutionReport, Executor};
 pub use latency::DeviceLatencyModel;
 pub use memory::{MemoryPlan, TensorArena, ValueLifetime};
+pub use options::{ExecOptions, NUM_THREADS_ENV};
 pub use weights::materialize_weights;

@@ -1,0 +1,98 @@
+//! Execution options for the fused-block engine.
+
+use dnnf_ops::parallel::DEFAULT_PARALLEL_WORK_GRAIN;
+use dnnf_ops::WorkPool;
+
+/// Environment variable overriding the default thread count (used by CI to
+/// pin the whole test suite to a fixed parallelism).
+pub const NUM_THREADS_ENV: &str = "DNNF_NUM_THREADS";
+
+/// How the executor maps kernels onto host threads.
+///
+/// The defaults come from the host: `num_threads` is
+/// [`std::thread::available_parallelism`] unless the `DNNF_NUM_THREADS`
+/// environment variable overrides it. `num_threads = 1` recovers the fully
+/// serial engine; any other value changes **only** wall-clock behaviour —
+/// the parallel kernels partition output elements by ownership and keep the
+/// serial accumulation order, so results are bit-identical across thread
+/// counts (the determinism suite pins this).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecOptions {
+    /// Maximum threads a kernel launch may use (clamped to at least 1).
+    pub num_threads: usize,
+    /// Minimum per-launch work (≈ scalar operations) before a kernel is
+    /// split across threads; smaller launches run serially so thread-spawn
+    /// latency is only paid where it amortizes. `0` forces the parallel
+    /// path everywhere — useful in tests, rarely in production.
+    pub min_parallel_work: usize,
+}
+
+impl ExecOptions {
+    /// Fully serial execution (today's single-core path).
+    #[must_use]
+    pub const fn serial() -> Self {
+        ExecOptions { num_threads: 1, min_parallel_work: DEFAULT_PARALLEL_WORK_GRAIN }
+    }
+
+    /// Options using up to `num_threads` threads with the default work gate.
+    #[must_use]
+    pub fn with_threads(num_threads: usize) -> Self {
+        ExecOptions { num_threads: num_threads.max(1), ..ExecOptions::serial() }
+    }
+
+    /// The worker pool these options describe.
+    #[must_use]
+    pub fn pool(&self) -> WorkPool {
+        WorkPool::with_min_work(self.num_threads, self.min_parallel_work)
+    }
+}
+
+impl Default for ExecOptions {
+    /// `DNNF_NUM_THREADS` when set to a positive integer, otherwise the
+    /// host's available parallelism.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `DNNF_NUM_THREADS` is set to anything but a positive
+    /// integer (or the empty string, which counts as unset). The variable
+    /// exists so CI can pin the engine's parallelism; silently falling back
+    /// to the host default on a typo would un-pin the very runs that rely
+    /// on it.
+    fn default() -> Self {
+        let num_threads = match std::env::var(NUM_THREADS_ENV) {
+            Ok(raw) if raw.trim().is_empty() => WorkPool::host().threads(),
+            Ok(raw) => raw.trim().parse::<usize>().ok().filter(|&n| n > 0).unwrap_or_else(|| {
+                panic!("{NUM_THREADS_ENV} must be a positive integer, got `{raw}`")
+            }),
+            Err(_) => WorkPool::host().threads(),
+        };
+        ExecOptions::with_threads(num_threads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_options_build_a_serial_pool() {
+        let opts = ExecOptions::serial();
+        assert_eq!(opts.num_threads, 1);
+        assert!(opts.pool().is_serial());
+    }
+
+    #[test]
+    fn with_threads_clamps_to_one() {
+        assert_eq!(ExecOptions::with_threads(0).num_threads, 1);
+        assert_eq!(ExecOptions::with_threads(6).num_threads, 6);
+        assert_eq!(ExecOptions::with_threads(6).pool().threads(), 6);
+    }
+
+    #[test]
+    fn default_reflects_host_or_env() {
+        // The env var may or may not be set in the environment running the
+        // suite; either way the result must be a positive thread count.
+        assert!(ExecOptions::default().num_threads >= 1);
+        assert_eq!(ExecOptions::default().min_parallel_work, DEFAULT_PARALLEL_WORK_GRAIN);
+    }
+}

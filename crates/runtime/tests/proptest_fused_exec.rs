@@ -7,13 +7,21 @@
 //! reference-kernel interpreter within 1e-5 (non-finite elements must be
 //! non-finite on both paths). This pins the scalar tapes, the broadcast
 //! stride walking and the anchor dispatch to the reference semantics.
+//!
+//! A second generator builds **anchored** DAGs — a random Conv / MatMul /
+//! Gemm / pooling anchor with a fused element-wise epilogue — and runs them
+//! at `num_threads ∈ {1, 2, 8}` with the parallel work gate disabled, so the
+//! threaded anchor kernels and parallel tape sweeps are exercised on every
+//! case: each configuration must match the reference within 1e-5 and all
+//! thread counts must agree **bit-for-bit** (the determinism invariant of
+//! the ownership-split partitioning).
 
 use std::collections::HashMap;
 
 use dnnf_core::{Compiler, CompilerOptions, Ecg, FusionPlan};
 use dnnf_graph::{Graph, ValueId};
 use dnnf_ops::{Attrs, OpKind};
-use dnnf_runtime::Executor;
+use dnnf_runtime::{ExecOptions, Executor};
 use dnnf_simdev::DeviceSpec;
 use dnnf_tensor::{Shape, Tensor};
 use proptest::prelude::*;
@@ -128,6 +136,173 @@ fn random_dag(rng: &mut TestRng) -> Graph {
     g
 }
 
+/// Appends `count` random element-wise operators (unary chains, broadcast
+/// binaries, inference-form `BatchNormalization`) after `src`, returning the
+/// final value. Mirrors the epilogues fusion attaches to anchors.
+fn random_epilogue(g: &mut Graph, rng: &mut TestRng, src: ValueId, count: usize) -> ValueId {
+    let mut value = src;
+    for i in 0..count {
+        let shape = g.value(value).shape.clone();
+        let choice = rng.below(8);
+        value = if choice < 4 {
+            let op = UNARY_OPS[rng.below(UNARY_OPS.len() as u64) as usize];
+            let attrs = match op {
+                OpKind::LeakyRelu => Attrs::new().with_float("alpha", 0.125),
+                OpKind::Clip => Attrs::new().with_float("min", -0.75).with_float("max", 0.75),
+                _ => Attrs::new(),
+            };
+            g.add_op(op, attrs, &[value], format!("ep.u{i}")).unwrap()[0]
+        } else if choice < 7 || shape.rank() < 2 {
+            let op = BINARY_OPS[rng.below(BINARY_OPS.len() as u64) as usize];
+            let squashed: Vec<usize> = shape
+                .dims()
+                .iter()
+                .map(|&d| if rng.below(2) == 0 { 1 } else { d })
+                .collect();
+            let rhs = g.add_weight(format!("ep.w{i}"), Shape::new(squashed));
+            g.add_op(op, Attrs::new(), &[value, rhs], format!("ep.b{i}")).unwrap()[0]
+        } else {
+            let c = Shape::new(vec![shape.dim(1)]);
+            let scale = g.add_weight(format!("ep.{i}.bn.scale"), c.clone());
+            let bias = g.add_weight(format!("ep.{i}.bn.bias"), c.clone());
+            let mean = g.add_weight(format!("ep.{i}.bn.mean"), c.clone());
+            let var = g.add_weight(format!("ep.{i}.bn.var"), c);
+            g.add_op(
+                OpKind::BatchNormalization,
+                Attrs::new().with_float("epsilon", 1e-5),
+                &[value, scale, bias, mean, var],
+                format!("ep.{i}.bn"),
+            )
+            .unwrap()[0]
+        };
+    }
+    value
+}
+
+/// Builds a random anchored DAG: one Conv / MatMul / Gemm / MaxPool /
+/// AveragePool / GlobalAveragePool anchor (random shapes and attributes),
+/// a fused element-wise epilogue, and — for spatial anchors — sometimes a
+/// pooling tail with its own epilogue. The anchor output escapes as a graph
+/// output too, so blocks must materialize a mid-kernel value.
+fn random_anchor_dag(rng: &mut TestRng) -> Graph {
+    let mut g = Graph::new("proptest-anchor-dag");
+    let anchor = match rng.below(6) {
+        0 => {
+            // Conv with random padding/stride, optional bias.
+            let n = 1 + rng.below(2) as usize;
+            let cin = 1 + rng.below(3) as usize;
+            let h = 3 + rng.below(6) as usize;
+            let w = 3 + rng.below(6) as usize;
+            let cout = 1 + rng.below(4) as usize;
+            let k = 1 + rng.below(h.min(w).min(3) as u64) as usize;
+            let x = g.add_input("x", Shape::new(vec![n, cin, h, w]));
+            let wt = g.add_weight("conv.w", Shape::new(vec![cout, cin, k, k]));
+            let p = rng.below(2) as i64;
+            let s = 1 + rng.below(2) as i64;
+            let attrs = Attrs::new()
+                .with_ints("pads", vec![p, p, p, p])
+                .with_ints("strides", vec![s, s]);
+            let inputs: Vec<ValueId> = if rng.below(2) == 0 {
+                let b = g.add_weight("conv.b", Shape::new(vec![cout]));
+                vec![x, wt, b]
+            } else {
+                vec![x, wt]
+            };
+            g.add_op(OpKind::Conv, attrs, &inputs, "conv").unwrap()[0]
+        }
+        1 => {
+            // MatMul in one of three batching forms.
+            let m = 1 + rng.below(5) as usize;
+            let k = 1 + rng.below(5) as usize;
+            let n = 1 + rng.below(5) as usize;
+            let (a_shape, b_shape) = match rng.below(3) {
+                0 => (vec![m, k], vec![k, n]),
+                1 => (vec![2, m, k], vec![k, n]),
+                _ => (vec![2, 1, m, k], vec![2, k, n]),
+            };
+            let a = g.add_input("a", Shape::new(a_shape));
+            let b = g.add_weight("mm.b", Shape::new(b_shape));
+            g.add_op(OpKind::MatMul, Attrs::new(), &[a, b], "matmul").unwrap()[0]
+        }
+        2 => {
+            // Gemm with random transpose flags, scaling and bias form.
+            let m = 1 + rng.below(5) as usize;
+            let k = 1 + rng.below(5) as usize;
+            let n = 1 + rng.below(5) as usize;
+            let trans_a = rng.below(2) == 1;
+            let trans_b = rng.below(2) == 1;
+            let a_shape = if trans_a { vec![k, m] } else { vec![m, k] };
+            let b_shape = if trans_b { vec![n, k] } else { vec![k, n] };
+            let a = g.add_input("a", Shape::new(a_shape));
+            let b = g.add_weight("gemm.b", Shape::new(b_shape));
+            let attrs = Attrs::new()
+                .with_int("transA", i64::from(trans_a))
+                .with_int("transB", i64::from(trans_b))
+                .with_float("alpha", [1.0, 0.5, 2.0][rng.below(3) as usize])
+                .with_float("beta", [1.0, 0.5, 2.0][rng.below(3) as usize]);
+            let mut inputs = vec![a, b];
+            let bias_shape = match rng.below(5) {
+                0 => None,
+                1 => Some(vec![n]),
+                2 => Some(vec![1, n]),
+                3 => Some(vec![m, 1]),
+                _ => Some(vec![m, n]),
+            };
+            if let Some(dims) = bias_shape {
+                inputs.push(g.add_weight("gemm.c", Shape::new(dims)));
+            }
+            g.add_op(OpKind::Gemm, attrs, &inputs, "gemm").unwrap()[0]
+        }
+        choice => {
+            // Pooling over a random (N, C, H, W) input.
+            let n = 1 + rng.below(2) as usize;
+            let c = 1 + rng.below(4) as usize;
+            let h = 3 + rng.below(6) as usize;
+            let w = 3 + rng.below(6) as usize;
+            let x = g.add_input("x", Shape::new(vec![n, c, h, w]));
+            if choice == 5 {
+                g.add_op(OpKind::GlobalAveragePool, Attrs::new(), &[x], "gap").unwrap()[0]
+            } else {
+                let op = if choice == 3 { OpKind::MaxPool } else { OpKind::AveragePool };
+                let k = 2 + rng.below(2) as i64;
+                let s = 1 + rng.below(2) as i64;
+                let p = rng.below(2) as i64;
+                let mut attrs = Attrs::new()
+                    .with_ints("kernel_shape", vec![k, k])
+                    .with_ints("strides", vec![s, s])
+                    .with_ints("pads", vec![p, p, p, p]);
+                if op == OpKind::AveragePool && rng.below(2) == 0 {
+                    attrs = attrs.with_int("count_include_pad", 1);
+                }
+                g.add_op(op, attrs, &[x], "pool").unwrap()[0]
+            }
+        }
+    };
+
+    let epilogue_len = 1 + rng.below(4) as usize;
+    let mut last = random_epilogue(&mut g, rng, anchor, epilogue_len);
+    // Sometimes chain a second anchor: a pooling tail over a spatial result.
+    let shape = g.value(last).shape.clone();
+    if shape.rank() == 4 && shape.dim(2) >= 2 && shape.dim(3) >= 2 && rng.below(3) == 0 {
+        let tail = g
+            .add_op(
+                OpKind::MaxPool,
+                Attrs::new().with_ints("kernel_shape", vec![2, 2]).with_ints("strides", vec![2, 2]),
+                &[last],
+                "tail.pool",
+            )
+            .unwrap()[0];
+        let tail_len = rng.below(3) as usize;
+        last = random_epilogue(&mut g, rng, tail, tail_len);
+    }
+    g.mark_output(last);
+    if last != anchor {
+        // The anchor escapes mid-kernel: the block must materialize it.
+        g.mark_output(anchor);
+    }
+    g
+}
+
 fn inputs_for(graph: &Graph, seed: u64) -> HashMap<String, Tensor> {
     graph
         .inputs()
@@ -207,5 +382,85 @@ proptest! {
             assert_agrees(r, e, 1e-5, &format!("grouped engine (seed {seed})"));
         }
         prop_assert_eq!(reference.counters.kernel_launches, engine.counters.kernel_launches);
+    }
+}
+
+/// The anchored generator must keep producing every anchor kind over a
+/// short seed range — otherwise the threaded-kernel coverage of the
+/// differential suite silently narrows.
+#[test]
+fn anchor_generator_covers_every_anchor_kind() {
+    let mut seen: std::collections::BTreeMap<OpKind, u64> = std::collections::BTreeMap::new();
+    for seed in 0..64u64 {
+        let mut rng = TestRng::new(seed);
+        let graph = random_anchor_dag(&mut rng);
+        let first = graph.node(graph.topo_order()[0]).op;
+        seen.entry(first).or_insert(seed);
+    }
+    for op in [
+        OpKind::Conv,
+        OpKind::MatMul,
+        OpKind::Gemm,
+        OpKind::MaxPool,
+        OpKind::AveragePool,
+        OpKind::GlobalAveragePool,
+    ] {
+        assert!(seen.contains_key(&op), "no seed in 0..64 produced a {op} anchor: {seen:?}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn threaded_anchor_dags_match_reference_and_are_bit_deterministic(seed in any::<u64>()) {
+        let mut rng = TestRng::new(seed);
+        let graph = random_anchor_dag(&mut rng);
+        let inputs = inputs_for(&graph, seed ^ 0xA5C3);
+        let base =
+            Executor::new(DeviceSpec::snapdragon_865_cpu()).without_cache_simulation();
+
+        // The oracle: the serial reference interpreter.
+        let ecg = Ecg::new(graph.clone());
+        let singletons = FusionPlan::singletons(&ecg);
+        let reference = base
+            .clone()
+            .with_options(ExecOptions::serial())
+            .run_plan_reference(&graph, &singletons, &inputs)
+            .unwrap();
+
+        let mut compiler = Compiler::new(CompilerOptions::without_rewriting());
+        let compiled = compiler.compile(&graph).unwrap();
+
+        let mut fused_per_config: Vec<Vec<Tensor>> = Vec::new();
+        for threads in [1usize, 2, 8] {
+            // min_parallel_work = 0 disables the work-size gate, so the
+            // parallel partitioning really runs on these small fixtures.
+            let executor = base
+                .clone()
+                .with_options(ExecOptions { num_threads: threads, min_parallel_work: 0 });
+            let fused = executor.run_compiled(&compiled, &inputs).unwrap();
+            for (r, e) in reference.outputs.iter().zip(&fused.outputs) {
+                assert_agrees(r, e, 1e-5, &format!("anchored fused (seed {seed}, {threads} thr)"));
+            }
+            let singleton = executor.run_plan(&graph, &singletons, &inputs).unwrap();
+            for (r, e) in reference.outputs.iter().zip(&singleton.outputs) {
+                assert_agrees(r, e, 1e-5, &format!("anchored singleton (seed {seed}, {threads} thr)"));
+            }
+            fused_per_config.push(fused.outputs);
+        }
+
+        // Determinism: the thread count must not change a single bit.
+        for (config, outputs) in fused_per_config.iter().enumerate().skip(1) {
+            for (a, b) in fused_per_config[0].iter().zip(outputs) {
+                prop_assert_eq!(
+                    a.first_disagreement(b, 0.0),
+                    None,
+                    "thread count changed output bits (seed {}, config {})",
+                    seed,
+                    config
+                );
+            }
+        }
     }
 }
