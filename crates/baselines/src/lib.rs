@@ -5,7 +5,7 @@
 //! sequences (Conv+Bias+ReLU, GEMM+Bias+Activation, short element-wise
 //! chains, …) that get merged when matched exactly. This crate models each
 //! framework's pattern set with a [`PatternFuser`], producing ordinary
-//! [`FusionPlan`]s so the same runtime can execute and measure them, plus a
+//! [`dnnf_core::FusionPlan`]s so the same runtime can execute and measure them, plus a
 //! TASO-like substitution-only pass ([`taso_optimize`]) used by the Figure 6
 //! comparison.
 //!

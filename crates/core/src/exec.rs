@@ -21,6 +21,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use dnnf_graph::{Graph, NodeId, ValueId};
+use dnnf_ops::simd::{F32Lanes, LANES};
 use dnnf_ops::{execute, execute_fast_into_threaded, has_fast_kernel, OpKind, ScalarUnaryFn, WorkPool};
 use dnnf_tensor::{broadcast_shapes, Shape, Tensor};
 
@@ -65,7 +66,8 @@ pub struct TapeInput {
 pub enum TapeInstr {
     /// Read the current element of an external input.
     Load {
-        /// Index into [`ScalarTape::inputs`].
+        /// Index into the tape's input table ([`ScalarTape::input_values`]
+        /// lists the values in the same order).
         input: usize,
     },
     /// Apply a compiled unary element-wise kernel to a register.
@@ -182,10 +184,11 @@ impl ScalarTape {
         // written several times per element and must stay on one thread.
         let splittable = self.outputs.iter().all(|o| o.shape.numel() == total);
 
+        let simd = workers.use_simd();
         if workers.is_serial() || !splittable || total < 2 {
             let mut outs: Vec<(usize, &mut [f32])> =
                 out_bufs.iter_mut().map(|b| (0, b.as_mut_slice())).collect();
-            self.run_span(&in_slices, &mut outs, 0, total);
+            self.run_span(&in_slices, &mut outs, 0, total, simd);
         } else {
             // Balanced contiguous ranges; since every output covers the full
             // loop, range [start, start + count) writes exactly the slice
@@ -213,7 +216,7 @@ impl ScalarTape {
             workers.run_parts(parts, |(start, count, mut slices)| {
                 let mut outs: Vec<(usize, &mut [f32])> =
                     slices.iter_mut().map(|s| (start, &mut **s)).collect();
-                self.run_span(&in_slices, &mut outs, start, count);
+                self.run_span(&in_slices, &mut outs, start, count, simd);
             });
         }
 
@@ -233,12 +236,22 @@ impl ScalarTape {
     /// at `start`, writing each output element through its stride pattern.
     /// `outs` pairs each output with the flat offset its slice starts at
     /// (`0` for whole buffers, the range start for parallel sub-slices).
+    ///
+    /// With `simd` set the range is **lane-blocked**: each row of the loop's
+    /// innermost axis evaluates in bundles of 8 / 4 independent elements
+    /// (one per lane, see `dnnf_ops::simd`), each lane running the exact
+    /// per-element instruction sequence, with a scalar pass for row
+    /// remainders — so results are bit-identical to `simd = false`.
+    /// Lane-blocking requires every output to advance densely along the
+    /// innermost axis (stride 1); spans whose outputs broadcast along it
+    /// fall back to the scalar sweep.
     fn run_span(
         &self,
         in_slices: &[&[f32]],
         outs: &mut [(usize, &mut [f32])],
         start: usize,
         count: usize,
+        simd: bool,
     ) {
         let dims = self.loop_shape.dims();
         let rank = dims.len();
@@ -255,28 +268,46 @@ impl ScalarTape {
             .map(|out| idx.iter().zip(&out.strides).map(|(&i, &s)| i * s).sum())
             .collect();
 
+        let lane_blockable = simd
+            && rank > 0
+            && dims[rank - 1] >= 4
+            && self.outputs.iter().all(|o| o.strides[rank - 1] == 1);
+        if lane_blockable {
+            let width = dims[rank - 1];
+            let in_last: Vec<usize> =
+                self.inputs.iter().map(|input| input.strides[rank - 1]).collect();
+            let mut regs8 = vec![F32Lanes::<LANES>::splat(0.0); self.instrs.len()];
+            let mut regs4 = vec![F32Lanes::<4>::splat(0.0); self.instrs.len()];
+            let mut remaining = count;
+            while remaining > 0 {
+                // One contiguous run inside the current innermost-axis row.
+                let seg = (width - idx[rank - 1]).min(remaining);
+                let mut done = 0usize;
+                while done + LANES <= seg {
+                    self.eval_lanes::<LANES>(in_slices, &in_off, &in_last, outs, &out_off, &mut regs8);
+                    self.advance_in_row(LANES, &mut in_off, &mut out_off);
+                    done += LANES;
+                }
+                if done + 4 <= seg {
+                    self.eval_lanes::<4>(in_slices, &in_off, &in_last, outs, &out_off, &mut regs4);
+                    self.advance_in_row(4, &mut in_off, &mut out_off);
+                    done += 4;
+                }
+                for _ in done..seg {
+                    self.eval_element(in_slices, &in_off, outs, &out_off, &mut regs);
+                    self.advance_in_row(1, &mut in_off, &mut out_off);
+                }
+                idx[rank - 1] += seg;
+                remaining -= seg;
+                if remaining > 0 {
+                    self.carry_odometer(&mut idx, &mut in_off, &mut out_off);
+                }
+            }
+            return;
+        }
+
         for _ in 0..count {
-            for (r, instr) in self.instrs.iter().enumerate() {
-                regs[r] = match *instr {
-                    TapeInstr::Load { input } => in_slices[input][in_off[input]],
-                    TapeInstr::Unary { ref f, src } => f.apply(regs[src]),
-                    TapeInstr::Binary { op, lhs, rhs } => op
-                        .scalar_binary(regs[lhs], regs[rhs])
-                        .expect("tape compilation only emits scalar binary ops"),
-                    TapeInstr::Select { cond, on_true, on_false } => {
-                        if regs[cond] != 0.0 {
-                            regs[on_true]
-                        } else {
-                            regs[on_false]
-                        }
-                    }
-                    TapeInstr::Affine { src, mul, add } => regs[src] * mul + add,
-                };
-            }
-            for (o, out) in self.outputs.iter().enumerate() {
-                let (bias, buf) = &mut outs[o];
-                buf[out_off[o] - *bias] = regs[out.reg];
-            }
+            self.eval_element(in_slices, &in_off, outs, &out_off, &mut regs);
             // Odometer increment with incremental offset updates.
             for axis in (0..rank).rev() {
                 idx[axis] += 1;
@@ -296,6 +327,133 @@ impl ScalarTape {
                 for (o, out) in self.outputs.iter().enumerate() {
                     out_off[o] -= out.strides[axis] * dims[axis];
                 }
+            }
+        }
+    }
+
+    /// Evaluates the tape once at the current offsets and stores each output
+    /// element.
+    fn eval_element(
+        &self,
+        in_slices: &[&[f32]],
+        in_off: &[usize],
+        outs: &mut [(usize, &mut [f32])],
+        out_off: &[usize],
+        regs: &mut [f32],
+    ) {
+        for (r, instr) in self.instrs.iter().enumerate() {
+            regs[r] = match *instr {
+                TapeInstr::Load { input } => in_slices[input][in_off[input]],
+                TapeInstr::Unary { ref f, src } => f.apply(regs[src]),
+                TapeInstr::Binary { op, lhs, rhs } => op
+                    .scalar_binary(regs[lhs], regs[rhs])
+                    .expect("tape compilation only emits scalar binary ops"),
+                TapeInstr::Select { cond, on_true, on_false } => {
+                    if regs[cond] != 0.0 {
+                        regs[on_true]
+                    } else {
+                        regs[on_false]
+                    }
+                }
+                TapeInstr::Affine { src, mul, add } => regs[src] * mul + add,
+            };
+        }
+        for (o, out) in self.outputs.iter().enumerate() {
+            let (bias, buf) = &mut outs[o];
+            buf[out_off[o] - *bias] = regs[out.reg];
+        }
+    }
+
+    /// Evaluates the tape for `N` consecutive elements of one innermost-axis
+    /// row, one element per lane. Lane `l` reads input `i` at
+    /// `in_off[i] + l * in_last[i]` (`0` splats a broadcast operand) and
+    /// every instruction applies per lane in the scalar order, so the lanes
+    /// are bit-identical to `N` calls of [`ScalarTape::eval_element`].
+    /// Outputs store as contiguous `N`-slices (innermost stride 1, checked
+    /// by the caller).
+    fn eval_lanes<const N: usize>(
+        &self,
+        in_slices: &[&[f32]],
+        in_off: &[usize],
+        in_last: &[usize],
+        outs: &mut [(usize, &mut [f32])],
+        out_off: &[usize],
+        regs: &mut [F32Lanes<N>],
+    ) {
+        for (r, instr) in self.instrs.iter().enumerate() {
+            regs[r] = match *instr {
+                TapeInstr::Load { input } => {
+                    F32Lanes::gather(in_slices[input], in_off[input], in_last[input])
+                }
+                TapeInstr::Unary { ref f, src } => regs[src].map(|v| f.apply(v)),
+                TapeInstr::Binary { op, lhs, rhs } => {
+                    let a = regs[lhs].to_array();
+                    let b = regs[rhs].to_array();
+                    let mut y = [0.0f32; N];
+                    for (l, slot) in y.iter_mut().enumerate() {
+                        *slot = op
+                            .scalar_binary(a[l], b[l])
+                            .expect("tape compilation only emits scalar binary ops");
+                    }
+                    F32Lanes::from_array(y)
+                }
+                TapeInstr::Select { cond, on_true, on_false } => {
+                    let c = regs[cond].to_array();
+                    let t = regs[on_true].to_array();
+                    let e = regs[on_false].to_array();
+                    let mut y = [0.0f32; N];
+                    for (l, slot) in y.iter_mut().enumerate() {
+                        *slot = if c[l] != 0.0 { t[l] } else { e[l] };
+                    }
+                    F32Lanes::from_array(y)
+                }
+                TapeInstr::Affine { src, mul, add } => {
+                    regs[src] * F32Lanes::splat(mul) + F32Lanes::splat(add)
+                }
+            };
+        }
+        for (o, out) in self.outputs.iter().enumerate() {
+            let (bias, buf) = &mut outs[o];
+            regs[out.reg].store(&mut buf[out_off[o] - *bias..]);
+        }
+    }
+
+    /// Advances all offsets by `n` elements along the innermost axis (the
+    /// caller guarantees the run stays inside the current row).
+    fn advance_in_row(&self, n: usize, in_off: &mut [usize], out_off: &mut [usize]) {
+        let rank = self.loop_shape.rank();
+        for (i, input) in self.inputs.iter().enumerate() {
+            in_off[i] += n * input.strides[rank - 1];
+        }
+        for (o, out) in self.outputs.iter().enumerate() {
+            out_off[o] += n * out.strides[rank - 1];
+        }
+    }
+
+    /// Propagates an innermost-axis overflow up the odometer: rewinds each
+    /// saturated axis and steps the next-outer one, exactly like the
+    /// per-element advance's carry chain.
+    fn carry_odometer(&self, idx: &mut [usize], in_off: &mut [usize], out_off: &mut [usize]) {
+        let dims = self.loop_shape.dims();
+        let mut axis = dims.len() - 1;
+        while idx[axis] >= dims[axis] {
+            idx[axis] = 0;
+            for (i, input) in self.inputs.iter().enumerate() {
+                in_off[i] -= input.strides[axis] * dims[axis];
+            }
+            for (o, out) in self.outputs.iter().enumerate() {
+                out_off[o] -= out.strides[axis] * dims[axis];
+            }
+            if axis == 0 {
+                break;
+            }
+            axis -= 1;
+            idx[axis] += 1;
+            for (i, input) in self.inputs.iter().enumerate() {
+                in_off[i] += input.strides[axis];
+            }
+            for (o, out) in self.outputs.iter().enumerate() {
+                out_off[o] += out.strides[axis];
             }
         }
     }
@@ -819,6 +977,64 @@ mod tests {
                     None,
                     "parallel engine diverged from serial at {threads} threads"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn lane_blocked_tapes_are_bit_identical_to_the_scalar_sweep() {
+        // Width 23 forces every lane split per row: two 8-lane bundles, one
+        // 4-lane pass, a 3-element scalar tail. The [4, 1] bias has
+        // innermost stride 0 (splat load) and outer stride 1, and the
+        // mid-chain escape keeps two outputs live in one sweep.
+        let mut g = Graph::new("lane-blocked");
+        let x = g.add_input("x", Shape::new(vec![4, 23]));
+        let b = g.add_weight("b", Shape::new(vec![4, 1]));
+        let add = g.add_op(OpKind::Add, Attrs::new(), &[x, b], "add").unwrap()[0];
+        let sig = g.add_op(OpKind::Sigmoid, Attrs::new(), &[add], "sig").unwrap()[0];
+        let mul = g.add_op(OpKind::Mul, Attrs::new(), &[sig, x], "mul").unwrap()[0];
+        g.mark_output(add);
+        g.mark_output(mul);
+        let mut env = HashMap::new();
+        env.insert(x, Tensor::random(Shape::new(vec![4, 23]), 60));
+        env.insert(b, Tensor::random(Shape::new(vec![4, 1]), 61));
+
+        let reference = run_reference(&g, &env);
+        let simd = run_compiled_with(&g, &env, WorkPool::serial());
+        let scalar = run_compiled_with(&g, &env, WorkPool::serial().with_simd(false));
+        let parallel = run_compiled_with(&g, &env, WorkPool::with_min_work(3, 0));
+        for out in [add, mul] {
+            assert_eq!(scalar[&out].first_disagreement(&reference[&out], 0.0), None);
+            assert_eq!(
+                simd[&out].first_disagreement(&scalar[&out], 0.0),
+                None,
+                "lane-blocked tape diverged from the scalar sweep"
+            );
+            assert_eq!(parallel[&out].first_disagreement(&scalar[&out], 0.0), None);
+        }
+    }
+
+    #[test]
+    fn broadcast_innermost_outputs_fall_back_to_the_scalar_sweep() {
+        // The first node's [3, 1] output escapes while a later node widens
+        // the loop to [3, 23]: its TapeOutput has innermost stride 0, so the
+        // span must not lane-block (each element would be written by every
+        // lane) — the fallback path has to reproduce the reference exactly.
+        let mut g = Graph::new("broadcast-out");
+        let b = g.add_input("b", Shape::new(vec![3, 1]));
+        let x = g.add_input("x", Shape::new(vec![3, 23]));
+        let sig = g.add_op(OpKind::Sigmoid, Attrs::new(), &[b], "sig").unwrap()[0];
+        let add = g.add_op(OpKind::Add, Attrs::new(), &[sig, x], "add").unwrap()[0];
+        g.mark_output(sig);
+        g.mark_output(add);
+        let mut env = HashMap::new();
+        env.insert(b, Tensor::random(Shape::new(vec![3, 1]), 62));
+        env.insert(x, Tensor::random(Shape::new(vec![3, 23]), 63));
+        let reference = run_reference(&g, &env);
+        for pool in [WorkPool::serial(), WorkPool::serial().with_simd(false)] {
+            let compiled = run_compiled_with(&g, &env, pool);
+            for out in [sig, add] {
+                assert_eq!(compiled[&out].first_disagreement(&reference[&out], 0.0), None);
             }
         }
     }

@@ -18,6 +18,18 @@
 //! [`execute_fast_into`] with a serial pool and
 //! [`execute_fast_into_threaded`] with any pool produce the same bytes.
 //!
+//! Within a thread's tile, the Conv / MatMul / Gemm microkernels are
+//! additionally **lane-blocked** over the [`crate::simd`] bundles: 4–8
+//! consecutive output elements accumulate in lockstep, one element per lane,
+//! each lane running the scalar kernel's exact operation sequence (two
+//! rounding steps per tap, no fused multiply-add, no split reduction). The
+//! 2-D convolution vectorizes only the *interior* output columns — those
+//! whose every kernel tap is in bounds, so no tap-skip test fires — and
+//! leaves the padded borders (plus the 1-D/3-D odometer path and the
+//! pooling kernels) on the checked scalar loop; the two regions compute
+//! identical tap sequences, so SIMD-on and SIMD-off
+//! ([`WorkPool::with_simd`]) produce the same bytes at every lane width.
+//!
 //! Inputs are expected to be shape-consistent with `out_shape`, exactly as
 //! produced by graph construction / shape inference (the fused engine always
 //! calls with graph-derived shapes). The differential test harness pins
@@ -26,6 +38,7 @@
 use dnnf_tensor::{broadcast_index, Shape, Tensor};
 
 use crate::parallel::WorkPool;
+use crate::simd::{F32Lanes, LANES};
 use crate::{Attrs, OpError, OpKind};
 
 /// Whether `op` has an optimized kernel in this module. The fused engine
@@ -166,6 +179,33 @@ fn fast_conv(
         // plain values the optimizer keeps in registers.
         let (xs0, xs1, xs2) = (xs[0], xs[1], xs[2]);
         let (ws0, ws1, ws2) = (ws[0], ws[1], ws[2]);
+        let tile = Conv2d {
+            xdat,
+            wdat,
+            ih,
+            iw,
+            kh,
+            kw,
+            sh,
+            sw,
+            dh,
+            dw,
+            ph,
+            pw,
+            in_per_group,
+            xs1,
+            xs2,
+            ws1,
+            ws2,
+        };
+        // Interior output columns: every kx tap lands in bounds, for every
+        // lane, so the lane-blocked path never needs a tap-skip test. The
+        // left border needs ox*sw >= pw; the right border needs the furthest
+        // tap, ox*sw + (kw-1)*dw - pw, to stay below iw.
+        let span = (kw - 1) * dw;
+        let x_hi = if iw + pw > span { ((iw + pw - span - 1) / sw + 1).min(ow) } else { 0 };
+        let x_lo = pw.div_ceil(sw).min(x_hi);
+        let simd = pool.use_simd();
         // One chunk per (n, oc) output plane, written by exactly one thread.
         pool.run_chunks(out, oh * ow, |plane, chunk| {
             let n = plane / out_channels;
@@ -173,31 +213,22 @@ fn fast_conv(
             let g = oc / channels_per_group_out;
             let b0 = bias.map_or(0.0, |b| b[oc]);
             let w_oc = oc * ws0;
-            let mut o = 0usize;
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let mut acc = b0;
-                    for ic in 0..in_per_group {
-                        let x_base = n * xs0 + (g * in_per_group + ic) * xs1;
-                        let w_base = w_oc + ic * ws1;
-                        for ky in 0..kh {
-                            let y = oy * sh + ky * dh;
-                            if y < ph || y - ph >= ih {
-                                continue;
-                            }
-                            let x_row = x_base + (y - ph) * xs2;
-                            let w_row = w_base + ky * ws2;
-                            for kx in 0..kw {
-                                let xx = ox * sw + kx * dw;
-                                if xx < pw || xx - pw >= iw {
-                                    continue;
-                                }
-                                acc += xdat[x_row + (xx - pw)] * wdat[w_row + kx];
-                            }
-                        }
+            let x_plane = n * xs0 + g * in_per_group * xs1;
+            for (oy, row) in chunk.chunks_mut(ow).enumerate() {
+                if simd {
+                    tile.scalar_cols(row, x_plane, w_oc, b0, oy, 0, x_lo);
+                    let mut ox = x_lo;
+                    while ox + LANES <= x_hi {
+                        tile.simd_cols::<LANES>(row, x_plane, w_oc, b0, oy, ox);
+                        ox += LANES;
                     }
-                    chunk[o] = acc;
-                    o += 1;
+                    if ox + 4 <= x_hi {
+                        tile.simd_cols::<4>(row, x_plane, w_oc, b0, oy, ox);
+                        ox += 4;
+                    }
+                    tile.scalar_cols(row, x_plane, w_oc, b0, oy, ox, ow);
+                } else {
+                    tile.scalar_cols(row, x_plane, w_oc, b0, oy, 0, ow);
                 }
             }
         });
@@ -247,6 +278,108 @@ fn fast_conv(
         }
     });
     Ok(())
+}
+
+/// Loop constants of one 2-D convolution launch, shared by the scalar and
+/// lane-blocked column kernels so both walk the identical tap sequence.
+struct Conv2d<'a> {
+    xdat: &'a [f32],
+    wdat: &'a [f32],
+    ih: usize,
+    iw: usize,
+    kh: usize,
+    kw: usize,
+    sh: usize,
+    sw: usize,
+    dh: usize,
+    dw: usize,
+    ph: usize,
+    pw: usize,
+    in_per_group: usize,
+    xs1: usize,
+    xs2: usize,
+    ws1: usize,
+    ws2: usize,
+}
+
+impl Conv2d<'_> {
+    /// Columns `[ox0, ox1)` of output row `oy`, one element at a time with
+    /// per-tap bounds checks — the reference accumulation order, used for
+    /// padded borders, lane remainders and the full-scalar mode.
+    #[allow(clippy::too_many_arguments)]
+    fn scalar_cols(
+        &self,
+        row: &mut [f32],
+        x_plane: usize,
+        w_oc: usize,
+        b0: f32,
+        oy: usize,
+        ox0: usize,
+        ox1: usize,
+    ) {
+        for (ox, slot) in row[..ox1].iter_mut().enumerate().skip(ox0) {
+            let mut acc = b0;
+            for ic in 0..self.in_per_group {
+                let x_base = x_plane + ic * self.xs1;
+                let w_base = w_oc + ic * self.ws1;
+                for ky in 0..self.kh {
+                    let y = oy * self.sh + ky * self.dh;
+                    if y < self.ph || y - self.ph >= self.ih {
+                        continue;
+                    }
+                    let x_row = x_base + (y - self.ph) * self.xs2;
+                    let w_row = w_base + ky * self.ws2;
+                    for kx in 0..self.kw {
+                        let xx = ox * self.sw + kx * self.dw;
+                        if xx < self.pw || xx - self.pw >= self.iw {
+                            continue;
+                        }
+                        acc += self.xdat[x_row + (xx - self.pw)] * self.wdat[w_row + kx];
+                    }
+                }
+            }
+            *slot = acc;
+        }
+    }
+
+    /// `N` consecutive interior columns starting at `ox`: one output element
+    /// per lane, all taps in bounds by the caller's interior-range
+    /// computation, accumulated tap by tap in the scalar order (`acc = acc +
+    /// x * w` per lane — bit-identical to [`Conv2d::scalar_cols`]).
+    #[allow(clippy::too_many_arguments)]
+    fn simd_cols<const N: usize>(
+        &self,
+        row: &mut [f32],
+        x_plane: usize,
+        w_oc: usize,
+        b0: f32,
+        oy: usize,
+        ox: usize,
+    ) {
+        let mut acc = F32Lanes::<N>::splat(b0);
+        for ic in 0..self.in_per_group {
+            let x_base = x_plane + ic * self.xs1;
+            let w_base = w_oc + ic * self.ws1;
+            for ky in 0..self.kh {
+                let y = oy * self.sh + ky * self.dh;
+                if y < self.ph || y - self.ph >= self.ih {
+                    continue;
+                }
+                let x_row = x_base + (y - self.ph) * self.xs2;
+                let w_row = w_base + ky * self.ws2;
+                for kx in 0..self.kw {
+                    let x0 = x_row + ox * self.sw + kx * self.dw - self.pw;
+                    let xv = if self.sw == 1 {
+                        F32Lanes::<N>::load(&self.xdat[x0..])
+                    } else {
+                        F32Lanes::<N>::gather(self.xdat, x0, self.sw)
+                    };
+                    acc = acc + xv * F32Lanes::<N>::splat(self.wdat[w_row + kx]);
+                }
+            }
+        }
+        acc.store(&mut row[ox..]);
+    }
 }
 
 /// Row-major odometer increment.
@@ -308,12 +441,27 @@ fn fast_matmul(
         })
         .collect();
 
-    // One chunk per output row, across all batches.
+    // One chunk per output row, across all batches. Lane-blocked over the
+    // output columns: `b`'s column stride is 1, so each reduction step loads
+    // one contiguous `N`-wide slice of `b`'s row `p` and every lane
+    // accumulates its own column's dot product in the scalar order.
+    let simd = pool.use_simd();
     pool.run_chunks(out, n, |row, chunk| {
         let (a_base, b_base) = bases[row / m];
         let i = row % m;
         let a_row = &adat[a_base + i * a_row_stride..a_base + i * a_row_stride + k];
-        for (j, slot) in chunk.iter_mut().enumerate() {
+        let mut j0 = 0usize;
+        if simd {
+            while j0 + LANES <= n {
+                matmul_cols::<LANES>(chunk, j0, a_row, bdat, b_base, b_row_stride);
+                j0 += LANES;
+            }
+            if j0 + 4 <= n {
+                matmul_cols::<4>(chunk, j0, a_row, bdat, b_base, b_row_stride);
+                j0 += 4;
+            }
+        }
+        for (j, slot) in chunk.iter_mut().enumerate().skip(j0) {
             let mut acc = 0.0f32;
             for (p, &av) in a_row.iter().enumerate() {
                 acc += av * bdat[b_base + p * b_row_stride + j];
@@ -322,6 +470,24 @@ fn fast_matmul(
         }
     });
     Ok(())
+}
+
+/// `N` consecutive output columns of one `MatMul` row: lane `l` owns column
+/// `j + l` and runs the scalar dot-product sequence on it.
+fn matmul_cols<const N: usize>(
+    chunk: &mut [f32],
+    j: usize,
+    a_row: &[f32],
+    bdat: &[f32],
+    b_base: usize,
+    b_row_stride: usize,
+) {
+    let mut acc = F32Lanes::<N>::splat(0.0);
+    for (p, &av) in a_row.iter().enumerate() {
+        let bv = F32Lanes::<N>::load(&bdat[b_base + p * b_row_stride + j..]);
+        acc = acc + F32Lanes::<N>::splat(av) * bv;
+    }
+    acc.store(&mut chunk[j..]);
 }
 
 /// ONNX `Gemm` with transpose flags, `alpha`/`beta` scaling and broadcast
@@ -375,8 +541,24 @@ fn fast_gemm(
     };
 
     let pool = pool.for_work(m.saturating_mul(n).saturating_mul(k));
+    // Lane-blocked over output columns: `a`'s element is uniform per
+    // reduction step (splat), `b` loads contiguously (or gathers with
+    // column stride when transposed), and the bias broadcast reuses its
+    // existing per-axis strides as gather strides.
+    let simd = pool.use_simd();
     pool.run_chunks(out, n, |i, chunk| {
-        for (j, slot) in chunk.iter_mut().enumerate() {
+        let mut j0 = 0usize;
+        if simd {
+            while j0 + LANES <= n {
+                gemm_cols::<LANES>(chunk, i, j0, k, trans_a, trans_b, adat, bdat, a_cols, b_cols, alpha, beta, c_dat, c_si, c_sj);
+                j0 += LANES;
+            }
+            if j0 + 4 <= n {
+                gemm_cols::<4>(chunk, i, j0, k, trans_a, trans_b, adat, bdat, a_cols, b_cols, alpha, beta, c_dat, c_si, c_sj);
+                j0 += 4;
+            }
+        }
+        for (j, slot) in chunk.iter_mut().enumerate().skip(j0) {
             let mut acc = 0.0f32;
             for p in 0..k {
                 let av = if trans_a { adat[p * a_cols + i] } else { adat[i * a_cols + p] };
@@ -391,6 +573,45 @@ fn fast_gemm(
         }
     });
     Ok(())
+}
+
+/// `N` consecutive output columns of one `Gemm` row: lane `l` owns column
+/// `j + l`, accumulating `a[i,:] · b[:,j+l]` then applying `alpha`/`beta`
+/// and the broadcast bias with the scalar kernel's operation sequence.
+#[allow(clippy::too_many_arguments)]
+fn gemm_cols<const N: usize>(
+    chunk: &mut [f32],
+    i: usize,
+    j: usize,
+    k: usize,
+    trans_a: bool,
+    trans_b: bool,
+    adat: &[f32],
+    bdat: &[f32],
+    a_cols: usize,
+    b_cols: usize,
+    alpha: f32,
+    beta: f32,
+    c_dat: Option<&[f32]>,
+    c_si: usize,
+    c_sj: usize,
+) {
+    let mut acc = F32Lanes::<N>::splat(0.0);
+    for p in 0..k {
+        let av = if trans_a { adat[p * a_cols + i] } else { adat[i * a_cols + p] };
+        let bv = if trans_b {
+            F32Lanes::<N>::gather(bdat, j * b_cols + p, b_cols)
+        } else {
+            F32Lanes::<N>::load(&bdat[p * b_cols + j..])
+        };
+        acc = acc + F32Lanes::<N>::splat(av) * bv;
+    }
+    let mut v = F32Lanes::<N>::splat(alpha) * acc;
+    if let Some(cd) = c_dat {
+        let cv = F32Lanes::<N>::gather(cd, i * c_si + j * c_sj, c_sj);
+        v = v + F32Lanes::<N>::splat(beta) * cv;
+    }
+    v.store(&mut chunk[j..]);
 }
 
 /// `MaxPool` / `AveragePool` with the reference kernel's window order and
@@ -569,7 +790,10 @@ mod tests {
     use crate::{execute, infer_shapes};
 
     /// Runs `op` through both the fast and reference kernels and checks the
-    /// outputs are bit-identical (same taps, same accumulation order).
+    /// outputs are bit-identical (same taps, same accumulation order). The
+    /// fast kernel runs with its lane-blocked (SIMD) path enabled — the
+    /// default — so every case here also pins SIMD == reference; the
+    /// explicit scalar mode is checked against it bit for bit as well.
     fn assert_fast_matches_reference(op: OpKind, attrs: &Attrs, inputs: &[&Tensor]) {
         let shapes: Vec<Shape> = inputs.iter().map(|t| t.shape().clone()).collect();
         let out_shape = infer_shapes(op, attrs, &shapes).unwrap().remove(0);
@@ -577,6 +801,17 @@ mod tests {
         assert!(execute_fast_into(op, attrs, inputs, &out_shape, &mut fast).unwrap());
         let reference = execute(op, attrs, inputs).unwrap().remove(0);
         assert_eq!(fast.as_slice(), reference.data(), "{op} diverged from reference");
+        let mut scalar = vec![0.0f32; out_shape.numel()];
+        assert!(execute_fast_into_threaded(
+            op,
+            attrs,
+            inputs,
+            &out_shape,
+            &mut scalar,
+            WorkPool::serial().with_simd(false),
+        )
+        .unwrap());
+        assert_eq!(scalar, fast, "{op} scalar mode diverged from the SIMD path");
         assert_threaded_matches_serial(op, attrs, inputs, &out_shape, &fast);
     }
 
@@ -704,6 +939,37 @@ mod tests {
             Attrs::new().with_ints("kernel_shape", vec![2, 2, 2]).with_ints("strides", vec![2, 2, 2]);
         assert_fast_matches_reference(OpKind::MaxPool, &attrs3, &[&x3]);
         assert_fast_matches_reference(OpKind::GlobalAveragePool, &Attrs::new(), &[&x3]);
+    }
+
+    #[test]
+    fn simd_interiors_cover_every_lane_width_and_stride_form() {
+        // Output widths chosen to force each lane split: 8-lane bundles
+        // (ow >= 8 + borders), the 4-lane remainder pass, and scalar tails;
+        // strides > 1 take the gather load, stride 1 the contiguous load.
+        let x = Tensor::random(Shape::new(vec![1, 2, 5, 23]), 50);
+        let w = Tensor::random(Shape::new(vec![3, 2, 3, 3]), 51);
+        for attrs in [
+            Attrs::new(),
+            Attrs::new().with_ints("pads", vec![1, 1, 1, 1]),
+            Attrs::new().with_ints("strides", vec![1, 2]).with_ints("pads", vec![1, 1, 1, 1]),
+            Attrs::new().with_ints("dilations", vec![1, 2]),
+            Attrs::new().with_ints("pads", vec![0, 9, 0, 9]),
+        ] {
+            assert_fast_matches_reference(OpKind::Conv, &attrs, &[&x, &w]);
+        }
+        // 1x1 kernel: the whole row is interior.
+        let w1 = Tensor::random(Shape::new(vec![3, 2, 1, 1]), 52);
+        assert_fast_matches_reference(OpKind::Conv, &Attrs::new(), &[&x, &w1]);
+        // MatMul/Gemm columns across the 8/4/scalar splits (n = 4, 7, 8, 21).
+        for n in [4usize, 7, 8, 21] {
+            let a = Tensor::random(Shape::new(vec![3, 5]), 53 + n as u64);
+            let b = Tensor::random(Shape::new(vec![5, n]), 60 + n as u64);
+            assert_fast_matches_reference(OpKind::MatMul, &Attrs::new(), &[&a, &b]);
+            let bt = Tensor::random(Shape::new(vec![n, 5]), 70 + n as u64);
+            let c = Tensor::random(Shape::new(vec![n]), 80 + n as u64);
+            let attrs = Attrs::new().with_int("transB", 1).with_float("beta", 0.5);
+            assert_fast_matches_reference(OpKind::Gemm, &attrs, &[&a, &bt, &c]);
+        }
     }
 
     #[test]

@@ -41,6 +41,7 @@ pub mod parallel;
 mod properties;
 mod scalar;
 mod shape_infer;
+pub mod simd;
 
 pub use attrs::{AttrValue, Attrs};
 pub use cost::{bytes_accessed, flops, OpCost};
@@ -53,3 +54,4 @@ pub use op::OpKind;
 pub use properties::MathProperties;
 pub use scalar::ScalarUnaryFn;
 pub use shape_infer::infer_shapes;
+pub use simd::{F32x4, F32x8};

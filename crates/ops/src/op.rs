@@ -418,6 +418,7 @@ impl OpKind {
     }
 
     /// Applies the operator as a scalar binary function, if it is one.
+    #[inline]
     #[must_use]
     pub fn scalar_binary(self, a: f32, b: f32) -> Option<f32> {
         use OpKind::*;

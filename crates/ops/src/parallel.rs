@@ -30,20 +30,21 @@ pub const DEFAULT_PARALLEL_WORK_GRAIN: usize = 1 << 18;
 pub struct WorkPool {
     threads: usize,
     min_work: usize,
+    simd: bool,
 }
 
 impl WorkPool {
     /// A pool that runs everything on the calling thread.
     #[must_use]
     pub const fn serial() -> Self {
-        WorkPool { threads: 1, min_work: DEFAULT_PARALLEL_WORK_GRAIN }
+        WorkPool { threads: 1, min_work: DEFAULT_PARALLEL_WORK_GRAIN, simd: true }
     }
 
     /// A pool using up to `threads` threads (clamped to at least 1) with the
     /// default work gate.
     #[must_use]
     pub fn new(threads: usize) -> Self {
-        WorkPool { threads: threads.max(1), min_work: DEFAULT_PARALLEL_WORK_GRAIN }
+        WorkPool { threads: threads.max(1), ..WorkPool::serial() }
     }
 
     /// A pool with an explicit minimum-work gate. `min_work = 0` forces the
@@ -51,7 +52,24 @@ impl WorkPool {
     /// this to exercise the threaded kernels on small fixtures.
     #[must_use]
     pub fn with_min_work(threads: usize, min_work: usize) -> Self {
-        WorkPool { threads: threads.max(1), min_work }
+        WorkPool { threads: threads.max(1), min_work, simd: true }
+    }
+
+    /// Enables or disables the lane-blocked (SIMD) kernel paths. Both paths
+    /// are bit-identical by construction (lanes own whole output elements —
+    /// see [`crate::simd`]); `simd = false` exists so differential suites
+    /// can pin that equivalence and benches can measure the vectorization
+    /// win (`ExecOptions::force_scalar` in `dnnf-runtime` maps here).
+    #[must_use]
+    pub const fn with_simd(mut self, simd: bool) -> Self {
+        self.simd = simd;
+        self
+    }
+
+    /// Whether kernels should take their lane-blocked (SIMD) paths.
+    #[must_use]
+    pub const fn use_simd(&self) -> bool {
+        self.simd
     }
 
     /// A pool sized to the host's available parallelism.
@@ -222,5 +240,17 @@ mod tests {
     fn host_pool_reports_at_least_one_thread() {
         assert!(WorkPool::host().threads() >= 1);
         assert_eq!(WorkPool::default(), WorkPool::serial());
+    }
+
+    #[test]
+    fn simd_flag_defaults_on_and_survives_gating() {
+        assert!(WorkPool::serial().use_simd());
+        assert!(WorkPool::new(4).use_simd());
+        let scalar = WorkPool::new(4).with_simd(false);
+        assert!(!scalar.use_simd());
+        // The work-size gate must not re-enable the SIMD path.
+        assert!(!scalar.for_work(0).use_simd());
+        assert!(!scalar.for_work(usize::MAX).use_simd());
+        assert!(scalar.with_simd(true).use_simd());
     }
 }

@@ -533,7 +533,7 @@ mod tests {
             // this small model.
             let threaded = serial
                 .clone()
-                .with_options(ExecOptions { num_threads: threads, min_parallel_work: 0 });
+                .with_options(ExecOptions { num_threads: threads, min_parallel_work: 0, ..ExecOptions::serial() });
             assert_eq!(threaded.options().num_threads, threads);
             let report = threaded.run_compiled(&compiled, &inputs).unwrap();
             for (a, b) in base.outputs.iter().zip(&report.outputs) {
@@ -548,6 +548,29 @@ mod tests {
             assert_eq!(base.counters, report.counters);
             assert_eq!(base.memory, report.memory);
         }
+    }
+
+    #[test]
+    fn force_scalar_execution_is_bit_identical_with_identical_counters() {
+        let g = small_cnn();
+        let inputs = inputs_for(&g);
+        let mut compiler = Compiler::new(CompilerOptions::default());
+        let compiled = compiler.compile(&g).unwrap();
+        let simd = Executor::new(DeviceSpec::snapdragon_865_cpu())
+            .with_options(ExecOptions::serial());
+        let base = simd.run_compiled(&compiled, &inputs).unwrap();
+        let scalar = simd.clone().with_options(ExecOptions::serial().scalar_kernels());
+        assert!(scalar.options().force_scalar);
+        let report = scalar.run_compiled(&compiled, &inputs).unwrap();
+        for (a, b) in base.outputs.iter().zip(&report.outputs) {
+            assert_eq!(
+                a.first_disagreement(b, 0.0),
+                None,
+                "force_scalar changed output bits"
+            );
+        }
+        // SIMD changes wall-clock only; the modeled counters are identical.
+        assert_eq!(base.counters, report.counters);
     }
 
     #[test]

@@ -27,6 +27,13 @@
 //!   every output element is computed by exactly one thread in the serial
 //!   accumulation order, never a split reduction — so outputs are
 //!   bit-identical for every thread count. See `docs/execution.md`.
+//! * **SIMD** — within a thread's tile, the Conv/MatMul/Gemm microkernels
+//!   and the scalar tapes are lane-blocked over portable 4/8-wide `f32`
+//!   bundles (`dnnf_ops::simd`): each lane owns one output element and runs
+//!   the scalar operation sequence, extending the ownership rule down to
+//!   the instruction level, so SIMD results are also bit-identical to the
+//!   scalar path ([`ExecOptions::force_scalar`] disables the lane-blocked
+//!   paths for differential testing and benchmarking).
 //!
 //! [`Executor::run_plan_reference`] keeps the original per-operator
 //! reference interpreter alive as the semantic oracle: the differential

@@ -7,7 +7,7 @@ use dnnf_ops::WorkPool;
 /// pin the whole test suite to a fixed parallelism).
 pub const NUM_THREADS_ENV: &str = "DNNF_NUM_THREADS";
 
-/// How the executor maps kernels onto host threads.
+/// How the executor maps kernels onto host threads and vector lanes.
 ///
 /// The defaults come from the host: `num_threads` is
 /// [`std::thread::available_parallelism`] unless the `DNNF_NUM_THREADS`
@@ -15,7 +15,31 @@ pub const NUM_THREADS_ENV: &str = "DNNF_NUM_THREADS";
 /// serial engine; any other value changes **only** wall-clock behaviour —
 /// the parallel kernels partition output elements by ownership and keep the
 /// serial accumulation order, so results are bit-identical across thread
-/// counts (the determinism suite pins this).
+/// counts (the determinism suite pins this). The same contract holds one
+/// level down for [`ExecOptions::force_scalar`]: SIMD lanes own whole
+/// output elements, so the lane-blocked and scalar paths also produce the
+/// same bytes.
+///
+/// # Environment-override precedence
+///
+/// [`ExecOptions::default`] consults `DNNF_NUM_THREADS`; values set
+/// explicitly through the builders are taken verbatim and are never
+/// overridden by the environment:
+///
+/// ```
+/// use dnnf_runtime::{ExecOptions, NUM_THREADS_ENV};
+///
+/// // Each doc-test runs in its own process, so mutating the environment
+/// // here cannot race another test.
+/// std::env::set_var(NUM_THREADS_ENV, "3");
+/// // `default()` reads the environment...
+/// assert_eq!(ExecOptions::default().num_threads, 3);
+/// // ...but an explicit builder value wins over it,
+/// assert_eq!(ExecOptions::with_threads(2).num_threads, 2);
+/// // and `serial()` is always exactly one thread.
+/// assert_eq!(ExecOptions::serial().num_threads, 1);
+/// std::env::remove_var(NUM_THREADS_ENV);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExecOptions {
     /// Maximum threads a kernel launch may use (clamped to at least 1).
@@ -25,13 +49,24 @@ pub struct ExecOptions {
     /// latency is only paid where it amortizes. `0` forces the parallel
     /// path everywhere — useful in tests, rarely in production.
     pub min_parallel_work: usize,
+    /// Disables the lane-blocked (SIMD) kernel paths, forcing every kernel
+    /// and scalar tape onto the one-element-at-a-time loops. Results are
+    /// bit-identical either way — lanes map to whole output elements, never
+    /// to partial sums — so this is an escape hatch for differential
+    /// testing and for measuring the vectorization win (`bench_exec`'s
+    /// `simd_speedup` column), not a semantics switch.
+    pub force_scalar: bool,
 }
 
 impl ExecOptions {
     /// Fully serial execution (today's single-core path).
     #[must_use]
     pub const fn serial() -> Self {
-        ExecOptions { num_threads: 1, min_parallel_work: DEFAULT_PARALLEL_WORK_GRAIN }
+        ExecOptions {
+            num_threads: 1,
+            min_parallel_work: DEFAULT_PARALLEL_WORK_GRAIN,
+            force_scalar: false,
+        }
     }
 
     /// Options using up to `num_threads` threads with the default work gate.
@@ -40,10 +75,19 @@ impl ExecOptions {
         ExecOptions { num_threads: num_threads.max(1), ..ExecOptions::serial() }
     }
 
+    /// These options with the SIMD paths disabled (see
+    /// [`ExecOptions::force_scalar`]).
+    #[must_use]
+    pub const fn scalar_kernels(mut self) -> Self {
+        self.force_scalar = true;
+        self
+    }
+
     /// The worker pool these options describe.
     #[must_use]
     pub fn pool(&self) -> WorkPool {
         WorkPool::with_min_work(self.num_threads, self.min_parallel_work)
+            .with_simd(!self.force_scalar)
     }
 }
 
@@ -79,6 +123,18 @@ mod tests {
         let opts = ExecOptions::serial();
         assert_eq!(opts.num_threads, 1);
         assert!(opts.pool().is_serial());
+        assert!(!opts.force_scalar);
+        assert!(opts.pool().use_simd());
+    }
+
+    #[test]
+    fn force_scalar_propagates_to_the_pool() {
+        let opts = ExecOptions::serial().scalar_kernels();
+        assert!(opts.force_scalar);
+        assert!(!opts.pool().use_simd());
+        let threaded = ExecOptions::with_threads(4).scalar_kernels();
+        assert_eq!(threaded.pool().threads(), 4);
+        assert!(!threaded.pool().use_simd());
     }
 
     #[test]

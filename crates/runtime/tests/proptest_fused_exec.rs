@@ -14,7 +14,10 @@
 //! threaded anchor kernels and parallel tape sweeps are exercised on every
 //! case: each configuration must match the reference within 1e-5 and all
 //! thread counts must agree **bit-for-bit** (the determinism invariant of
-//! the ownership-split partitioning).
+//! the ownership-split partitioning). Each thread count additionally re-runs
+//! with `force_scalar` — every lane-blocked (SIMD) microkernel and tape path
+//! disabled — and must reproduce the SIMD run's bytes exactly: SIMD lanes
+//! own whole output elements, so vectorization must never change a bit.
 
 use std::collections::HashMap;
 
@@ -188,11 +191,13 @@ fn random_anchor_dag(rng: &mut TestRng) -> Graph {
     let mut g = Graph::new("proptest-anchor-dag");
     let anchor = match rng.below(6) {
         0 => {
-            // Conv with random padding/stride, optional bias.
+            // Conv with random padding/stride, optional bias. The input
+            // width reaches 14 so interior output rows cross the 8-lane
+            // SIMD bundle width, not just the 4-lane remainder pass.
             let n = 1 + rng.below(2) as usize;
             let cin = 1 + rng.below(3) as usize;
             let h = 3 + rng.below(6) as usize;
-            let w = 3 + rng.below(6) as usize;
+            let w = 3 + rng.below(12) as usize;
             let cout = 1 + rng.below(4) as usize;
             let k = 1 + rng.below(h.min(w).min(3) as u64) as usize;
             let x = g.add_input("x", Shape::new(vec![n, cin, h, w]));
@@ -211,10 +216,12 @@ fn random_anchor_dag(rng: &mut TestRng) -> Graph {
             g.add_op(OpKind::Conv, attrs, &inputs, "conv").unwrap()[0]
         }
         1 => {
-            // MatMul in one of three batching forms.
+            // MatMul in one of three batching forms; the column count
+            // reaches 12 so the lane-blocked kernel's 8/4/scalar splits all
+            // occur across seeds.
             let m = 1 + rng.below(5) as usize;
             let k = 1 + rng.below(5) as usize;
-            let n = 1 + rng.below(5) as usize;
+            let n = 1 + rng.below(12) as usize;
             let (a_shape, b_shape) = match rng.below(3) {
                 0 => (vec![m, k], vec![k, n]),
                 1 => (vec![2, m, k], vec![k, n]),
@@ -225,10 +232,12 @@ fn random_anchor_dag(rng: &mut TestRng) -> Graph {
             g.add_op(OpKind::MatMul, Attrs::new(), &[a, b], "matmul").unwrap()[0]
         }
         2 => {
-            // Gemm with random transpose flags, scaling and bias form.
+            // Gemm with random transpose flags, scaling and bias form; wide
+            // column counts reach the 8-lane path (and its gather loads
+            // when transB is set).
             let m = 1 + rng.below(5) as usize;
             let k = 1 + rng.below(5) as usize;
-            let n = 1 + rng.below(5) as usize;
+            let n = 1 + rng.below(12) as usize;
             let trans_a = rng.below(2) == 1;
             let trans_b = rng.below(2) == 1;
             let a_shape = if trans_a { vec![k, m] } else { vec![m, k] };
@@ -387,15 +396,23 @@ proptest! {
 
 /// The anchored generator must keep producing every anchor kind over a
 /// short seed range — otherwise the threaded-kernel coverage of the
-/// differential suite silently narrows.
+/// differential suite silently narrows. It must also produce anchors whose
+/// output rows are at least 8 elements wide for each lane-blocked kernel,
+/// so the SIMD differential genuinely exercises the 8-lane path (narrow
+/// outputs only cover the 4-lane and scalar remainders).
 #[test]
-fn anchor_generator_covers_every_anchor_kind() {
+fn anchor_generator_covers_every_anchor_kind_and_lane_width() {
     let mut seen: std::collections::BTreeMap<OpKind, u64> = std::collections::BTreeMap::new();
+    let mut wide: std::collections::BTreeMap<OpKind, u64> = std::collections::BTreeMap::new();
     for seed in 0..64u64 {
         let mut rng = TestRng::new(seed);
         let graph = random_anchor_dag(&mut rng);
-        let first = graph.node(graph.topo_order()[0]).op;
-        seen.entry(first).or_insert(seed);
+        let anchor = graph.node(graph.topo_order()[0]);
+        seen.entry(anchor.op).or_insert(seed);
+        let out_shape = &graph.value(anchor.outputs[0]).shape;
+        if out_shape.dim(out_shape.rank() - 1) >= 8 {
+            wide.entry(anchor.op).or_insert(seed);
+        }
     }
     for op in [
         OpKind::Conv,
@@ -406,6 +423,12 @@ fn anchor_generator_covers_every_anchor_kind() {
         OpKind::GlobalAveragePool,
     ] {
         assert!(seen.contains_key(&op), "no seed in 0..64 produced a {op} anchor: {seen:?}");
+    }
+    for op in [OpKind::Conv, OpKind::MatMul, OpKind::Gemm] {
+        assert!(
+            wide.contains_key(&op),
+            "no seed in 0..64 produced a {op} anchor with >= 8-wide output rows: {wide:?}"
+        );
     }
 }
 
@@ -436,9 +459,9 @@ proptest! {
         for threads in [1usize, 2, 8] {
             // min_parallel_work = 0 disables the work-size gate, so the
             // parallel partitioning really runs on these small fixtures.
-            let executor = base
-                .clone()
-                .with_options(ExecOptions { num_threads: threads, min_parallel_work: 0 });
+            let options =
+                ExecOptions { num_threads: threads, min_parallel_work: 0, ..ExecOptions::serial() };
+            let executor = base.clone().with_options(options);
             let fused = executor.run_compiled(&compiled, &inputs).unwrap();
             for (r, e) in reference.outputs.iter().zip(&fused.outputs) {
                 assert_agrees(r, e, 1e-5, &format!("anchored fused (seed {seed}, {threads} thr)"));
@@ -446,6 +469,22 @@ proptest! {
             let singleton = executor.run_plan(&graph, &singletons, &inputs).unwrap();
             for (r, e) in reference.outputs.iter().zip(&singleton.outputs) {
                 assert_agrees(r, e, 1e-5, &format!("anchored singleton (seed {seed}, {threads} thr)"));
+            }
+            // SIMD-vs-scalar differential: disabling every lane-blocked
+            // path must reproduce the SIMD run bit for bit.
+            let scalar = base
+                .clone()
+                .with_options(options.scalar_kernels())
+                .run_compiled(&compiled, &inputs)
+                .unwrap();
+            for (v, s) in fused.outputs.iter().zip(&scalar.outputs) {
+                prop_assert_eq!(
+                    v.first_disagreement(s, 0.0),
+                    None,
+                    "force_scalar changed output bits (seed {}, {} threads)",
+                    seed,
+                    threads
+                );
             }
             fused_per_config.push(fused.outputs);
         }
@@ -464,3 +503,4 @@ proptest! {
         }
     }
 }
+

@@ -2,12 +2,16 @@
 //!
 //! The parallel kernels split work by **output ownership** — every output
 //! element is computed by exactly one thread, in the serial kernel's
-//! accumulation order — so the thread count must never change a single bit
-//! of any result. This suite pins that invariant end to end:
+//! accumulation order, and every SIMD lane owns one whole output element —
+//! so neither the thread count nor the lane-blocked (SIMD) paths may change
+//! a single bit of any result. This suite pins that invariant end to end:
 //!
 //! * every one of the 15 model builders, executed twice at each
 //!   `num_threads ∈ {1, 2, 8}`, produces bit-identical outputs
-//!   ([`Tensor::first_disagreement`] with tolerance 0), and
+//!   ([`Tensor::first_disagreement`] with tolerance 0),
+//! * at each of those thread counts, a `force_scalar` run (all lane-blocked
+//!   kernel and tape paths disabled) reproduces the same bytes — the
+//!   SIMD-vs-scalar differential at tolerance 0, and
 //! * one `CompiledModel` shared across concurrently-inferring threads
 //!   produces the single-threaded result on every thread (guarding the
 //!   `Arc`-backed slot storage and the model's cached engine).
@@ -44,7 +48,7 @@ fn inputs_for(graph: &Graph, seed: u64) -> HashMap<String, Tensor> {
 fn executor_with_threads(threads: usize) -> Executor {
     Executor::new(DeviceSpec::snapdragon_865_cpu())
         .without_cache_simulation()
-        .with_options(ExecOptions { num_threads: threads, min_parallel_work: 0 })
+        .with_options(ExecOptions { num_threads: threads, min_parallel_work: 0, ..ExecOptions::serial() })
 }
 
 fn assert_bit_identical(kind: ModelKind, context: &str, baseline: &[Tensor], run: &[Tensor]) {
@@ -75,6 +79,16 @@ fn every_model_is_bit_deterministic_across_runs_and_thread_counts() {
                 let context = format!("{threads} threads, repeat {run}");
                 assert_bit_identical(kind, &context, &baseline, &outputs);
             }
+            // The SIMD-vs-scalar differential: with every lane-blocked path
+            // disabled, the engine must still produce the same bytes.
+            let scalar = executor
+                .clone()
+                .with_options(executor.options().scalar_kernels())
+                .run_compiled(&compiled, &inputs)
+                .unwrap()
+                .outputs;
+            let context = format!("{threads} threads, force_scalar");
+            assert_bit_identical(kind, &context, &baseline, &scalar);
         }
     }
 }
