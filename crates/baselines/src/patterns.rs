@@ -109,7 +109,12 @@ impl PatternConfig {
     pub fn mnn_like() -> Self {
         PatternConfig {
             name: "MNN-style fixed patterns",
-            anchors: vec![OpKind::Conv, OpKind::ConvTranspose, OpKind::Gemm, OpKind::MatMul],
+            anchors: vec![
+                OpKind::Conv,
+                OpKind::ConvTranspose,
+                OpKind::Gemm,
+                OpKind::MatMul,
+            ],
             epilogue: vec![
                 OpKind::Add,
                 OpKind::Mul,
@@ -129,7 +134,12 @@ impl PatternConfig {
     pub fn tflite_like() -> Self {
         PatternConfig {
             name: "TFLite-style fixed patterns",
-            anchors: vec![OpKind::Conv, OpKind::ConvTranspose, OpKind::Gemm, OpKind::MatMul],
+            anchors: vec![
+                OpKind::Conv,
+                OpKind::ConvTranspose,
+                OpKind::Gemm,
+                OpKind::MatMul,
+            ],
             epilogue: vec![OpKind::Add, OpKind::Relu, OpKind::Clip],
             max_epilogue: 2,
             fuse_elementwise_chains: false,
@@ -143,7 +153,12 @@ impl PatternConfig {
         PatternConfig {
             name: "PyTorch-Mobile-style fixed patterns",
             anchors: vec![OpKind::Conv, OpKind::ConvTranspose],
-            epilogue: vec![OpKind::Add, OpKind::Mul, OpKind::Relu, OpKind::BatchNormalization],
+            epilogue: vec![
+                OpKind::Add,
+                OpKind::Mul,
+                OpKind::Relu,
+                OpKind::BatchNormalization,
+            ],
             max_epilogue: 2,
             fuse_elementwise_chains: false,
             max_elementwise_chain: 0,
@@ -209,7 +224,14 @@ impl PatternFuser {
             }
             let mut group = vec![node_id];
             assigned.insert(node_id);
-            self.extend_chain(ecg, node_id, &self.config.epilogue, self.config.max_epilogue, &mut group, &mut assigned);
+            self.extend_chain(
+                ecg,
+                node_id,
+                &self.config.epilogue,
+                self.config.max_epilogue,
+                &mut group,
+                &mut assigned,
+            );
             groups.push(group);
         }
 
@@ -289,7 +311,9 @@ impl PatternFuser {
             }
             let next = value.consumers[0];
             let op = graph.node(next).op;
-            if assigned.contains(&next) || !(op.is_elementwise_unary() || op.is_elementwise_binary()) {
+            if assigned.contains(&next)
+                || !(op.is_elementwise_unary() || op.is_elementwise_binary())
+            {
                 break;
             }
             group.push(next);
@@ -313,19 +337,41 @@ mod tests {
         let x = g.add_input("x", Shape::new(vec![1, 4, 8, 8]));
         let w = g.add_weight("w", Shape::new(vec![4, 4, 3, 3]));
         let conv = g
-            .add_op(OpKind::Conv, Attrs::new().with_ints("pads", vec![1, 1, 1, 1]), &[x, w], "conv")
+            .add_op(
+                OpKind::Conv,
+                Attrs::new().with_ints("pads", vec![1, 1, 1, 1]),
+                &[x, w],
+                "conv",
+            )
             .unwrap()[0];
         let b = g.add_weight("b", Shape::new(vec![1, 4, 1, 1]));
-        let bias = g.add_op(OpKind::Add, Attrs::new(), &[conv, b], "bias").unwrap()[0];
-        let relu = g.add_op(OpKind::Relu, Attrs::new(), &[bias], "relu").unwrap()[0];
-        let sig = g.add_op(OpKind::Sigmoid, Attrs::new(), &[relu], "sig").unwrap()[0];
-        let tanh = g.add_op(OpKind::Tanh, Attrs::new(), &[sig], "tanh").unwrap()[0];
+        let bias = g
+            .add_op(OpKind::Add, Attrs::new(), &[conv, b], "bias")
+            .unwrap()[0];
+        let relu = g
+            .add_op(OpKind::Relu, Attrs::new(), &[bias], "relu")
+            .unwrap()[0];
+        let sig = g
+            .add_op(OpKind::Sigmoid, Attrs::new(), &[relu], "sig")
+            .unwrap()[0];
+        let tanh = g
+            .add_op(OpKind::Tanh, Attrs::new(), &[sig], "tanh")
+            .unwrap()[0];
         let flat = g
-            .add_op(OpKind::Flatten, Attrs::new().with_int("axis", 1), &[tanh], "flat")
+            .add_op(
+                OpKind::Flatten,
+                Attrs::new().with_int("axis", 1),
+                &[tanh],
+                "flat",
+            )
             .unwrap()[0];
         let fw = g.add_weight("fw", Shape::new(vec![256, 16]));
-        let fc = g.add_op(OpKind::MatMul, Attrs::new(), &[flat, fw], "fc").unwrap()[0];
-        let out = g.add_op(OpKind::Softmax, Attrs::new(), &[fc], "softmax").unwrap()[0];
+        let fc = g
+            .add_op(OpKind::MatMul, Attrs::new(), &[flat, fw], "fc")
+            .unwrap()[0];
+        let out = g
+            .add_op(OpKind::Softmax, Attrs::new(), &[fc], "softmax")
+            .unwrap()[0];
         g.mark_output(out);
         g
     }
@@ -334,7 +380,9 @@ mod tests {
     fn tvm_like_fuses_anchor_epilogues_and_chains() {
         let g = sample();
         let ecg = Ecg::new(g.clone());
-        let plan = PatternFuser::for_framework(BaselineFramework::Tvm).plan(&ecg).unwrap();
+        let plan = PatternFuser::for_framework(BaselineFramework::Tvm)
+            .plan(&ecg)
+            .unwrap();
         plan.validate(&g).unwrap();
         // 9 layers shrink, but not as far as DNNFusion would.
         assert!(plan.fused_layer_count() < g.node_count());
@@ -355,7 +403,12 @@ mod tests {
         let ecg = Ecg::new(g.clone());
         let counts: Vec<usize> = BaselineFramework::all()
             .iter()
-            .map(|&f| PatternFuser::for_framework(f).plan(&ecg).unwrap().fused_layer_count())
+            .map(|&f| {
+                PatternFuser::for_framework(f)
+                    .plan(&ecg)
+                    .unwrap()
+                    .fused_layer_count()
+            })
             .collect();
         // TVM (index 1) fuses at least as much as every other baseline.
         assert!(counts[1] <= counts[0]);
@@ -370,7 +423,9 @@ mod tests {
         use dnnf_core::{Compiler, CompilerOptions};
         let g = sample();
         let ecg = Ecg::new(g.clone());
-        let dnnf = Compiler::new(CompilerOptions::default()).compile(&g).unwrap();
+        let dnnf = Compiler::new(CompilerOptions::default())
+            .compile(&g)
+            .unwrap();
         for &f in BaselineFramework::all() {
             let baseline = PatternFuser::for_framework(f).plan(&ecg).unwrap();
             assert!(
@@ -388,15 +443,26 @@ mod tests {
         let x = g.add_input("x", Shape::new(vec![1, 4, 8, 8]));
         let w = g.add_weight("w", Shape::new(vec![4, 4, 3, 3]));
         let conv = g
-            .add_op(OpKind::Conv, Attrs::new().with_ints("pads", vec![1, 1, 1, 1]), &[x, w], "conv")
+            .add_op(
+                OpKind::Conv,
+                Attrs::new().with_ints("pads", vec![1, 1, 1, 1]),
+                &[x, w],
+                "conv",
+            )
             .unwrap()[0];
-        let relu = g.add_op(OpKind::Relu, Attrs::new(), &[conv], "relu").unwrap()[0];
-        let a = g.add_op(OpKind::Sigmoid, Attrs::new(), &[relu], "a").unwrap()[0];
+        let relu = g
+            .add_op(OpKind::Relu, Attrs::new(), &[conv], "relu")
+            .unwrap()[0];
+        let a = g
+            .add_op(OpKind::Sigmoid, Attrs::new(), &[relu], "a")
+            .unwrap()[0];
         let b = g.add_op(OpKind::Tanh, Attrs::new(), &[relu], "b").unwrap()[0];
         let sum = g.add_op(OpKind::Add, Attrs::new(), &[a, b], "sum").unwrap()[0];
         g.mark_output(sum);
         let ecg = Ecg::new(g.clone());
-        let plan = PatternFuser::for_framework(BaselineFramework::Tvm).plan(&ecg).unwrap();
+        let plan = PatternFuser::for_framework(BaselineFramework::Tvm)
+            .plan(&ecg)
+            .unwrap();
         let conv_block = plan.block_of(g.nodes().find(|n| n.op == OpKind::Conv).unwrap().id);
         let sig_block = plan.block_of(g.nodes().find(|n| n.op == OpKind::Sigmoid).unwrap().id);
         assert_ne!(conv_block, sig_block);

@@ -40,7 +40,9 @@ mod tests {
         let c = g.add_weight("C", Shape::new(vec![8, 8]));
         let ac = g.add_op(OpKind::Mul, Attrs::new(), &[a, c], "ac").unwrap()[0];
         let ab = g.add_op(OpKind::Mul, Attrs::new(), &[a, b], "ab").unwrap()[0];
-        let out = g.add_op(OpKind::Add, Attrs::new(), &[ac, ab], "sum").unwrap()[0];
+        let out = g
+            .add_op(OpKind::Add, Attrs::new(), &[ac, ab], "sum")
+            .unwrap()[0];
         g.mark_output(out);
         let (optimized, applied) = taso_optimize(&g);
         assert_eq!(applied, 1);
@@ -53,12 +55,24 @@ mod tests {
         // DNNFusion's rewriting removes but the TASO-like pass leaves alone.
         let mut g = Graph::new("structure");
         let x = g.add_input("X", Shape::new(vec![2, 3, 4]));
-        let id = g.add_op(OpKind::Identity, Attrs::new(), &[x], "id").unwrap()[0];
+        let id = g
+            .add_op(OpKind::Identity, Attrs::new(), &[x], "id")
+            .unwrap()[0];
         let r1 = g
-            .add_op(OpKind::Reshape, Attrs::new().with_ints("shape", vec![6, 4]), &[id], "r1")
+            .add_op(
+                OpKind::Reshape,
+                Attrs::new().with_ints("shape", vec![6, 4]),
+                &[id],
+                "r1",
+            )
             .unwrap()[0];
         let r2 = g
-            .add_op(OpKind::Reshape, Attrs::new().with_ints("shape", vec![24]), &[r1], "r2")
+            .add_op(
+                OpKind::Reshape,
+                Attrs::new().with_ints("shape", vec![24]),
+                &[r1],
+                "r2",
+            )
             .unwrap()[0];
         g.mark_output(r2);
         let (optimized, applied) = taso_optimize(&g);

@@ -16,13 +16,26 @@ fn conv_chain() -> Graph {
     let x = g.add_input("x", Shape::new(vec![1, 4, 6, 6]));
     let w = g.add_weight("w", Shape::new(vec![4, 4, 3, 3]));
     let conv = g
-        .add_op(OpKind::Conv, Attrs::new().with_ints("pads", vec![1, 1, 1, 1]), &[x, w], "conv")
+        .add_op(
+            OpKind::Conv,
+            Attrs::new().with_ints("pads", vec![1, 1, 1, 1]),
+            &[x, w],
+            "conv",
+        )
         .unwrap()[0];
     let b = g.add_weight("b", Shape::new(vec![1, 4, 1, 1]));
-    let biased = g.add_op(OpKind::Add, Attrs::new(), &[conv, b], "bias").unwrap()[0];
-    let relu = g.add_op(OpKind::Relu, Attrs::new(), &[biased], "relu").unwrap()[0];
-    let sig = g.add_op(OpKind::Sigmoid, Attrs::new(), &[relu], "sig").unwrap()[0];
-    let tanh = g.add_op(OpKind::Tanh, Attrs::new(), &[sig], "tanh").unwrap()[0];
+    let biased = g
+        .add_op(OpKind::Add, Attrs::new(), &[conv, b], "bias")
+        .unwrap()[0];
+    let relu = g
+        .add_op(OpKind::Relu, Attrs::new(), &[biased], "relu")
+        .unwrap()[0];
+    let sig = g
+        .add_op(OpKind::Sigmoid, Attrs::new(), &[relu], "sig")
+        .unwrap()[0];
+    let tanh = g
+        .add_op(OpKind::Tanh, Attrs::new(), &[sig], "tanh")
+        .unwrap()[0];
     g.mark_output(tanh);
     g
 }
@@ -39,7 +52,10 @@ fn every_framework_produces_a_valid_plan() {
             plan.fused_layer_count() <= unfused_blocks,
             "{fw}: pattern fusion must never produce more blocks than unfused execution"
         );
-        assert!(plan.fused_layer_count() >= 1, "{fw}: plan must cover the graph");
+        assert!(
+            plan.fused_layer_count() >= 1,
+            "{fw}: plan must cover the graph"
+        );
     }
 }
 
@@ -55,7 +71,10 @@ fn every_framework_fuses_the_conv_bias_relu_prefix() {
             plan.fused_layer_count() < unfused_blocks,
             "{fw}: expected at least the Conv+Add+ReLU pattern to fuse"
         );
-        assert!(plan.multi_op_blocks() >= 1, "{fw}: expected a multi-operator block");
+        assert!(
+            plan.multi_op_blocks() >= 1,
+            "{fw}: expected a multi-operator block"
+        );
     }
 }
 

@@ -11,26 +11,44 @@ use dnnf_models::{ModelKind, ModelScale};
 fn bench_compilation(c: &mut Criterion) {
     let mut group = c.benchmark_group("compilation");
     group.sample_size(10);
-    for kind in [ModelKind::Vgg16, ModelKind::MobileNetV1Ssd, ModelKind::TinyBert] {
+    for kind in [
+        ModelKind::Vgg16,
+        ModelKind::MobileNetV1Ssd,
+        ModelKind::TinyBert,
+    ] {
         let graph = kind.build(ModelScale::tiny()).expect("model builds");
-        group.bench_with_input(BenchmarkId::new("dnnfusion", kind.name()), &graph, |b, g| {
-            b.iter(|| {
-                let mut compiler = Compiler::new(CompilerOptions::default());
-                compiler.compile(g).expect("compiles")
-            });
-        });
-        group.bench_with_input(BenchmarkId::new("fixed-pattern", kind.name()), &graph, |b, g| {
-            b.iter(|| {
-                let ecg = Ecg::new(g.clone());
-                PatternFuser::for_framework(BaselineFramework::Tvm).plan(&ecg).expect("plans")
-            });
-        });
-        group.bench_with_input(BenchmarkId::new("rewriting-only", kind.name()), &graph, |b, g| {
-            b.iter(|| {
-                let mut compiler = Compiler::new(CompilerOptions::rewriting_only());
-                compiler.compile(g).expect("compiles")
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("dnnfusion", kind.name()),
+            &graph,
+            |b, g| {
+                b.iter(|| {
+                    let mut compiler = Compiler::new(CompilerOptions::default());
+                    compiler.compile(g).expect("compiles")
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("fixed-pattern", kind.name()),
+            &graph,
+            |b, g| {
+                b.iter(|| {
+                    let ecg = Ecg::new(g.clone());
+                    PatternFuser::for_framework(BaselineFramework::Tvm)
+                        .plan(&ecg)
+                        .expect("plans")
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("rewriting-only", kind.name()),
+            &graph,
+            |b, g| {
+                b.iter(|| {
+                    let mut compiler = Compiler::new(CompilerOptions::rewriting_only());
+                    compiler.compile(g).expect("compiles")
+                });
+            },
+        );
     }
     group.finish();
 }

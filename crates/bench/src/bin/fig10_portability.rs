@@ -26,10 +26,19 @@ fn main() {
                 }
                 rows.push(row);
             }
-            println!("Figure 10 — {} latency (ms) on the {}\n", kind.name(), phone.name());
-            println!("{}", format_table(&["Framework", "CPU ms", "GPU ms"], &rows));
+            println!(
+                "Figure 10 — {} latency (ms) on the {}\n",
+                kind.name(),
+                phone.name()
+            );
+            println!(
+                "{}",
+                format_table(&["Framework", "CPU ms", "GPU ms"], &rows)
+            );
             println!();
         }
     }
-    println!("Older devices with smaller caches are more sensitive to fusion, as the paper observes.");
+    println!(
+        "Older devices with smaller caches are more sensitive to fusion, as the paper observes."
+    );
 }

@@ -14,7 +14,12 @@ fn main() {
     } else {
         ModelScale::tiny()
     };
-    let models = [ModelKind::EfficientNetB0, ModelKind::YoloV4, ModelKind::S3d, ModelKind::Gpt2];
+    let models = [
+        ModelKind::EfficientNetB0,
+        ModelKind::YoloV4,
+        ModelKind::S3d,
+        ModelKind::Gpt2,
+    ];
     for device_kind in [DeviceKind::MobileCpu, DeviceKind::MobileGpu] {
         let device = Phone::GalaxyS20.device(device_kind);
         let mut rows = Vec::new();
@@ -31,7 +36,10 @@ fn main() {
             }
             rows.push(row);
         }
-        println!("Figure 7 — speedup over OurB on the {} ({device_kind})\n", device.name);
+        println!(
+            "Figure 7 — speedup over OurB on the {} ({device_kind})\n",
+            device.name
+        );
         let headers: Vec<&str> = std::iter::once("Model")
             .chain(AblationConfig::all().iter().map(|a| a.label()))
             .collect();

@@ -57,7 +57,16 @@ fn main() {
             rows.push(row);
         }
         let headers: Vec<&str> = if device_kind == DeviceKind::MobileCpu {
-            vec!["Framework", "MA", "MC", "L1 miss", "L2 miss", "L3 miss", "L1-TLB", "L2-TLB"]
+            vec![
+                "Framework",
+                "MA",
+                "MC",
+                "L1 miss",
+                "L2 miss",
+                "L3 miss",
+                "L1-TLB",
+                "L2-TLB",
+            ]
         } else {
             vec!["Framework", "MA", "MC", "L1 miss", "L2 miss"]
         };

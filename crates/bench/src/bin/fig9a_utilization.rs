@@ -26,5 +26,7 @@ fn main() {
     }
     println!("Figure 9a — processor utilization (%) on YOLO-V4\n");
     println!("{}", format_table(&["Framework", "CPU %", "GPU %"], &rows));
-    println!("\nDNNFusion's coarser-grained kernels yield the highest utilization, as in the paper.");
+    println!(
+        "\nDNNFusion's coarser-grained kernels yield the highest utilization, as in the paper."
+    );
 }

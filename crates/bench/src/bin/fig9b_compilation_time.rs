@@ -34,8 +34,7 @@ fn main() {
     let fusion_s = stats.total_time().as_secs_f64();
     let profiling_cold_s = cold_misses as f64 * PROFILE_REPS * 500.0 / 1e6;
     let profiling_warm_s = warm_misses as f64 * PROFILE_REPS * 500.0 / 1e6;
-    let tuning_s =
-        stats.fused_layers as f64 * TUNING_CANDIDATES_PER_OP * TUNING_CANDIDATE_US / 1e6;
+    let tuning_s = stats.fused_layers as f64 * TUNING_CANDIDATES_PER_OP * TUNING_CANDIDATE_US / 1e6;
 
     let rows = vec![
         vec![
@@ -56,7 +55,10 @@ fn main() {
     println!("Figure 9b — YOLO-V4 compilation time breakdown (seconds, simulated device time)\n");
     println!(
         "{}",
-        format_table(&["Configuration", "Fusion", "Profiling", "Tuning", "Total"], &rows)
+        format_table(
+            &["Configuration", "Fusion", "Profiling", "Tuning", "Total"],
+            &rows
+        )
     );
     println!(
         "\nProfiling-database entries: {}; cold misses: {cold_misses}, warm misses: {warm_misses}, hits: {}",

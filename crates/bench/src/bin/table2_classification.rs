@@ -30,6 +30,9 @@ fn main() {
     println!("Table 2 — classification of DNN operators in mapping types\n");
     println!(
         "{}",
-        format_table(&["Mapping type", "#Ops", "Representative", "Operators"], &rows)
+        format_table(
+            &["Mapping type", "#Ops", "Representative", "Operators"],
+            &rows
+        )
     );
 }

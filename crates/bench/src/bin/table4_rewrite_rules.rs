@@ -19,12 +19,22 @@ fn pattern_graphs() -> Vec<(&'static str, &'static str, Graph)> {
     let mut g = Graph::new("assoc-recip");
     let a = g.add_input("A", s());
     let b = g.add_weight("B", s());
-    let ra = g.add_op(OpKind::Reciprocal, Attrs::new(), &[a], "recip_a").unwrap()[0];
+    let ra = g
+        .add_op(OpKind::Reciprocal, Attrs::new(), &[a], "recip_a")
+        .unwrap()[0];
     let ab = g.add_op(OpKind::Mul, Attrs::new(), &[a, b], "ab").unwrap()[0];
-    let rab = g.add_op(OpKind::Reciprocal, Attrs::new(), &[ab], "recip_ab").unwrap()[0];
-    let out = g.add_op(OpKind::Mul, Attrs::new(), &[ra, rab], "out").unwrap()[0];
+    let rab = g
+        .add_op(OpKind::Reciprocal, Attrs::new(), &[ab], "recip_ab")
+        .unwrap()[0];
+    let out = g
+        .add_op(OpKind::Mul, Attrs::new(), &[ra, rab], "out")
+        .unwrap()[0];
     g.mark_output(out);
-    graphs.push(("Associative", "Recip(A)⊙Recip(A⊙B) → Square(Recip(A))⊙Recip(B)", g));
+    graphs.push((
+        "Associative",
+        "Recip(A)⊙Recip(A⊙B) → Square(Recip(A))⊙Recip(B)",
+        g,
+    ));
 
     // Associative: (A ⊙ √B) ⊙ (√B ⊙ C).
     let mut g = Graph::new("assoc-sqrt");
@@ -45,7 +55,9 @@ fn pattern_graphs() -> Vec<(&'static str, &'static str, Graph)> {
     let c = g.add_weight("C", s());
     let ac = g.add_op(OpKind::Mul, Attrs::new(), &[a, c], "ac").unwrap()[0];
     let ab = g.add_op(OpKind::Mul, Attrs::new(), &[a, b], "ab").unwrap()[0];
-    let out = g.add_op(OpKind::Add, Attrs::new(), &[ac, ab], "sum").unwrap()[0];
+    let out = g
+        .add_op(OpKind::Add, Attrs::new(), &[ac, ab], "sum")
+        .unwrap()[0];
     g.mark_output(out);
     graphs.push(("Distributive", "A⊙C + A⊙B → (C+B)⊙A", g));
 
@@ -54,9 +66,15 @@ fn pattern_graphs() -> Vec<(&'static str, &'static str, Graph)> {
     let a = g.add_input("A", Shape::new(vec![64, 64]));
     let b = g.add_weight("B", Shape::new(vec![64, 64]));
     let c = g.add_weight("C", Shape::new(vec![64, 64]));
-    let ab = g.add_op(OpKind::MatMul, Attrs::new(), &[a, b], "ab").unwrap()[0];
-    let ac = g.add_op(OpKind::MatMul, Attrs::new(), &[a, c], "ac").unwrap()[0];
-    let out = g.add_op(OpKind::Add, Attrs::new(), &[ab, ac], "sum").unwrap()[0];
+    let ab = g
+        .add_op(OpKind::MatMul, Attrs::new(), &[a, b], "ab")
+        .unwrap()[0];
+    let ac = g
+        .add_op(OpKind::MatMul, Attrs::new(), &[a, c], "ac")
+        .unwrap()[0];
+    let out = g
+        .add_op(OpKind::Add, Attrs::new(), &[ab, ac], "sum")
+        .unwrap()[0];
     g.mark_output(out);
     graphs.push(("Distributive", "A·B + A·C → A·(B+C)", g));
 
@@ -64,19 +82,35 @@ fn pattern_graphs() -> Vec<(&'static str, &'static str, Graph)> {
     let mut g = Graph::new("comm-shift");
     let a = g.add_input("A", s());
     let sft = g.add_weight("S", Shape::new(vec![1]));
-    let shifted = g.add_op(OpKind::BitShift, Attrs::new(), &[a, sft], "shift").unwrap()[0];
+    let shifted = g
+        .add_op(OpKind::BitShift, Attrs::new(), &[a, sft], "shift")
+        .unwrap()[0];
     let out = g
-        .add_op(OpKind::ReduceSum, Attrs::new().with_ints("axes", vec![1]), &[shifted], "sum")
+        .add_op(
+            OpKind::ReduceSum,
+            Attrs::new().with_ints("axes", vec![1]),
+            &[shifted],
+            "sum",
+        )
         .unwrap()[0];
     g.mark_output(out);
-    graphs.push(("Commutative", "ReduceSum(BitShift(A)) → BitShift(ReduceSum(A))", g));
+    graphs.push((
+        "Commutative",
+        "ReduceSum(BitShift(A)) → BitShift(ReduceSum(A))",
+        g,
+    ));
 
     // Commutative: ReduceProd(Exp(A)).
     let mut g = Graph::new("comm-exp");
     let a = g.add_input("A", s());
     let e = g.add_op(OpKind::Exp, Attrs::new(), &[a], "exp").unwrap()[0];
     let out = g
-        .add_op(OpKind::ReduceProd, Attrs::new().with_ints("axes", vec![1]), &[e], "prod")
+        .add_op(
+            OpKind::ReduceProd,
+            Attrs::new().with_ints("axes", vec![1]),
+            &[e],
+            "prod",
+        )
         .unwrap()[0];
     g.mark_output(out);
     graphs.push(("Commutative", "ReduceProd(Exp(A)) → Exp(ReduceSum(A))", g));
@@ -96,19 +130,33 @@ fn main() {
             equation.to_string(),
             before.to_string(),
             after.to_string(),
-            applied.iter().map(|a| a.rule.clone()).collect::<Vec<_>>().join(", "),
+            applied
+                .iter()
+                .map(|a| a.rule.clone())
+                .collect::<Vec<_>>()
+                .join(", "),
         ]);
     }
     println!("Table 4 — graph rewriting with mathematical properties (64x64 operands)\n");
     println!(
         "{}",
         format_table(
-            &["Property", "Graph structure", "#FLOPs before", "#FLOPs after", "Rules applied"],
+            &[
+                "Property",
+                "Graph structure",
+                "#FLOPs before",
+                "#FLOPs after",
+                "Rules applied"
+            ],
             &rows
         )
     );
     println!(
         "\nRegistered rules: {:?}",
-        engine.rule_names().iter().map(|(n, _)| *n).collect::<Vec<_>>()
+        engine
+            .rule_names()
+            .iter()
+            .map(|(n, _)| *n)
+            .collect::<Vec<_>>()
     );
 }

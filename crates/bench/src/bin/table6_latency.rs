@@ -27,8 +27,8 @@ fn main() {
             ];
             let mut speedup_base: Option<f64> = None;
             for &config in ExecutionConfig::all() {
-                let latency_ms = evaluate(kind, scale, config, &device)
-                    .map(|r| r.counters.latency_us / 1e3);
+                let latency_ms =
+                    evaluate(kind, scale, config, &device).map(|r| r.counters.latency_us / 1e3);
                 if config == ExecutionConfig::OurBaseline {
                     speedup_base = latency_ms;
                 }
@@ -51,8 +51,17 @@ fn main() {
             "{}",
             format_table(
                 &[
-                    "Model", "#Params(M)", "GFLOPs", "MNN", "TVM", "TFLite", "PyTorch", "OurB",
-                    "OurB+", "DNNF", "DNNF vs OurB",
+                    "Model",
+                    "#Params(M)",
+                    "GFLOPs",
+                    "MNN",
+                    "TVM",
+                    "TFLite",
+                    "PyTorch",
+                    "OurB",
+                    "OurB+",
+                    "DNNF",
+                    "DNNF vs OurB",
                 ],
                 &rows
             )

@@ -48,7 +48,15 @@ impl ExecutionConfig {
     #[must_use]
     pub fn all() -> &'static [ExecutionConfig] {
         use ExecutionConfig::*;
-        &[Mnn, Tvm, TfLite, Pytorch, OurBaseline, OurBaselinePlus, DnnFusion]
+        &[
+            Mnn,
+            Tvm,
+            TfLite,
+            Pytorch,
+            OurBaseline,
+            OurBaselinePlus,
+            DnnFusion,
+        ]
     }
 
     /// The framework columns of Table 5 (everything but the OurB variants).
@@ -151,7 +159,12 @@ pub fn plan_model(config: ExecutionConfig, graph: &Graph, device: &DeviceSpec) -
         ExecutionConfig::OurBaseline => {
             let ecg = Ecg::new(graph.clone());
             let plan = FusionPlan::singletons(&ecg);
-            PlannedModel { config, graph: graph.clone(), plan, compilation: None }
+            PlannedModel {
+                config,
+                graph: graph.clone(),
+                plan,
+                compilation: None,
+            }
         }
         ExecutionConfig::Mnn
         | ExecutionConfig::Tvm
@@ -169,7 +182,12 @@ pub fn plan_model(config: ExecutionConfig, graph: &Graph, device: &DeviceSpec) -
             };
             let ecg = Ecg::new(graph.clone());
             let plan = fuser.plan(&ecg).expect("pattern fusion plan");
-            PlannedModel { config, graph: graph.clone(), plan, compilation: None }
+            PlannedModel {
+                config,
+                graph: graph.clone(),
+                plan,
+                compilation: None,
+            }
         }
         ExecutionConfig::DnnFusion => {
             let latency = DeviceLatencyModel::new(device.clone());
@@ -262,7 +280,12 @@ impl AblationConfig {
     #[must_use]
     pub fn all() -> &'static [AblationConfig] {
         use AblationConfig::*;
-        &[RewritingOnly, RewritingAndFusion, Full, FusionWithoutRewriting]
+        &[
+            RewritingOnly,
+            RewritingAndFusion,
+            Full,
+            FusionWithoutRewriting,
+        ]
     }
 
     /// Display label used in Figure 7.
@@ -303,7 +326,10 @@ pub fn ablation_latency(graph: &Graph, ablation: AblationConfig, device: &Device
 /// database — and reports `(misses_cold, misses_warm, stats_warm)` for the
 /// Figure 9b compilation-time experiment.
 #[must_use]
-pub fn compilation_with_database(graph: &Graph, device: &DeviceSpec) -> (u64, u64, CompilationStats) {
+pub fn compilation_with_database(
+    graph: &Graph,
+    device: &DeviceSpec,
+) -> (u64, u64, CompilationStats) {
     let latency = DeviceLatencyModel::new(device.clone());
     let mut cold = Compiler::with_latency_model(CompilerOptions::default(), latency.clone());
     let cold_stats = cold.compile(graph).expect("cold compilation").stats;
@@ -311,7 +337,11 @@ pub fn compilation_with_database(graph: &Graph, device: &DeviceSpec) -> (u64, u6
     let mut warm =
         Compiler::with_latency_model(CompilerOptions::default(), latency).with_database(database);
     let warm_stats = warm.compile(graph).expect("warm compilation").stats;
-    (cold_stats.profile_db_misses, warm_stats.profile_db_misses, warm_stats)
+    (
+        cold_stats.profile_db_misses,
+        warm_stats.profile_db_misses,
+        warm_stats,
+    )
 }
 
 /// Simple fixed-width table printer used by the experiment binaries.
@@ -370,14 +400,34 @@ mod tests {
             assert!(!supports(cfg, ModelKind::FasterRcnn, DeviceKind::MobileCpu));
         }
         // Transformers: TFLite CPU only.
-        assert!(supports(ExecutionConfig::TfLite, ModelKind::Gpt2, DeviceKind::MobileCpu));
-        assert!(!supports(ExecutionConfig::TfLite, ModelKind::Gpt2, DeviceKind::MobileGpu));
-        assert!(!supports(ExecutionConfig::Tvm, ModelKind::Gpt2, DeviceKind::MobileCpu));
+        assert!(supports(
+            ExecutionConfig::TfLite,
+            ModelKind::Gpt2,
+            DeviceKind::MobileCpu
+        ));
+        assert!(!supports(
+            ExecutionConfig::TfLite,
+            ModelKind::Gpt2,
+            DeviceKind::MobileGpu
+        ));
+        assert!(!supports(
+            ExecutionConfig::Tvm,
+            ModelKind::Gpt2,
+            DeviceKind::MobileCpu
+        ));
         // PyTorch has no mobile-GPU support in the paper's runs.
-        assert!(!supports(ExecutionConfig::Pytorch, ModelKind::Vgg16, DeviceKind::MobileGpu));
+        assert!(!supports(
+            ExecutionConfig::Pytorch,
+            ModelKind::Vgg16,
+            DeviceKind::MobileGpu
+        ));
         // DNNFusion supports everything.
         for &m in ModelKind::all() {
-            assert!(supports(ExecutionConfig::DnnFusion, m, DeviceKind::MobileGpu));
+            assert!(supports(
+                ExecutionConfig::DnnFusion,
+                m,
+                DeviceKind::MobileGpu
+            ));
         }
     }
 
@@ -386,7 +436,13 @@ mod tests {
         let device = DeviceSpec::snapdragon_865_cpu();
         let scale = ModelScale::tiny();
         let dnnf = evaluate(ModelKind::Vgg16, scale, ExecutionConfig::DnnFusion, &device).unwrap();
-        let ourb = evaluate(ModelKind::Vgg16, scale, ExecutionConfig::OurBaseline, &device).unwrap();
+        let ourb = evaluate(
+            ModelKind::Vgg16,
+            scale,
+            ExecutionConfig::OurBaseline,
+            &device,
+        )
+        .unwrap();
         let tvm = evaluate(ModelKind::Vgg16, scale, ExecutionConfig::Tvm, &device).unwrap();
         assert!(dnnf.fused_layers < tvm.fused_layers);
         assert!(tvm.fused_layers < ourb.fused_layers);
@@ -402,14 +458,20 @@ mod tests {
         let device = DeviceSpec::snapdragon_865_cpu();
         let full = ablation_latency(&graph, AblationConfig::Full, &device);
         let gr_only = ablation_latency(&graph, AblationConfig::RewritingOnly, &device);
-        assert!(full <= gr_only, "full pipeline must not be slower than rewriting alone");
+        assert!(
+            full <= gr_only,
+            "full pipeline must not be slower than rewriting alone"
+        );
     }
 
     #[test]
     fn table_formatting_pads_columns() {
         let text = format_table(
             &["Model", "ms"],
-            &[vec!["VGG-16".into(), "171".into()], vec!["GPT-2".into(), "394".into()]],
+            &[
+                vec!["VGG-16".into(), "171".into()],
+                vec!["GPT-2".into(), "394".into()],
+            ],
         );
         assert!(text.contains("VGG-16"));
         assert!(text.lines().count() >= 4);
@@ -421,7 +483,10 @@ mod tests {
     fn taso_comparison_reports_a_speedup_greater_than_one() {
         let device = DeviceSpec::snapdragon_865_cpu();
         let speedup = taso_speedup(ModelKind::TinyBert, ModelScale::tiny(), &device);
-        assert!(speedup > 1.0, "DNNFusion should outperform TASO+TFLite, got {speedup}");
+        assert!(
+            speedup > 1.0,
+            "DNNFusion should outperform TASO+TFLite, got {speedup}"
+        );
     }
 
     #[test]

@@ -145,7 +145,15 @@ pub fn generate_fused_op(ecg: &Ecg, plan: &FusionPlan, block: &FusionBlock) -> F
     let mut reused = 0usize;
     let mut inputs: Vec<ValueId> = Vec::new();
     for &out in &outputs {
-        let idx = build_dft(graph, &mut tree, &mut memo, &mut reused, &mut inputs, out, &in_block);
+        let idx = build_dft(
+            graph,
+            &mut tree,
+            &mut memo,
+            &mut reused,
+            &mut inputs,
+            out,
+            &in_block,
+        );
         tree.roots.push((out, idx));
     }
 
@@ -192,7 +200,10 @@ pub fn generate_fused_op(ecg: &Ecg, plan: &FusionPlan, block: &FusionBlock) -> F
 #[must_use]
 pub fn generate_all(ecg: &Ecg, plan: &FusionPlan) -> Vec<FusedOp> {
     let order = plan.execution_order(ecg.graph());
-    order.iter().map(|&b| generate_fused_op(ecg, plan, &plan.blocks()[b])).collect()
+    order
+        .iter()
+        .map(|&b| generate_fused_op(ecg, plan, &plan.blocks()[b]))
+        .collect()
 }
 
 fn build_dft(
@@ -253,7 +264,10 @@ fn select_layout(ecg: &Ecg, block: &FusionBlock) -> Layout {
         .max_by_key(|&&n| ecg.node_info(n).output_bytes)
         .and_then(|&n| graph.node(n).op.preferred_layout())
         .or_else(|| {
-            block.nodes.iter().find_map(|&n| graph.node(n).op.preferred_layout())
+            block
+                .nodes
+                .iter()
+                .find_map(|&n| graph.node(n).op.preferred_layout())
         })
         .unwrap_or_default()
 }
@@ -276,9 +290,17 @@ fn emit_pseudo_code(
     let params: Vec<String> = inputs
         .iter()
         .map(|&v| format!("const float* {}", sanitize(&graph.value(v).name)))
-        .chain(outputs.iter().map(|&v| format!("float* {}", sanitize(&graph.value(v).name))))
+        .chain(
+            outputs
+                .iter()
+                .map(|&v| format!("float* {}", sanitize(&graph.value(v).name))),
+        )
         .collect();
-    code.push_str(&format!("void fused_block_{}({}) {{\n", block.id, params.join(", ")));
+    code.push_str(&format!(
+        "void fused_block_{}({}) {{\n",
+        block.id,
+        params.join(", ")
+    ));
     let anchor = block
         .nodes
         .iter()
@@ -292,8 +314,14 @@ fn emit_pseudo_code(
                 .first()
                 .map(|&v| graph.value(v).shape.to_string())
                 .unwrap_or_default();
-            code.push_str(&format!("  for (out_idx in {out_shape}) {{  // {} anchor\n", graph.node(a).op));
-            code.push_str(&format!("    float acc = {}_accumulate(out_idx);\n", sanitize(&graph.node(a).name)));
+            code.push_str(&format!(
+                "  for (out_idx in {out_shape}) {{  // {} anchor\n",
+                graph.node(a).op
+            ));
+            code.push_str(&format!(
+                "    float acc = {}_accumulate(out_idx);\n",
+                sanitize(&graph.node(a).name)
+            ));
             for &n in &block.nodes {
                 if n == a {
                     continue;
@@ -323,7 +351,9 @@ fn emit_pseudo_code(
 }
 
 fn sanitize(name: &str) -> String {
-    name.chars().map(|c| if c.is_alphanumeric() { c } else { '_' }).collect()
+    name.chars()
+        .map(|c| if c.is_alphanumeric() { c } else { '_' })
+        .collect()
 }
 
 #[cfg(test)]
@@ -352,11 +382,21 @@ mod tests {
         let b = g.add_weight("B", Shape::new(vec![4, 4]));
         let c = g.add_weight("C", Shape::new(vec![4, 4]));
         let d = g.add_weight("D", Shape::new(vec![4, 4]));
-        let gemm = g.add_op(OpKind::Gemm, Attrs::new(), &[a, b], "gemm").unwrap()[0];
-        let m1 = g.add_op(OpKind::Mul, Attrs::new(), &[gemm, c], "mul1").unwrap()[0];
-        let m2 = g.add_op(OpKind::Mul, Attrs::new(), &[gemm, d], "mul2").unwrap()[0];
-        let r = g.add_op(OpKind::Reciprocal, Attrs::new(), &[m1], "recip").unwrap()[0];
-        let s = g.add_op(OpKind::Square, Attrs::new(), &[m2], "square").unwrap()[0];
+        let gemm = g
+            .add_op(OpKind::Gemm, Attrs::new(), &[a, b], "gemm")
+            .unwrap()[0];
+        let m1 = g
+            .add_op(OpKind::Mul, Attrs::new(), &[gemm, c], "mul1")
+            .unwrap()[0];
+        let m2 = g
+            .add_op(OpKind::Mul, Attrs::new(), &[gemm, d], "mul2")
+            .unwrap()[0];
+        let r = g
+            .add_op(OpKind::Reciprocal, Attrs::new(), &[m1], "recip")
+            .unwrap()[0];
+        let s = g
+            .add_op(OpKind::Square, Attrs::new(), &[m2], "square")
+            .unwrap()[0];
         let add = g.add_op(OpKind::Add, Attrs::new(), &[r, s], "add").unwrap()[0];
         g.mark_output(add);
         g
@@ -372,9 +412,15 @@ mod tests {
         let c = g.add_weight("C", Shape::new(vec![4, 4]));
         let d = g.add_weight("D", Shape::new(vec![4, 4]));
         let r = g.add_op(OpKind::Relu, Attrs::new(), &[a], "relu").unwrap()[0];
-        let m1 = g.add_op(OpKind::Mul, Attrs::new(), &[r, c], "mul1").unwrap()[0];
-        let m2 = g.add_op(OpKind::Mul, Attrs::new(), &[r, d], "mul2").unwrap()[0];
-        let add = g.add_op(OpKind::Add, Attrs::new(), &[m1, m2], "add").unwrap()[0];
+        let m1 = g
+            .add_op(OpKind::Mul, Attrs::new(), &[r, c], "mul1")
+            .unwrap()[0];
+        let m2 = g
+            .add_op(OpKind::Mul, Attrs::new(), &[r, d], "mul2")
+            .unwrap()[0];
+        let add = g
+            .add_op(OpKind::Add, Attrs::new(), &[m1, m2], "add")
+            .unwrap()[0];
         g.mark_output(add);
         let (_, plan, fused) = compile_blocks(&g);
         assert_eq!(plan.fused_layer_count(), 1);
@@ -404,7 +450,9 @@ mod tests {
     fn fused_op_name_concatenates_member_ops() {
         let g = figure4_graph();
         let (_, _, fused) = compile_blocks(&g);
-        assert!(fused.iter().any(|f| f.name.contains("Gemm") && f.name.contains("Mul")));
+        assert!(fused
+            .iter()
+            .any(|f| f.name.contains("Gemm") && f.name.contains("Mul")));
         assert!(fused.iter().any(|f| f.name.contains("Add")));
     }
 
@@ -437,7 +485,10 @@ mod tests {
     fn elementwise_only_block_emits_flat_loop() {
         let mut g = Graph::new("chain");
         let mut v = g.add_input("x", Shape::new(vec![32]));
-        for (i, op) in [OpKind::Relu, OpKind::Sigmoid, OpKind::Tanh].iter().enumerate() {
+        for (i, op) in [OpKind::Relu, OpKind::Sigmoid, OpKind::Tanh]
+            .iter()
+            .enumerate()
+        {
             v = g.add_op(*op, Attrs::new(), &[v], format!("n{i}")).unwrap()[0];
         }
         g.mark_output(v);
@@ -470,7 +521,12 @@ mod tests {
         let x = g.add_input("x", Shape::new(vec![1, 4, 8, 8]));
         let w = g.add_weight("w", Shape::new(vec![4, 4, 3, 3]));
         let c = g
-            .add_op(OpKind::Conv, Attrs::new().with_ints("pads", vec![1, 1, 1, 1]), &[x, w], "conv")
+            .add_op(
+                OpKind::Conv,
+                Attrs::new().with_ints("pads", vec![1, 1, 1, 1]),
+                &[x, w],
+                "conv",
+            )
             .unwrap()[0];
         let r = g.add_op(OpKind::Relu, Attrs::new(), &[c], "relu").unwrap()[0];
         g.mark_output(r);

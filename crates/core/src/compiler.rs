@@ -7,7 +7,10 @@
 //! reproduces the optimization-breakdown experiment (Figure 7) and the
 //! compilation-time experiment (Figure 9b).
 
+use std::any::Any;
 use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 use dnnf_graph::Graph;
@@ -65,21 +68,33 @@ impl CompilerOptions {
     /// Graph rewriting only (the `GR` bar of Figure 7).
     #[must_use]
     pub fn rewriting_only() -> Self {
-        CompilerOptions { enable_fusion: false, enable_intra_block_opt: false, enable_inter_block_opt: false, ..Default::default() }
+        CompilerOptions {
+            enable_fusion: false,
+            enable_intra_block_opt: false,
+            enable_inter_block_opt: false,
+            ..Default::default()
+        }
     }
 
     /// Rewriting + fusion, without the additional intra/inter-block
     /// optimizations (the `GR + Fuse` bar of Figure 7).
     #[must_use]
     pub fn rewriting_and_fusion() -> Self {
-        CompilerOptions { enable_intra_block_opt: false, enable_inter_block_opt: false, ..Default::default() }
+        CompilerOptions {
+            enable_intra_block_opt: false,
+            enable_inter_block_opt: false,
+            ..Default::default()
+        }
     }
 
     /// Fusion and the other optimizations but *no* graph rewriting (the
     /// `Fuse + Other` bar of Figure 7).
     #[must_use]
     pub fn without_rewriting() -> Self {
-        CompilerOptions { enable_graph_rewriting: false, ..Default::default() }
+        CompilerOptions {
+            enable_graph_rewriting: false,
+            ..Default::default()
+        }
     }
 }
 
@@ -156,6 +171,64 @@ impl CompilationStats {
     }
 }
 
+/// An opaque, lazily initialized cache slot where the runtime attaches
+/// per-model derived state (today: the materialized weight store of
+/// `dnnf-runtime`).
+///
+/// The slot lives on [`CompiledModel`] so the cached state has exactly the
+/// model's lifetime: it is built at most once (`OnceLock`), shared by clones
+/// of the model and by concurrent executors (`Arc`), and dropped with the
+/// last model handle. It is deliberately untyped (`dyn Any`) so `dnnf-core`
+/// stays independent of the crates layered above it. Equality ignores the
+/// slot — caches are derived state, not part of a model's semantic identity.
+#[derive(Clone, Default)]
+pub struct RuntimeCacheSlot(Arc<OnceLock<Arc<dyn Any + Send + Sync>>>);
+
+impl RuntimeCacheSlot {
+    /// Returns the cached value, initializing it on first call. Every later
+    /// call — from any thread, on any clone of the owning model — returns
+    /// the same `Arc` (pointer-identical); concurrent first calls race
+    /// safely and exactly one `init` result is kept.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a previous caller initialized the slot with a different
+    /// type: one cache consumer per model.
+    pub fn get_or_init<T: Send + Sync + 'static>(&self, init: impl FnOnce() -> T) -> Arc<T> {
+        let entry = self
+            .0
+            .get_or_init(|| Arc::new(init()) as Arc<dyn Any + Send + Sync>);
+        Arc::clone(entry)
+            .downcast::<T>()
+            .expect("runtime cache slot holds one type per model")
+    }
+
+    /// Whether the slot has been initialized.
+    #[must_use]
+    pub fn is_initialized(&self) -> bool {
+        self.0.get().is_some()
+    }
+}
+
+impl fmt::Debug for RuntimeCacheSlot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("RuntimeCacheSlot")
+            .field(&if self.is_initialized() {
+                "initialized"
+            } else {
+                "empty"
+            })
+            .finish()
+    }
+}
+
+impl PartialEq for RuntimeCacheSlot {
+    /// Always equal: the cache is derived, re-creatable state.
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+
 /// The result of compiling a model with DNNFusion.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CompiledModel {
@@ -174,6 +247,7 @@ pub struct CompiledModel {
     pub elimination: DataMovementElimination,
     /// Compilation statistics.
     pub stats: CompilationStats,
+    runtime_cache: RuntimeCacheSlot,
 }
 
 impl CompiledModel {
@@ -181,6 +255,15 @@ impl CompiledModel {
     #[must_use]
     pub fn graph(&self) -> &Graph {
         self.ecg.graph()
+    }
+
+    /// The runtime's per-model cache slot (see [`RuntimeCacheSlot`]). Clones
+    /// of this model share the slot, so whatever the runtime caches here —
+    /// the materialized weight store — is built once per compiled model, not
+    /// once per run or per executor.
+    #[must_use]
+    pub fn runtime_cache(&self) -> &RuntimeCacheSlot {
+        &self.runtime_cache
     }
 }
 
@@ -196,7 +279,11 @@ impl Compiler<AnalyticLatencyModel> {
     /// Creates a compiler with the default analytic latency model.
     #[must_use]
     pub fn new(options: CompilerOptions) -> Self {
-        Compiler { options, latency: AnalyticLatencyModel::default(), database: ProfileDatabase::new() }
+        Compiler {
+            options,
+            latency: AnalyticLatencyModel::default(),
+            database: ProfileDatabase::new(),
+        }
     }
 }
 
@@ -205,7 +292,11 @@ impl<L: LatencyModel> Compiler<L> {
     /// device from `dnnf-simdev`).
     #[must_use]
     pub fn with_latency_model(options: CompilerOptions, latency: L) -> Self {
-        Compiler { options, latency, database: ProfileDatabase::new() }
+        Compiler {
+            options,
+            latency,
+            database: ProfileDatabase::new(),
+        }
     }
 
     /// Pre-loads a profiling database (the "with database" configuration of
@@ -316,11 +407,23 @@ impl<L: LatencyModel> Compiler<L> {
         for op in &fused_ops {
             stats.common_subtrees_reused += op.common_subtrees_reused;
             for &(a, b) in &op.rules_used {
-                *stats.codegen_rules_used.entry(format!("{a} + {b}")).or_insert(0) += 1;
+                *stats
+                    .codegen_rules_used
+                    .entry(format!("{a} + {b}"))
+                    .or_insert(0) += 1;
             }
         }
 
-        Ok(CompiledModel { ecg, plan, fused_ops, engine, layouts, elimination, stats })
+        Ok(CompiledModel {
+            ecg,
+            plan,
+            fused_ops,
+            engine,
+            layouts,
+            elimination,
+            stats,
+            runtime_cache: RuntimeCacheSlot::default(),
+        })
     }
 }
 
@@ -338,17 +441,30 @@ mod tests {
         let x = g.add_input("x", Shape::new(vec![1, 8, 16, 16]));
         let w = g.add_weight("conv.w", Shape::new(vec![8, 8, 3, 3]));
         let conv = g
-            .add_op(OpKind::Conv, Attrs::new().with_ints("pads", vec![1, 1, 1, 1]), &[x, w], "conv")
+            .add_op(
+                OpKind::Conv,
+                Attrs::new().with_ints("pads", vec![1, 1, 1, 1]),
+                &[x, w],
+                "conv",
+            )
             .unwrap()[0];
         let scale = g.add_weight("bn.scale", Shape::new(vec![1, 8, 1, 1]));
         let shift = g.add_weight("bn.shift", Shape::new(vec![1, 8, 1, 1]));
-        let mul = g.add_op(OpKind::Mul, Attrs::new(), &[conv, scale], "bn.mul").unwrap()[0];
-        let add = g.add_op(OpKind::Add, Attrs::new(), &[mul, shift], "bn.add").unwrap()[0];
-        let relu = g.add_op(OpKind::Relu, Attrs::new(), &[add], "relu").unwrap()[0];
+        let mul = g
+            .add_op(OpKind::Mul, Attrs::new(), &[conv, scale], "bn.mul")
+            .unwrap()[0];
+        let add = g
+            .add_op(OpKind::Add, Attrs::new(), &[mul, shift], "bn.add")
+            .unwrap()[0];
+        let relu = g
+            .add_op(OpKind::Relu, Attrs::new(), &[add], "relu")
+            .unwrap()[0];
         let pool = g
             .add_op(
                 OpKind::MaxPool,
-                Attrs::new().with_ints("kernel_shape", vec![2, 2]).with_ints("strides", vec![2, 2]),
+                Attrs::new()
+                    .with_ints("kernel_shape", vec![2, 2])
+                    .with_ints("strides", vec![2, 2]),
                 &[relu],
                 "pool",
             )
@@ -356,9 +472,15 @@ mod tests {
         // Distributive tail: pool⊙C + pool⊙B.
         let cb = g.add_weight("C", Shape::new(vec![1, 8, 8, 8]));
         let bb = g.add_weight("B", Shape::new(vec![1, 8, 8, 8]));
-        let pc = g.add_op(OpKind::Mul, Attrs::new(), &[pool, cb], "pc").unwrap()[0];
-        let pb = g.add_op(OpKind::Mul, Attrs::new(), &[pool, bb], "pb").unwrap()[0];
-        let out = g.add_op(OpKind::Add, Attrs::new(), &[pc, pb], "out").unwrap()[0];
+        let pc = g
+            .add_op(OpKind::Mul, Attrs::new(), &[pool, cb], "pc")
+            .unwrap()[0];
+        let pb = g
+            .add_op(OpKind::Mul, Attrs::new(), &[pool, bb], "pb")
+            .unwrap()[0];
+        let out = g
+            .add_op(OpKind::Add, Attrs::new(), &[pc, pb], "out")
+            .unwrap()[0];
         g.mark_output(out);
         g
     }
@@ -370,8 +492,14 @@ mod tests {
         let compiled = compiler.compile(&g).unwrap();
         let s = &compiled.stats;
         assert_eq!(s.original_layers, 8);
-        assert!(s.layers_after_rewriting < s.original_layers, "rewriting should drop layers");
-        assert!(s.fused_layers < s.layers_after_rewriting, "fusion should drop layers further");
+        assert!(
+            s.layers_after_rewriting < s.original_layers,
+            "rewriting should drop layers"
+        );
+        assert!(
+            s.fused_layers < s.layers_after_rewriting,
+            "fusion should drop layers further"
+        );
         assert!(s.optimized_flops <= s.original_flops);
         assert!(s.fused_irs_bytes < s.original_irs_bytes);
         assert!(s.fusion_rate() > 1.0);
@@ -396,14 +524,21 @@ mod tests {
         let mut compiler = Compiler::new(CompilerOptions::rewriting_only());
         let compiled = compiler.compile(&g).unwrap();
         assert!(!compiled.stats.rewrites.is_empty());
-        assert_eq!(compiled.stats.fused_layers, compiled.stats.layers_after_rewriting);
+        assert_eq!(
+            compiled.stats.fused_layers,
+            compiled.stats.layers_after_rewriting
+        );
     }
 
     #[test]
     fn rewriting_enables_more_fusion_like_the_paper_gpt2_example() {
         let g = sample_model();
-        let with = Compiler::new(CompilerOptions::default()).compile(&g).unwrap();
-        let without = Compiler::new(CompilerOptions::without_rewriting()).compile(&g).unwrap();
+        let with = Compiler::new(CompilerOptions::default())
+            .compile(&g)
+            .unwrap();
+        let without = Compiler::new(CompilerOptions::without_rewriting())
+            .compile(&g)
+            .unwrap();
         assert!(
             with.stats.fused_layers <= without.stats.fused_layers,
             "graph rewriting must never increase the fused layer count"

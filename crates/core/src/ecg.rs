@@ -41,24 +41,36 @@ impl Ecg {
     pub fn new(graph: Graph) -> Self {
         let mut info = Vec::with_capacity(graph.node_count());
         for node in graph.nodes() {
-            let input_shapes: Vec<Shape> =
-                node.inputs.iter().map(|&id| graph.value(id).shape.clone()).collect();
+            let input_shapes: Vec<Shape> = node
+                .inputs
+                .iter()
+                .map(|&id| graph.value(id).shape.clone())
+                .collect();
             let output_shape = node
                 .outputs
                 .first()
                 .map(|&id| graph.value(id).shape.clone())
                 .unwrap_or_else(Shape::scalar);
-            let output_bytes: u64 =
-                node.outputs.iter().map(|&id| graph.value(id).size_bytes() as u64).sum();
+            let output_bytes: u64 = node
+                .outputs
+                .iter()
+                .map(|&id| graph.value(id).size_bytes() as u64)
+                .sum();
             info.push(EcgNodeInfo {
-                mapping_type: node.op.mapping_type_with_shapes(&input_shapes, &output_shape),
+                mapping_type: node
+                    .op
+                    .mapping_type_with_shapes(&input_shapes, &output_shape),
                 properties: node.op.math_properties(),
                 compute_intensive: node.op.is_compute_intensive(),
                 output_bytes,
             });
         }
         let ir_removable = vec![false; graph.value_count()];
-        Ecg { graph, info, ir_removable }
+        Ecg {
+            graph,
+            info,
+            ir_removable,
+        }
     }
 
     /// The underlying computational graph.
@@ -194,13 +206,27 @@ mod tests {
         let x = g.add_input("x", Shape::new(vec![1, 4, 8, 8]));
         let w = g.add_weight("w", Shape::new(vec![4, 4, 3, 3]));
         let conv = g
-            .add_op(OpKind::Conv, Attrs::new().with_ints("pads", vec![1, 1, 1, 1]), &[x, w], "conv")
+            .add_op(
+                OpKind::Conv,
+                Attrs::new().with_ints("pads", vec![1, 1, 1, 1]),
+                &[x, w],
+                "conv",
+            )
             .unwrap()[0];
         let bias = g.add_weight("b", Shape::new(vec![1, 4, 1, 1]));
-        let add = g.add_op(OpKind::Add, Attrs::new(), &[conv, bias], "bias").unwrap()[0];
-        let relu = g.add_op(OpKind::Relu, Attrs::new(), &[add], "relu").unwrap()[0];
+        let add = g
+            .add_op(OpKind::Add, Attrs::new(), &[conv, bias], "bias")
+            .unwrap()[0];
+        let relu = g
+            .add_op(OpKind::Relu, Attrs::new(), &[add], "relu")
+            .unwrap()[0];
         let tr = g
-            .add_op(OpKind::Transpose, Attrs::new().with_ints("perm", vec![0, 2, 3, 1]), &[relu], "t")
+            .add_op(
+                OpKind::Transpose,
+                Attrs::new().with_ints("perm", vec![0, 2, 3, 1]),
+                &[relu],
+                "t",
+            )
             .unwrap()[0];
         g.mark_output(tr);
         g
@@ -210,8 +236,8 @@ mod tests {
     fn node_info_reflects_shapes_and_ops() {
         let ecg = Ecg::new(sample_graph());
         assert_eq!(ecg.mapping_type(NodeId_from(0)), MappingType::ManyToMany); // Conv
-        // Add with a broadcast bias is One-to-Many per Table 2's
-        // "Elementwise w/ broadcast" row.
+                                                                               // Add with a broadcast bias is One-to-Many per Table 2's
+                                                                               // "Elementwise w/ broadcast" row.
         assert_eq!(ecg.mapping_type(NodeId_from(1)), MappingType::OneToMany);
         assert_eq!(ecg.mapping_type(NodeId_from(2)), MappingType::OneToOne); // Relu
         assert_eq!(ecg.mapping_type(NodeId_from(3)), MappingType::Shuffle); // Transpose
@@ -243,10 +269,16 @@ mod tests {
         // participant, so we get two partitions.
         let mut g = Graph::new("partitions");
         let x = g.add_input("x", Shape::new(vec![8]));
-        let r = g.add_op(OpKind::Reciprocal, Attrs::new(), &[x], "recip").unwrap()[0];
-        let m1 = g.add_op(OpKind::Mul, Attrs::new(), &[r, x], "mul1").unwrap()[0];
+        let r = g
+            .add_op(OpKind::Reciprocal, Attrs::new(), &[x], "recip")
+            .unwrap()[0];
+        let m1 = g
+            .add_op(OpKind::Mul, Attrs::new(), &[r, x], "mul1")
+            .unwrap()[0];
         let act = g.add_op(OpKind::Relu, Attrs::new(), &[m1], "relu").unwrap()[0];
-        let m2 = g.add_op(OpKind::Mul, Attrs::new(), &[act, x], "mul2").unwrap()[0];
+        let m2 = g
+            .add_op(OpKind::Mul, Attrs::new(), &[act, x], "mul2")
+            .unwrap()[0];
         g.mark_output(m2);
         let ecg = Ecg::new(g);
         let parts = ecg.rewrite_partitions();

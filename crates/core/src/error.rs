@@ -59,7 +59,9 @@ mod tests {
     fn conversions_and_display() {
         let e: CoreError = GraphError::UnknownValue { id: 1 }.into();
         assert!(e.to_string().contains("graph error"));
-        let e = CoreError::Plan { reason: "node in two blocks".into() };
+        let e = CoreError::Plan {
+            reason: "node in two blocks".into(),
+        };
         assert!(e.to_string().contains("fusion plan"));
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<CoreError>();

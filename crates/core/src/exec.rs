@@ -22,7 +22,9 @@ use std::sync::Arc;
 
 use dnnf_graph::{Graph, NodeId, ValueId};
 use dnnf_ops::simd::{F32Lanes, LANES};
-use dnnf_ops::{execute, execute_fast_into_threaded, has_fast_kernel, OpKind, ScalarUnaryFn, WorkPool};
+use dnnf_ops::{
+    execute, execute_fast_into_packed, has_fast_kernel, OpKind, ScalarUnaryFn, WorkPool,
+};
 use dnnf_tensor::{broadcast_shapes, Shape, Tensor};
 
 use crate::{CoreError, FusionBlock, FusionPlan};
@@ -174,10 +176,17 @@ impl ScalarTape {
             .collect::<Result<_, _>>()?;
         let in_slices: Vec<&[f32]> = in_tensors.iter().map(|t| t.data()).collect();
 
-        let mut out_bufs: Vec<Vec<f32>> =
-            self.outputs.iter().map(|o| pool.take(o.shape.numel())).collect();
+        let mut out_bufs: Vec<Vec<f32>> = self
+            .outputs
+            .iter()
+            .map(|o| pool.take(o.shape.numel()))
+            .collect();
 
-        let total = if self.loop_shape.is_empty() { 0 } else { self.loop_shape.numel() };
+        let total = if self.loop_shape.is_empty() {
+            0
+        } else {
+            self.loop_shape.numel()
+        };
         let workers = workers.for_work(total.saturating_mul(self.instrs.len().max(1)));
         // Writes are contiguous in the flat loop order only when every output
         // spans the whole loop; a smaller (broadcast-strided) output would be
@@ -196,8 +205,7 @@ impl ScalarTape {
             let threads = workers.threads().min(total);
             let base = total / threads;
             let extra = total % threads;
-            let mut cursors: Vec<&mut [f32]> =
-                out_bufs.iter_mut().map(Vec::as_mut_slice).collect();
+            let mut cursors: Vec<&mut [f32]> = out_bufs.iter_mut().map(Vec::as_mut_slice).collect();
             let mut parts: Vec<(usize, usize, Vec<&mut [f32]>)> = Vec::with_capacity(threads);
             let mut start = 0usize;
             for t in 0..threads {
@@ -274,8 +282,11 @@ impl ScalarTape {
             && self.outputs.iter().all(|o| o.strides[rank - 1] == 1);
         if lane_blockable {
             let width = dims[rank - 1];
-            let in_last: Vec<usize> =
-                self.inputs.iter().map(|input| input.strides[rank - 1]).collect();
+            let in_last: Vec<usize> = self
+                .inputs
+                .iter()
+                .map(|input| input.strides[rank - 1])
+                .collect();
             let mut regs8 = vec![F32Lanes::<LANES>::splat(0.0); self.instrs.len()];
             let mut regs4 = vec![F32Lanes::<4>::splat(0.0); self.instrs.len()];
             let mut remaining = count;
@@ -284,7 +295,9 @@ impl ScalarTape {
                 let seg = (width - idx[rank - 1]).min(remaining);
                 let mut done = 0usize;
                 while done + LANES <= seg {
-                    self.eval_lanes::<LANES>(in_slices, &in_off, &in_last, outs, &out_off, &mut regs8);
+                    self.eval_lanes::<LANES>(
+                        in_slices, &in_off, &in_last, outs, &out_off, &mut regs8,
+                    );
                     self.advance_in_row(LANES, &mut in_off, &mut out_off);
                     done += LANES;
                 }
@@ -348,7 +361,11 @@ impl ScalarTape {
                 TapeInstr::Binary { op, lhs, rhs } => op
                     .scalar_binary(regs[lhs], regs[rhs])
                     .expect("tape compilation only emits scalar binary ops"),
-                TapeInstr::Select { cond, on_true, on_false } => {
+                TapeInstr::Select {
+                    cond,
+                    on_true,
+                    on_false,
+                } => {
                     if regs[cond] != 0.0 {
                         regs[on_true]
                     } else {
@@ -397,7 +414,11 @@ impl ScalarTape {
                     }
                     F32Lanes::from_array(y)
                 }
-                TapeInstr::Select { cond, on_true, on_false } => {
+                TapeInstr::Select {
+                    cond,
+                    on_true,
+                    on_false,
+                } => {
                     let c = regs[cond].to_array();
                     let t = regs[on_true].to_array();
                     let e = regs[on_false].to_array();
@@ -459,6 +480,51 @@ impl ScalarTape {
     }
 }
 
+/// Kernel-friendly prepacked weight layouts, keyed by graph value id.
+///
+/// Built once per model (the runtime's weight store does it alongside weight
+/// materialization) and passed to every [`FusedKernel::run`], so the packing
+/// cost is paid at compile/first-touch time, never on the inference hot
+/// path. Today it carries **transposed `Gemm` B panels**: a weight consumed
+/// by a `Gemm` with `transB = 1` is stored re-laid-out as `(K, N)` row-major,
+/// turning the kernel's strided column gathers into contiguous loads.
+/// Packing never changes results — the panel supplies the same operand
+/// values in the same accumulation order, so outputs are bit-identical with
+/// and without it (the kernel tests pin this). An empty
+/// (`PackedWeights::default()`) table is always valid: kernels simply read
+/// the original operands.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PackedWeights {
+    transposed_b: BTreeMap<ValueId, Arc<Tensor>>,
+}
+
+impl PackedWeights {
+    /// Registers the transposed `(K, N)` panel for a `transB = 1` `Gemm`
+    /// weight. The caller is responsible for `panel` actually being the
+    /// transpose of the operand tensor.
+    pub fn insert_transposed_b(&mut self, value: ValueId, panel: Arc<Tensor>) {
+        self.transposed_b.insert(value, panel);
+    }
+
+    /// The transposed panel packed for `value`, if one was registered.
+    #[must_use]
+    pub fn transposed_b(&self, value: ValueId) -> Option<&Arc<Tensor>> {
+        self.transposed_b.get(&value)
+    }
+
+    /// Number of packed panels.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.transposed_b.len()
+    }
+
+    /// Whether no panel has been packed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.transposed_b.is_empty()
+    }
+}
+
 /// One execution step of a fused kernel.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Step {
@@ -500,13 +566,18 @@ impl FusedKernel {
     /// Number of fused element-wise runs in this kernel.
     #[must_use]
     pub fn tape_count(&self) -> usize {
-        self.steps.iter().filter(|s| matches!(s, Step::Tape(_))).count()
+        self.steps
+            .iter()
+            .filter(|s| matches!(s, Step::Tape(_)))
+            .count()
     }
 
     /// Executes the kernel. `fetch` resolves boundary values (graph inputs,
-    /// weights, other blocks' outputs); the returned tensors are the block's
-    /// escaping outputs in a deterministic order. Intra-block intermediates
-    /// are recycled into `pool` before returning.
+    /// weights, other blocks' outputs); `packed` supplies any prepacked
+    /// weight panels ([`PackedWeights::default`] when the caller has none —
+    /// packing only changes access patterns, never results); the returned
+    /// tensors are the block's escaping outputs in a deterministic order.
+    /// Intra-block intermediates are recycled into `pool` before returning.
     ///
     /// `workers` parallelizes the anchor kernels and scalar tapes over
     /// disjoint output tiles; every output element is owned by exactly one
@@ -521,6 +592,7 @@ impl FusedKernel {
         &self,
         graph: &Graph,
         fetch: &mut dyn FnMut(ValueId) -> Option<Arc<Tensor>>,
+        packed: &PackedWeights,
         pool: &mut dyn BufferPool,
         workers: WorkPool,
     ) -> Result<Vec<(ValueId, Tensor)>, CoreError> {
@@ -533,15 +605,17 @@ impl FusedKernel {
                         .inputs
                         .iter()
                         .map(|&v| {
-                            scratch.get(&v).cloned().or_else(|| fetch(v)).ok_or_else(|| {
-                                CoreError::Plan {
+                            scratch
+                                .get(&v)
+                                .cloned()
+                                .or_else(|| fetch(v))
+                                .ok_or_else(|| CoreError::Plan {
                                     reason: format!(
                                         "value `{}` not available for node `{}`",
                                         graph.value(v).name,
                                         n.name
                                     ),
-                                }
-                            })
+                                })
                         })
                         .collect::<Result<_, _>>()?;
                     let input_refs: Vec<&Tensor> = inputs.iter().map(|t| t.as_ref()).collect();
@@ -549,7 +623,25 @@ impl FusedKernel {
                         let out_id = n.outputs[0];
                         let shape = graph.value(out_id).shape.clone();
                         let mut buf = pool.take(shape.numel());
-                        execute_fast_into_threaded(n.op, &n.attrs, &input_refs, &shape, &mut buf, workers)?;
+                        // Only Gemm has a packed form today; the kernel
+                        // ignores the panel unless its transB attribute set.
+                        let packed_b = if n.op == OpKind::Gemm {
+                            n.inputs
+                                .get(1)
+                                .and_then(|&v| packed.transposed_b(v))
+                                .map(Arc::as_ref)
+                        } else {
+                            None
+                        };
+                        execute_fast_into_packed(
+                            n.op,
+                            &n.attrs,
+                            &input_refs,
+                            packed_b,
+                            &shape,
+                            &mut buf,
+                            workers,
+                        )?;
                         let tensor = Tensor::from_vec(shape, buf)
                             .expect("anchor output buffer sized from its shape");
                         scratch.insert(out_id, Arc::new(tensor));
@@ -613,7 +705,11 @@ impl CompiledPlan {
 /// Compiles every block of a plan into a [`FusedKernel`].
 #[must_use]
 pub fn compile_plan(graph: &Graph, plan: &FusionPlan) -> CompiledPlan {
-    let kernels = plan.blocks().iter().map(|b| compile_block(graph, plan, b)).collect();
+    let kernels = plan
+        .blocks()
+        .iter()
+        .map(|b| compile_block(graph, plan, b))
+        .collect();
     CompiledPlan { kernels }
 }
 
@@ -685,7 +781,11 @@ pub fn compile_block(graph: &Graph, plan: &FusionPlan, block: &FusionBlock) -> F
         steps.push(Step::Tape(build_tape(graph, plan, &segment, loop_shape)));
         i = j;
     }
-    FusedKernel { block_id: block.id, steps, escaping }
+    FusedKernel {
+        block_id: block.id,
+        steps,
+        escaping,
+    }
 }
 
 /// Whether a node can be folded into a scalar tape.
@@ -747,11 +847,11 @@ fn build_tape(
     let mut load_reg: BTreeMap<(ValueId, Vec<usize>), usize> = BTreeMap::new();
 
     let load = |value: ValueId,
-                    strides: Vec<usize>,
-                    inputs: &mut Vec<TapeInput>,
-                    instrs: &mut Vec<TapeInstr>,
-                    value_reg: &BTreeMap<ValueId, usize>,
-                    load_reg: &mut BTreeMap<(ValueId, Vec<usize>), usize>|
+                strides: Vec<usize>,
+                inputs: &mut Vec<TapeInput>,
+                instrs: &mut Vec<TapeInstr>,
+                value_reg: &BTreeMap<ValueId, usize>,
+                load_reg: &mut BTreeMap<(ValueId, Vec<usize>), usize>|
      -> usize {
         if let Some(&r) = value_reg.get(&value) {
             return r;
@@ -760,7 +860,10 @@ fn build_tape(
             return r;
         }
         let input_idx = inputs.len();
-        inputs.push(TapeInput { value, strides: strides.clone() });
+        inputs.push(TapeInput {
+            value,
+            strides: strides.clone(),
+        });
         instrs.push(TapeInstr::Load { input: input_idx });
         let reg = instrs.len() - 1;
         load_reg.insert((value, strides), reg);
@@ -770,35 +873,73 @@ fn build_tape(
     for &nid in segment {
         let node = graph.node(nid);
         let operand = |value: ValueId,
-                           inputs: &mut Vec<TapeInput>,
-                           instrs: &mut Vec<TapeInstr>,
-                           value_reg: &BTreeMap<ValueId, usize>,
-                           load_reg: &mut BTreeMap<(ValueId, Vec<usize>), usize>|
+                       inputs: &mut Vec<TapeInput>,
+                       instrs: &mut Vec<TapeInstr>,
+                       value_reg: &BTreeMap<ValueId, usize>,
+                       load_reg: &mut BTreeMap<(ValueId, Vec<usize>), usize>|
          -> usize {
             let strides = broadcast_strides(&graph.value(value).shape, &loop_shape);
             load(value, strides, inputs, instrs, value_reg, load_reg)
         };
         let out_reg = match node.op {
             op if op.is_elementwise_unary() => {
-                let src = operand(node.inputs[0], &mut inputs, &mut instrs, &value_reg, &mut load_reg);
+                let src = operand(
+                    node.inputs[0],
+                    &mut inputs,
+                    &mut instrs,
+                    &value_reg,
+                    &mut load_reg,
+                );
                 let f = ScalarUnaryFn::compile(op, &node.attrs)
                     .expect("tape_compatible guarantees a unary kernel");
                 instrs.push(TapeInstr::Unary { f, src });
                 instrs.len() - 1
             }
             op if op.is_elementwise_binary() => {
-                let lhs = operand(node.inputs[0], &mut inputs, &mut instrs, &value_reg, &mut load_reg);
-                let rhs = operand(node.inputs[1], &mut inputs, &mut instrs, &value_reg, &mut load_reg);
+                let lhs = operand(
+                    node.inputs[0],
+                    &mut inputs,
+                    &mut instrs,
+                    &value_reg,
+                    &mut load_reg,
+                );
+                let rhs = operand(
+                    node.inputs[1],
+                    &mut inputs,
+                    &mut instrs,
+                    &value_reg,
+                    &mut load_reg,
+                );
                 instrs.push(TapeInstr::Binary { op, lhs, rhs });
                 instrs.len() - 1
             }
             OpKind::Where => {
-                let cond = operand(node.inputs[0], &mut inputs, &mut instrs, &value_reg, &mut load_reg);
-                let on_true =
-                    operand(node.inputs[1], &mut inputs, &mut instrs, &value_reg, &mut load_reg);
-                let on_false =
-                    operand(node.inputs[2], &mut inputs, &mut instrs, &value_reg, &mut load_reg);
-                instrs.push(TapeInstr::Select { cond, on_true, on_false });
+                let cond = operand(
+                    node.inputs[0],
+                    &mut inputs,
+                    &mut instrs,
+                    &value_reg,
+                    &mut load_reg,
+                );
+                let on_true = operand(
+                    node.inputs[1],
+                    &mut inputs,
+                    &mut instrs,
+                    &value_reg,
+                    &mut load_reg,
+                );
+                let on_false = operand(
+                    node.inputs[2],
+                    &mut inputs,
+                    &mut instrs,
+                    &value_reg,
+                    &mut load_reg,
+                );
+                instrs.push(TapeInstr::Select {
+                    cond,
+                    on_true,
+                    on_false,
+                });
                 instrs.len() - 1
             }
             OpKind::BatchNormalization => {
@@ -810,27 +951,55 @@ fn build_tape(
                 let mut param_strides = vec![0usize; loop_shape.rank()];
                 param_strides[channel_axis] = usize::from(x_shape.dim(1) != 1);
                 let eps = node.attrs.float_or("epsilon", 1e-5);
-                let x = operand(node.inputs[0], &mut inputs, &mut instrs, &value_reg, &mut load_reg);
+                let x = operand(
+                    node.inputs[0],
+                    &mut inputs,
+                    &mut instrs,
+                    &value_reg,
+                    &mut load_reg,
+                );
                 let param = |value: ValueId,
-                                 inputs: &mut Vec<TapeInput>,
-                                 instrs: &mut Vec<TapeInstr>,
-                                 load_reg: &mut BTreeMap<(ValueId, Vec<usize>), usize>|
+                             inputs: &mut Vec<TapeInput>,
+                             instrs: &mut Vec<TapeInstr>,
+                             load_reg: &mut BTreeMap<(ValueId, Vec<usize>), usize>|
                  -> usize {
-                    load(value, param_strides.clone(), inputs, instrs, &value_reg, load_reg)
+                    load(
+                        value,
+                        param_strides.clone(),
+                        inputs,
+                        instrs,
+                        &value_reg,
+                        load_reg,
+                    )
                 };
                 let scale = param(node.inputs[1], &mut inputs, &mut instrs, &mut load_reg);
                 let bias = param(node.inputs[2], &mut inputs, &mut instrs, &mut load_reg);
                 let mean = param(node.inputs[3], &mut inputs, &mut instrs, &mut load_reg);
                 let var = param(node.inputs[4], &mut inputs, &mut instrs, &mut load_reg);
-                instrs.push(TapeInstr::Binary { op: OpKind::Sub, lhs: x, rhs: mean });
+                instrs.push(TapeInstr::Binary {
+                    op: OpKind::Sub,
+                    lhs: x,
+                    rhs: mean,
+                });
                 let centered = instrs.len() - 1;
-                instrs.push(TapeInstr::Binary { op: OpKind::Mul, lhs: scale, rhs: centered });
+                instrs.push(TapeInstr::Binary {
+                    op: OpKind::Mul,
+                    lhs: scale,
+                    rhs: centered,
+                });
                 let numerator = instrs.len() - 1;
-                instrs.push(TapeInstr::Affine { src: var, mul: 1.0, add: eps });
+                instrs.push(TapeInstr::Affine {
+                    src: var,
+                    mul: 1.0,
+                    add: eps,
+                });
                 let shifted = instrs.len() - 1;
                 let sqrt = ScalarUnaryFn::compile(OpKind::Sqrt, &dnnf_ops::Attrs::new())
                     .expect("Sqrt is unary");
-                instrs.push(TapeInstr::Unary { f: sqrt, src: shifted });
+                instrs.push(TapeInstr::Unary {
+                    f: sqrt,
+                    src: shifted,
+                });
                 let denominator = instrs.len() - 1;
                 instrs.push(TapeInstr::Binary {
                     op: OpKind::Div,
@@ -838,7 +1007,11 @@ fn build_tape(
                     rhs: denominator,
                 });
                 let ratio = instrs.len() - 1;
-                instrs.push(TapeInstr::Binary { op: OpKind::Add, lhs: ratio, rhs: bias });
+                instrs.push(TapeInstr::Binary {
+                    op: OpKind::Add,
+                    lhs: ratio,
+                    rhs: bias,
+                });
                 instrs.len() - 1
             }
             _ => unreachable!("tape_compatible admitted an unsupported operator"),
@@ -864,7 +1037,13 @@ fn build_tape(
         }
     }
 
-    ScalarTape { loop_shape, inputs, instrs, outputs, nodes: segment.to_vec() }
+    ScalarTape {
+        loop_shape,
+        inputs,
+        instrs,
+        outputs,
+        nodes: segment.to_vec(),
+    }
 }
 
 #[cfg(test)]
@@ -902,7 +1081,13 @@ mod tests {
         for block_idx in plan.execution_order(graph) {
             let kernel = engine.kernel(block_idx);
             let produced = kernel
-                .run(graph, &mut |v| store.get(&v).cloned(), &mut pool, workers)
+                .run(
+                    graph,
+                    &mut |v| store.get(&v).cloned(),
+                    &PackedWeights::default(),
+                    &mut pool,
+                    workers,
+                )
                 .unwrap();
             for (v, t) in produced {
                 store.insert(v, Arc::new(t));
@@ -921,7 +1106,12 @@ mod tests {
         let x = g.add_input("x", Shape::new(vec![1, 3, 6, 6]));
         let w = g.add_weight("w", Shape::new(vec![3, 3, 3, 3]));
         let conv = g
-            .add_op(OpKind::Conv, Attrs::new().with_ints("pads", vec![1, 1, 1, 1]), &[x, w], "conv")
+            .add_op(
+                OpKind::Conv,
+                Attrs::new().with_ints("pads", vec![1, 1, 1, 1]),
+                &[x, w],
+                "conv",
+            )
             .unwrap()[0];
         let scale = g.add_weight("bn.scale", Shape::new(vec![3]));
         let bias = g.add_weight("bn.bias", Shape::new(vec![3]));
@@ -936,7 +1126,9 @@ mod tests {
             )
             .unwrap()[0];
         let relu = g.add_op(OpKind::Relu, Attrs::new(), &[bn], "relu").unwrap()[0];
-        let res = g.add_op(OpKind::Add, Attrs::new(), &[relu, x], "res").unwrap()[0];
+        let res = g
+            .add_op(OpKind::Add, Attrs::new(), &[relu, x], "res")
+            .unwrap()[0];
         g.mark_output(res);
         let mut env = HashMap::new();
         env.insert(x, Tensor::random(Shape::new(vec![1, 3, 6, 6]), 1));
@@ -957,7 +1149,11 @@ mod tests {
             let r = &reference[&out];
             let c = &compiled[&out];
             assert_eq!(r.shape(), c.shape());
-            assert!(r.allclose(c, 1e-6), "max diff {}", r.max_abs_diff(c).unwrap());
+            assert!(
+                r.allclose(c, 1e-6),
+                "max diff {}",
+                r.max_abs_diff(c).unwrap()
+            );
         }
     }
 
@@ -991,8 +1187,12 @@ mod tests {
         let x = g.add_input("x", Shape::new(vec![4, 23]));
         let b = g.add_weight("b", Shape::new(vec![4, 1]));
         let add = g.add_op(OpKind::Add, Attrs::new(), &[x, b], "add").unwrap()[0];
-        let sig = g.add_op(OpKind::Sigmoid, Attrs::new(), &[add], "sig").unwrap()[0];
-        let mul = g.add_op(OpKind::Mul, Attrs::new(), &[sig, x], "mul").unwrap()[0];
+        let sig = g
+            .add_op(OpKind::Sigmoid, Attrs::new(), &[add], "sig")
+            .unwrap()[0];
+        let mul = g
+            .add_op(OpKind::Mul, Attrs::new(), &[sig, x], "mul")
+            .unwrap()[0];
         g.mark_output(add);
         g.mark_output(mul);
         let mut env = HashMap::new();
@@ -1023,8 +1223,12 @@ mod tests {
         let mut g = Graph::new("broadcast-out");
         let b = g.add_input("b", Shape::new(vec![3, 1]));
         let x = g.add_input("x", Shape::new(vec![3, 23]));
-        let sig = g.add_op(OpKind::Sigmoid, Attrs::new(), &[b], "sig").unwrap()[0];
-        let add = g.add_op(OpKind::Add, Attrs::new(), &[sig, x], "add").unwrap()[0];
+        let sig = g
+            .add_op(OpKind::Sigmoid, Attrs::new(), &[b], "sig")
+            .unwrap()[0];
+        let add = g
+            .add_op(OpKind::Add, Attrs::new(), &[sig, x], "add")
+            .unwrap()[0];
         g.mark_output(sig);
         g.mark_output(add);
         let mut env = HashMap::new();
@@ -1034,7 +1238,10 @@ mod tests {
         for pool in [WorkPool::serial(), WorkPool::serial().with_simd(false)] {
             let compiled = run_compiled_with(&g, &env, pool);
             for out in [sig, add] {
-                assert_eq!(compiled[&out].first_disagreement(&reference[&out], 0.0), None);
+                assert_eq!(
+                    compiled[&out].first_disagreement(&reference[&out], 0.0),
+                    None
+                );
             }
         }
     }
@@ -1045,8 +1252,12 @@ mod tests {
         let x = g.add_input("x", Shape::new(vec![2, 8]));
         let b = g.add_weight("b", Shape::new(vec![8]));
         let add = g.add_op(OpKind::Add, Attrs::new(), &[x, b], "add").unwrap()[0];
-        let sig = g.add_op(OpKind::Sigmoid, Attrs::new(), &[add], "sig").unwrap()[0];
-        let mul = g.add_op(OpKind::Mul, Attrs::new(), &[sig, x], "mul").unwrap()[0];
+        let sig = g
+            .add_op(OpKind::Sigmoid, Attrs::new(), &[add], "sig")
+            .unwrap()[0];
+        let mul = g
+            .add_op(OpKind::Mul, Attrs::new(), &[sig, x], "mul")
+            .unwrap()[0];
         g.mark_output(mul);
         let mut compiler = Compiler::new(CompilerOptions::without_rewriting());
         let compiled = compiler.compile(&g).unwrap();
@@ -1057,7 +1268,9 @@ mod tests {
         assert_eq!(kernel.steps().len(), 1);
         // The single tape folds all three operators and only materializes
         // the escaping output.
-        let Step::Tape(tape) = &kernel.steps()[0] else { panic!("expected tape") };
+        let Step::Tape(tape) = &kernel.steps()[0] else {
+            panic!("expected tape")
+        };
         assert_eq!(tape.nodes().len(), 3);
         assert_eq!(tape.outputs.len(), 1);
         // Inputs: x (used twice but loaded once) and the broadcast bias.
@@ -1074,13 +1287,18 @@ mod tests {
         let ecg = Ecg::new(g.clone());
         let plan = FusionPlan::singletons(&ecg);
         let engine = compile_plan(&g, &plan);
-        let Step::Tape(tape) = &engine.kernel(0).steps()[0] else { panic!("expected tape") };
+        let Step::Tape(tape) = &engine.kernel(0).steps()[0] else {
+            panic!("expected tape")
+        };
         let bias_input = tape.inputs.iter().find(|i| i.value == b).unwrap();
         assert_eq!(bias_input.strides, vec![0, 1]);
 
         let mut env = HashMap::new();
         env.insert(x, Tensor::arange(Shape::new(vec![2, 3])));
-        env.insert(b, Tensor::from_vec(Shape::new(vec![1, 3]), vec![1.0, 2.0, 3.0]).unwrap());
+        env.insert(
+            b,
+            Tensor::from_vec(Shape::new(vec![1, 3]), vec![1.0, 2.0, 3.0]).unwrap(),
+        );
         let result = run_compiled(&g, &env);
         assert_eq!(result[&add].data(), &[1.0, 3.0, 5.0, 4.0, 6.0, 8.0]);
     }
@@ -1091,7 +1309,9 @@ mod tests {
         let c = g.add_input("c", Shape::new(vec![4]));
         let a = g.add_input("a", Shape::new(vec![4]));
         let b = g.add_input("b", Shape::new(vec![4]));
-        let w = g.add_op(OpKind::Where, Attrs::new(), &[c, a, b], "where").unwrap()[0];
+        let w = g
+            .add_op(OpKind::Where, Attrs::new(), &[c, a, b], "where")
+            .unwrap()[0];
         let clip = g
             .add_op(
                 OpKind::Clip,
@@ -1102,9 +1322,18 @@ mod tests {
             .unwrap()[0];
         g.mark_output(clip);
         let mut env = HashMap::new();
-        env.insert(c, Tensor::from_vec(Shape::new(vec![4]), vec![1.0, 0.0, 1.0, 0.0]).unwrap());
-        env.insert(a, Tensor::from_vec(Shape::new(vec![4]), vec![2.0, 2.0, 0.25, 2.0]).unwrap());
-        env.insert(b, Tensor::from_vec(Shape::new(vec![4]), vec![-2.0, -2.0, -2.0, -0.25]).unwrap());
+        env.insert(
+            c,
+            Tensor::from_vec(Shape::new(vec![4]), vec![1.0, 0.0, 1.0, 0.0]).unwrap(),
+        );
+        env.insert(
+            a,
+            Tensor::from_vec(Shape::new(vec![4]), vec![2.0, 2.0, 0.25, 2.0]).unwrap(),
+        );
+        env.insert(
+            b,
+            Tensor::from_vec(Shape::new(vec![4]), vec![-2.0, -2.0, -2.0, -0.25]).unwrap(),
+        );
         let result = run_compiled(&g, &env);
         assert_eq!(result[&clip].data(), &[0.5, -0.5, 0.25, -0.25]);
     }
@@ -1160,7 +1389,9 @@ mod tests {
         let big = g.add_input("big", Shape::new(vec![4, 8]));
         let small = g.add_input("small", Shape::new(vec![8]));
         let rb = g.add_op(OpKind::Relu, Attrs::new(), &[big], "rb").unwrap()[0];
-        let rs = g.add_op(OpKind::Sigmoid, Attrs::new(), &[small], "rs").unwrap()[0];
+        let rs = g
+            .add_op(OpKind::Sigmoid, Attrs::new(), &[small], "rs")
+            .unwrap()[0];
         g.mark_output(rb);
         g.mark_output(rs);
         let ecg = Ecg::new(g.clone());
@@ -1179,7 +1410,13 @@ mod tests {
         for block_idx in plan.execution_order(&g) {
             for (v, t) in engine
                 .kernel(block_idx)
-                .run(&g, &mut |v| store.get(&v).cloned(), &mut pool, WorkPool::serial())
+                .run(
+                    &g,
+                    &mut |v| store.get(&v).cloned(),
+                    &PackedWeights::default(),
+                    &mut pool,
+                    WorkPool::serial(),
+                )
                 .unwrap()
             {
                 store.insert(v, Arc::new(t));
@@ -1201,8 +1438,14 @@ mod tests {
         g.mark_output(rx);
         g.mark_output(ry);
         let mut env = HashMap::new();
-        env.insert(x, Tensor::from_vec(Shape::new(vec![3]), vec![-1.0, 0.0, 1.0]).unwrap());
-        env.insert(y, Tensor::from_vec(Shape::new(vec![4]), vec![-2.0, 2.0, -2.0, 2.0]).unwrap());
+        env.insert(
+            x,
+            Tensor::from_vec(Shape::new(vec![3]), vec![-1.0, 0.0, 1.0]).unwrap(),
+        );
+        env.insert(
+            y,
+            Tensor::from_vec(Shape::new(vec![4]), vec![-2.0, 2.0, -2.0, 2.0]).unwrap(),
+        );
         let result = run_compiled(&g, &env);
         assert_eq!(result[&rx].data(), &[0.0, 0.0, 1.0]);
         assert_eq!(result[&ry].data(), &[0.0, 2.0, 0.0, 2.0]);
@@ -1214,7 +1457,12 @@ mod tests {
         let x = g.add_input("x", Shape::new(vec![2, 6]));
         let sm = g.add_op(OpKind::Softmax, Attrs::new(), &[x], "sm").unwrap()[0];
         let t = g
-            .add_op(OpKind::Transpose, Attrs::new().with_ints("perm", vec![1, 0]), &[sm], "t")
+            .add_op(
+                OpKind::Transpose,
+                Attrs::new().with_ints("perm", vec![1, 0]),
+                &[sm],
+                "t",
+            )
             .unwrap()[0];
         g.mark_output(t);
         let mut env = HashMap::new();
@@ -1250,7 +1498,13 @@ mod tests {
         for block_idx in compiled.plan.execution_order(&g) {
             engine
                 .kernel(block_idx)
-                .run(&g, &mut |v| store.get(&v).cloned(), &mut pool, WorkPool::serial())
+                .run(
+                    &g,
+                    &mut |v| store.get(&v).cloned(),
+                    &PackedWeights::default(),
+                    &mut pool,
+                    WorkPool::serial(),
+                )
                 .unwrap();
         }
         // The conv output never escapes its block, so at least one buffer

@@ -28,7 +28,8 @@ impl LayoutDecision {
     /// Conversions avoided thanks to the block-level layout policy.
     #[must_use]
     pub fn conversions_avoided(&self) -> usize {
-        self.conversions_without_fusion.saturating_sub(self.conversions_with_fusion)
+        self.conversions_without_fusion
+            .saturating_sub(self.conversions_with_fusion)
     }
 }
 
@@ -49,7 +50,12 @@ pub fn select_block_layouts(ecg: &Ecg, plan: &FusionPlan) -> LayoutDecision {
                 .filter(|&&n| graph.node(n).op.is_layout_dominant())
                 .max_by_key(|&&n| ecg.node_info(n).output_bytes)
                 .and_then(|&n| graph.node(n).op.preferred_layout())
-                .or_else(|| block.nodes.iter().find_map(|&n| graph.node(n).op.preferred_layout()))
+                .or_else(|| {
+                    block
+                        .nodes
+                        .iter()
+                        .find_map(|&n| graph.node(n).op.preferred_layout())
+                })
                 .unwrap_or_default()
         })
         .collect();
@@ -68,7 +74,8 @@ pub fn select_block_layouts(ecg: &Ecg, plan: &FusionPlan) -> LayoutDecision {
                 .nodes
                 .iter()
                 .any(|&n| graph.node(n).op.preferred_layout().is_some());
-            if to_sensitive && block_layouts[from_block].conversion_required(block_layouts[to_block])
+            if to_sensitive
+                && block_layouts[from_block].conversion_required(block_layouts[to_block])
             {
                 conversions_with_fusion += 1;
             }
@@ -99,7 +106,11 @@ pub fn select_block_layouts(ecg: &Ecg, plan: &FusionPlan) -> LayoutDecision {
         }
     }
 
-    LayoutDecision { block_layouts, conversions_with_fusion, conversions_without_fusion }
+    LayoutDecision {
+        block_layouts,
+        conversions_with_fusion,
+        conversions_without_fusion,
+    }
 }
 
 #[cfg(test)]
@@ -127,15 +138,29 @@ mod tests {
         let x = g.add_input("x", Shape::new(vec![1, 8, 8, 8]));
         let w = g.add_weight("w", Shape::new(vec![8, 8, 3, 3]));
         let c = g
-            .add_op(OpKind::Conv, Attrs::new().with_ints("pads", vec![1, 1, 1, 1]), &[x, w], "conv")
+            .add_op(
+                OpKind::Conv,
+                Attrs::new().with_ints("pads", vec![1, 1, 1, 1]),
+                &[x, w],
+                "conv",
+            )
             .unwrap()[0];
         let r = g.add_op(OpKind::Relu, Attrs::new(), &[c], "relu").unwrap()[0];
         let f = g
-            .add_op(OpKind::Reshape, Attrs::new().with_ints("shape", vec![1, -1]), &[r], "reshape")
+            .add_op(
+                OpKind::Reshape,
+                Attrs::new().with_ints("shape", vec![1, -1]),
+                &[r],
+                "reshape",
+            )
             .unwrap()[0];
         let fcw = g.add_weight("fc", Shape::new(vec![512, 16]));
-        let m = g.add_op(OpKind::MatMul, Attrs::new(), &[f, fcw], "fc").unwrap()[0];
-        let s = g.add_op(OpKind::Softmax, Attrs::new(), &[m], "softmax").unwrap()[0];
+        let m = g
+            .add_op(OpKind::MatMul, Attrs::new(), &[f, fcw], "fc")
+            .unwrap()[0];
+        let s = g
+            .add_op(OpKind::Softmax, Attrs::new(), &[m], "softmax")
+            .unwrap()[0];
         g.mark_output(s);
         g
     }
@@ -171,13 +196,18 @@ mod tests {
         let mut g = Graph::new("eltwise");
         let mut v = g.add_input("x", Shape::new(vec![16]));
         for i in 0..3 {
-            v = g.add_op(OpKind::Relu, Attrs::new(), &[v], format!("r{i}")).unwrap()[0];
+            v = g
+                .add_op(OpKind::Relu, Attrs::new(), &[v], format!("r{i}"))
+                .unwrap()[0];
         }
         g.mark_output(v);
         let (ecg, plan) = plan_for(&g);
         let decision = select_block_layouts(&ecg, &plan);
         assert_eq!(decision.conversions_with_fusion, 0);
         assert_eq!(decision.conversions_without_fusion, 0);
-        assert!(decision.block_layouts.iter().all(|&l| l == Layout::RowMajor));
+        assert!(decision
+            .block_layouts
+            .iter()
+            .all(|&l| l == Layout::RowMajor));
     }
 }

@@ -55,8 +55,11 @@ pub fn eliminate_data_movement(ecg: &Ecg, plan: &FusionPlan) -> DataMovementElim
             });
             if removable {
                 result.eliminated_nodes.push(n);
-                result.bytes_saved +=
-                    node.outputs.iter().map(|&out| graph.value(out).size_bytes() as u64).sum::<u64>();
+                result.bytes_saved += node
+                    .outputs
+                    .iter()
+                    .map(|&out| graph.value(out).size_bytes() as u64)
+                    .sum::<u64>();
             }
         }
     }
@@ -89,9 +92,16 @@ mod tests {
         let x = g.add_input("x", Shape::new(vec![2, 3, 4]));
         let r = g.add_op(OpKind::Relu, Attrs::new(), &[x], "relu").unwrap()[0];
         let t = g
-            .add_op(OpKind::Transpose, Attrs::new().with_ints("perm", vec![0, 2, 1]), &[r], "tr")
+            .add_op(
+                OpKind::Transpose,
+                Attrs::new().with_ints("perm", vec![0, 2, 1]),
+                &[r],
+                "tr",
+            )
             .unwrap()[0];
-        let s = g.add_op(OpKind::Sigmoid, Attrs::new(), &[t], "sig").unwrap()[0];
+        let s = g
+            .add_op(OpKind::Sigmoid, Attrs::new(), &[t], "sig")
+            .unwrap()[0];
         g.mark_output(s);
         let (ecg, plan) = plan_for(&g);
         assert_eq!(plan.fused_layer_count(), 1);
@@ -106,7 +116,12 @@ mod tests {
         let x = g.add_input("x", Shape::new(vec![2, 3]));
         let r = g.add_op(OpKind::Relu, Attrs::new(), &[x], "relu").unwrap()[0];
         let t = g
-            .add_op(OpKind::Transpose, Attrs::new().with_ints("perm", vec![1, 0]), &[r], "tr")
+            .add_op(
+                OpKind::Transpose,
+                Attrs::new().with_ints("perm", vec![1, 0]),
+                &[r],
+                "tr",
+            )
             .unwrap()[0];
         g.mark_output(t);
         let (ecg, plan) = plan_for(&g);
@@ -122,15 +137,25 @@ mod tests {
         let x = g.add_input("x", Shape::new(vec![2, 3]));
         let r = g.add_op(OpKind::Relu, Attrs::new(), &[x], "relu").unwrap()[0];
         let t = g
-            .add_op(OpKind::Transpose, Attrs::new().with_ints("perm", vec![1, 0]), &[r], "tr")
+            .add_op(
+                OpKind::Transpose,
+                Attrs::new().with_ints("perm", vec![1, 0]),
+                &[r],
+                "tr",
+            )
             .unwrap()[0];
-        let a = g.add_op(OpKind::Sigmoid, Attrs::new(), &[t], "sig").unwrap()[0];
+        let a = g
+            .add_op(OpKind::Sigmoid, Attrs::new(), &[t], "sig")
+            .unwrap()[0];
         let b = g.add_op(OpKind::Tanh, Attrs::new(), &[t], "tanh").unwrap()[0];
         let add = g.add_op(OpKind::Add, Attrs::new(), &[a, b], "add").unwrap()[0];
         g.mark_output(add);
         let (ecg, plan) = plan_for(&g);
         let elim = eliminate_data_movement(&ecg, &plan);
-        assert!(elim.eliminated_nodes.iter().all(|&n| g.node(n).op != OpKind::Transpose));
+        assert!(elim
+            .eliminated_nodes
+            .iter()
+            .all(|&n| g.node(n).op != OpKind::Transpose));
     }
 
     #[test]
@@ -138,7 +163,12 @@ mod tests {
         let mut g = Graph::new("lonely");
         let x = g.add_input("x", Shape::new(vec![4, 4]));
         let t = g
-            .add_op(OpKind::Transpose, Attrs::new().with_ints("perm", vec![1, 0]), &[x], "tr")
+            .add_op(
+                OpKind::Transpose,
+                Attrs::new().with_ints("perm", vec![1, 0]),
+                &[x],
+                "tr",
+            )
             .unwrap()[0];
         g.mark_output(t);
         let (ecg, plan) = plan_for(&g);

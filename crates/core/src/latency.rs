@@ -22,7 +22,10 @@ pub trait LatencyModel {
 
     /// Estimated latency of executing every node as its own kernel.
     fn unfused_latency_us(&self, graph: &Graph, nodes: &[NodeId]) -> f64 {
-        nodes.iter().map(|&n| self.fused_latency_us(graph, &[n])).sum()
+        nodes
+            .iter()
+            .map(|&n| self.fused_latency_us(graph, &[n]))
+            .sum()
     }
 }
 
@@ -101,10 +104,16 @@ impl AnalyticLatencyModel {
         let mut disruptive = 0usize;
         for &n in nodes {
             let node = graph.node(n);
-            let input_shapes: Vec<Shape> =
-                node.inputs.iter().map(|&id| graph.value(id).shape.clone()).collect();
-            let output_shapes: Vec<Shape> =
-                node.outputs.iter().map(|&id| graph.value(id).shape.clone()).collect();
+            let input_shapes: Vec<Shape> = node
+                .inputs
+                .iter()
+                .map(|&id| graph.value(id).shape.clone())
+                .collect();
+            let output_shapes: Vec<Shape> = node
+                .outputs
+                .iter()
+                .map(|&id| graph.value(id).shape.clone())
+                .collect();
             flops += cost::flops(node.op, &node.attrs, &input_shapes, &output_shapes);
             match node.op.mapping_type() {
                 MappingType::ManyToMany => has_anchor = true,
@@ -147,7 +156,9 @@ mod tests {
         let mut g = Graph::new("chain");
         let mut v = g.add_input("x", Shape::new(vec![1, 64, 32, 32]));
         for i in 0..n {
-            v = g.add_op(OpKind::Relu, Attrs::new(), &[v], format!("relu{i}")).unwrap()[0];
+            v = g
+                .add_op(OpKind::Relu, Attrs::new(), &[v], format!("relu{i}"))
+                .unwrap()[0];
         }
         g.mark_output(v);
         g
@@ -160,7 +171,10 @@ mod tests {
         let model = AnalyticLatencyModel::default();
         let fused = model.fused_latency_us(&g, &nodes);
         let unfused = model.unfused_latency_us(&g, &nodes);
-        assert!(fused < unfused, "fused {fused} should beat unfused {unfused}");
+        assert!(
+            fused < unfused,
+            "fused {fused} should beat unfused {unfused}"
+        );
         // Fused traffic is one read + one write of the tensor.
         let bytes = model.boundary_bytes(&g, &nodes);
         assert_eq!(bytes, 2 * 64 * 32 * 32 * 4);
@@ -184,10 +198,20 @@ mod tests {
         let x = g.add_input("x", Shape::new(vec![1, 8, 16, 16]));
         let w = g.add_weight("w", Shape::new(vec![8, 8, 3, 3]));
         let c = g
-            .add_op(OpKind::Conv, Attrs::new().with_ints("pads", vec![1, 1, 1, 1]), &[x, w], "conv")
+            .add_op(
+                OpKind::Conv,
+                Attrs::new().with_ints("pads", vec![1, 1, 1, 1]),
+                &[x, w],
+                "conv",
+            )
             .unwrap()[0];
         let t = g
-            .add_op(OpKind::Transpose, Attrs::new().with_ints("perm", vec![0, 2, 3, 1]), &[c], "tr")
+            .add_op(
+                OpKind::Transpose,
+                Attrs::new().with_ints("perm", vec![0, 2, 3, 1]),
+                &[c],
+                "tr",
+            )
             .unwrap()[0];
         g.mark_output(t);
         let model = AnalyticLatencyModel::default();
@@ -200,14 +224,20 @@ mod tests {
     #[test]
     fn empty_node_set_has_zero_latency() {
         let g = elementwise_chain(1);
-        assert_eq!(AnalyticLatencyModel::default().fused_latency_us(&g, &[]), 0.0);
+        assert_eq!(
+            AnalyticLatencyModel::default().fused_latency_us(&g, &[]),
+            0.0
+        );
     }
 
     #[test]
     fn launch_overhead_is_charged_per_kernel() {
         let g = elementwise_chain(3);
         let nodes: Vec<NodeId> = g.nodes().map(|n| n.id).collect();
-        let model = AnalyticLatencyModel { kernel_launch_us: 100.0, ..Default::default() };
+        let model = AnalyticLatencyModel {
+            kernel_launch_us: 100.0,
+            ..Default::default()
+        };
         let fused = model.fused_latency_us(&g, &nodes);
         let unfused = model.unfused_latency_us(&g, &nodes);
         // Three launches vs one launch dominates with a huge launch cost.

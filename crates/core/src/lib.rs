@@ -60,10 +60,12 @@ mod mapping;
 pub mod plan;
 pub mod rewrite;
 
-pub use compiler::{CompilationStats, CompiledModel, Compiler, CompilerOptions};
-pub use exec::{compile_plan, BufferPool, CompiledPlan, FreshBuffers, FusedKernel, ScalarTape};
+pub use compiler::{CompilationStats, CompiledModel, Compiler, CompilerOptions, RuntimeCacheSlot};
 pub use ecg::{Ecg, EcgNodeInfo};
 pub use error::CoreError;
+pub use exec::{
+    compile_plan, BufferPool, CompiledPlan, FreshBuffers, FusedKernel, PackedWeights, ScalarTape,
+};
 pub use inter::{select_block_layouts, LayoutDecision};
 pub use intra::{eliminate_data_movement, DataMovementElimination};
 pub use latency::{AnalyticLatencyModel, LatencyModel};

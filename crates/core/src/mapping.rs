@@ -65,7 +65,10 @@ pub fn analyze_pair(first: MappingType, second: MappingType) -> FusionDecision {
         // One-to-Many followed by One-to-Many: repeated expansion, profile.
         (OneToMany, OneToMany) => FusionVerdict::Profile,
     };
-    FusionDecision { fused_type, verdict }
+    FusionDecision {
+        fused_type,
+        verdict,
+    }
 }
 
 /// The mapping type of the fused operator: decided by the operand with the
@@ -126,12 +129,22 @@ mod tests {
 
     #[test]
     fn red_cells_match_the_paper() {
-        assert_eq!(analyze_pair(OneToMany, ManyToMany).verdict, FusionVerdict::Break);
-        assert_eq!(analyze_pair(ManyToMany, ManyToMany).verdict, FusionVerdict::Break);
+        assert_eq!(
+            analyze_pair(OneToMany, ManyToMany).verdict,
+            FusionVerdict::Break
+        );
+        assert_eq!(
+            analyze_pair(ManyToMany, ManyToMany).verdict,
+            FusionVerdict::Break
+        );
         // These are the only two red cells.
         let reds: Vec<_> = MappingType::all()
             .iter()
-            .flat_map(|&a| MappingType::all().iter().map(move |&b| (a, b, analyze_pair(a, b))))
+            .flat_map(|&a| {
+                MappingType::all()
+                    .iter()
+                    .map(move |&b| (a, b, analyze_pair(a, b)))
+            })
             .filter(|(_, _, d)| d.verdict == FusionVerdict::Break)
             .collect();
         assert_eq!(reds.len(), 2);
@@ -139,17 +152,38 @@ mod tests {
 
     #[test]
     fn yellow_cells_require_profiling() {
-        assert_eq!(analyze_pair(ManyToMany, OneToMany).verdict, FusionVerdict::Profile);
-        assert_eq!(analyze_pair(Shuffle, ManyToMany).verdict, FusionVerdict::Profile);
-        assert_eq!(analyze_pair(Reorganize, OneToMany).verdict, FusionVerdict::Profile);
-        assert_eq!(analyze_pair(ManyToMany, Shuffle).verdict, FusionVerdict::Profile);
-        assert_eq!(analyze_pair(OneToMany, OneToMany).verdict, FusionVerdict::Profile);
+        assert_eq!(
+            analyze_pair(ManyToMany, OneToMany).verdict,
+            FusionVerdict::Profile
+        );
+        assert_eq!(
+            analyze_pair(Shuffle, ManyToMany).verdict,
+            FusionVerdict::Profile
+        );
+        assert_eq!(
+            analyze_pair(Reorganize, OneToMany).verdict,
+            FusionVerdict::Profile
+        );
+        assert_eq!(
+            analyze_pair(ManyToMany, Shuffle).verdict,
+            FusionVerdict::Profile
+        );
+        assert_eq!(
+            analyze_pair(OneToMany, OneToMany).verdict,
+            FusionVerdict::Profile
+        );
     }
 
     #[test]
     fn reorganize_and_shuffle_fuse_freely_together() {
-        assert_eq!(analyze_pair(Reorganize, Shuffle).verdict, FusionVerdict::Direct);
-        assert_eq!(analyze_pair(Shuffle, Reorganize).verdict, FusionVerdict::Direct);
+        assert_eq!(
+            analyze_pair(Reorganize, Shuffle).verdict,
+            FusionVerdict::Direct
+        );
+        assert_eq!(
+            analyze_pair(Shuffle, Reorganize).verdict,
+            FusionVerdict::Direct
+        );
         assert_eq!(analyze_pair(Shuffle, Reorganize).fused_type, Reorganize);
         assert_eq!(analyze_pair(Shuffle, Shuffle).fused_type, Shuffle);
         assert_eq!(analyze_pair(Reorganize, Reorganize).fused_type, Reorganize);

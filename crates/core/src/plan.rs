@@ -39,7 +39,11 @@ pub struct PlanOptions {
 
 impl Default for PlanOptions {
     fn default() -> Self {
-        PlanOptions { max_block_ops: 40, max_external_inputs: 14, use_profile: true }
+        PlanOptions {
+            max_block_ops: 40,
+            max_external_inputs: 14,
+            use_profile: true,
+        }
     }
 }
 
@@ -125,14 +129,22 @@ impl FusionPlan {
                 }
                 node_block[n.index()] = id;
             }
-            let nodes: Vec<NodeId> =
-                graph.topo_order().into_iter().filter(|n| group.contains(n)).collect();
+            let nodes: Vec<NodeId> = graph
+                .topo_order()
+                .into_iter()
+                .filter(|n| group.contains(n))
+                .collect();
             // Fold the members' mapping types pairwise to get the block type.
             let mut mapping = ecg.mapping_type(nodes[0]);
             for &n in nodes.iter().skip(1) {
                 mapping = analyze_pair(mapping, ecg.mapping_type(n)).fused_type;
             }
-            blocks.push(FusionBlock { id, seed: None, nodes, mapping_type: mapping });
+            blocks.push(FusionBlock {
+                id,
+                seed: None,
+                nodes,
+                mapping_type: mapping,
+            });
         }
         for n in graph.topo_order() {
             if node_block[n.index()] == usize::MAX {
@@ -200,11 +212,15 @@ impl FusionPlan {
     #[must_use]
     pub fn value_escapes(&self, graph: &Graph, value: ValueId) -> bool {
         let v = graph.value(value);
-        let Some(producer) = v.producer else { return false };
+        let Some(producer) = v.producer else {
+            return false;
+        };
         let producer_block = self.block_of(producer);
         graph.outputs().contains(&value)
             || v.consumers.is_empty()
-            || v.consumers.iter().any(|&c| self.block_of(c) != producer_block)
+            || v.consumers
+                .iter()
+                .any(|&c| self.block_of(c) != producer_block)
     }
 
     /// Total bytes of intermediate results that still have to be
@@ -291,10 +307,14 @@ impl FusionPlan {
             }
         }
         if seen.iter().any(|&s| !s) {
-            return Err(CoreError::Plan { reason: "some nodes are not assigned to a block".into() });
+            return Err(CoreError::Plan {
+                reason: "some nodes are not assigned to a block".into(),
+            });
         }
         if self.execution_order(graph).len() != self.blocks.len() {
-            return Err(CoreError::Plan { reason: "fused block graph contains a cycle".into() });
+            return Err(CoreError::Plan {
+                reason: "fused block graph contains a cycle".into(),
+            });
         }
         Ok(())
     }
@@ -319,7 +339,11 @@ impl<'a, L: LatencyModel> FusionPlanner<'a, L> {
     /// Creates a planner over an ECG with a latency model for yellow cells.
     #[must_use]
     pub fn new(ecg: &'a Ecg, latency: &'a L, options: PlanOptions) -> Self {
-        FusionPlanner { ecg, latency, options }
+        FusionPlanner {
+            ecg,
+            latency,
+            options,
+        }
     }
 
     /// Generates the fusion plan, consulting (and extending) the profiling
@@ -366,10 +390,24 @@ impl<'a, L: LatencyModel> FusionPlanner<'a, L> {
             // Conv feeding a bias/activation seed) join the block before a
             // downstream Many-to-Many operator locks the block's mapping type.
             for pred in graph.predecessors(seed) {
-                self.explore(&mut members, &mut mapping, pred, Direction::Predecessor, &assigned, db);
+                self.explore(
+                    &mut members,
+                    &mut mapping,
+                    pred,
+                    Direction::Predecessor,
+                    &assigned,
+                    db,
+                );
             }
             for succ in graph.successors(seed) {
-                self.explore(&mut members, &mut mapping, succ, Direction::Successor, &assigned, db);
+                self.explore(
+                    &mut members,
+                    &mut mapping,
+                    succ,
+                    Direction::Successor,
+                    &assigned,
+                    db,
+                );
             }
 
             for &n in &members {
@@ -397,7 +435,10 @@ impl<'a, L: LatencyModel> FusionPlanner<'a, L> {
             }
         }
 
-        let node_block = assigned.into_iter().map(|b| b.expect("every node assigned")).collect();
+        let node_block = assigned
+            .into_iter()
+            .map(|b| b.expect("every node assigned"))
+            .collect();
         FusionPlan { blocks, node_block }
     }
 
@@ -508,7 +549,10 @@ impl<'a, L: LatencyModel> FusionPlanner<'a, L> {
 
     fn profile_key(&self, nodes: &[NodeId]) -> ProfileKey {
         let graph = self.ecg.graph();
-        let ops: Vec<String> = nodes.iter().map(|&n| graph.node(n).op.name().to_string()).collect();
+        let ops: Vec<String> = nodes
+            .iter()
+            .map(|&n| graph.node(n).op.name().to_string())
+            .collect();
         let shapes: Vec<String> = nodes
             .iter()
             .filter_map(|&n| graph.node(n).outputs.first().copied())
@@ -520,7 +564,11 @@ impl<'a, L: LatencyModel> FusionPlanner<'a, L> {
 
 /// Sorts a node set into the graph's topological order.
 fn sort_topo(graph: &Graph, members: &BTreeSet<NodeId>) -> Vec<NodeId> {
-    graph.topo_order().into_iter().filter(|n| members.contains(n)).collect()
+    graph
+        .topo_order()
+        .into_iter()
+        .filter(|n| members.contains(n))
+        .collect()
 }
 
 /// Returns `true` if adding `candidate` to the convex set `members` would
@@ -586,22 +634,42 @@ mod tests {
         let mut g = Graph::new("figure3");
         let x = g.add_input("x", Shape::new(vec![1, 8, 8, 8]));
         let add_c = g.add_weight("add.c", Shape::new(vec![1, 8, 8, 8]));
-        let add = g.add_op(OpKind::Add, Attrs::new(), &[x, add_c], "add").unwrap()[0];
+        let add = g
+            .add_op(OpKind::Add, Attrs::new(), &[x, add_c], "add")
+            .unwrap()[0];
         let w = g.add_weight("conv.w", Shape::new(vec![8, 8, 3, 3]));
         let conv = g
-            .add_op(OpKind::Conv, Attrs::new().with_ints("pads", vec![1, 1, 1, 1]), &[add, w], "conv")
+            .add_op(
+                OpKind::Conv,
+                Attrs::new().with_ints("pads", vec![1, 1, 1, 1]),
+                &[add, w],
+                "conv",
+            )
             .unwrap()[0];
-        let relu = g.add_op(OpKind::Relu, Attrs::new(), &[conv], "relu").unwrap()[0];
+        let relu = g
+            .add_op(OpKind::Relu, Attrs::new(), &[conv], "relu")
+            .unwrap()[0];
         // A separate GEMM branch that merges into Mul.
         let a = g.add_input("a", Shape::new(vec![64, 8]));
         let b = g.add_weight("gemm.b", Shape::new(vec![8, 8]));
-        let gemm = g.add_op(OpKind::Gemm, Attrs::new(), &[a, b], "gemm").unwrap()[0];
-        let gemm_r = g
-            .add_op(OpKind::Reshape, Attrs::new().with_ints("shape", vec![1, 8, 8, 8]), &[gemm], "reshape")
+        let gemm = g
+            .add_op(OpKind::Gemm, Attrs::new(), &[a, b], "gemm")
             .unwrap()[0];
-        let mul = g.add_op(OpKind::Mul, Attrs::new(), &[relu, gemm_r], "mul").unwrap()[0];
+        let gemm_r = g
+            .add_op(
+                OpKind::Reshape,
+                Attrs::new().with_ints("shape", vec![1, 8, 8, 8]),
+                &[gemm],
+                "reshape",
+            )
+            .unwrap()[0];
+        let mul = g
+            .add_op(OpKind::Mul, Attrs::new(), &[relu, gemm_r], "mul")
+            .unwrap()[0];
         let sub_c = g.add_weight("sub.c", Shape::new(vec![1, 8, 8, 8]));
-        let sub = g.add_op(OpKind::Sub, Attrs::new(), &[mul, sub_c], "sub").unwrap()[0];
+        let sub = g
+            .add_op(OpKind::Sub, Attrs::new(), &[mul, sub_c], "sub")
+            .unwrap()[0];
         g.mark_output(sub);
         g
     }
@@ -612,11 +680,20 @@ mod tests {
         let x = g.add_input("x", Shape::new(vec![1, 8, 16, 16]));
         let w = g.add_weight("w", Shape::new(vec![8, 8, 3, 3]));
         let c = g
-            .add_op(OpKind::Conv, Attrs::new().with_ints("pads", vec![1, 1, 1, 1]), &[x, w], "conv")
+            .add_op(
+                OpKind::Conv,
+                Attrs::new().with_ints("pads", vec![1, 1, 1, 1]),
+                &[x, w],
+                "conv",
+            )
             .unwrap()[0];
         let b = g.add_weight("b", Shape::new(vec![1, 8, 1, 1]));
-        let bias = g.add_op(OpKind::Add, Attrs::new(), &[c, b], "bias").unwrap()[0];
-        let r = g.add_op(OpKind::Relu, Attrs::new(), &[bias], "relu").unwrap()[0];
+        let bias = g
+            .add_op(OpKind::Add, Attrs::new(), &[c, b], "bias")
+            .unwrap()[0];
+        let r = g
+            .add_op(OpKind::Relu, Attrs::new(), &[bias], "relu")
+            .unwrap()[0];
         g.mark_output(r);
         let plan = plan_graph(&g);
         assert_eq!(plan.fused_layer_count(), 1);
@@ -631,11 +708,21 @@ mod tests {
         let w1 = g.add_weight("w1", Shape::new(vec![4, 4, 3, 3]));
         let w2 = g.add_weight("w2", Shape::new(vec![4, 4, 3, 3]));
         let c1 = g
-            .add_op(OpKind::Conv, Attrs::new().with_ints("pads", vec![1, 1, 1, 1]), &[x, w1], "c1")
+            .add_op(
+                OpKind::Conv,
+                Attrs::new().with_ints("pads", vec![1, 1, 1, 1]),
+                &[x, w1],
+                "c1",
+            )
             .unwrap()[0];
         let r1 = g.add_op(OpKind::Relu, Attrs::new(), &[c1], "r1").unwrap()[0];
         let c2 = g
-            .add_op(OpKind::Conv, Attrs::new().with_ints("pads", vec![1, 1, 1, 1]), &[r1, w2], "c2")
+            .add_op(
+                OpKind::Conv,
+                Attrs::new().with_ints("pads", vec![1, 1, 1, 1]),
+                &[r1, w2],
+                "c2",
+            )
             .unwrap()[0];
         let r2 = g.add_op(OpKind::Relu, Attrs::new(), &[c2], "r2").unwrap()[0];
         g.mark_output(r2);
@@ -662,7 +749,11 @@ mod tests {
         // But Add/Relu/Mul/Sub all join the conv block (Figure 3's result).
         for name in ["add", "relu", "mul", "sub"] {
             let n = g.nodes().find(|n| n.name == name).unwrap().id;
-            assert_eq!(plan.block_of(n), plan.block_of(conv), "{name} should fuse with conv");
+            assert_eq!(
+                plan.block_of(n),
+                plan.block_of(conv),
+                "{name} should fuse with conv"
+            );
         }
         assert!(plan.fused_layer_count() < g.node_count());
     }
@@ -700,9 +791,16 @@ mod tests {
         let a = g.add_op(OpKind::Relu, Attrs::new(), &[x], "a").unwrap()[0];
         let w = g.add_weight("w", Shape::new(vec![4, 4, 3, 3]));
         let conv = g
-            .add_op(OpKind::Conv, Attrs::new().with_ints("pads", vec![1, 1, 1, 1]), &[a, w], "conv")
+            .add_op(
+                OpKind::Conv,
+                Attrs::new().with_ints("pads", vec![1, 1, 1, 1]),
+                &[a, w],
+                "conv",
+            )
             .unwrap()[0];
-        let b = g.add_op(OpKind::Add, Attrs::new(), &[a, conv], "b").unwrap()[0];
+        let b = g
+            .add_op(OpKind::Add, Attrs::new(), &[a, conv], "b")
+            .unwrap()[0];
         g.mark_output(b);
         let plan = plan_graph(&g);
         plan.validate(&g).unwrap();
@@ -718,12 +816,17 @@ mod tests {
         let mut g = Graph::new("long-chain");
         let mut v = g.add_input("x", Shape::new(vec![64]));
         for i in 0..20 {
-            v = g.add_op(OpKind::Relu, Attrs::new(), &[v], format!("r{i}")).unwrap()[0];
+            v = g
+                .add_op(OpKind::Relu, Attrs::new(), &[v], format!("r{i}"))
+                .unwrap()[0];
         }
         g.mark_output(v);
         let ecg = Ecg::new(g.clone());
         let model = AnalyticLatencyModel::default();
-        let opts = PlanOptions { max_block_ops: 5, ..PlanOptions::default() };
+        let opts = PlanOptions {
+            max_block_ops: 5,
+            ..PlanOptions::default()
+        };
         let planner = FusionPlanner::new(&ecg, &model, opts);
         let mut db = ProfileDatabase::new();
         let plan = planner.plan(&mut db);
@@ -739,7 +842,12 @@ mod tests {
         let x = g.add_input("x", Shape::new(vec![1, 4, 8, 8]));
         let w = g.add_weight("w", Shape::new(vec![4, 4, 3, 3]));
         let c = g
-            .add_op(OpKind::Conv, Attrs::new().with_ints("pads", vec![1, 1, 1, 1]), &[x, w], "conv")
+            .add_op(
+                OpKind::Conv,
+                Attrs::new().with_ints("pads", vec![1, 1, 1, 1]),
+                &[x, w],
+                "conv",
+            )
             .unwrap()[0];
         let r = g.add_op(OpKind::Relu, Attrs::new(), &[c], "relu").unwrap()[0];
         let up = g
@@ -757,7 +865,10 @@ mod tests {
         let mut db = ProfileDatabase::new();
         let plan = planner.plan(&mut db);
         plan.validate(&g).unwrap();
-        assert!(!db.is_empty(), "yellow decision should have recorded profile entries");
+        assert!(
+            !db.is_empty(),
+            "yellow decision should have recorded profile entries"
+        );
     }
 
     #[test]
@@ -765,7 +876,9 @@ mod tests {
         let mut g = Graph::new("no-seed");
         let x = g.add_input("x", Shape::new(vec![4, 8]));
         let w = g.add_weight("w", Shape::new(vec![8, 8]));
-        let m = g.add_op(OpKind::MatMul, Attrs::new(), &[x, w], "mm").unwrap()[0];
+        let m = g
+            .add_op(OpKind::MatMul, Attrs::new(), &[x, w], "mm")
+            .unwrap()[0];
         let s = g.add_op(OpKind::Softmax, Attrs::new(), &[m], "sm").unwrap()[0];
         g.mark_output(s);
         let plan = plan_graph(&g);

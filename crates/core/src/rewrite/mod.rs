@@ -86,7 +86,10 @@ pub struct RewriteEngine {
 impl fmt::Debug for RewriteEngine {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("RewriteEngine")
-            .field("rules", &self.rules.iter().map(|r| r.name()).collect::<Vec<_>>())
+            .field(
+                "rules",
+                &self.rules.iter().map(|r| r.name()).collect::<Vec<_>>(),
+            )
             .field("max_applications", &self.max_applications)
             .finish()
     }
@@ -102,19 +105,28 @@ impl RewriteEngine {
     /// Creates an engine with the full default rule set.
     #[must_use]
     pub fn with_default_rules() -> Self {
-        RewriteEngine { rules: default_rules(), max_applications: 10_000 }
+        RewriteEngine {
+            rules: default_rules(),
+            max_applications: 10_000,
+        }
     }
 
     /// Creates an engine with a custom rule set.
     #[must_use]
     pub fn new(rules: Vec<Box<dyn RewriteRule>>) -> Self {
-        RewriteEngine { rules, max_applications: 10_000 }
+        RewriteEngine {
+            rules,
+            max_applications: 10_000,
+        }
     }
 
     /// Names of the registered rules, grouped by category.
     #[must_use]
     pub fn rule_names(&self) -> Vec<(&'static str, RuleCategory)> {
-        self.rules.iter().map(|r| (r.name(), r.category())).collect()
+        self.rules
+            .iter()
+            .map(|r| (r.name(), r.category()))
+            .collect()
     }
 
     /// Runs the engine to fixpoint, returning the rewritten graph and the
@@ -194,9 +206,8 @@ pub(crate) fn single_use(graph: &Graph, value: ValueId) -> bool {
 /// Splice callback for [`rebuild_replacing`]: given the partially-built new
 /// graph and the old-to-new value-id mapping, adds the replacement operators
 /// and returns the mapping for the removed nodes' output values.
-pub(crate) type SpliceFn<'a> =
-    dyn FnMut(&mut Graph, &BTreeMap<ValueId, ValueId>) -> Result<BTreeMap<ValueId, ValueId>, GraphError>
-        + 'a;
+pub(crate) type SpliceFn<'a> = dyn FnMut(&mut Graph, &BTreeMap<ValueId, ValueId>) -> Result<BTreeMap<ValueId, ValueId>, GraphError>
+    + 'a;
 
 /// Rebuilds `graph` with the nodes in `removed` deleted and a replacement
 /// sub-graph spliced in.
@@ -289,7 +300,8 @@ mod tests {
     #[test]
     fn rebuild_without_removals_is_equivalent() {
         let g = relu_chain();
-        let rebuilt = rebuild_replacing(&g, &BTreeSet::new(), &mut |_, _| Ok(BTreeMap::new())).unwrap();
+        let rebuilt =
+            rebuild_replacing(&g, &BTreeSet::new(), &mut |_, _| Ok(BTreeMap::new())).unwrap();
         assert_eq!(rebuilt.node_count(), g.node_count());
         assert_eq!(rebuilt.stats(), g.stats());
         assert!(rebuilt.validate().is_ok());
@@ -320,7 +332,9 @@ mod tests {
         assert!(names.iter().any(|(_, c)| *c == RuleCategory::Associative));
         assert!(names.iter().any(|(_, c)| *c == RuleCategory::Distributive));
         assert!(names.iter().any(|(_, c)| *c == RuleCategory::Commutative));
-        assert!(names.iter().any(|(_, c)| *c == RuleCategory::Simplification));
+        assert!(names
+            .iter()
+            .any(|(_, c)| *c == RuleCategory::Simplification));
     }
 
     #[test]
@@ -329,7 +343,9 @@ mod tests {
         let engine = RewriteEngine::with_default_rules();
         let (rewritten, applied) = engine.run(&g);
         // Only the Identity elimination can fire here.
-        assert!(applied.iter().all(|a| a.category == RuleCategory::Simplification));
+        assert!(applied
+            .iter()
+            .all(|a| a.category == RuleCategory::Simplification));
         let (again, applied2) = engine.run(&rewritten);
         assert!(applied2.is_empty());
         assert_eq!(again.node_count(), rewritten.node_count());

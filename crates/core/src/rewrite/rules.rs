@@ -100,18 +100,28 @@ impl RewriteRule for RecipMulAssociative {
                 None => continue,
             };
             for (plain, composed) in [(x, y), (y, x)] {
-                let Some(rx) = foldable_producer(graph, plain, OpKind::Reciprocal) else { continue };
-                let Some(ry) = foldable_producer(graph, composed, OpKind::Reciprocal) else { continue };
-                let Some(inner) = foldable_producer(graph, ry.inputs[0], OpKind::Mul) else { continue };
+                let Some(rx) = foldable_producer(graph, plain, OpKind::Reciprocal) else {
+                    continue;
+                };
+                let Some(ry) = foldable_producer(graph, composed, OpKind::Reciprocal) else {
+                    continue;
+                };
+                let Some(inner) = foldable_producer(graph, ry.inputs[0], OpKind::Mul) else {
+                    continue;
+                };
                 let a = rx.inputs[0];
-                let Some(b) = other_operand(inner, a) else { continue };
+                let Some(b) = other_operand(inner, a) else {
+                    continue;
+                };
                 let out_value = m.outputs[0];
                 let removed: BTreeSet<NodeId> =
                     [m.id, rx.id, ry.id, inner.id].into_iter().collect();
                 let result = apply(graph, removed, &mut |g, map| {
-                    let r1 = g.add_op(OpKind::Reciprocal, Attrs::new(), &[map[&a]], "rw.recip_a")?[0];
+                    let r1 =
+                        g.add_op(OpKind::Reciprocal, Attrs::new(), &[map[&a]], "rw.recip_a")?[0];
                     let s = g.add_op(OpKind::Square, Attrs::new(), &[r1], "rw.square")?[0];
-                    let r2 = g.add_op(OpKind::Reciprocal, Attrs::new(), &[map[&b]], "rw.recip_b")?[0];
+                    let r2 =
+                        g.add_op(OpKind::Reciprocal, Attrs::new(), &[map[&b]], "rw.recip_b")?[0];
                     let out = g.add_op(OpKind::Mul, Attrs::new(), &[s, r2], "rw.mul")?[0];
                     Ok([(out_value, out)].into_iter().collect())
                 });
@@ -138,11 +148,22 @@ impl RewriteRule for SqrtPairAssociative {
     }
 
     fn try_apply(&self, graph: &Graph, partition: &[NodeId]) -> Option<Graph> {
-        shared_operand_rule(graph, partition, OpKind::Sqrt, |g, map, a, b_source, c, out_value| {
-            let m1 = g.add_op(OpKind::Mul, Attrs::new(), &[map[&a], map[&b_source]], "rw.mul_ab")?[0];
-            let out = g.add_op(OpKind::Mul, Attrs::new(), &[m1, map[&c]], "rw.mul_abc")?[0];
-            Ok([(out_value, out)].into_iter().collect())
-        }, true)
+        shared_operand_rule(
+            graph,
+            partition,
+            OpKind::Sqrt,
+            |g, map, a, b_source, c, out_value| {
+                let m1 = g.add_op(
+                    OpKind::Mul,
+                    Attrs::new(),
+                    &[map[&a], map[&b_source]],
+                    "rw.mul_ab",
+                )?[0];
+                let out = g.add_op(OpKind::Mul, Attrs::new(), &[m1, map[&c]], "rw.mul_abc")?[0];
+                Ok([(out_value, out)].into_iter().collect())
+            },
+            true,
+        )
     }
 }
 
@@ -162,12 +183,18 @@ impl RewriteRule for ReduceSumSquareAssociative {
     }
 
     fn try_apply(&self, graph: &Graph, partition: &[NodeId]) -> Option<Graph> {
-        shared_operand_rule(graph, partition, OpKind::ReduceSum, |g, map, a, shared, c, out_value| {
-            let sq = g.add_op(OpKind::Square, Attrs::new(), &[map[&shared]], "rw.square")?[0];
-            let m1 = g.add_op(OpKind::Mul, Attrs::new(), &[map[&a], sq], "rw.mul_a")?[0];
-            let out = g.add_op(OpKind::Mul, Attrs::new(), &[m1, map[&c]], "rw.mul_c")?[0];
-            Ok([(out_value, out)].into_iter().collect())
-        }, false)
+        shared_operand_rule(
+            graph,
+            partition,
+            OpKind::ReduceSum,
+            |g, map, a, shared, c, out_value| {
+                let sq = g.add_op(OpKind::Square, Attrs::new(), &[map[&shared]], "rw.square")?[0];
+                let m1 = g.add_op(OpKind::Mul, Attrs::new(), &[map[&a], sq], "rw.mul_a")?[0];
+                let out = g.add_op(OpKind::Mul, Attrs::new(), &[m1, map[&c]], "rw.mul_c")?[0];
+                Ok([(out_value, out)].into_iter().collect())
+            },
+            false,
+        )
     }
 }
 
@@ -198,18 +225,28 @@ fn shared_operand_rule(
             Some(p) => p,
             None => continue,
         };
-        let Some(p1) = foldable_producer(graph, x, OpKind::Mul) else { continue };
-        let Some(q1) = foldable_producer(graph, y, OpKind::Mul) else { continue };
+        let Some(p1) = foldable_producer(graph, x, OpKind::Mul) else {
+            continue;
+        };
+        let Some(q1) = foldable_producer(graph, y, OpKind::Mul) else {
+            continue;
+        };
         // Find the shared operand produced by `shared_op`.
         let shared = p1.inputs.iter().copied().find(|&s| {
             q1.inputs.contains(&s)
-                && producer(graph, s).map(|n| n.op == shared_op).unwrap_or(false)
+                && producer(graph, s)
+                    .map(|n| n.op == shared_op)
+                    .unwrap_or(false)
                 && graph.value(s).consumers.len() == 2
                 && !graph.outputs().contains(&s)
         });
         let Some(shared) = shared else { continue };
-        let Some(a) = other_operand(p1, shared) else { continue };
-        let Some(c) = other_operand(q1, shared) else { continue };
+        let Some(a) = other_operand(p1, shared) else {
+            continue;
+        };
+        let Some(c) = other_operand(q1, shared) else {
+            continue;
+        };
         let shared_node = producer(graph, shared).expect("matched above");
         let out_value = m.outputs[0];
         let mut removed: BTreeSet<NodeId> = [m.id, p1.id, q1.id].into_iter().collect();
@@ -219,7 +256,9 @@ fn shared_operand_rule(
         } else {
             shared
         };
-        let result = apply(graph, removed, &mut |g, map| build(g, map, a, pass_value, c, out_value));
+        let result = apply(graph, removed, &mut |g, map| {
+            build(g, map, a, pass_value, c, out_value)
+        });
         if result.is_some() {
             return result;
         }
@@ -253,8 +292,12 @@ impl RewriteRule for AbsMulAssociative {
                 None => continue,
             };
             for (chain, abs_c_val) in [(x, y), (y, x)] {
-                let Some(abs_c) = foldable_producer(graph, abs_c_val, OpKind::Abs) else { continue };
-                let Some(inner) = foldable_producer(graph, chain, OpKind::Mul) else { continue };
+                let Some(abs_c) = foldable_producer(graph, abs_c_val, OpKind::Abs) else {
+                    continue;
+                };
+                let Some(inner) = foldable_producer(graph, chain, OpKind::Mul) else {
+                    continue;
+                };
                 // Inner must be Abs(A) ⊙ B.
                 let abs_a_val = inner
                     .inputs
@@ -263,16 +306,20 @@ impl RewriteRule for AbsMulAssociative {
                     .find(|&v| foldable_producer(graph, v, OpKind::Abs).is_some());
                 let Some(abs_a_val) = abs_a_val else { continue };
                 let abs_a = foldable_producer(graph, abs_a_val, OpKind::Abs).expect("checked");
-                let Some(b) = other_operand(inner, abs_a_val) else { continue };
+                let Some(b) = other_operand(inner, abs_a_val) else {
+                    continue;
+                };
                 let a = abs_a.inputs[0];
                 let c = abs_c.inputs[0];
                 let out_value = m.outputs[0];
                 let removed: BTreeSet<NodeId> =
                     [m.id, inner.id, abs_a.id, abs_c.id].into_iter().collect();
                 let result = apply(graph, removed, &mut |g, map| {
-                    let ac = g.add_op(OpKind::Mul, Attrs::new(), &[map[&a], map[&c]], "rw.mul_ac")?[0];
+                    let ac =
+                        g.add_op(OpKind::Mul, Attrs::new(), &[map[&a], map[&c]], "rw.mul_ac")?[0];
                     let abs_ac = g.add_op(OpKind::Abs, Attrs::new(), &[ac], "rw.abs_ac")?[0];
-                    let out = g.add_op(OpKind::Mul, Attrs::new(), &[abs_ac, map[&b]], "rw.mul_b")?[0];
+                    let out =
+                        g.add_op(OpKind::Mul, Attrs::new(), &[abs_ac, map[&b]], "rw.mul_b")?[0];
                     Ok([(out_value, out)].into_iter().collect())
                 });
                 if result.is_some() {
@@ -312,17 +359,27 @@ impl RewriteRule for DistributiveFactor {
                 Some(p) => p,
                 None => continue,
             };
-            let Some(mul1) = foldable_producer(graph, x, OpKind::Mul) else { continue };
-            let Some(mul2) = foldable_producer(graph, y, OpKind::Mul) else { continue };
-            let shared =
-                mul1.inputs.iter().copied().find(|&s| mul2.inputs.contains(&s));
+            let Some(mul1) = foldable_producer(graph, x, OpKind::Mul) else {
+                continue;
+            };
+            let Some(mul2) = foldable_producer(graph, y, OpKind::Mul) else {
+                continue;
+            };
+            let shared = mul1
+                .inputs
+                .iter()
+                .copied()
+                .find(|&s| mul2.inputs.contains(&s));
             let Some(shared) = shared else { continue };
-            let Some(o1) = other_operand(mul1, shared) else { continue };
-            let Some(o2) = other_operand(mul2, shared) else { continue };
+            let Some(o1) = other_operand(mul1, shared) else {
+                continue;
+            };
+            let Some(o2) = other_operand(mul2, shared) else {
+                continue;
+            };
             // The factored expression must keep the original output shape.
             let orig_shape = &graph.value(add.outputs[0]).shape;
-            let Ok(sum_shape) =
-                broadcast_shapes(&graph.value(o1).shape, &graph.value(o2).shape)
+            let Ok(sum_shape) = broadcast_shapes(&graph.value(o1).shape, &graph.value(o2).shape)
             else {
                 continue;
             };
@@ -372,8 +429,12 @@ impl RewriteRule for MatMulFactor {
                 None => continue,
             };
             for op in [OpKind::MatMul, OpKind::Gemm] {
-                let Some(mm1) = foldable_producer(graph, x, op) else { continue };
-                let Some(mm2) = foldable_producer(graph, y, op) else { continue };
+                let Some(mm1) = foldable_producer(graph, x, op) else {
+                    continue;
+                };
+                let Some(mm2) = foldable_producer(graph, y, op) else {
+                    continue;
+                };
                 if mm1.inputs.len() != 2 || mm2.inputs.len() != 2 {
                     continue;
                 }
@@ -393,7 +454,8 @@ impl RewriteRule for MatMulFactor {
                 let attrs = mm1.attrs.clone();
                 let removed: BTreeSet<NodeId> = [add.id, mm1.id, mm2.id].into_iter().collect();
                 let result = apply(graph, removed, &mut |g, map| {
-                    let sum = g.add_op(OpKind::Add, Attrs::new(), &[map[&b], map[&c]], "rw.add_bc")?[0];
+                    let sum =
+                        g.add_op(OpKind::Add, Attrs::new(), &[map[&b], map[&c]], "rw.add_bc")?[0];
                     let out = g.add_op(op, attrs.clone(), &[map[&a], sum], "rw.matmul")?[0];
                     Ok([(out_value, out)].into_iter().collect())
                 });
@@ -430,10 +492,16 @@ impl RewriteRule for SquareSubDistributive {
                 Some(p) => p,
                 None => continue,
             };
-            let Some(square) = foldable_producer(graph, x, OpKind::Square) else { continue };
-            let Some(mul) = foldable_producer(graph, y, OpKind::Mul) else { continue };
+            let Some(square) = foldable_producer(graph, x, OpKind::Square) else {
+                continue;
+            };
+            let Some(mul) = foldable_producer(graph, y, OpKind::Mul) else {
+                continue;
+            };
             let s = square.inputs[0];
-            let Some(c) = other_operand(mul, s) else { continue };
+            let Some(c) = other_operand(mul, s) else {
+                continue;
+            };
             let out_value = sub.outputs[0];
             let removed: BTreeSet<NodeId> = [sub.id, square.id, mul.id].into_iter().collect();
             let result = apply(graph, removed, &mut |g, map| {
@@ -475,7 +543,9 @@ impl RewriteRule for BitShiftReduceSum {
                 continue;
             }
             let x = reduce.inputs[0];
-            let Some(shift) = foldable_producer(graph, x, OpKind::BitShift) else { continue };
+            let Some(shift) = foldable_producer(graph, x, OpKind::BitShift) else {
+                continue;
+            };
             let a = shift.inputs[0];
             let s = shift.inputs[1];
             // The shift amount must be a scalar so it still broadcasts after
@@ -487,7 +557,12 @@ impl RewriteRule for BitShiftReduceSum {
             let reduce_attrs = reduce.attrs.clone();
             let removed: BTreeSet<NodeId> = [reduce.id, shift.id].into_iter().collect();
             let result = apply(graph, removed, &mut |g, map| {
-                let rs = g.add_op(OpKind::ReduceSum, reduce_attrs.clone(), &[map[&a]], "rw.reduce")?[0];
+                let rs = g.add_op(
+                    OpKind::ReduceSum,
+                    reduce_attrs.clone(),
+                    &[map[&a]],
+                    "rw.reduce",
+                )?[0];
                 let out = g.add_op(OpKind::BitShift, Attrs::new(), &[rs, map[&s]], "rw.shift")?[0];
                 Ok([(out_value, out)].into_iter().collect())
             });
@@ -519,13 +594,20 @@ impl RewriteRule for ExpReduceProd {
                 continue;
             }
             let x = reduce.inputs[0];
-            let Some(exp) = foldable_producer(graph, x, OpKind::Exp) else { continue };
+            let Some(exp) = foldable_producer(graph, x, OpKind::Exp) else {
+                continue;
+            };
             let a = exp.inputs[0];
             let out_value = reduce.outputs[0];
             let reduce_attrs = reduce.attrs.clone();
             let removed: BTreeSet<NodeId> = [reduce.id, exp.id].into_iter().collect();
             let result = apply(graph, removed, &mut |g, map| {
-                let rs = g.add_op(OpKind::ReduceSum, reduce_attrs.clone(), &[map[&a]], "rw.reduce")?[0];
+                let rs = g.add_op(
+                    OpKind::ReduceSum,
+                    reduce_attrs.clone(),
+                    &[map[&a]],
+                    "rw.reduce",
+                )?[0];
                 let out = g.add_op(OpKind::Exp, Attrs::new(), &[rs], "rw.exp")?[0];
                 Ok([(out_value, out)].into_iter().collect())
             });
@@ -541,8 +623,12 @@ impl RewriteRule for ExpReduceProd {
 // Simplification rules (fusion-facilitating structure cleanups)
 // ---------------------------------------------------------------------------
 
-const REORGANIZE_OPS: [OpKind; 4] =
-    [OpKind::Reshape, OpKind::Flatten, OpKind::Squeeze, OpKind::Unsqueeze];
+const REORGANIZE_OPS: [OpKind; 4] = [
+    OpKind::Reshape,
+    OpKind::Flatten,
+    OpKind::Squeeze,
+    OpKind::Unsqueeze,
+];
 
 /// Collapses chains of Reorganize operators (`Reshape`/`Flatten`/`Squeeze`/
 /// `Unsqueeze`) into a single `Reshape` to the final shape — removing a
@@ -618,13 +704,23 @@ impl RewriteRule for TransposePairCancel {
                 continue;
             }
             let x = t2.inputs[0];
-            let Some(t1) = foldable_producer(graph, x, OpKind::Transpose) else { continue };
+            let Some(t1) = foldable_producer(graph, x, OpKind::Transpose) else {
+                continue;
+            };
             let rank = graph.value(t1.inputs[0]).shape.rank();
             let default: Vec<i64> = (0..rank as i64).rev().collect();
-            let p1: Vec<usize> =
-                t1.attrs.ints_or("perm", &default).iter().map(|&p| p as usize).collect();
-            let p2: Vec<usize> =
-                t2.attrs.ints_or("perm", &default).iter().map(|&p| p as usize).collect();
+            let p1: Vec<usize> = t1
+                .attrs
+                .ints_or("perm", &default)
+                .iter()
+                .map(|&p| p as usize)
+                .collect();
+            let p2: Vec<usize> = t2
+                .attrs
+                .ints_or("perm", &default)
+                .iter()
+                .map(|&p| p as usize)
+                .collect();
             if p1.len() != rank || p2.len() != rank {
                 continue;
             }
@@ -728,17 +824,27 @@ mod tests {
                 env.insert(v.index(), t);
             }
         }
-        graph.outputs().iter().map(|v| env[&v.index()].clone()).collect()
+        graph
+            .outputs()
+            .iter()
+            .map(|v| env[&v.index()].clone())
+            .collect()
     }
 
-    fn check_semantics_preserved(graph: &Graph, inputs: &HashMap<String, Tensor>) -> (Graph, usize) {
+    fn check_semantics_preserved(
+        graph: &Graph,
+        inputs: &HashMap<String, Tensor>,
+    ) -> (Graph, usize) {
         let engine = RewriteEngine::with_default_rules();
         let (rewritten, applied) = engine.run(graph);
         let before = run_graph(graph, inputs);
         let after = run_graph(&rewritten, inputs);
         assert_eq!(before.len(), after.len());
         for (a, b) in before.iter().zip(&after) {
-            assert!(a.allclose(b, 1e-3), "rewriting changed the graph's semantics");
+            assert!(
+                a.allclose(b, 1e-3),
+                "rewriting changed the graph's semantics"
+            );
         }
         (rewritten, applied.len())
     }
@@ -753,13 +859,24 @@ mod tests {
         let mut g = Graph::new("recip");
         let a = g.add_input("A", shape4());
         let b = g.add_weight_with_data("B", Tensor::random(shape4(), 3).map(|v| v.abs() + 0.5));
-        let ra = g.add_op(OpKind::Reciprocal, Attrs::new(), &[a], "recip_a").unwrap()[0];
-        let ab = g.add_op(OpKind::Mul, Attrs::new(), &[a, b], "mul_ab").unwrap()[0];
-        let rab = g.add_op(OpKind::Reciprocal, Attrs::new(), &[ab], "recip_ab").unwrap()[0];
-        let out = g.add_op(OpKind::Mul, Attrs::new(), &[ra, rab], "mul").unwrap()[0];
+        let ra = g
+            .add_op(OpKind::Reciprocal, Attrs::new(), &[a], "recip_a")
+            .unwrap()[0];
+        let ab = g
+            .add_op(OpKind::Mul, Attrs::new(), &[a, b], "mul_ab")
+            .unwrap()[0];
+        let rab = g
+            .add_op(OpKind::Reciprocal, Attrs::new(), &[ab], "recip_ab")
+            .unwrap()[0];
+        let out = g
+            .add_op(OpKind::Mul, Attrs::new(), &[ra, rab], "mul")
+            .unwrap()[0];
         g.mark_output(out);
-        let inputs: HashMap<String, Tensor> =
-            [("A".to_string(), Tensor::random(shape4(), 11).map(|v| v.abs() + 0.5))].into();
+        let inputs: HashMap<String, Tensor> = [(
+            "A".to_string(),
+            Tensor::random(shape4(), 11).map(|v| v.abs() + 0.5),
+        )]
+        .into();
         let (rewritten, applied) = check_semantics_preserved(&g, &inputs);
         assert!(applied >= 1);
         assert!(rewritten.nodes().any(|n| n.op == OpKind::Square));
@@ -777,7 +894,8 @@ mod tests {
         let q = g.add_op(OpKind::Mul, Attrs::new(), &[sb, c], "q").unwrap()[0];
         let out = g.add_op(OpKind::Mul, Attrs::new(), &[p, q], "out").unwrap()[0];
         g.mark_output(out);
-        let inputs: HashMap<String, Tensor> = [("A".to_string(), Tensor::random(shape4(), 2))].into();
+        let inputs: HashMap<String, Tensor> =
+            [("A".to_string(), Tensor::random(shape4(), 2))].into();
         let flops_before = g.stats().flops;
         let (rewritten, applied) = check_semantics_preserved(&g, &inputs);
         assert!(applied >= 1);
@@ -793,11 +911,16 @@ mod tests {
         let b = g.add_weight_with_data("B", Tensor::random(shape4(), 8));
         let c = g.add_weight_with_data("C", Tensor::random(shape4(), 9));
         let abs_a = g.add_op(OpKind::Abs, Attrs::new(), &[a], "abs_a").unwrap()[0];
-        let m1 = g.add_op(OpKind::Mul, Attrs::new(), &[abs_a, b], "m1").unwrap()[0];
+        let m1 = g
+            .add_op(OpKind::Mul, Attrs::new(), &[abs_a, b], "m1")
+            .unwrap()[0];
         let abs_c = g.add_op(OpKind::Abs, Attrs::new(), &[c], "abs_c").unwrap()[0];
-        let out = g.add_op(OpKind::Mul, Attrs::new(), &[m1, abs_c], "out").unwrap()[0];
+        let out = g
+            .add_op(OpKind::Mul, Attrs::new(), &[m1, abs_c], "out")
+            .unwrap()[0];
         g.mark_output(out);
-        let inputs: HashMap<String, Tensor> = [("A".to_string(), Tensor::random(shape4(), 4))].into();
+        let inputs: HashMap<String, Tensor> =
+            [("A".to_string(), Tensor::random(shape4(), 4))].into();
         let flops_before = g.stats().flops;
         let (rewritten, applied) = check_semantics_preserved(&g, &inputs);
         assert!(applied >= 1);
@@ -815,9 +938,12 @@ mod tests {
         let c = g.add_weight_with_data("C", Tensor::random(shape4(), 22));
         let ac = g.add_op(OpKind::Mul, Attrs::new(), &[a, c], "ac").unwrap()[0];
         let ab = g.add_op(OpKind::Mul, Attrs::new(), &[a, b], "ab").unwrap()[0];
-        let out = g.add_op(OpKind::Add, Attrs::new(), &[ac, ab], "sum").unwrap()[0];
+        let out = g
+            .add_op(OpKind::Add, Attrs::new(), &[ac, ab], "sum")
+            .unwrap()[0];
         g.mark_output(out);
-        let inputs: HashMap<String, Tensor> = [("A".to_string(), Tensor::random(shape4(), 1))].into();
+        let inputs: HashMap<String, Tensor> =
+            [("A".to_string(), Tensor::random(shape4(), 1))].into();
         let flops_before = g.stats().flops;
         let (rewritten, applied) = check_semantics_preserved(&g, &inputs);
         assert!(applied >= 1);
@@ -831,9 +957,15 @@ mod tests {
         let a = g.add_input("A", Shape::new(vec![8, 16]));
         let b = g.add_weight_with_data("B", Tensor::random(Shape::new(vec![16, 8]), 31));
         let c = g.add_weight_with_data("C", Tensor::random(Shape::new(vec![16, 8]), 32));
-        let ab = g.add_op(OpKind::MatMul, Attrs::new(), &[a, b], "ab").unwrap()[0];
-        let ac = g.add_op(OpKind::MatMul, Attrs::new(), &[a, c], "ac").unwrap()[0];
-        let out = g.add_op(OpKind::Add, Attrs::new(), &[ab, ac], "sum").unwrap()[0];
+        let ab = g
+            .add_op(OpKind::MatMul, Attrs::new(), &[a, b], "ab")
+            .unwrap()[0];
+        let ac = g
+            .add_op(OpKind::MatMul, Attrs::new(), &[a, c], "ac")
+            .unwrap()[0];
+        let out = g
+            .add_op(OpKind::Add, Attrs::new(), &[ab, ac], "sum")
+            .unwrap()[0];
         g.mark_output(out);
         let inputs: HashMap<String, Tensor> =
             [("A".to_string(), Tensor::random(Shape::new(vec![8, 16]), 2))].into();
@@ -842,7 +974,10 @@ mod tests {
         assert!(applied >= 1);
         // One matmul instead of two: close to half the FLOPs.
         assert!(rewritten.stats().flops * 10 < flops_before * 6);
-        assert_eq!(rewritten.nodes().filter(|n| n.op == OpKind::MatMul).count(), 1);
+        assert_eq!(
+            rewritten.nodes().filter(|n| n.op == OpKind::MatMul).count(),
+            1
+        );
     }
 
     #[test]
@@ -853,9 +988,12 @@ mod tests {
         let c = g.add_weight_with_data("C", Tensor::random(shape4(), 41));
         let sq = g.add_op(OpKind::Square, Attrs::new(), &[x], "sq").unwrap()[0];
         let xc = g.add_op(OpKind::Mul, Attrs::new(), &[x, c], "xc").unwrap()[0];
-        let out = g.add_op(OpKind::Sub, Attrs::new(), &[sq, xc], "out").unwrap()[0];
+        let out = g
+            .add_op(OpKind::Sub, Attrs::new(), &[sq, xc], "out")
+            .unwrap()[0];
         g.mark_output(out);
-        let inputs: HashMap<String, Tensor> = [("X".to_string(), Tensor::random(shape4(), 3))].into();
+        let inputs: HashMap<String, Tensor> =
+            [("X".to_string(), Tensor::random(shape4(), 3))].into();
         let flops_before = g.stats().flops;
         let (rewritten, applied) = check_semantics_preserved(&g, &inputs);
         assert!(applied >= 1);
@@ -867,11 +1005,15 @@ mod tests {
         let mut g = Graph::new("shift");
         let a = g.add_input("A", Shape::new(vec![4, 8]));
         let s = g.add_weight_with_data("S", Tensor::scalar(2.0));
-        let shifted = g.add_op(OpKind::BitShift, Attrs::new(), &[a, s], "shift").unwrap()[0];
+        let shifted = g
+            .add_op(OpKind::BitShift, Attrs::new(), &[a, s], "shift")
+            .unwrap()[0];
         let out = g
             .add_op(
                 OpKind::ReduceSum,
-                Attrs::new().with_ints("axes", vec![1]).with_int("keepdims", 0),
+                Attrs::new()
+                    .with_ints("axes", vec![1])
+                    .with_int("keepdims", 0),
                 &[shifted],
                 "sum",
             )
@@ -889,7 +1031,10 @@ mod tests {
         assert!(applied >= 1);
         assert!(rewritten.stats().flops < flops_before);
         // The shift now consumes the reduced tensor.
-        let shift_node = rewritten.nodes().find(|n| n.op == OpKind::BitShift).unwrap();
+        let shift_node = rewritten
+            .nodes()
+            .find(|n| n.op == OpKind::BitShift)
+            .unwrap();
         assert_eq!(rewritten.value(shift_node.inputs[0]).shape.dims(), &[4]);
     }
 
@@ -901,14 +1046,19 @@ mod tests {
         let out = g
             .add_op(
                 OpKind::ReduceProd,
-                Attrs::new().with_ints("axes", vec![1]).with_int("keepdims", 0),
+                Attrs::new()
+                    .with_ints("axes", vec![1])
+                    .with_int("keepdims", 0),
                 &[e],
                 "prod",
             )
             .unwrap()[0];
         g.mark_output(out);
-        let inputs: HashMap<String, Tensor> =
-            [("A".to_string(), Tensor::random(Shape::new(vec![3, 5]), 9).map(|v| v * 0.1))].into();
+        let inputs: HashMap<String, Tensor> = [(
+            "A".to_string(),
+            Tensor::random(Shape::new(vec![3, 5]), 9).map(|v| v * 0.1),
+        )]
+        .into();
         let (rewritten, applied) = check_semantics_preserved(&g, &inputs);
         assert!(applied >= 1);
         assert!(rewritten.nodes().any(|n| n.op == OpKind::ReduceSum));
@@ -920,13 +1070,28 @@ mod tests {
         let mut g = Graph::new("reorg");
         let x = g.add_input("X", Shape::new(vec![2, 3, 4]));
         let r1 = g
-            .add_op(OpKind::Reshape, Attrs::new().with_ints("shape", vec![6, 4]), &[x], "r1")
+            .add_op(
+                OpKind::Reshape,
+                Attrs::new().with_ints("shape", vec![6, 4]),
+                &[x],
+                "r1",
+            )
             .unwrap()[0];
-        let r2 = g.add_op(OpKind::Flatten, Attrs::new().with_int("axis", 1), &[r1], "r2").unwrap()[0];
+        let r2 = g
+            .add_op(
+                OpKind::Flatten,
+                Attrs::new().with_int("axis", 1),
+                &[r1],
+                "r2",
+            )
+            .unwrap()[0];
         let relu = g.add_op(OpKind::Relu, Attrs::new(), &[r2], "relu").unwrap()[0];
         g.mark_output(relu);
-        let inputs: HashMap<String, Tensor> =
-            [("X".to_string(), Tensor::random(Shape::new(vec![2, 3, 4]), 5))].into();
+        let inputs: HashMap<String, Tensor> = [(
+            "X".to_string(),
+            Tensor::random(Shape::new(vec![2, 3, 4]), 5),
+        )]
+        .into();
         let (rewritten, applied) = check_semantics_preserved(&g, &inputs);
         assert!(applied >= 1);
         assert_eq!(
@@ -943,15 +1108,28 @@ mod tests {
         let mut g = Graph::new("tpair");
         let x = g.add_input("X", Shape::new(vec![2, 3, 4]));
         let t1 = g
-            .add_op(OpKind::Transpose, Attrs::new().with_ints("perm", vec![1, 2, 0]), &[x], "t1")
+            .add_op(
+                OpKind::Transpose,
+                Attrs::new().with_ints("perm", vec![1, 2, 0]),
+                &[x],
+                "t1",
+            )
             .unwrap()[0];
         let t2 = g
-            .add_op(OpKind::Transpose, Attrs::new().with_ints("perm", vec![2, 0, 1]), &[t1], "t2")
+            .add_op(
+                OpKind::Transpose,
+                Attrs::new().with_ints("perm", vec![2, 0, 1]),
+                &[t1],
+                "t2",
+            )
             .unwrap()[0];
         let relu = g.add_op(OpKind::Relu, Attrs::new(), &[t2], "relu").unwrap()[0];
         g.mark_output(relu);
-        let inputs: HashMap<String, Tensor> =
-            [("X".to_string(), Tensor::random(Shape::new(vec![2, 3, 4]), 5))].into();
+        let inputs: HashMap<String, Tensor> = [(
+            "X".to_string(),
+            Tensor::random(Shape::new(vec![2, 3, 4]), 5),
+        )]
+        .into();
         let (rewritten, applied) = check_semantics_preserved(&g, &inputs);
         assert!(applied >= 1);
         // The two transposes compose to the identity and disappear.
@@ -963,8 +1141,12 @@ mod tests {
         let mut g = Graph::new("id");
         let x = g.add_input("X", Shape::new(vec![4]));
         let r = g.add_op(OpKind::Relu, Attrs::new(), &[x], "relu").unwrap()[0];
-        let i = g.add_op(OpKind::Identity, Attrs::new(), &[r], "id").unwrap()[0];
-        let s = g.add_op(OpKind::Sigmoid, Attrs::new(), &[i], "sig").unwrap()[0];
+        let i = g
+            .add_op(OpKind::Identity, Attrs::new(), &[r], "id")
+            .unwrap()[0];
+        let s = g
+            .add_op(OpKind::Sigmoid, Attrs::new(), &[i], "sig")
+            .unwrap()[0];
         g.mark_output(s);
         let inputs: HashMap<String, Tensor> =
             [("X".to_string(), Tensor::random(Shape::new(vec![4]), 5))].into();
@@ -980,11 +1162,19 @@ mod tests {
         let a = g.add_input("A", shape4());
         let b = g.add_weight_with_data("B", Tensor::random(shape4(), 1));
         let ab = g.add_op(OpKind::Mul, Attrs::new(), &[a, b], "ab").unwrap()[0];
-        let r = g.add_op(OpKind::Reciprocal, Attrs::new(), &[ab], "recip").unwrap()[0];
-        let ra = g.add_op(OpKind::Reciprocal, Attrs::new(), &[a], "recip_a").unwrap()[0];
-        let out = g.add_op(OpKind::Mul, Attrs::new(), &[ra, r], "out").unwrap()[0];
+        let r = g
+            .add_op(OpKind::Reciprocal, Attrs::new(), &[ab], "recip")
+            .unwrap()[0];
+        let ra = g
+            .add_op(OpKind::Reciprocal, Attrs::new(), &[a], "recip_a")
+            .unwrap()[0];
+        let out = g
+            .add_op(OpKind::Mul, Attrs::new(), &[ra, r], "out")
+            .unwrap()[0];
         // Second consumer of the inner Mul.
-        let extra = g.add_op(OpKind::Relu, Attrs::new(), &[ab], "extra").unwrap()[0];
+        let extra = g
+            .add_op(OpKind::Relu, Attrs::new(), &[ab], "extra")
+            .unwrap()[0];
         g.mark_output(out);
         g.mark_output(extra);
         let engine = RewriteEngine::with_default_rules();

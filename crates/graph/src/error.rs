@@ -55,7 +55,10 @@ impl std::error::Error for GraphError {
 
 impl From<OpError> for GraphError {
     fn from(e: OpError) -> Self {
-        GraphError::ShapeInference { node: "<unnamed>".into(), source: e }
+        GraphError::ShapeInference {
+            node: "<unnamed>".into(),
+            source: e,
+        }
     }
 }
 

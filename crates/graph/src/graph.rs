@@ -87,13 +87,23 @@ impl Graph {
     /// [`GraphError::Invalid`] when the value is not a weight or the shapes
     /// differ.
     pub fn set_weight_data(&mut self, id: ValueId, data: Tensor) -> Result<(), GraphError> {
-        let value = self.values.get(id.0).ok_or(GraphError::UnknownValue { id: id.0 })?;
+        let value = self
+            .values
+            .get(id.0)
+            .ok_or(GraphError::UnknownValue { id: id.0 })?;
         if value.kind != ValueKind::Weight {
-            return Err(GraphError::Invalid { reason: format!("value `{}` is not a weight", value.name) });
+            return Err(GraphError::Invalid {
+                reason: format!("value `{}` is not a weight", value.name),
+            });
         }
         if value.shape != *data.shape() {
             return Err(GraphError::Invalid {
-                reason: format!("weight `{}` shape {} != data shape {}", value.name, value.shape, data.shape()),
+                reason: format!(
+                    "weight `{}` shape {} != data shape {}",
+                    value.name,
+                    value.shape,
+                    data.shape()
+                ),
             });
         }
         self.weight_data.insert(id, data);
@@ -126,16 +136,32 @@ impl Graph {
                 return Err(GraphError::UnknownValue { id: id.0 });
             }
         }
-        let input_shapes: Vec<Shape> =
-            inputs.iter().map(|&id| self.values[id.0].shape.clone()).collect();
-        let output_shapes = infer_shapes(op, &attrs, &input_shapes)
-            .map_err(|source| GraphError::ShapeInference { node: name.clone(), source })?;
+        let input_shapes: Vec<Shape> = inputs
+            .iter()
+            .map(|&id| self.values[id.0].shape.clone())
+            .collect();
+        let output_shapes = infer_shapes(op, &attrs, &input_shapes).map_err(|source| {
+            GraphError::ShapeInference {
+                node: name.clone(),
+                source,
+            }
+        })?;
 
         let node_id = NodeId(self.nodes.len());
         let mut output_ids = Vec::with_capacity(output_shapes.len());
         for (i, shape) in output_shapes.into_iter().enumerate() {
-            let vname = if i == 0 { format!("{name}:out") } else { format!("{name}:out{i}") };
-            let vid = self.push_value(vname, shape, DataType::F32, ValueKind::Intermediate, Some(node_id));
+            let vname = if i == 0 {
+                format!("{name}:out")
+            } else {
+                format!("{name}:out{i}")
+            };
+            let vid = self.push_value(
+                vname,
+                shape,
+                DataType::F32,
+                ValueKind::Intermediate,
+                Some(node_id),
+            );
             output_ids.push(vid);
         }
         for &id in inputs {
@@ -241,8 +267,11 @@ impl Graph {
     /// sort so the invariant survives graph rewriting.
     #[must_use]
     pub fn topo_order(&self) -> Vec<NodeId> {
-        let mut in_degree: Vec<usize> =
-            self.nodes.iter().map(|n| self.predecessors(n.id).len()).collect();
+        let mut in_degree: Vec<usize> = self
+            .nodes
+            .iter()
+            .map(|n| self.predecessors(n.id).len())
+            .collect();
         let mut queue: VecDeque<NodeId> = self
             .nodes
             .iter()
@@ -274,7 +303,10 @@ impl Graph {
             for &input in &node.inputs {
                 if input.0 >= self.values.len() {
                     return Err(GraphError::Invalid {
-                        reason: format!("node `{}` references missing value {}", node.name, input.0),
+                        reason: format!(
+                            "node `{}` references missing value {}",
+                            node.name, input.0
+                        ),
                     });
                 }
             }
@@ -287,10 +319,14 @@ impl Graph {
             }
         }
         if self.outputs.is_empty() && !self.nodes.is_empty() {
-            return Err(GraphError::Invalid { reason: "no outputs marked".into() });
+            return Err(GraphError::Invalid {
+                reason: "no outputs marked".into(),
+            });
         }
         if self.topo_order().len() != self.nodes.len() {
-            return Err(GraphError::Invalid { reason: "graph contains a cycle".into() });
+            return Err(GraphError::Invalid {
+                reason: "graph contains a cycle".into(),
+            });
         }
         Ok(())
     }
@@ -299,17 +335,26 @@ impl Graph {
     /// parameters) — the raw material of the paper's Tables 1 and 5.
     #[must_use]
     pub fn stats(&self) -> GraphStats {
-        let mut stats = GraphStats { total_layers: self.nodes.len(), ..GraphStats::default() };
+        let mut stats = GraphStats {
+            total_layers: self.nodes.len(),
+            ..GraphStats::default()
+        };
         for node in &self.nodes {
             if node.is_compute_intensive() {
                 stats.compute_intensive_layers += 1;
             } else {
                 stats.memory_intensive_layers += 1;
             }
-            let input_shapes: Vec<Shape> =
-                node.inputs.iter().map(|&id| self.values[id.0].shape.clone()).collect();
-            let output_shapes: Vec<Shape> =
-                node.outputs.iter().map(|&id| self.values[id.0].shape.clone()).collect();
+            let input_shapes: Vec<Shape> = node
+                .inputs
+                .iter()
+                .map(|&id| self.values[id.0].shape.clone())
+                .collect();
+            let output_shapes: Vec<Shape> = node
+                .outputs
+                .iter()
+                .map(|&id| self.values[id.0].shape.clone())
+                .collect();
             stats.flops += cost::flops(node.op, &node.attrs, &input_shapes, &output_shapes);
         }
         for value in &self.values {
@@ -334,7 +379,10 @@ impl Graph {
                 .first()
                 .map(|&o| self.values[o.0].shape.to_string())
                 .unwrap_or_default();
-            s.push_str(&format!("  n{} [label=\"{} {}\"];\n", node.id.0, node.op, shape));
+            s.push_str(&format!(
+                "  n{} [label=\"{} {}\"];\n",
+                node.id.0, node.op, shape
+            ));
         }
         for node in &self.nodes {
             for succ in self.successors(node.id) {
@@ -354,7 +402,15 @@ impl Graph {
         producer: Option<NodeId>,
     ) -> ValueId {
         let id = ValueId(self.values.len());
-        self.values.push(Value { id, name, shape, dtype, kind, producer, consumers: Vec::new() });
+        self.values.push(Value {
+            id,
+            name,
+            shape,
+            dtype,
+            kind,
+            producer,
+            consumers: Vec::new(),
+        });
         match kind {
             ValueKind::Input => self.inputs.push(id),
             ValueKind::Output => self.outputs.push(id),
@@ -382,20 +438,31 @@ mod tests {
                 "conv1",
             )
             .unwrap()[0];
-        let relu = g.add_op(OpKind::Relu, Attrs::new(), &[conv], "relu1").unwrap()[0];
+        let relu = g
+            .add_op(OpKind::Relu, Attrs::new(), &[conv], "relu1")
+            .unwrap()[0];
         let pool = g
             .add_op(
                 OpKind::MaxPool,
-                Attrs::new().with_ints("kernel_shape", vec![2, 2]).with_ints("strides", vec![2, 2]),
+                Attrs::new()
+                    .with_ints("kernel_shape", vec![2, 2])
+                    .with_ints("strides", vec![2, 2]),
                 &[relu],
                 "pool1",
             )
             .unwrap()[0];
         let flat = g
-            .add_op(OpKind::Flatten, Attrs::new().with_int("axis", 1), &[pool], "flatten")
+            .add_op(
+                OpKind::Flatten,
+                Attrs::new().with_int("axis", 1),
+                &[pool],
+                "flatten",
+            )
             .unwrap()[0];
         let fc_w = g.add_weight("fc.w", Shape::new(vec![64, 10]));
-        let fc = g.add_op(OpKind::MatMul, Attrs::new(), &[flat, fc_w], "fc").unwrap()[0];
+        let fc = g
+            .add_op(OpKind::MatMul, Attrs::new(), &[flat, fc_w], "fc")
+            .unwrap()[0];
         g.mark_output(fc);
         g
     }
@@ -430,8 +497,10 @@ mod tests {
         let g = toy_cnn();
         let order = g.topo_order();
         assert_eq!(order.len(), 5);
-        let positions: Vec<usize> =
-            g.nodes().map(|n| order.iter().position(|&o| o == n.id).unwrap()).collect();
+        let positions: Vec<usize> = g
+            .nodes()
+            .map(|n| order.iter().position(|&o| o == n.id).unwrap())
+            .collect();
         // Conv before Relu before MaxPool.
         assert!(positions[0] < positions[1]);
         assert!(positions[1] < positions[2]);
@@ -472,7 +541,9 @@ mod tests {
         g.set_weight_data(w, t.clone()).unwrap();
         assert_eq!(g.weight_data(w), Some(&t));
         // Shape mismatch rejected.
-        assert!(g.set_weight_data(w, Tensor::zeros(Shape::new(vec![3]))).is_err());
+        assert!(g
+            .set_weight_data(w, Tensor::zeros(Shape::new(vec![3])))
+            .is_err());
         // Non-weight values rejected.
         let x = g.add_input("x", Shape::new(vec![2, 2]));
         assert!(g.set_weight_data(x, t).is_err());
@@ -488,7 +559,9 @@ mod tests {
         let outs = g
             .add_op(
                 OpKind::Split,
-                Attrs::new().with_int("axis", 1).with_ints("split", vec![4, 4]),
+                Attrs::new()
+                    .with_int("axis", 1)
+                    .with_ints("split", vec![4, 4]),
                 &[x],
                 "split",
             )

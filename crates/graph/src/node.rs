@@ -57,7 +57,10 @@ mod tests {
             outputs: vec![],
         };
         assert!(n.is_compute_intensive());
-        let n = Node { op: OpKind::Relu, ..n };
+        let n = Node {
+            op: OpKind::Relu,
+            ..n
+        };
         assert!(!n.is_compute_intensive());
     }
 

@@ -12,8 +12,7 @@ pub fn vgg16(scale: ModelScale) -> Result<Graph, GraphError> {
     let mut g = Graph::new("VGG-16");
     let s = scale.spatial.max(32);
     let mut x = g.add_input("image", Shape::new(vec![1, 3, s, s]));
-    let stages: [(usize, usize); 5] =
-        [(64, 2), (128, 2), (256, 3), (512, 3), (512, 3)];
+    let stages: [(usize, usize); 5] = [(64, 2), (128, 2), (256, 3), (512, 3), (512, 3)];
     let mut in_ch = 3;
     for (stage, &(width, convs)) in stages.iter().enumerate() {
         let out_ch = scale.ch(width);
@@ -29,18 +28,50 @@ pub fn vgg16(scale: ModelScale) -> Result<Graph, GraphError> {
                 &[x, w],
                 format!("s{stage}.c{c}.conv"),
             )?[0];
-            let b = g.add_weight(format!("s{stage}.c{c}.b"), Shape::new(vec![1, out_ch, 1, 1]));
-            let biased = g.add_op(OpKind::Add, Attrs::new(), &[conv, b], format!("s{stage}.c{c}.bias"))?[0];
-            x = g.add_op(OpKind::Relu, Attrs::new(), &[biased], format!("s{stage}.c{c}.relu"))?[0];
+            let b = g.add_weight(
+                format!("s{stage}.c{c}.b"),
+                Shape::new(vec![1, out_ch, 1, 1]),
+            );
+            let biased = g.add_op(
+                OpKind::Add,
+                Attrs::new(),
+                &[conv, b],
+                format!("s{stage}.c{c}.bias"),
+            )?[0];
+            x = g.add_op(
+                OpKind::Relu,
+                Attrs::new(),
+                &[biased],
+                format!("s{stage}.c{c}.relu"),
+            )?[0];
             in_ch = out_ch;
         }
         x = max_pool(&mut g, x, 2, 2, &format!("s{stage}.pool"))?;
     }
-    let flat = g.add_op(OpKind::Flatten, Attrs::new().with_int("axis", 1), &[x], "flatten")?[0];
+    let flat = g.add_op(
+        OpKind::Flatten,
+        Attrs::new().with_int("axis", 1),
+        &[x],
+        "flatten",
+    )?[0];
     let spatial = s / 32;
     let features = in_ch * spatial * spatial;
-    let fc1 = linear(&mut g, flat, features, scale.ch(4096), Some(OpKind::Relu), "fc1")?;
-    let fc2 = linear(&mut g, fc1, scale.ch(4096), scale.ch(4096), Some(OpKind::Relu), "fc2")?;
+    let fc1 = linear(
+        &mut g,
+        flat,
+        features,
+        scale.ch(4096),
+        Some(OpKind::Relu),
+        "fc1",
+    )?;
+    let fc2 = linear(
+        &mut g,
+        fc1,
+        scale.ch(4096),
+        scale.ch(4096),
+        Some(OpKind::Relu),
+        "fc2",
+    )?;
     let logits = linear(&mut g, fc2, scale.ch(4096), scale.ch(1000), None, "fc3")?;
     let probs = g.add_op(OpKind::Softmax, Attrs::new(), &[logits], "softmax")?[0];
     g.mark_output(probs);
@@ -63,23 +94,79 @@ fn mbconv(
     let mid = (in_ch * expand).max(2);
     let mut x = input;
     if expand > 1 {
-        x = conv_bn_act(g, x, in_ch, mid, 1, 1, 1, Some(OpKind::Silu), &format!("{name}.expand"))?;
+        x = conv_bn_act(
+            g,
+            x,
+            in_ch,
+            mid,
+            1,
+            1,
+            1,
+            Some(OpKind::Silu),
+            &format!("{name}.expand"),
+        )?;
     }
-    x = conv_bn_act(g, x, mid, mid, kernel, stride, mid, Some(OpKind::Silu), &format!("{name}.dw"))?;
+    x = conv_bn_act(
+        g,
+        x,
+        mid,
+        mid,
+        kernel,
+        stride,
+        mid,
+        Some(OpKind::Silu),
+        &format!("{name}.dw"),
+    )?;
     // Squeeze and excitation.
-    let pooled = g.add_op(OpKind::GlobalAveragePool, Attrs::new(), &[x], format!("{name}.se.pool"))?[0];
+    let pooled = g.add_op(
+        OpKind::GlobalAveragePool,
+        Attrs::new(),
+        &[x],
+        format!("{name}.se.pool"),
+    )?[0];
     let reduce_ch = (mid / 4).max(1);
-    let w1 = g.add_weight(format!("{name}.se.w1"), Shape::new(vec![reduce_ch, mid, 1, 1]));
-    let se1 = g.add_op(OpKind::Conv, Attrs::new(), &[pooled, w1], format!("{name}.se.reduce"))?[0];
+    let w1 = g.add_weight(
+        format!("{name}.se.w1"),
+        Shape::new(vec![reduce_ch, mid, 1, 1]),
+    );
+    let se1 = g.add_op(
+        OpKind::Conv,
+        Attrs::new(),
+        &[pooled, w1],
+        format!("{name}.se.reduce"),
+    )?[0];
     let se1 = g.add_op(OpKind::Silu, Attrs::new(), &[se1], format!("{name}.se.act"))?[0];
-    let w2 = g.add_weight(format!("{name}.se.w2"), Shape::new(vec![mid, reduce_ch, 1, 1]));
-    let se2 = g.add_op(OpKind::Conv, Attrs::new(), &[se1, w2], format!("{name}.se.expand"))?[0];
-    let gate = g.add_op(OpKind::Sigmoid, Attrs::new(), &[se2], format!("{name}.se.gate"))?[0];
-    x = g.add_op(OpKind::Mul, Attrs::new(), &[x, gate], format!("{name}.se.scale"))?[0];
+    let w2 = g.add_weight(
+        format!("{name}.se.w2"),
+        Shape::new(vec![mid, reduce_ch, 1, 1]),
+    );
+    let se2 = g.add_op(
+        OpKind::Conv,
+        Attrs::new(),
+        &[se1, w2],
+        format!("{name}.se.expand"),
+    )?[0];
+    let gate = g.add_op(
+        OpKind::Sigmoid,
+        Attrs::new(),
+        &[se2],
+        format!("{name}.se.gate"),
+    )?[0];
+    x = g.add_op(
+        OpKind::Mul,
+        Attrs::new(),
+        &[x, gate],
+        format!("{name}.se.scale"),
+    )?[0];
     // Projection.
     x = conv_bn_act(g, x, mid, out_ch, 1, 1, 1, None, &format!("{name}.project"))?;
     if stride == 1 && in_ch == out_ch {
-        x = g.add_op(OpKind::Add, Attrs::new(), &[x, input], format!("{name}.residual"))?[0];
+        x = g.add_op(
+            OpKind::Add,
+            Attrs::new(),
+            &[x, input],
+            format!("{name}.residual"),
+        )?[0];
     }
     Ok((x, out_ch))
 }
@@ -89,7 +176,17 @@ pub fn efficientnet_b0(scale: ModelScale) -> Result<Graph, GraphError> {
     let mut g = Graph::new("EfficientNet-B0");
     let s = scale.spatial.max(32);
     let input = g.add_input("image", Shape::new(vec![1, 3, s, s]));
-    let mut x = conv_bn_act(&mut g, input, 3, scale.ch(32), 3, 2, 1, Some(OpKind::Silu), "stem")?;
+    let mut x = conv_bn_act(
+        &mut g,
+        input,
+        3,
+        scale.ch(32),
+        3,
+        2,
+        1,
+        Some(OpKind::Silu),
+        "stem",
+    )?;
     let mut ch = scale.ch(32);
     // (expand, channels, repeats, stride, kernel) per stage, as in the paper.
     let stages: [(usize, usize, usize, usize, usize); 7] = [
@@ -105,15 +202,46 @@ pub fn efficientnet_b0(scale: ModelScale) -> Result<Graph, GraphError> {
         let out_ch = scale.ch(width);
         for r in 0..repeats {
             let stride = if r == 0 { stride } else { 1 };
-            let (y, c) = mbconv(&mut g, x, ch, out_ch, expand, kernel, stride, &format!("b{si}.{r}"))?;
+            let (y, c) = mbconv(
+                &mut g,
+                x,
+                ch,
+                out_ch,
+                expand,
+                kernel,
+                stride,
+                &format!("b{si}.{r}"),
+            )?;
             x = y;
             ch = c;
         }
     }
-    let head = conv_bn_act(&mut g, x, ch, scale.ch(1280), 1, 1, 1, Some(OpKind::Silu), "head")?;
+    let head = conv_bn_act(
+        &mut g,
+        x,
+        ch,
+        scale.ch(1280),
+        1,
+        1,
+        1,
+        Some(OpKind::Silu),
+        "head",
+    )?;
     let pooled = g.add_op(OpKind::GlobalAveragePool, Attrs::new(), &[head], "avgpool")?[0];
-    let flat = g.add_op(OpKind::Flatten, Attrs::new().with_int("axis", 1), &[pooled], "flatten")?[0];
-    let logits = linear(&mut g, flat, scale.ch(1280), scale.ch(1000), None, "classifier")?;
+    let flat = g.add_op(
+        OpKind::Flatten,
+        Attrs::new().with_int("axis", 1),
+        &[pooled],
+        "flatten",
+    )?[0];
+    let logits = linear(
+        &mut g,
+        flat,
+        scale.ch(1280),
+        scale.ch(1000),
+        None,
+        "classifier",
+    )?;
     let probs = g.add_op(OpKind::Softmax, Attrs::new(), &[logits], "softmax")?[0];
     g.mark_output(probs);
     Ok(g)
@@ -124,7 +252,17 @@ pub fn mobilenet_v1_ssd(scale: ModelScale) -> Result<Graph, GraphError> {
     let mut g = Graph::new("MobileNetV1-SSD");
     let s = scale.spatial.max(32);
     let input = g.add_input("image", Shape::new(vec![1, 3, s, s]));
-    let mut x = conv_bn_act(&mut g, input, 3, scale.ch(32), 3, 2, 1, Some(OpKind::Relu), "stem")?;
+    let mut x = conv_bn_act(
+        &mut g,
+        input,
+        3,
+        scale.ch(32),
+        3,
+        2,
+        1,
+        Some(OpKind::Relu),
+        "stem",
+    )?;
     let mut ch = scale.ch(32);
     // Depthwise-separable blocks: (out channels, stride).
     let blocks: [(usize, usize); 13] = [
@@ -145,8 +283,28 @@ pub fn mobilenet_v1_ssd(scale: ModelScale) -> Result<Graph, GraphError> {
     let mut feature_maps = Vec::new();
     for (i, &(width, stride)) in blocks.iter().enumerate() {
         let out_ch = scale.ch(width);
-        x = conv_bn_act(&mut g, x, ch, ch, 3, stride, ch, Some(OpKind::Relu), &format!("dw{i}"))?;
-        x = conv_bn_act(&mut g, x, ch, out_ch, 1, 1, 1, Some(OpKind::Relu), &format!("pw{i}"))?;
+        x = conv_bn_act(
+            &mut g,
+            x,
+            ch,
+            ch,
+            3,
+            stride,
+            ch,
+            Some(OpKind::Relu),
+            &format!("dw{i}"),
+        )?;
+        x = conv_bn_act(
+            &mut g,
+            x,
+            ch,
+            out_ch,
+            1,
+            1,
+            1,
+            Some(OpKind::Relu),
+            &format!("pw{i}"),
+        )?;
         ch = out_ch;
         if i == 10 || i == 12 {
             feature_maps.push((x, ch));
@@ -186,11 +344,24 @@ pub fn mobilenet_v1_ssd(scale: ModelScale) -> Result<Graph, GraphError> {
             store.push(flat);
         }
     }
-    let class_cat =
-        g.add_op(OpKind::Concat, Attrs::new().with_int("axis", 1), &class_branches, "cls.concat")?[0];
-    let box_cat =
-        g.add_op(OpKind::Concat, Attrs::new().with_int("axis", 1), &box_branches, "box.concat")?[0];
-    let scores = g.add_op(OpKind::Softmax, Attrs::new().with_int("axis", -1), &[class_cat], "cls.softmax")?[0];
+    let class_cat = g.add_op(
+        OpKind::Concat,
+        Attrs::new().with_int("axis", 1),
+        &class_branches,
+        "cls.concat",
+    )?[0];
+    let box_cat = g.add_op(
+        OpKind::Concat,
+        Attrs::new().with_int("axis", 1),
+        &box_branches,
+        "box.concat",
+    )?[0];
+    let scores = g.add_op(
+        OpKind::Softmax,
+        Attrs::new().with_int("axis", -1),
+        &[class_cat],
+        "cls.softmax",
+    )?[0];
     g.mark_output(scores);
     g.mark_output(box_cat);
     Ok(g)
@@ -202,21 +373,66 @@ pub fn yolo_v4(scale: ModelScale) -> Result<Graph, GraphError> {
     let mut g = Graph::new("YOLO-V4");
     let s = scale.spatial.max(32);
     let input = g.add_input("image", Shape::new(vec![1, 3, s, s]));
-    let mut x = conv_bn_act(&mut g, input, 3, scale.ch(32), 3, 1, 1, Some(OpKind::Mish), "stem")?;
+    let mut x = conv_bn_act(
+        &mut g,
+        input,
+        3,
+        scale.ch(32),
+        3,
+        1,
+        1,
+        Some(OpKind::Mish),
+        "stem",
+    )?;
     let mut ch = scale.ch(32);
     // Backbone: downsample + residual stages (repeats as in CSPDarknet53).
     let stages: [(usize, usize); 5] = [(64, 1), (128, 2), (256, 8), (512, 8), (1024, 4)];
     let mut features = Vec::new();
     for (si, &(width, blocks)) in stages.iter().enumerate() {
         let out_ch = scale.ch(width);
-        x = conv_bn_act(&mut g, x, ch, out_ch, 3, 2, 1, Some(OpKind::Mish), &format!("down{si}"))?;
+        x = conv_bn_act(
+            &mut g,
+            x,
+            ch,
+            out_ch,
+            3,
+            2,
+            1,
+            Some(OpKind::Mish),
+            &format!("down{si}"),
+        )?;
         ch = out_ch;
         let blocks = scale.repeats(blocks);
         for b in 0..blocks {
             let mid = (ch / 2).max(2);
-            let c1 = conv_bn_act(&mut g, x, ch, mid, 1, 1, 1, Some(OpKind::Mish), &format!("s{si}.b{b}.c1"))?;
-            let c2 = conv_bn_act(&mut g, c1, mid, ch, 3, 1, 1, Some(OpKind::Mish), &format!("s{si}.b{b}.c2"))?;
-            x = g.add_op(OpKind::Add, Attrs::new(), &[x, c2], format!("s{si}.b{b}.residual"))?[0];
+            let c1 = conv_bn_act(
+                &mut g,
+                x,
+                ch,
+                mid,
+                1,
+                1,
+                1,
+                Some(OpKind::Mish),
+                &format!("s{si}.b{b}.c1"),
+            )?;
+            let c2 = conv_bn_act(
+                &mut g,
+                c1,
+                mid,
+                ch,
+                3,
+                1,
+                1,
+                Some(OpKind::Mish),
+                &format!("s{si}.b{b}.c2"),
+            )?;
+            x = g.add_op(
+                OpKind::Add,
+                Attrs::new(),
+                &[x, c2],
+                format!("s{si}.b{b}.residual"),
+            )?[0];
         }
         if si >= 2 {
             features.push((x, ch));
@@ -238,8 +454,23 @@ pub fn yolo_v4(scale: ModelScale) -> Result<Graph, GraphError> {
         )?[0];
         spp_branches.push(pooled);
     }
-    let spp = g.add_op(OpKind::Concat, Attrs::new().with_int("axis", 1), &spp_branches, "spp.concat")?[0];
-    let mut neck = conv_bn_act(&mut g, spp, deep_ch * 4, deep_ch, 1, 1, 1, Some(OpKind::LeakyRelu), "spp.fuse")?;
+    let spp = g.add_op(
+        OpKind::Concat,
+        Attrs::new().with_int("axis", 1),
+        &spp_branches,
+        "spp.concat",
+    )?[0];
+    let mut neck = conv_bn_act(
+        &mut g,
+        spp,
+        deep_ch * 4,
+        deep_ch,
+        1,
+        1,
+        1,
+        Some(OpKind::LeakyRelu),
+        "spp.fuse",
+    )?;
     // PANet top-down path with upsampling and concatenation.
     let mut heads = Vec::new();
     let mut neck_ch = deep_ch;
@@ -292,13 +523,39 @@ pub fn yolo_v4(scale: ModelScale) -> Result<Graph, GraphError> {
         neck_ch = (feat_ch / 2).max(1);
         heads.push((neck, neck_ch));
     }
-    heads.push((conv_bn_act(&mut g, spp, deep_ch * 4, deep_ch, 3, 1, 1, Some(OpKind::LeakyRelu), "head.deep")?, deep_ch));
+    heads.push((
+        conv_bn_act(
+            &mut g,
+            spp,
+            deep_ch * 4,
+            deep_ch,
+            3,
+            1,
+            1,
+            Some(OpKind::LeakyRelu),
+            "head.deep",
+        )?,
+        deep_ch,
+    ));
     // YOLO heads: conv to (anchors * (5 + classes)) then sigmoid.
     for (hi, &(feat, feat_ch)) in heads.iter().enumerate() {
         let out_ch = 3 * 7; // 3 anchors x (5 + 2 scaled classes)
-        let w = g.add_weight(format!("yolo{hi}.w"), Shape::new(vec![out_ch, feat_ch, 1, 1]));
-        let conv = g.add_op(OpKind::Conv, Attrs::new(), &[feat, w], format!("yolo{hi}.conv"))?[0];
-        let act = g.add_op(OpKind::Sigmoid, Attrs::new(), &[conv], format!("yolo{hi}.sigmoid"))?[0];
+        let w = g.add_weight(
+            format!("yolo{hi}.w"),
+            Shape::new(vec![out_ch, feat_ch, 1, 1]),
+        );
+        let conv = g.add_op(
+            OpKind::Conv,
+            Attrs::new(),
+            &[feat, w],
+            format!("yolo{hi}.conv"),
+        )?[0];
+        let act = g.add_op(
+            OpKind::Sigmoid,
+            Attrs::new(),
+            &[conv],
+            format!("yolo{hi}.sigmoid"),
+        )?[0];
         let reshaped = g.add_op(
             OpKind::Reshape,
             Attrs::new().with_ints("shape", vec![1, 3, 7, -1]),
@@ -323,16 +580,56 @@ pub fn unet(scale: ModelScale) -> Result<Graph, GraphError> {
     // Encoder.
     for (level, &w) in widths.iter().enumerate() {
         let out_ch = scale.ch(w);
-        x = conv_bn_act(&mut g, x, ch, out_ch, 3, 1, 1, Some(OpKind::Relu), &format!("enc{level}.c1"))?;
-        x = conv_bn_act(&mut g, x, out_ch, out_ch, 3, 1, 1, Some(OpKind::Relu), &format!("enc{level}.c2"))?;
+        x = conv_bn_act(
+            &mut g,
+            x,
+            ch,
+            out_ch,
+            3,
+            1,
+            1,
+            Some(OpKind::Relu),
+            &format!("enc{level}.c1"),
+        )?;
+        x = conv_bn_act(
+            &mut g,
+            x,
+            out_ch,
+            out_ch,
+            3,
+            1,
+            1,
+            Some(OpKind::Relu),
+            &format!("enc{level}.c2"),
+        )?;
         skips.push((x, out_ch));
         x = max_pool(&mut g, x, 2, 2, &format!("enc{level}.pool"))?;
         ch = out_ch;
     }
     // Bottleneck.
     let bott_ch = scale.ch(1024);
-    x = conv_bn_act(&mut g, x, ch, bott_ch, 3, 1, 1, Some(OpKind::Relu), "bottleneck.c1")?;
-    x = conv_bn_act(&mut g, x, bott_ch, bott_ch, 3, 1, 1, Some(OpKind::Relu), "bottleneck.c2")?;
+    x = conv_bn_act(
+        &mut g,
+        x,
+        ch,
+        bott_ch,
+        3,
+        1,
+        1,
+        Some(OpKind::Relu),
+        "bottleneck.c1",
+    )?;
+    x = conv_bn_act(
+        &mut g,
+        x,
+        bott_ch,
+        bott_ch,
+        3,
+        1,
+        1,
+        Some(OpKind::Relu),
+        "bottleneck.c2",
+    )?;
     ch = bott_ch;
     // Decoder.
     for (level, &(skip, skip_ch)) in skips.iter().enumerate().rev() {
@@ -342,16 +639,45 @@ pub fn unet(scale: ModelScale) -> Result<Graph, GraphError> {
             &[x],
             format!("dec{level}.up"),
         )?[0];
-        let reduced =
-            conv_bn_act(&mut g, up, ch, skip_ch, 1, 1, 1, Some(OpKind::Relu), &format!("dec{level}.reduce"))?;
+        let reduced = conv_bn_act(
+            &mut g,
+            up,
+            ch,
+            skip_ch,
+            1,
+            1,
+            1,
+            Some(OpKind::Relu),
+            &format!("dec{level}.reduce"),
+        )?;
         let cat = g.add_op(
             OpKind::Concat,
             Attrs::new().with_int("axis", 1),
             &[skip, reduced],
             format!("dec{level}.concat"),
         )?[0];
-        x = conv_bn_act(&mut g, cat, skip_ch * 2, skip_ch, 3, 1, 1, Some(OpKind::Relu), &format!("dec{level}.c1"))?;
-        x = conv_bn_act(&mut g, x, skip_ch, skip_ch, 3, 1, 1, Some(OpKind::Relu), &format!("dec{level}.c2"))?;
+        x = conv_bn_act(
+            &mut g,
+            cat,
+            skip_ch * 2,
+            skip_ch,
+            3,
+            1,
+            1,
+            Some(OpKind::Relu),
+            &format!("dec{level}.c1"),
+        )?;
+        x = conv_bn_act(
+            &mut g,
+            x,
+            skip_ch,
+            skip_ch,
+            3,
+            1,
+            1,
+            Some(OpKind::Relu),
+            &format!("dec{level}.c2"),
+        )?;
         ch = skip_ch;
     }
     let w = g.add_weight("final.w", Shape::new(vec![2, ch, 1, 1]));
@@ -371,7 +697,11 @@ mod tests {
         assert!(g.validate().is_ok());
         // 13 convs + 13 bias adds + 13 relus + 5 pools + flatten + 3 fc
         // stacks + softmax ≈ 51 layers, as in the paper's Table 1.
-        assert!(g.node_count() >= 45 && g.node_count() <= 60, "{}", g.node_count());
+        assert!(
+            g.node_count() >= 45 && g.node_count() <= 60,
+            "{}",
+            g.node_count()
+        );
         assert_eq!(g.stats().compute_intensive_layers, 16);
     }
 

@@ -50,7 +50,9 @@ fn pool3d(
         .collect();
     Ok(g.add_op(
         OpKind::MaxPool,
-        Attrs::new().with_ints("kernel_shape", k.clone()).with_ints("strides", k),
+        Attrs::new()
+            .with_ints("kernel_shape", k.clone())
+            .with_ints("strides", k),
         &[input],
         name,
     )?[0])
@@ -73,15 +75,41 @@ pub fn c3d(scale: ModelScale) -> Result<Graph, GraphError> {
     ch = scale.ch(widths[1]);
     x = pool3d(&mut g, x, [2, 2, 2], "pool2")?;
     for (i, pair) in [(2usize, 3usize), (4, 5), (6, 7)].iter().enumerate() {
-        x = conv3d_relu(&mut g, x, ch, scale.ch(widths[pair.0]), [3, 3, 3], &format!("conv{}a", i + 3))?;
+        x = conv3d_relu(
+            &mut g,
+            x,
+            ch,
+            scale.ch(widths[pair.0]),
+            [3, 3, 3],
+            &format!("conv{}a", i + 3),
+        )?;
         ch = scale.ch(widths[pair.0]);
-        x = conv3d_relu(&mut g, x, ch, scale.ch(widths[pair.1]), [3, 3, 3], &format!("conv{}b", i + 3))?;
+        x = conv3d_relu(
+            &mut g,
+            x,
+            ch,
+            scale.ch(widths[pair.1]),
+            [3, 3, 3],
+            &format!("conv{}b", i + 3),
+        )?;
         ch = scale.ch(widths[pair.1]);
         x = pool3d(&mut g, x, [2, 2, 2], &format!("pool{}", i + 3))?;
     }
-    let flat = g.add_op(OpKind::Flatten, Attrs::new().with_int("axis", 1), &[x], "flatten")?[0];
+    let flat = g.add_op(
+        OpKind::Flatten,
+        Attrs::new().with_int("axis", 1),
+        &[x],
+        "flatten",
+    )?[0];
     let features = g.value(flat).shape.dim(1);
-    let fc6 = linear(&mut g, flat, features, scale.ch(4096), Some(OpKind::Relu), "fc6")?;
+    let fc6 = linear(
+        &mut g,
+        flat,
+        features,
+        scale.ch(4096),
+        Some(OpKind::Relu),
+        "fc6",
+    )?;
     let fc7 = linear(&mut g, fc6, scale.ch(4096), scale.ch(101), None, "fc7")?;
     let probs = g.add_op(OpKind::Softmax, Attrs::new(), &[fc7], "softmax")?[0];
     g.mark_output(probs);
@@ -97,8 +125,22 @@ fn sep_conv3d(
     out_ch: usize,
     name: &str,
 ) -> Result<ValueId, GraphError> {
-    let spatial = conv3d_relu(g, input, in_ch, out_ch, [1, 3, 3], &format!("{name}.spatial"))?;
-    conv3d_relu(g, spatial, out_ch, out_ch, [3, 1, 1], &format!("{name}.temporal"))
+    let spatial = conv3d_relu(
+        g,
+        input,
+        in_ch,
+        out_ch,
+        [1, 3, 3],
+        &format!("{name}.spatial"),
+    )?;
+    conv3d_relu(
+        g,
+        spatial,
+        out_ch,
+        out_ch,
+        [3, 1, 1],
+        &format!("{name}.temporal"),
+    )
 }
 
 /// An S3D Inception-style branch block: 1x1x1 branch, two separable
@@ -159,7 +201,12 @@ pub fn s3d(scale: ModelScale) -> Result<Graph, GraphError> {
         }
     }
     let pooled = g.add_op(OpKind::GlobalAveragePool, Attrs::new(), &[x], "avgpool")?[0];
-    let flat = g.add_op(OpKind::Flatten, Attrs::new().with_int("axis", 1), &[pooled], "flatten")?[0];
+    let flat = g.add_op(
+        OpKind::Flatten,
+        Attrs::new().with_int("axis", 1),
+        &[pooled],
+        "flatten",
+    )?[0];
     let logits = linear(&mut g, flat, ch, scale.ch(101), None, "classifier")?;
     let probs = g.add_op(OpKind::Softmax, Attrs::new(), &[logits], "softmax")?[0];
     g.mark_output(probs);
@@ -175,10 +222,14 @@ mod tests {
         let g = c3d(ModelScale::tiny()).unwrap();
         assert!(g.validate().is_ok());
         // Paper: 27 total layers (11 CIL, 16 MIL).
-        assert!(g.node_count() >= 24 && g.node_count() <= 32, "{}", g.node_count());
-        assert!(g.nodes().any(|n| {
-            n.op == OpKind::Conv && g.value(n.inputs[0]).shape.rank() == 5
-        }));
+        assert!(
+            g.node_count() >= 24 && g.node_count() <= 32,
+            "{}",
+            g.node_count()
+        );
+        assert!(g
+            .nodes()
+            .any(|n| { n.op == OpKind::Conv && g.value(n.inputs[0]).shape.rank() == 5 }));
     }
 
     #[test]
@@ -187,8 +238,7 @@ mod tests {
         assert!(g.validate().is_ok());
         // Separable blocks mean there are (1,3,3) and (3,1,1) kernels.
         let has_temporal = g.nodes().any(|n| {
-            n.op == OpKind::Conv
-                && g.value(n.inputs[1]).shape.dims().ends_with(&[3, 1, 1])
+            n.op == OpKind::Conv && g.value(n.inputs[1]).shape.dims().ends_with(&[3, 1, 1])
         });
         assert!(has_temporal);
         assert!(g.node_count() > 60, "{}", g.node_count());

@@ -25,7 +25,12 @@ impl ModelScale {
     /// builds and executes in milliseconds.
     #[must_use]
     pub fn tiny() -> Self {
-        ModelScale { spatial: 16, channel_div: 8, seq_len: 8, depth_div: 4 }
+        ModelScale {
+            spatial: 16,
+            channel_div: 8,
+            seq_len: 8,
+            depth_div: 4,
+        }
     }
 
     /// Reduced configuration used by the benchmark harness: full structural
@@ -33,7 +38,12 @@ impl ModelScale {
     /// shapes so graph construction, compilation and cost modeling stay fast.
     #[must_use]
     pub fn reduced() -> Self {
-        ModelScale { spatial: 32, channel_div: 4, seq_len: 32, depth_div: 1 }
+        ModelScale {
+            spatial: 32,
+            channel_div: 4,
+            seq_len: 32,
+            depth_div: 1,
+        }
     }
 
     /// Scales a channel count, keeping at least 2 channels.
@@ -142,9 +152,17 @@ pub fn linear(
     act: Option<OpKind>,
     name: &str,
 ) -> Result<ValueId, GraphError> {
-    let w = g.add_weight(format!("{name}.w"), Shape::new(vec![in_features, out_features]));
+    let w = g.add_weight(
+        format!("{name}.w"),
+        Shape::new(vec![in_features, out_features]),
+    );
     let b = g.add_weight(format!("{name}.b"), Shape::new(vec![out_features]));
-    let mm = g.add_op(OpKind::MatMul, Attrs::new(), &[input, w], format!("{name}.matmul"))?[0];
+    let mm = g.add_op(
+        OpKind::MatMul,
+        Attrs::new(),
+        &[input, w],
+        format!("{name}.matmul"),
+    )?[0];
     let biased = g.add_op(OpKind::Add, Attrs::new(), &[mm, b], format!("{name}.bias"))?[0];
     match act {
         Some(op) => Ok(g.add_op(op, Attrs::new(), &[biased], format!("{name}.act"))?[0]),
@@ -163,42 +181,97 @@ pub fn layer_norm_decomposed(
 ) -> Result<ValueId, GraphError> {
     let mean = g.add_op(
         OpKind::ReduceMean,
-        Attrs::new().with_ints("axes", vec![-1]).with_int("keepdims", 1),
+        Attrs::new()
+            .with_ints("axes", vec![-1])
+            .with_int("keepdims", 1),
         &[input],
         format!("{name}.mean"),
     )?[0];
-    let centered = g.add_op(OpKind::Sub, Attrs::new(), &[input, mean], format!("{name}.sub"))?[0];
-    let squared = g.add_op(OpKind::Square, Attrs::new(), &[centered], format!("{name}.sq"))?[0];
+    let centered = g.add_op(
+        OpKind::Sub,
+        Attrs::new(),
+        &[input, mean],
+        format!("{name}.sub"),
+    )?[0];
+    let squared = g.add_op(
+        OpKind::Square,
+        Attrs::new(),
+        &[centered],
+        format!("{name}.sq"),
+    )?[0];
     let var = g.add_op(
         OpKind::ReduceMean,
-        Attrs::new().with_ints("axes", vec![-1]).with_int("keepdims", 1),
+        Attrs::new()
+            .with_ints("axes", vec![-1])
+            .with_int("keepdims", 1),
         &[squared],
         format!("{name}.var"),
     )?[0];
     let eps = g.add_weight(format!("{name}.eps"), Shape::new(vec![1]));
-    let shifted = g.add_op(OpKind::Add, Attrs::new(), &[var, eps], format!("{name}.addeps"))?[0];
-    let std = g.add_op(OpKind::Sqrt, Attrs::new(), &[shifted], format!("{name}.sqrt"))?[0];
-    let normed = g.add_op(OpKind::Div, Attrs::new(), &[centered, std], format!("{name}.div"))?[0];
+    let shifted = g.add_op(
+        OpKind::Add,
+        Attrs::new(),
+        &[var, eps],
+        format!("{name}.addeps"),
+    )?[0];
+    let std = g.add_op(
+        OpKind::Sqrt,
+        Attrs::new(),
+        &[shifted],
+        format!("{name}.sqrt"),
+    )?[0];
+    let normed = g.add_op(
+        OpKind::Div,
+        Attrs::new(),
+        &[centered, std],
+        format!("{name}.div"),
+    )?[0];
     let gamma = g.add_weight(format!("{name}.gamma"), Shape::new(vec![features]));
     let beta = g.add_weight(format!("{name}.beta"), Shape::new(vec![features]));
-    let scaled = g.add_op(OpKind::Mul, Attrs::new(), &[normed, gamma], format!("{name}.scale"))?[0];
-    Ok(g.add_op(OpKind::Add, Attrs::new(), &[scaled, beta], format!("{name}.shift"))?[0])
+    let scaled = g.add_op(
+        OpKind::Mul,
+        Attrs::new(),
+        &[normed, gamma],
+        format!("{name}.scale"),
+    )?[0];
+    Ok(g.add_op(
+        OpKind::Add,
+        Attrs::new(),
+        &[scaled, beta],
+        format!("{name}.shift"),
+    )?[0])
 }
 
 /// GELU decomposed into primitive operators (`0.5 * x * (1 + Erf(x / √2))`).
-pub fn gelu_decomposed(
-    g: &mut Graph,
-    input: ValueId,
-    name: &str,
-) -> Result<ValueId, GraphError> {
+pub fn gelu_decomposed(g: &mut Graph, input: ValueId, name: &str) -> Result<ValueId, GraphError> {
     let inv_sqrt2 = g.add_weight(format!("{name}.inv_sqrt2"), Shape::new(vec![1]));
-    let scaled = g.add_op(OpKind::Mul, Attrs::new(), &[input, inv_sqrt2], format!("{name}.scale"))?[0];
+    let scaled = g.add_op(
+        OpKind::Mul,
+        Attrs::new(),
+        &[input, inv_sqrt2],
+        format!("{name}.scale"),
+    )?[0];
     let erf = g.add_op(OpKind::Erf, Attrs::new(), &[scaled], format!("{name}.erf"))?[0];
     let one = g.add_weight(format!("{name}.one"), Shape::new(vec![1]));
-    let shifted = g.add_op(OpKind::Add, Attrs::new(), &[erf, one], format!("{name}.add1"))?[0];
+    let shifted = g.add_op(
+        OpKind::Add,
+        Attrs::new(),
+        &[erf, one],
+        format!("{name}.add1"),
+    )?[0];
     let half = g.add_weight(format!("{name}.half"), Shape::new(vec![1]));
-    let halved = g.add_op(OpKind::Mul, Attrs::new(), &[shifted, half], format!("{name}.half"))?[0];
-    Ok(g.add_op(OpKind::Mul, Attrs::new(), &[input, halved], format!("{name}.mul"))?[0])
+    let halved = g.add_op(
+        OpKind::Mul,
+        Attrs::new(),
+        &[shifted, half],
+        format!("{name}.half"),
+    )?[0];
+    Ok(g.add_op(
+        OpKind::Mul,
+        Attrs::new(),
+        &[input, halved],
+        format!("{name}.mul"),
+    )?[0])
 }
 
 /// Softmax decomposed into primitive operators (max-subtract, exp, sum, div).
@@ -209,19 +282,33 @@ pub fn softmax_decomposed(
 ) -> Result<ValueId, GraphError> {
     let max = g.add_op(
         OpKind::ReduceMax,
-        Attrs::new().with_ints("axes", vec![-1]).with_int("keepdims", 1),
+        Attrs::new()
+            .with_ints("axes", vec![-1])
+            .with_int("keepdims", 1),
         &[input],
         format!("{name}.max"),
     )?[0];
-    let shifted = g.add_op(OpKind::Sub, Attrs::new(), &[input, max], format!("{name}.sub"))?[0];
+    let shifted = g.add_op(
+        OpKind::Sub,
+        Attrs::new(),
+        &[input, max],
+        format!("{name}.sub"),
+    )?[0];
     let exp = g.add_op(OpKind::Exp, Attrs::new(), &[shifted], format!("{name}.exp"))?[0];
     let sum = g.add_op(
         OpKind::ReduceSum,
-        Attrs::new().with_ints("axes", vec![-1]).with_int("keepdims", 1),
+        Attrs::new()
+            .with_ints("axes", vec![-1])
+            .with_int("keepdims", 1),
         &[exp],
         format!("{name}.sum"),
     )?[0];
-    Ok(g.add_op(OpKind::Div, Attrs::new(), &[exp, sum], format!("{name}.div"))?[0])
+    Ok(g.add_op(
+        OpKind::Div,
+        Attrs::new(),
+        &[exp, sum],
+        format!("{name}.div"),
+    )?[0])
 }
 
 #[cfg(test)]

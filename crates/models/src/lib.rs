@@ -19,9 +19,9 @@
 
 #![warn(missing_docs)]
 
-pub mod common;
 mod cnn2d;
 mod cnn3d;
+pub mod common;
 mod rcnn;
 mod transformer;
 
@@ -301,7 +301,10 @@ mod tests {
 
     #[test]
     fn transformers_are_memory_intensive_and_cnns_compute_intensive() {
-        let bert = ModelKind::BertBase.build(ModelScale::tiny()).unwrap().stats();
+        let bert = ModelKind::BertBase
+            .build(ModelScale::tiny())
+            .unwrap()
+            .stats();
         let vgg = ModelKind::Vgg16.build(ModelScale::tiny()).unwrap().stats();
         let bert_mil_ratio = bert.memory_intensive_layers as f64 / bert.total_layers as f64;
         let vgg_mil_ratio = vgg.memory_intensive_layers as f64 / vgg.total_layers as f64;

@@ -23,15 +23,50 @@ fn bottleneck(
     name: &str,
 ) -> Result<(ValueId, usize), GraphError> {
     let out_ch = mid_ch * 4;
-    let c1 = conv_bn_act(g, input, in_ch, mid_ch, 1, 1, 1, Some(OpKind::Relu), &format!("{name}.c1"))?;
-    let c2 = conv_bn_act(g, c1, mid_ch, mid_ch, 3, stride, 1, Some(OpKind::Relu), &format!("{name}.c2"))?;
+    let c1 = conv_bn_act(
+        g,
+        input,
+        in_ch,
+        mid_ch,
+        1,
+        1,
+        1,
+        Some(OpKind::Relu),
+        &format!("{name}.c1"),
+    )?;
+    let c2 = conv_bn_act(
+        g,
+        c1,
+        mid_ch,
+        mid_ch,
+        3,
+        stride,
+        1,
+        Some(OpKind::Relu),
+        &format!("{name}.c2"),
+    )?;
     let c3 = conv_bn_act(g, c2, mid_ch, out_ch, 1, 1, 1, None, &format!("{name}.c3"))?;
     let shortcut = if stride != 1 || in_ch != out_ch {
-        conv_bn_act(g, input, in_ch, out_ch, 1, stride, 1, None, &format!("{name}.down"))?
+        conv_bn_act(
+            g,
+            input,
+            in_ch,
+            out_ch,
+            1,
+            stride,
+            1,
+            None,
+            &format!("{name}.down"),
+        )?
     } else {
         input
     };
-    let sum = g.add_op(OpKind::Add, Attrs::new(), &[c3, shortcut], format!("{name}.add"))?[0];
+    let sum = g.add_op(
+        OpKind::Add,
+        Attrs::new(),
+        &[c3, shortcut],
+        format!("{name}.add"),
+    )?[0];
     let relu = g.add_op(OpKind::Relu, Attrs::new(), &[sum], format!("{name}.relu"))?[0];
     Ok((relu, out_ch))
 }
@@ -50,14 +85,37 @@ fn box_decode_block(
         &[deltas],
         format!("{name}.split"),
     )?;
-    let scale = g.add_weight(format!("{name}.scale"), Shape::new(vec![1, channels / 2, 1, 1]));
-    let shift = g.add_weight(format!("{name}.shift"), Shape::new(vec![1, channels / 2, 1, 1]));
-    let centers = g.add_op(OpKind::Mul, Attrs::new(), &[parts[0], scale], format!("{name}.mul"))?[0];
-    let centers = g.add_op(OpKind::Add, Attrs::new(), &[centers, shift], format!("{name}.add"))?[0];
-    let sizes = g.add_op(OpKind::Exp, Attrs::new(), &[parts[1]], format!("{name}.exp"))?[0];
+    let scale = g.add_weight(
+        format!("{name}.scale"),
+        Shape::new(vec![1, channels / 2, 1, 1]),
+    );
+    let shift = g.add_weight(
+        format!("{name}.shift"),
+        Shape::new(vec![1, channels / 2, 1, 1]),
+    );
+    let centers = g.add_op(
+        OpKind::Mul,
+        Attrs::new(),
+        &[parts[0], scale],
+        format!("{name}.mul"),
+    )?[0];
+    let centers = g.add_op(
+        OpKind::Add,
+        Attrs::new(),
+        &[centers, shift],
+        format!("{name}.add"),
+    )?[0];
+    let sizes = g.add_op(
+        OpKind::Exp,
+        Attrs::new(),
+        &[parts[1]],
+        format!("{name}.exp"),
+    )?[0];
     let sizes = g.add_op(
         OpKind::Clip,
-        Attrs::new().with_float("min", 0.0).with_float("max", 1000.0),
+        Attrs::new()
+            .with_float("min", 0.0)
+            .with_float("max", 1000.0),
         &[sizes],
         format!("{name}.clip"),
     )?[0];
@@ -70,11 +128,25 @@ fn box_decode_block(
 }
 
 /// Shared Faster/Mask R-CNN trunk: backbone, FPN, RPN heads and box decoding.
-fn rcnn_trunk(g: &mut Graph, scale: ModelScale, decode_blocks: usize) -> Result<Vec<(ValueId, usize)>, GraphError> {
+fn rcnn_trunk(
+    g: &mut Graph,
+    scale: ModelScale,
+    decode_blocks: usize,
+) -> Result<Vec<(ValueId, usize)>, GraphError> {
     let s = scale.spatial.max(32);
     let input = g.add_input("image", Shape::new(vec![1, 3, s, s]));
     // ResNet-style backbone (stages scaled by depth_div).
-    let mut x = conv_bn_act(g, input, 3, scale.ch(64), 7, 2, 1, Some(OpKind::Relu), "stem")?;
+    let mut x = conv_bn_act(
+        g,
+        input,
+        3,
+        scale.ch(64),
+        7,
+        2,
+        1,
+        Some(OpKind::Relu),
+        "stem",
+    )?;
     let mut ch = scale.ch(64);
     let stage_plan: [(usize, usize); 4] = [(64, 3), (128, 4), (256, 6), (512, 3)];
     let mut pyramid = Vec::new();
@@ -94,8 +166,17 @@ fn rcnn_trunk(g: &mut Graph, scale: ModelScale, decode_blocks: usize) -> Result<
     let mut fpn_levels: Vec<(ValueId, usize)> = Vec::new();
     let mut top: Option<ValueId> = None;
     for (li, &(feat, feat_ch)) in pyramid.iter().enumerate().rev() {
-        let lateral =
-            conv_bn_act(g, feat, feat_ch, fpn_ch, 1, 1, 1, None, &format!("fpn{li}.lateral"))?;
+        let lateral = conv_bn_act(
+            g,
+            feat,
+            feat_ch,
+            fpn_ch,
+            1,
+            1,
+            1,
+            None,
+            &format!("fpn{li}.lateral"),
+        )?;
         let merged = match top {
             Some(t) => {
                 let up = g.add_op(
@@ -104,24 +185,70 @@ fn rcnn_trunk(g: &mut Graph, scale: ModelScale, decode_blocks: usize) -> Result<
                     &[t],
                     format!("fpn{li}.up"),
                 )?[0];
-                g.add_op(OpKind::Add, Attrs::new(), &[lateral, up], format!("fpn{li}.add"))?[0]
+                g.add_op(
+                    OpKind::Add,
+                    Attrs::new(),
+                    &[lateral, up],
+                    format!("fpn{li}.add"),
+                )?[0]
             }
             None => lateral,
         };
         top = Some(merged);
-        let out = conv_bn_act(g, merged, fpn_ch, fpn_ch, 3, 1, 1, Some(OpKind::Relu), &format!("fpn{li}.out"))?;
+        let out = conv_bn_act(
+            g,
+            merged,
+            fpn_ch,
+            fpn_ch,
+            3,
+            1,
+            1,
+            Some(OpKind::Relu),
+            &format!("fpn{li}.out"),
+        )?;
         fpn_levels.push((out, fpn_ch));
     }
     // RPN per level: objectness + box deltas, then many decode blocks.
     let per_level_decodes = (decode_blocks / fpn_levels.len()).max(1);
     for (li, &(level, level_ch)) in fpn_levels.iter().enumerate() {
-        let rpn = conv_bn_act(g, level, level_ch, level_ch, 3, 1, 1, Some(OpKind::Relu), &format!("rpn{li}.conv"))?;
-        let obj_w = g.add_weight(format!("rpn{li}.obj.w"), Shape::new(vec![3, level_ch, 1, 1]));
-        let obj = g.add_op(OpKind::Conv, Attrs::new(), &[rpn, obj_w], format!("rpn{li}.obj"))?[0];
-        let obj = g.add_op(OpKind::Sigmoid, Attrs::new(), &[obj], format!("rpn{li}.obj.sigmoid"))?[0];
+        let rpn = conv_bn_act(
+            g,
+            level,
+            level_ch,
+            level_ch,
+            3,
+            1,
+            1,
+            Some(OpKind::Relu),
+            &format!("rpn{li}.conv"),
+        )?;
+        let obj_w = g.add_weight(
+            format!("rpn{li}.obj.w"),
+            Shape::new(vec![3, level_ch, 1, 1]),
+        );
+        let obj = g.add_op(
+            OpKind::Conv,
+            Attrs::new(),
+            &[rpn, obj_w],
+            format!("rpn{li}.obj"),
+        )?[0];
+        let obj = g.add_op(
+            OpKind::Sigmoid,
+            Attrs::new(),
+            &[obj],
+            format!("rpn{li}.obj.sigmoid"),
+        )?[0];
         g.mark_output(obj);
-        let box_w = g.add_weight(format!("rpn{li}.box.w"), Shape::new(vec![12, level_ch, 1, 1]));
-        let mut deltas = g.add_op(OpKind::Conv, Attrs::new(), &[rpn, box_w], format!("rpn{li}.box"))?[0];
+        let box_w = g.add_weight(
+            format!("rpn{li}.box.w"),
+            Shape::new(vec![12, level_ch, 1, 1]),
+        );
+        let mut deltas = g.add_op(
+            OpKind::Conv,
+            Attrs::new(),
+            &[rpn, box_w],
+            format!("rpn{li}.box"),
+        )?[0];
         for d in 0..per_level_decodes {
             deltas = box_decode_block(g, deltas, 12, &format!("decode{li}.{d}"))?;
         }
@@ -149,18 +276,44 @@ pub fn mask_rcnn(scale: ModelScale) -> Result<Graph, GraphError> {
     for (li, &(level, level_ch)) in fpn_levels.iter().enumerate() {
         let mut x = level;
         for c in 0..4 {
-            x = conv_bn_act(&mut g, x, level_ch, level_ch, 3, 1, 1, Some(OpKind::Relu), &format!("mask{li}.c{c}"))?;
+            x = conv_bn_act(
+                &mut g,
+                x,
+                level_ch,
+                level_ch,
+                3,
+                1,
+                1,
+                Some(OpKind::Relu),
+                &format!("mask{li}.c{c}"),
+            )?;
         }
-        let up_w = g.add_weight(format!("mask{li}.up.w"), Shape::new(vec![level_ch, level_ch, 2, 2]));
+        let up_w = g.add_weight(
+            format!("mask{li}.up.w"),
+            Shape::new(vec![level_ch, level_ch, 2, 2]),
+        );
         let up = g.add_op(
             OpKind::ConvTranspose,
             Attrs::new().with_ints("strides", vec![2, 2]),
             &[x, up_w],
             format!("mask{li}.up"),
         )?[0];
-        let logit_w = g.add_weight(format!("mask{li}.logit.w"), Shape::new(vec![2, level_ch, 1, 1]));
-        let logits = g.add_op(OpKind::Conv, Attrs::new(), &[up, logit_w], format!("mask{li}.logits"))?[0];
-        let mask = g.add_op(OpKind::Sigmoid, Attrs::new(), &[logits], format!("mask{li}.sigmoid"))?[0];
+        let logit_w = g.add_weight(
+            format!("mask{li}.logit.w"),
+            Shape::new(vec![2, level_ch, 1, 1]),
+        );
+        let logits = g.add_op(
+            OpKind::Conv,
+            Attrs::new(),
+            &[up, logit_w],
+            format!("mask{li}.logits"),
+        )?[0];
+        let mask = g.add_op(
+            OpKind::Sigmoid,
+            Attrs::new(),
+            &[logits],
+            format!("mask{li}.sigmoid"),
+        )?[0];
         g.mark_output(mask);
     }
     Ok(g)
@@ -191,7 +344,13 @@ mod tests {
     #[test]
     fn box_decoding_uses_the_expected_operator_mix() {
         let g = faster_rcnn(ModelScale::tiny()).unwrap();
-        for op in [OpKind::Split, OpKind::Exp, OpKind::Clip, OpKind::Concat, OpKind::Sigmoid] {
+        for op in [
+            OpKind::Split,
+            OpKind::Exp,
+            OpKind::Clip,
+            OpKind::Concat,
+            OpKind::Sigmoid,
+        ] {
             assert!(g.nodes().any(|n| n.op == op), "missing {op}");
         }
     }

@@ -11,7 +11,9 @@ use dnnf_graph::{Graph, GraphError, ValueId};
 use dnnf_ops::{Attrs, OpKind};
 use dnnf_tensor::Shape;
 
-use crate::common::{gelu_decomposed, layer_norm_decomposed, linear, softmax_decomposed, ModelScale};
+use crate::common::{
+    gelu_decomposed, layer_norm_decomposed, linear, softmax_decomposed, ModelScale,
+};
 
 /// Configuration of a transformer encoder/decoder stack.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,38 +43,92 @@ impl TransformerConfig {
     /// TinyBERT (4 layers, hidden 312).
     #[must_use]
     pub fn tiny_bert() -> Self {
-        TransformerConfig { name: "TinyBERT", layers: 4, hidden: 312, heads: 12, intermediate: 1200, bottleneck: None, ffn_per_layer: 1, causal: false }
+        TransformerConfig {
+            name: "TinyBERT",
+            layers: 4,
+            hidden: 312,
+            heads: 12,
+            intermediate: 1200,
+            bottleneck: None,
+            ffn_per_layer: 1,
+            causal: false,
+        }
     }
 
     /// DistilBERT (6 layers, hidden 768).
     #[must_use]
     pub fn distil_bert() -> Self {
-        TransformerConfig { name: "DistilBERT", layers: 6, hidden: 768, heads: 12, intermediate: 3072, bottleneck: None, ffn_per_layer: 1, causal: false }
+        TransformerConfig {
+            name: "DistilBERT",
+            layers: 6,
+            hidden: 768,
+            heads: 12,
+            intermediate: 3072,
+            bottleneck: None,
+            ffn_per_layer: 1,
+            causal: false,
+        }
     }
 
     /// ALBERT (12 layers, hidden 768; parameters are shared across layers in
     /// the original, which does not change the executed graph).
     #[must_use]
     pub fn albert() -> Self {
-        TransformerConfig { name: "ALBERT", layers: 12, hidden: 768, heads: 12, intermediate: 3072, bottleneck: None, ffn_per_layer: 1, causal: false }
+        TransformerConfig {
+            name: "ALBERT",
+            layers: 12,
+            hidden: 768,
+            heads: 12,
+            intermediate: 3072,
+            bottleneck: None,
+            ffn_per_layer: 1,
+            causal: false,
+        }
     }
 
     /// BERT-Base (12 layers, hidden 768).
     #[must_use]
     pub fn bert_base() -> Self {
-        TransformerConfig { name: "BERT-Base", layers: 12, hidden: 768, heads: 12, intermediate: 3072, bottleneck: None, ffn_per_layer: 1, causal: false }
+        TransformerConfig {
+            name: "BERT-Base",
+            layers: 12,
+            hidden: 768,
+            heads: 12,
+            intermediate: 3072,
+            bottleneck: None,
+            ffn_per_layer: 1,
+            causal: false,
+        }
     }
 
     /// MobileBERT (24 thin layers with bottlenecks and stacked FFNs).
     #[must_use]
     pub fn mobile_bert() -> Self {
-        TransformerConfig { name: "MobileBERT", layers: 24, hidden: 512, heads: 4, intermediate: 512, bottleneck: Some(128), ffn_per_layer: 4, causal: false }
+        TransformerConfig {
+            name: "MobileBERT",
+            layers: 24,
+            hidden: 512,
+            heads: 4,
+            intermediate: 512,
+            bottleneck: Some(128),
+            ffn_per_layer: 4,
+            causal: false,
+        }
     }
 
     /// GPT-2 (24 decoder layers, hidden 1024).
     #[must_use]
     pub fn gpt2() -> Self {
-        TransformerConfig { name: "GPT-2", layers: 24, hidden: 1024, heads: 16, intermediate: 4096, bottleneck: None, ffn_per_layer: 1, causal: true }
+        TransformerConfig {
+            name: "GPT-2",
+            layers: 24,
+            hidden: 1024,
+            heads: 16,
+            intermediate: 4096,
+            bottleneck: None,
+            ffn_per_layer: 1,
+            causal: true,
+        }
     }
 }
 
@@ -113,18 +169,38 @@ fn attention(
         &[k],
         format!("{name}.k_t"),
     )?[0];
-    let scores = g.add_op(OpKind::MatMul, Attrs::new(), &[q, k_t], format!("{name}.qk"))?[0];
+    let scores = g.add_op(
+        OpKind::MatMul,
+        Attrs::new(),
+        &[q, k_t],
+        format!("{name}.qk"),
+    )?[0];
     let scale = g.add_weight(format!("{name}.scale"), Shape::new(vec![1]));
-    let scaled = g.add_op(OpKind::Mul, Attrs::new(), &[scores, scale], format!("{name}.scaled"))?[0];
+    let scaled = g.add_op(
+        OpKind::Mul,
+        Attrs::new(),
+        &[scores, scale],
+        format!("{name}.scaled"),
+    )?[0];
     let masked = if causal {
         let mask = g.add_weight(format!("{name}.mask"), Shape::new(vec![1, seq, seq]));
         let neg = g.add_weight(format!("{name}.neg_inf"), Shape::new(vec![1]));
-        g.add_op(OpKind::Where, Attrs::new(), &[mask, scaled, neg], format!("{name}.mask.where"))?[0]
+        g.add_op(
+            OpKind::Where,
+            Attrs::new(),
+            &[mask, scaled, neg],
+            format!("{name}.mask.where"),
+        )?[0]
     } else {
         scaled
     };
     let probs = softmax_decomposed(g, masked, &format!("{name}.softmax"))?;
-    let context = g.add_op(OpKind::MatMul, Attrs::new(), &[probs, v], format!("{name}.av"))?[0];
+    let context = g.add_op(
+        OpKind::MatMul,
+        Attrs::new(),
+        &[probs, v],
+        format!("{name}.av"),
+    )?[0];
     let back = g.add_op(
         OpKind::Transpose,
         Attrs::new().with_ints("perm", vec![1, 0, 2]),
@@ -153,9 +229,19 @@ pub fn transformer(config: TransformerConfig, scale: ModelScale) -> Result<Graph
     let vocab = 128usize;
     let ids = g.add_input("token_ids", Shape::new(vec![seq]));
     let table = g.add_weight("embeddings.word", Shape::new(vec![vocab, hidden]));
-    let tokens = g.add_op(OpKind::Gather, Attrs::new(), &[table, ids], "embeddings.gather")?[0];
+    let tokens = g.add_op(
+        OpKind::Gather,
+        Attrs::new(),
+        &[table, ids],
+        "embeddings.gather",
+    )?[0];
     let positions = g.add_weight("embeddings.position", Shape::new(vec![seq, hidden]));
-    let mut x = g.add_op(OpKind::Add, Attrs::new(), &[tokens, positions], "embeddings.add")?[0];
+    let mut x = g.add_op(
+        OpKind::Add,
+        Attrs::new(),
+        &[tokens, positions],
+        "embeddings.add",
+    )?[0];
     x = layer_norm_decomposed(&mut g, x, hidden, "embeddings.ln")?;
 
     for layer in 0..config.layers {
@@ -163,28 +249,80 @@ pub fn transformer(config: TransformerConfig, scale: ModelScale) -> Result<Graph
         // Optional bottleneck input projection (MobileBERT).
         let (block_input, block_hidden) = match bottleneck {
             Some(b) => {
-                let projected = linear(&mut g, x, hidden, b, None, &format!("{prefix}.bottleneck.in"))?;
+                let projected = linear(
+                    &mut g,
+                    x,
+                    hidden,
+                    b,
+                    None,
+                    &format!("{prefix}.bottleneck.in"),
+                )?;
                 (projected, b)
             }
             None => (x, hidden),
         };
         // Self-attention + residual + LN.
-        let attn = attention(&mut g, block_input, seq, block_hidden, config.heads, config.causal, &format!("{prefix}.attn"))?;
-        let attn_res = g.add_op(OpKind::Add, Attrs::new(), &[block_input, attn], format!("{prefix}.attn.residual"))?[0];
-        let mut h = layer_norm_decomposed(&mut g, attn_res, block_hidden, &format!("{prefix}.attn.ln"))?;
+        let attn = attention(
+            &mut g,
+            block_input,
+            seq,
+            block_hidden,
+            config.heads,
+            config.causal,
+            &format!("{prefix}.attn"),
+        )?;
+        let attn_res = g.add_op(
+            OpKind::Add,
+            Attrs::new(),
+            &[block_input, attn],
+            format!("{prefix}.attn.residual"),
+        )?[0];
+        let mut h =
+            layer_norm_decomposed(&mut g, attn_res, block_hidden, &format!("{prefix}.attn.ln"))?;
         // Feed-forward network(s) + residual + LN.
         for f in 0..config.ffn_per_layer.max(1) {
-            let up = linear(&mut g, h, block_hidden, intermediate, None, &format!("{prefix}.ffn{f}.up"))?;
+            let up = linear(
+                &mut g,
+                h,
+                block_hidden,
+                intermediate,
+                None,
+                &format!("{prefix}.ffn{f}.up"),
+            )?;
             let act = gelu_decomposed(&mut g, up, &format!("{prefix}.ffn{f}.gelu"))?;
-            let down = linear(&mut g, act, intermediate, block_hidden, None, &format!("{prefix}.ffn{f}.down"))?;
-            let res = g.add_op(OpKind::Add, Attrs::new(), &[h, down], format!("{prefix}.ffn{f}.residual"))?[0];
+            let down = linear(
+                &mut g,
+                act,
+                intermediate,
+                block_hidden,
+                None,
+                &format!("{prefix}.ffn{f}.down"),
+            )?;
+            let res = g.add_op(
+                OpKind::Add,
+                Attrs::new(),
+                &[h, down],
+                format!("{prefix}.ffn{f}.residual"),
+            )?[0];
             h = layer_norm_decomposed(&mut g, res, block_hidden, &format!("{prefix}.ffn{f}.ln"))?;
         }
         // Optional bottleneck output projection + outer residual.
         x = match bottleneck {
             Some(b) => {
-                let projected = linear(&mut g, h, b, hidden, None, &format!("{prefix}.bottleneck.out"))?;
-                let res = g.add_op(OpKind::Add, Attrs::new(), &[x, projected], format!("{prefix}.bottleneck.residual"))?[0];
+                let projected = linear(
+                    &mut g,
+                    h,
+                    b,
+                    hidden,
+                    None,
+                    &format!("{prefix}.bottleneck.out"),
+                )?;
+                let res = g.add_op(
+                    OpKind::Add,
+                    Attrs::new(),
+                    &[x, projected],
+                    format!("{prefix}.bottleneck.residual"),
+                )?[0];
                 layer_norm_decomposed(&mut g, res, hidden, &format!("{prefix}.bottleneck.ln"))?
             }
             None => h,
@@ -217,7 +355,11 @@ mod tests {
         assert!(g.validate().is_ok());
         // Paper: 976 total layers for BERT-Base; the structural graph with
         // decomposed LN/GELU/Softmax lands in the same range.
-        assert!(g.node_count() > 600 && g.node_count() < 1200, "{}", g.node_count());
+        assert!(
+            g.node_count() > 600 && g.node_count() < 1200,
+            "{}",
+            g.node_count()
+        );
         let stats = g.stats();
         assert!(stats.memory_intensive_layers > 5 * stats.compute_intensive_layers);
     }
@@ -249,7 +391,13 @@ mod tests {
         // chain TVM cannot fuse: our decomposed LayerNorm produces exactly
         // that operator mix.
         let g = transformer(TransformerConfig::tiny_bert(), ModelScale::tiny()).unwrap();
-        for op in [OpKind::Sub, OpKind::Square, OpKind::ReduceMean, OpKind::Add, OpKind::Sqrt] {
+        for op in [
+            OpKind::Sub,
+            OpKind::Square,
+            OpKind::ReduceMean,
+            OpKind::Add,
+            OpKind::Sqrt,
+        ] {
             assert!(g.nodes().any(|n| n.op == op), "missing {op}");
         }
     }

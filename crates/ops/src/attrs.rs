@@ -170,7 +170,9 @@ impl Attrs {
 
 impl FromIterator<(String, AttrValue)> for Attrs {
     fn from_iter<I: IntoIterator<Item = (String, AttrValue)>>(iter: I) -> Self {
-        Attrs { values: iter.into_iter().collect() }
+        Attrs {
+            values: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -219,7 +221,9 @@ mod tests {
 
     #[test]
     fn from_iterator_collects_pairs() {
-        let a: Attrs = vec![("k".to_string(), AttrValue::Int(1))].into_iter().collect();
+        let a: Attrs = vec![("k".to_string(), AttrValue::Int(1))]
+            .into_iter()
+            .collect();
         assert_eq!(a.int_or("k", 0), 1);
     }
 }

@@ -114,7 +114,9 @@ pub fn flops(op: OpKind, attrs: &Attrs, inputs: &[Shape], outputs: &[Shape]) -> 
         Conv => conv_flops(attrs, inputs, outputs),
         ConvTranspose => conv_transpose_flops(attrs, inputs),
         Gemm => {
-            let (m, n) = outputs.first().map_or((0, 0), |s| (s.dim(0) as u64, s.dim(1) as u64));
+            let (m, n) = outputs
+                .first()
+                .map_or((0, 0), |s| (s.dim(0) as u64, s.dim(1) as u64));
             let k = gemm_inner(attrs, inputs);
             let bias = if inputs.len() > 2 { m * n } else { 0 };
             2 * m * n * k + bias
@@ -139,7 +141,11 @@ fn conv_flops(attrs: &Attrs, inputs: &[Shape], outputs: &[Shape]) -> u64 {
     // Weight layout (M, C/group, k...): every output element needs
     // C/group * prod(kernel) multiply-accumulates.
     let per_output: u64 = w.dims()[1..].iter().map(|&d| d as u64).product();
-    let bias = if inputs.len() > 2 { out.numel() as u64 } else { 0 };
+    let bias = if inputs.len() > 2 {
+        out.numel() as u64
+    } else {
+        0
+    };
     let _ = attrs;
     2 * out.numel() as u64 * per_output + bias
 }
@@ -190,21 +196,49 @@ mod tests {
 
     #[test]
     fn data_movement_has_zero_flops() {
-        for op in [OpKind::Reshape, OpKind::Transpose, OpKind::Concat, OpKind::Gather] {
-            assert_eq!(flops(op, &Attrs::new(), &[s(&[8, 8])], &[s(&[8, 8])]), 0, "{op}");
+        for op in [
+            OpKind::Reshape,
+            OpKind::Transpose,
+            OpKind::Concat,
+            OpKind::Gather,
+        ] {
+            assert_eq!(
+                flops(op, &Attrs::new(), &[s(&[8, 8])], &[s(&[8, 8])]),
+                0,
+                "{op}"
+            );
         }
     }
 
     #[test]
     fn elementwise_flops_scale_with_output() {
-        assert_eq!(flops(OpKind::Add, &Attrs::new(), &[s(&[4, 4]), s(&[4, 4])], &[s(&[4, 4])]), 16);
-        assert_eq!(flops(OpKind::Relu, &Attrs::new(), &[s(&[10])], &[s(&[10])]), 10);
-        assert_eq!(flops(OpKind::Sigmoid, &Attrs::new(), &[s(&[10])], &[s(&[10])]), 40);
+        assert_eq!(
+            flops(
+                OpKind::Add,
+                &Attrs::new(),
+                &[s(&[4, 4]), s(&[4, 4])],
+                &[s(&[4, 4])]
+            ),
+            16
+        );
+        assert_eq!(
+            flops(OpKind::Relu, &Attrs::new(), &[s(&[10])], &[s(&[10])]),
+            10
+        );
+        assert_eq!(
+            flops(OpKind::Sigmoid, &Attrs::new(), &[s(&[10])], &[s(&[10])]),
+            40
+        );
     }
 
     #[test]
     fn gemm_flops_are_2mnk() {
-        let f = flops(OpKind::Gemm, &Attrs::new(), &[s(&[4, 8]), s(&[8, 16])], &[s(&[4, 16])]);
+        let f = flops(
+            OpKind::Gemm,
+            &Attrs::new(),
+            &[s(&[4, 8]), s(&[8, 16])],
+            &[s(&[4, 16])],
+        );
         assert_eq!(f, 2 * 4 * 16 * 8);
         // With bias.
         let f = flops(
@@ -242,7 +276,12 @@ mod tests {
     #[test]
     fn pooling_flops_scale_with_kernel() {
         let attrs = Attrs::new().with_ints("kernel_shape", vec![3, 3]);
-        let f = flops(OpKind::MaxPool, &attrs, &[s(&[1, 8, 16, 16])], &[s(&[1, 8, 8, 8])]);
+        let f = flops(
+            OpKind::MaxPool,
+            &attrs,
+            &[s(&[1, 8, 16, 16])],
+            &[s(&[1, 8, 8, 8])],
+        );
         assert_eq!(f, 8 * 8 * 8 * 9);
     }
 
@@ -277,7 +316,12 @@ mod tests {
             &[s(&[1, 64, 56, 56]), s(&[64, 64, 3, 3])],
             &[s(&[1, 64, 56, 56])],
         );
-        let relu = flops(OpKind::Relu, &Attrs::new(), &[s(&[1, 64, 56, 56])], &[s(&[1, 64, 56, 56])]);
+        let relu = flops(
+            OpKind::Relu,
+            &Attrs::new(),
+            &[s(&[1, 64, 56, 56])],
+            &[s(&[1, 64, 56, 56])],
+        );
         assert!(conv > 100 * relu);
     }
 }

@@ -46,7 +46,11 @@ pub enum OpError {
 impl fmt::Display for OpError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            OpError::ArityMismatch { op, expected, actual } => {
+            OpError::ArityMismatch {
+                op,
+                expected,
+                actual,
+            } => {
                 write!(f, "{op} expects at least {expected} inputs, got {actual}")
             }
             OpError::InvalidShape { op, reason } => write!(f, "{op}: invalid shape: {reason}"),
@@ -80,7 +84,11 @@ mod tests {
 
     #[test]
     fn display_mentions_operator() {
-        let e = OpError::ArityMismatch { op: OpKind::Conv, expected: 2, actual: 1 };
+        let e = OpError::ArityMismatch {
+            op: OpKind::Conv,
+            expected: 2,
+            actual: 1,
+        };
         assert!(e.to_string().contains("Conv"));
         let e = OpError::Unsupported { op: OpKind::Einsum };
         assert!(e.to_string().contains("not implemented"));

@@ -197,7 +197,9 @@ mod tests {
     fn padding_and_stride() {
         let x = Tensor::full(Shape::new(vec![1, 1, 4, 4]), 1.0);
         let w = Tensor::full(Shape::new(vec![1, 1, 3, 3]), 1.0);
-        let attrs = Attrs::new().with_ints("pads", vec![1, 1, 1, 1]).with_ints("strides", vec![2, 2]);
+        let attrs = Attrs::new()
+            .with_ints("pads", vec![1, 1, 1, 1])
+            .with_ints("strides", vec![2, 2]);
         let y = run_conv(&attrs, &[&x, &w]);
         assert_eq!(y.shape().dims(), &[1, 1, 2, 2]);
         // Top-left window only covers 4 in-bounds ones (corner), center windows 9.

@@ -6,22 +6,24 @@ use crate::{Attrs, OpError, OpKind};
 
 /// Applies a unary element-wise operator.
 pub fn unary(op: OpKind, attrs: &Attrs, x: &Tensor) -> Tensor {
-    x.map(|v| op.scalar_unary(v, attrs).expect("caller checked op is unary"))
+    x.map(|v| {
+        op.scalar_unary(v, attrs)
+            .expect("caller checked op is unary")
+    })
 }
 
 /// Applies a binary element-wise operator with ONNX broadcasting.
 pub fn binary(op: OpKind, a: &Tensor, b: &Tensor) -> Result<Tensor, OpError> {
-    a.zip_broadcast(b, |x, y| op.scalar_binary(x, y).expect("caller checked op is binary"))
-        .map_err(OpError::from)
+    a.zip_broadcast(b, |x, y| {
+        op.scalar_binary(x, y).expect("caller checked op is binary")
+    })
+    .map_err(OpError::from)
 }
 
 /// `Where(cond, x, y)`: selects `x` where `cond != 0`, `y` elsewhere, with
 /// full three-way broadcasting.
 pub fn where_select(cond: &Tensor, x: &Tensor, y: &Tensor) -> Result<Tensor, OpError> {
-    let shape = broadcast_shapes(
-        &broadcast_shapes(cond.shape(), x.shape())?,
-        y.shape(),
-    )?;
+    let shape = broadcast_shapes(&broadcast_shapes(cond.shape(), x.shape())?, y.shape())?;
     let mut out = Tensor::zeros(shape.clone());
     for offset in 0..shape.numel() {
         let idx = shape.multi_index(offset);

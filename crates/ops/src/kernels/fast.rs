@@ -18,17 +18,21 @@
 //! [`execute_fast_into`] with a serial pool and
 //! [`execute_fast_into_threaded`] with any pool produce the same bytes.
 //!
-//! Within a thread's tile, the Conv / MatMul / Gemm microkernels are
-//! additionally **lane-blocked** over the [`crate::simd`] bundles: 4–8
-//! consecutive output elements accumulate in lockstep, one element per lane,
-//! each lane running the scalar kernel's exact operation sequence (two
-//! rounding steps per tap, no fused multiply-add, no split reduction). The
-//! 2-D convolution vectorizes only the *interior* output columns — those
-//! whose every kernel tap is in bounds, so no tap-skip test fires — and
-//! leaves the padded borders (plus the 1-D/3-D odometer path and the
-//! pooling kernels) on the checked scalar loop; the two regions compute
-//! identical tap sequences, so SIMD-on and SIMD-off
-//! ([`WorkPool::with_simd`]) produce the same bytes at every lane width.
+//! Within a thread's tile, every kernel here is additionally
+//! **lane-blocked** over the [`crate::simd`] bundles: 4–8 consecutive output
+//! elements accumulate in lockstep, one element per lane, each lane running
+//! the scalar kernel's exact operation sequence (two rounding steps per
+//! conv/matmul tap, no fused multiply-add, no split reduction; `f32::max` /
+//! add-then-one-division for the pools). Convolution and pooling — at every
+//! spatial rank, including the 1-D/3-D odometer paths — vectorize only the
+//! *interior* output columns of each innermost-axis row: those whose every
+//! innermost kernel tap is in bounds, so no column tap-skip test fires
+//! (outer-axis taps keep their bounds checks, which are uniform across a
+//! row). Padded borders and lane remainders stay on the checked scalar
+//! loop; `GlobalAveragePool` lanes own whole `(n, c)` outputs. The scalar
+//! and lane regions compute identical tap sequences, so SIMD-on and
+//! SIMD-off ([`WorkPool::with_simd`]) produce the same bytes at every lane
+//! width.
 //!
 //! Inputs are expected to be shape-consistent with `out_shape`, exactly as
 //! produced by graph construction / shape inference (the fused engine always
@@ -47,7 +51,10 @@ use crate::{Attrs, OpError, OpKind};
 #[must_use]
 pub fn has_fast_kernel(op: OpKind) -> bool {
     use OpKind::*;
-    matches!(op, Conv | MatMul | Gemm | MaxPool | AveragePool | GlobalAveragePool)
+    matches!(
+        op,
+        Conv | MatMul | Gemm | MaxPool | AveragePool | GlobalAveragePool
+    )
 }
 
 /// Executes `op` with its optimized kernel on the calling thread. Equivalent
@@ -91,12 +98,48 @@ pub fn execute_fast_into_threaded(
     out: &mut [f32],
     pool: WorkPool,
 ) -> Result<bool, OpError> {
+    execute_fast_into_packed(op, attrs, inputs, None, out_shape, out, pool)
+}
+
+/// [`execute_fast_into_threaded`] with an optional **prepacked operand**: a
+/// kernel-friendly re-layout of one input, prepared once by the caller and
+/// reused across runs. Today the only packed form is a transposed `Gemm` B
+/// panel: when `op` is `Gemm` with `transB = 1` and `packed_b` carries `B`
+/// already transposed to `(K, N)` row-major, the kernel reads the panel with
+/// contiguous loads instead of strided gathers. Packing never changes
+/// results — the panel supplies the same operand values in the same
+/// accumulation order, so outputs are bit-identical to the unpacked call
+/// (pinned by the kernel tests). `packed_b` is ignored for every other
+/// operator and for untransposed `Gemm`.
+///
+/// # Errors
+///
+/// Returns an [`OpError`] when the inputs are structurally invalid for the
+/// operator (wrong arity or rank).
+///
+/// # Panics
+///
+/// May panic on inputs whose shapes are inconsistent with `out_shape`, or a
+/// `packed_b` whose shape is not the transposed B; callers are expected to
+/// pass shapes produced by shape inference and panels produced from the
+/// actual operand.
+pub fn execute_fast_into_packed(
+    op: OpKind,
+    attrs: &Attrs,
+    inputs: &[&Tensor],
+    packed_b: Option<&Tensor>,
+    out_shape: &Shape,
+    out: &mut [f32],
+    pool: WorkPool,
+) -> Result<bool, OpError> {
     debug_assert_eq!(out.len(), out_shape.numel());
     match op {
         OpKind::Conv => fast_conv(attrs, inputs, out_shape, out, pool)?,
         OpKind::MatMul => fast_matmul(op, inputs, out_shape, out, pool)?,
-        OpKind::Gemm => fast_gemm(attrs, inputs, out_shape, out, pool)?,
-        OpKind::MaxPool | OpKind::AveragePool => fast_pool(op, attrs, inputs, out_shape, out, pool)?,
+        OpKind::Gemm => fast_gemm(attrs, inputs, packed_b, out_shape, out, pool)?,
+        OpKind::MaxPool | OpKind::AveragePool => {
+            fast_pool(op, attrs, inputs, out_shape, out, pool)?
+        }
         OpKind::GlobalAveragePool => fast_global_average_pool(inputs, out_shape, out, pool)?,
         _ => return Ok(false),
     }
@@ -105,7 +148,11 @@ pub fn execute_fast_into_threaded(
 
 fn arity(op: OpKind, inputs: &[&Tensor], min: usize) -> Result<(), OpError> {
     if inputs.len() < min {
-        return Err(OpError::ArityMismatch { op, expected: min, actual: inputs.len() });
+        return Err(OpError::ArityMismatch {
+            op,
+            expected: min,
+            actual: inputs.len(),
+        });
     }
     Ok(())
 }
@@ -166,7 +213,11 @@ fn fast_conv(
     let xdat = x.data();
     let wdat = w.data();
     let kernel_elems: usize = w.shape().dims()[2..].iter().product();
-    let pool = pool.for_work(out.len().saturating_mul(in_per_group).saturating_mul(kernel_elems));
+    let pool = pool.for_work(
+        out.len()
+            .saturating_mul(in_per_group)
+            .saturating_mul(kernel_elems),
+    );
 
     if spatial_rank == 2 {
         let (oh, ow) = (out_shape.dim(2), out_shape.dim(3));
@@ -203,7 +254,11 @@ fn fast_conv(
         // left border needs ox*sw >= pw; the right border needs the furthest
         // tap, ox*sw + (kw-1)*dw - pw, to stay below iw.
         let span = (kw - 1) * dw;
-        let x_hi = if iw + pw > span { ((iw + pw - span - 1) / sw + 1).min(ow) } else { 0 };
+        let x_hi = if iw + pw > span {
+            ((iw + pw - span - 1) / sw + 1).min(ow)
+        } else {
+            0
+        };
         let x_lo = pw.div_ceil(sw).min(x_hi);
         let simd = pool.use_simd();
         // One chunk per (n, oc) output plane, written by exactly one thread.
@@ -235,49 +290,223 @@ fn fast_conv(
         return Ok(());
     }
 
-    // Generic spatial rank (1-D and 3-D convolutions) with odometer loops,
-    // parallel over the same (n, oc) planes.
+    // Generic spatial rank (1-D and 3-D convolutions), parallel over the
+    // same (n, oc) planes. Each plane is walked row by row along the
+    // innermost spatial axis: outer-axis taps keep per-tap bounds checks
+    // (the predicate is uniform over a row), while the innermost axis is
+    // split into checked border columns and lane-blocked interior columns
+    // exactly like the 2-D kernel above.
     let out_sp: Vec<usize> = out_shape.dims()[2..].to_vec();
     let kernel_sp: Vec<usize> = w.shape().dims()[2..].to_vec();
     let out_sp_count: usize = out_sp.iter().product();
-    let kernel_count: usize = kernel_sp.iter().product();
+    let last = spatial_rank - 1;
+    let ow = out_sp[last];
+    let iw = xd[2 + last];
+    let (sw, dw, pw) = (strides[last], dilations[last], pads[last]);
+    let kw = kernel_sp[last];
+    // Interior columns: every innermost tap lands in bounds for every lane
+    // (same derivation as the 2-D kernel's x_lo / x_hi).
+    let span = (kw - 1) * dw;
+    let x_hi = if iw + pw > span {
+        ((iw + pw - span - 1) / sw + 1).min(ow)
+    } else {
+        0
+    };
+    let x_lo = pw.div_ceil(sw).min(x_hi);
+    let tile = ConvNd {
+        xdat,
+        wdat,
+        xd_sp: &xd[2..],
+        xs_sp: &xs[2..],
+        ws_sp: &ws[2..],
+        kernel_sp: &kernel_sp,
+        kernel_count: kernel_sp.iter().product(),
+        outer_count: kernel_sp[..last].iter().product(),
+        strides: &strides,
+        dilations: &dilations,
+        pads: &pads,
+        in_per_group,
+        xs1: xs[1],
+        ws1: ws[1],
+    };
+    let outer_sp = &out_sp[..last];
+    let simd = pool.use_simd();
     pool.run_chunks(out, out_sp_count, |plane, chunk| {
         let n = plane / out_channels;
         let oc = plane % out_channels;
         let g = oc / channels_per_group_out;
         let b0 = bias.map_or(0.0, |b| b[oc]);
-        let mut out_pos = vec![0usize; spatial_rank];
+        let w_oc = oc * ws[0];
+        let x_plane = n * xs[0] + g * in_per_group * xs[1];
+        let mut outer_pos = vec![0usize; last];
+        // One odometer scratch per plane, shared by every column kernel call
+        // (the scalar path walks all axes, the lane path only the outer
+        // ones) — no allocation inside the row loop.
         let mut k_pos = vec![0usize; spatial_rank];
-        for slot in chunk.iter_mut() {
-            let mut acc = b0;
-            for ic in 0..in_per_group {
-                let x_base = n * xs[0] + (g * in_per_group + ic) * xs[1];
-                let w_base = oc * ws[0] + ic * ws[1];
-                k_pos.iter_mut().for_each(|p| *p = 0);
-                for _ in 0..kernel_count {
-                    let mut x_off = x_base;
-                    let mut w_off = w_base;
-                    let mut in_bounds = true;
-                    for d in 0..spatial_rank {
-                        let pos = out_pos[d] * strides[d] + k_pos[d] * dilations[d];
-                        if pos < pads[d] || pos - pads[d] >= xd[2 + d] {
-                            in_bounds = false;
-                            break;
-                        }
-                        x_off += (pos - pads[d]) * xs[2 + d];
-                        w_off += k_pos[d] * ws[2 + d];
-                    }
-                    if in_bounds {
-                        acc += xdat[x_off] * wdat[w_off];
-                    }
-                    advance(&mut k_pos, &kernel_sp);
+        for row in chunk.chunks_mut(ow) {
+            if simd {
+                tile.scalar_cols(row, x_plane, w_oc, b0, &outer_pos, &mut k_pos, 0, x_lo);
+                let mut ox = x_lo;
+                while ox + LANES <= x_hi {
+                    tile.simd_cols::<LANES>(
+                        row,
+                        x_plane,
+                        w_oc,
+                        b0,
+                        &outer_pos,
+                        &mut k_pos[..last],
+                        ox,
+                    );
+                    ox += LANES;
                 }
+                if ox + 4 <= x_hi {
+                    tile.simd_cols::<4>(row, x_plane, w_oc, b0, &outer_pos, &mut k_pos[..last], ox);
+                    ox += 4;
+                }
+                tile.scalar_cols(row, x_plane, w_oc, b0, &outer_pos, &mut k_pos, ox, ow);
+            } else {
+                tile.scalar_cols(row, x_plane, w_oc, b0, &outer_pos, &mut k_pos, 0, ow);
             }
-            *slot = acc;
-            advance(&mut out_pos, &out_sp);
+            advance(&mut outer_pos, outer_sp);
         }
     });
     Ok(())
+}
+
+/// Loop constants of one generic-rank (1-D / 3-D / higher) convolution
+/// launch, shared by the scalar and lane-blocked column kernels so both walk
+/// the identical tap sequence. Spatial axis `last` (`kernel_sp.len() - 1`)
+/// is the vectorized one; the outer spatial axes are walked by odometer with
+/// per-tap bounds checks that are uniform over an output row.
+struct ConvNd<'a> {
+    xdat: &'a [f32],
+    wdat: &'a [f32],
+    /// Input spatial dims (length = spatial rank).
+    xd_sp: &'a [usize],
+    /// Input strides of the spatial axes.
+    xs_sp: &'a [usize],
+    /// Weight strides of the spatial axes.
+    ws_sp: &'a [usize],
+    kernel_sp: &'a [usize],
+    /// Product of all kernel extents (taps per input channel).
+    kernel_count: usize,
+    /// Product of the outer (non-innermost) kernel extents.
+    outer_count: usize,
+    strides: &'a [usize],
+    dilations: &'a [usize],
+    pads: &'a [usize],
+    in_per_group: usize,
+    xs1: usize,
+    ws1: usize,
+}
+
+impl ConvNd<'_> {
+    /// Columns `[ox0, ox1)` of the output row at `outer_pos`, one element at
+    /// a time with per-tap bounds checks on every axis — the reference
+    /// kernel's accumulation order (input channels, then kernel taps in
+    /// row-major order), used for padded borders, lane remainders and the
+    /// full-scalar mode.
+    #[allow(clippy::too_many_arguments)]
+    fn scalar_cols(
+        &self,
+        row: &mut [f32],
+        x_plane: usize,
+        w_oc: usize,
+        b0: f32,
+        outer_pos: &[usize],
+        k_pos: &mut [usize],
+        ox0: usize,
+        ox1: usize,
+    ) {
+        let rank = self.kernel_sp.len();
+        let last = rank - 1;
+        for (ox, slot) in row[..ox1].iter_mut().enumerate().skip(ox0) {
+            let mut acc = b0;
+            for ic in 0..self.in_per_group {
+                let x_base = x_plane + ic * self.xs1;
+                let w_base = w_oc + ic * self.ws1;
+                k_pos.iter_mut().for_each(|p| *p = 0);
+                for _ in 0..self.kernel_count {
+                    let mut x_off = x_base;
+                    let mut w_off = w_base;
+                    let mut in_bounds = true;
+                    for d in 0..rank {
+                        let out_coord = if d == last { ox } else { outer_pos[d] };
+                        let pos = out_coord * self.strides[d] + k_pos[d] * self.dilations[d];
+                        if pos < self.pads[d] || pos - self.pads[d] >= self.xd_sp[d] {
+                            in_bounds = false;
+                            break;
+                        }
+                        x_off += (pos - self.pads[d]) * self.xs_sp[d];
+                        w_off += k_pos[d] * self.ws_sp[d];
+                    }
+                    if in_bounds {
+                        acc += self.xdat[x_off] * self.wdat[w_off];
+                    }
+                    advance(k_pos, self.kernel_sp);
+                }
+            }
+            *slot = acc;
+        }
+    }
+
+    /// `N` consecutive interior columns starting at `ox`: one output element
+    /// per lane, every innermost tap in bounds by the caller's interior-range
+    /// computation. Outer-axis taps whose bounds check fails are skipped for
+    /// the whole bundle — exactly the taps [`ConvNd::scalar_cols`] skips —
+    /// and in-bounds taps accumulate in the scalar order (`acc = acc + x * w`
+    /// per lane, no FMA), so the two paths are bit-identical.
+    #[allow(clippy::too_many_arguments)]
+    fn simd_cols<const N: usize>(
+        &self,
+        row: &mut [f32],
+        x_plane: usize,
+        w_oc: usize,
+        b0: f32,
+        outer_pos: &[usize],
+        k_outer: &mut [usize],
+        ox: usize,
+    ) {
+        let rank = self.kernel_sp.len();
+        let last = rank - 1;
+        let (sw, dw, pw) = (self.strides[last], self.dilations[last], self.pads[last]);
+        let (xs_last, ws_last) = (self.xs_sp[last], self.ws_sp[last]);
+        let kw = self.kernel_sp[last];
+        let lane_stride = sw * xs_last;
+        let mut acc = F32Lanes::<N>::splat(b0);
+        for ic in 0..self.in_per_group {
+            let x_base = x_plane + ic * self.xs1;
+            let w_base = w_oc + ic * self.ws1;
+            k_outer.iter_mut().for_each(|p| *p = 0);
+            for _ in 0..self.outer_count {
+                let mut x_off = x_base;
+                let mut w_off = w_base;
+                let mut in_bounds = true;
+                for d in 0..last {
+                    let pos = outer_pos[d] * self.strides[d] + k_outer[d] * self.dilations[d];
+                    if pos < self.pads[d] || pos - self.pads[d] >= self.xd_sp[d] {
+                        in_bounds = false;
+                        break;
+                    }
+                    x_off += (pos - self.pads[d]) * self.xs_sp[d];
+                    w_off += k_outer[d] * self.ws_sp[d];
+                }
+                if in_bounds {
+                    for kx in 0..kw {
+                        let x0 = x_off + (ox * sw + kx * dw - pw) * xs_last;
+                        let xv = if lane_stride == 1 {
+                            F32Lanes::<N>::load(&self.xdat[x0..])
+                        } else {
+                            F32Lanes::<N>::gather(self.xdat, x0, lane_stride)
+                        };
+                        acc = acc + xv * F32Lanes::<N>::splat(self.wdat[w_off + kx * ws_last]);
+                    }
+                }
+                advance(k_outer, &self.kernel_sp[..last]);
+            }
+        }
+        acc.store(&mut row[ox..]);
+    }
 }
 
 /// Loop constants of one 2-D convolution launch, shared by the scalar and
@@ -408,7 +637,10 @@ fn fast_matmul(
     let a = inputs[0];
     let b = inputs[1];
     if a.shape().rank() < 2 || b.shape().rank() < 2 {
-        return Err(OpError::InvalidShape { op, reason: "operands must be rank >= 2".into() });
+        return Err(OpError::InvalidShape {
+            op,
+            reason: "operands must be rank >= 2".into(),
+        });
     }
     if out.is_empty() {
         return Ok(());
@@ -496,6 +728,7 @@ fn matmul_cols<const N: usize>(
 fn fast_gemm(
     attrs: &Attrs,
     inputs: &[&Tensor],
+    packed_b: Option<&Tensor>,
     out_shape: &Shape,
     out: &mut [f32],
     pool: WorkPool,
@@ -518,10 +751,28 @@ fn fast_gemm(
     let trans_b = attrs.int_or("transB", 0) != 0;
     let m = out_shape.dim(0);
     let n = out_shape.dim(1);
-    let k = if trans_a { a.shape().dim(0) } else { a.shape().dim(1) };
+    let k = if trans_a {
+        a.shape().dim(0)
+    } else {
+        a.shape().dim(1)
+    };
     let adat = a.data();
-    let bdat = b.data();
-    let (a_cols, b_cols) = (a.shape().dim(1), b.shape().dim(1));
+    let a_cols = a.shape().dim(1);
+    // A prepacked (already transposed, `(K, N)` row-major) B panel replaces
+    // the transposed operand: reads become contiguous, while every element
+    // value — `packed[p][j] == b[j][p]` — and the accumulation order stay
+    // exactly those of the strided loop, so results are bit-identical.
+    let (bdat, b_cols, trans_b) = match packed_b {
+        Some(panel) if trans_b => {
+            debug_assert_eq!(
+                panel.shape().dims(),
+                &[k, n],
+                "packed B panel must be (K, N)"
+            );
+            (panel.data(), n, false)
+        }
+        _ => (b.data(), b.shape().dim(1), trans_b),
+    };
     // Broadcast strides of the optional bias over the (m, n) output.
     let c = inputs.get(2);
     let (c_dat, c_si, c_sj) = match c {
@@ -550,19 +801,33 @@ fn fast_gemm(
         let mut j0 = 0usize;
         if simd {
             while j0 + LANES <= n {
-                gemm_cols::<LANES>(chunk, i, j0, k, trans_a, trans_b, adat, bdat, a_cols, b_cols, alpha, beta, c_dat, c_si, c_sj);
+                gemm_cols::<LANES>(
+                    chunk, i, j0, k, trans_a, trans_b, adat, bdat, a_cols, b_cols, alpha, beta,
+                    c_dat, c_si, c_sj,
+                );
                 j0 += LANES;
             }
             if j0 + 4 <= n {
-                gemm_cols::<4>(chunk, i, j0, k, trans_a, trans_b, adat, bdat, a_cols, b_cols, alpha, beta, c_dat, c_si, c_sj);
+                gemm_cols::<4>(
+                    chunk, i, j0, k, trans_a, trans_b, adat, bdat, a_cols, b_cols, alpha, beta,
+                    c_dat, c_si, c_sj,
+                );
                 j0 += 4;
             }
         }
         for (j, slot) in chunk.iter_mut().enumerate().skip(j0) {
             let mut acc = 0.0f32;
             for p in 0..k {
-                let av = if trans_a { adat[p * a_cols + i] } else { adat[i * a_cols + p] };
-                let bv = if trans_b { bdat[j * b_cols + p] } else { bdat[p * b_cols + j] };
+                let av = if trans_a {
+                    adat[p * a_cols + i]
+                } else {
+                    adat[i * a_cols + p]
+                };
+                let bv = if trans_b {
+                    bdat[j * b_cols + p]
+                } else {
+                    bdat[p * b_cols + j]
+                };
                 acc += av * bv;
             }
             let mut v = alpha * acc;
@@ -598,7 +863,11 @@ fn gemm_cols<const N: usize>(
 ) {
     let mut acc = F32Lanes::<N>::splat(0.0);
     for p in 0..k {
-        let av = if trans_a { adat[p * a_cols + i] } else { adat[i * a_cols + p] };
+        let av = if trans_a {
+            adat[p * a_cols + i]
+        } else {
+            adat[i * a_cols + p]
+        };
         let bv = if trans_b {
             F32Lanes::<N>::gather(bdat, j * b_cols + p, b_cols)
         } else {
@@ -654,106 +923,381 @@ fn fast_pool(
     let out_sp_count: usize = out_sp.iter().product();
     let pool = pool.for_work(out.len().saturating_mul(kernel_total));
 
+    // Interior-column split on the innermost spatial axis, shared by the
+    // 2-D fast path and the generic-rank odometer path: columns in
+    // [x_lo, x_hi) have every innermost tap in bounds (pooling has no
+    // dilation, so the furthest tap is ox*sw + kw - 1).
+    let last = spatial_rank - 1;
+    let ow = out_sp[last];
+    let iw = xd[2 + last];
+    let (sw, pw, kw) = (strides[last], pads[last], kernel[last]);
+    let span = kw - 1;
+    let x_hi = if iw + pw > span {
+        ((iw + pw - span - 1) / sw + 1).min(ow)
+    } else {
+        0
+    };
+    let x_lo = pw.div_ceil(sw).min(x_hi);
+    let simd = pool.use_simd();
+
     if spatial_rank == 2 {
-        let (ih, iw) = (xd[2], xd[3]);
-        let (kh, kw) = (kernel[0], kernel[1]);
-        let (sh, sw) = (strides[0], strides[1]);
-        let (ph, pw) = (pads[0], pads[1]);
-        let (oh, ow) = (out_sp[0], out_sp[1]);
-        let (xs0, xs1, xs2) = (xs[0], xs[1], xs[2]);
+        let (oh, _) = (out_sp[0], out_sp[1]);
+        let (xs0, xs1) = (xs[0], xs[1]);
+        let tile = Pool2d {
+            xdat,
+            ih: xd[2],
+            iw,
+            kh: kernel[0],
+            kw,
+            sh: strides[0],
+            sw,
+            ph: pads[0],
+            pw,
+            xs2: xs[2],
+            is_max,
+            count_include_pad,
+            kernel_total,
+        };
         pool.run_chunks(out, oh * ow, |plane, chunk| {
             let n = plane / channels;
             let c = plane % channels;
             let base = n * xs0 + c * xs1;
-            let mut o = 0usize;
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let mut acc = if is_max { f32::NEG_INFINITY } else { 0.0 };
-                    let mut count = 0usize;
-                    for ky in 0..kh {
-                        let y = oy * sh + ky;
-                        if y < ph || y - ph >= ih {
-                            continue;
-                        }
-                        let row = base + (y - ph) * xs2;
-                        for kx in 0..kw {
-                            let xx = ox * sw + kx;
-                            if xx < pw || xx - pw >= iw {
-                                continue;
-                            }
-                            let v = xdat[row + (xx - pw)];
-                            if is_max {
-                                acc = acc.max(v);
-                            } else {
-                                acc += v;
-                            }
-                            count += 1;
-                        }
+            for (oy, row) in chunk.chunks_mut(ow).enumerate() {
+                if simd {
+                    tile.scalar_cols(row, base, oy, 0, x_lo);
+                    let mut ox = x_lo;
+                    while ox + LANES <= x_hi {
+                        tile.simd_cols::<LANES>(row, base, oy, ox);
+                        ox += LANES;
                     }
-                    chunk[o] = pool_result(is_max, acc, count, count_include_pad, kernel_total);
-                    o += 1;
+                    if ox + 4 <= x_hi {
+                        tile.simd_cols::<4>(row, base, oy, ox);
+                        ox += 4;
+                    }
+                    tile.scalar_cols(row, base, oy, ox, ow);
+                } else {
+                    tile.scalar_cols(row, base, oy, 0, ow);
                 }
             }
         });
         return Ok(());
     }
 
+    // Generic spatial rank (1-D and 3-D pooling): outer-axis taps keep
+    // per-tap bounds checks (uniform over a row), the innermost axis takes
+    // the border/interior split above.
+    let tile = PoolNd {
+        xdat,
+        xd_sp: &xd[2..],
+        xs_sp: &xs[2..],
+        kernel_sp: &kernel,
+        outer_count: kernel[..last].iter().product(),
+        strides: &strides,
+        pads: &pads,
+        is_max,
+        count_include_pad,
+        kernel_total,
+    };
+    let outer_sp = &out_sp[..last];
     pool.run_chunks(out, out_sp_count, |plane, chunk| {
         let n = plane / channels;
         let c = plane % channels;
         let base = n * xs[0] + c * xs[1];
-        let mut out_pos = vec![0usize; spatial_rank];
+        let mut outer_pos = vec![0usize; last];
+        // One odometer scratch per plane, shared by every column kernel call
+        // — no allocation inside the row loop.
         let mut k_pos = vec![0usize; spatial_rank];
-        for slot in chunk.iter_mut() {
-            let mut acc = if is_max { f32::NEG_INFINITY } else { 0.0 };
-            let mut count = 0usize;
-            k_pos.iter_mut().for_each(|p| *p = 0);
-            for _ in 0..kernel_total {
-                let mut off = base;
-                let mut in_bounds = true;
-                for d in 0..spatial_rank {
-                    let pos = out_pos[d] * strides[d] + k_pos[d];
-                    if pos < pads[d] || pos - pads[d] >= xd[2 + d] {
-                        in_bounds = false;
-                        break;
-                    }
-                    off += (pos - pads[d]) * xs[2 + d];
+        for row in chunk.chunks_mut(ow) {
+            if simd {
+                tile.scalar_cols(row, base, &outer_pos, &mut k_pos, 0, x_lo);
+                let mut ox = x_lo;
+                while ox + LANES <= x_hi {
+                    tile.simd_cols::<LANES>(row, base, &outer_pos, &mut k_pos[..last], ox);
+                    ox += LANES;
                 }
-                if in_bounds {
-                    let v = xdat[off];
-                    if is_max {
+                if ox + 4 <= x_hi {
+                    tile.simd_cols::<4>(row, base, &outer_pos, &mut k_pos[..last], ox);
+                    ox += 4;
+                }
+                tile.scalar_cols(row, base, &outer_pos, &mut k_pos, ox, ow);
+            } else {
+                tile.scalar_cols(row, base, &outer_pos, &mut k_pos, 0, ow);
+            }
+            advance(&mut outer_pos, outer_sp);
+        }
+    });
+    Ok(())
+}
+
+/// Loop constants of one 2-D pooling launch, shared by the scalar and
+/// lane-blocked column kernels so both visit the identical tap sequence.
+struct Pool2d<'a> {
+    xdat: &'a [f32],
+    ih: usize,
+    iw: usize,
+    kh: usize,
+    kw: usize,
+    sh: usize,
+    sw: usize,
+    ph: usize,
+    pw: usize,
+    xs2: usize,
+    is_max: bool,
+    count_include_pad: bool,
+    kernel_total: usize,
+}
+
+impl Pool2d<'_> {
+    /// Columns `[ox0, ox1)` of output row `oy`, one element at a time with
+    /// per-tap bounds checks — the reference kernel's window order, used for
+    /// padded borders, lane remainders and the full-scalar mode.
+    fn scalar_cols(&self, row: &mut [f32], base: usize, oy: usize, ox0: usize, ox1: usize) {
+        for (ox, slot) in row[..ox1].iter_mut().enumerate().skip(ox0) {
+            let mut acc = if self.is_max { f32::NEG_INFINITY } else { 0.0 };
+            let mut count = 0usize;
+            for ky in 0..self.kh {
+                let y = oy * self.sh + ky;
+                if y < self.ph || y - self.ph >= self.ih {
+                    continue;
+                }
+                let x_row = base + (y - self.ph) * self.xs2;
+                for kx in 0..self.kw {
+                    let xx = ox * self.sw + kx;
+                    if xx < self.pw || xx - self.pw >= self.iw {
+                        continue;
+                    }
+                    let v = self.xdat[x_row + (xx - self.pw)];
+                    if self.is_max {
                         acc = acc.max(v);
                     } else {
                         acc += v;
                     }
                     count += 1;
                 }
-                advance(&mut k_pos, &kernel);
             }
-            *slot = pool_result(is_max, acc, count, count_include_pad, kernel_total);
-            advance(&mut out_pos, &out_sp);
+            *slot = pool_result(acc, count, self);
         }
-    });
-    Ok(())
+    }
+
+    /// `N` consecutive interior columns starting at `ox`: one output element
+    /// per lane, every column tap in bounds by the caller's interior-range
+    /// computation. Row taps outside the input are skipped for the whole
+    /// bundle (the same taps the scalar loop skips); in-bounds taps apply
+    /// the scalar operation per lane (`f32::max` / `+`, then one division
+    /// for averages), so the two paths are bit-identical.
+    fn simd_cols<const N: usize>(&self, row: &mut [f32], base: usize, oy: usize, ox: usize) {
+        let mut acc = F32Lanes::<N>::splat(if self.is_max { f32::NEG_INFINITY } else { 0.0 });
+        let mut valid_rows = 0usize;
+        for ky in 0..self.kh {
+            let y = oy * self.sh + ky;
+            if y < self.ph || y - self.ph >= self.ih {
+                continue;
+            }
+            valid_rows += 1;
+            let x_row = base + (y - self.ph) * self.xs2;
+            for kx in 0..self.kw {
+                let x0 = x_row + ox * self.sw + kx - self.pw;
+                let xv = if self.sw == 1 {
+                    F32Lanes::<N>::load(&self.xdat[x0..])
+                } else {
+                    F32Lanes::<N>::gather(self.xdat, x0, self.sw)
+                };
+                acc = if self.is_max { acc.max(xv) } else { acc + xv };
+            }
+        }
+        store_pool_lanes(acc, valid_rows * self.kw, self, row, ox);
+    }
 }
 
-fn pool_result(
+impl<'a> PoolKernel for Pool2d<'a> {
+    fn is_max(&self) -> bool {
+        self.is_max
+    }
+    fn count_include_pad(&self) -> bool {
+        self.count_include_pad
+    }
+    fn kernel_total(&self) -> usize {
+        self.kernel_total
+    }
+}
+
+/// Loop constants of one generic-rank pooling launch (1-D / 3-D / higher),
+/// mirroring [`ConvNd`]: the innermost spatial axis is the vectorized one.
+struct PoolNd<'a> {
+    xdat: &'a [f32],
+    xd_sp: &'a [usize],
+    xs_sp: &'a [usize],
+    kernel_sp: &'a [usize],
+    /// Product of the outer (non-innermost) kernel extents.
+    outer_count: usize,
+    strides: &'a [usize],
+    pads: &'a [usize],
     is_max: bool,
-    acc: f32,
-    count: usize,
     count_include_pad: bool,
     kernel_total: usize,
-) -> f32 {
-    if is_max {
+}
+
+impl PoolNd<'_> {
+    /// Columns `[ox0, ox1)` of the output row at `outer_pos`, one element at
+    /// a time with per-tap bounds checks on every axis — the reference
+    /// kernel's window order (kernel taps row-major).
+    fn scalar_cols(
+        &self,
+        row: &mut [f32],
+        base: usize,
+        outer_pos: &[usize],
+        k_pos: &mut [usize],
+        ox0: usize,
+        ox1: usize,
+    ) {
+        let rank = self.kernel_sp.len();
+        let last = rank - 1;
+        for (ox, slot) in row[..ox1].iter_mut().enumerate().skip(ox0) {
+            let mut acc = if self.is_max { f32::NEG_INFINITY } else { 0.0 };
+            let mut count = 0usize;
+            k_pos.iter_mut().for_each(|p| *p = 0);
+            for _ in 0..self.kernel_total {
+                let mut off = base;
+                let mut in_bounds = true;
+                for d in 0..rank {
+                    let out_coord = if d == last { ox } else { outer_pos[d] };
+                    let pos = out_coord * self.strides[d] + k_pos[d];
+                    if pos < self.pads[d] || pos - self.pads[d] >= self.xd_sp[d] {
+                        in_bounds = false;
+                        break;
+                    }
+                    off += (pos - self.pads[d]) * self.xs_sp[d];
+                }
+                if in_bounds {
+                    let v = self.xdat[off];
+                    if self.is_max {
+                        acc = acc.max(v);
+                    } else {
+                        acc += v;
+                    }
+                    count += 1;
+                }
+                advance(k_pos, self.kernel_sp);
+            }
+            *slot = pool_result(acc, count, self);
+        }
+    }
+
+    /// `N` consecutive interior columns starting at `ox`: one output element
+    /// per lane. Outer-axis taps failing their bounds check are skipped for
+    /// the whole bundle; every innermost tap of a surviving outer tap is in
+    /// bounds by the caller's interior-range computation, and applies the
+    /// scalar operation per lane in the odometer order.
+    fn simd_cols<const N: usize>(
+        &self,
+        row: &mut [f32],
+        base: usize,
+        outer_pos: &[usize],
+        k_outer: &mut [usize],
+        ox: usize,
+    ) {
+        let rank = self.kernel_sp.len();
+        let last = rank - 1;
+        let (sw, pw) = (self.strides[last], self.pads[last]);
+        let xs_last = self.xs_sp[last];
+        let kw = self.kernel_sp[last];
+        let lane_stride = sw * xs_last;
+        k_outer.iter_mut().for_each(|p| *p = 0);
+        let mut acc = F32Lanes::<N>::splat(if self.is_max { f32::NEG_INFINITY } else { 0.0 });
+        let mut valid_outer = 0usize;
+        for _ in 0..self.outer_count {
+            let mut off = base;
+            let mut in_bounds = true;
+            for d in 0..last {
+                let pos = outer_pos[d] * self.strides[d] + k_outer[d];
+                if pos < self.pads[d] || pos - self.pads[d] >= self.xd_sp[d] {
+                    in_bounds = false;
+                    break;
+                }
+                off += (pos - self.pads[d]) * self.xs_sp[d];
+            }
+            if in_bounds {
+                valid_outer += 1;
+                for kx in 0..kw {
+                    let x0 = off + (ox * sw + kx - pw) * xs_last;
+                    let xv = if lane_stride == 1 {
+                        F32Lanes::<N>::load(&self.xdat[x0..])
+                    } else {
+                        F32Lanes::<N>::gather(self.xdat, x0, lane_stride)
+                    };
+                    acc = if self.is_max { acc.max(xv) } else { acc + xv };
+                }
+            }
+            advance(k_outer, &self.kernel_sp[..last]);
+        }
+        store_pool_lanes(acc, valid_outer * kw, self, row, ox);
+    }
+}
+
+impl<'a> PoolKernel for PoolNd<'a> {
+    fn is_max(&self) -> bool {
+        self.is_max
+    }
+    fn count_include_pad(&self) -> bool {
+        self.count_include_pad
+    }
+    fn kernel_total(&self) -> usize {
+        self.kernel_total
+    }
+}
+
+/// The pooling-mode constants [`pool_result`] and [`store_pool_lanes`] need,
+/// shared by [`Pool2d`] and [`PoolNd`].
+trait PoolKernel {
+    fn is_max(&self) -> bool;
+    fn count_include_pad(&self) -> bool;
+    fn kernel_total(&self) -> usize;
+}
+
+/// Finishes one pooled element: the max as-is, or the average via the
+/// reference kernel's padding-count semantics.
+fn pool_result(acc: f32, count: usize, k: &impl PoolKernel) -> f32 {
+    if k.is_max() {
         acc
     } else {
-        let denom = if count_include_pad { kernel_total } else { count.max(1) };
+        let denom = if k.count_include_pad() {
+            k.kernel_total()
+        } else {
+            count.max(1)
+        };
         acc / denom as f32
     }
 }
 
+/// Finishes `N` pooled interior columns: `count` (in-bounds taps) is uniform
+/// across the lanes, and the average divides per lane — one IEEE division,
+/// exactly [`pool_result`]'s operation.
+fn store_pool_lanes<const N: usize>(
+    acc: F32Lanes<N>,
+    count: usize,
+    k: &impl PoolKernel,
+    row: &mut [f32],
+    ox: usize,
+) {
+    if k.is_max() {
+        acc.store(&mut row[ox..]);
+    } else {
+        let denom = if k.count_include_pad() {
+            k.kernel_total()
+        } else {
+            count.max(1)
+        };
+        let avg = acc / F32Lanes::<N>::splat(denom as f32);
+        avg.store(&mut row[ox..]);
+    }
+}
+
 /// `GlobalAveragePool` over contiguous per-channel spatial slices, parallel
-/// over `(batch, channel)` — each output element's spatial sum is one task.
+/// over groups of `(batch, channel)` output elements. With SIMD enabled the
+/// groups are lane-blocked: each lane owns one whole `(n, c)` output and
+/// runs the scalar summation order over its own channel plane (gather loads
+/// with the plane stride), so the lane path is bit-identical to the scalar
+/// fold.
 fn fast_global_average_pool(
     inputs: &[&Tensor],
     out_shape: &Shape,
@@ -776,12 +1320,57 @@ fn fast_global_average_pool(
     let spatial: usize = x.shape().dims()[2..].iter().product();
     let xdat = x.data();
     let pool = pool.for_work(xdat.len());
-    pool.run_chunks(out, 1, |plane, chunk| {
-        let base = plane * spatial;
-        let sum: f32 = xdat[base..base + spatial].iter().sum();
-        chunk[0] = sum / spatial.max(1) as f32;
+    let simd = pool.use_simd();
+    let denom = spatial.max(1) as f32;
+    pool.run_chunks(out, LANES, |group, chunk| {
+        let mut o = 0usize;
+        if simd && spatial > 0 {
+            while o + LANES <= chunk.len() {
+                gap_lanes::<LANES>(
+                    xdat,
+                    (group * LANES + o) * spatial,
+                    spatial,
+                    denom,
+                    &mut chunk[o..],
+                );
+                o += LANES;
+            }
+            if o + 4 <= chunk.len() {
+                gap_lanes::<4>(
+                    xdat,
+                    (group * LANES + o) * spatial,
+                    spatial,
+                    denom,
+                    &mut chunk[o..],
+                );
+                o += 4;
+            }
+        }
+        for (i, slot) in chunk.iter_mut().enumerate().skip(o) {
+            let base = (group * LANES + i) * spatial;
+            let sum: f32 = xdat[base..base + spatial].iter().sum();
+            *slot = sum / denom;
+        }
     });
     Ok(())
+}
+
+/// Sums `N` consecutive channel planes in lockstep, one plane per lane: step
+/// `s` adds element `s` of every plane (`acc = acc + x`, the scalar fold's
+/// exact order per lane), then divides once per lane.
+fn gap_lanes<const N: usize>(
+    xdat: &[f32],
+    base: usize,
+    spatial: usize,
+    denom: f32,
+    out: &mut [f32],
+) {
+    let mut acc = F32Lanes::<N>::splat(0.0);
+    for s in 0..spatial {
+        acc = acc + F32Lanes::<N>::gather(xdat, base + s, spatial);
+    }
+    let avg = acc / F32Lanes::<N>::splat(denom);
+    avg.store(out);
 }
 
 #[cfg(test)]
@@ -800,7 +1389,11 @@ mod tests {
         let mut fast = vec![0.0f32; out_shape.numel()];
         assert!(execute_fast_into(op, attrs, inputs, &out_shape, &mut fast).unwrap());
         let reference = execute(op, attrs, inputs).unwrap().remove(0);
-        assert_eq!(fast.as_slice(), reference.data(), "{op} diverged from reference");
+        assert_eq!(
+            fast.as_slice(),
+            reference.data(),
+            "{op} diverged from reference"
+        );
         let mut scalar = vec![0.0f32; out_shape.numel()];
         assert!(execute_fast_into_threaded(
             op,
@@ -848,8 +1441,14 @@ mod tests {
                 let x = Tensor::scalar(1.0);
                 // Elementwise ops get Ok(false); the registry is authoritative.
                 if op.is_elementwise_unary() {
-                    assert!(!execute_fast_into(op, &Attrs::new(), &[&x], &Shape::scalar(), &mut out)
-                        .unwrap());
+                    assert!(!execute_fast_into(
+                        op,
+                        &Attrs::new(),
+                        &[&x],
+                        &Shape::scalar(),
+                        &mut out
+                    )
+                    .unwrap());
                 }
             }
         }
@@ -865,7 +1464,9 @@ mod tests {
         for attrs in [
             Attrs::new().with_ints("pads", vec![1, 1, 1, 1]),
             Attrs::new().with_ints("strides", vec![2, 2]),
-            Attrs::new().with_ints("pads", vec![2, 0, 2, 0]).with_ints("dilations", vec![2, 1]),
+            Attrs::new()
+                .with_ints("pads", vec![2, 0, 2, 0])
+                .with_ints("dilations", vec![2, 1]),
         ] {
             assert_fast_matches_reference(OpKind::Conv, &attrs, &[&x, &w, &b]);
             assert_fast_matches_reference(OpKind::Conv, &attrs, &[&x, &w]);
@@ -876,7 +1477,9 @@ mod tests {
     fn grouped_conv_matches_reference() {
         let x = Tensor::random(Shape::new(vec![1, 4, 6, 6]), 4);
         let w = Tensor::random(Shape::new(vec![4, 1, 3, 3]), 5);
-        let attrs = Attrs::new().with_int("group", 4).with_ints("pads", vec![1, 1, 1, 1]);
+        let attrs = Attrs::new()
+            .with_int("group", 4)
+            .with_ints("pads", vec![1, 1, 1, 1]);
         assert_fast_matches_reference(OpKind::Conv, &attrs, &[&x, &w]);
     }
 
@@ -923,6 +1526,72 @@ mod tests {
     }
 
     #[test]
+    fn prepacked_gemm_b_panel_is_bit_identical_to_the_strided_operand() {
+        // transB = 1 with a prepacked (K, N) panel: contiguous loads replace
+        // the gathers, but every element value and the accumulation order
+        // are unchanged, so outputs must match bit for bit — for widths
+        // crossing the 8/4/scalar lane splits, and in forced-scalar mode.
+        for n in [3usize, 7, 8, 21] {
+            let a = Tensor::random(Shape::new(vec![4, 6]), 110 + n as u64);
+            let bt = Tensor::random(Shape::new(vec![n, 6]), 120 + n as u64);
+            let c = Tensor::random(Shape::new(vec![n]), 130 + n as u64);
+            let panel = bt.transpose(&[1, 0]).unwrap();
+            let attrs = Attrs::new()
+                .with_int("transB", 1)
+                .with_float("alpha", 0.75)
+                .with_float("beta", 1.5);
+            let out_shape = Shape::new(vec![4, n]);
+            let mut unpacked = vec![0.0f32; out_shape.numel()];
+            assert!(execute_fast_into(
+                OpKind::Gemm,
+                &attrs,
+                &[&a, &bt, &c],
+                &out_shape,
+                &mut unpacked
+            )
+            .unwrap());
+            for pool in [
+                WorkPool::serial(),
+                WorkPool::serial().with_simd(false),
+                WorkPool::with_min_work(3, 0),
+            ] {
+                let mut packed = vec![0.0f32; out_shape.numel()];
+                assert!(execute_fast_into_packed(
+                    OpKind::Gemm,
+                    &attrs,
+                    &[&a, &bt, &c],
+                    Some(&panel),
+                    &out_shape,
+                    &mut packed,
+                    pool,
+                )
+                .unwrap());
+                assert_eq!(packed, unpacked, "packed Gemm diverged at n = {n}");
+            }
+            // An untransposed Gemm ignores the panel entirely.
+            let b = Tensor::random(Shape::new(vec![6, n]), 140 + n as u64);
+            let plain = Attrs::new();
+            let mut without = vec![0.0f32; out_shape.numel()];
+            assert!(
+                execute_fast_into(OpKind::Gemm, &plain, &[&a, &b], &out_shape, &mut without)
+                    .unwrap()
+            );
+            let mut with = vec![0.0f32; out_shape.numel()];
+            assert!(execute_fast_into_packed(
+                OpKind::Gemm,
+                &plain,
+                &[&a, &b],
+                Some(&panel),
+                &out_shape,
+                &mut with,
+                WorkPool::serial(),
+            )
+            .unwrap());
+            assert_eq!(with, without);
+        }
+    }
+
+    #[test]
     fn pools_match_reference() {
         let x = Tensor::random(Shape::new(vec![1, 3, 7, 7]), 20);
         let attrs = Attrs::new()
@@ -935,8 +1604,9 @@ mod tests {
         assert_fast_matches_reference(OpKind::AveragePool, &include, &[&x]);
         // 3-D pooling takes the generic odometer path.
         let x3 = Tensor::random(Shape::new(vec![1, 2, 4, 4, 4]), 21);
-        let attrs3 =
-            Attrs::new().with_ints("kernel_shape", vec![2, 2, 2]).with_ints("strides", vec![2, 2, 2]);
+        let attrs3 = Attrs::new()
+            .with_ints("kernel_shape", vec![2, 2, 2])
+            .with_ints("strides", vec![2, 2, 2]);
         assert_fast_matches_reference(OpKind::MaxPool, &attrs3, &[&x3]);
         assert_fast_matches_reference(OpKind::GlobalAveragePool, &Attrs::new(), &[&x3]);
     }
@@ -951,7 +1621,9 @@ mod tests {
         for attrs in [
             Attrs::new(),
             Attrs::new().with_ints("pads", vec![1, 1, 1, 1]),
-            Attrs::new().with_ints("strides", vec![1, 2]).with_ints("pads", vec![1, 1, 1, 1]),
+            Attrs::new()
+                .with_ints("strides", vec![1, 2])
+                .with_ints("pads", vec![1, 1, 1, 1]),
             Attrs::new().with_ints("dilations", vec![1, 2]),
             Attrs::new().with_ints("pads", vec![0, 9, 0, 9]),
         ] {
@@ -973,16 +1645,121 @@ mod tests {
     }
 
     #[test]
+    fn generic_rank_conv_interiors_cover_every_lane_width_and_stride_form() {
+        // 1-D conv: width 23 forces 8-lane bundles, the 4-lane pass and a
+        // scalar tail; pads exercise the border columns, strides > 1 the
+        // gather load.
+        let x1 = Tensor::random(Shape::new(vec![2, 3, 23]), 90);
+        let w1 = Tensor::random(Shape::new(vec![4, 3, 3]), 91);
+        let b1 = Tensor::random(Shape::new(vec![4]), 92);
+        for attrs in [
+            Attrs::new(),
+            Attrs::new().with_ints("pads", vec![1, 1]),
+            Attrs::new()
+                .with_ints("strides", vec![2])
+                .with_ints("pads", vec![2, 2]),
+            Attrs::new().with_ints("dilations", vec![2]),
+            Attrs::new().with_ints("pads", vec![9, 9]),
+        ] {
+            assert_fast_matches_reference(OpKind::Conv, &attrs, &[&x1, &w1, &b1]);
+        }
+        // 3-D conv wide enough for full bundles, with out-of-bounds outer
+        // (depth/height) taps so the uniform row-skip path really fires.
+        let x3 = Tensor::random(Shape::new(vec![1, 2, 3, 4, 23]), 93);
+        let w3 = Tensor::random(Shape::new(vec![3, 2, 2, 3, 3]), 94);
+        for attrs in [
+            Attrs::new().with_ints("pads", vec![1, 1, 1, 1, 1, 1]),
+            Attrs::new()
+                .with_ints("strides", vec![1, 1, 2])
+                .with_ints("pads", vec![1, 2, 1, 1, 2, 1]),
+            Attrs::new().with_ints("dilations", vec![2, 1, 2]),
+        ] {
+            assert_fast_matches_reference(OpKind::Conv, &attrs, &[&x3, &w3]);
+        }
+        // Grouped 3-D conv takes the generic path with group offsets.
+        let xg = Tensor::random(Shape::new(vec![1, 4, 3, 3, 17]), 95);
+        let wg = Tensor::random(Shape::new(vec![4, 2, 2, 2, 3]), 96);
+        let attrs = Attrs::new()
+            .with_int("group", 2)
+            .with_ints("pads", vec![0, 1, 1, 0, 1, 1]);
+        assert_fast_matches_reference(OpKind::Conv, &attrs, &[&xg, &wg]);
+    }
+
+    #[test]
+    fn pool_interiors_cover_every_lane_width_and_stride_form() {
+        // 2-D pools wide enough for 8-lane bundles + 4-lane pass + scalar
+        // tail; strides > 1 exercise the gather load, pads the borders.
+        let x = Tensor::random(Shape::new(vec![1, 3, 5, 23]), 97);
+        for attrs in [
+            Attrs::new().with_ints("kernel_shape", vec![3, 3]),
+            Attrs::new()
+                .with_ints("kernel_shape", vec![3, 3])
+                .with_ints("pads", vec![1, 1, 1, 1]),
+            Attrs::new()
+                .with_ints("kernel_shape", vec![2, 4])
+                .with_ints("strides", vec![1, 2])
+                .with_ints("pads", vec![1, 2, 1, 2]),
+        ] {
+            assert_fast_matches_reference(OpKind::MaxPool, &attrs, &[&x]);
+            assert_fast_matches_reference(OpKind::AveragePool, &attrs, &[&x]);
+            let include = attrs.clone().with_int("count_include_pad", 1);
+            assert_fast_matches_reference(OpKind::AveragePool, &include, &[&x]);
+        }
+        // 3-D pools through the generic odometer path, with padding so
+        // outer-axis taps go out of bounds (the uniform row-skip).
+        let x3 = Tensor::random(Shape::new(vec![1, 2, 3, 4, 21]), 98);
+        for attrs in [
+            Attrs::new().with_ints("kernel_shape", vec![2, 2, 3]),
+            Attrs::new()
+                .with_ints("kernel_shape", vec![2, 3, 3])
+                .with_ints("pads", vec![1, 1, 1, 1, 1, 1]),
+            Attrs::new()
+                .with_ints("kernel_shape", vec![2, 2, 2])
+                .with_ints("strides", vec![2, 1, 2])
+                .with_ints("pads", vec![0, 1, 1, 0, 1, 1]),
+        ] {
+            assert_fast_matches_reference(OpKind::MaxPool, &attrs, &[&x3]);
+            assert_fast_matches_reference(OpKind::AveragePool, &attrs, &[&x3]);
+            let include = attrs.clone().with_int("count_include_pad", 1);
+            assert_fast_matches_reference(OpKind::AveragePool, &include, &[&x3]);
+        }
+        // 1-D pooling also runs the generic path.
+        let x1 = Tensor::random(Shape::new(vec![2, 3, 19]), 99);
+        let attrs1 = Attrs::new()
+            .with_ints("kernel_shape", vec![4])
+            .with_ints("pads", vec![2, 2]);
+        assert_fast_matches_reference(OpKind::MaxPool, &attrs1, &[&x1]);
+        assert_fast_matches_reference(OpKind::AveragePool, &attrs1, &[&x1]);
+    }
+
+    #[test]
+    fn global_average_pool_lane_splits_match_the_scalar_fold() {
+        // 21 (n, c) outputs: two 8-lane bundles, one 4-lane pass, one scalar
+        // remainder; each lane sums its own plane in the fold order.
+        let x = Tensor::random(Shape::new(vec![3, 7, 4, 5]), 100);
+        assert_fast_matches_reference(OpKind::GlobalAveragePool, &Attrs::new(), &[&x]);
+        // Fewer outputs than a 4-lane bundle stay fully scalar.
+        let small = Tensor::random(Shape::new(vec![1, 3, 2, 2]), 101);
+        assert_fast_matches_reference(OpKind::GlobalAveragePool, &Attrs::new(), &[&small]);
+        // 5-D input: the spatial product covers all trailing axes.
+        let x5 = Tensor::random(Shape::new(vec![2, 5, 2, 3, 4]), 102);
+        assert_fast_matches_reference(OpKind::GlobalAveragePool, &Attrs::new(), &[&x5]);
+    }
+
+    #[test]
     fn large_conv_passes_the_default_work_gate_bit_identically() {
         // Big enough that WorkPool::new's default gate keeps the region
         // parallel — the production configuration, not just min_work = 0.
         let x = Tensor::random(Shape::new(vec![1, 8, 20, 20]), 26);
         let w = Tensor::random(Shape::new(vec![16, 8, 3, 3]), 27);
         let attrs = Attrs::new().with_ints("pads", vec![1, 1, 1, 1]);
-        let out_shape =
-            infer_shapes(OpKind::Conv, &attrs, &[x.shape().clone(), w.shape().clone()])
-                .unwrap()
-                .remove(0);
+        let out_shape = infer_shapes(
+            OpKind::Conv,
+            &attrs,
+            &[x.shape().clone(), w.shape().clone()],
+        )
+        .unwrap()
+        .remove(0);
         let mut serial = vec![0.0f32; out_shape.numel()];
         execute_fast_into(OpKind::Conv, &attrs, &[&x, &w], &out_shape, &mut serial).unwrap();
         let mut threaded = vec![0.0f32; out_shape.numel()];
@@ -1004,8 +1781,14 @@ mod tests {
         let w = Tensor::random(Shape::new(vec![4]), 23);
         let mut out = vec![0.0f32; 4];
         let shape = Shape::new(vec![4]);
-        assert!(execute_fast_into(OpKind::Conv, &Attrs::new(), &[&x, &w], &shape, &mut out).is_err());
-        assert!(execute_fast_into(OpKind::MatMul, &Attrs::new(), &[&x, &w], &shape, &mut out).is_err());
-        assert!(execute_fast_into(OpKind::MaxPool, &Attrs::new(), &[&x], &shape, &mut out).is_err());
+        assert!(
+            execute_fast_into(OpKind::Conv, &Attrs::new(), &[&x, &w], &shape, &mut out).is_err()
+        );
+        assert!(
+            execute_fast_into(OpKind::MatMul, &Attrs::new(), &[&x, &w], &shape, &mut out).is_err()
+        );
+        assert!(
+            execute_fast_into(OpKind::MaxPool, &Attrs::new(), &[&x], &shape, &mut out).is_err()
+        );
     }
 }

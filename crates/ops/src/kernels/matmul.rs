@@ -14,15 +14,27 @@ pub fn gemm(attrs: &Attrs, inputs: &[&Tensor], out_shape: &Shape) -> Result<Tens
     let trans_b = attrs.int_or("transB", 0) != 0;
     let m = out_shape.dim(0);
     let n = out_shape.dim(1);
-    let k = if trans_a { a.shape().dim(0) } else { a.shape().dim(1) };
+    let k = if trans_a {
+        a.shape().dim(0)
+    } else {
+        a.shape().dim(1)
+    };
 
     let mut out = Tensor::zeros(out_shape.clone());
     for i in 0..m {
         for j in 0..n {
             let mut acc = 0.0f32;
             for p in 0..k {
-                let av = if trans_a { a.at(&[p, i])? } else { a.at(&[i, p])? };
-                let bv = if trans_b { b.at(&[j, p])? } else { b.at(&[p, j])? };
+                let av = if trans_a {
+                    a.at(&[p, i])?
+                } else {
+                    a.at(&[i, p])?
+                };
+                let bv = if trans_b {
+                    b.at(&[j, p])?
+                } else {
+                    b.at(&[p, j])?
+                };
                 acc += av * bv;
             }
             let mut v = alpha * acc;
@@ -104,15 +116,19 @@ mod tests {
         let a = Tensor::from_vec(Shape::new(vec![2, 2]), vec![1.0, 2.0, 3.0, 4.0]).unwrap();
         let b = Tensor::from_vec(Shape::new(vec![2, 2]), vec![5.0, 6.0, 7.0, 8.0]).unwrap();
         let c = Tensor::from_vec(Shape::new(vec![2]), vec![1.0, -1.0]).unwrap();
-        let attrs = Attrs::new().with_float("alpha", 2.0).with_float("beta", 1.0);
+        let attrs = Attrs::new()
+            .with_float("alpha", 2.0)
+            .with_float("beta", 1.0);
         let out = run_gemm(&attrs, &[&a, &b, &c]);
         assert_eq!(out.data(), &[39.0, 43.0, 87.0, 99.0]);
     }
 
     #[test]
     fn gemm_transpose_flags() {
-        let a = Tensor::from_vec(Shape::new(vec![2, 3]), vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
-        let b = Tensor::from_vec(Shape::new(vec![2, 3]), vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0]).unwrap();
+        let a =
+            Tensor::from_vec(Shape::new(vec![2, 3]), vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let b =
+            Tensor::from_vec(Shape::new(vec![2, 3]), vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0]).unwrap();
         // A (2x3) x B^T (3x2) = 2x2.
         let attrs = Attrs::new().with_int("transB", 1);
         let out = run_gemm(&attrs, &[&a, &b]);
@@ -135,11 +151,7 @@ mod tests {
     fn matmul_batched_with_broadcast() {
         // Batch of 2 on the left, unbatched right operand.
         let a = Tensor::arange(Shape::new(vec![2, 2, 3]));
-        let b = Tensor::from_vec(
-            Shape::new(vec![3, 1]),
-            vec![1.0, 1.0, 1.0],
-        )
-        .unwrap();
+        let b = Tensor::from_vec(Shape::new(vec![3, 1]), vec![1.0, 1.0, 1.0]).unwrap();
         let shapes = [a.shape().clone(), b.shape().clone()];
         let out_shape = infer_shapes(OpKind::MatMul, &Attrs::new(), &shapes).unwrap();
         let out = matmul(&a, &b, &out_shape[0]).unwrap();

@@ -47,7 +47,12 @@ pub fn execute(op: OpKind, attrs: &Attrs, inputs: &[&Tensor]) -> Result<Vec<Tens
         Split => shape_ops::split(attrs, inputs[0], &output_shapes)?,
         Pad => vec![shape_ops::pad(attrs, inputs[0], &output_shapes[0])?],
         Expand | Tile => vec![shape_ops::expand_like(inputs[0], &output_shapes[0])?],
-        Gather => vec![shape_ops::gather(attrs, inputs[0], inputs[1], &output_shapes[0])?],
+        Gather => vec![shape_ops::gather(
+            attrs,
+            inputs[0],
+            inputs[1],
+            &output_shapes[0],
+        )?],
         Resize | Upsample => vec![shape_ops::resize_nearest(inputs[0], &output_shapes[0])?],
         Conv => vec![conv::conv(attrs, inputs, &output_shapes[0])?],
         ConvTranspose => vec![conv::conv_transpose(attrs, inputs, &output_shapes[0])?],
@@ -64,15 +69,26 @@ pub fn execute(op: OpKind, attrs: &Attrs, inputs: &[&Tensor]) -> Result<Vec<Tens
             vec![inputs[0].reshape(output_shapes[0].clone())?]
         }
         Transpose => vec![shape_ops::transpose(attrs, inputs[0])?],
-        DepthToSpace => vec![shape_ops::depth_to_space(attrs, inputs[0], &output_shapes[0])?],
-        SpaceToDepth => vec![shape_ops::space_to_depth(attrs, inputs[0], &output_shapes[0])?],
+        DepthToSpace => vec![shape_ops::depth_to_space(
+            attrs,
+            inputs[0],
+            &output_shapes[0],
+        )?],
+        SpaceToDepth => vec![shape_ops::space_to_depth(
+            attrs,
+            inputs[0],
+            &output_shapes[0],
+        )?],
         Einsum => return Err(OpError::Unsupported { op }),
         // All One-to-One operators are covered by the unary/binary arms above.
         _ => return Err(OpError::Unsupported { op }),
     };
 
     debug_assert_eq!(
-        outputs.iter().map(|t| t.shape().clone()).collect::<Vec<_>>(),
+        outputs
+            .iter()
+            .map(|t| t.shape().clone())
+            .collect::<Vec<_>>(),
         output_shapes,
         "kernel output shape disagrees with shape inference for {op}"
     );

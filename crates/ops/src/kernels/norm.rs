@@ -42,7 +42,8 @@ pub fn instance_norm(attrs: &Attrs, inputs: &[&Tensor]) -> Result<Tensor, OpErro
     for n in 0..batch {
         for c in 0..channels {
             let base = (n * channels + c) * spatial;
-            let mean: f32 = (0..spatial).map(|s| x.at_linear(base + s)).sum::<f32>() / spatial as f32;
+            let mean: f32 =
+                (0..spatial).map(|s| x.at_linear(base + s)).sum::<f32>() / spatial as f32;
             let var: f32 = (0..spatial)
                 .map(|s| (x.at_linear(base + s) - mean).powi(2))
                 .sum::<f32>()
@@ -77,8 +78,10 @@ pub fn layer_norm(attrs: &Attrs, inputs: &[&Tensor]) -> Result<Tensor, OpError> 
     for o in 0..outer {
         let base = o * inner;
         let mean: f32 = (0..inner).map(|i| x.at_linear(base + i)).sum::<f32>() / inner as f32;
-        let var: f32 =
-            (0..inner).map(|i| (x.at_linear(base + i) - mean).powi(2)).sum::<f32>() / inner as f32;
+        let var: f32 = (0..inner)
+            .map(|i| (x.at_linear(base + i) - mean).powi(2))
+            .sum::<f32>()
+            / inner as f32;
         let denom = (var + eps).sqrt();
         for i in 0..inner {
             out.data_mut()[base + i] =
@@ -101,8 +104,12 @@ pub fn softmax(attrs: &Attrs, x: &Tensor, log: bool) -> Result<Tensor, OpError> 
     for o in 0..outer.max(1) {
         for i in 0..inner.max(1) {
             let offset = |a: usize| (o * axis_len + a) * inner + i;
-            let max = (0..axis_len).map(|a| x.at_linear(offset(a))).fold(f32::NEG_INFINITY, f32::max);
-            let sum: f32 = (0..axis_len).map(|a| (x.at_linear(offset(a)) - max).exp()).sum();
+            let max = (0..axis_len)
+                .map(|a| x.at_linear(offset(a)))
+                .fold(f32::NEG_INFINITY, f32::max);
+            let sum: f32 = (0..axis_len)
+                .map(|a| (x.at_linear(offset(a)) - max).exp())
+                .sum();
             for a in 0..axis_len {
                 let e = (x.at_linear(offset(a)) - max).exp();
                 out.data_mut()[offset(a)] = if log { (e / sum).ln() } else { e / sum };

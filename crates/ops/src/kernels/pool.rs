@@ -34,7 +34,11 @@ pub fn pool(op: OpKind, attrs: &Attrs, x: &Tensor, out_shape: &Shape) -> Result<
     for n in 0..batch {
         for c in 0..channels {
             for out_pos in IndexIter::new(&out_spatial) {
-                let mut acc = if op == OpKind::MaxPool { f32::NEG_INFINITY } else { 0.0 };
+                let mut acc = if op == OpKind::MaxPool {
+                    f32::NEG_INFINITY
+                } else {
+                    0.0
+                };
                 let mut count = 0usize;
                 for k_pos in IndexIter::new(&kernel_shape) {
                     let mut idx = vec![n, c];
@@ -108,7 +112,9 @@ mod tests {
     #[test]
     fn maxpool_2x2_picks_window_max() {
         let x = Tensor::arange(Shape::new(vec![1, 1, 4, 4]));
-        let attrs = Attrs::new().with_ints("kernel_shape", vec![2, 2]).with_ints("strides", vec![2, 2]);
+        let attrs = Attrs::new()
+            .with_ints("kernel_shape", vec![2, 2])
+            .with_ints("strides", vec![2, 2]);
         let y = run(OpKind::MaxPool, &attrs, &x);
         assert_eq!(y.shape().dims(), &[1, 1, 2, 2]);
         assert_eq!(y.data(), &[5.0, 7.0, 13.0, 15.0]);
@@ -117,7 +123,9 @@ mod tests {
     #[test]
     fn averagepool_2x2_averages_window() {
         let x = Tensor::arange(Shape::new(vec![1, 1, 4, 4]));
-        let attrs = Attrs::new().with_ints("kernel_shape", vec![2, 2]).with_ints("strides", vec![2, 2]);
+        let attrs = Attrs::new()
+            .with_ints("kernel_shape", vec![2, 2])
+            .with_ints("strides", vec![2, 2]);
         let y = run(OpKind::AveragePool, &attrs, &x);
         assert_eq!(y.data(), &[2.5, 4.5, 10.5, 12.5]);
     }
@@ -136,7 +144,9 @@ mod tests {
     #[test]
     fn maxpool_3d_works() {
         let x = Tensor::arange(Shape::new(vec![1, 1, 2, 2, 2]));
-        let attrs = Attrs::new().with_ints("kernel_shape", vec![2, 2, 2]).with_ints("strides", vec![2, 2, 2]);
+        let attrs = Attrs::new()
+            .with_ints("kernel_shape", vec![2, 2, 2])
+            .with_ints("strides", vec![2, 2, 2]);
         let y = run(OpKind::MaxPool, &attrs, &x);
         assert_eq!(y.data(), &[7.0]);
     }

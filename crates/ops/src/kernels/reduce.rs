@@ -10,7 +10,13 @@ fn normalized_axes(attrs: &Attrs, input: &Shape) -> Vec<usize> {
         (0..input.rank()).collect()
     } else {
         axes.iter()
-            .map(|&a| if a < 0 { (a + input.rank() as i64) as usize } else { a as usize })
+            .map(|&a| {
+                if a < 0 {
+                    (a + input.rank() as i64) as usize
+                } else {
+                    a as usize
+                }
+            })
             .collect()
     }
 }
@@ -25,7 +31,10 @@ pub fn reduce(op: OpKind, attrs: &Attrs, x: &Tensor, out_shape: &Shape) -> Resul
         OpKind::ReduceMax => f32::NEG_INFINITY,
         OpKind::ReduceMin => f32::INFINITY,
         _ => {
-            return Err(OpError::InvalidShape { op, reason: "not a reduction".into() });
+            return Err(OpError::InvalidShape {
+                op,
+                reason: "not a reduction".into(),
+            });
         }
     };
     let mut out = Tensor::full(out_shape.clone(), init);
@@ -139,7 +148,9 @@ mod tests {
     #[test]
     fn reduce_max_min_prod() {
         let x = Tensor::from_vec(Shape::new(vec![2, 2]), vec![1.0, -2.0, 3.0, 4.0]).unwrap();
-        let attrs = Attrs::new().with_ints("axes", vec![0]).with_int("keepdims", 0);
+        let attrs = Attrs::new()
+            .with_ints("axes", vec![0])
+            .with_int("keepdims", 0);
         assert_eq!(run(OpKind::ReduceMax, &attrs, &x).data(), &[3.0, 4.0]);
         assert_eq!(run(OpKind::ReduceMin, &attrs, &x).data(), &[1.0, -2.0]);
         assert_eq!(run(OpKind::ReduceProd, &attrs, &x).data(), &[3.0, -8.0]);
@@ -147,7 +158,8 @@ mod tests {
 
     #[test]
     fn argmax_with_and_without_keepdims() {
-        let x = Tensor::from_vec(Shape::new(vec![2, 3]), vec![1.0, 5.0, 2.0, 9.0, 0.0, 3.0]).unwrap();
+        let x =
+            Tensor::from_vec(Shape::new(vec![2, 3]), vec![1.0, 5.0, 2.0, 9.0, 0.0, 3.0]).unwrap();
         let attrs = Attrs::new().with_int("axis", 1).with_int("keepdims", 0);
         assert_eq!(run(OpKind::ArgMax, &attrs, &x).data(), &[1.0, 0.0]);
         let attrs = Attrs::new().with_int("axis", 0);

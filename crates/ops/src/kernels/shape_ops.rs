@@ -124,7 +124,11 @@ pub fn gather(
         let idx_part = &out_idx[axis..axis + idx_rank];
         let gathered = indices.at(idx_part)?;
         let extent = data.shape().dim(axis) as i64;
-        let gathered = if (gathered as i64) < 0 { gathered as i64 + extent } else { gathered as i64 };
+        let gathered = if (gathered as i64) < 0 {
+            gathered as i64 + extent
+        } else {
+            gathered as i64
+        };
         if gathered < 0 || gathered >= extent {
             return Err(OpError::InvalidShape {
                 op: OpKind::Gather,
@@ -160,14 +164,23 @@ pub fn resize_nearest(x: &Tensor, out_shape: &Shape) -> Result<Tensor, OpError> 
 /// `Transpose` with the `perm` attribute (defaults to reversing dims).
 pub fn transpose(attrs: &Attrs, x: &Tensor) -> Result<Tensor, OpError> {
     let default: Vec<i64> = (0..x.shape().rank() as i64).rev().collect();
-    let perm: Vec<usize> = attrs.ints_or("perm", &default).iter().map(|&p| p as usize).collect();
+    let perm: Vec<usize> = attrs
+        .ints_or("perm", &default)
+        .iter()
+        .map(|&p| p as usize)
+        .collect();
     x.transpose(&perm).map_err(OpError::from)
 }
 
 /// `DepthToSpace` (DCR mode) for NCHW tensors.
 pub fn depth_to_space(attrs: &Attrs, x: &Tensor, out_shape: &Shape) -> Result<Tensor, OpError> {
     let b = attrs.int_or("blocksize", 1).max(1) as usize;
-    let (n, c, h, w) = (x.shape().dim(0), x.shape().dim(1), x.shape().dim(2), x.shape().dim(3));
+    let (n, c, h, w) = (
+        x.shape().dim(0),
+        x.shape().dim(1),
+        x.shape().dim(2),
+        x.shape().dim(3),
+    );
     let oc = c / (b * b);
     let mut out = Tensor::zeros(out_shape.clone());
     for ni in 0..n {
@@ -190,7 +203,12 @@ pub fn depth_to_space(attrs: &Attrs, x: &Tensor, out_shape: &Shape) -> Result<Te
 /// `SpaceToDepth` for NCHW tensors (inverse of [`depth_to_space`]).
 pub fn space_to_depth(attrs: &Attrs, x: &Tensor, out_shape: &Shape) -> Result<Tensor, OpError> {
     let b = attrs.int_or("blocksize", 1).max(1) as usize;
-    let (n, c, h, w) = (x.shape().dim(0), x.shape().dim(1), x.shape().dim(2), x.shape().dim(3));
+    let (n, c, h, w) = (
+        x.shape().dim(0),
+        x.shape().dim(1),
+        x.shape().dim(2),
+        x.shape().dim(3),
+    );
     let mut out = Tensor::zeros(out_shape.clone());
     for ni in 0..n {
         for ci in 0..c {
@@ -220,7 +238,9 @@ mod tests {
         let attrs = Attrs::new().with_int("axis", 1);
         let cat = execute(OpKind::Concat, &attrs, &[&a, &b]).unwrap();
         assert_eq!(cat[0].shape().dims(), &[2, 5]);
-        let attrs = Attrs::new().with_int("axis", 1).with_ints("split", vec![2, 3]);
+        let attrs = Attrs::new()
+            .with_int("axis", 1)
+            .with_ints("split", vec![2, 3]);
         let parts = execute(OpKind::Split, &attrs, &[&cat[0]]).unwrap();
         assert_eq!(parts[0], a);
         assert_eq!(parts[1], b);
@@ -322,7 +342,12 @@ mod tests {
         let y = execute(OpKind::Flatten, &Attrs::new().with_int("axis", 1), &[&x]).unwrap();
         assert_eq!(y[0].shape().dims(), &[2, 12]);
         assert_eq!(y[0].data(), x.data());
-        let shapes = infer_shapes(OpKind::Flatten, &Attrs::new().with_int("axis", 1), &[x.shape().clone()]).unwrap();
+        let shapes = infer_shapes(
+            OpKind::Flatten,
+            &Attrs::new().with_int("axis", 1),
+            &[x.shape().clone()],
+        )
+        .unwrap();
         assert_eq!(shapes[0].numel(), x.numel());
     }
 }

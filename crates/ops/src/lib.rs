@@ -47,10 +47,12 @@ pub use attrs::{AttrValue, Attrs};
 pub use cost::{bytes_accessed, flops, OpCost};
 pub use error::OpError;
 pub use kernels::execute;
-pub use kernels::fast::{execute_fast_into, execute_fast_into_threaded, has_fast_kernel};
+pub use kernels::fast::{
+    execute_fast_into, execute_fast_into_packed, execute_fast_into_threaded, has_fast_kernel,
+};
 pub use mapping::MappingType;
-pub use parallel::WorkPool;
 pub use op::OpKind;
+pub use parallel::WorkPool;
 pub use properties::MathProperties;
 pub use scalar::ScalarUnaryFn;
 pub use shape_infer::infer_shapes;

@@ -117,9 +117,15 @@ mod tests {
     #[test]
     fn impedance_ordering_matches_paper() {
         assert!(MappingType::OneToOne.impedance() < MappingType::Reorganize.impedance());
-        assert_eq!(MappingType::Reorganize.impedance(), MappingType::Shuffle.impedance());
+        assert_eq!(
+            MappingType::Reorganize.impedance(),
+            MappingType::Shuffle.impedance()
+        );
         assert!(MappingType::Shuffle.impedance() < MappingType::OneToMany.impedance());
-        assert_eq!(MappingType::OneToMany.impedance(), MappingType::ManyToMany.impedance());
+        assert_eq!(
+            MappingType::OneToMany.impedance(),
+            MappingType::ManyToMany.impedance()
+        );
     }
 
     #[test]

@@ -107,14 +107,82 @@ impl OpKind {
     pub fn all() -> Vec<OpKind> {
         use OpKind::*;
         vec![
-            Add, Sub, Mul, Div, Pow, Min, Max, Neg, Abs, Sqrt, Square, Reciprocal, Exp, Log, Erf,
-            Sin, Cos, Asin, BitShift, Relu, LeakyRelu, PRelu, Sigmoid, HardSigmoid, HardSwish,
-            Silu, Mish, Gelu, Tanh, Softplus, Clip, Ceil, Floor, Round, Cast, Greater, Equal, Not,
-            Where, Identity, BatchNormalization, Concat, Slice, Split, Pad, Expand, Gather,
-            Resize, Upsample, Tile, Conv, ConvTranspose, Gemm, MatMul, AveragePool, MaxPool,
-            GlobalAveragePool, Softmax, LogSoftmax, ReduceSum, ReduceMean, ReduceProd, ReduceMax,
-            ReduceMin, ArgMax, CumSum, Einsum, InstanceNormalization, LayerNormalization, Reshape,
-            Flatten, Squeeze, Unsqueeze, Transpose, DepthToSpace, SpaceToDepth,
+            Add,
+            Sub,
+            Mul,
+            Div,
+            Pow,
+            Min,
+            Max,
+            Neg,
+            Abs,
+            Sqrt,
+            Square,
+            Reciprocal,
+            Exp,
+            Log,
+            Erf,
+            Sin,
+            Cos,
+            Asin,
+            BitShift,
+            Relu,
+            LeakyRelu,
+            PRelu,
+            Sigmoid,
+            HardSigmoid,
+            HardSwish,
+            Silu,
+            Mish,
+            Gelu,
+            Tanh,
+            Softplus,
+            Clip,
+            Ceil,
+            Floor,
+            Round,
+            Cast,
+            Greater,
+            Equal,
+            Not,
+            Where,
+            Identity,
+            BatchNormalization,
+            Concat,
+            Slice,
+            Split,
+            Pad,
+            Expand,
+            Gather,
+            Resize,
+            Upsample,
+            Tile,
+            Conv,
+            ConvTranspose,
+            Gemm,
+            MatMul,
+            AveragePool,
+            MaxPool,
+            GlobalAveragePool,
+            Softmax,
+            LogSoftmax,
+            ReduceSum,
+            ReduceMean,
+            ReduceProd,
+            ReduceMax,
+            ReduceMin,
+            ArgMax,
+            CumSum,
+            Einsum,
+            InstanceNormalization,
+            LayerNormalization,
+            Reshape,
+            Flatten,
+            Squeeze,
+            Unsqueeze,
+            Transpose,
+            DepthToSpace,
+            SpaceToDepth,
         ]
     }
 
@@ -215,9 +283,24 @@ impl OpKind {
             | Ceil | Floor | Round | Cast | Greater | Equal | Not | Where | Identity
             | BatchNormalization | Concat | Slice | Split | Pad => MappingType::OneToOne,
             Expand | Gather | Resize | Upsample | Tile => MappingType::OneToMany,
-            Conv | ConvTranspose | Gemm | MatMul | AveragePool | MaxPool | GlobalAveragePool
-            | Softmax | LogSoftmax | ReduceSum | ReduceMean | ReduceProd | ReduceMax
-            | ReduceMin | ArgMax | CumSum | Einsum | InstanceNormalization
+            Conv
+            | ConvTranspose
+            | Gemm
+            | MatMul
+            | AveragePool
+            | MaxPool
+            | GlobalAveragePool
+            | Softmax
+            | LogSoftmax
+            | ReduceSum
+            | ReduceMean
+            | ReduceProd
+            | ReduceMax
+            | ReduceMin
+            | ArgMax
+            | CumSum
+            | Einsum
+            | InstanceNormalization
             | LayerNormalization => MappingType::ManyToMany,
             Reshape | Flatten | Squeeze | Unsqueeze => MappingType::Reorganize,
             Transpose | DepthToSpace | SpaceToDepth => MappingType::Shuffle,
@@ -363,7 +446,10 @@ impl OpKind {
     #[must_use]
     pub fn is_reduction(self) -> bool {
         use OpKind::*;
-        matches!(self, ReduceSum | ReduceMean | ReduceProd | ReduceMax | ReduceMin | ArgMax)
+        matches!(
+            self,
+            ReduceSum | ReduceMean | ReduceProd | ReduceMax | ReduceMin | ArgMax
+        )
     }
 
     /// Whether the operator only moves data (no arithmetic): the Reorganize
@@ -372,8 +458,13 @@ impl OpKind {
     #[must_use]
     pub fn is_data_movement(self) -> bool {
         use OpKind::*;
-        matches!(self.mapping_type(), MappingType::Reorganize | MappingType::Shuffle)
-            || matches!(self, Slice | Split | Concat | Identity | Gather | Expand | Tile | Pad)
+        matches!(
+            self.mapping_type(),
+            MappingType::Reorganize | MappingType::Shuffle
+        ) || matches!(
+            self,
+            Slice | Split | Concat | Identity | Gather | Expand | Tile | Pad
+        )
     }
 
     /// The data layout this operator prefers, used by the inter-block
@@ -383,8 +474,13 @@ impl OpKind {
     pub fn preferred_layout(self) -> Option<Layout> {
         use OpKind::*;
         match self {
-            Conv | ConvTranspose | MaxPool | AveragePool | GlobalAveragePool
-            | BatchNormalization | InstanceNormalization => Some(Layout::Nchw),
+            Conv
+            | ConvTranspose
+            | MaxPool
+            | AveragePool
+            | GlobalAveragePool
+            | BatchNormalization
+            | InstanceNormalization => Some(Layout::Nchw),
             Resize | Upsample | DepthToSpace | SpaceToDepth => Some(Layout::Nhwc),
             Gemm | MatMul | Einsum | Softmax | LogSoftmax | LayerNormalization => {
                 Some(Layout::RowMajor)
@@ -477,7 +573,10 @@ mod tests {
         // Representative rows of Table 2.
         assert_eq!(OpKind::Add.mapping_type(), MappingType::OneToOne);
         assert_eq!(OpKind::Relu.mapping_type(), MappingType::OneToOne);
-        assert_eq!(OpKind::BatchNormalization.mapping_type(), MappingType::OneToOne);
+        assert_eq!(
+            OpKind::BatchNormalization.mapping_type(),
+            MappingType::OneToOne
+        );
         assert_eq!(OpKind::Expand.mapping_type(), MappingType::OneToMany);
         assert_eq!(OpKind::Gather.mapping_type(), MappingType::OneToMany);
         assert_eq!(OpKind::Conv.mapping_type(), MappingType::ManyToMany);
@@ -572,10 +671,16 @@ mod tests {
         let attrs = Attrs::new();
         for op in OpKind::all() {
             if op.is_elementwise_unary() {
-                assert!(op.scalar_unary(0.5, &attrs).is_some(), "{op} should have a unary kernel");
+                assert!(
+                    op.scalar_unary(0.5, &attrs).is_some(),
+                    "{op} should have a unary kernel"
+                );
             }
             if op.is_elementwise_binary() {
-                assert!(op.scalar_binary(0.5, 0.25).is_some(), "{op} should have a binary kernel");
+                assert!(
+                    op.scalar_binary(0.5, 0.25).is_some(),
+                    "{op} should have a binary kernel"
+                );
             }
         }
     }
@@ -607,7 +712,10 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), total);
-        assert!(total >= 70, "expected a rich operator vocabulary, got {total}");
+        assert!(
+            total >= 70,
+            "expected a rich operator vocabulary, got {total}"
+        );
     }
 
     #[test]

@@ -37,14 +37,21 @@ impl WorkPool {
     /// A pool that runs everything on the calling thread.
     #[must_use]
     pub const fn serial() -> Self {
-        WorkPool { threads: 1, min_work: DEFAULT_PARALLEL_WORK_GRAIN, simd: true }
+        WorkPool {
+            threads: 1,
+            min_work: DEFAULT_PARALLEL_WORK_GRAIN,
+            simd: true,
+        }
     }
 
     /// A pool using up to `threads` threads (clamped to at least 1) with the
     /// default work gate.
     #[must_use]
     pub fn new(threads: usize) -> Self {
-        WorkPool { threads: threads.max(1), ..WorkPool::serial() }
+        WorkPool {
+            threads: threads.max(1),
+            ..WorkPool::serial()
+        }
     }
 
     /// A pool with an explicit minimum-work gate. `min_work = 0` forces the
@@ -52,7 +59,11 @@ impl WorkPool {
     /// this to exercise the threaded kernels on small fixtures.
     #[must_use]
     pub fn with_min_work(threads: usize, min_work: usize) -> Self {
-        WorkPool { threads: threads.max(1), min_work, simd: true }
+        WorkPool {
+            threads: threads.max(1),
+            min_work,
+            simd: true,
+        }
     }
 
     /// Enables or disables the lane-blocked (SIMD) kernel paths. Both paths
@@ -75,8 +86,9 @@ impl WorkPool {
     /// A pool sized to the host's available parallelism.
     #[must_use]
     pub fn host() -> Self {
-        let threads =
-            std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
+        let threads = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
         WorkPool::new(threads)
     }
 
@@ -134,7 +146,12 @@ impl WorkPool {
     /// always covers `data[i * chunk_len ..]` — the mapping from index to
     /// elements never depends on the thread count, and each chunk is written
     /// by exactly one thread.
-    pub fn run_chunks(&self, data: &mut [f32], chunk_len: usize, f: impl Fn(usize, &mut [f32]) + Sync) {
+    pub fn run_chunks(
+        &self,
+        data: &mut [f32],
+        chunk_len: usize,
+        f: impl Fn(usize, &mut [f32]) + Sync,
+    ) {
         assert!(chunk_len > 0, "chunk_len must be positive");
         let chunks = data.len().div_ceil(chunk_len);
         let workers = self.threads.min(chunks).max(1);
@@ -144,8 +161,9 @@ impl WorkPool {
             }
             return;
         }
-        let mut parts: Vec<Vec<(usize, &mut [f32])>> =
-            (0..workers).map(|_| Vec::with_capacity(chunks.div_ceil(workers))).collect();
+        let mut parts: Vec<Vec<(usize, &mut [f32])>> = (0..workers)
+            .map(|_| Vec::with_capacity(chunks.div_ceil(workers)))
+            .collect();
         for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
             parts[i % workers].push((i, chunk));
         }

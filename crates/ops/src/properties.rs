@@ -90,7 +90,10 @@ mod tests {
 
     #[test]
     fn reduction_commuting_counts_as_a_property() {
-        let p = MathProperties { commutes_with_reduction: true, ..MathProperties::none() };
+        let p = MathProperties {
+            commutes_with_reduction: true,
+            ..MathProperties::none()
+        };
         assert!(p.any());
     }
 }

@@ -122,8 +122,7 @@ pub(crate) fn erf_approx(x: f32) -> f32 {
     let x = x.abs();
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let y = 1.0
-        - (((((1.061_405_4 * t - 1.453_152_1) * t) + 1.421_413_8) * t - 0.284_496_72)
-            * t
+        - (((((1.061_405_4 * t - 1.453_152_1) * t) + 1.421_413_8) * t - 0.284_496_72) * t
             + 0.254_829_6)
             * t
             * (-x * x).exp();
@@ -148,7 +147,9 @@ mod tests {
         // including attribute-carrying operators with non-default attributes.
         let attr_sets = [
             Attrs::new(),
-            Attrs::new().with_float("alpha", 0.3).with_float("beta", 0.1),
+            Attrs::new()
+                .with_float("alpha", 0.3)
+                .with_float("beta", 0.1),
             Attrs::new().with_float("min", -0.5).with_float("max", 0.75),
         ];
         let samples = [-10.0f32, -1.5, -0.25, 0.0, 0.25, 0.5, 1.5, 10.0];
@@ -182,7 +183,9 @@ mod tests {
         assert_eq!(clip.apply(-1.0), 0.0);
         let hs = ScalarUnaryFn::compile(
             OpKind::HardSigmoid,
-            &Attrs::new().with_float("alpha", 1.0).with_float("beta", 0.0),
+            &Attrs::new()
+                .with_float("alpha", 1.0)
+                .with_float("beta", 0.0),
         )
         .unwrap();
         assert_eq!(hs.apply(0.5), 0.5);

@@ -30,8 +30,12 @@ pub fn infer_shapes(op: OpKind, attrs: &Attrs, inputs: &[Shape]) -> Result<Vec<S
             let cond_x = broadcast_pair(op, &inputs[0], &inputs[1])?;
             vec![broadcast_pair(op, &cond_x, &inputs[2])?]
         }
-        BatchNormalization | InstanceNormalization | LayerNormalization | Softmax
-        | LogSoftmax | CumSum => vec![inputs[0].clone()],
+        BatchNormalization
+        | InstanceNormalization
+        | LayerNormalization
+        | Softmax
+        | LogSoftmax
+        | CumSum => vec![inputs[0].clone()],
         Concat => infer_concat(attrs, inputs).map(|s| vec![s])?,
         Slice => infer_slice(attrs, &inputs[0]).map(|s| vec![s])?,
         Split => infer_split(attrs, &inputs[0])?,
@@ -67,11 +71,19 @@ pub fn infer_shapes(op: OpKind, attrs: &Attrs, inputs: &[Shape]) -> Result<Vec<S
 fn check_arity(op: OpKind, actual: usize) -> Result<(), OpError> {
     let min = op.min_inputs();
     if actual < min {
-        return Err(OpError::ArityMismatch { op, expected: min, actual });
+        return Err(OpError::ArityMismatch {
+            op,
+            expected: min,
+            actual,
+        });
     }
     if let Some(max) = op.max_inputs() {
         if actual > max {
-            return Err(OpError::ArityMismatch { op, expected: max, actual });
+            return Err(OpError::ArityMismatch {
+                op,
+                expected: max,
+                actual,
+            });
         }
     }
     Ok(())
@@ -93,7 +105,10 @@ fn infer_concat(attrs: &Attrs, inputs: &[Shape]) -> Result<Shape, OpError> {
     let mut dims = first.dims().to_vec();
     for s in &inputs[1..] {
         if s.rank() != first.rank() {
-            return Err(OpError::InvalidShape { op, reason: "rank mismatch across inputs".into() });
+            return Err(OpError::InvalidShape {
+                op,
+                reason: "rank mismatch across inputs".into(),
+            });
         }
         for (ax, (&d, &d0)) in s.dims().iter().zip(first.dims()).enumerate() {
             if ax != axis && d != d0 {
@@ -154,7 +169,11 @@ fn infer_split(attrs: &Attrs, input: &Shape) -> Result<Vec<Shape>, OpError> {
         splits.iter().map(|&s| s as usize).collect()
     };
     if parts.iter().sum::<usize>() != extent {
-        return Err(invalid_attr(op, "split", "sizes do not sum to the axis extent"));
+        return Err(invalid_attr(
+            op,
+            "split",
+            "sizes do not sum to the axis extent",
+        ));
     }
     Ok(parts
         .into_iter()
@@ -210,7 +229,11 @@ fn infer_resize(op: OpKind, attrs: &Attrs, input: &Shape) -> Result<Shape, OpErr
         _ => vec![1.0; input.rank()],
     };
     if scales.len() != input.rank() {
-        return Err(invalid_attr(op, "scales", "expected one scale per dimension"));
+        return Err(invalid_attr(
+            op,
+            "scales",
+            "expected one scale per dimension",
+        ));
     }
     let dims = input
         .dims()
@@ -225,14 +248,30 @@ fn infer_tile(attrs: &Attrs, input: &Shape) -> Result<Shape, OpError> {
     let op = OpKind::Tile;
     let repeats = attrs.ints_or("repeats", &vec![1; input.rank()]);
     if repeats.len() != input.rank() {
-        return Err(invalid_attr(op, "repeats", "expected one repeat per dimension"));
+        return Err(invalid_attr(
+            op,
+            "repeats",
+            "expected one repeat per dimension",
+        ));
     }
-    let dims = input.dims().iter().zip(&repeats).map(|(&d, &r)| d * r.max(0) as usize).collect();
+    let dims = input
+        .dims()
+        .iter()
+        .zip(&repeats)
+        .map(|(&d, &r)| d * r.max(0) as usize)
+        .collect();
     Ok(Shape::new(dims))
 }
 
 /// Spatial output extent for a conv/pool window.
-fn window_out(input: usize, kernel: usize, pad_begin: usize, pad_end: usize, stride: usize, dilation: usize) -> usize {
+fn window_out(
+    input: usize,
+    kernel: usize,
+    pad_begin: usize,
+    pad_end: usize,
+    stride: usize,
+    dilation: usize,
+) -> usize {
     let effective = dilation * (kernel - 1) + 1;
     let padded = input + pad_begin + pad_end;
     if padded < effective {
@@ -255,12 +294,21 @@ fn conv_like_params(
             .map(|&x| x as usize)
             .collect(),
     };
-    let strides: Vec<usize> =
-        attrs.ints_or("strides", &vec![1; spatial_rank]).iter().map(|&x| x.max(1) as usize).collect();
-    let dilations: Vec<usize> =
-        attrs.ints_or("dilations", &vec![1; spatial_rank]).iter().map(|&x| x.max(1) as usize).collect();
-    let pads: Vec<usize> =
-        attrs.ints_or("pads", &vec![0; spatial_rank * 2]).iter().map(|&x| x.max(0) as usize).collect();
+    let strides: Vec<usize> = attrs
+        .ints_or("strides", &vec![1; spatial_rank])
+        .iter()
+        .map(|&x| x.max(1) as usize)
+        .collect();
+    let dilations: Vec<usize> = attrs
+        .ints_or("dilations", &vec![1; spatial_rank])
+        .iter()
+        .map(|&x| x.max(1) as usize)
+        .collect();
+    let pads: Vec<usize> = attrs
+        .ints_or("pads", &vec![0; spatial_rank * 2])
+        .iter()
+        .map(|&x| x.max(0) as usize)
+        .collect();
     (kernel, strides, dilations, pads)
 }
 
@@ -290,7 +338,14 @@ fn infer_conv(attrs: &Attrs, inputs: &[Shape]) -> Result<Shape, OpError> {
         conv_like_params(attrs, spatial_rank, Some(&w.dims()[2..]));
     let mut dims = vec![x.dim(0), w.dim(0)];
     for i in 0..spatial_rank {
-        dims.push(window_out(x.dim(2 + i), kernel[i], pads[i], pads[spatial_rank + i], strides[i], dilations[i]));
+        dims.push(window_out(
+            x.dim(2 + i),
+            kernel[i],
+            pads[i],
+            pads[spatial_rank + i],
+            strides[i],
+            dilations[i],
+        ));
     }
     Ok(Shape::new(dims))
 }
@@ -300,7 +355,10 @@ fn infer_conv_transpose(attrs: &Attrs, inputs: &[Shape]) -> Result<Shape, OpErro
     let x = &inputs[0];
     let w = &inputs[1];
     if x.rank() < 3 || w.rank() != x.rank() {
-        return Err(OpError::InvalidShape { op, reason: "expected N+2-D input and weight".into() });
+        return Err(OpError::InvalidShape {
+            op,
+            reason: "expected N+2-D input and weight".into(),
+        });
     }
     let spatial_rank = x.rank() - 2;
     let group = attrs.int_or("group", 1).max(1) as usize;
@@ -318,13 +376,23 @@ fn infer_conv_transpose(attrs: &Attrs, inputs: &[Shape]) -> Result<Shape, OpErro
 
 fn infer_pool(op: OpKind, attrs: &Attrs, x: &Shape) -> Result<Shape, OpError> {
     if x.rank() < 3 {
-        return Err(OpError::InvalidShape { op, reason: "expected N+2-D input".into() });
+        return Err(OpError::InvalidShape {
+            op,
+            reason: "expected N+2-D input".into(),
+        });
     }
     let spatial_rank = x.rank() - 2;
     let (kernel, strides, dilations, pads) = conv_like_params(attrs, spatial_rank, None);
     let mut dims = vec![x.dim(0), x.dim(1)];
     for i in 0..spatial_rank {
-        dims.push(window_out(x.dim(2 + i), kernel[i], pads[i], pads[spatial_rank + i], strides[i], dilations[i]));
+        dims.push(window_out(
+            x.dim(2 + i),
+            kernel[i],
+            pads[i],
+            pads[spatial_rank + i],
+            strides[i],
+            dilations[i],
+        ));
     }
     Ok(Shape::new(dims))
 }
@@ -346,12 +414,23 @@ fn infer_gemm(attrs: &Attrs, inputs: &[Shape]) -> Result<Shape, OpError> {
     let a = &inputs[0];
     let b = &inputs[1];
     if a.rank() != 2 || b.rank() != 2 {
-        return Err(OpError::InvalidShape { op, reason: "Gemm operands must be rank-2".into() });
+        return Err(OpError::InvalidShape {
+            op,
+            reason: "Gemm operands must be rank-2".into(),
+        });
     }
     let trans_a = attrs.int_or("transA", 0) != 0;
     let trans_b = attrs.int_or("transB", 0) != 0;
-    let (m, ka) = if trans_a { (a.dim(1), a.dim(0)) } else { (a.dim(0), a.dim(1)) };
-    let (kb, n) = if trans_b { (b.dim(1), b.dim(0)) } else { (b.dim(0), b.dim(1)) };
+    let (m, ka) = if trans_a {
+        (a.dim(1), a.dim(0))
+    } else {
+        (a.dim(0), a.dim(1))
+    };
+    let (kb, n) = if trans_b {
+        (b.dim(1), b.dim(0))
+    } else {
+        (b.dim(0), b.dim(1))
+    };
     if ka != kb {
         return Err(OpError::InvalidShape {
             op,
@@ -366,7 +445,10 @@ fn infer_matmul(inputs: &[Shape]) -> Result<Shape, OpError> {
     let a = &inputs[0];
     let b = &inputs[1];
     if a.rank() < 2 || b.rank() < 2 {
-        return Err(OpError::InvalidShape { op, reason: "MatMul operands must be rank >= 2".into() });
+        return Err(OpError::InvalidShape {
+            op,
+            reason: "MatMul operands must be rank >= 2".into(),
+        });
     }
     let (m, ka) = (a.dim(a.rank() - 2), a.dim(a.rank() - 1));
     let (kb, n) = (b.dim(b.rank() - 2), b.dim(b.rank() - 1));
@@ -475,7 +557,11 @@ fn infer_reshape(op: OpKind, attrs: &Attrs, input: &Shape) -> Result<Shape, OpEr
     if out.numel() != input.numel() {
         return Err(OpError::InvalidShape {
             op,
-            reason: format!("element count changes from {} to {}", input.numel(), out.numel()),
+            reason: format!(
+                "element count changes from {} to {}",
+                input.numel(),
+                out.numel()
+            ),
         });
     }
     Ok(out)
@@ -487,7 +573,9 @@ fn infer_flatten(attrs: &Attrs, input: &Shape) -> Result<Shape, OpError> {
     let axis = if axis_raw == input.rank() as i64 {
         input.rank()
     } else {
-        input.normalize_axis(axis_raw).map_err(|_| invalid_attr(op, "axis", "out of range"))?
+        input
+            .normalize_axis(axis_raw)
+            .map_err(|_| invalid_attr(op, "axis", "out of range"))?
     };
     let first: usize = input.dims()[..axis].iter().product();
     let second: usize = input.dims()[axis..].iter().product();
@@ -553,9 +641,14 @@ fn infer_unsqueeze(attrs: &Attrs, input: &Shape) -> Result<Shape, OpError> {
 fn infer_transpose(attrs: &Attrs, input: &Shape) -> Result<Shape, OpError> {
     let op = OpKind::Transpose;
     let default: Vec<i64> = (0..input.rank() as i64).rev().collect();
-    let perm: Vec<usize> =
-        attrs.ints_or("perm", &default).iter().map(|&p| p as usize).collect();
-    input.permute(&perm).map_err(|_| invalid_attr(op, "perm", "not a valid permutation"))
+    let perm: Vec<usize> = attrs
+        .ints_or("perm", &default)
+        .iter()
+        .map(|&p| p as usize)
+        .collect();
+    input
+        .permute(&perm)
+        .map_err(|_| invalid_attr(op, "perm", "not a valid permutation"))
 }
 
 fn infer_depth_to_space(attrs: &Attrs, input: &Shape) -> Result<Shape, OpError> {
@@ -567,7 +660,12 @@ fn infer_depth_to_space(attrs: &Attrs, input: &Shape) -> Result<Shape, OpError> 
             reason: "expected NCHW input with C divisible by blocksize^2".into(),
         });
     }
-    Ok(Shape::new(vec![input.dim(0), input.dim(1) / (b * b), input.dim(2) * b, input.dim(3) * b]))
+    Ok(Shape::new(vec![
+        input.dim(0),
+        input.dim(1) / (b * b),
+        input.dim(2) * b,
+        input.dim(3) * b,
+    ]))
 }
 
 fn infer_space_to_depth(attrs: &Attrs, input: &Shape) -> Result<Shape, OpError> {
@@ -579,11 +677,20 @@ fn infer_space_to_depth(attrs: &Attrs, input: &Shape) -> Result<Shape, OpError> 
             reason: "expected NCHW input with H and W divisible by blocksize".into(),
         });
     }
-    Ok(Shape::new(vec![input.dim(0), input.dim(1) * b * b, input.dim(2) / b, input.dim(3) / b]))
+    Ok(Shape::new(vec![
+        input.dim(0),
+        input.dim(1) * b * b,
+        input.dim(2) / b,
+        input.dim(3) / b,
+    ]))
 }
 
 fn invalid_attr(op: OpKind, name: &str, reason: &str) -> OpError {
-    OpError::InvalidAttribute { op, name: name.to_string(), reason: reason.to_string() }
+    OpError::InvalidAttribute {
+        op,
+        name: name.to_string(),
+        reason: reason.to_string(),
+    }
 }
 
 #[cfg(test)]
@@ -601,9 +708,12 @@ mod tests {
         let out = infer_shapes(OpKind::Add, &Attrs::new(), &[s(&[2, 3]), s(&[3])]).unwrap();
         assert_eq!(out, vec![s(&[2, 3])]);
         assert!(infer_shapes(OpKind::Add, &Attrs::new(), &[s(&[2]), s(&[3])]).is_err());
-        let out =
-            infer_shapes(OpKind::Where, &Attrs::new(), &[s(&[2, 1]), s(&[1, 3]), s(&[2, 3])])
-                .unwrap();
+        let out = infer_shapes(
+            OpKind::Where,
+            &Attrs::new(),
+            &[s(&[2, 1]), s(&[1, 3]), s(&[2, 3])],
+        )
+        .unwrap();
         assert_eq!(out, vec![s(&[2, 3])]);
     }
 
@@ -618,7 +728,9 @@ mod tests {
         let attrs = Attrs::new().with_int("axis", 1);
         let out = infer_shapes(OpKind::Concat, &attrs, &[s(&[2, 3]), s(&[2, 5])]).unwrap();
         assert_eq!(out, vec![s(&[2, 8])]);
-        let attrs = Attrs::new().with_int("axis", 1).with_ints("split", vec![3, 5]);
+        let attrs = Attrs::new()
+            .with_int("axis", 1)
+            .with_ints("split", vec![3, 5]);
         let parts = infer_shapes(OpKind::Split, &attrs, &[s(&[2, 8])]).unwrap();
         assert_eq!(parts, vec![s(&[2, 3]), s(&[2, 5])]);
     }
@@ -643,9 +755,15 @@ mod tests {
     #[test]
     fn pad_and_tile_and_expand() {
         let attrs = Attrs::new().with_ints("pads", vec![0, 1, 0, 1]);
-        assert_eq!(infer_shapes(OpKind::Pad, &attrs, &[s(&[2, 3])]).unwrap(), vec![s(&[2, 5])]);
+        assert_eq!(
+            infer_shapes(OpKind::Pad, &attrs, &[s(&[2, 3])]).unwrap(),
+            vec![s(&[2, 5])]
+        );
         let attrs = Attrs::new().with_ints("repeats", vec![2, 3]);
-        assert_eq!(infer_shapes(OpKind::Tile, &attrs, &[s(&[2, 3])]).unwrap(), vec![s(&[4, 9])]);
+        assert_eq!(
+            infer_shapes(OpKind::Tile, &attrs, &[s(&[2, 3])]).unwrap(),
+            vec![s(&[4, 9])]
+        );
         let attrs = Attrs::new().with_ints("shape", vec![4, 2, 3]);
         assert_eq!(
             infer_shapes(OpKind::Expand, &attrs, &[s(&[2, 3])]).unwrap(),
@@ -669,13 +787,23 @@ mod tests {
         let attrs = Attrs::new()
             .with_ints("strides", vec![2, 2])
             .with_ints("pads", vec![3, 3, 3, 3]);
-        let out =
-            infer_shapes(OpKind::Conv, &attrs, &[s(&[1, 3, 224, 224]), s(&[64, 3, 7, 7])]).unwrap();
+        let out = infer_shapes(
+            OpKind::Conv,
+            &attrs,
+            &[s(&[1, 3, 224, 224]), s(&[64, 3, 7, 7])],
+        )
+        .unwrap();
         assert_eq!(out, vec![s(&[1, 64, 112, 112])]);
         // Depthwise: group == channels.
-        let attrs = Attrs::new().with_int("group", 32).with_ints("pads", vec![1, 1, 1, 1]);
-        let out =
-            infer_shapes(OpKind::Conv, &attrs, &[s(&[1, 32, 56, 56]), s(&[32, 1, 3, 3])]).unwrap();
+        let attrs = Attrs::new()
+            .with_int("group", 32)
+            .with_ints("pads", vec![1, 1, 1, 1]);
+        let out = infer_shapes(
+            OpKind::Conv,
+            &attrs,
+            &[s(&[1, 32, 56, 56]), s(&[32, 1, 3, 3])],
+        )
+        .unwrap();
         assert_eq!(out, vec![s(&[1, 32, 56, 56])]);
         // 3-D convolution (C3D-style).
         let attrs = Attrs::new().with_ints("pads", vec![1, 1, 1, 1, 1, 1]);
@@ -709,10 +837,17 @@ mod tests {
 
     #[test]
     fn pooling_shapes() {
-        let attrs = Attrs::new().with_ints("kernel_shape", vec![2, 2]).with_ints("strides", vec![2, 2]);
+        let attrs = Attrs::new()
+            .with_ints("kernel_shape", vec![2, 2])
+            .with_ints("strides", vec![2, 2]);
         let out = infer_shapes(OpKind::MaxPool, &attrs, &[s(&[1, 8, 32, 32])]).unwrap();
         assert_eq!(out, vec![s(&[1, 8, 16, 16])]);
-        let out = infer_shapes(OpKind::GlobalAveragePool, &Attrs::new(), &[s(&[1, 8, 7, 7])]).unwrap();
+        let out = infer_shapes(
+            OpKind::GlobalAveragePool,
+            &Attrs::new(),
+            &[s(&[1, 8, 7, 7])],
+        )
+        .unwrap();
         assert_eq!(out, vec![s(&[1, 8, 1, 1])]);
     }
 
@@ -724,9 +859,12 @@ mod tests {
         let out = infer_shapes(OpKind::Gemm, &attrs, &[s(&[4, 8]), s(&[16, 8])]).unwrap();
         assert_eq!(out, vec![s(&[4, 16])]);
         assert!(infer_shapes(OpKind::Gemm, &Attrs::new(), &[s(&[4, 8]), s(&[9, 16])]).is_err());
-        let out =
-            infer_shapes(OpKind::MatMul, &Attrs::new(), &[s(&[2, 12, 64, 64]), s(&[2, 12, 64, 32])])
-                .unwrap();
+        let out = infer_shapes(
+            OpKind::MatMul,
+            &Attrs::new(),
+            &[s(&[2, 12, 64, 64]), s(&[2, 12, 64, 32])],
+        )
+        .unwrap();
         assert_eq!(out, vec![s(&[2, 12, 64, 32])]);
         // Batch broadcasting.
         let out =
@@ -736,12 +874,16 @@ mod tests {
 
     #[test]
     fn reductions_and_argmax() {
-        let attrs = Attrs::new().with_ints("axes", vec![-1]).with_int("keepdims", 1);
+        let attrs = Attrs::new()
+            .with_ints("axes", vec![-1])
+            .with_int("keepdims", 1);
         assert_eq!(
             infer_shapes(OpKind::ReduceMean, &attrs, &[s(&[2, 3, 4])]).unwrap(),
             vec![s(&[2, 3, 1])]
         );
-        let attrs = Attrs::new().with_ints("axes", vec![1]).with_int("keepdims", 0);
+        let attrs = Attrs::new()
+            .with_ints("axes", vec![1])
+            .with_int("keepdims", 0);
         assert_eq!(
             infer_shapes(OpKind::ReduceSum, &attrs, &[s(&[2, 3, 4])]).unwrap(),
             vec![s(&[2, 4])]

@@ -23,7 +23,7 @@
 //! the differential suites can assert that equivalence at tolerance zero,
 //! not because the paths are expected to differ.
 
-use std::ops::{Add, Mul};
+use std::ops::{Add, Div, Mul};
 
 /// Lane count of the wide bundle ([`F32x8`]) — the unit the microkernels'
 /// main loops advance by.
@@ -117,6 +117,19 @@ impl<const N: usize> F32Lanes<N> {
         }
         F32Lanes(lanes)
     }
+
+    /// Lane-wise maximum via [`f32::max`] — exactly the scalar pooling
+    /// kernel's per-tap operation (IEEE `maxNum`: a NaN operand yields the
+    /// other operand), applied independently per lane.
+    #[inline]
+    #[must_use]
+    pub fn max(self, rhs: Self) -> Self {
+        let mut lanes = self.0;
+        for (l, lane) in lanes.iter_mut().enumerate() {
+            *lane = lane.max(rhs.0[l]);
+        }
+        F32Lanes(lanes)
+    }
 }
 
 impl<const N: usize> Add for F32Lanes<N> {
@@ -140,6 +153,22 @@ impl<const N: usize> Mul for F32Lanes<N> {
         let mut lanes = self.0;
         for (l, lane) in lanes.iter_mut().enumerate() {
             *lane *= rhs.0[l];
+        }
+        F32Lanes(lanes)
+    }
+}
+
+impl<const N: usize> Div for F32Lanes<N> {
+    type Output = Self;
+
+    /// Lane-wise IEEE division — one rounding step per lane, identical to
+    /// the scalar kernels' `acc / denom` (the averaging pools divide; a
+    /// reciprocal-multiply would round differently and break bit-identity).
+    #[inline]
+    fn div(self, rhs: Self) -> Self {
+        let mut lanes = self.0;
+        for (l, lane) in lanes.iter_mut().enumerate() {
+            *lane /= rhs.0[l];
         }
         F32Lanes(lanes)
     }
@@ -187,7 +216,10 @@ mod tests {
         let data: Vec<f32> = (0..32).map(|i| i as f32).collect();
         assert_eq!(F32x4::gather(&data, 5, 0).to_array(), [5.0; 4]);
         assert_eq!(F32x4::gather(&data, 3, 1).to_array(), [3.0, 4.0, 5.0, 6.0]);
-        assert_eq!(F32x4::gather(&data, 1, 7).to_array(), [1.0, 8.0, 15.0, 22.0]);
+        assert_eq!(
+            F32x4::gather(&data, 1, 7).to_array(),
+            [1.0, 8.0, 15.0, 22.0]
+        );
     }
 
     #[test]
@@ -216,6 +248,25 @@ mod tests {
             let scalar = 1.0f32 + xv * 3.000_000_2;
             assert_eq!(vec[l].to_bits(), scalar.to_bits());
         }
+    }
+
+    #[test]
+    fn max_and_div_match_the_scalar_operations_per_lane() {
+        let a = F32x4::load(&[1.0, -2.0, f32::NEG_INFINITY, 0.3]);
+        let b = F32x4::load(&[0.5, -1.5, 7.0, 0.3]);
+        let m = a.max(b).to_array();
+        let d = (a / b).to_array();
+        for (l, (&av, &bv)) in [1.0f32, -2.0, f32::NEG_INFINITY, 0.3]
+            .iter()
+            .zip(&[0.5f32, -1.5, 7.0, 0.3])
+            .enumerate()
+        {
+            assert_eq!(m[l].to_bits(), av.max(bv).to_bits());
+            assert_eq!(d[l].to_bits(), (av / bv).to_bits());
+        }
+        // NaN taps follow f32::max (the other operand wins), as in MaxPool.
+        let n = F32x4::splat(f32::NAN).max(F32x4::splat(2.0)).to_array();
+        assert_eq!(n, [2.0; 4]);
     }
 
     #[test]

@@ -261,7 +261,10 @@ mod tests {
     #[test]
     fn text_roundtrip_preserves_entries() {
         let mut db = ProfileDatabase::new();
-        db.record(ProfileKey::new(["Conv", "Relu", "Add"], "1x64x56x56"), 101.25);
+        db.record(
+            ProfileKey::new(["Conv", "Relu", "Add"], "1x64x56x56"),
+            101.25,
+        );
         db.record(ProfileKey::new(["MatMul"], "128x768;768x768"), 930.0);
         let text = db.to_text();
         let restored = ProfileDatabase::from_text(&text);

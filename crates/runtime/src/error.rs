@@ -35,8 +35,15 @@ impl fmt::Display for RuntimeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RuntimeError::MissingInput { name } => write!(f, "missing input tensor `{name}`"),
-            RuntimeError::InputShapeMismatch { name, expected, actual } => {
-                write!(f, "input `{name}` expects shape {expected:?}, got {actual:?}")
+            RuntimeError::InputShapeMismatch {
+                name,
+                expected,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "input `{name}` expects shape {expected:?}, got {actual:?}"
+                )
             }
             RuntimeError::Kernel(e) => write!(f, "kernel error: {e}"),
             RuntimeError::Graph(e) => write!(f, "graph error: {e}"),

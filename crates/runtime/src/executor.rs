@@ -30,6 +30,7 @@ use dnnf_tensor::Tensor;
 
 use crate::{
     materialize_weights, DeviceLatencyModel, ExecOptions, MemoryPlan, RuntimeError, TensorArena,
+    WeightStore,
 };
 
 /// The result of one inference run.
@@ -75,7 +76,11 @@ impl Executor {
     /// (thread count from the host, or `DNNF_NUM_THREADS` when set).
     #[must_use]
     pub fn new(device: DeviceSpec) -> Self {
-        Executor { device, simulate_cache: true, options: ExecOptions::default() }
+        Executor {
+            device,
+            simulate_cache: true,
+            options: ExecOptions::default(),
+        }
     }
 
     /// Disables the cache simulation (useful for large sweeps where only
@@ -124,9 +129,13 @@ impl Executor {
         model: &CompiledModel,
         inputs: &HashMap<String, Tensor>,
     ) -> Result<ExecutionReport, RuntimeError> {
-        // The model already carries its compiled kernels; repeated inference
-        // never re-compiles the plan.
-        self.run_plan_with_engine(model.graph(), &model.plan, &model.engine, inputs)
+        // The model carries its compiled kernels and (after the first run)
+        // its materialized weight store: repeated inference never
+        // re-compiles the plan and never re-materializes or re-packs a
+        // weight — every run shares the same Arc-backed tensors, across
+        // executors and across threads.
+        let store = WeightStore::of_model(model);
+        self.run_plan_with_store(model.graph(), &model.plan, &model.engine, &store, inputs)
     }
 
     /// Runs a graph without any fusion (every operator is its own kernel)
@@ -203,6 +212,12 @@ impl Executor {
     /// [`dnnf_core::compile_plan`] and dispatch here, so per-run cost never
     /// includes plan compilation.
     ///
+    /// This entry point has no [`CompiledModel`] to cache on, so it builds a
+    /// fresh [`WeightStore`] per call — the *uncached* configuration
+    /// `bench_exec` reports as `uncached_run_ms`. [`Executor::run_compiled`]
+    /// reuses the model's cached store instead; outputs are bit-identical
+    /// either way.
+    ///
     /// # Errors
     ///
     /// Returns a [`RuntimeError`] if inputs are missing/mismatched or a
@@ -214,6 +229,21 @@ impl Executor {
         engine: &dnnf_core::CompiledPlan,
         inputs: &HashMap<String, Tensor>,
     ) -> Result<ExecutionReport, RuntimeError> {
+        let store = WeightStore::build(graph);
+        self.run_plan_with_store(graph, plan, engine, &store, inputs)
+    }
+
+    /// The shared engine-dispatch path: boundary tensors in slot storage,
+    /// weights handed out of `store` by `Arc` clone (no copying, no
+    /// re-materialization), prepacked panels forwarded to the kernels.
+    fn run_plan_with_store(
+        &self,
+        graph: &Graph,
+        plan: &FusionPlan,
+        engine: &dnnf_core::CompiledPlan,
+        store: &WeightStore,
+        inputs: &HashMap<String, Tensor>,
+    ) -> Result<ExecutionReport, RuntimeError> {
         let order = plan.execution_order(graph);
         let memory = MemoryPlan::build(graph, plan, &order, self.device.elem_bytes);
 
@@ -223,8 +253,10 @@ impl Executor {
             let tensor = self.checked_input(graph, input_id, inputs)?;
             env[input_id.index()] = Some(Arc::new(tensor.clone()));
         }
-        for (id, tensor) in materialize_weights(graph) {
-            env[id.index()] = Some(Arc::new(tensor));
+        for value in graph.values() {
+            if value.is_weight() {
+                env[value.id.index()] = store.get(value.id).cloned();
+            }
         }
 
         // Buffer recycling: each boundary value's buffer returns to the
@@ -243,7 +275,13 @@ impl Executor {
             let block = &plan.blocks()[block_idx];
             let kernel = engine.kernel(block_idx);
             let produced = kernel
-                .run(graph, &mut |v| env[v.index()].clone(), &mut arena, workers)
+                .run(
+                    graph,
+                    &mut |v| env[v.index()].clone(),
+                    store.packed(),
+                    &mut arena,
+                    workers,
+                )
                 .map_err(RuntimeError::Core)?;
             for (out_id, tensor) in produced {
                 env[out_id.index()] = Some(Arc::new(tensor));
@@ -266,7 +304,11 @@ impl Executor {
                 .take()
                 .map(|handle| Arc::try_unwrap(handle).unwrap_or_else(|rc| (*rc).clone()))
         })?;
-        Ok(ExecutionReport { outputs, counters, memory })
+        Ok(ExecutionReport {
+            outputs,
+            counters,
+            memory,
+        })
     }
 
     /// Runs a graph under an explicit fusion plan with the per-operator
@@ -341,7 +383,11 @@ impl Executor {
 
         let counters = self.finish(acct, &memory);
         let outputs = self.collect_outputs(graph, |id| env.get(&id).cloned())?;
-        Ok(ExecutionReport { outputs, counters, memory })
+        Ok(ExecutionReport {
+            outputs,
+            counters,
+            memory,
+        })
     }
 
     fn checked_input<'a>(
@@ -353,7 +399,9 @@ impl Executor {
         let value = graph.value(input_id);
         let tensor = inputs
             .get(&value.name)
-            .ok_or_else(|| RuntimeError::MissingInput { name: value.name.clone() })?;
+            .ok_or_else(|| RuntimeError::MissingInput {
+                name: value.name.clone(),
+            })?;
         if tensor.shape() != &value.shape {
             return Err(RuntimeError::InputShapeMismatch {
                 name: value.name.clone(),
@@ -451,8 +499,7 @@ impl Executor {
     ) {
         let elem_bytes = self.device.elem_bytes;
         let scale = |bytes: usize| bytes as u64 / 4 * elem_bytes;
-        let in_block =
-            |n: dnnf_graph::NodeId| plan.block_of(n) == block_id;
+        let in_block = |n: dnnf_graph::NodeId| plan.block_of(n) == block_id;
         let mut seen: std::collections::BTreeSet<ValueId> = std::collections::BTreeSet::new();
         for &node_id in nodes {
             let node = graph.node(node_id);
@@ -486,24 +533,42 @@ mod tests {
         let x = g.add_input("x", Shape::new(vec![1, 3, 8, 8]));
         let w = g.add_weight("conv.w", Shape::new(vec![4, 3, 3, 3]));
         let conv = g
-            .add_op(OpKind::Conv, Attrs::new().with_ints("pads", vec![1, 1, 1, 1]), &[x, w], "conv")
+            .add_op(
+                OpKind::Conv,
+                Attrs::new().with_ints("pads", vec![1, 1, 1, 1]),
+                &[x, w],
+                "conv",
+            )
             .unwrap()[0];
         let b = g.add_weight("conv.b", Shape::new(vec![1, 4, 1, 1]));
-        let bias = g.add_op(OpKind::Add, Attrs::new(), &[conv, b], "bias").unwrap()[0];
-        let relu = g.add_op(OpKind::Relu, Attrs::new(), &[bias], "relu").unwrap()[0];
+        let bias = g
+            .add_op(OpKind::Add, Attrs::new(), &[conv, b], "bias")
+            .unwrap()[0];
+        let relu = g
+            .add_op(OpKind::Relu, Attrs::new(), &[bias], "relu")
+            .unwrap()[0];
         let pool = g
             .add_op(
                 OpKind::MaxPool,
-                Attrs::new().with_ints("kernel_shape", vec![2, 2]).with_ints("strides", vec![2, 2]),
+                Attrs::new()
+                    .with_ints("kernel_shape", vec![2, 2])
+                    .with_ints("strides", vec![2, 2]),
                 &[relu],
                 "pool",
             )
             .unwrap()[0];
         let flat = g
-            .add_op(OpKind::Flatten, Attrs::new().with_int("axis", 1), &[pool], "flatten")
+            .add_op(
+                OpKind::Flatten,
+                Attrs::new().with_int("axis", 1),
+                &[pool],
+                "flatten",
+            )
             .unwrap()[0];
         let fc = g.add_weight("fc.w", Shape::new(vec![64, 10]));
-        let out = g.add_op(OpKind::MatMul, Attrs::new(), &[flat, fc], "fc").unwrap()[0];
+        let out = g
+            .add_op(OpKind::MatMul, Attrs::new(), &[flat, fc], "fc")
+            .unwrap()[0];
         g.mark_output(out);
         g
     }
@@ -525,15 +590,17 @@ mod tests {
         let inputs = inputs_for(&g);
         let mut compiler = Compiler::new(CompilerOptions::default());
         let compiled = compiler.compile(&g).unwrap();
-        let serial = Executor::new(DeviceSpec::snapdragon_865_cpu())
-            .with_options(ExecOptions::serial());
+        let serial =
+            Executor::new(DeviceSpec::snapdragon_865_cpu()).with_options(ExecOptions::serial());
         let base = serial.run_compiled(&compiled, &inputs).unwrap();
         for threads in [2, 8] {
             // min_parallel_work = 0 forces the parallel partitioning even on
             // this small model.
-            let threaded = serial
-                .clone()
-                .with_options(ExecOptions { num_threads: threads, min_parallel_work: 0, ..ExecOptions::serial() });
+            let threaded = serial.clone().with_options(ExecOptions {
+                num_threads: threads,
+                min_parallel_work: 0,
+                ..ExecOptions::serial()
+            });
             assert_eq!(threaded.options().num_threads, threads);
             let report = threaded.run_compiled(&compiled, &inputs).unwrap();
             for (a, b) in base.outputs.iter().zip(&report.outputs) {
@@ -556,10 +623,12 @@ mod tests {
         let inputs = inputs_for(&g);
         let mut compiler = Compiler::new(CompilerOptions::default());
         let compiled = compiler.compile(&g).unwrap();
-        let simd = Executor::new(DeviceSpec::snapdragon_865_cpu())
-            .with_options(ExecOptions::serial());
+        let simd =
+            Executor::new(DeviceSpec::snapdragon_865_cpu()).with_options(ExecOptions::serial());
         let base = simd.run_compiled(&compiled, &inputs).unwrap();
-        let scalar = simd.clone().with_options(ExecOptions::serial().scalar_kernels());
+        let scalar = simd
+            .clone()
+            .with_options(ExecOptions::serial().scalar_kernels());
         assert!(scalar.options().force_scalar);
         let report = scalar.run_compiled(&compiled, &inputs).unwrap();
         for (a, b) in base.outputs.iter().zip(&report.outputs) {
@@ -635,8 +704,20 @@ mod tests {
         let mut compiler = Compiler::new(CompilerOptions::default());
         let compiled = compiler.compile(&g).unwrap();
         let fused = executor.run_compiled(&compiled, &inputs).unwrap();
-        let unfused_l2: u64 = unfused.counters.cache.level_misses.get(1).copied().unwrap_or(0);
-        let fused_l2: u64 = fused.counters.cache.level_misses.get(1).copied().unwrap_or(0);
+        let unfused_l2: u64 = unfused
+            .counters
+            .cache
+            .level_misses
+            .get(1)
+            .copied()
+            .unwrap_or(0);
+        let fused_l2: u64 = fused
+            .counters
+            .cache
+            .level_misses
+            .get(1)
+            .copied()
+            .unwrap_or(0);
         assert!(fused_l2 <= unfused_l2);
     }
 
@@ -684,6 +765,9 @@ mod tests {
         let gpu = Executor::new(DeviceSpec::snapdragon_865_gpu()).without_cache_simulation();
         let cpu_report = cpu.run_unfused(&g, &inputs).unwrap();
         let gpu_report = gpu.run_unfused(&g, &inputs).unwrap();
-        assert_eq!(cpu_report.counters.memory_access_bytes, 2 * gpu_report.counters.memory_access_bytes);
+        assert_eq!(
+            cpu_report.counters.memory_access_bytes,
+            2 * gpu_report.counters.memory_access_bytes
+        );
     }
 }

@@ -20,7 +20,9 @@ impl DeviceLatencyModel {
     /// Creates the latency model for a device.
     #[must_use]
     pub fn new(spec: DeviceSpec) -> Self {
-        DeviceLatencyModel { cost_model: DeviceCostModel::new(spec) }
+        DeviceLatencyModel {
+            cost_model: DeviceCostModel::new(spec),
+        }
     }
 
     /// The underlying device cost model.
@@ -37,13 +39,22 @@ impl DeviceLatencyModel {
         let mut counted = BTreeSet::new();
         for &n in nodes {
             let node = graph.node(n);
-            let input_shapes: Vec<Shape> =
-                node.inputs.iter().map(|&id| graph.value(id).shape.clone()).collect();
-            let output_shapes: Vec<Shape> =
-                node.outputs.iter().map(|&id| graph.value(id).shape.clone()).collect();
+            let input_shapes: Vec<Shape> = node
+                .inputs
+                .iter()
+                .map(|&id| graph.value(id).shape.clone())
+                .collect();
+            let output_shapes: Vec<Shape> = node
+                .outputs
+                .iter()
+                .map(|&id| graph.value(id).shape.clone())
+                .collect();
             work.flops += cost::flops(node.op, &node.attrs, &input_shapes, &output_shapes);
             let output_shape = output_shapes.first().cloned().unwrap_or_else(Shape::scalar);
-            match node.op.mapping_type_with_shapes(&input_shapes, &output_shape) {
+            match node
+                .op
+                .mapping_type_with_shapes(&input_shapes, &output_shape)
+            {
                 MappingType::ManyToMany => work.has_compute_anchor = true,
                 // Only data-movement operators disrupt the anchor's access
                 // pattern; broadcasted element-wise operators do not.
@@ -89,7 +100,8 @@ impl LatencyModel for DeviceLatencyModel {
         if nodes.is_empty() {
             return 0.0;
         }
-        self.cost_model.kernel_latency_us(&self.block_work(graph, nodes))
+        self.cost_model
+            .kernel_latency_us(&self.block_work(graph, nodes))
     }
 }
 
@@ -103,7 +115,9 @@ mod tests {
         let mut g = Graph::new("chain");
         let mut v = g.add_input("x", Shape::new(vec![1, 16, 32, 32]));
         for i in 0..4 {
-            v = g.add_op(OpKind::Relu, Attrs::new(), &[v], format!("r{i}")).unwrap()[0];
+            v = g
+                .add_op(OpKind::Relu, Attrs::new(), &[v], format!("r{i}"))
+                .unwrap()[0];
         }
         g.mark_output(v);
         g
@@ -141,7 +155,12 @@ mod tests {
         let x = g.add_input("x", Shape::new(vec![1, 4, 8, 8]));
         let w = g.add_weight("w", Shape::new(vec![4, 4, 3, 3]));
         let c = g
-            .add_op(OpKind::Conv, Attrs::new().with_ints("pads", vec![1, 1, 1, 1]), &[x, w], "conv")
+            .add_op(
+                OpKind::Conv,
+                Attrs::new().with_ints("pads", vec![1, 1, 1, 1]),
+                &[x, w],
+                "conv",
+            )
             .unwrap()[0];
         g.mark_output(c);
         let model = DeviceLatencyModel::new(DeviceSpec::snapdragon_865_cpu());

@@ -61,5 +61,5 @@ pub use error::RuntimeError;
 pub use executor::{ExecutionReport, Executor};
 pub use latency::DeviceLatencyModel;
 pub use memory::{MemoryPlan, TensorArena, ValueLifetime};
-pub use options::{ExecOptions, NUM_THREADS_ENV};
-pub use weights::materialize_weights;
+pub use options::{ExecOptions, FORCE_SCALAR_ENV, NUM_THREADS_ENV};
+pub use weights::{materialize_weights, WeightStore};

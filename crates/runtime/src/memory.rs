@@ -76,7 +76,9 @@ impl MemoryPlan {
             if !value.is_intermediate() {
                 continue;
             }
-            let Some(producer) = value.producer else { continue };
+            let Some(producer) = value.producer else {
+                continue;
+            };
             let producer_block = plan.block_of(producer);
             if !plan.value_escapes(graph, value.id) {
                 continue;
@@ -119,7 +121,12 @@ impl MemoryPlan {
         result.peak_intermediate_bytes = peak;
         result.lifetimes = live_at
             .into_iter()
-            .map(|(value, (birth, death, bytes))| ValueLifetime { value, birth, death, bytes })
+            .map(|(value, (birth, death, bytes))| ValueLifetime {
+                value,
+                birth,
+                death,
+                bytes,
+            })
             .collect();
         result
     }
@@ -205,7 +212,9 @@ mod tests {
         let mut g = Graph::new("chain");
         let mut v = g.add_input("x", Shape::new(vec![1, 4, 8, 8]));
         for i in 0..n {
-            v = g.add_op(OpKind::Relu, Attrs::new(), &[v], format!("r{i}")).unwrap()[0];
+            v = g
+                .add_op(OpKind::Relu, Attrs::new(), &[v], format!("r{i}"))
+                .unwrap()[0];
         }
         g.mark_output(v);
         g

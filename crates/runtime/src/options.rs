@@ -7,6 +7,14 @@ use dnnf_ops::WorkPool;
 /// pin the whole test suite to a fixed parallelism).
 pub const NUM_THREADS_ENV: &str = "DNNF_NUM_THREADS";
 
+/// Environment variable forcing the scalar (non-lane-blocked) kernel paths
+/// in [`ExecOptions::default`]: `1` sets [`ExecOptions::force_scalar`], `0`
+/// (or unset / empty) leaves the SIMD paths on. This is the third
+/// determinism axis CI sweeps — thread count, repeat runs, and SIMD on/off —
+/// and, like [`NUM_THREADS_ENV`], it only affects defaulted options, never
+/// values set explicitly through the builders.
+pub const FORCE_SCALAR_ENV: &str = "DNNF_FORCE_SCALAR";
+
 /// How the executor maps kernels onto host threads and vector lanes.
 ///
 /// The defaults come from the host: `num_threads` is
@@ -22,23 +30,28 @@ pub const NUM_THREADS_ENV: &str = "DNNF_NUM_THREADS";
 ///
 /// # Environment-override precedence
 ///
-/// [`ExecOptions::default`] consults `DNNF_NUM_THREADS`; values set
-/// explicitly through the builders are taken verbatim and are never
-/// overridden by the environment:
+/// [`ExecOptions::default`] consults `DNNF_NUM_THREADS` and
+/// `DNNF_FORCE_SCALAR`; values set explicitly through the builders are taken
+/// verbatim and are never overridden by the environment:
 ///
 /// ```
-/// use dnnf_runtime::{ExecOptions, NUM_THREADS_ENV};
+/// use dnnf_runtime::{ExecOptions, FORCE_SCALAR_ENV, NUM_THREADS_ENV};
 ///
 /// // Each doc-test runs in its own process, so mutating the environment
 /// // here cannot race another test.
 /// std::env::set_var(NUM_THREADS_ENV, "3");
+/// std::env::set_var(FORCE_SCALAR_ENV, "1");
 /// // `default()` reads the environment...
 /// assert_eq!(ExecOptions::default().num_threads, 3);
+/// assert!(ExecOptions::default().force_scalar);
 /// // ...but an explicit builder value wins over it,
 /// assert_eq!(ExecOptions::with_threads(2).num_threads, 2);
-/// // and `serial()` is always exactly one thread.
+/// assert!(!ExecOptions::with_threads(2).force_scalar);
+/// // and `serial()` is always exactly one SIMD-enabled thread.
 /// assert_eq!(ExecOptions::serial().num_threads, 1);
+/// assert!(!ExecOptions::serial().force_scalar);
 /// std::env::remove_var(NUM_THREADS_ENV);
+/// std::env::remove_var(FORCE_SCALAR_ENV);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExecOptions {
@@ -72,7 +85,10 @@ impl ExecOptions {
     /// Options using up to `num_threads` threads with the default work gate.
     #[must_use]
     pub fn with_threads(num_threads: usize) -> Self {
-        ExecOptions { num_threads: num_threads.max(1), ..ExecOptions::serial() }
+        ExecOptions {
+            num_threads: num_threads.max(1),
+            ..ExecOptions::serial()
+        }
     }
 
     /// These options with the SIMD paths disabled (see
@@ -93,24 +109,43 @@ impl ExecOptions {
 
 impl Default for ExecOptions {
     /// `DNNF_NUM_THREADS` when set to a positive integer, otherwise the
-    /// host's available parallelism.
+    /// host's available parallelism; `DNNF_FORCE_SCALAR=1` additionally
+    /// disables the lane-blocked kernel paths.
     ///
     /// # Panics
     ///
     /// Panics when `DNNF_NUM_THREADS` is set to anything but a positive
-    /// integer (or the empty string, which counts as unset). The variable
-    /// exists so CI can pin the engine's parallelism; silently falling back
-    /// to the host default on a typo would un-pin the very runs that rely
-    /// on it.
+    /// integer, or `DNNF_FORCE_SCALAR` to anything but `0`/`1` (the empty
+    /// string counts as unset for both). The variables exist so CI can pin
+    /// the engine's parallelism and vectorization; silently falling back to
+    /// the host default on a typo would un-pin the very runs that rely on
+    /// them.
     fn default() -> Self {
         let num_threads = match std::env::var(NUM_THREADS_ENV) {
             Ok(raw) if raw.trim().is_empty() => WorkPool::host().threads(),
-            Ok(raw) => raw.trim().parse::<usize>().ok().filter(|&n| n > 0).unwrap_or_else(|| {
-                panic!("{NUM_THREADS_ENV} must be a positive integer, got `{raw}`")
-            }),
+            Ok(raw) => raw
+                .trim()
+                .parse::<usize>()
+                .ok()
+                .filter(|&n| n > 0)
+                .unwrap_or_else(|| {
+                    panic!("{NUM_THREADS_ENV} must be a positive integer, got `{raw}`")
+                }),
             Err(_) => WorkPool::host().threads(),
         };
-        ExecOptions::with_threads(num_threads)
+        let force_scalar = match std::env::var(FORCE_SCALAR_ENV) {
+            Ok(raw) if raw.trim().is_empty() => false,
+            Ok(raw) => match raw.trim() {
+                "0" => false,
+                "1" => true,
+                _ => panic!("{FORCE_SCALAR_ENV} must be 0 or 1, got `{raw}`"),
+            },
+            Err(_) => false,
+        };
+        ExecOptions {
+            force_scalar,
+            ..ExecOptions::with_threads(num_threads)
+        }
     }
 }
 
@@ -149,6 +184,9 @@ mod tests {
         // The env var may or may not be set in the environment running the
         // suite; either way the result must be a positive thread count.
         assert!(ExecOptions::default().num_threads >= 1);
-        assert_eq!(ExecOptions::default().min_parallel_work, DEFAULT_PARALLEL_WORK_GRAIN);
+        assert_eq!(
+            ExecOptions::default().min_parallel_work,
+            DEFAULT_PARALLEL_WORK_GRAIN
+        );
     }
 }

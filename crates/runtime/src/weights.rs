@@ -1,4 +1,4 @@
-//! Deterministic weight materialization.
+//! Deterministic weight materialization and the cross-run weight store.
 //!
 //! The evaluation only needs structurally-faithful models, not trained
 //! weights (the paper notes accuracy is identical across frameworks and
@@ -7,10 +7,21 @@
 //! logical weight gets identical data before and after graph rewriting —
 //! which is what makes the fused-vs-unfused and rewritten-vs-original
 //! numerical equivalence checks meaningful.
+//!
+//! [`WeightStore`] turns that materialization into a **reusable asset**: all
+//! of a graph's weights are materialized once into `Arc`-backed tensors
+//! (plus any kernel-friendly prepacked layouts, see
+//! [`dnnf_core::PackedWeights`]), and [`WeightStore::of_model`] caches the
+//! store on the [`CompiledModel`] itself so every run of every executor —
+//! including concurrent ones — shares the same allocations instead of
+//! re-materializing per run.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
+use dnnf_core::{CompiledModel, PackedWeights};
 use dnnf_graph::{Graph, ValueId};
+use dnnf_ops::OpKind;
 use dnnf_tensor::Tensor;
 
 /// Scale applied to randomly materialized weights to keep activations in a
@@ -62,6 +73,101 @@ pub fn materialize_weights(graph: &Graph) -> HashMap<ValueId, Tensor> {
     weights
 }
 
+/// A graph's weights, materialized once and shared across runs.
+///
+/// Every weight tensor lives behind an `Arc`, so handing it to a run's
+/// environment is a reference-count bump, not a copy; the store also carries
+/// the prepacked kernel layouts ([`PackedWeights`] — today, transposed
+/// `Gemm` B panels) so repeat inference never re-packs either. The store is
+/// immutable after construction and `Send + Sync`: concurrent executors can
+/// read it freely.
+///
+/// Two ways to obtain one:
+///
+/// * [`WeightStore::of_model`] — the cached path: built at most once per
+///   [`CompiledModel`] (stored in the model's
+///   [`dnnf_core::RuntimeCacheSlot`]) and shared by clones of the model and
+///   by every executor. This is what [`crate::Executor::run_compiled`] uses.
+/// * [`WeightStore::build`] — an uncached store for ad-hoc graph/plan
+///   combinations (what `run_plan_with_engine` falls back to). Outputs are
+///   bit-identical either way; only the materialization cost moves.
+#[derive(Debug, Clone)]
+pub struct WeightStore {
+    /// Weight tensors indexed by `ValueId::index()`; non-weight slots stay
+    /// `None`.
+    tensors: Vec<Option<Arc<Tensor>>>,
+    packed: PackedWeights,
+}
+
+impl WeightStore {
+    /// Materializes every weight of `graph` (and its prepacked layouts)
+    /// into a fresh store.
+    #[must_use]
+    pub fn build(graph: &Graph) -> Self {
+        let mut tensors: Vec<Option<Arc<Tensor>>> = vec![None; graph.value_count()];
+        for (id, tensor) in materialize_weights(graph) {
+            tensors[id.index()] = Some(Arc::new(tensor));
+        }
+        // Prepack: a rank-2 weight consumed transposed by a Gemm gets its
+        // (K, N) panel laid out once, so the kernel's inner loop loads
+        // contiguously on every run. Packing is an access-pattern change
+        // only; results are bit-identical (pinned by the kernel tests).
+        let mut packed = PackedWeights::default();
+        for node_id in graph.topo_order() {
+            let node = graph.node(node_id);
+            if node.op != OpKind::Gemm || node.attrs.int_or("transB", 0) == 0 {
+                continue;
+            }
+            let Some(&b) = node.inputs.get(1) else {
+                continue;
+            };
+            if !graph.value(b).is_weight() || packed.transposed_b(b).is_some() {
+                continue;
+            }
+            if let Some(tensor) = &tensors[b.index()] {
+                if let Ok(panel) = tensor.transpose(&[1, 0]) {
+                    packed.insert_transposed_b(b, Arc::new(panel));
+                }
+            }
+        }
+        WeightStore { tensors, packed }
+    }
+
+    /// The store cached on `model` — built on first call, pointer-identical
+    /// (`Arc::ptr_eq`) on every later call, shared across clones of the
+    /// model and across concurrent executors.
+    #[must_use]
+    pub fn of_model(model: &CompiledModel) -> Arc<Self> {
+        model
+            .runtime_cache()
+            .get_or_init(|| WeightStore::build(model.graph()))
+    }
+
+    /// The materialized tensor of weight `id` (`None` for non-weights).
+    #[must_use]
+    pub fn get(&self, id: ValueId) -> Option<&Arc<Tensor>> {
+        self.tensors.get(id.index()).and_then(Option::as_ref)
+    }
+
+    /// The prepacked kernel layouts.
+    #[must_use]
+    pub fn packed(&self) -> &PackedWeights {
+        &self.packed
+    }
+
+    /// Number of materialized weights.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tensors.iter().filter(|t| t.is_some()).count()
+    }
+
+    /// Whether the graph had no weights at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -111,14 +217,84 @@ mod tests {
     }
 
     #[test]
+    fn store_matches_materialization_and_packs_only_transposed_gemm_weights() {
+        let mut g = Graph::new("store");
+        let x = g.add_input("x", Shape::new(vec![2, 4]));
+        let w_t = g.add_weight("fc.w", Shape::new(vec![3, 4]));
+        let w_plain = g.add_weight("fc2.w", Shape::new(vec![3, 5]));
+        let gemm = g
+            .add_op(
+                OpKind::Gemm,
+                Attrs::new().with_int("transB", 1),
+                &[x, w_t],
+                "fc",
+            )
+            .unwrap()[0];
+        let out = g
+            .add_op(OpKind::Gemm, Attrs::new(), &[gemm, w_plain], "fc2")
+            .unwrap()[0];
+        g.mark_output(out);
+
+        let store = WeightStore::build(&g);
+        let reference = materialize_weights(&g);
+        assert_eq!(store.len(), reference.len());
+        assert!(!store.is_empty());
+        for (&id, tensor) in &reference {
+            assert_eq!(
+                store.get(id).unwrap().as_ref(),
+                tensor,
+                "store diverged for value {id:?}"
+            );
+        }
+        assert!(store.get(x).is_none(), "inputs are not weights");
+
+        // Only the transB-consumed weight gets a panel, and the panel is its
+        // exact transpose.
+        assert_eq!(store.packed().len(), 1);
+        assert!(store.packed().transposed_b(w_plain).is_none());
+        let panel = store
+            .packed()
+            .transposed_b(w_t)
+            .expect("transB weight packed");
+        assert_eq!(panel.as_ref(), &reference[&w_t].transpose(&[1, 0]).unwrap());
+    }
+
+    #[test]
+    fn gemm_fed_by_a_computed_operand_is_not_packed() {
+        // The B operand is a graph input here, not a weight: nothing to
+        // prepack (its data changes per run).
+        let mut g = Graph::new("no-pack");
+        let x = g.add_input("x", Shape::new(vec![2, 4]));
+        let b = g.add_input("b", Shape::new(vec![3, 4]));
+        let out = g
+            .add_op(
+                OpKind::Gemm,
+                Attrs::new().with_int("transB", 1),
+                &[x, b],
+                "fc",
+            )
+            .unwrap()[0];
+        g.mark_output(out);
+        let store = WeightStore::build(&g);
+        assert!(store.packed().is_empty());
+        assert!(store.is_empty());
+    }
+
+    #[test]
     fn variance_like_weights_are_non_negative() {
         let mut g = Graph::new("variance");
         let var = g.add_weight("layer.bn.var", Shape::new(vec![64]));
         let eps = g.add_weight("layer.eps", Shape::new(vec![1]));
         let plain = g.add_weight("layer.w", Shape::new(vec![64]));
         let m = materialize_weights(&g);
-        assert!(m[&var].iter().all(|&v| v >= 0.0), "variance must not feed sqrt a negative");
+        assert!(
+            m[&var].iter().all(|&v| v >= 0.0),
+            "variance must not feed sqrt a negative"
+        );
         assert!(m[&eps].iter().all(|&v| v >= 0.0));
-        assert!(m[&plain].iter().any(|&v| v < 0.0), "ordinary weights stay signed");
+        assert!(
+            m[&plain].iter().any(|&v| v < 0.0),
+            "ordinary weights stay signed"
+        );
     }
 }

@@ -18,17 +18,32 @@ fn small_graph() -> Graph {
     let x = g.add_input("x", Shape::new(vec![1, 4, 6, 6]));
     let w = g.add_weight("w", Shape::new(vec![4, 4, 3, 3]));
     let conv = g
-        .add_op(OpKind::Conv, Attrs::new().with_ints("pads", vec![1, 1, 1, 1]), &[x, w], "conv")
+        .add_op(
+            OpKind::Conv,
+            Attrs::new().with_ints("pads", vec![1, 1, 1, 1]),
+            &[x, w],
+            "conv",
+        )
         .unwrap()[0];
-    let relu = g.add_op(OpKind::Relu, Attrs::new(), &[conv], "relu").unwrap()[0];
-    let sig = g.add_op(OpKind::Sigmoid, Attrs::new(), &[relu], "sig").unwrap()[0];
-    let res = g.add_op(OpKind::Add, Attrs::new(), &[sig, x], "res").unwrap()[0];
+    let relu = g
+        .add_op(OpKind::Relu, Attrs::new(), &[conv], "relu")
+        .unwrap()[0];
+    let sig = g
+        .add_op(OpKind::Sigmoid, Attrs::new(), &[relu], "sig")
+        .unwrap()[0];
+    let res = g
+        .add_op(OpKind::Add, Attrs::new(), &[sig, x], "res")
+        .unwrap()[0];
     g.mark_output(res);
     g
 }
 
 fn inputs() -> HashMap<String, Tensor> {
-    [("x".to_string(), Tensor::random(Shape::new(vec![1, 4, 6, 6]), 11))].into()
+    [(
+        "x".to_string(),
+        Tensor::random(Shape::new(vec![1, 4, 6, 6]), 11),
+    )]
+    .into()
 }
 
 #[test]
@@ -36,7 +51,9 @@ fn run_compiled_matches_run_unfused_and_launches_fewer_kernels() {
     let graph = small_graph();
     let executor = Executor::new(DeviceSpec::snapdragon_865_cpu());
     let unfused = executor.run_unfused(&graph, &inputs()).unwrap();
-    let compiled = Compiler::new(CompilerOptions::default()).compile(&graph).unwrap();
+    let compiled = Compiler::new(CompilerOptions::default())
+        .compile(&graph)
+        .unwrap();
     let fused = executor.run_compiled(&compiled, &inputs()).unwrap();
     assert_eq!(unfused.outputs.len(), 1);
     assert!(unfused.outputs[0].allclose(&fused.outputs[0], 1e-4));
@@ -54,7 +71,10 @@ fn without_cache_simulation_does_not_change_results() {
     assert_eq!(with_cache.device(), without_cache.device());
     let a = with_cache.run_unfused(&graph, &inputs()).unwrap();
     let b = without_cache.run_unfused(&graph, &inputs()).unwrap();
-    assert!(a.outputs[0].allclose(&b.outputs[0], 0.0), "cache simulation is observational only");
+    assert!(
+        a.outputs[0].allclose(&b.outputs[0], 0.0),
+        "cache simulation is observational only"
+    );
 }
 
 #[test]
@@ -63,11 +83,19 @@ fn estimates_agree_with_execution_on_launch_counts_and_traffic_direction() {
     let executor = Executor::new(DeviceSpec::snapdragon_865_cpu());
     let (unfused_counters, unfused_memory) = executor.estimate_unfused(&graph);
     assert_eq!(unfused_counters.kernel_launches, graph.node_count() as u64);
-    assert_eq!(unfused_counters.peak_memory_bytes, unfused_memory.peak_bytes());
+    assert_eq!(
+        unfused_counters.peak_memory_bytes,
+        unfused_memory.peak_bytes()
+    );
 
-    let compiled = Compiler::new(CompilerOptions::default()).compile(&graph).unwrap();
+    let compiled = Compiler::new(CompilerOptions::default())
+        .compile(&graph)
+        .unwrap();
     let (fused_counters, fused_memory) = executor.estimate_plan(compiled.graph(), &compiled.plan);
-    assert_eq!(fused_counters.kernel_launches, compiled.plan.fused_layer_count() as u64);
+    assert_eq!(
+        fused_counters.kernel_launches,
+        compiled.plan.fused_layer_count() as u64
+    );
     assert!(fused_counters.kernel_launches < unfused_counters.kernel_launches);
     assert!(
         fused_counters.memory_access_bytes <= unfused_counters.memory_access_bytes,
@@ -77,7 +105,10 @@ fn estimates_agree_with_execution_on_launch_counts_and_traffic_direction() {
 
     // The estimate path must agree with actually running the plan.
     let report = executor.run_compiled(&compiled, &inputs()).unwrap();
-    assert_eq!(report.counters.kernel_launches, fused_counters.kernel_launches);
+    assert_eq!(
+        report.counters.kernel_launches,
+        fused_counters.kernel_launches
+    );
 }
 
 #[test]
@@ -90,7 +121,10 @@ fn run_plan_accepts_an_explicit_plan_and_rejects_missing_inputs() {
     assert_eq!(report.counters.kernel_launches, graph.node_count() as u64);
 
     let err = executor.run_plan(&graph, &singletons, &HashMap::new());
-    assert!(err.is_err(), "missing inputs must be a runtime error, not a panic");
+    assert!(
+        err.is_err(),
+        "missing inputs must be a runtime error, not a panic"
+    );
 }
 
 #[test]
@@ -101,8 +135,14 @@ fn memory_plan_accounts_for_residents_and_intermediates() {
     let order = plan.execution_order(&graph);
     let memory = MemoryPlan::build(&graph, &plan, &order, 4);
     assert!(memory.resident_bytes > 0, "weights and inputs are resident");
-    assert!(memory.peak_intermediate_bytes > 0, "singleton execution materializes intermediates");
-    assert_eq!(memory.peak_bytes(), memory.resident_bytes + memory.peak_intermediate_bytes);
+    assert!(
+        memory.peak_intermediate_bytes > 0,
+        "singleton execution materializes intermediates"
+    );
+    assert_eq!(
+        memory.peak_bytes(),
+        memory.resident_bytes + memory.peak_intermediate_bytes
+    );
     assert!(memory.boundary_traffic_bytes > 0);
     assert!(memory.materialized_values > 0);
 }
@@ -116,7 +156,10 @@ fn materialize_weights_is_deterministic_and_covers_every_weight() {
     assert_eq!(first.len(), weight_count);
     for (id, tensor) in &first {
         assert_eq!(tensor.shape(), &graph.value(*id).shape);
-        assert_eq!(tensor, &second[id], "weight data must be reproducible across calls");
+        assert_eq!(
+            tensor, &second[id],
+            "weight data must be reproducible across calls"
+        );
     }
 }
 
@@ -128,7 +171,9 @@ fn engine_reference_and_estimate_paths_agree_on_counters() {
     // the simulated device observes.
     let graph = small_graph();
     let executor = Executor::new(DeviceSpec::snapdragon_865_cpu());
-    let compiled = Compiler::new(CompilerOptions::default()).compile(&graph).unwrap();
+    let compiled = Compiler::new(CompilerOptions::default())
+        .compile(&graph)
+        .unwrap();
     let engine = executor.run_compiled(&compiled, &inputs()).unwrap();
     let reference = executor
         .run_plan_reference(compiled.graph(), &compiled.plan, &inputs())
@@ -138,7 +183,10 @@ fn engine_reference_and_estimate_paths_agree_on_counters() {
     assert_eq!(engine.counters, estimated);
     assert_eq!(engine.memory, estimated_memory);
     for (a, b) in engine.outputs.iter().zip(&reference.outputs) {
-        assert!(a.allclose(b, 1e-5), "engine must reproduce reference semantics");
+        assert!(
+            a.allclose(b, 1e-5),
+            "engine must reproduce reference semantics"
+        );
     }
 }
 
@@ -148,7 +196,9 @@ fn repeated_engine_runs_are_deterministic_despite_buffer_reuse() {
     // into results, so back-to-back runs are bit-identical.
     let graph = small_graph();
     let executor = Executor::new(DeviceSpec::snapdragon_865_cpu()).without_cache_simulation();
-    let compiled = Compiler::new(CompilerOptions::default()).compile(&graph).unwrap();
+    let compiled = Compiler::new(CompilerOptions::default())
+        .compile(&graph)
+        .unwrap();
     let first = executor.run_compiled(&compiled, &inputs()).unwrap();
     let second = executor.run_compiled(&compiled, &inputs()).unwrap();
     assert_eq!(first.outputs, second.outputs);
@@ -164,7 +214,10 @@ fn memory_plan_lifetimes_drive_the_arena() {
     // Every materialized boundary value has a recorded lifetime the executor
     // can recycle on.
     assert_eq!(memory.lifetimes.len(), memory.materialized_values);
-    assert!(memory.lifetimes.iter().all(|l| l.birth <= l.death && l.death < order.len()));
+    assert!(memory
+        .lifetimes
+        .iter()
+        .all(|l| l.birth <= l.death && l.death < order.len()));
 }
 
 #[test]
@@ -175,7 +228,10 @@ fn device_latency_model_describes_block_work_faithfully() {
 
     let all_nodes: Vec<_> = graph.nodes().map(|n| n.id).collect();
     let fused_work = model.block_work(&graph, &all_nodes);
-    assert!(fused_work.has_compute_anchor, "the conv is a Many-to-Many anchor");
+    assert!(
+        fused_work.has_compute_anchor,
+        "the conv is a Many-to-Many anchor"
+    );
     assert!(fused_work.flops > 0);
     assert!(fused_work.output_elems > 0);
 

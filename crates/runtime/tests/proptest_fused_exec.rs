@@ -56,8 +56,15 @@ const UNARY_OPS: &[OpKind] = &[
 ];
 
 /// Binary operators exercised by the random DAGs.
-const BINARY_OPS: &[OpKind] =
-    &[OpKind::Add, OpKind::Sub, OpKind::Mul, OpKind::Min, OpKind::Max, OpKind::PRelu, OpKind::Greater];
+const BINARY_OPS: &[OpKind] = &[
+    OpKind::Add,
+    OpKind::Sub,
+    OpKind::Mul,
+    OpKind::Min,
+    OpKind::Max,
+    OpKind::PRelu,
+    OpKind::Greater,
+];
 
 /// Builds a random element-wise/broadcast DAG. Every structural choice is
 /// drawn from `rng`, so one seed reproduces one graph exactly.
@@ -77,7 +84,9 @@ fn random_dag(rng: &mut TestRng) -> Graph {
             let op = UNARY_OPS[rng.below(UNARY_OPS.len() as u64) as usize];
             let attrs = match op {
                 OpKind::LeakyRelu => Attrs::new().with_float("alpha", 0.125),
-                OpKind::Clip => Attrs::new().with_float("min", -0.75).with_float("max", 0.75),
+                OpKind::Clip => Attrs::new()
+                    .with_float("min", -0.75)
+                    .with_float("max", 0.75),
                 _ => Attrs::new(),
             };
             g.add_op(op, attrs, &[src], format!("u{i}")).unwrap()[0]
@@ -100,7 +109,8 @@ fn random_dag(rng: &mut TestRng) -> Graph {
                     .map(|(v, _)| *v)
                     .unwrap_or(src)
             };
-            g.add_op(op, Attrs::new(), &[src, rhs], format!("b{i}")).unwrap()[0]
+            g.add_op(op, Attrs::new(), &[src, rhs], format!("b{i}"))
+                .unwrap()[0]
         } else if choice == 8 {
             // Where(cond, src, other) with a broadcast condition.
             let cond_dims: Vec<usize> = src_shape
@@ -110,7 +120,13 @@ fn random_dag(rng: &mut TestRng) -> Graph {
                 .collect();
             let cond = g.add_weight(format!("c{i}"), Shape::new(cond_dims));
             let other = g.add_weight(format!("o{i}"), src_shape.clone());
-            g.add_op(OpKind::Where, Attrs::new(), &[cond, src, other], format!("w{i}")).unwrap()[0]
+            g.add_op(
+                OpKind::Where,
+                Attrs::new(),
+                &[cond, src, other],
+                format!("w{i}"),
+            )
+            .unwrap()[0]
         } else {
             // Inference-form BatchNormalization over the channel axis.
             let channels = src_shape.dim(1);
@@ -151,7 +167,9 @@ fn random_epilogue(g: &mut Graph, rng: &mut TestRng, src: ValueId, count: usize)
             let op = UNARY_OPS[rng.below(UNARY_OPS.len() as u64) as usize];
             let attrs = match op {
                 OpKind::LeakyRelu => Attrs::new().with_float("alpha", 0.125),
-                OpKind::Clip => Attrs::new().with_float("min", -0.75).with_float("max", 0.75),
+                OpKind::Clip => Attrs::new()
+                    .with_float("min", -0.75)
+                    .with_float("max", 0.75),
                 _ => Attrs::new(),
             };
             g.add_op(op, attrs, &[value], format!("ep.u{i}")).unwrap()[0]
@@ -163,7 +181,8 @@ fn random_epilogue(g: &mut Graph, rng: &mut TestRng, src: ValueId, count: usize)
                 .map(|&d| if rng.below(2) == 0 { 1 } else { d })
                 .collect();
             let rhs = g.add_weight(format!("ep.w{i}"), Shape::new(squashed));
-            g.add_op(op, Attrs::new(), &[value, rhs], format!("ep.b{i}")).unwrap()[0]
+            g.add_op(op, Attrs::new(), &[value, rhs], format!("ep.b{i}"))
+                .unwrap()[0]
         } else {
             let c = Shape::new(vec![shape.dim(1)]);
             let scale = g.add_weight(format!("ep.{i}.bn.scale"), c.clone());
@@ -182,31 +201,51 @@ fn random_epilogue(g: &mut Graph, rng: &mut TestRng, src: ValueId, count: usize)
     value
 }
 
-/// Builds a random anchored DAG: one Conv / MatMul / Gemm / MaxPool /
-/// AveragePool / GlobalAveragePool anchor (random shapes and attributes),
-/// a fused element-wise epilogue, and — for spatial anchors — sometimes a
-/// pooling tail with its own epilogue. The anchor output escapes as a graph
-/// output too, so blocks must materialize a mid-kernel value.
+/// Builds a random anchored DAG: one Conv (spatial rank 1/2/3) / MatMul /
+/// Gemm / MaxPool / AveragePool (rank 2/3) / GlobalAveragePool anchor
+/// (random shapes and attributes), a fused element-wise epilogue, and — for
+/// rank-4 results — sometimes a pooling tail with its own epilogue. The
+/// anchor output escapes as a graph output too, so blocks must materialize
+/// a mid-kernel value.
 fn random_anchor_dag(rng: &mut TestRng) -> Graph {
     let mut g = Graph::new("proptest-anchor-dag");
     let anchor = match rng.below(6) {
         0 => {
-            // Conv with random padding/stride, optional bias. The input
-            // width reaches 14 so interior output rows cross the 8-lane
-            // SIMD bundle width, not just the 4-lane remainder pass.
+            // Conv at spatial rank 1, 2 or 3 with random padding/stride and
+            // optional bias: rank 2 runs the specialized 2-D microkernel,
+            // ranks 1 and 3 the generic odometer path — all lane-blocked.
+            // The innermost input extent reaches 14 so interior output rows
+            // cross the 8-lane SIMD bundle width, not just the 4-lane
+            // remainder pass.
+            let rank = 1 + rng.below(3) as usize;
             let n = 1 + rng.below(2) as usize;
             let cin = 1 + rng.below(3) as usize;
-            let h = 3 + rng.below(6) as usize;
             let w = 3 + rng.below(12) as usize;
+            let mut x_dims = vec![n, cin];
+            match rank {
+                1 => x_dims.push(w),
+                2 => {
+                    let h = 3 + rng.below(6) as usize;
+                    x_dims.extend([h, w]);
+                }
+                _ => {
+                    let d = 3 + rng.below(3) as usize;
+                    let h = 3 + rng.below(4) as usize;
+                    x_dims.extend([d, h, w]);
+                }
+            }
             let cout = 1 + rng.below(4) as usize;
-            let k = 1 + rng.below(h.min(w).min(3) as u64) as usize;
-            let x = g.add_input("x", Shape::new(vec![n, cin, h, w]));
-            let wt = g.add_weight("conv.w", Shape::new(vec![cout, cin, k, k]));
+            let k_cap = x_dims[2..].iter().copied().min().unwrap_or(1).min(3);
+            let k = 1 + rng.below(k_cap as u64) as usize;
+            let x = g.add_input("x", Shape::new(x_dims));
+            let mut w_dims = vec![cout, cin];
+            w_dims.extend(std::iter::repeat_n(k, rank));
+            let wt = g.add_weight("conv.w", Shape::new(w_dims));
             let p = rng.below(2) as i64;
             let s = 1 + rng.below(2) as i64;
             let attrs = Attrs::new()
-                .with_ints("pads", vec![p, p, p, p])
-                .with_ints("strides", vec![s, s]);
+                .with_ints("pads", vec![p; 2 * rank])
+                .with_ints("strides", vec![s; rank]);
             let inputs: Vec<ValueId> = if rng.below(2) == 0 {
                 let b = g.add_weight("conv.b", Shape::new(vec![cout]));
                 vec![x, wt, b]
@@ -229,7 +268,8 @@ fn random_anchor_dag(rng: &mut TestRng) -> Graph {
             };
             let a = g.add_input("a", Shape::new(a_shape));
             let b = g.add_weight("mm.b", Shape::new(b_shape));
-            g.add_op(OpKind::MatMul, Attrs::new(), &[a, b], "matmul").unwrap()[0]
+            g.add_op(OpKind::MatMul, Attrs::new(), &[a, b], "matmul")
+                .unwrap()[0]
         }
         2 => {
             // Gemm with random transpose flags, scaling and bias form; wide
@@ -263,23 +303,40 @@ fn random_anchor_dag(rng: &mut TestRng) -> Graph {
             g.add_op(OpKind::Gemm, attrs, &inputs, "gemm").unwrap()[0]
         }
         choice => {
-            // Pooling over a random (N, C, H, W) input.
+            // Pooling at spatial rank 2 or 3 (rank 3 runs the generic
+            // odometer path): the innermost extent reaches 12 so interior
+            // rows cross the 8-lane bundle width, and GlobalAveragePool's
+            // channel count reaches 8 so its lane-blocked (n, c) groups
+            // fill whole bundles.
+            let rank = 2 + rng.below(2) as usize;
             let n = 1 + rng.below(2) as usize;
-            let c = 1 + rng.below(4) as usize;
-            let h = 3 + rng.below(6) as usize;
-            let w = 3 + rng.below(6) as usize;
-            let x = g.add_input("x", Shape::new(vec![n, c, h, w]));
+            let c = 1 + rng.below(8) as usize;
+            let w = 3 + rng.below(10) as usize;
+            // Every spatial extent stays >= 3 (the largest kernel), so no
+            // output dimension can collapse to zero.
+            let mut x_dims = vec![n, c];
+            if rank == 3 {
+                x_dims.push(3 + rng.below(3) as usize);
+            }
+            x_dims.push(3 + rng.below(4) as usize);
+            x_dims.push(w);
+            let x = g.add_input("x", Shape::new(x_dims));
             if choice == 5 {
-                g.add_op(OpKind::GlobalAveragePool, Attrs::new(), &[x], "gap").unwrap()[0]
+                g.add_op(OpKind::GlobalAveragePool, Attrs::new(), &[x], "gap")
+                    .unwrap()[0]
             } else {
-                let op = if choice == 3 { OpKind::MaxPool } else { OpKind::AveragePool };
+                let op = if choice == 3 {
+                    OpKind::MaxPool
+                } else {
+                    OpKind::AveragePool
+                };
                 let k = 2 + rng.below(2) as i64;
                 let s = 1 + rng.below(2) as i64;
                 let p = rng.below(2) as i64;
                 let mut attrs = Attrs::new()
-                    .with_ints("kernel_shape", vec![k, k])
-                    .with_ints("strides", vec![s, s])
-                    .with_ints("pads", vec![p, p, p, p]);
+                    .with_ints("kernel_shape", vec![k; rank])
+                    .with_ints("strides", vec![s; rank])
+                    .with_ints("pads", vec![p; 2 * rank]);
                 if op == OpKind::AveragePool && rng.below(2) == 0 {
                     attrs = attrs.with_int("count_include_pad", 1);
                 }
@@ -296,7 +353,9 @@ fn random_anchor_dag(rng: &mut TestRng) -> Graph {
         let tail = g
             .add_op(
                 OpKind::MaxPool,
-                Attrs::new().with_ints("kernel_shape", vec![2, 2]).with_ints("strides", vec![2, 2]),
+                Attrs::new()
+                    .with_ints("kernel_shape", vec![2, 2])
+                    .with_ints("strides", vec![2, 2]),
                 &[last],
                 "tail.pool",
             )
@@ -326,7 +385,11 @@ fn inputs_for(graph: &Graph, seed: u64) -> HashMap<String, Tensor> {
 /// Element-wise agreement: within `tol` when finite; non-finite elements
 /// must agree in class too (+inf == +inf, -inf == -inf, NaN with NaN).
 fn assert_agrees(reference: &Tensor, engine: &Tensor, tol: f32, context: &str) {
-    assert_eq!(reference.shape(), engine.shape(), "{context}: shape mismatch");
+    assert_eq!(
+        reference.shape(),
+        engine.shape(),
+        "{context}: shape mismatch"
+    );
     if let Some(i) = reference.first_disagreement(engine, tol) {
         panic!(
             "{context}: element {i} reference={} engine={}",
@@ -397,21 +460,40 @@ proptest! {
 /// The anchored generator must keep producing every anchor kind over a
 /// short seed range — otherwise the threaded-kernel coverage of the
 /// differential suite silently narrows. It must also produce anchors whose
-/// output rows are at least 8 elements wide for each lane-blocked kernel,
-/// so the SIMD differential genuinely exercises the 8-lane path (narrow
-/// outputs only cover the 4-lane and scalar remainders).
+/// output rows are at least 8 elements wide for each lane-blocked kernel
+/// (for `GlobalAveragePool`, at least 8 output elements), so the SIMD
+/// differential genuinely exercises the 8-lane path (narrow outputs only
+/// cover the 4-lane and scalar remainders) — and, now that the generic-rank
+/// paths are lane-blocked too, spatial ranks 1 and 3 for Conv and rank 3
+/// for the windowed pools.
 #[test]
-fn anchor_generator_covers_every_anchor_kind_and_lane_width() {
+fn anchor_generator_covers_every_anchor_kind_lane_width_and_spatial_rank() {
     let mut seen: std::collections::BTreeMap<OpKind, u64> = std::collections::BTreeMap::new();
     let mut wide: std::collections::BTreeMap<OpKind, u64> = std::collections::BTreeMap::new();
+    let mut conv_ranks: std::collections::BTreeMap<usize, u64> = std::collections::BTreeMap::new();
+    let mut pool_ranks: std::collections::BTreeMap<usize, u64> = std::collections::BTreeMap::new();
     for seed in 0..64u64 {
         let mut rng = TestRng::new(seed);
         let graph = random_anchor_dag(&mut rng);
         let anchor = graph.node(graph.topo_order()[0]);
         seen.entry(anchor.op).or_insert(seed);
         let out_shape = &graph.value(anchor.outputs[0]).shape;
-        if out_shape.dim(out_shape.rank() - 1) >= 8 {
+        let wide_enough = if anchor.op == OpKind::GlobalAveragePool {
+            out_shape.numel() >= 8
+        } else {
+            out_shape.dim(out_shape.rank() - 1) >= 8
+        };
+        if wide_enough {
             wide.entry(anchor.op).or_insert(seed);
+        }
+        match anchor.op {
+            OpKind::Conv => {
+                conv_ranks.entry(out_shape.rank() - 2).or_insert(seed);
+            }
+            OpKind::MaxPool | OpKind::AveragePool => {
+                pool_ranks.entry(out_shape.rank() - 2).or_insert(seed);
+            }
+            _ => {}
         }
     }
     for op in [
@@ -422,12 +504,34 @@ fn anchor_generator_covers_every_anchor_kind_and_lane_width() {
         OpKind::AveragePool,
         OpKind::GlobalAveragePool,
     ] {
-        assert!(seen.contains_key(&op), "no seed in 0..64 produced a {op} anchor: {seen:?}");
+        assert!(
+            seen.contains_key(&op),
+            "no seed in 0..64 produced a {op} anchor: {seen:?}"
+        );
     }
-    for op in [OpKind::Conv, OpKind::MatMul, OpKind::Gemm] {
+    for op in [
+        OpKind::Conv,
+        OpKind::MatMul,
+        OpKind::Gemm,
+        OpKind::MaxPool,
+        OpKind::AveragePool,
+        OpKind::GlobalAveragePool,
+    ] {
         assert!(
             wide.contains_key(&op),
             "no seed in 0..64 produced a {op} anchor with >= 8-wide output rows: {wide:?}"
+        );
+    }
+    for rank in [1usize, 2, 3] {
+        assert!(
+            conv_ranks.contains_key(&rank),
+            "no seed in 0..64 produced a rank-{rank} Conv anchor: {conv_ranks:?}"
+        );
+    }
+    for rank in [2usize, 3] {
+        assert!(
+            pool_ranks.contains_key(&rank),
+            "no seed in 0..64 produced a rank-{rank} windowed pool anchor: {pool_ranks:?}"
         );
     }
 }
@@ -503,4 +607,3 @@ proptest! {
         }
     }
 }
-

@@ -41,13 +41,31 @@ impl CacheConfig {
     pub fn mobile_cpu(l1: usize, l2: usize, l3: usize) -> Self {
         CacheConfig {
             levels: vec![
-                CacheLevelConfig { size_bytes: l1, line_bytes: 64, associativity: 4 },
-                CacheLevelConfig { size_bytes: l2, line_bytes: 64, associativity: 8 },
-                CacheLevelConfig { size_bytes: l3, line_bytes: 64, associativity: 16 },
+                CacheLevelConfig {
+                    size_bytes: l1,
+                    line_bytes: 64,
+                    associativity: 4,
+                },
+                CacheLevelConfig {
+                    size_bytes: l2,
+                    line_bytes: 64,
+                    associativity: 8,
+                },
+                CacheLevelConfig {
+                    size_bytes: l3,
+                    line_bytes: 64,
+                    associativity: 16,
+                },
             ],
             tlbs: vec![
-                TlbConfig { entries: 48, page_bytes: 4096 },
-                TlbConfig { entries: 1024, page_bytes: 4096 },
+                TlbConfig {
+                    entries: 48,
+                    page_bytes: 4096,
+                },
+                TlbConfig {
+                    entries: 1024,
+                    page_bytes: 4096,
+                },
             ],
         }
     }
@@ -57,8 +75,16 @@ impl CacheConfig {
     pub fn mobile_gpu(l1: usize, l2: usize) -> Self {
         CacheConfig {
             levels: vec![
-                CacheLevelConfig { size_bytes: l1, line_bytes: 64, associativity: 4 },
-                CacheLevelConfig { size_bytes: l2, line_bytes: 64, associativity: 8 },
+                CacheLevelConfig {
+                    size_bytes: l1,
+                    line_bytes: 64,
+                    associativity: 4,
+                },
+                CacheLevelConfig {
+                    size_bytes: l2,
+                    line_bytes: 64,
+                    associativity: 8,
+                },
             ],
             tlbs: Vec::new(),
         }
@@ -102,9 +128,14 @@ struct CacheLevel {
 
 impl CacheLevel {
     fn new(config: CacheLevelConfig) -> Self {
-        let num_sets =
-            (config.size_bytes / config.line_bytes / config.associativity).max(1);
-        CacheLevel { config, sets: vec![Vec::new(); num_sets], accesses: 0, misses: 0, clock: 0 }
+        let num_sets = (config.size_bytes / config.line_bytes / config.associativity).max(1);
+        CacheLevel {
+            config,
+            sets: vec![Vec::new(); num_sets],
+            accesses: 0,
+            misses: 0,
+            clock: 0,
+        }
     }
 
     /// Accesses the line containing `address`; returns `true` on a hit.
@@ -148,7 +179,13 @@ struct TlbLevel {
 
 impl TlbLevel {
     fn new(config: TlbConfig) -> Self {
-        TlbLevel { config, entries: Vec::new(), accesses: 0, misses: 0, clock: 0 }
+        TlbLevel {
+            config,
+            entries: Vec::new(),
+            accesses: 0,
+            misses: 0,
+            clock: 0,
+        }
     }
 
     fn access(&mut self, address: u64) -> bool {
@@ -196,7 +233,11 @@ impl CacheHierarchy {
     /// Simulates an access of `bytes` bytes starting at `address`, walking
     /// the hierarchy line by line: a miss at level *i* probes level *i+1*.
     pub fn access(&mut self, address: u64, bytes: u64) {
-        let line = self.levels.first().map(|l| l.config.line_bytes as u64).unwrap_or(64);
+        let line = self
+            .levels
+            .first()
+            .map(|l| l.config.line_bytes as u64)
+            .unwrap_or(64);
         let mut addr = address;
         let end = address + bytes.max(1);
         while addr < end {
@@ -235,10 +276,21 @@ mod tests {
     fn tiny_config() -> CacheConfig {
         CacheConfig {
             levels: vec![
-                CacheLevelConfig { size_bytes: 1024, line_bytes: 64, associativity: 2 },
-                CacheLevelConfig { size_bytes: 8192, line_bytes: 64, associativity: 4 },
+                CacheLevelConfig {
+                    size_bytes: 1024,
+                    line_bytes: 64,
+                    associativity: 2,
+                },
+                CacheLevelConfig {
+                    size_bytes: 8192,
+                    line_bytes: 64,
+                    associativity: 4,
+                },
             ],
-            tlbs: vec![TlbConfig { entries: 4, page_bytes: 4096 }],
+            tlbs: vec![TlbConfig {
+                entries: 4,
+                page_bytes: 4096,
+            }],
         }
     }
 
@@ -288,7 +340,11 @@ mod tests {
         // Two lines mapping to the same set with associativity 2 plus a third
         // forces an eviction of the least-recently-used one.
         let config = CacheConfig {
-            levels: vec![CacheLevelConfig { size_bytes: 128, line_bytes: 64, associativity: 1 }],
+            levels: vec![CacheLevelConfig {
+                size_bytes: 128,
+                line_bytes: 64,
+                associativity: 1,
+            }],
             tlbs: vec![],
         };
         let mut h = CacheHierarchy::new(&config);

@@ -69,8 +69,7 @@ impl DeviceCostModel {
             1.0
         };
         let efficiency = self.parallel_efficiency(work).max(0.05);
-        let compute_us =
-            work.flops as f64 * penalty / (self.spec.flops_per_us() * efficiency);
+        let compute_us = work.flops as f64 * penalty / (self.spec.flops_per_us() * efficiency);
         let memory_us = self.boundary_bytes(work) as f64 / self.spec.bytes_per_us();
         compute_us.max(memory_us) + self.spec.kernel_launch_us
     }
@@ -138,14 +137,20 @@ mod tests {
     #[test]
     fn compute_bound_kernels_scale_with_flops() {
         let model = DeviceCostModel::new(DeviceSpec::snapdragon_865_cpu());
-        let small = BlockWork { flops: 10_000_000, ..conv_like() };
+        let small = BlockWork {
+            flops: 10_000_000,
+            ..conv_like()
+        };
         assert!(model.kernel_latency_us(&conv_like()) > model.kernel_latency_us(&small));
     }
 
     #[test]
     fn memory_bound_kernels_scale_with_traffic() {
         let model = DeviceCostModel::new(DeviceSpec::snapdragon_865_cpu());
-        let heavy = BlockWork { boundary_elems: 20_000_000, ..elementwise_like() };
+        let heavy = BlockWork {
+            boundary_elems: 20_000_000,
+            ..elementwise_like()
+        };
         assert!(model.kernel_latency_us(&heavy) > model.kernel_latency_us(&elementwise_like()));
     }
 
@@ -175,16 +180,25 @@ mod tests {
         }];
         let cpu_speedup = cpu.model_latency_us(&many) / cpu.model_latency_us(&few);
         let gpu_speedup = gpu.model_latency_us(&many) / gpu.model_latency_us(&few);
-        assert!(gpu_speedup > cpu_speedup, "gpu {gpu_speedup} vs cpu {cpu_speedup}");
+        assert!(
+            gpu_speedup > cpu_speedup,
+            "gpu {gpu_speedup} vs cpu {cpu_speedup}"
+        );
     }
 
     #[test]
     fn access_disruption_penalizes_anchored_kernels_only() {
         let model = DeviceCostModel::new(DeviceSpec::snapdragon_865_cpu());
         let clean = conv_like();
-        let disrupted = BlockWork { access_disrupting_ops: 2, ..conv_like() };
+        let disrupted = BlockWork {
+            access_disrupting_ops: 2,
+            ..conv_like()
+        };
         assert!(model.kernel_latency_us(&disrupted) > model.kernel_latency_us(&clean));
-        let eltwise_disrupted = BlockWork { access_disrupting_ops: 2, ..elementwise_like() };
+        let eltwise_disrupted = BlockWork {
+            access_disrupting_ops: 2,
+            ..elementwise_like()
+        };
         assert!(
             (model.kernel_latency_us(&eltwise_disrupted)
                 - model.kernel_latency_us(&elementwise_like()))
@@ -197,10 +211,20 @@ mod tests {
     fn utilization_increases_with_coarser_kernels() {
         let model = DeviceCostModel::new(DeviceSpec::snapdragon_865_gpu());
         let many: Vec<BlockWork> = (0..100)
-            .map(|_| BlockWork { output_elems: 10_000, flops: 100_000, boundary_elems: 20_000, ..BlockWork::default() })
+            .map(|_| BlockWork {
+                output_elems: 10_000,
+                flops: 100_000,
+                boundary_elems: 20_000,
+                ..BlockWork::default()
+            })
             .collect();
         let few: Vec<BlockWork> = (0..5)
-            .map(|_| BlockWork { output_elems: 200_000, flops: 2_000_000, boundary_elems: 400_000, ..BlockWork::default() })
+            .map(|_| BlockWork {
+                output_elems: 200_000,
+                flops: 2_000_000,
+                boundary_elems: 400_000,
+                ..BlockWork::default()
+            })
             .collect();
         assert!(model.utilization_percent(&few) > model.utilization_percent(&many));
         assert!(model.utilization_percent(&few) <= 100.0);
@@ -210,8 +234,14 @@ mod tests {
     #[test]
     fn small_kernels_underutilize_wide_devices() {
         let model = DeviceCostModel::new(DeviceSpec::snapdragon_865_gpu());
-        let tiny = BlockWork { output_elems: 128, ..elementwise_like() };
-        let big = BlockWork { output_elems: 4_000_000, ..elementwise_like() };
+        let tiny = BlockWork {
+            output_elems: 128,
+            ..elementwise_like()
+        };
+        let big = BlockWork {
+            output_elems: 4_000_000,
+            ..elementwise_like()
+        };
         assert!(model.parallel_efficiency(&tiny) < model.parallel_efficiency(&big));
         assert!(model.parallel_efficiency(&big) <= 1.0);
     }

@@ -190,7 +190,11 @@ impl DeviceSpec {
 
 impl fmt::Display for DeviceSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} [{:.0} GFLOP/s, {:.0} GB/s]", self.name, self.peak_gflops, self.bandwidth_gbs)
+        write!(
+            f,
+            "{} [{:.0} GFLOP/s, {:.0} GB/s]",
+            self.name, self.peak_gflops, self.bandwidth_gbs
+        )
     }
 }
 

@@ -26,7 +26,11 @@ fn all_six_evaluated_devices_are_constructible_and_sane() {
         assert!(!phone.name().is_empty());
         for kind in [DeviceKind::MobileCpu, DeviceKind::MobileGpu] {
             let spec = phone.device(kind);
-            assert!(named.contains(&spec), "{}/{kind:?} not in the named set", phone.name());
+            assert!(
+                named.contains(&spec),
+                "{}/{kind:?} not in the named set",
+                phone.name()
+            );
         }
     }
 }
@@ -76,7 +80,10 @@ fn cost_model_latency_is_monotone_in_work() {
         output_elems: 100,
         ..BlockWork::default()
     };
-    let big = BlockWork { flops: 1_000_000, ..small };
+    let big = BlockWork {
+        flops: 1_000_000,
+        ..small
+    };
     let small_latency = model.kernel_latency_us(&small);
     let big_latency = model.kernel_latency_us(&big);
     assert!(small_latency > 0.0);
@@ -135,7 +142,10 @@ fn counters_accumulate_sums_traffic_and_maxes_peak_memory() {
     a.accumulate(&b);
     assert_eq!(a.kernel_launches, 5);
     assert_eq!(a.flops, 1_500);
-    assert_eq!(a.peak_memory_bytes, 700, "peak memory maxes, it does not sum");
+    assert_eq!(
+        a.peak_memory_bytes, 700,
+        "peak memory maxes, it does not sum"
+    );
     assert!((a.latency_us - 3.5).abs() < 1e-9);
     assert!((a.memory_access_mib() - 2.0).abs() < 1e-9);
     assert!(a.achieved_gflops() > 0.0);

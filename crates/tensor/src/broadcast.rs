@@ -61,7 +61,11 @@ pub fn broadcast_index(output_index: &[usize], input: &Shape) -> Vec<usize> {
     let mut idx = vec![0usize; in_rank];
     for (axis, i) in idx.iter_mut().enumerate() {
         let out_axis = out_rank - in_rank + axis;
-        *i = if input.dim(axis) == 1 { 0 } else { output_index[out_axis] };
+        *i = if input.dim(axis) == 1 {
+            0
+        } else {
+            output_index[out_axis]
+        };
     }
     idx
 }
@@ -99,7 +103,10 @@ mod tests {
 
         let a = Shape::new(vec![8, 1, 6, 1]);
         let b = Shape::new(vec![7, 1, 5]);
-        assert_eq!(broadcast_shapes(&a, &b).unwrap(), Shape::new(vec![8, 7, 6, 5]));
+        assert_eq!(
+            broadcast_shapes(&a, &b).unwrap(),
+            Shape::new(vec![8, 7, 6, 5])
+        );
     }
 
     #[test]

@@ -53,7 +53,10 @@ impl fmt::Display for TensorError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TensorError::LengthMismatch { expected, actual } => {
-                write!(f, "length mismatch: shape expects {expected} elements, got {actual}")
+                write!(
+                    f,
+                    "length mismatch: shape expects {expected} elements, got {actual}"
+                )
             }
             TensorError::BroadcastMismatch { lhs, rhs } => {
                 write!(f, "shapes {lhs:?} and {rhs:?} cannot be broadcast together")
@@ -62,7 +65,10 @@ impl fmt::Display for TensorError {
                 write!(f, "index {index:?} out of bounds for shape {shape:?}")
             }
             TensorError::ReshapeMismatch { from, to } => {
-                write!(f, "cannot reshape {from} elements into a shape with {to} elements")
+                write!(
+                    f,
+                    "cannot reshape {from} elements into a shape with {to} elements"
+                )
             }
             TensorError::InvalidAxis { axis, rank } => {
                 write!(f, "axis {axis} is invalid for rank {rank}")
@@ -82,17 +88,29 @@ mod tests {
 
     #[test]
     fn display_messages_are_lowercase_and_informative() {
-        let e = TensorError::LengthMismatch { expected: 4, actual: 3 };
+        let e = TensorError::LengthMismatch {
+            expected: 4,
+            actual: 3,
+        };
         assert!(e.to_string().contains("length mismatch"));
-        let e = TensorError::BroadcastMismatch { lhs: vec![2], rhs: vec![3] };
+        let e = TensorError::BroadcastMismatch {
+            lhs: vec![2],
+            rhs: vec![3],
+        };
         assert!(e.to_string().contains("broadcast"));
-        let e = TensorError::IndexOutOfBounds { index: vec![5], shape: vec![2] };
+        let e = TensorError::IndexOutOfBounds {
+            index: vec![5],
+            shape: vec![2],
+        };
         assert!(e.to_string().contains("out of bounds"));
         let e = TensorError::ReshapeMismatch { from: 6, to: 8 };
         assert!(e.to_string().contains("reshape"));
         let e = TensorError::InvalidAxis { axis: 3, rank: 2 };
         assert!(e.to_string().contains("axis"));
-        let e = TensorError::InvalidPermutation { perm: vec![0, 0], rank: 2 };
+        let e = TensorError::InvalidPermutation {
+            perm: vec![0, 0],
+            rank: 2,
+        };
         assert!(e.to_string().contains("permutation"));
     }
 

@@ -30,7 +30,13 @@ impl Layout {
     /// All layouts the inter-block optimizer may choose between.
     #[must_use]
     pub fn all() -> &'static [Layout] {
-        &[Layout::RowMajor, Layout::Nchw, Layout::Nhwc, Layout::Ncdhw, Layout::NchwC8]
+        &[
+            Layout::RowMajor,
+            Layout::Nchw,
+            Layout::Nhwc,
+            Layout::Ncdhw,
+            Layout::NchwC8,
+        ]
     }
 
     /// Whether converting between `self` and `other` requires a physical data

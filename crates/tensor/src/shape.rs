@@ -87,9 +87,7 @@ impl Shape {
     /// Returns [`TensorError::IndexOutOfBounds`] if the index rank or any
     /// coordinate is out of bounds.
     pub fn linear_offset(&self, index: &[usize]) -> Result<usize, TensorError> {
-        if index.len() != self.rank()
-            || index.iter().zip(&self.dims).any(|(&i, &d)| i >= d)
-        {
+        if index.len() != self.rank() || index.iter().zip(&self.dims).any(|(&i, &d)| i >= d) {
             return Err(TensorError::IndexOutOfBounds {
                 index: index.to_vec(),
                 shape: self.dims.clone(),
@@ -150,7 +148,10 @@ impl Shape {
     /// Returns [`TensorError::InvalidAxis`] if `axis >= rank`.
     pub fn remove_axis(&self, axis: usize) -> Result<Shape, TensorError> {
         if axis >= self.rank() {
-            return Err(TensorError::InvalidAxis { axis, rank: self.rank() });
+            return Err(TensorError::InvalidAxis {
+                axis,
+                rank: self.rank(),
+            });
         }
         let mut dims = self.dims.clone();
         dims.remove(axis);
@@ -294,7 +295,10 @@ mod tests {
 
     #[test]
     fn display_is_compact() {
-        assert_eq!(Shape::new(vec![1, 3, 224, 224]).to_string(), "[1x3x224x224]");
+        assert_eq!(
+            Shape::new(vec![1, 3, 224, 224]).to_string(),
+            "[1x3x224x224]"
+        );
         assert_eq!(Shape::scalar().to_string(), "[]");
     }
 

@@ -45,27 +45,43 @@ impl Tensor {
                 actual: data.len(),
             });
         }
-        Ok(Tensor { shape, dtype: DataType::F32, data })
+        Ok(Tensor {
+            shape,
+            dtype: DataType::F32,
+            data,
+        })
     }
 
     /// Creates a tensor of zeros.
     #[must_use]
     pub fn zeros(shape: Shape) -> Self {
         let n = shape.numel();
-        Tensor { shape, dtype: DataType::F32, data: vec![0.0; n] }
+        Tensor {
+            shape,
+            dtype: DataType::F32,
+            data: vec![0.0; n],
+        }
     }
 
     /// Creates a tensor with every element set to `value`.
     #[must_use]
     pub fn full(shape: Shape, value: f32) -> Self {
         let n = shape.numel();
-        Tensor { shape, dtype: DataType::F32, data: vec![value; n] }
+        Tensor {
+            shape,
+            dtype: DataType::F32,
+            data: vec![value; n],
+        }
     }
 
     /// Creates a rank-0 tensor holding a single value.
     #[must_use]
     pub fn scalar(value: f32) -> Self {
-        Tensor { shape: Shape::scalar(), dtype: DataType::F32, data: vec![value] }
+        Tensor {
+            shape: Shape::scalar(),
+            dtype: DataType::F32,
+            data: vec![value],
+        }
     }
 
     /// Creates a tensor with uniformly distributed values in `[-1, 1)`,
@@ -76,7 +92,11 @@ impl Tensor {
         let dist = Uniform::new(-1.0f32, 1.0f32);
         let n = shape.numel();
         let data = (0..n).map(|_| dist.sample(&mut rng)).collect();
-        Tensor { shape, dtype: DataType::F32, data }
+        Tensor {
+            shape,
+            dtype: DataType::F32,
+            data,
+        }
     }
 
     /// Creates a tensor whose elements are `0, 1, 2, …` in row-major order.
@@ -85,7 +105,11 @@ impl Tensor {
     pub fn arange(shape: Shape) -> Self {
         let n = shape.numel();
         let data = (0..n).map(|i| i as f32).collect();
-        Tensor { shape, dtype: DataType::F32, data }
+        Tensor {
+            shape,
+            dtype: DataType::F32,
+            data,
+        }
     }
 
     /// The tensor's shape.
@@ -190,8 +214,12 @@ impl Tensor {
         let mut out = Tensor::zeros(out_shape.clone());
         for offset in 0..out_shape.numel() {
             let idx = out_shape.multi_index(offset);
-            let a = self.data[self.shape.linear_offset_unchecked(&broadcast_index(&idx, &self.shape))];
-            let b = other.data[other.shape.linear_offset_unchecked(&broadcast_index(&idx, &other.shape))];
+            let a = self.data[self
+                .shape
+                .linear_offset_unchecked(&broadcast_index(&idx, &self.shape))];
+            let b = other.data[other
+                .shape
+                .linear_offset_unchecked(&broadcast_index(&idx, &other.shape))];
             out.data[offset] = f(a, b);
         }
         Ok(out)
@@ -204,9 +232,16 @@ impl Tensor {
     /// Returns [`TensorError::ReshapeMismatch`] if the element counts differ.
     pub fn reshape(&self, shape: Shape) -> Result<Tensor, TensorError> {
         if shape.numel() != self.numel() {
-            return Err(TensorError::ReshapeMismatch { from: self.numel(), to: shape.numel() });
+            return Err(TensorError::ReshapeMismatch {
+                from: self.numel(),
+                to: shape.numel(),
+            });
         }
-        Ok(Tensor { shape, dtype: self.dtype, data: self.data.clone() })
+        Ok(Tensor {
+            shape,
+            dtype: self.dtype,
+            data: self.data.clone(),
+        })
     }
 
     /// Returns a transposed copy with dimensions permuted by `perm`.
@@ -297,7 +332,11 @@ impl FromIterator<f32> for Tensor {
     fn from_iter<I: IntoIterator<Item = f32>>(iter: I) -> Self {
         let data: Vec<f32> = iter.into_iter().collect();
         let shape = Shape::new(vec![data.len()]);
-        Tensor { shape, dtype: DataType::F32, data }
+        Tensor {
+            shape,
+            dtype: DataType::F32,
+            data,
+        }
     }
 }
 
@@ -314,9 +353,14 @@ mod tests {
     #[test]
     fn zeros_full_scalar_arange() {
         assert!(Tensor::zeros(Shape::new(vec![3])).iter().all(|&x| x == 0.0));
-        assert!(Tensor::full(Shape::new(vec![3]), 7.0).iter().all(|&x| x == 7.0));
+        assert!(Tensor::full(Shape::new(vec![3]), 7.0)
+            .iter()
+            .all(|&x| x == 7.0));
         assert_eq!(Tensor::scalar(5.0).numel(), 1);
-        assert_eq!(Tensor::arange(Shape::new(vec![2, 2])).data(), &[0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(
+            Tensor::arange(Shape::new(vec![2, 2])).data(),
+            &[0.0, 1.0, 2.0, 3.0]
+        );
     }
 
     #[test]
@@ -364,13 +408,17 @@ mod tests {
     #[test]
     fn reshape_checks_element_count() {
         let t = Tensor::arange(Shape::new(vec![2, 3]));
-        assert_eq!(t.reshape(Shape::new(vec![3, 2])).unwrap().shape().dims(), &[3, 2]);
+        assert_eq!(
+            t.reshape(Shape::new(vec![3, 2])).unwrap().shape().dims(),
+            &[3, 2]
+        );
         assert!(t.reshape(Shape::new(vec![4, 2])).is_err());
     }
 
     #[test]
     fn transpose_2d_matches_manual() {
-        let t = Tensor::from_vec(Shape::new(vec![2, 3]), vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let t =
+            Tensor::from_vec(Shape::new(vec![2, 3]), vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
         let tt = t.transpose(&[1, 0]).unwrap();
         assert_eq!(tt.shape().dims(), &[3, 2]);
         assert_eq!(tt.data(), &[1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
@@ -379,7 +427,11 @@ mod tests {
     #[test]
     fn transpose_then_transpose_is_identity() {
         let t = Tensor::random(Shape::new(vec![2, 3, 4]), 7);
-        let back = t.transpose(&[2, 0, 1]).unwrap().transpose(&[1, 2, 0]).unwrap();
+        let back = t
+            .transpose(&[2, 0, 1])
+            .unwrap()
+            .transpose(&[1, 2, 0])
+            .unwrap();
         assert_eq!(back, t);
     }
 
@@ -396,11 +448,15 @@ mod tests {
     fn first_disagreement_checks_tolerance_and_nonfinite_classes() {
         let shape = Shape::new(vec![4]);
         let a = Tensor::from_vec(shape.clone(), vec![1.0, f32::NAN, f32::INFINITY, -1.0]).unwrap();
-        let close =
-            Tensor::from_vec(shape.clone(), vec![1.0 + 1e-7, f32::NAN, f32::INFINITY, -1.0]).unwrap();
+        let close = Tensor::from_vec(
+            shape.clone(),
+            vec![1.0 + 1e-7, f32::NAN, f32::INFINITY, -1.0],
+        )
+        .unwrap();
         assert_eq!(a.first_disagreement(&close, 1e-5), None);
         // Tolerance violations are reported at their offset.
-        let off = Tensor::from_vec(shape.clone(), vec![1.0, f32::NAN, f32::INFINITY, -2.0]).unwrap();
+        let off =
+            Tensor::from_vec(shape.clone(), vec![1.0, f32::NAN, f32::INFINITY, -2.0]).unwrap();
         assert_eq!(a.first_disagreement(&off, 1e-5), Some(3));
         // Non-finite classes must match: inf vs NaN and +inf vs -inf fail.
         let wrong_class =
@@ -410,7 +466,10 @@ mod tests {
             Tensor::from_vec(shape, vec![1.0, f32::INFINITY, f32::INFINITY, -1.0]).unwrap();
         assert_eq!(a.first_disagreement(&nan_vs_inf, 1e-5), Some(1));
         // Shape mismatch reports offset 0.
-        assert_eq!(a.first_disagreement(&Tensor::zeros(Shape::new(vec![2])), 1e-5), Some(0));
+        assert_eq!(
+            a.first_disagreement(&Tensor::zeros(Shape::new(vec![2])), 1e-5),
+            Some(0)
+        );
     }
 
     #[test]

@@ -50,15 +50,25 @@ fn main() -> Result<(), Box<dyn Error>> {
             FusionVerdict::Profile => "yellow",
             FusionVerdict::Break => "red",
         };
-        println!("  {first} + {second} -> {} ({verdict})", decision.fused_type);
+        println!(
+            "  {first} + {second} -> {} ({verdict})",
+            decision.fused_type
+        );
     }
 
     // Phase 1: graph rewriting.
     let engine = RewriteEngine::with_default_rules();
     let (rewritten, applied) = engine.run(&graph);
-    println!("\ngraph rewriting: {} -> {} operators", graph.node_count(), rewritten.node_count());
+    println!(
+        "\ngraph rewriting: {} -> {} operators",
+        graph.node_count(),
+        rewritten.node_count()
+    );
     for rewrite in &applied {
-        println!("  applied {} ({:?}): saved {} FLOPs", rewrite.rule, rewrite.category, rewrite.flops_saved);
+        println!(
+            "  applied {} ({:?}): saved {} FLOPs",
+            rewrite.rule, rewrite.category, rewrite.flops_saved
+        );
     }
 
     // Phase 2: ECG + fusion plan.
@@ -91,6 +101,9 @@ fn main() -> Result<(), Box<dyn Error>> {
         );
         print!("{}", fused.source);
     }
-    println!("\nprofiling database now holds {} entries for future compilations", db.len());
+    println!(
+        "\nprofiling database now holds {} entries for future compilations",
+        db.len()
+    );
     Ok(())
 }

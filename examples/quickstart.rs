@@ -29,11 +29,18 @@ fn main() -> Result<(), Box<dyn Error>> {
     let relu = graph.add_op(OpKind::Relu, Attrs::new(), &[biased], "relu")?[0];
     let pool = graph.add_op(
         OpKind::MaxPool,
-        Attrs::new().with_ints("kernel_shape", vec![2, 2]).with_ints("strides", vec![2, 2]),
+        Attrs::new()
+            .with_ints("kernel_shape", vec![2, 2])
+            .with_ints("strides", vec![2, 2]),
         &[relu],
         "pool",
     )?[0];
-    let flat = graph.add_op(OpKind::Flatten, Attrs::new().with_int("axis", 1), &[pool], "flatten")?[0];
+    let flat = graph.add_op(
+        OpKind::Flatten,
+        Attrs::new().with_int("axis", 1),
+        &[pool],
+        "flatten",
+    )?[0];
     let fc_w = graph.add_weight("fc.w", Shape::new(vec![512, 10]));
     let logits = graph.add_op(OpKind::MatMul, Attrs::new(), &[flat, fc_w], "fc")?[0];
     let probs = graph.add_op(OpKind::Softmax, Attrs::new(), &[logits], "softmax")?[0];
@@ -54,13 +61,19 @@ fn main() -> Result<(), Box<dyn Error>> {
     for fused in &compiled.fused_ops {
         println!("  block {} = {}", fused.block_id, fused.name);
     }
-    println!("\ngenerated pseudo-code for the first fused operator:\n{}", compiled.fused_ops[0].source);
+    println!(
+        "\ngenerated pseudo-code for the first fused operator:\n{}",
+        compiled.fused_ops[0].source
+    );
 
     // 3. Execute fused and unfused on a simulated Snapdragon 865 CPU and
     //    check the outputs agree.
     let executor = Executor::new(DeviceSpec::snapdragon_865_cpu());
-    let inputs: HashMap<String, Tensor> =
-        [("image".to_string(), Tensor::random(Shape::new(vec![1, 3, 16, 16]), 42))].into();
+    let inputs: HashMap<String, Tensor> = [(
+        "image".to_string(),
+        Tensor::random(Shape::new(vec![1, 3, 16, 16]), 42),
+    )]
+    .into();
     let unfused = executor.run_unfused(&graph, &inputs)?;
     let fused = executor.run_compiled(&compiled, &inputs)?;
     assert!(unfused.outputs[0].allclose(&fused.outputs[0], 1e-4));

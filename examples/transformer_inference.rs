@@ -36,17 +36,27 @@ fn main() -> Result<(), Box<dyn Error>> {
         "fused layer count: TFLite-style {} vs DNNFusion {} ({}x vs {}x fusion rate)",
         tflite_plan.fused_layer_count(),
         compiled.stats.fused_layers,
-        format_args!("{:.1}", graph.node_count() as f64 / tflite_plan.fused_layer_count() as f64),
+        format_args!(
+            "{:.1}",
+            graph.node_count() as f64 / tflite_plan.fused_layer_count() as f64
+        ),
         format_args!("{:.1}", compiled.stats.fusion_rate()),
     );
     println!(
         "graph rewriting applied {} rewrites ({} FLOPs saved), e.g. the LayerNorm chains",
         compiled.stats.rewrites.len(),
-        compiled.stats.original_flops.saturating_sub(compiled.stats.optimized_flops),
+        compiled
+            .stats
+            .original_flops
+            .saturating_sub(compiled.stats.optimized_flops),
     );
 
     // Show the largest fused operator DNNFusion created.
-    let biggest = compiled.fused_ops.iter().max_by_key(|f| f.fused_op_count()).expect("non-empty");
+    let biggest = compiled
+        .fused_ops
+        .iter()
+        .max_by_key(|f| f.fused_op_count())
+        .expect("non-empty");
     println!(
         "\nlargest fused operator folds {} operators ({} mapping): {}",
         biggest.fused_op_count(),

@@ -48,11 +48,19 @@ fn inputs_for(graph: &Graph, seed: u64) -> HashMap<String, Tensor> {
 fn executor_with_threads(threads: usize) -> Executor {
     Executor::new(DeviceSpec::snapdragon_865_cpu())
         .without_cache_simulation()
-        .with_options(ExecOptions { num_threads: threads, min_parallel_work: 0, ..ExecOptions::serial() })
+        .with_options(ExecOptions {
+            num_threads: threads,
+            min_parallel_work: 0,
+            ..ExecOptions::serial()
+        })
 }
 
 fn assert_bit_identical(kind: ModelKind, context: &str, baseline: &[Tensor], run: &[Tensor]) {
-    assert_eq!(baseline.len(), run.len(), "{kind}: output arity changed ({context})");
+    assert_eq!(
+        baseline.len(),
+        run.len(),
+        "{kind}: output arity changed ({context})"
+    );
     for (i, (a, b)) in baseline.iter().zip(run).enumerate() {
         assert_eq!(
             a.first_disagreement(b, 0.0),
@@ -70,8 +78,10 @@ fn every_model_is_bit_deterministic_across_runs_and_thread_counts() {
         let mut compiler = Compiler::new(CompilerOptions::default());
         let compiled = compiler.compile(&graph).unwrap();
 
-        let baseline =
-            executor_with_threads(1).run_compiled(&compiled, &inputs).unwrap().outputs;
+        let baseline = executor_with_threads(1)
+            .run_compiled(&compiled, &inputs)
+            .unwrap()
+            .outputs;
         for threads in [1usize, 2, 8] {
             let executor = executor_with_threads(threads);
             for run in 0..2 {

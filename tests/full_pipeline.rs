@@ -85,7 +85,12 @@ fn full_compiler_pipeline_preserves_results_on_representative_models() {
     // a practical tolerance. One representative model per family keeps this
     // case from duplicating the all-builders golden test above.
     let executor = Executor::new(DeviceSpec::snapdragon_865_cpu()).without_cache_simulation();
-    for kind in [ModelKind::Vgg16, ModelKind::C3d, ModelKind::TinyBert, ModelKind::FasterRcnn] {
+    for kind in [
+        ModelKind::Vgg16,
+        ModelKind::C3d,
+        ModelKind::TinyBert,
+        ModelKind::FasterRcnn,
+    ] {
         let graph = kind.build(ModelScale::tiny()).unwrap();
         let inputs = inputs_for(&graph, 7);
         let unfused = executor.run_unfused(&graph, &inputs).unwrap();
@@ -131,16 +136,26 @@ fn dnnfusion_fuses_at_least_as_much_as_every_fixed_pattern_baseline() {
 #[test]
 fn fusion_reduces_intermediate_results_latency_and_launches() {
     let executor = Executor::new(Phone::GalaxyS20.device(DeviceKind::MobileGpu));
-    for kind in [ModelKind::EfficientNetB0, ModelKind::DistilBert, ModelKind::UNet] {
+    for kind in [
+        ModelKind::EfficientNetB0,
+        ModelKind::DistilBert,
+        ModelKind::UNet,
+    ] {
         let graph = kind.build(ModelScale::tiny()).unwrap();
         let mut compiler = Compiler::new(CompilerOptions::default());
         let compiled = compiler.compile(&graph).unwrap();
         let (unfused, _) = executor.estimate_unfused(&graph);
         let (fused, _) = executor.estimate_plan(compiled.graph(), &compiled.plan);
         assert!(fused.kernel_launches < unfused.kernel_launches, "{kind}");
-        assert!(fused.memory_access_bytes < unfused.memory_access_bytes, "{kind}");
+        assert!(
+            fused.memory_access_bytes < unfused.memory_access_bytes,
+            "{kind}"
+        );
         assert!(fused.latency_us < unfused.latency_us, "{kind}");
-        assert!(compiled.stats.fused_irs_bytes < compiled.stats.original_irs_bytes, "{kind}");
+        assert!(
+            compiled.stats.fused_irs_bytes < compiled.stats.original_irs_bytes,
+            "{kind}"
+        );
     }
 }
 
@@ -175,7 +190,10 @@ fn every_baseline_plan_executes_correctly_on_a_cnn() {
     for framework in BaselineFramework::all() {
         let plan = PatternFuser::for_framework(*framework).plan(&ecg).unwrap();
         let report = executor.run_plan(&graph, &plan, &inputs).unwrap();
-        assert!(reference.outputs[0].allclose(&report.outputs[0], 1e-4), "{framework}");
+        assert!(
+            reference.outputs[0].allclose(&report.outputs[0], 1e-4),
+            "{framework}"
+        );
     }
 }
 

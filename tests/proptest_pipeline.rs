@@ -30,10 +30,19 @@ fn random_graph(ops: &[u8], with_conv: bool) -> Graph {
     let mut residual = input;
     for (i, &op_idx) in ops.iter().enumerate() {
         let op = unaries[op_idx as usize % unaries.len()];
-        current = g.add_op(op, Attrs::new(), &[current], format!("u{i}")).unwrap()[0];
+        current = g
+            .add_op(op, Attrs::new(), &[current], format!("u{i}"))
+            .unwrap()[0];
         if op_idx % 4 == 0 {
             // Residual connection back to an earlier value.
-            current = g.add_op(OpKind::Add, Attrs::new(), &[current, residual], format!("res{i}")).unwrap()[0];
+            current = g
+                .add_op(
+                    OpKind::Add,
+                    Attrs::new(),
+                    &[current, residual],
+                    format!("res{i}"),
+                )
+                .unwrap()[0];
             residual = current;
         }
         if with_conv && i == ops.len() / 2 {

@@ -29,13 +29,17 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// Creates an id like `"{name}/{parameter}"`.
     pub fn new(name: impl Display, parameter: impl Display) -> Self {
-        BenchmarkId { label: format!("{name}/{parameter}") }
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
     }
 }
 
 impl From<&str> for BenchmarkId {
     fn from(s: &str) -> Self {
-        BenchmarkId { label: s.to_owned() }
+        BenchmarkId {
+            label: s.to_owned(),
+        }
     }
 }
 
@@ -54,7 +58,10 @@ pub struct Bencher {
 
 impl Bencher {
     fn new(sample_count: usize) -> Self {
-        Bencher { samples: Vec::with_capacity(sample_count), sample_count }
+        Bencher {
+            samples: Vec::with_capacity(sample_count),
+            sample_count,
+        }
     }
 
     /// Runs `routine` once for warm-up, then `sample_count` timed times.
@@ -138,7 +145,11 @@ pub struct Criterion {}
 impl Criterion {
     /// Starts a named benchmark group.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { name: name.into(), sample_size: 10, _criterion: self }
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            _criterion: self,
+        }
     }
 
     /// Benchmarks a standalone function outside any group.

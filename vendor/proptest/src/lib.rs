@@ -25,12 +25,12 @@ use std::path::{Path, PathBuf};
 
 pub mod prelude {
     //! One-stop import mirroring `proptest::prelude`.
+    /// Alias of the crate root so `prop::collection::vec(..)` resolves.
+    pub use crate as prop;
     pub use crate::{
         any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, Just,
         ProptestConfig, Strategy, TestRng,
     };
-    /// Alias of the crate root so `prop::collection::vec(..)` resolves.
-    pub use crate as prop;
 }
 
 pub mod collection {
@@ -72,7 +72,9 @@ impl TestRng {
     /// Creates a generator for one test case from `seed`.
     #[must_use]
     pub fn new(seed: u64) -> Self {
-        TestRng { state: seed ^ 0x5DEE_CE66_D1CE_CAFE }
+        TestRng {
+            state: seed ^ 0x5DEE_CE66_D1CE_CAFE,
+        }
     }
 
     /// Returns the next 64 random bits (SplitMix64).
@@ -189,7 +191,9 @@ pub struct AnyStrategy<T> {
 /// Canonical strategy for `T`, mirroring `proptest::prelude::any`.
 #[must_use]
 pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
-    AnyStrategy { _marker: std::marker::PhantomData }
+    AnyStrategy {
+        _marker: std::marker::PhantomData,
+    }
 }
 
 impl<T: Arbitrary> Strategy for AnyStrategy<T> {
@@ -238,7 +242,9 @@ fn regression_path(manifest_dir: &str, source_file: &str) -> PathBuf {
         .file_stem()
         .map(|s| s.to_string_lossy().into_owned())
         .unwrap_or_else(|| "unknown".to_owned());
-    Path::new(manifest_dir).join("proptest-regressions").join(format!("{stem}.txt"))
+    Path::new(manifest_dir)
+        .join("proptest-regressions")
+        .join(format!("{stem}.txt"))
 }
 
 fn regression_seeds(path: &Path) -> Vec<u64> {
@@ -276,10 +282,10 @@ pub fn run_test<F: FnMut(&mut TestRng)>(
     let persisted = regression_seeds(&reg_path);
     let base = fnv1a(format!("{source_file}::{test_name}").as_bytes());
 
-    let seeds = persisted
-        .iter()
-        .copied()
-        .chain((0..config.cases).map(|i| base.wrapping_add(u64::from(i).wrapping_mul(0x9E37_79B9_7F4A_7C15))));
+    let seeds = persisted.iter().copied().chain(
+        (0..config.cases)
+            .map(|i| base.wrapping_add(u64::from(i).wrapping_mul(0x9E37_79B9_7F4A_7C15))),
+    );
 
     for (case, seed) in seeds.enumerate() {
         let mut rng = TestRng::new(seed);
@@ -396,7 +402,10 @@ mod tests {
     #[test]
     fn missing_regression_file_yields_no_seeds() {
         let path = super::regression_path("/nonexistent-dir", "tests/foo.rs");
-        assert_eq!(path, std::path::Path::new("/nonexistent-dir/proptest-regressions/foo.txt"));
+        assert_eq!(
+            path,
+            std::path::Path::new("/nonexistent-dir/proptest-regressions/foo.txt")
+        );
         assert!(super::regression_seeds(&path).is_empty());
     }
 
