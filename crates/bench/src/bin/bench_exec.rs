@@ -1,7 +1,7 @@
 //! Wall-clock regression harness for the fused-block execution engine.
 //!
 //! Times the configurations below per model and writes the medians to
-//! `BENCH_exec.json` (schema `dnnf-bench-exec/v4`), so future PRs can track
+//! `BENCH_exec.json` (schema `dnnf-bench-exec/v5`), so future PRs can track
 //! the execution-engine trajectory the same way the `table*`/`fig*` binaries
 //! track the paper's counter metrics:
 //!
@@ -29,9 +29,21 @@
 //!   in [`THREAD_COUNTS`] (production work gate, so tiny kernels stay
 //!   serial); `parallel_speedup` is `fused_ms` over the highest thread
 //!   count's median.
+//! * `compile_ms` / `warm_compile_ms` — the compilation-cache pair:
+//!   `compile_ms` is a full cold compile (fresh `Compiler`, no cache) —
+//!   rewriting, profile-driven plan search, code generation — while
+//!   `warm_compile_ms` is the same request through a primed `PlanCache`:
+//!   fingerprint + shape-signature keying and the in-memory hit (an `Arc`
+//!   clone of the compiled model), i.e. what every compile after the first
+//!   costs in a serving process; `warm_compile_speedup` is their ratio.
+//!   The hit is microsecond-scale, so each sample averages an inner loop
+//!   of [`WARM_COMPILE_ITERS`] hits. The cross-process disk tier (seed
+//!   replay: plan search skipped, codegen re-run) is exercised and timed
+//!   by the `warm_start` binary in CI instead.
 //!
 //! Regression gates are **data-driven** per model and per metric (see
-//! [`SPEEDUP_FLOORS`] / [`PARALLEL_FLOORS`] / [`SIMD_FLOORS`]). Every floor
+//! [`SPEEDUP_FLOORS`] / [`PARALLEL_FLOORS`] / [`SIMD_FLOORS`] /
+//! [`WARM_COMPILE_FLOORS`]). Every floor
 //! is explicitly reported as **armed** or **skipped** (with the host-side
 //! reason — core count for the parallel floors, compile-target vector width
 //! for the SIMD floors), and the armed/skipped status is recorded in the
@@ -47,7 +59,7 @@ use dnnf_core::{compile_plan, Compiler, CompilerOptions, Ecg, FusionPlan};
 use dnnf_graph::Graph;
 use dnnf_models::{ModelKind, ModelScale};
 use dnnf_ops::simd::detected_simd_width;
-use dnnf_runtime::{ExecOptions, Executor, WorkPool};
+use dnnf_runtime::{CacheOutcome, ExecOptions, Executor, PlanCache, WorkPool};
 use dnnf_simdev::DeviceSpec;
 use dnnf_tensor::Tensor;
 
@@ -76,6 +88,16 @@ const PARALLEL_FLOORS: [(&str, f64); 3] = [("VGG-16", 2.5), ("TinyBERT", 0.75), 
 /// lane-blocked; TinyBERT is MatMul-dominated with small rows, so its floor
 /// only guards against regression.
 const SIMD_FLOORS: [(&str, f64); 3] = [("VGG-16", 1.3), ("TinyBERT", 1.05), ("C3D", 1.3)];
+
+/// Per-sample inner iterations for `warm_compile_ms`: a memory hit is a
+/// microsecond-scale lookup, far below one `Instant` quantum of noise.
+const WARM_COMPILE_ITERS: usize = 16;
+
+/// Minimum `warm_compile_speedup` (cold compile vs primed-cache hit), per
+/// model. Always armed: the hit path does no rewriting, no plan search and
+/// no code generation, a structural saving that does not depend on host
+/// core count or vector width.
+const WARM_COMPILE_FLOORS: [(&str, f64); 3] = [("VGG-16", 5.0), ("TinyBERT", 5.0), ("C3D", 5.0)];
 
 fn inputs_for(graph: &Graph) -> HashMap<String, Tensor> {
     graph
@@ -121,6 +143,10 @@ struct Row {
     repeat_run_ms: f64,
     /// Median fused wall-clock per thread count, in [`THREAD_COUNTS`] order.
     thread_scaling: Vec<(usize, f64)>,
+    /// Full cold compilation: fresh compiler, no cache.
+    compile_ms: f64,
+    /// Warm-start compilation: plan-seed replay through the [`PlanCache`].
+    warm_compile_ms: f64,
     kernel_launches_unfused: u64,
     kernel_launches_fused: u64,
 }
@@ -154,6 +180,11 @@ impl Row {
     /// Per-run weight materialization vs the warm cross-run weight cache.
     fn weight_cache_speedup(&self) -> f64 {
         self.uncached_run_ms / self.repeat_run_ms
+    }
+
+    /// Cold compilation vs the plan-cache warm start (seed replay).
+    fn warm_compile_speedup(&self) -> f64 {
+        self.compile_ms / self.warm_compile_ms
     }
 }
 
@@ -241,6 +272,30 @@ fn main() {
                 .expect("cached repeat runs");
         }));
 
+        // The compilation-cache pair. Cold: a fresh compiler per run, so no
+        // state (profile hits, caches) carries over between samples. Warm:
+        // the same request through a primed cache — every sample must be a
+        // memory hit (key computation + lookup + `Arc` clone), averaged
+        // over an inner loop because one hit sits below timer noise.
+        let compile_ms = median_ms(time_ms(|| {
+            let mut cold = Compiler::new(CompilerOptions::default());
+            cold.compile(&graph).expect("model compiles");
+        }));
+        let plan_cache = PlanCache::new();
+        let mut cached_compiler = Compiler::new(CompilerOptions::default());
+        let (_, outcome) = plan_cache
+            .compile_cached(&mut cached_compiler, &graph)
+            .expect("model compiles");
+        assert_eq!(outcome, CacheOutcome::Miss);
+        let warm_compile_ms = median_ms(time_ms(|| {
+            for _ in 0..WARM_COMPILE_ITERS {
+                let (_, outcome) = plan_cache
+                    .compile_cached(&mut cached_compiler, &graph)
+                    .expect("model compiles");
+                assert_eq!(outcome, CacheOutcome::MemoryHit, "warm start must hit");
+            }
+        })) / WARM_COMPILE_ITERS as f64;
+
         rows.push(Row {
             model: kind.name(),
             unfused_ms,
@@ -250,6 +305,8 @@ fn main() {
             uncached_run_ms,
             repeat_run_ms,
             thread_scaling,
+            compile_ms,
+            warm_compile_ms,
             kernel_launches_unfused: unfused_report.counters.kernel_launches,
             kernel_launches_fused: fused_report.counters.kernel_launches,
         });
@@ -301,6 +358,13 @@ fn main() {
             .map(|(t, ms)| format!("{t}t: {ms:.3} ms"))
             .collect();
         println!("{:<16} {}", "", scaling.join("  "));
+        println!(
+            "{:<16} compile: {:.3} ms  warm start: {:.3} ms  ({:.1}x)",
+            "",
+            row.compile_ms,
+            row.warm_compile_ms,
+            row.warm_compile_speedup()
+        );
     }
 
     // Assemble every floor with its measured value and armed/skipped status
@@ -348,6 +412,15 @@ fn main() {
             skipped,
         });
     }
+    for (model, floor) in WARM_COMPILE_FLOORS {
+        floors.push(FloorReport {
+            model,
+            metric: "warm_compile_speedup",
+            floor,
+            value: row_of(model).warm_compile_speedup(),
+            skipped: None,
+        });
+    }
 
     println!("\nRegression floors:");
     for f in &floors {
@@ -364,7 +437,7 @@ fn main() {
     }
 
     let mut json = String::from("{\n");
-    json.push_str("  \"schema\": \"dnnf-bench-exec/v4\",\n");
+    json.push_str("  \"schema\": \"dnnf-bench-exec/v5\",\n");
     json.push_str(&format!("  \"runs_per_config\": {RUNS},\n"));
     json.push_str("  \"scale\": \"tiny\",\n");
     json.push_str(&format!("  \"host_parallelism\": {host_parallelism},\n"));
@@ -379,8 +452,10 @@ fn main() {
         json.push_str(&format!(
             "    {{\"model\": \"{}\", \"unfused_ms\": {:.3}, \"engine_unfused_ms\": {:.3}, \
              \"fused_ms\": {:.3}, \"scalar_fused_ms\": {:.3}, \"uncached_run_ms\": {:.3}, \
-             \"repeat_run_ms\": {:.3}, \"speedup\": {:.2}, \"fusion_only_speedup\": {:.2}, \
+             \"repeat_run_ms\": {:.3}, \"compile_ms\": {:.3}, \"warm_compile_ms\": {:.3}, \
+             \"speedup\": {:.2}, \"fusion_only_speedup\": {:.2}, \
              \"simd_speedup\": {:.2}, \"weight_cache_speedup\": {:.2}, \
+             \"warm_compile_speedup\": {:.2}, \
              \"parallel_speedup\": {:.2}, \"thread_scaling\": [{}], \
              \"kernel_launches_unfused\": {}, \"kernel_launches_fused\": {}}}{}\n",
             row.model,
@@ -390,10 +465,13 @@ fn main() {
             row.scalar_fused_ms,
             row.uncached_run_ms,
             row.repeat_run_ms,
+            row.compile_ms,
+            row.warm_compile_ms,
             row.speedup(),
             row.fusion_only_speedup(),
             row.simd_speedup(),
             row.weight_cache_speedup(),
+            row.warm_compile_speedup(),
             row.parallel_speedup(),
             scaling.join(", "),
             row.kernel_launches_unfused,

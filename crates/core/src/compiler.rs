@@ -7,10 +7,10 @@
 //! reproduces the optimization-breakdown experiment (Figure 7) and the
 //! compilation-time experiment (Figure 9b).
 
-use std::any::Any;
+use std::any::{Any, TypeId};
 use std::collections::BTreeMap;
 use std::fmt;
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use dnnf_graph::Graph;
@@ -96,6 +96,25 @@ impl CompilerOptions {
             ..Default::default()
         }
     }
+
+    /// A stable, human-readable encoding of every option that can change
+    /// what [`Compiler::compile`] produces. Two option sets with equal cache
+    /// keys compile any given graph to the same plan; the runtime's
+    /// compilation cache uses this string as the options component of its
+    /// `(fingerprint, shape signature, options)` key.
+    #[must_use]
+    pub fn cache_key(&self) -> String {
+        format!(
+            "gr={};fuse={};intra={};inter={};max_block_ops={};max_external_inputs={};use_profile={}",
+            u8::from(self.enable_graph_rewriting),
+            u8::from(self.enable_fusion),
+            u8::from(self.enable_intra_block_opt),
+            u8::from(self.enable_inter_block_opt),
+            self.plan.max_block_ops,
+            self.plan.max_external_inputs,
+            u8::from(self.plan.use_profile),
+        )
+    }
 }
 
 /// Statistics collected during one compilation.
@@ -171,54 +190,59 @@ impl CompilationStats {
     }
 }
 
-/// An opaque, lazily initialized cache slot where the runtime attaches
-/// per-model derived state (today: the materialized weight store of
-/// `dnnf-runtime`).
+/// An opaque, lazily initialized cache where the runtime attaches per-model
+/// derived state (the materialized weight store of `dnnf-runtime`, the plan
+/// cache's bookkeeping, …).
 ///
 /// The slot lives on [`CompiledModel`] so the cached state has exactly the
-/// model's lifetime: it is built at most once (`OnceLock`), shared by clones
-/// of the model and by concurrent executors (`Arc`), and dropped with the
-/// last model handle. It is deliberately untyped (`dyn Any`) so `dnnf-core`
-/// stays independent of the crates layered above it. Equality ignores the
-/// slot — caches are derived state, not part of a model's semantic identity.
+/// model's lifetime: it is shared by clones of the model and by concurrent
+/// executors (`Arc`), and dropped with the last model handle. It is
+/// deliberately untyped (`dyn Any`) so `dnnf-core` stays independent of the
+/// crates layered above it, and it holds one entry **per consumer type**
+/// (keyed by [`TypeId`]), so independent consumers — say a weight store and
+/// a serving layer's own state — can share one model without trampling each
+/// other. Equality ignores the slot — caches are derived state, not part of
+/// a model's semantic identity.
 #[derive(Clone, Default)]
-pub struct RuntimeCacheSlot(Arc<OnceLock<Arc<dyn Any + Send + Sync>>>);
+pub struct RuntimeCacheSlot(Arc<Mutex<BTreeMap<TypeId, Arc<dyn Any + Send + Sync>>>>);
 
 impl RuntimeCacheSlot {
-    /// Returns the cached value, initializing it on first call. Every later
-    /// call — from any thread, on any clone of the owning model — returns
-    /// the same `Arc` (pointer-identical); concurrent first calls race
-    /// safely and exactly one `init` result is kept.
-    ///
-    /// # Panics
-    ///
-    /// Panics when a previous caller initialized the slot with a different
-    /// type: one cache consumer per model.
+    /// Returns the cached value of type `T`, initializing it on first call.
+    /// Every later call for the same `T` — from any thread, on any clone of
+    /// the owning model — returns the same `Arc` (pointer-identical);
+    /// concurrent first calls race safely and exactly one `init` result is
+    /// kept. Calls for a *different* type get their own independent entry.
     pub fn get_or_init<T: Send + Sync + 'static>(&self, init: impl FnOnce() -> T) -> Arc<T> {
-        let entry = self
-            .0
-            .get_or_init(|| Arc::new(init()) as Arc<dyn Any + Send + Sync>);
+        let key = TypeId::of::<T>();
+        if let Some(existing) = self.0.lock().expect("cache slot lock").get(&key) {
+            return Arc::clone(existing)
+                .downcast::<T>()
+                .expect("cache entry is keyed by its own TypeId");
+        }
+        // Build the candidate outside the lock: a slow init must not block
+        // other consumer types, and an init that itself touches the slot
+        // must not deadlock. If another thread won the race meanwhile, its
+        // value is kept and ours is dropped (same "exactly one init result
+        // survives" semantics the old OnceLock gave a single type).
+        let candidate: Arc<dyn Any + Send + Sync> = Arc::new(init());
+        let mut map = self.0.lock().expect("cache slot lock");
+        let entry = map.entry(key).or_insert(candidate);
         Arc::clone(entry)
             .downcast::<T>()
-            .expect("runtime cache slot holds one type per model")
+            .expect("cache entry is keyed by its own TypeId")
     }
 
-    /// Whether the slot has been initialized.
+    /// Whether any consumer has initialized an entry.
     #[must_use]
     pub fn is_initialized(&self) -> bool {
-        self.0.get().is_some()
+        !self.0.lock().expect("cache slot lock").is_empty()
     }
 }
 
 impl fmt::Debug for RuntimeCacheSlot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_tuple("RuntimeCacheSlot")
-            .field(&if self.is_initialized() {
-                "initialized"
-            } else {
-                "empty"
-            })
-            .finish()
+        let entries = self.0.lock().expect("cache slot lock").len();
+        f.debug_tuple("RuntimeCacheSlot").field(&entries).finish()
     }
 }
 
@@ -333,6 +357,39 @@ impl<L: LatencyModel> Compiler<L> {
     /// Returns an error if the input graph is invalid or a pipeline
     /// invariant is violated.
     pub fn compile(&mut self, graph: &Graph) -> Result<CompiledModel, CoreError> {
+        self.compile_inner(graph, None)
+    }
+
+    /// Compiles a model graph replaying a previously discovered fusion plan:
+    /// phase 2's exploration is replaced by [`FusionPlan::from_blocks`] over
+    /// `groups` (node-index groups on the *rewritten* graph). This is the
+    /// warm-start path of the runtime's on-disk plan cache — rewriting is
+    /// deterministic, so node indices recorded after one compilation's
+    /// rewrite phase address the same operators after the next.
+    ///
+    /// Correctness never depends on the groups being *good*:
+    /// `from_blocks` validates that they form a partition and that the
+    /// fused block graph stays acyclic, and rejects them otherwise — a
+    /// stale or corrupted plan produces an error (and a cold recompile at
+    /// the caller), never a wrong program.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the graph is invalid or the groups do not form a
+    /// valid partition of the rewritten graph's nodes.
+    pub fn compile_with_blocks(
+        &mut self,
+        graph: &Graph,
+        groups: Vec<Vec<dnnf_graph::NodeId>>,
+    ) -> Result<CompiledModel, CoreError> {
+        self.compile_inner(graph, Some(groups))
+    }
+
+    fn compile_inner(
+        &mut self,
+        graph: &Graph,
+        replay: Option<Vec<Vec<dnnf_graph::NodeId>>>,
+    ) -> Result<CompiledModel, CoreError> {
         graph.validate()?;
         let original_stats = graph.stats();
         let mut stats = CompilationStats {
@@ -362,11 +419,13 @@ impl<L: LatencyModel> Compiler<L> {
         let t = Instant::now();
         let mut ecg = Ecg::new(rewritten);
         self.database.reset_counters();
-        let plan = if self.options.enable_fusion {
-            let planner = FusionPlanner::new(&ecg, &self.latency, self.options.plan);
-            planner.plan(&mut self.database)
-        } else {
-            FusionPlan::singletons(&ecg)
+        let plan = match replay {
+            Some(groups) => FusionPlan::from_blocks(&ecg, groups)?,
+            None if self.options.enable_fusion => {
+                let planner = FusionPlanner::new(&ecg, &self.latency, self.options.plan);
+                planner.plan(&mut self.database)
+            }
+            None => FusionPlan::singletons(&ecg),
         };
         plan.validate(ecg.graph())?;
         stats.time_planning = t.elapsed();
@@ -567,6 +626,63 @@ mod tests {
         assert!(compiled.stats.total_time() >= compiled.stats.time_rewriting);
         // The fused operator names are concatenations, e.g. Conv_Mul_Add_...
         assert!(compiled.fused_ops.iter().any(|f| f.name.contains('_')));
+    }
+
+    #[test]
+    fn cache_slot_supports_multiple_consumer_types() {
+        // Regression: attaching a second cache type used to panic
+        // ("runtime cache slot holds one type per model").
+        struct WeightsLike(Vec<f32>);
+        struct PlanCacheLike(&'static str);
+
+        let slot = RuntimeCacheSlot::default();
+        assert!(!slot.is_initialized());
+        let w = slot.get_or_init(|| WeightsLike(vec![1.0, 2.0]));
+        let p = slot.get_or_init(|| PlanCacheLike("state"));
+        assert_eq!(w.0, vec![1.0, 2.0]);
+        assert_eq!(p.0, "state");
+        assert!(slot.is_initialized());
+        // Each type is built once; later calls return the same Arc and
+        // never run the init closure again.
+        let w2 = slot.get_or_init::<WeightsLike>(|| unreachable!("already cached"));
+        assert!(Arc::ptr_eq(&w, &w2));
+        let p2 = slot.get_or_init::<PlanCacheLike>(|| unreachable!("already cached"));
+        assert!(Arc::ptr_eq(&p, &p2));
+        // Clones of the slot (as clones of a model would hold) share entries.
+        let clone = slot.clone();
+        let w3 = clone.get_or_init::<WeightsLike>(|| unreachable!("shared with clone"));
+        assert!(Arc::ptr_eq(&w, &w3));
+    }
+
+    #[test]
+    fn options_cache_key_is_stable_and_discriminating() {
+        let a = CompilerOptions::default().cache_key();
+        assert_eq!(a, CompilerOptions::default().cache_key());
+        assert_ne!(a, CompilerOptions::baseline().cache_key());
+        let mut tweaked = CompilerOptions::default();
+        tweaked.plan.max_block_ops = 7;
+        assert_ne!(a, tweaked.cache_key());
+    }
+
+    #[test]
+    fn compile_with_blocks_replays_a_plan_exactly() {
+        let g = sample_model();
+        let mut compiler = Compiler::new(CompilerOptions::default());
+        let cold = compiler.compile(&g).unwrap();
+        let groups: Vec<Vec<dnnf_graph::NodeId>> =
+            cold.plan.blocks().iter().map(|b| b.nodes.clone()).collect();
+        let replayed = compiler.compile_with_blocks(&g, groups).unwrap();
+        // Same partition, same mapping types (the replay does not record the
+        // exploration's seed nodes — they are provenance, not structure).
+        for (r, c) in replayed.plan.blocks().iter().zip(cold.plan.blocks()) {
+            assert_eq!(r.nodes, c.nodes);
+            assert_eq!(r.mapping_type, c.mapping_type);
+        }
+        assert_eq!(replayed.fused_ops.len(), cold.fused_ops.len());
+        assert_eq!(replayed.stats.fused_layers, cold.stats.fused_layers);
+        // Garbage groups are rejected, not trusted.
+        let bogus = vec![vec![dnnf_graph::NodeId::from_index(0); 2]];
+        assert!(compiler.compile_with_blocks(&g, bogus).is_err());
     }
 
     #[test]

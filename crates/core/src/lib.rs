@@ -70,4 +70,4 @@ pub use inter::{select_block_layouts, LayoutDecision};
 pub use intra::{eliminate_data_movement, DataMovementElimination};
 pub use latency::{AnalyticLatencyModel, LatencyModel};
 pub use mapping::{analyze_pair, fusable_cell_count, FusionDecision, FusionVerdict};
-pub use plan::{FusionBlock, FusionPlan, FusionPlanner, PlanOptions};
+pub use plan::{block_profile_key, FusionBlock, FusionPlan, FusionPlanner, PlanOptions};

@@ -548,18 +548,29 @@ impl<'a, L: LatencyModel> FusionPlanner<'a, L> {
     }
 
     fn profile_key(&self, nodes: &[NodeId]) -> ProfileKey {
-        let graph = self.ecg.graph();
-        let ops: Vec<String> = nodes
-            .iter()
-            .map(|&n| graph.node(n).op.name().to_string())
-            .collect();
-        let shapes: Vec<String> = nodes
-            .iter()
-            .filter_map(|&n| graph.node(n).outputs.first().copied())
-            .map(|v| graph.value(v).shape.to_string())
-            .collect();
-        ProfileKey::new(ops, shapes.join(";"))
+        block_profile_key(self.ecg.graph(), nodes)
     }
+}
+
+/// The profiling-database key for a (candidate) fusion block: its operator
+/// names plus the first-output shape of every member. This is the key the
+/// planner consults during exploration — exposed so the runtime can record
+/// *measured* block latencies under exactly the same keys
+/// (`Executor::profile_compiled` in `dnnf-runtime`), letting the next
+/// compilation's plan search optimize against host-measured values instead
+/// of the analytic model.
+#[must_use]
+pub fn block_profile_key(graph: &Graph, nodes: &[NodeId]) -> ProfileKey {
+    let ops: Vec<String> = nodes
+        .iter()
+        .map(|&n| graph.node(n).op.name().to_string())
+        .collect();
+    let shapes: Vec<String> = nodes
+        .iter()
+        .filter_map(|&n| graph.node(n).outputs.first().copied())
+        .map(|v| graph.value(v).shape.to_string())
+        .collect();
+    ProfileKey::new(ops, shapes.join(";"))
 }
 
 /// Sorts a node set into the graph's topological order.

@@ -368,6 +368,25 @@ impl Graph {
         stats
     }
 
+    /// Computes the deterministic structural fingerprint of this graph:
+    /// a 128-bit hash over topology, operator attributes, value shapes and
+    /// dtypes, output markings, and weight identities (names plus any
+    /// explicit data bits). The model name and intermediate value names are
+    /// *not* covered, so structurally identical models fingerprint
+    /// identically. See [`crate::Fingerprint`] for the guarantees.
+    #[must_use]
+    pub fn fingerprint(&self) -> crate::Fingerprint {
+        crate::fingerprint::graph_fingerprint(self)
+    }
+
+    /// Human-readable signature of the graph's input shapes, e.g.
+    /// `x=1x3x224x224`. Used together with [`Graph::fingerprint`] as the
+    /// compilation-cache key.
+    #[must_use]
+    pub fn shape_signature(&self) -> String {
+        crate::fingerprint::shape_signature(self)
+    }
+
     /// Exports the graph in Graphviz DOT format (nodes labelled with operator
     /// and output shape), useful for debugging fusion decisions.
     #[must_use]

@@ -30,12 +30,14 @@
 #![warn(missing_docs)]
 
 mod error;
+mod fingerprint;
 mod graph;
 mod node;
 mod stats;
 mod value;
 
 pub use error::GraphError;
+pub use fingerprint::Fingerprint;
 pub use graph::Graph;
 pub use node::{Node, NodeId};
 pub use stats::GraphStats;

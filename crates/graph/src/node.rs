@@ -14,6 +14,16 @@ impl NodeId {
     pub fn index(self) -> usize {
         self.0
     }
+
+    /// Rebuilds a node id from a raw index, e.g. one previously obtained
+    /// from [`NodeId::index`] and round-tripped through a serialized plan.
+    /// The index is only meaningful for the graph it came from; APIs that
+    /// accept reconstructed ids (such as `FusionPlan::from_blocks` in
+    /// `dnnf-core`) validate them against the target graph.
+    #[must_use]
+    pub fn from_index(index: usize) -> Self {
+        NodeId(index)
+    }
 }
 
 /// One operator invocation in the computational graph.

@@ -1,0 +1,147 @@
+//! Property-based mutation pairs for the structural fingerprint.
+//!
+//! The compilation cache's safety rests on one implication: *any* change to
+//! what a model computes changes its fingerprint. These properties generate
+//! random MLP-style graphs and apply a single structural mutation —
+//! topology, attributes, shapes, weight identity, or weight data — then
+//! assert the mutated twin fingerprints differently, while an unmutated
+//! rebuild fingerprints identically (determinism).
+
+use dnnf_graph::Graph;
+use dnnf_ops::{Attrs, OpKind};
+use dnnf_tensor::{Shape, Tensor};
+use proptest::prelude::*;
+
+/// One structural mutation applied while building the twin graph.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Mutation {
+    None,
+    /// Append one extra activation node before the output.
+    ExtraNode,
+    /// Widen one hidden layer by one unit (changes shapes end-to-end).
+    BumpWidth,
+    /// Flip the trailing Softmax's `axis` attribute (shape-neutral).
+    FlipAttr,
+    /// Rename one weight (weights are name-seeded: new name = new data).
+    RenameWeight,
+    /// Change one explicit weight's data bits (same name, same shape).
+    TweakWeightData,
+}
+
+/// Builds a `[1, w0] -> MatMul -> (Relu?) -> … -> Softmax` chain. `mutation`
+/// perturbs exactly one aspect of the construction.
+fn build(widths: &[usize], relu_mask: u32, mutation: Mutation) -> Graph {
+    let mut widths = widths.to_vec();
+    if mutation == Mutation::BumpWidth {
+        let mid = widths.len() / 2;
+        widths[mid] += 1;
+    }
+    let mut g = Graph::new("mlp");
+    let mut cur = g.add_input("x", Shape::new(vec![1, widths[0]]));
+    let mut cur_width = widths[0];
+    for (i, &w) in widths.iter().enumerate().skip(1) {
+        let wname = if mutation == Mutation::RenameWeight && i == 1 {
+            format!("w{i}.renamed")
+        } else {
+            format!("w{i}")
+        };
+        let wid = g.add_weight(&wname, Shape::new(vec![cur_width, w]));
+        if i == 1 {
+            let fill = if mutation == Mutation::TweakWeightData {
+                0.75
+            } else {
+                0.5
+            };
+            g.set_weight_data(wid, Tensor::full(Shape::new(vec![cur_width, w]), fill))
+                .unwrap();
+        }
+        cur = g
+            .add_op(OpKind::MatMul, Attrs::new(), &[cur, wid], format!("fc{i}"))
+            .unwrap()[0];
+        if relu_mask & (1 << i) != 0 {
+            cur = g
+                .add_op(OpKind::Relu, Attrs::new(), &[cur], format!("act{i}"))
+                .unwrap()[0];
+        }
+        cur_width = w;
+    }
+    if mutation == Mutation::ExtraNode {
+        cur = g
+            .add_op(OpKind::Sigmoid, Attrs::new(), &[cur], "extra")
+            .unwrap()[0];
+    }
+    let axis = i64::from(mutation == Mutation::FlipAttr);
+    let out = g
+        .add_op(
+            OpKind::Softmax,
+            Attrs::new().with_int("axis", axis),
+            &[cur],
+            "softmax",
+        )
+        .unwrap()[0];
+    g.mark_output(out);
+    g
+}
+
+fn widths_strategy() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(1usize..6, 2..5)
+}
+
+proptest! {
+    #[test]
+    fn rebuilding_the_same_graph_reproduces_the_fingerprint(
+        widths in widths_strategy(),
+        relu_mask in 0u32..16,
+    ) {
+        let a = build(&widths, relu_mask, Mutation::None);
+        let b = build(&widths, relu_mask, Mutation::None);
+        prop_assert_eq!(a.fingerprint(), b.fingerprint());
+        prop_assert_eq!(a.shape_signature(), b.shape_signature());
+    }
+
+    #[test]
+    fn every_mutation_kind_changes_the_fingerprint(
+        widths in widths_strategy(),
+        relu_mask in 0u32..16,
+    ) {
+        let base = build(&widths, relu_mask, Mutation::None);
+        for mutation in [
+            Mutation::ExtraNode,
+            Mutation::BumpWidth,
+            Mutation::FlipAttr,
+            Mutation::RenameWeight,
+            Mutation::TweakWeightData,
+        ] {
+            let twin = build(&widths, relu_mask, mutation);
+            prop_assert_ne!(
+                base.fingerprint(),
+                twin.fingerprint(),
+                "mutation {:?} left the fingerprint unchanged",
+                mutation
+            );
+        }
+    }
+
+    #[test]
+    fn distinct_parameterizations_rarely_collide(
+        widths_a in widths_strategy(),
+        mask_a in 0u32..16,
+        widths_b in widths_strategy(),
+        mask_b in 0u32..16,
+    ) {
+        // Different construction parameters must give different
+        // fingerprints whenever they give structurally different graphs.
+        let a = build(&widths_a, mask_a, Mutation::None);
+        let b = build(&widths_b, mask_b, Mutation::None);
+        if widths_a != widths_b || {
+            // Only bits addressing existing layers matter.
+            let relevant_a = mask_a & ((1 << widths_a.len()) - 2);
+            let relevant_b = mask_b & ((1 << widths_b.len()) - 2);
+            relevant_a != relevant_b
+        } {
+            prop_assert_ne!(a.fingerprint(), b.fingerprint());
+        } else {
+            prop_assert_eq!(a.fingerprint(), b.fingerprint());
+        }
+    }
+}

@@ -86,16 +86,48 @@ impl WorkPool {
     /// A pool sized to the host's available parallelism.
     #[must_use]
     pub fn host() -> Self {
-        let threads = std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1);
-        WorkPool::new(threads)
+        WorkPool::new(Self::host_parallelism())
+    }
+
+    /// The host's available parallelism (cached after the first query;
+    /// at least 1).
+    #[must_use]
+    pub fn host_parallelism() -> usize {
+        use std::sync::OnceLock;
+        static HOST: OnceLock<usize> = OnceLock::new();
+        *HOST.get_or_init(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
     }
 
     /// Number of threads parallel regions may use.
+    ///
+    /// This is the *partition width*: kernels split work into up to this
+    /// many parts, so the chunk→data mapping (and therefore every output
+    /// bit) follows the requested thread count even when the host cannot
+    /// actually run that many threads at once. The number of OS threads a
+    /// region really spawns is capped separately — see
+    /// [`WorkPool::effective_threads`].
     #[must_use]
     pub const fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Number of OS threads a parallel region will actually occupy:
+    /// [`WorkPool::threads`] clamped to the host's available parallelism.
+    ///
+    /// Requesting more threads than the host has cores (e.g.
+    /// `DNNF_NUM_THREADS=4` on a 1-core CI runner) used to spawn them all
+    /// and lose time to context switching — oversubscription made the
+    /// engine *slower* than serial. Clamping the spawn count fixes the
+    /// wall-clock without touching results: parts are still built per
+    /// [`WorkPool::threads`] and each part is still executed start-to-finish
+    /// by exactly one thread, so outputs stay bit-identical.
+    #[must_use]
+    pub fn effective_threads(&self) -> usize {
+        self.threads.min(Self::host_parallelism()).max(1)
     }
 
     /// Whether this pool runs everything on the calling thread.
@@ -117,35 +149,51 @@ impl WorkPool {
         }
     }
 
-    /// Runs `f` once per part, each part on exactly one thread. The caller
-    /// prepares at most [`WorkPool::threads`] parts (one per worker); the
-    /// first part runs on the calling thread while the rest run on scoped
-    /// threads. With one part (or a serial pool) nothing is spawned.
+    /// Runs `f` once per part, each part executed start-to-finish by exactly
+    /// one thread. The caller prepares at most [`WorkPool::threads`] parts;
+    /// parts are distributed round-robin over
+    /// [`WorkPool::effective_threads`] workers (the calling thread is one of
+    /// them), so an oversubscribed pool never spawns more OS threads than
+    /// the host can run. With one part (or a serial pool) nothing is
+    /// spawned.
     pub fn run_parts<T: Send>(&self, parts: Vec<T>, f: impl Fn(T) + Sync) {
         debug_assert!(parts.len() <= self.threads.max(1));
-        if parts.len() <= 1 || self.is_serial() {
+        let workers = self.effective_threads().min(parts.len()).max(1);
+        if parts.len() <= 1 || workers <= 1 || self.is_serial() {
             for part in parts {
                 f(part);
             }
             return;
         }
+        let mut groups: Vec<Vec<T>> = (0..workers)
+            .map(|_| Vec::with_capacity(parts.len().div_ceil(workers)))
+            .collect();
+        for (i, part) in parts.into_iter().enumerate() {
+            groups[i % workers].push(part);
+        }
         std::thread::scope(|scope| {
             let f = &f;
-            let mut rest = parts.into_iter();
-            let local = rest.next().expect("more than one part");
-            for part in rest {
-                scope.spawn(move || f(part));
+            let mut rest = groups.into_iter();
+            let local = rest.next().expect("more than one worker");
+            for group in rest {
+                scope.spawn(move || {
+                    for part in group {
+                        f(part);
+                    }
+                });
             }
-            f(local);
+            for part in local {
+                f(part);
+            }
         });
     }
 
     /// Splits `data` into consecutive chunks of `chunk_len` elements (the
     /// last may be shorter) and calls `f(chunk_index, chunk)` for each, with
-    /// chunks distributed round-robin over the pool's threads. Chunk `i`
-    /// always covers `data[i * chunk_len ..]` — the mapping from index to
-    /// elements never depends on the thread count, and each chunk is written
-    /// by exactly one thread.
+    /// chunks distributed round-robin over the pool's effective workers.
+    /// Chunk `i` always covers `data[i * chunk_len ..]` — the mapping from
+    /// index to elements never depends on the thread count, and each chunk
+    /// is written by exactly one thread.
     pub fn run_chunks(
         &self,
         data: &mut [f32],
@@ -154,7 +202,7 @@ impl WorkPool {
     ) {
         assert!(chunk_len > 0, "chunk_len must be positive");
         let chunks = data.len().div_ceil(chunk_len);
-        let workers = self.threads.min(chunks).max(1);
+        let workers = self.effective_threads().min(chunks).max(1);
         if workers <= 1 {
             for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
                 f(i, chunk);
@@ -258,6 +306,58 @@ mod tests {
     fn host_pool_reports_at_least_one_thread() {
         assert!(WorkPool::host().threads() >= 1);
         assert_eq!(WorkPool::default(), WorkPool::serial());
+    }
+
+    #[test]
+    fn spawn_count_is_clamped_to_host_parallelism() {
+        let host = WorkPool::host_parallelism();
+        // An absurdly oversubscribed pool keeps its partition width…
+        let pool = WorkPool::with_min_work(1024, 0);
+        assert_eq!(pool.threads(), 1024);
+        // …but never occupies more OS threads than the host has.
+        assert_eq!(pool.effective_threads(), host.min(1024));
+        assert_eq!(WorkPool::new(1).effective_threads(), 1);
+
+        // Run a many-part region and count the distinct threads touched.
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let seen: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+        let counter = AtomicUsize::new(0);
+        let parts: Vec<usize> = (0..64).collect();
+        let wide = WorkPool::with_min_work(64, 0);
+        wide.run_parts(parts, |p| {
+            seen.lock().unwrap().insert(std::thread::current().id());
+            counter.fetch_add(p, Ordering::SeqCst);
+        });
+        // Every part ran exactly once…
+        assert_eq!(counter.load(Ordering::SeqCst), (0..64).sum::<usize>());
+        // …on no more threads than the host can actually run.
+        let distinct = seen.lock().unwrap().len();
+        assert!(
+            distinct <= host,
+            "spawned {distinct} threads on a {host}-way host"
+        );
+    }
+
+    #[test]
+    fn oversubscribed_chunks_stay_deterministic() {
+        // The chunk→data mapping must not depend on how many workers
+        // actually ran: an oversubscribed pool and a serial pool must fill
+        // the slice identically.
+        let wide = WorkPool::with_min_work(1024, 0);
+        let mut parallel = vec![0.0f32; 999];
+        wide.run_chunks(&mut parallel, 13, |i, chunk| {
+            for (k, v) in chunk.iter_mut().enumerate() {
+                *v = (i * 13 + k) as f32 * 0.5;
+            }
+        });
+        let mut serial = vec![0.0f32; 999];
+        WorkPool::serial().run_chunks(&mut serial, 13, |i, chunk| {
+            for (k, v) in chunk.iter_mut().enumerate() {
+                *v = (i * 13 + k) as f32 * 0.5;
+            }
+        });
+        assert_eq!(parallel, serial);
     }
 
     #[test]

@@ -28,6 +28,71 @@ use std::fmt;
 use std::io::{self, Read, Write};
 use std::path::Path;
 
+/// Header line of the versioned on-disk format (see
+/// [`ProfileDatabase::to_versioned_text`]).
+pub const FORMAT_HEADER: &str = "dnnf-profiledb/v1";
+
+/// Why a persisted profile database was rejected by the strict parser.
+///
+/// The store is an input to plan *search*, so a wrong latency silently read
+/// from a damaged file would not crash anything — it would just quietly
+/// produce worse plans forever. The strict format therefore fails loudly on
+/// any damage and callers fall back to measuring afresh.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProfileDbError {
+    /// The first line is not the expected format header.
+    BadHeader {
+        /// What the first line actually was.
+        found: String,
+    },
+    /// The `entries <n>` count line is missing or malformed.
+    BadCount,
+    /// An entry line failed to parse.
+    BadEntry {
+        /// 1-based line number of the offending line.
+        line: usize,
+    },
+    /// The file ended before the declared number of entries (truncation).
+    Truncated {
+        /// Entries the header promised.
+        expected: usize,
+        /// Entries actually present.
+        found: usize,
+    },
+    /// The trailing checksum line is missing, malformed, or does not match
+    /// the content (bit-rot or a partial write).
+    BadChecksum,
+}
+
+impl fmt::Display for ProfileDbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProfileDbError::BadHeader { found } => {
+                write!(f, "expected header `{FORMAT_HEADER}`, found `{found}`")
+            }
+            ProfileDbError::BadCount => write!(f, "missing or malformed `entries <n>` line"),
+            ProfileDbError::BadEntry { line } => write!(f, "malformed entry at line {line}"),
+            ProfileDbError::Truncated { expected, found } => {
+                write!(f, "truncated: expected {expected} entries, found {found}")
+            }
+            ProfileDbError::BadChecksum => write!(f, "checksum mismatch or missing"),
+        }
+    }
+}
+
+impl std::error::Error for ProfileDbError {}
+
+/// 64-bit FNV-1a over a byte stream — the integrity checksum of the
+/// versioned format (dependency-free, stable across platforms).
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 /// Key identifying one profiled operator combination.
 ///
 /// A key is the ordered list of operator names in the (candidate) fusion
@@ -185,7 +250,9 @@ impl ProfileDatabase {
     }
 
     /// Parses a database from the text format produced by
-    /// [`ProfileDatabase::to_text`]. Malformed lines are skipped.
+    /// [`ProfileDatabase::to_text`]. Malformed lines are skipped — this is
+    /// the *lenient* legacy parser; persistence goes through the strict
+    /// versioned format ([`ProfileDatabase::try_from_text`]).
     #[must_use]
     pub fn from_text(text: &str) -> Self {
         let mut db = ProfileDatabase::new();
@@ -199,25 +266,107 @@ impl ProfileDatabase {
         db
     }
 
-    /// Saves the database to a file.
+    /// Serializes the database to the versioned, checksummed on-disk format:
+    ///
+    /// ```text
+    /// dnnf-profiledb/v1
+    /// entries <n>
+    /// <op>+<op>+…|<shape-fingerprint>\t<latency-us>
+    /// …                                 (n entry lines, key order)
+    /// checksum <16-hex fnv64 of everything above>
+    /// ```
+    ///
+    /// Latencies are written with Rust's shortest-round-trip `f64`
+    /// formatting, so a save/load cycle reproduces the exact bits.
+    #[must_use]
+    pub fn to_versioned_text(&self) -> String {
+        let mut body = format!("{FORMAT_HEADER}\nentries {}\n", self.entries.len());
+        body.push_str(&self.to_text());
+        let sum = fnv64(body.as_bytes());
+        body.push_str(&format!("checksum {sum:016x}\n"));
+        body
+    }
+
+    /// Strictly parses the versioned format produced by
+    /// [`ProfileDatabase::to_versioned_text`]: header, entry count, every
+    /// entry line, and the trailing checksum must all be intact. Any damage
+    /// — truncation, a flipped bit, a partial write — is an error, never a
+    /// silently smaller database.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ProfileDbError`] describing the first problem found.
+    pub fn try_from_text(text: &str) -> Result<Self, ProfileDbError> {
+        let mut lines = text.lines().enumerate();
+        let header = lines.next().map(|(_, l)| l).unwrap_or("");
+        if header != FORMAT_HEADER {
+            return Err(ProfileDbError::BadHeader {
+                found: header.to_string(),
+            });
+        }
+        let expected: usize = lines
+            .next()
+            .and_then(|(_, l)| l.strip_prefix("entries "))
+            .and_then(|n| n.parse().ok())
+            .ok_or(ProfileDbError::BadCount)?;
+
+        let mut db = ProfileDatabase::new();
+        let mut checksum_line = None;
+        for (i, line) in lines {
+            if let Some(sum) = line.strip_prefix("checksum ") {
+                checksum_line = Some((i, sum));
+                break;
+            }
+            let parsed = line
+                .split_once('\t')
+                .and_then(|(key, val)| Some((ProfileKey::decode(key)?, val.parse::<f64>().ok()?)));
+            match parsed {
+                Some((key, val)) => db.entries.insert(key, val),
+                None => return Err(ProfileDbError::BadEntry { line: i + 1 }),
+            };
+        }
+        if db.entries.len() != expected {
+            return Err(ProfileDbError::Truncated {
+                expected,
+                found: db.entries.len(),
+            });
+        }
+        let (checksum_idx, stated) = checksum_line.ok_or(ProfileDbError::BadChecksum)?;
+        let stated = u64::from_str_radix(stated, 16).map_err(|_| ProfileDbError::BadChecksum)?;
+        // Recompute over everything before the checksum line.
+        let body: String = text
+            .lines()
+            .take(checksum_idx)
+            .flat_map(|l| [l, "\n"])
+            .collect();
+        if fnv64(body.as_bytes()) != stated {
+            return Err(ProfileDbError::BadChecksum);
+        }
+        Ok(db)
+    }
+
+    /// Saves the database to a file in the versioned, checksummed format.
     ///
     /// # Errors
     ///
     /// Propagates any I/O error.
     pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
         let mut f = std::fs::File::create(path)?;
-        f.write_all(self.to_text().as_bytes())
+        f.write_all(self.to_versioned_text().as_bytes())
     }
 
-    /// Loads a database from a file.
+    /// Loads a database from a file written by [`ProfileDatabase::save`],
+    /// strictly validating it.
     ///
     /// # Errors
     ///
-    /// Propagates any I/O error.
+    /// Propagates I/O errors; a damaged or non-versioned file fails with
+    /// [`io::ErrorKind::InvalidData`] (callers treat that as "no database" and
+    /// re-measure).
     pub fn load(path: impl AsRef<Path>) -> io::Result<Self> {
         let mut text = String::new();
         std::fs::File::open(path)?.read_to_string(&mut text)?;
-        Ok(Self::from_text(&text))
+        Self::try_from_text(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
     }
 }
 
@@ -294,6 +443,89 @@ mod tests {
         db.save(&path).unwrap();
         let loaded = ProfileDatabase::load(&path).unwrap();
         assert_eq!(loaded, ProfileDatabase::from_text(&db.to_text()));
+        std::fs::remove_file(path).ok();
+    }
+
+    fn sample_db() -> ProfileDatabase {
+        let mut db = ProfileDatabase::new();
+        db.record(ProfileKey::new(["Conv", "Relu"], "1x8x16x16"), 101.625);
+        db.record(ProfileKey::new(["MatMul"], "128x768;768x768"), 0.1 + 0.2);
+        db
+    }
+
+    #[test]
+    fn versioned_roundtrip_is_bit_exact() {
+        let db = sample_db();
+        let text = db.to_versioned_text();
+        assert!(text.starts_with("dnnf-profiledb/v1\nentries 2\n"));
+        let restored = ProfileDatabase::try_from_text(&text).unwrap();
+        for (k, v) in db.iter() {
+            assert_eq!(restored.peek(k).map(f64::to_bits), Some(v.to_bits()));
+        }
+        assert_eq!(restored.len(), db.len());
+    }
+
+    #[test]
+    fn strict_parser_rejects_damage() {
+        let db = sample_db();
+        let good = db.to_versioned_text();
+
+        // Wrong header.
+        assert!(matches!(
+            ProfileDatabase::try_from_text("dnnf-profiledb/v9\nentries 0\nchecksum 0\n"),
+            Err(ProfileDbError::BadHeader { .. })
+        ));
+        // Missing count line.
+        assert_eq!(
+            ProfileDatabase::try_from_text("dnnf-profiledb/v1\n"),
+            Err(ProfileDbError::BadCount)
+        );
+        // Truncation: drop one entry line but keep count + checksum lines.
+        let mut lines: Vec<&str> = good.lines().collect();
+        lines.remove(2);
+        let truncated = lines.join("\n") + "\n";
+        assert!(matches!(
+            ProfileDatabase::try_from_text(&truncated),
+            Err(ProfileDbError::Truncated {
+                expected: 2,
+                found: 1
+            })
+        ));
+        // A flipped value digit fails the checksum.
+        let corrupted = good.replacen("101.625", "201.625", 1);
+        assert_eq!(
+            ProfileDatabase::try_from_text(&corrupted),
+            Err(ProfileDbError::BadChecksum)
+        );
+        // Garbage entry line.
+        let garbled = good.replacen("Conv+Relu|1x8x16x16\t101.625", "garbage", 1);
+        assert!(matches!(
+            ProfileDatabase::try_from_text(&garbled),
+            Err(ProfileDbError::BadEntry { .. })
+        ));
+        // Checksum line chopped off entirely.
+        let no_sum: String = good
+            .lines()
+            .filter(|l| !l.starts_with("checksum "))
+            .flat_map(|l| [l, "\n"])
+            .collect();
+        assert_eq!(
+            ProfileDatabase::try_from_text(&no_sum),
+            Err(ProfileDbError::BadChecksum)
+        );
+        // And the untouched text still parses.
+        assert!(ProfileDatabase::try_from_text(&good).is_ok());
+    }
+
+    #[test]
+    fn load_rejects_corrupted_files_with_invalid_data() {
+        let db = sample_db();
+        let dir = std::env::temp_dir().join("dnnf_profiledb_strict_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("db.tsv");
+        std::fs::write(&path, db.to_versioned_text().replacen("101", "999", 1)).unwrap();
+        let err = ProfileDatabase::load(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
         std::fs::remove_file(path).ok();
     }
 

@@ -25,6 +25,7 @@ use std::sync::Arc;
 use dnnf_core::{compile_plan, BufferPool, CompiledModel, Ecg, FusionPlan};
 use dnnf_graph::{Graph, ValueId};
 use dnnf_ops::execute;
+use dnnf_profiledb::ProfileDatabase;
 use dnnf_simdev::{BlockWork, CacheHierarchy, Counters, DeviceCostModel, DeviceSpec};
 use dnnf_tensor::Tensor;
 
@@ -135,7 +136,47 @@ impl Executor {
         // weight — every run shares the same Arc-backed tensors, across
         // executors and across threads.
         let store = WeightStore::of_model(model);
-        self.run_plan_with_store(model.graph(), &model.plan, &model.engine, &store, inputs)
+        self.run_plan_with_store(
+            model.graph(),
+            &model.plan,
+            &model.engine,
+            &store,
+            inputs,
+            None,
+        )
+    }
+
+    /// Runs a compiled model like [`Executor::run_compiled`] while recording
+    /// each fused block's **measured wall-clock latency** (µs) into `db`,
+    /// under exactly the key the fusion planner consults during exploration
+    /// ([`dnnf_core::block_profile_key`]). Persisting that database and
+    /// pre-loading it into the next compilation
+    /// ([`dnnf_core::Compiler::with_database`]) makes the plan search
+    /// optimize against values measured on this host instead of the static
+    /// analytic estimates — the paper's offline profiling step.
+    ///
+    /// Outputs are bit-identical to [`Executor::run_compiled`]; only the
+    /// timing instrumentation differs.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RuntimeError`] if inputs are missing or mismatched, or a
+    /// kernel fails.
+    pub fn profile_compiled(
+        &self,
+        model: &CompiledModel,
+        inputs: &HashMap<String, Tensor>,
+        db: &mut ProfileDatabase,
+    ) -> Result<ExecutionReport, RuntimeError> {
+        let store = WeightStore::of_model(model);
+        self.run_plan_with_store(
+            model.graph(),
+            &model.plan,
+            &model.engine,
+            &store,
+            inputs,
+            Some(db),
+        )
     }
 
     /// Runs a graph without any fusion (every operator is its own kernel)
@@ -230,7 +271,7 @@ impl Executor {
         inputs: &HashMap<String, Tensor>,
     ) -> Result<ExecutionReport, RuntimeError> {
         let store = WeightStore::build(graph);
-        self.run_plan_with_store(graph, plan, engine, &store, inputs)
+        self.run_plan_with_store(graph, plan, engine, &store, inputs, None)
     }
 
     /// The shared engine-dispatch path: boundary tensors in slot storage,
@@ -243,6 +284,7 @@ impl Executor {
         engine: &dnnf_core::CompiledPlan,
         store: &WeightStore,
         inputs: &HashMap<String, Tensor>,
+        mut profile: Option<&mut ProfileDatabase>,
     ) -> Result<ExecutionReport, RuntimeError> {
         let order = plan.execution_order(graph);
         let memory = MemoryPlan::build(graph, plan, &order, self.device.elem_bytes);
@@ -274,6 +316,7 @@ impl Executor {
         for (pos, &block_idx) in order.iter().enumerate() {
             let block = &plan.blocks()[block_idx];
             let kernel = engine.kernel(block_idx);
+            let started = profile.as_ref().map(|_| std::time::Instant::now());
             let produced = kernel
                 .run(
                     graph,
@@ -283,6 +326,10 @@ impl Executor {
                     workers,
                 )
                 .map_err(RuntimeError::Core)?;
+            if let (Some(db), Some(started)) = (profile.as_deref_mut(), started) {
+                let micros = started.elapsed().as_secs_f64() * 1e6;
+                db.record(dnnf_core::block_profile_key(graph, &block.nodes), micros);
+            }
             for (out_id, tensor) in produced {
                 env[out_id.index()] = Some(Arc::new(tensor));
             }

@@ -27,6 +27,14 @@
 //!   every output element is computed by exactly one thread in the serial
 //!   accumulation order, never a split reduction — so outputs are
 //!   bit-identical for every thread count. See `docs/execution.md`.
+//! * **Compilation cache** — [`PlanCache`] keys compiled models by
+//!   `(structural fingerprint, shape signature, compiler options)`: an
+//!   in-memory hit is an `Arc` clone, and persisted plan seeds let a fresh
+//!   process replay a previous run's fusion decisions (skipping plan
+//!   search) after [`PlanCache::load_seeds`]. Host-measured block
+//!   latencies recorded by [`Executor::profile_compiled`] persist through
+//!   `dnnf_profiledb::ProfileDatabase::save`/`load` and feed the next
+//!   compilation's plan search. See `docs/execution.md`.
 //! * **SIMD** — within a thread's tile, the Conv/MatMul/Gemm microkernels
 //!   and the scalar tapes are lane-blocked over portable 4/8-wide `f32`
 //!   bundles (`dnnf_ops::simd`): each lane owns one output element and runs
@@ -54,6 +62,7 @@ mod executor;
 mod latency;
 mod memory;
 mod options;
+mod plan_cache;
 mod weights;
 
 pub use dnnf_ops::WorkPool;
@@ -62,4 +71,7 @@ pub use executor::{ExecutionReport, Executor};
 pub use latency::DeviceLatencyModel;
 pub use memory::{MemoryPlan, TensorArena, ValueLifetime};
 pub use options::{ExecOptions, FORCE_SCALAR_ENV, NUM_THREADS_ENV};
+pub use plan_cache::{
+    CacheOutcome, PlanCache, PlanCacheError, PlanCacheStats, PlanKey, PLAN_CACHE_HEADER,
+};
 pub use weights::{materialize_weights, WeightStore};

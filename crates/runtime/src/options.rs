@@ -107,6 +107,38 @@ impl ExecOptions {
     }
 }
 
+/// Parses a `DNNF_NUM_THREADS`-style value: `None`/empty means "unset"
+/// (fall back to the host default), otherwise the value must be a positive
+/// integer. The error message names the variable so a typo in a CI config
+/// fails loudly instead of silently un-pinning the run.
+fn parse_num_threads(raw: Option<&str>) -> Result<Option<usize>, String> {
+    match raw {
+        None => Ok(None),
+        Some(raw) if raw.trim().is_empty() => Ok(None),
+        Some(raw) => raw
+            .trim()
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n > 0)
+            .map(Some)
+            .ok_or_else(|| format!("{NUM_THREADS_ENV} must be a positive integer, got `{raw}`")),
+    }
+}
+
+/// Parses a `DNNF_FORCE_SCALAR`-style value: `None`/empty means "unset"
+/// (SIMD stays on), otherwise the value must be exactly `0` or `1`.
+fn parse_force_scalar(raw: Option<&str>) -> Result<Option<bool>, String> {
+    match raw {
+        None => Ok(None),
+        Some(raw) if raw.trim().is_empty() => Ok(None),
+        Some(raw) => match raw.trim() {
+            "0" => Ok(Some(false)),
+            "1" => Ok(Some(true)),
+            _ => Err(format!("{FORCE_SCALAR_ENV} must be 0 or 1, got `{raw}`")),
+        },
+    }
+}
+
 impl Default for ExecOptions {
     /// `DNNF_NUM_THREADS` when set to a positive integer, otherwise the
     /// host's available parallelism; `DNNF_FORCE_SCALAR=1` additionally
@@ -121,27 +153,14 @@ impl Default for ExecOptions {
     /// the host default on a typo would un-pin the very runs that rely on
     /// them.
     fn default() -> Self {
-        let num_threads = match std::env::var(NUM_THREADS_ENV) {
-            Ok(raw) if raw.trim().is_empty() => WorkPool::host().threads(),
-            Ok(raw) => raw
-                .trim()
-                .parse::<usize>()
-                .ok()
-                .filter(|&n| n > 0)
-                .unwrap_or_else(|| {
-                    panic!("{NUM_THREADS_ENV} must be a positive integer, got `{raw}`")
-                }),
-            Err(_) => WorkPool::host().threads(),
-        };
-        let force_scalar = match std::env::var(FORCE_SCALAR_ENV) {
-            Ok(raw) if raw.trim().is_empty() => false,
-            Ok(raw) => match raw.trim() {
-                "0" => false,
-                "1" => true,
-                _ => panic!("{FORCE_SCALAR_ENV} must be 0 or 1, got `{raw}`"),
-            },
-            Err(_) => false,
-        };
+        let threads_raw = std::env::var(NUM_THREADS_ENV).ok();
+        let num_threads = parse_num_threads(threads_raw.as_deref())
+            .unwrap_or_else(|e| panic!("{e}"))
+            .unwrap_or_else(|| WorkPool::host().threads());
+        let scalar_raw = std::env::var(FORCE_SCALAR_ENV).ok();
+        let force_scalar = parse_force_scalar(scalar_raw.as_deref())
+            .unwrap_or_else(|e| panic!("{e}"))
+            .unwrap_or(false);
         ExecOptions {
             force_scalar,
             ..ExecOptions::with_threads(num_threads)
@@ -188,5 +207,39 @@ mod tests {
             ExecOptions::default().min_parallel_work,
             DEFAULT_PARALLEL_WORK_GRAIN
         );
+    }
+
+    #[test]
+    fn num_threads_parsing_accepts_positive_integers_only() {
+        // Unset / empty fall back to the host default.
+        assert_eq!(parse_num_threads(None), Ok(None));
+        assert_eq!(parse_num_threads(Some("")), Ok(None));
+        assert_eq!(parse_num_threads(Some("   ")), Ok(None));
+        // Valid values (whitespace tolerated).
+        assert_eq!(parse_num_threads(Some("1")), Ok(Some(1)));
+        assert_eq!(parse_num_threads(Some(" 8 ")), Ok(Some(8)));
+        // Malformed values fail loudly, naming the variable.
+        for bad in ["0", "-2", "four", "2.5", "1e3", "0x4"] {
+            let err = parse_num_threads(Some(bad)).unwrap_err();
+            assert!(
+                err.contains(NUM_THREADS_ENV) && err.contains(bad),
+                "error `{err}` must name the variable and the bad value"
+            );
+        }
+    }
+
+    #[test]
+    fn force_scalar_parsing_accepts_zero_or_one_only() {
+        assert_eq!(parse_force_scalar(None), Ok(None));
+        assert_eq!(parse_force_scalar(Some("")), Ok(None));
+        assert_eq!(parse_force_scalar(Some("0")), Ok(Some(false)));
+        assert_eq!(parse_force_scalar(Some(" 1 ")), Ok(Some(true)));
+        for bad in ["2", "true", "yes", "on", "-1"] {
+            let err = parse_force_scalar(Some(bad)).unwrap_err();
+            assert!(
+                err.contains(FORCE_SCALAR_ENV) && err.contains(bad),
+                "error `{err}` must name the variable and the bad value"
+            );
+        }
     }
 }

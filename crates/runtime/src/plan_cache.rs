@@ -1,0 +1,642 @@
+//! The shape-specialized compilation cache.
+//!
+//! The paper's Figure 9b point is that profiling data turns plan search into
+//! lookups; this module goes one step further and makes the *whole
+//! compilation* a lookup when the same model comes back. Compiled plans are
+//! keyed by
+//!
+//! ```text
+//! (graph fingerprint, shape signature, compiler-options cache key)
+//! ```
+//!
+//! — [`dnnf_graph::Graph::fingerprint`] covers topology, operator
+//! attributes, shapes and weight identities, so *any* structural change
+//! yields a new key and the cache can never serve a stale plan. Two tiers
+//! back the key:
+//!
+//! * **In-memory models** — the full [`CompiledModel`] behind an `Arc`. A
+//!   hit is a map lookup + `Arc` clone: no rewriting, no plan search, no
+//!   kernel compilation, and the weight store already materialized on the
+//!   model's [`dnnf_core::RuntimeCacheSlot`] comes along for free.
+//! * **On-disk plan seeds** — compiled kernels hold closures and cannot be
+//!   serialized, so the persistent tier stores each plan's *seed*: the
+//!   fusion block partition (node-index groups on the rewritten graph) plus
+//!   the rewritten graph's fingerprint. A warm start replays the seed
+//!   through [`Compiler::compile_with_blocks`], skipping the profile-driven
+//!   plan exploration — the expensive phase — while code generation
+//!   (deterministic, fast) runs normally.
+//!
+//! Replayed plans are **validated, never trusted**: `compile_with_blocks`
+//! rejects groups that do not form an acyclic partition of the rewritten
+//! graph, and the recorded rewritten-graph fingerprint must match what this
+//! binary's rewrite phase actually produced (so a seed recorded by an older
+//! build with different rewrite rules is discarded). Either failure falls
+//! back to a cold compile; a damaged cache can cost time, not correctness.
+//! The on-disk format is versioned and checksummed like the profile store's
+//! (`dnnf-profiledb`), and a corrupted or truncated file fails the load —
+//! callers start cold.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use dnnf_core::{CompiledModel, Compiler, CompilerOptions, CoreError, LatencyModel};
+use dnnf_graph::{Fingerprint, Graph, NodeId};
+
+/// Header line of the on-disk plan-cache format.
+pub const PLAN_CACHE_HEADER: &str = "dnnf-plancache/v1";
+
+/// The cache key of one compiled plan.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct PlanKey {
+    fingerprint: Fingerprint,
+    shape_signature: String,
+    options: String,
+}
+
+impl PlanKey {
+    /// Builds the key for compiling `graph` with `options`.
+    #[must_use]
+    pub fn of(graph: &Graph, options: &CompilerOptions) -> Self {
+        PlanKey {
+            fingerprint: graph.fingerprint(),
+            shape_signature: graph.shape_signature(),
+            options: options.cache_key(),
+        }
+    }
+}
+
+impl fmt::Display for PlanKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} {}",
+            self.fingerprint, self.shape_signature, self.options
+        )
+    }
+}
+
+/// How a [`PlanCache::compile_cached`] call was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// The full compiled model was already in memory (`Arc` clone).
+    MemoryHit,
+    /// A persisted plan seed was replayed, skipping plan exploration.
+    DiskHit,
+    /// Nothing cached — a full cold compilation ran (and was recorded).
+    Miss,
+}
+
+/// A persisted plan seed: enough to replay one compilation's fusion
+/// decisions on the rewritten graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct PlanSeed {
+    /// Fingerprint of the *rewritten* graph the groups index into. Replay
+    /// re-runs rewriting and discards the seed if the result differs (e.g.
+    /// the binary's rewrite rules changed since the seed was recorded).
+    rewritten_fingerprint: Fingerprint,
+    /// Fusion blocks as node-index groups on the rewritten graph.
+    groups: Vec<Vec<usize>>,
+}
+
+/// Why a persisted plan-cache file was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanCacheError {
+    /// The first line is not the expected format header.
+    BadHeader {
+        /// What the first line actually was.
+        found: String,
+    },
+    /// The `entries <n>` count line is missing or malformed.
+    BadCount,
+    /// An entry line failed to parse.
+    BadEntry {
+        /// 1-based line number of the offending line.
+        line: usize,
+    },
+    /// The file ended before the declared number of entries.
+    Truncated {
+        /// Entries the header promised.
+        expected: usize,
+        /// Entries actually present.
+        found: usize,
+    },
+    /// The trailing checksum is missing, malformed, or does not match.
+    BadChecksum,
+}
+
+impl fmt::Display for PlanCacheError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanCacheError::BadHeader { found } => {
+                write!(f, "expected header `{PLAN_CACHE_HEADER}`, found `{found}`")
+            }
+            PlanCacheError::BadCount => write!(f, "missing or malformed `entries <n>` line"),
+            PlanCacheError::BadEntry { line } => write!(f, "malformed entry at line {line}"),
+            PlanCacheError::Truncated { expected, found } => {
+                write!(f, "truncated: expected {expected} entries, found {found}")
+            }
+            PlanCacheError::BadChecksum => write!(f, "checksum mismatch or missing"),
+        }
+    }
+}
+
+impl std::error::Error for PlanCacheError {}
+
+/// Counter snapshot of a [`PlanCache`] (see [`PlanCache::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlanCacheStats {
+    /// Compilations satisfied by an in-memory model.
+    pub memory_hits: u64,
+    /// Compilations satisfied by replaying a persisted plan seed.
+    pub disk_hits: u64,
+    /// Compilations that ran cold.
+    pub misses: u64,
+    /// In-memory compiled models currently held.
+    pub models: usize,
+    /// Plan seeds currently held (in-memory + loaded from disk).
+    pub seeds: usize,
+}
+
+#[derive(Default)]
+struct Inner {
+    models: BTreeMap<PlanKey, Arc<CompiledModel>>,
+    seeds: BTreeMap<PlanKey, PlanSeed>,
+    memory_hits: u64,
+    disk_hits: u64,
+    misses: u64,
+}
+
+/// A shape-keyed compilation cache (see the module docs).
+#[derive(Default)]
+pub struct PlanCache {
+    inner: Mutex<Inner>,
+}
+
+impl PlanCache {
+    /// Creates an empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        PlanCache::default()
+    }
+
+    /// The process-wide cache: every caller compiling through it shares one
+    /// model/seed pool, so a model compiled anywhere in the process is a
+    /// lookup everywhere else.
+    #[must_use]
+    pub fn global() -> &'static PlanCache {
+        static GLOBAL: OnceLock<PlanCache> = OnceLock::new();
+        GLOBAL.get_or_init(PlanCache::new)
+    }
+
+    /// Compiles `graph` through the cache. In order of preference:
+    ///
+    /// 1. an in-memory model for `(fingerprint, shapes, options)` — returned
+    ///    by `Arc` clone, the compiler is not invoked at all;
+    /// 2. a persisted plan seed — replayed via
+    ///    [`Compiler::compile_with_blocks`] (no plan exploration) and
+    ///    validated against the rewritten graph's fingerprint;
+    /// 3. a cold [`Compiler::compile`], whose plan is recorded as a seed
+    ///    for future calls and future processes.
+    ///
+    /// The compiler's profiling database is still consulted and extended
+    /// exactly as in an uncached compile, so persistent profile data and
+    /// the plan cache compose.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation errors ([`CoreError`]) from the cold path. A
+    /// stale or invalid seed is *not* an error — it falls back to a cold
+    /// compile.
+    pub fn compile_cached<L: LatencyModel>(
+        &self,
+        compiler: &mut Compiler<L>,
+        graph: &Graph,
+    ) -> Result<(Arc<CompiledModel>, CacheOutcome), CoreError> {
+        let key = PlanKey::of(graph, compiler.options());
+        let seed = {
+            let mut inner = self.inner.lock().expect("plan cache lock");
+            if let Some(model) = inner.models.get(&key) {
+                let model = Arc::clone(model);
+                inner.memory_hits += 1;
+                return Ok((model, CacheOutcome::MemoryHit));
+            }
+            inner.seeds.get(&key).cloned()
+        };
+
+        // Compilation (replay or cold) runs outside the lock: concurrent
+        // compilations of *different* models must not serialize on the
+        // cache. Concurrent compiles of the same model race benignly — the
+        // first insert wins, later ones return the winner's Arc.
+        if let Some(seed) = seed {
+            let groups: Vec<Vec<NodeId>> = seed
+                .groups
+                .iter()
+                .map(|g| g.iter().map(|&i| NodeId::from_index(i)).collect())
+                .collect();
+            match compiler.compile_with_blocks(graph, groups) {
+                Ok(model) if model.graph().fingerprint() == seed.rewritten_fingerprint => {
+                    let mut inner = self.inner.lock().expect("plan cache lock");
+                    inner.disk_hits += 1;
+                    let entry = inner.models.entry(key).or_insert_with(|| Arc::new(model));
+                    return Ok((Arc::clone(entry), CacheOutcome::DiskHit));
+                }
+                // Stale seed (different rewrite output) or invalid groups:
+                // drop it and compile cold below.
+                _ => {
+                    self.inner
+                        .lock()
+                        .expect("plan cache lock")
+                        .seeds
+                        .remove(&key);
+                }
+            }
+        }
+
+        let model = compiler.compile(graph)?;
+        let seed = PlanSeed {
+            rewritten_fingerprint: model.graph().fingerprint(),
+            groups: model
+                .plan
+                .blocks()
+                .iter()
+                .map(|b| b.nodes.iter().map(|n| n.index()).collect())
+                .collect(),
+        };
+        let mut inner = self.inner.lock().expect("plan cache lock");
+        inner.misses += 1;
+        inner.seeds.insert(key.clone(), seed);
+        let entry = inner.models.entry(key).or_insert_with(|| Arc::new(model));
+        Ok((Arc::clone(entry), CacheOutcome::Miss))
+    }
+
+    /// Current counters and sizes.
+    #[must_use]
+    pub fn stats(&self) -> PlanCacheStats {
+        let inner = self.inner.lock().expect("plan cache lock");
+        PlanCacheStats {
+            memory_hits: inner.memory_hits,
+            disk_hits: inner.disk_hits,
+            misses: inner.misses,
+            models: inner.models.len(),
+            seeds: inner.seeds.len(),
+        }
+    }
+
+    /// Drops every cached model and seed and zeroes the counters. Mainly
+    /// for tests exercising the cold path against the global cache.
+    pub fn clear(&self) {
+        *self.inner.lock().expect("plan cache lock") = Inner::default();
+    }
+
+    /// Drops the in-memory compiled models but keeps the plan seeds — the
+    /// state a fresh process starts from after [`PlanCache::load_seeds`].
+    /// Tests use this to exercise the disk-replay tier in-process.
+    pub fn drop_models(&self) {
+        self.inner.lock().expect("plan cache lock").models.clear();
+    }
+
+    /// Serializes the plan seeds (the persistent tier) to the versioned,
+    /// checksummed text format:
+    ///
+    /// ```text
+    /// dnnf-plancache/v1
+    /// entries <n>
+    /// <fp>\t<shapes>\t<options>\t<rewritten-fp>\t<idx,idx;idx;…>
+    /// …
+    /// checksum <16-hex fnv64 of everything above>
+    /// ```
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let inner = self.inner.lock().expect("plan cache lock");
+        let mut body = format!("{PLAN_CACHE_HEADER}\nentries {}\n", inner.seeds.len());
+        for (key, seed) in &inner.seeds {
+            let groups = seed
+                .groups
+                .iter()
+                .map(|g| {
+                    g.iter()
+                        .map(ToString::to_string)
+                        .collect::<Vec<_>>()
+                        .join(",")
+                })
+                .collect::<Vec<_>>()
+                .join(";");
+            body.push_str(&format!(
+                "{}\t{}\t{}\t{}\t{}\n",
+                key.fingerprint,
+                key.shape_signature,
+                key.options,
+                seed.rewritten_fingerprint,
+                groups
+            ));
+        }
+        let sum = fnv64(body.as_bytes());
+        body.push_str(&format!("checksum {sum:016x}\n"));
+        body
+    }
+
+    /// Strictly parses text produced by [`PlanCache::to_text`] and merges
+    /// the seeds into this cache (existing seeds with the same key are
+    /// overwritten; in-memory models are untouched). Returns the number of
+    /// seeds merged.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PlanCacheError`] on any damage — wrong header, malformed
+    /// entry, truncation, checksum mismatch. Nothing is merged on error.
+    pub fn merge_text(&self, text: &str) -> Result<usize, PlanCacheError> {
+        let mut lines = text.lines().enumerate();
+        let header = lines.next().map(|(_, l)| l).unwrap_or("");
+        if header != PLAN_CACHE_HEADER {
+            return Err(PlanCacheError::BadHeader {
+                found: header.to_string(),
+            });
+        }
+        let expected: usize = lines
+            .next()
+            .and_then(|(_, l)| l.strip_prefix("entries "))
+            .and_then(|n| n.parse().ok())
+            .ok_or(PlanCacheError::BadCount)?;
+
+        let mut parsed: Vec<(PlanKey, PlanSeed)> = Vec::new();
+        let mut checksum_line = None;
+        for (i, line) in lines {
+            if let Some(sum) = line.strip_prefix("checksum ") {
+                checksum_line = Some((i, sum));
+                break;
+            }
+            let entry = parse_seed_line(line).ok_or(PlanCacheError::BadEntry { line: i + 1 })?;
+            parsed.push(entry);
+        }
+        if parsed.len() != expected {
+            return Err(PlanCacheError::Truncated {
+                expected,
+                found: parsed.len(),
+            });
+        }
+        let (checksum_idx, stated) = checksum_line.ok_or(PlanCacheError::BadChecksum)?;
+        let stated = u64::from_str_radix(stated, 16).map_err(|_| PlanCacheError::BadChecksum)?;
+        let body: String = text
+            .lines()
+            .take(checksum_idx)
+            .flat_map(|l| [l, "\n"])
+            .collect();
+        if fnv64(body.as_bytes()) != stated {
+            return Err(PlanCacheError::BadChecksum);
+        }
+
+        let count = parsed.len();
+        let mut inner = self.inner.lock().expect("plan cache lock");
+        for (key, seed) in parsed {
+            inner.seeds.insert(key, seed);
+        }
+        Ok(count)
+    }
+
+    /// Saves the plan seeds to a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any I/O error.
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.to_text().as_bytes())
+    }
+
+    /// Loads plan seeds from a file written by [`PlanCache::save`] and
+    /// merges them into this cache; returns how many were merged.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; a damaged file fails with
+    /// [`io::ErrorKind::InvalidData`] and merges nothing (callers simply
+    /// start cold).
+    pub fn load_seeds(&self, path: impl AsRef<Path>) -> io::Result<usize> {
+        let mut text = String::new();
+        std::fs::File::open(path)?.read_to_string(&mut text)?;
+        self.merge_text(&text)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}
+
+impl fmt::Debug for PlanCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("PlanCache")
+            .field("models", &stats.models)
+            .field("seeds", &stats.seeds)
+            .finish()
+    }
+}
+
+fn parse_seed_line(line: &str) -> Option<(PlanKey, PlanSeed)> {
+    let mut fields = line.split('\t');
+    let fingerprint = Fingerprint::from_hex(fields.next()?)?;
+    let shape_signature = fields.next()?.to_string();
+    let options = fields.next()?.to_string();
+    let rewritten_fingerprint = Fingerprint::from_hex(fields.next()?)?;
+    let groups_text = fields.next()?;
+    if fields.next().is_some() {
+        return None;
+    }
+    let groups: Vec<Vec<usize>> = if groups_text.is_empty() {
+        Vec::new()
+    } else {
+        groups_text
+            .split(';')
+            .map(|g| g.split(',').map(|i| i.parse::<usize>().ok()).collect())
+            .collect::<Option<Vec<Vec<usize>>>>()?
+    };
+    Some((
+        PlanKey {
+            fingerprint,
+            shape_signature,
+            options,
+        },
+        PlanSeed {
+            rewritten_fingerprint,
+            groups,
+        },
+    ))
+}
+
+/// 64-bit FNV-1a — integrity checksum of the on-disk format (kept local so
+/// the format is self-contained; matches `dnnf-profiledb`'s).
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnnf_ops::{Attrs, OpKind};
+    use dnnf_tensor::Shape;
+
+    fn model(name: &str, channels: usize) -> Graph {
+        let mut g = Graph::new(name);
+        let x = g.add_input("x", Shape::new(vec![1, channels, 8, 8]));
+        let w = g.add_weight("conv.w", Shape::new(vec![channels, channels, 3, 3]));
+        let c = g
+            .add_op(
+                OpKind::Conv,
+                Attrs::new().with_ints("pads", vec![1, 1, 1, 1]),
+                &[x, w],
+                "conv",
+            )
+            .unwrap()[0];
+        let r = g.add_op(OpKind::Relu, Attrs::new(), &[c], "relu").unwrap()[0];
+        g.mark_output(r);
+        g
+    }
+
+    #[test]
+    fn memory_hit_returns_the_same_model() {
+        let cache = PlanCache::new();
+        let g = model("m", 4);
+        let mut compiler = Compiler::new(CompilerOptions::default());
+        let (first, outcome) = cache.compile_cached(&mut compiler, &g).unwrap();
+        assert_eq!(outcome, CacheOutcome::Miss);
+        let (second, outcome) = cache.compile_cached(&mut compiler, &g).unwrap();
+        assert_eq!(outcome, CacheOutcome::MemoryHit);
+        assert!(Arc::ptr_eq(&first, &second));
+        let stats = cache.stats();
+        assert_eq!((stats.misses, stats.memory_hits), (1, 1));
+        assert_eq!((stats.models, stats.seeds), (1, 1));
+    }
+
+    #[test]
+    fn different_shapes_options_and_structure_miss() {
+        let cache = PlanCache::new();
+        let mut compiler = Compiler::new(CompilerOptions::default());
+        let (_, o1) = cache.compile_cached(&mut compiler, &model("a", 4)).unwrap();
+        let (_, o2) = cache.compile_cached(&mut compiler, &model("b", 8)).unwrap();
+        assert_eq!((o1, o2), (CacheOutcome::Miss, CacheOutcome::Miss));
+        // Same graph, different options: its own entry.
+        let mut baseline = Compiler::new(CompilerOptions::baseline());
+        let (_, o3) = cache.compile_cached(&mut baseline, &model("a", 4)).unwrap();
+        assert_eq!(o3, CacheOutcome::Miss);
+        assert_eq!(cache.stats().models, 3);
+        // Each is a memory hit the second time around.
+        let (_, o4) = cache.compile_cached(&mut compiler, &model("a", 4)).unwrap();
+        assert_eq!(o4, CacheOutcome::MemoryHit);
+    }
+
+    #[test]
+    fn seed_roundtrip_and_disk_replay() {
+        let cache = PlanCache::new();
+        let g = model("m", 4);
+        let mut compiler = Compiler::new(CompilerOptions::default());
+        let (cold, _) = cache.compile_cached(&mut compiler, &g).unwrap();
+        let text = cache.to_text();
+
+        // A fresh cache (fresh process) warm-starts from the text.
+        let fresh = PlanCache::new();
+        assert_eq!(fresh.merge_text(&text), Ok(1));
+        let (warm, outcome) = fresh.compile_cached(&mut compiler, &g).unwrap();
+        assert_eq!(outcome, CacheOutcome::DiskHit);
+        // The replayed plan is the same partition.
+        for (w, c) in warm.plan.blocks().iter().zip(cold.plan.blocks()) {
+            assert_eq!(w.nodes, c.nodes);
+        }
+
+        // drop_models keeps seeds: same replay without re-merging.
+        cache.drop_models();
+        let (_, outcome) = cache.compile_cached(&mut compiler, &g).unwrap();
+        assert_eq!(outcome, CacheOutcome::DiskHit);
+    }
+
+    #[test]
+    fn corrupted_text_is_rejected_wholesale() {
+        let cache = PlanCache::new();
+        let g = model("m", 4);
+        let mut compiler = Compiler::new(CompilerOptions::default());
+        cache.compile_cached(&mut compiler, &g).unwrap();
+        let good = cache.to_text();
+
+        let fresh = PlanCache::new();
+        assert!(matches!(
+            fresh.merge_text("dnnf-plancache/v2\n"),
+            Err(PlanCacheError::BadHeader { .. })
+        ));
+        assert_eq!(
+            fresh.merge_text(PLAN_CACHE_HEADER),
+            Err(PlanCacheError::BadCount)
+        );
+        // Flip a digit inside the groups field: checksum catches it.
+        let corrupted = good.replacen("\t0,", "\t1,", 1);
+        if corrupted != good {
+            assert_eq!(
+                fresh.merge_text(&corrupted),
+                Err(PlanCacheError::BadChecksum)
+            );
+        }
+        // Truncate the entry lines.
+        let mut lines: Vec<&str> = good.lines().collect();
+        lines.remove(2);
+        let truncated = lines.join("\n") + "\n";
+        assert!(matches!(
+            fresh.merge_text(&truncated),
+            Err(PlanCacheError::Truncated { .. })
+        ));
+        // Nothing was merged by any failed attempt.
+        assert_eq!(fresh.stats().seeds, 0);
+        // The intact text still merges.
+        assert_eq!(fresh.merge_text(&good), Ok(1));
+    }
+
+    #[test]
+    fn stale_seed_falls_back_to_cold_compile() {
+        let cache = PlanCache::new();
+        let g = model("m", 4);
+        let mut compiler = Compiler::new(CompilerOptions::default());
+        cache.compile_cached(&mut compiler, &g).unwrap();
+        // Sabotage the stored seed: wrong rewritten fingerprint.
+        {
+            let mut inner = cache.inner.lock().unwrap();
+            let seed = inner.seeds.values_mut().next().unwrap();
+            seed.rewritten_fingerprint = Fingerprint::from_hex(&"0".repeat(32)).unwrap();
+        }
+        cache.drop_models();
+        let (_, outcome) = cache.compile_cached(&mut compiler, &g).unwrap();
+        assert_eq!(outcome, CacheOutcome::Miss, "stale seed must compile cold");
+        // The bad seed was replaced by a fresh one; next time replays fine.
+        cache.drop_models();
+        let (_, outcome) = cache.compile_cached(&mut compiler, &g).unwrap();
+        assert_eq!(outcome, CacheOutcome::DiskHit);
+    }
+
+    #[test]
+    fn save_and_load_roundtrip() {
+        let cache = PlanCache::new();
+        let g = model("m", 4);
+        let mut compiler = Compiler::new(CompilerOptions::default());
+        cache.compile_cached(&mut compiler, &g).unwrap();
+
+        let dir = std::env::temp_dir().join("dnnf_plan_cache_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("plans.cache");
+        cache.save(&path).unwrap();
+
+        let fresh = PlanCache::new();
+        assert_eq!(fresh.load_seeds(&path).unwrap(), 1);
+        let (_, outcome) = fresh.compile_cached(&mut compiler, &g).unwrap();
+        assert_eq!(outcome, CacheOutcome::DiskHit);
+
+        // Corrupt the file on disk: load fails with InvalidData.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        let another = PlanCache::new();
+        let err = another.load_seeds(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert_eq!(another.stats().seeds, 0);
+        std::fs::remove_file(path).ok();
+    }
+}
