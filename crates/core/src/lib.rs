@@ -48,6 +48,7 @@
 
 #![warn(missing_docs)]
 
+mod batch;
 pub mod codegen;
 mod compiler;
 mod ecg;
@@ -60,6 +61,7 @@ mod mapping;
 pub mod plan;
 pub mod rewrite;
 
+pub use batch::BatchInstance;
 pub use compiler::{CompilationStats, CompiledModel, Compiler, CompilerOptions, RuntimeCacheSlot};
 pub use ecg::{Ecg, EcgNodeInfo};
 pub use error::CoreError;

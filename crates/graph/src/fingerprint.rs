@@ -196,6 +196,39 @@ pub(crate) fn shape_signature(graph: &Graph) -> String {
     s
 }
 
+/// Builds the batch-polymorphic shape signature: identical to
+/// [`shape_signature`] except every input's leading (batch) dimension is
+/// printed as the symbolic `N` (`x=Nx3x224x224;mask=Nx128`). Rank-0 inputs
+/// have no batch dimension and print unchanged. Keying a cache entry by this
+/// signature expresses that one compiled plan serves any batch size.
+#[must_use]
+pub(crate) fn batch_shape_signature(graph: &Graph) -> String {
+    let mut s = String::new();
+    for (i, &id) in graph.inputs().iter().enumerate() {
+        if i > 0 {
+            s.push(';');
+        }
+        let v = graph.value(id);
+        s.push_str(&v.name);
+        s.push('=');
+        let dims: Vec<String> = v
+            .shape
+            .dims()
+            .iter()
+            .enumerate()
+            .map(|(axis, d)| {
+                if axis == 0 {
+                    "N".to_string()
+                } else {
+                    d.to_string()
+                }
+            })
+            .collect();
+        s.push_str(&dims.join("x"));
+    }
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -373,5 +406,15 @@ mod tests {
         assert_eq!(Fingerprint::from_hex("zz"), None);
         assert_eq!(Fingerprint::from_hex(&"0".repeat(31)), None);
         assert_eq!(g.shape_signature(), "x=1x4x8x8");
+    }
+
+    #[test]
+    fn batch_shape_signature_symbolizes_leading_dim() {
+        let g = base_graph();
+        assert_eq!(g.batch_shape_signature(), "x=Nx4x8x8");
+        // Every batch variant of the same model shares one signature.
+        let g8 = g.with_batch_size(8).unwrap();
+        assert_eq!(g8.batch_shape_signature(), g.batch_shape_signature());
+        assert_ne!(g8.shape_signature(), g.shape_signature());
     }
 }

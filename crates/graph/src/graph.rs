@@ -368,6 +368,88 @@ impl Graph {
         stats
     }
 
+    /// Rebuilds this graph with every input's leading (batch) dimension set
+    /// to `batch`, re-running shape inference over all nodes so every value
+    /// carries the rebatched shape. Node and value ids, names, weights and
+    /// attached weight data are preserved exactly, which is what lets a
+    /// [`FusionPlan`](https://docs.rs/dnnf-core)-style node grouping computed
+    /// on one batch size be replayed on another: only shapes change.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::Invalid`] when `batch == 0` or an input is
+    /// rank-0 (no batch dimension to rebind), and
+    /// [`GraphError::ShapeInference`] when an operator is not
+    /// batch-polymorphic (e.g. a `Reshape` whose target shape bakes in the
+    /// original batch size).
+    pub fn with_batch_size(&self, batch: usize) -> Result<Graph, GraphError> {
+        if batch == 0 {
+            return Err(GraphError::Invalid {
+                reason: "batch size must be at least 1".into(),
+            });
+        }
+        let mut g = self.clone();
+        let mut changed = false;
+        for &id in &self.inputs {
+            let v = &mut g.values[id.0];
+            if v.shape.rank() == 0 {
+                return Err(GraphError::Invalid {
+                    reason: format!("input `{}` is rank-0 and has no batch dimension", v.name),
+                });
+            }
+            if v.shape.dim(0) != batch {
+                let mut dims = v.shape.dims().to_vec();
+                dims[0] = batch;
+                v.shape = Shape::new(dims);
+                changed = true;
+            }
+        }
+        if !changed {
+            return Ok(g);
+        }
+        // Re-infer every node output in topological order so rebatched
+        // input shapes propagate through the whole graph.
+        for id in self.topo_order() {
+            let input_shapes: Vec<Shape> = g.nodes[id.0]
+                .inputs
+                .iter()
+                .map(|&v| g.values[v.0].shape.clone())
+                .collect();
+            let node = &g.nodes[id.0];
+            let output_shapes =
+                infer_shapes(node.op, &node.attrs, &input_shapes).map_err(|source| {
+                    GraphError::ShapeInference {
+                        node: node.name.clone(),
+                        source,
+                    }
+                })?;
+            if output_shapes.len() != node.outputs.len() {
+                return Err(GraphError::Invalid {
+                    reason: format!("node `{}` changed output arity under rebatching", node.name),
+                });
+            }
+            let outputs = node.outputs.clone();
+            for (vid, shape) in outputs.into_iter().zip(output_shapes) {
+                g.values[vid.0].shape = shape;
+            }
+        }
+        Ok(g)
+    }
+
+    /// The leading dimension of the first graph input — the batch size by
+    /// the NCHW / `[batch, features]` convention every bundled model follows.
+    /// `None` when the graph has no inputs or the first input is rank-0.
+    #[must_use]
+    pub fn batch_size(&self) -> Option<usize> {
+        let &first = self.inputs.first()?;
+        let shape = &self.values[first.0].shape;
+        if shape.rank() == 0 {
+            None
+        } else {
+            Some(shape.dim(0))
+        }
+    }
+
     /// Computes the deterministic structural fingerprint of this graph:
     /// a 128-bit hash over topology, operator attributes, value shapes and
     /// dtypes, output markings, and weight identities (names plus any
@@ -385,6 +467,15 @@ impl Graph {
     #[must_use]
     pub fn shape_signature(&self) -> String {
         crate::fingerprint::shape_signature(self)
+    }
+
+    /// Like [`Graph::shape_signature`] but with every input's leading
+    /// (batch) dimension printed as the symbolic `N`, e.g. `x=Nx3x224x224`.
+    /// Batch-polymorphic cache entries are keyed by this signature so one
+    /// compiled plan serves every batch size.
+    #[must_use]
+    pub fn batch_shape_signature(&self) -> String {
+        crate::fingerprint::batch_shape_signature(self)
     }
 
     /// Exports the graph in Graphviz DOT format (nodes labelled with operator
@@ -588,6 +679,57 @@ mod tests {
         assert_eq!(outs.len(), 2);
         assert_eq!(g.value(outs[0]).shape.dims(), &[2, 4]);
         assert_eq!(g.value(outs[1]).shape.dims(), &[2, 4]);
+    }
+
+    #[test]
+    fn with_batch_size_rebatches_every_value() {
+        let g = toy_cnn();
+        assert_eq!(g.batch_size(), Some(1));
+        let g4 = g.with_batch_size(4).unwrap();
+        assert_eq!(g4.batch_size(), Some(4));
+        // Same structure, new shapes everywhere downstream of the input.
+        assert_eq!(g4.node_count(), g.node_count());
+        assert_eq!(g4.value_count(), g.value_count());
+        let conv_out = g4.node(NodeId(0)).outputs[0];
+        assert_eq!(g4.value(conv_out).shape.dims(), &[4, 4, 8, 8]);
+        let fc_out = *g4.outputs().first().unwrap();
+        assert_eq!(g4.value(fc_out).shape.dims(), &[4, 10]);
+        // Weights are batch-free and untouched.
+        for (v, v4) in g.values().zip(g4.values()) {
+            if v.is_weight() {
+                assert_eq!(v.shape, v4.shape);
+            }
+        }
+        assert!(g4.validate().is_ok());
+    }
+
+    #[test]
+    fn with_batch_size_round_trips_to_the_same_fingerprint() {
+        let g = toy_cnn();
+        let g4 = g.with_batch_size(4).unwrap();
+        assert_ne!(g4.fingerprint(), g.fingerprint());
+        // Rebatching back to 1 reproduces the original graph exactly.
+        let back = g4.with_batch_size(1).unwrap();
+        assert_eq!(back.fingerprint(), g.fingerprint());
+        // Rebatching to the current batch size is the identity.
+        assert_eq!(g.with_batch_size(1).unwrap().fingerprint(), g.fingerprint());
+    }
+
+    #[test]
+    fn with_batch_size_rejects_zero_and_rank0_inputs() {
+        let g = toy_cnn();
+        assert!(matches!(
+            g.with_batch_size(0),
+            Err(GraphError::Invalid { .. })
+        ));
+        let mut scalar = Graph::new("scalar-in");
+        scalar.add_input("s", Shape::new(vec![]));
+        assert!(matches!(
+            scalar.with_batch_size(2),
+            Err(GraphError::Invalid { .. })
+        ));
+        assert_eq!(scalar.batch_size(), None);
+        assert_eq!(Graph::new("empty").batch_size(), None);
     }
 
     #[test]

@@ -146,6 +146,91 @@ impl Executor {
         )
     }
 
+    /// Runs a compiled model accepting any batch size: the leading (batch)
+    /// dimension of the provided inputs may differ from the batch size the
+    /// model was compiled at. When it does, the model's expensive fusion
+    /// plan is reused verbatim and only cheap shape inference + code
+    /// generation re-run for the requested batch
+    /// ([`CompiledModel::instance_for_batch`], cached on the model), so one
+    /// compiled plan — one plan-cache entry — serves every batch size.
+    ///
+    /// The weight store is shared with the native path (weights are
+    /// batch-free and value ids are stable under rebatching), and because
+    /// every kernel partitions work so each thread/lane owns whole output
+    /// elements of independent batch items, outputs are **bit-identical** to
+    /// running each batch row through [`Executor::run_compiled`] separately.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RuntimeError`] if inputs are missing, disagree on their
+    /// batch size, or mismatch the model beyond the batch dimension; and
+    /// [`RuntimeError::Core`] when the model cannot be rebatched (e.g. an
+    /// operator whose attributes bake in the native batch size).
+    pub fn run_compiled_batched(
+        &self,
+        model: &CompiledModel,
+        inputs: &HashMap<String, Tensor>,
+    ) -> Result<ExecutionReport, RuntimeError> {
+        let graph = model.graph();
+        let batch = self.requested_batch(graph, inputs)?;
+        if batch.is_none() || batch == model.native_batch() {
+            // Native batch (or nothing to rebatch): the precompiled engine
+            // serves the request directly.
+            return self.run_compiled(model, inputs);
+        }
+        let instance = model
+            .instance_for_batch(batch.expect("checked above"))
+            .map_err(RuntimeError::Core)?;
+        let store = WeightStore::of_model(model);
+        self.run_plan_with_store(
+            instance.graph(),
+            &model.plan,
+            instance.engine(),
+            &store,
+            inputs,
+            None,
+        )
+    }
+
+    /// The batch size the provided inputs request, by the leading-dimension
+    /// convention. `None` when the graph has no inputs or an input's rank
+    /// disagrees with the graph (the native path then reports the precise
+    /// mismatch); an error when inputs are missing or disagree with each
+    /// other on the batch size.
+    fn requested_batch(
+        &self,
+        graph: &Graph,
+        inputs: &HashMap<String, Tensor>,
+    ) -> Result<Option<usize>, RuntimeError> {
+        let mut batch: Option<usize> = None;
+        for &input_id in graph.inputs() {
+            let value = graph.value(input_id);
+            let tensor = inputs
+                .get(&value.name)
+                .ok_or_else(|| RuntimeError::MissingInput {
+                    name: value.name.clone(),
+                })?;
+            if value.shape.rank() == 0 || tensor.shape().rank() != value.shape.rank() {
+                return Ok(None);
+            }
+            let b = tensor.shape().dim(0);
+            match batch {
+                None => batch = Some(b),
+                Some(prev) if prev != b => {
+                    let mut expected = value.shape.dims().to_vec();
+                    expected[0] = prev;
+                    return Err(RuntimeError::InputShapeMismatch {
+                        name: value.name.clone(),
+                        expected,
+                        actual: tensor.shape().dims().to_vec(),
+                    });
+                }
+                Some(_) => {}
+            }
+        }
+        Ok(batch)
+    }
+
     /// Runs a compiled model like [`Executor::run_compiled`] while recording
     /// each fused block's **measured wall-clock latency** (µs) into `db`,
     /// under exactly the key the fusion planner consults during exploration
@@ -687,6 +772,63 @@ mod tests {
         }
         // SIMD changes wall-clock only; the modeled counters are identical.
         assert_eq!(base.counters, report.counters);
+    }
+
+    #[test]
+    fn batched_execution_is_bit_identical_to_per_request_runs() {
+        let g = small_cnn();
+        let mut compiler = Compiler::new(CompilerOptions::default());
+        let compiled = compiler.compile(&g).unwrap();
+        let executor = Executor::new(DeviceSpec::snapdragon_865_cpu());
+        // One polymorphic plan serves several batch sizes.
+        for batch in [1usize, 2, 5] {
+            // Batch input: `batch` independent rows concatenated along dim 0.
+            let per_row: Vec<Tensor> = (0..batch)
+                .map(|i| Tensor::random(Shape::new(vec![1, 3, 8, 8]), 100 + i as u64))
+                .collect();
+            let mut data = Vec::new();
+            for t in &per_row {
+                data.extend_from_slice(t.data());
+            }
+            let batched: HashMap<String, Tensor> = [(
+                "x".to_string(),
+                Tensor::from_vec(Shape::new(vec![batch, 3, 8, 8]), data).unwrap(),
+            )]
+            .into();
+            let report = executor.run_compiled_batched(&compiled, &batched).unwrap();
+            assert_eq!(report.outputs[0].shape().dims(), &[batch, 10]);
+            // Each row is bit-identical to its own single-request run.
+            for (i, row) in per_row.iter().enumerate() {
+                let single: HashMap<String, Tensor> = [("x".to_string(), row.clone())].into();
+                let direct = executor.run_compiled(&compiled, &single).unwrap();
+                let got = &report.outputs[0].data()[i * 10..(i + 1) * 10];
+                assert_eq!(
+                    got,
+                    direct.outputs[0].data(),
+                    "batch {batch} row {i} diverged from the direct run"
+                );
+            }
+        }
+        // Inconsistent batch sizes across inputs are rejected up front.
+        let mut two_inputs = Graph::new("two-in");
+        let a = two_inputs.add_input("a", Shape::new(vec![1, 4]));
+        let b = two_inputs.add_input("b", Shape::new(vec![1, 4]));
+        let sum = two_inputs
+            .add_op(OpKind::Add, Attrs::new(), &[a, b], "sum")
+            .unwrap()[0];
+        two_inputs.mark_output(sum);
+        let compiled2 = Compiler::new(CompilerOptions::default())
+            .compile(&two_inputs)
+            .unwrap();
+        let bad: HashMap<String, Tensor> = [
+            ("a".to_string(), Tensor::zeros(Shape::new(vec![2, 4]))),
+            ("b".to_string(), Tensor::zeros(Shape::new(vec![3, 4]))),
+        ]
+        .into();
+        assert!(matches!(
+            executor.run_compiled_batched(&compiled2, &bad),
+            Err(RuntimeError::InputShapeMismatch { .. })
+        ));
     }
 
     #[test]

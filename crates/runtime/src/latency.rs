@@ -32,8 +32,21 @@ impl DeviceLatencyModel {
     }
 
     /// Describes the work of executing `nodes` as one fused kernel.
+    ///
+    /// Malformed blocks are costed conservatively, never panicked on — a
+    /// long-lived serving process must survive a planner probing a bad
+    /// candidate. Concretely: an empty block is zero work, and a node
+    /// without outputs (impossible through [`Graph::add_op`], which always
+    /// materializes the inferred output values, but representable in a
+    /// hand-built block) contributes its FLOPs and boundary reads but is
+    /// never classified as a compute anchor from a fabricated shape.
     #[must_use]
     pub fn block_work(&self, graph: &Graph, nodes: &[NodeId]) -> BlockWork {
+        if nodes.is_empty() {
+            // An empty probe does no work; don't fabricate a 1-element
+            // output for it below.
+            return BlockWork::default();
+        }
         let set: BTreeSet<NodeId> = nodes.iter().copied().collect();
         let mut work = BlockWork::default();
         let mut counted = BTreeSet::new();
@@ -50,10 +63,16 @@ impl DeviceLatencyModel {
                 .map(|&id| graph.value(id).shape.clone())
                 .collect();
             work.flops += cost::flops(node.op, &node.attrs, &input_shapes, &output_shapes);
-            let output_shape = output_shapes.first().cloned().unwrap_or_else(Shape::scalar);
+            // Invariant: every node built by `Graph::add_op` has at least
+            // one output (shape inference creates them). Classify an
+            // outputless node as plain element-wise work instead of
+            // inventing a scalar output shape for it.
+            let Some(output_shape) = output_shapes.first() else {
+                continue;
+            };
             match node
                 .op
-                .mapping_type_with_shapes(&input_shapes, &output_shape)
+                .mapping_type_with_shapes(&input_shapes, output_shape)
             {
                 MappingType::ManyToMany => work.has_compute_anchor = true,
                 // Only data-movement operators disrupt the anchor's access
@@ -83,13 +102,16 @@ impl DeviceLatencyModel {
             }
         }
         if work.output_elems == 0 {
-            // Internal-only probe (should not happen for real blocks): fall
-            // back to the last node's output size.
-            work.output_elems = nodes
-                .last()
-                .and_then(|&n| graph.node(n).outputs.first().copied())
-                .map(|v| graph.value(v).shape.numel() as u64)
-                .unwrap_or(1);
+            // Internal-only probe: every output is consumed inside the
+            // block, so nothing "escaped" above. Real plans never produce
+            // such blocks (a block's last value always escapes), but the
+            // planner may probe one. Cost it by its last node's output so
+            // downstream per-element math never divides by zero; a
+            // malformed last node without outputs costs one element.
+            work.output_elems = match nodes.last().and_then(|&n| graph.node(n).outputs.first()) {
+                Some(&v) => (graph.value(v).shape.numel() as u64).max(1),
+                None => 1,
+            };
         }
         work
     }
@@ -175,5 +197,21 @@ mod tests {
         let g = chain();
         let model = DeviceLatencyModel::new(DeviceSpec::snapdragon_865_cpu());
         assert_eq!(model.fused_latency_us(&g, &[]), 0.0);
+        // And zero work — no fabricated output elements.
+        assert_eq!(model.block_work(&g, &[]), BlockWork::default());
+    }
+
+    #[test]
+    fn single_interior_node_probe_is_costed_without_panicking() {
+        // A probe block of one mid-chain node: its input comes from outside
+        // the block and its output escapes to the rest of the chain. The
+        // model must cost it like any block, with non-zero output elements.
+        let g = chain();
+        let model = DeviceLatencyModel::new(DeviceSpec::snapdragon_865_cpu());
+        let mid = g.nodes().nth(2).unwrap().id;
+        let work = model.block_work(&g, &[mid]);
+        assert_eq!(work.output_elems, 16 * 32 * 32);
+        assert_eq!(work.boundary_elems, 2 * 16 * 32 * 32);
+        assert!(model.fused_latency_us(&g, &[mid]) > 0.0);
     }
 }

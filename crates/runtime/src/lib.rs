@@ -72,6 +72,7 @@ pub use latency::DeviceLatencyModel;
 pub use memory::{MemoryPlan, TensorArena, ValueLifetime};
 pub use options::{ExecOptions, FORCE_SCALAR_ENV, NUM_THREADS_ENV};
 pub use plan_cache::{
-    CacheOutcome, PlanCache, PlanCacheError, PlanCacheStats, PlanKey, PLAN_CACHE_HEADER,
+    CacheOutcome, PlanCache, PlanCacheError, PlanCacheStats, PlanKey, DEFAULT_MODEL_CAPACITY,
+    PLAN_CACHE_HEADER,
 };
 pub use weights::{materialize_weights, WeightStore};

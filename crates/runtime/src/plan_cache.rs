@@ -154,19 +154,87 @@ pub struct PlanCacheStats {
     pub disk_hits: u64,
     /// Compilations that ran cold.
     pub misses: u64,
-    /// In-memory compiled models currently held.
+    /// In-memory compiled models currently held (≤ `capacity`).
     pub models: usize,
     /// Plan seeds currently held (in-memory + loaded from disk).
     pub seeds: usize,
+    /// Models evicted from the in-memory tier since creation.
+    pub evictions: u64,
+    /// Maximum in-memory models (the LRU bound).
+    pub capacity: usize,
 }
 
-#[derive(Default)]
+/// Default bound on in-memory compiled models — generous (a server tenant
+/// set, not a per-request working set), because each entry pins compiled
+/// kernels, weight stores and batch instances via `Arc<CompiledModel>`.
+/// [`PlanCache::global`] uses this; tune per cache with
+/// [`PlanCache::with_capacity`] / [`PlanCache::set_capacity`].
+pub const DEFAULT_MODEL_CAPACITY: usize = 64;
+
+/// One resident compiled model plus its last-use tick (for LRU eviction).
+struct ModelEntry {
+    model: Arc<CompiledModel>,
+    tick: u64,
+}
+
 struct Inner {
-    models: BTreeMap<PlanKey, Arc<CompiledModel>>,
+    models: BTreeMap<PlanKey, ModelEntry>,
     seeds: BTreeMap<PlanKey, PlanSeed>,
+    capacity: usize,
+    tick: u64,
     memory_hits: u64,
     disk_hits: u64,
     misses: u64,
+    evictions: u64,
+}
+
+impl Default for Inner {
+    fn default() -> Self {
+        Inner {
+            models: BTreeMap::new(),
+            seeds: BTreeMap::new(),
+            capacity: DEFAULT_MODEL_CAPACITY,
+            tick: 0,
+            memory_hits: 0,
+            disk_hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+}
+
+impl Inner {
+    /// Registers `model` under `key` (first insert wins a race), marks the
+    /// entry most recently used, and evicts least-recently-used models until
+    /// the tier fits its capacity. Seeds are never evicted — an evicted
+    /// model whose seed survives warm-starts as a [`CacheOutcome::DiskHit`].
+    fn insert_model(&mut self, key: PlanKey, model: CompiledModel) -> Arc<CompiledModel> {
+        self.tick += 1;
+        let tick = self.tick;
+        let entry = self.models.entry(key).or_insert_with(|| ModelEntry {
+            model: Arc::new(model),
+            tick,
+        });
+        entry.tick = tick;
+        let model = Arc::clone(&entry.model);
+        self.enforce_capacity();
+        model
+    }
+
+    fn enforce_capacity(&mut self) {
+        while self.models.len() > self.capacity {
+            // The just-touched entry holds the max tick, so it is never the
+            // victim (capacity is at least 1).
+            let victim = self
+                .models
+                .iter()
+                .min_by_key(|(_, e)| e.tick)
+                .map(|(k, _)| k.clone())
+                .expect("over-capacity map is non-empty");
+            self.models.remove(&victim);
+            self.evictions += 1;
+        }
+    }
 }
 
 /// A shape-keyed compilation cache (see the module docs).
@@ -176,10 +244,37 @@ pub struct PlanCache {
 }
 
 impl PlanCache {
-    /// Creates an empty cache.
+    /// Creates an empty cache bounded at [`DEFAULT_MODEL_CAPACITY`]
+    /// in-memory models.
     #[must_use]
     pub fn new() -> Self {
         PlanCache::default()
+    }
+
+    /// Creates an empty cache holding at most `capacity` in-memory models
+    /// (clamped to at least 1). Beyond it the least recently used model is
+    /// dropped; its plan seed stays, so recompiling an evicted model skips
+    /// plan exploration ([`CacheOutcome::DiskHit`]), it does not run cold.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        let cache = PlanCache::default();
+        cache.inner.lock().expect("plan cache lock").capacity = capacity.max(1);
+        cache
+    }
+
+    /// Changes the in-memory model bound (clamped to at least 1), evicting
+    /// least-recently-used models immediately if the tier is over the new
+    /// bound.
+    pub fn set_capacity(&self, capacity: usize) {
+        let mut inner = self.inner.lock().expect("plan cache lock");
+        inner.capacity = capacity.max(1);
+        inner.enforce_capacity();
+    }
+
+    /// The current in-memory model bound.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.inner.lock().expect("plan cache lock").capacity
     }
 
     /// The process-wide cache: every caller compiling through it shares one
@@ -216,10 +311,61 @@ impl PlanCache {
         graph: &Graph,
     ) -> Result<(Arc<CompiledModel>, CacheOutcome), CoreError> {
         let key = PlanKey::of(graph, compiler.options());
+        self.compile_keyed(compiler, graph, key)
+    }
+
+    /// Compiles `graph` through the cache under a **batch-polymorphic** key:
+    /// the graph is normalized to batch size 1
+    /// ([`Graph::with_batch_size`]) and keyed by the normalized
+    /// fingerprint plus the symbolic batch shape signature
+    /// ([`Graph::batch_shape_signature`], `x=Nx3x224x224`), so every batch
+    /// variant of one model shares a single cache entry. The returned model
+    /// is the batch-1 canonical compilation; run it at any batch size with
+    /// `Executor::run_compiled_batched`, which reuses the plan and re-runs
+    /// only cheap codegen per batch size.
+    ///
+    /// Graphs that cannot be rebatched (rank-0 inputs, batch-baked
+    /// attributes, no inputs) fall back to the exact-shape
+    /// [`PlanCache::compile_cached`] behaviour.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation errors ([`CoreError`]) from the cold path.
+    pub fn compile_batched<L: LatencyModel>(
+        &self,
+        compiler: &mut Compiler<L>,
+        graph: &Graph,
+    ) -> Result<(Arc<CompiledModel>, CacheOutcome), CoreError> {
+        let canonical = match graph.batch_size() {
+            Some(1) => graph.clone(),
+            Some(_) => match graph.with_batch_size(1) {
+                Ok(g) => g,
+                // Not batch-polymorphic: cache per exact shape instead.
+                Err(_) => return self.compile_cached(compiler, graph),
+            },
+            None => return self.compile_cached(compiler, graph),
+        };
+        let key = PlanKey {
+            fingerprint: canonical.fingerprint(),
+            shape_signature: canonical.batch_shape_signature(),
+            options: compiler.options().cache_key(),
+        };
+        self.compile_keyed(compiler, &canonical, key)
+    }
+
+    fn compile_keyed<L: LatencyModel>(
+        &self,
+        compiler: &mut Compiler<L>,
+        graph: &Graph,
+        key: PlanKey,
+    ) -> Result<(Arc<CompiledModel>, CacheOutcome), CoreError> {
         let seed = {
             let mut inner = self.inner.lock().expect("plan cache lock");
-            if let Some(model) = inner.models.get(&key) {
-                let model = Arc::clone(model);
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some(entry) = inner.models.get_mut(&key) {
+                entry.tick = tick;
+                let model = Arc::clone(&entry.model);
                 inner.memory_hits += 1;
                 return Ok((model, CacheOutcome::MemoryHit));
             }
@@ -240,8 +386,8 @@ impl PlanCache {
                 Ok(model) if model.graph().fingerprint() == seed.rewritten_fingerprint => {
                     let mut inner = self.inner.lock().expect("plan cache lock");
                     inner.disk_hits += 1;
-                    let entry = inner.models.entry(key).or_insert_with(|| Arc::new(model));
-                    return Ok((Arc::clone(entry), CacheOutcome::DiskHit));
+                    let model = inner.insert_model(key, model);
+                    return Ok((model, CacheOutcome::DiskHit));
                 }
                 // Stale seed (different rewrite output) or invalid groups:
                 // drop it and compile cold below.
@@ -268,8 +414,8 @@ impl PlanCache {
         let mut inner = self.inner.lock().expect("plan cache lock");
         inner.misses += 1;
         inner.seeds.insert(key.clone(), seed);
-        let entry = inner.models.entry(key).or_insert_with(|| Arc::new(model));
-        Ok((Arc::clone(entry), CacheOutcome::Miss))
+        let model = inner.insert_model(key, model);
+        Ok((model, CacheOutcome::Miss))
     }
 
     /// Current counters and sizes.
@@ -282,13 +428,21 @@ impl PlanCache {
             misses: inner.misses,
             models: inner.models.len(),
             seeds: inner.seeds.len(),
+            evictions: inner.evictions,
+            capacity: inner.capacity,
         }
     }
 
-    /// Drops every cached model and seed and zeroes the counters. Mainly
-    /// for tests exercising the cold path against the global cache.
+    /// Drops every cached model and seed and zeroes the counters (the
+    /// capacity setting survives). Mainly for tests exercising the cold
+    /// path against the global cache.
     pub fn clear(&self) {
-        *self.inner.lock().expect("plan cache lock") = Inner::default();
+        let mut inner = self.inner.lock().expect("plan cache lock");
+        let capacity = inner.capacity;
+        *inner = Inner {
+            capacity,
+            ..Inner::default()
+        };
     }
 
     /// Drops the in-memory compiled models but keeps the plan seeds — the
@@ -527,6 +681,57 @@ mod tests {
         // Each is a memory hit the second time around.
         let (_, o4) = cache.compile_cached(&mut compiler, &model("a", 4)).unwrap();
         assert_eq!(o4, CacheOutcome::MemoryHit);
+    }
+
+    #[test]
+    fn capacity_bounds_the_model_tier_with_lru_eviction() {
+        let cache = PlanCache::with_capacity(2);
+        assert_eq!(cache.capacity(), 2);
+        let mut compiler = Compiler::new(CompilerOptions::default());
+        // Three distinct models through a 2-slot cache.
+        cache.compile_cached(&mut compiler, &model("a", 2)).unwrap();
+        cache.compile_cached(&mut compiler, &model("b", 4)).unwrap();
+        // Touch `a` so `b` is the LRU victim when `c` arrives.
+        let (_, o) = cache.compile_cached(&mut compiler, &model("a", 2)).unwrap();
+        assert_eq!(o, CacheOutcome::MemoryHit);
+        cache.compile_cached(&mut compiler, &model("c", 8)).unwrap();
+        let stats = cache.stats();
+        assert_eq!(stats.models, 2, "tier must hold <= capacity models");
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.seeds, 3, "seeds are never evicted");
+        // `a` survived (recently used), `b` was evicted but warm-starts
+        // from its seed instead of compiling cold.
+        let (_, o) = cache.compile_cached(&mut compiler, &model("a", 2)).unwrap();
+        assert_eq!(o, CacheOutcome::MemoryHit);
+        let (_, o) = cache.compile_cached(&mut compiler, &model("b", 4)).unwrap();
+        assert_eq!(o, CacheOutcome::DiskHit, "evicted model replays its seed");
+        // Shrinking the capacity evicts immediately; zero clamps to one.
+        cache.set_capacity(0);
+        assert_eq!(cache.capacity(), 1);
+        assert_eq!(cache.stats().models, 1);
+        // clear() keeps the configured capacity.
+        cache.clear();
+        assert_eq!(cache.capacity(), 1);
+        assert_eq!(cache.stats().models, 0);
+    }
+
+    #[test]
+    fn batched_key_shares_one_entry_across_batch_sizes() {
+        let cache = PlanCache::new();
+        let mut compiler = Compiler::new(CompilerOptions::default());
+        let g1 = model("m", 4);
+        let (m1, o1) = cache.compile_batched(&mut compiler, &g1).unwrap();
+        assert_eq!(o1, CacheOutcome::Miss);
+        // The same model presented at batch 8 is a memory hit on the same
+        // canonical (batch-1) entry.
+        let g8 = g1.with_batch_size(8).unwrap();
+        let (m8, o8) = cache.compile_batched(&mut compiler, &g8).unwrap();
+        assert_eq!(o8, CacheOutcome::MemoryHit);
+        assert!(Arc::ptr_eq(&m1, &m8));
+        assert_eq!(cache.stats().models, 1);
+        // The canonical model compiles at batch 1 regardless of how it was
+        // presented.
+        assert_eq!(m8.native_batch(), Some(1));
     }
 
     #[test]

@@ -1,0 +1,77 @@
+//! Serving-layer errors.
+
+use std::fmt;
+
+/// Errors surfaced to serving clients.
+///
+/// Engine failures are carried as rendered messages (not the underlying
+/// `RuntimeError`) because one failed dispatch fans out to every request in
+/// the batch, and requests only ever see their own copy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The request names a model the server does not host.
+    UnknownModel {
+        /// The requested model name.
+        model: String,
+    },
+    /// The model's queue is at its admission limit — backpressure; retry
+    /// later or shed load upstream.
+    QueueFull {
+        /// The model whose queue is full.
+        model: String,
+        /// The configured per-model limit, in requests.
+        capacity: usize,
+    },
+    /// The request is malformed: missing input, wrong shape, inconsistent
+    /// or oversized batch.
+    BadRequest {
+        /// Human-readable explanation.
+        reason: String,
+    },
+    /// The server is shutting down (or was shut down before the request
+    /// could be dispatched).
+    ShuttingDown,
+    /// The engine failed to execute the dispatched batch.
+    Engine {
+        /// The rendered runtime error.
+        message: String,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::UnknownModel { model } => write!(f, "unknown model `{model}`"),
+            ServeError::QueueFull { model, capacity } => {
+                write!(f, "queue for model `{model}` is full ({capacity} requests)")
+            }
+            ServeError::BadRequest { reason } => write!(f, "bad request: {reason}"),
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::Engine { message } => write!(f, "engine error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative_and_error_is_send_sync() {
+        assert!(ServeError::UnknownModel {
+            model: "vgg".into()
+        }
+        .to_string()
+        .contains("vgg"));
+        assert!(ServeError::QueueFull {
+            model: "m".into(),
+            capacity: 4
+        }
+        .to_string()
+        .contains('4'));
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ServeError>();
+    }
+}

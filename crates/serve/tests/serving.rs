@@ -1,0 +1,329 @@
+//! End-to-end tests for the serving layer: queue drain, bit-identity,
+//! mixed-batch coalescing, backpressure, and PlanCache races under
+//! eviction pressure.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use dnnf_core::{CompiledModel, Compiler, CompilerOptions};
+use dnnf_graph::Graph;
+use dnnf_ops::{Attrs, OpKind};
+use dnnf_runtime::{Executor, PlanCache};
+use dnnf_serve::{ServeConfig, ServeError, Server};
+use dnnf_simdev::DeviceSpec;
+use dnnf_tensor::{Shape, Tensor};
+
+/// A tiny conv + bias + relu model with `channels` output channels; the
+/// channel count doubles as a knob to mint distinct fingerprints.
+fn conv_graph(channels: usize) -> Graph {
+    let mut g = Graph::new(format!("conv{channels}"));
+    let x = g.add_input("x", Shape::new(vec![1, 3, 8, 8]));
+    let w = g.add_weight_with_data(
+        "w",
+        Tensor::random(Shape::new(vec![channels, 3, 3, 3]), 11 + channels as u64),
+    );
+    let b = g.add_weight_with_data(
+        "b",
+        Tensor::random(Shape::new(vec![1, channels, 1, 1]), 23 + channels as u64),
+    );
+    let c = g
+        .add_op(
+            OpKind::Conv,
+            Attrs::new().with_ints("pads", vec![1, 1, 1, 1]),
+            &[x, w],
+            "conv",
+        )
+        .expect("conv")[0];
+    let a = g
+        .add_op(OpKind::Add, Attrs::new(), &[c, b], "bias")
+        .expect("bias")[0];
+    let r = g
+        .add_op(OpKind::Relu, Attrs::new(), &[a], "relu")
+        .expect("relu")[0];
+    g.mark_output(r);
+    g
+}
+
+fn compile(graph: &Graph) -> Arc<CompiledModel> {
+    let mut compiler = Compiler::new(CompilerOptions::default());
+    Arc::new(compiler.compile(graph).expect("compile"))
+}
+
+fn request(rows: usize, seed: u64) -> HashMap<String, Tensor> {
+    [(
+        "x".to_string(),
+        Tensor::random(Shape::new(vec![rows, 3, 8, 8]), seed),
+    )]
+    .into()
+}
+
+fn direct_outputs(model: &Arc<CompiledModel>, inputs: &HashMap<String, Tensor>) -> Vec<Tensor> {
+    Executor::new(DeviceSpec::snapdragon_865_cpu())
+        .without_cache_simulation()
+        .run_compiled_batched(model, inputs)
+        .expect("direct run")
+        .outputs
+}
+
+#[test]
+fn empty_queue_drains_and_shuts_down_cleanly() {
+    let server = Server::builder(ServeConfig::default())
+        .model("conv", compile(&conv_graph(4)))
+        .expect("register")
+        .start();
+    assert_eq!(server.model_names(), vec!["conv".to_string()]);
+    let stats = server.stats();
+    assert_eq!(stats.model("conv").expect("stats").pending, 0);
+    server.shutdown(); // nothing queued: must not hang or panic
+}
+
+#[test]
+fn single_request_is_bit_identical_to_direct_execution() {
+    let model = compile(&conv_graph(4));
+    let server = Server::builder(ServeConfig {
+        workers: 1,
+        batch_window: Duration::ZERO, // pass-through
+        ..ServeConfig::default()
+    })
+    .model("conv", Arc::clone(&model))
+    .expect("register")
+    .start();
+
+    let inputs = request(1, 42);
+    let expected = direct_outputs(&model, &inputs);
+    let response = server
+        .submit("conv", inputs)
+        .expect("submit")
+        .wait()
+        .expect("response");
+    server.shutdown();
+
+    assert_eq!(response.outputs.len(), expected.len());
+    for (got, want) in response.outputs.iter().zip(&expected) {
+        assert_eq!(got.shape(), want.shape());
+        // Tolerance 0: the served result must be the same bits.
+        assert_eq!(got.data(), want.data());
+    }
+}
+
+#[test]
+fn mixed_batch_sizes_coalesce_through_one_polymorphic_plan() {
+    let cache = PlanCache::new();
+    let graph = conv_graph(4);
+    let mut compiler = Compiler::new(CompilerOptions::default());
+    let (model, _) = cache
+        .compile_batched(&mut compiler, &graph)
+        .expect("compile via cache");
+
+    let server = Server::builder(ServeConfig {
+        workers: 1,
+        max_batch: 16,
+        // Generous window so all three submits land in one dispatch.
+        batch_window: Duration::from_millis(400),
+        ..ServeConfig::default()
+    })
+    .model("conv", Arc::clone(&model))
+    .expect("register")
+    .start();
+
+    let cases: Vec<(usize, u64)> = vec![(1, 1), (2, 2), (3, 3)];
+    let tickets: Vec<_> = cases
+        .iter()
+        .map(|&(rows, seed)| {
+            let inputs = request(rows, seed);
+            (
+                inputs.clone(),
+                server.submit("conv", inputs).expect("submit"),
+            )
+        })
+        .collect();
+    let responses: Vec<_> = tickets
+        .into_iter()
+        .map(|(inputs, t)| (inputs, t.wait().expect("response")))
+        .collect();
+
+    for ((inputs, response), &(rows, _)) in responses.iter().zip(&cases) {
+        let expected = direct_outputs(&model, inputs);
+        assert_eq!(response.outputs.len(), expected.len());
+        for (got, want) in response.outputs.iter().zip(&expected) {
+            assert_eq!(got.shape().dim(0), rows);
+            assert_eq!(got.shape(), want.shape());
+            assert_eq!(got.data(), want.data()); // bit-identical despite coalescing
+        }
+    }
+
+    let stats = server.stats();
+    let m = stats.model("conv").expect("stats").clone();
+    server.shutdown();
+    assert_eq!(m.completed, 3);
+    // All three rode one dispatch (1 + 2 + 3 = 6 rows ≤ max_batch).
+    assert_eq!(m.batches, 1, "expected one coalesced dispatch, got {m:?}");
+    assert_eq!(m.max_coalesced, 3);
+
+    // The polymorphic plan means one PlanCache entry served every batch size.
+    let cache_stats = cache.stats();
+    assert_eq!(cache_stats.models, 1);
+}
+
+#[test]
+fn backpressure_rejects_submits_beyond_queue_capacity() {
+    let server = Server::builder(ServeConfig {
+        workers: 0, // nothing drains: the queue fills deterministically
+        queue_capacity: 2,
+        ..ServeConfig::default()
+    })
+    .model("conv", compile(&conv_graph(4)))
+    .expect("register")
+    .start();
+
+    let t1 = server.submit("conv", request(1, 1)).expect("first admit");
+    let t2 = server.submit("conv", request(1, 2)).expect("second admit");
+    let err = server
+        .submit("conv", request(1, 3))
+        .expect_err("third must bounce");
+    assert_eq!(
+        err,
+        ServeError::QueueFull {
+            model: "conv".into(),
+            capacity: 2
+        }
+    );
+
+    let stats = server.stats();
+    let m = stats.model("conv").expect("stats").clone();
+    assert_eq!(m.submitted, 2);
+    assert_eq!(m.rejected, 1);
+    assert_eq!(m.pending, 2);
+
+    // With no workers the pending requests are answered on shutdown.
+    server.shutdown();
+    assert_eq!(t1.wait(), Err(ServeError::ShuttingDown));
+    assert_eq!(t2.wait(), Err(ServeError::ShuttingDown));
+}
+
+#[test]
+fn submit_validates_model_names_and_shapes() {
+    let server = Server::builder(ServeConfig {
+        workers: 0,
+        max_batch: 4,
+        ..ServeConfig::default()
+    })
+    .model("conv", compile(&conv_graph(4)))
+    .expect("register")
+    .start();
+
+    assert!(matches!(
+        server.submit("nope", request(1, 1)),
+        Err(ServeError::UnknownModel { .. })
+    ));
+    assert!(matches!(
+        server.submit("conv", HashMap::new()),
+        Err(ServeError::BadRequest { .. })
+    ));
+    let wrong_tail: HashMap<String, Tensor> = [(
+        "x".to_string(),
+        Tensor::random(Shape::new(vec![1, 3, 4, 4]), 1),
+    )]
+    .into();
+    assert!(matches!(
+        server.submit("conv", wrong_tail),
+        Err(ServeError::BadRequest { .. })
+    ));
+    assert!(matches!(
+        server.submit("conv", request(5, 1)), // above max_batch
+        Err(ServeError::BadRequest { .. })
+    ));
+    server.shutdown();
+}
+
+#[test]
+fn two_tenants_are_served_independently() {
+    let small = compile(&conv_graph(2));
+    let large = compile(&conv_graph(6));
+    let server = Server::builder(ServeConfig {
+        workers: 2,
+        batch_window: Duration::from_millis(1),
+        ..ServeConfig::default()
+    })
+    .model("small", Arc::clone(&small))
+    .expect("register small")
+    .model("large", Arc::clone(&large))
+    .expect("register large")
+    .start();
+
+    let mut tickets = Vec::new();
+    for seed in 0..4u64 {
+        let inputs = request(1, 100 + seed);
+        tickets.push((
+            "small",
+            inputs.clone(),
+            server.submit("small", inputs).unwrap(),
+        ));
+        let inputs = request(2, 200 + seed);
+        tickets.push((
+            "large",
+            inputs.clone(),
+            server.submit("large", inputs).unwrap(),
+        ));
+    }
+    for (name, inputs, ticket) in tickets {
+        let response = ticket.wait().expect("response");
+        let model = if name == "small" { &small } else { &large };
+        let expected = direct_outputs(model, &inputs);
+        for (got, want) in response.outputs.iter().zip(&expected) {
+            assert_eq!(got.shape(), want.shape());
+            assert_eq!(got.data(), want.data());
+        }
+    }
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_clients_race_one_plan_cache_under_eviction_pressure() {
+    // Capacity 1 forces every distinct model compile to evict the previous
+    // entry, so concurrent clients constantly race memory-hit / disk-hit /
+    // miss paths on one shared cache.
+    let cache = Arc::new(PlanCache::with_capacity(1));
+    let channel_counts = [2usize, 4, 6];
+
+    let handles: Vec<_> = (0..4u64)
+        .map(|tid| {
+            let cache = Arc::clone(&cache);
+            std::thread::spawn(move || {
+                for round in 0..3u64 {
+                    for &channels in &channel_counts {
+                        let graph = conv_graph(channels);
+                        let mut compiler = Compiler::new(CompilerOptions::default());
+                        let (model, _) = cache
+                            .compile_batched(&mut compiler, &graph)
+                            .expect("cached compile");
+                        let inputs = request(1, tid * 1000 + round * 10 + channels as u64);
+                        let report = Executor::new(DeviceSpec::snapdragon_865_cpu())
+                            .without_cache_simulation()
+                            .run_compiled_batched(&model, &inputs)
+                            .expect("run");
+                        assert_eq!(report.outputs[0].shape().dims(), &[1, channels, 8, 8]);
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+
+    let stats = cache.stats();
+    assert_eq!(stats.capacity, 1);
+    assert!(
+        stats.models <= 1,
+        "capped cache held {} entries",
+        stats.models
+    );
+    assert!(stats.evictions > 0, "expected eviction pressure: {stats:?}");
+    // Evicted entries still warm-start from their retained plan seeds.
+    assert!(
+        stats.disk_hits > 0,
+        "expected disk-tier warm starts: {stats:?}"
+    );
+}

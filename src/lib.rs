@@ -15,6 +15,8 @@
 //!   mapping analysis, graph rewriting, fusion plan generation, fused code
 //!   generation and the end-to-end [`core::Compiler`];
 //! * [`runtime`] — the executor, memory planner and fused-kernel interpreter;
+//! * [`serve`] — the batched multi-tenant serving layer (request queue,
+//!   worker pool, dynamic batching over one polymorphic plan per model);
 //! * [`simdev`] — simulated mobile devices (cache hierarchy, cost model);
 //! * [`profiledb`] — the offline profiling database;
 //! * [`baselines`] — fixed-pattern fusion baselines and the TASO-like pass;
@@ -75,6 +77,12 @@ pub mod profiledb {
 /// Executor, memory planner and fused-kernel interpreter.
 pub mod runtime {
     pub use dnnf_runtime::*;
+}
+
+/// Batched multi-tenant serving layer (request queue, worker pool,
+/// dynamic batching).
+pub mod serve {
+    pub use dnnf_serve::*;
 }
 
 /// Simulated mobile devices.
