@@ -1,7 +1,7 @@
 //! Wall-clock regression harness for the fused-block execution engine.
 //!
 //! Times the configurations below per model and writes the medians to
-//! `BENCH_exec.json` (schema `dnnf-bench-exec/v5`), so future PRs can track
+//! `BENCH_exec.json` (schema `dnnf-bench-exec/v6`), so future PRs can track
 //! the execution-engine trajectory the same way the `table*`/`fig*` binaries
 //! track the paper's counter metrics:
 //!
@@ -25,6 +25,15 @@
 //!   behaviour — while `repeat_run_ms` is `run_compiled` with the model's
 //!   cached `WeightStore` warm, the steady-state serving configuration;
 //!   `weight_cache_speedup` is their ratio. Outputs are bit-identical.
+//! * `nopack_fused_ms` — the fused single-thread configuration again, but
+//!   dispatched with a `WeightStore::build_unpacked` store: same cached
+//!   weights, **no** prepacked panels, so the conv kernels fall back to
+//!   strided weight gathers and the transposed Gemms to their unpacked
+//!   panel-free path. `conv_pack_speedup` is `nopack_fused_ms / fused_ms`
+//!   — the win from the blocked OC conv panels (which dominate it on the
+//!   conv models; on TinyBERT the ratio only reflects the Gemm panels).
+//!   Outputs are bit-identical (the packed-vs-unpacked differential test
+//!   asserts it at tolerance 0).
 //! * `thread_scaling` — the fused configuration again at each thread count
 //!   in [`THREAD_COUNTS`] (production work gate, so tiny kernels stay
 //!   serial); `parallel_speedup` is `fused_ms` over the highest thread
@@ -42,7 +51,8 @@
 //!   by the `warm_start` binary in CI instead.
 //!
 //! Regression gates are **data-driven** per model and per metric (see
-//! [`SPEEDUP_FLOORS`] / [`PARALLEL_FLOORS`] / [`SIMD_FLOORS`] /
+//! [`SPEEDUP_FLOORS`] / [`FUSION_ONLY_FLOORS`] / [`CONV_PACK_FLOORS`] /
+//! [`PARALLEL_FLOORS`] / [`SIMD_FLOORS`] /
 //! [`WARM_COMPILE_FLOORS`]). Every floor
 //! is explicitly reported as **armed** or **skipped** (with the host-side
 //! reason — core count for the parallel floors, compile-target vector width
@@ -59,7 +69,7 @@ use dnnf_core::{compile_plan, Compiler, CompilerOptions, Ecg, FusionPlan};
 use dnnf_graph::Graph;
 use dnnf_models::{ModelKind, ModelScale};
 use dnnf_ops::simd::detected_simd_width;
-use dnnf_runtime::{CacheOutcome, ExecOptions, Executor, PlanCache, WorkPool};
+use dnnf_runtime::{CacheOutcome, ExecOptions, Executor, PlanCache, WeightStore, WorkPool};
 use dnnf_simdev::DeviceSpec;
 use dnnf_tensor::Tensor;
 
@@ -71,6 +81,21 @@ const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
 
 /// Minimum fused-vs-unfused speedup at one thread, per model. Always armed.
 const SPEEDUP_FLOORS: [(&str, f64); 3] = [("VGG-16", 8.0), ("TinyBERT", 4.0), ("C3D", 3.0)];
+
+/// Minimum fused-plan-vs-singleton-plan speedup on the same engine, per
+/// model. Always armed: both sides run the same kernels on the same host,
+/// so the ratio is structural (launches saved, intermediates elided, and —
+/// since the planner learned to fuse scalar epilogues through pool/softmax
+/// anchors — the blocks those anchors used to split). C3D's floor is the
+/// ISSUE's ≥ 1.15x acceptance bar for the through-anchor fusion win.
+const FUSION_ONLY_FLOORS: [(&str, f64); 3] = [("VGG-16", 1.5), ("TinyBERT", 1.15), ("C3D", 1.15)];
+
+/// Minimum prepacked-weight speedup (unpacked store vs the model's packed
+/// one), per conv model. Always armed: packing is a pure layout change —
+/// the blocked OC panels turn the conv kernels' per-tap weight gathers
+/// into contiguous lane loads on every target, scalar-width or wide.
+/// TinyBERT carries no conv and no floor; its ratio is informational.
+const CONV_PACK_FLOORS: [(&str, f64); 2] = [("VGG-16", 1.3), ("C3D", 1.3)];
 
 /// Minimum speedup at the top thread count vs one thread, per model. Armed
 /// only when the host has at least [`THREAD_COUNTS`]'s maximum cores —
@@ -141,6 +166,9 @@ struct Row {
     uncached_run_ms: f64,
     /// Fused single-thread dispatch with the cached weight store warm.
     repeat_run_ms: f64,
+    /// Fused single-thread dispatch with a panel-free weight store: the
+    /// same cached tensors, no prepacked conv/Gemm layouts.
+    nopack_fused_ms: f64,
     /// Median fused wall-clock per thread count, in [`THREAD_COUNTS`] order.
     thread_scaling: Vec<(usize, f64)>,
     /// Full cold compilation: fresh compiler, no cache.
@@ -180,6 +208,12 @@ impl Row {
     /// Per-run weight materialization vs the warm cross-run weight cache.
     fn weight_cache_speedup(&self) -> f64 {
         self.uncached_run_ms / self.repeat_run_ms
+    }
+
+    /// Panel-free weight store vs the prepacked one, both cached and
+    /// single-thread: the blocked-layout win alone.
+    fn conv_pack_speedup(&self) -> f64 {
+        self.nopack_fused_ms / self.fused_ms
     }
 
     /// Cold compilation vs the plan-cache warm start (seed replay).
@@ -271,6 +305,16 @@ fn main() {
                 .run_compiled(&compiled, &inputs)
                 .expect("cached repeat runs");
         }));
+        // The packing pair's other side: the same cached-store dispatch
+        // path, but through a store built without any prepacked panels, so
+        // the conv kernels read strided weights and the transposed Gemms
+        // walk the untransposed tensor.
+        let unpacked_store = WeightStore::build_unpacked(compiled.graph());
+        let nopack_fused_ms = median_ms(time_ms(|| {
+            executor
+                .run_compiled_with_store(&compiled, &unpacked_store, &inputs)
+                .expect("unpacked fused runs");
+        }));
 
         // The compilation-cache pair. Cold: a fresh compiler per run, so no
         // state (profile hits, caches) carries over between samples. Warm:
@@ -304,6 +348,7 @@ fn main() {
             scalar_fused_ms,
             uncached_run_ms,
             repeat_run_ms,
+            nopack_fused_ms,
             thread_scaling,
             compile_ms,
             warm_compile_ms,
@@ -317,7 +362,7 @@ fn main() {
          target SIMD width: {simd_width})"
     );
     println!(
-        "{:<16} {:>12} {:>15} {:>10} {:>11} {:>11} {:>10} {:>9} {:>12} {:>7} {:>7} {:>10} {:>10} {:>9}",
+        "{:<16} {:>12} {:>15} {:>10} {:>11} {:>11} {:>10} {:>10} {:>9} {:>12} {:>7} {:>7} {:>9} {:>10} {:>10} {:>9}",
         "model",
         "unfused ms",
         "engine-unf ms",
@@ -325,18 +370,20 @@ fn main() {
         "scalar ms",
         "uncached ms",
         "repeat ms",
+        "nopack ms",
         "speedup",
         "fusion-only",
         "simd",
         "wcache",
+        "convpack",
         "launches_u",
         "launches_f",
         "parallel"
     );
     for row in &rows {
         println!(
-            "{:<16} {:>12.3} {:>15.3} {:>10.3} {:>11.3} {:>11.3} {:>10.3} {:>8.1}x {:>11.2}x \
-             {:>6.2}x {:>6.2}x {:>10} {:>10} {:>8.2}x",
+            "{:<16} {:>12.3} {:>15.3} {:>10.3} {:>11.3} {:>11.3} {:>10.3} {:>10.3} {:>8.1}x {:>11.2}x \
+             {:>6.2}x {:>6.2}x {:>8.2}x {:>10} {:>10} {:>8.2}x",
             row.model,
             row.unfused_ms,
             row.engine_unfused_ms,
@@ -344,10 +391,12 @@ fn main() {
             row.scalar_fused_ms,
             row.uncached_run_ms,
             row.repeat_run_ms,
+            row.nopack_fused_ms,
             row.speedup(),
             row.fusion_only_speedup(),
             row.simd_speedup(),
             row.weight_cache_speedup(),
+            row.conv_pack_speedup(),
             row.kernel_launches_unfused,
             row.kernel_launches_fused,
             row.parallel_speedup()
@@ -383,6 +432,24 @@ fn main() {
             metric: "speedup",
             floor,
             value: row_of(model).speedup(),
+            skipped: None,
+        });
+    }
+    for (model, floor) in FUSION_ONLY_FLOORS {
+        floors.push(FloorReport {
+            model,
+            metric: "fusion_only_speedup",
+            floor,
+            value: row_of(model).fusion_only_speedup(),
+            skipped: None,
+        });
+    }
+    for (model, floor) in CONV_PACK_FLOORS {
+        floors.push(FloorReport {
+            model,
+            metric: "conv_pack_speedup",
+            floor,
+            value: row_of(model).conv_pack_speedup(),
             skipped: None,
         });
     }
@@ -437,7 +504,7 @@ fn main() {
     }
 
     let mut json = String::from("{\n");
-    json.push_str("  \"schema\": \"dnnf-bench-exec/v5\",\n");
+    json.push_str("  \"schema\": \"dnnf-bench-exec/v6\",\n");
     json.push_str(&format!("  \"runs_per_config\": {RUNS},\n"));
     json.push_str("  \"scale\": \"tiny\",\n");
     json.push_str(&format!("  \"host_parallelism\": {host_parallelism},\n"));
@@ -452,10 +519,11 @@ fn main() {
         json.push_str(&format!(
             "    {{\"model\": \"{}\", \"unfused_ms\": {:.3}, \"engine_unfused_ms\": {:.3}, \
              \"fused_ms\": {:.3}, \"scalar_fused_ms\": {:.3}, \"uncached_run_ms\": {:.3}, \
-             \"repeat_run_ms\": {:.3}, \"compile_ms\": {:.3}, \"warm_compile_ms\": {:.3}, \
+             \"repeat_run_ms\": {:.3}, \"nopack_fused_ms\": {:.3}, \
+             \"compile_ms\": {:.3}, \"warm_compile_ms\": {:.3}, \
              \"speedup\": {:.2}, \"fusion_only_speedup\": {:.2}, \
              \"simd_speedup\": {:.2}, \"weight_cache_speedup\": {:.2}, \
-             \"warm_compile_speedup\": {:.2}, \
+             \"conv_pack_speedup\": {:.2}, \"warm_compile_speedup\": {:.2}, \
              \"parallel_speedup\": {:.2}, \"thread_scaling\": [{}], \
              \"kernel_launches_unfused\": {}, \"kernel_launches_fused\": {}}}{}\n",
             row.model,
@@ -465,12 +533,14 @@ fn main() {
             row.scalar_fused_ms,
             row.uncached_run_ms,
             row.repeat_run_ms,
+            row.nopack_fused_ms,
             row.compile_ms,
             row.warm_compile_ms,
             row.speedup(),
             row.fusion_only_speedup(),
             row.simd_speedup(),
             row.weight_cache_speedup(),
+            row.conv_pack_speedup(),
             row.warm_compile_speedup(),
             row.parallel_speedup(),
             scaling.join(", "),

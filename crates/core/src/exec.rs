@@ -485,10 +485,18 @@ impl ScalarTape {
 /// Built once per model (the runtime's weight store does it alongside weight
 /// materialization) and passed to every [`FusedKernel::run`], so the packing
 /// cost is paid at compile/first-touch time, never on the inference hot
-/// path. Today it carries **transposed `Gemm` B panels**: a weight consumed
-/// by a `Gemm` with `transB = 1` is stored re-laid-out as `(K, N)` row-major,
-/// turning the kernel's strided column gathers into contiguous loads.
-/// Packing never changes results — the panel supplies the same operand
+/// path. It carries two layouts today:
+///
+/// * **transposed `Gemm` B panels** — a weight consumed by a `Gemm` with
+///   `transB = 1` is stored re-laid-out as `(K, N)` row-major, turning the
+///   kernel's strided column gathers into contiguous loads;
+/// * **OC-blocked `Conv` weight panels** — an ungrouped conv weight with a
+///   lane-aligned output-channel count is stored as
+///   `(OC / LANES, ICpg·∏k, LANES)`, so the OC-lane conv kernel reads each
+///   weight tap for all lanes with one contiguous load instead of a
+///   strided gather (see `dnnf_ops::pack_conv_oc_panel`).
+///
+/// Packing never changes results — a panel supplies the same operand
 /// values in the same accumulation order, so outputs are bit-identical with
 /// and without it (the kernel tests pin this). An empty
 /// (`PackedWeights::default()`) table is always valid: kernels simply read
@@ -496,6 +504,7 @@ impl ScalarTape {
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct PackedWeights {
     transposed_b: BTreeMap<ValueId, Arc<Tensor>>,
+    conv_oc: BTreeMap<ValueId, Arc<Tensor>>,
 }
 
 impl PackedWeights {
@@ -512,16 +521,30 @@ impl PackedWeights {
         self.transposed_b.get(&value)
     }
 
-    /// Number of packed panels.
+    /// Registers the OC-blocked panel for a `Conv` weight. The caller is
+    /// responsible for `panel` being `dnnf_ops::pack_conv_oc_panel` of the
+    /// operand tensor (the conv kernel re-validates the panel dimensions
+    /// against its launch and falls back to the plain weights on mismatch).
+    pub fn insert_conv_oc(&mut self, value: ValueId, panel: Arc<Tensor>) {
+        self.conv_oc.insert(value, panel);
+    }
+
+    /// The OC-blocked conv panel packed for `value`, if one was registered.
+    #[must_use]
+    pub fn conv_oc(&self, value: ValueId) -> Option<&Arc<Tensor>> {
+        self.conv_oc.get(&value)
+    }
+
+    /// Number of packed panels (all layouts).
     #[must_use]
     pub fn len(&self) -> usize {
-        self.transposed_b.len()
+        self.transposed_b.len() + self.conv_oc.len()
     }
 
     /// Whether no panel has been packed.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.transposed_b.is_empty()
+        self.transposed_b.is_empty() && self.conv_oc.is_empty()
     }
 }
 
@@ -623,15 +646,21 @@ impl FusedKernel {
                         let out_id = n.outputs[0];
                         let shape = graph.value(out_id).shape.clone();
                         let mut buf = pool.take(shape.numel());
-                        // Only Gemm has a packed form today; the kernel
-                        // ignores the panel unless its transB attribute set.
-                        let packed_b = if n.op == OpKind::Gemm {
-                            n.inputs
+                        // Gemm consumes transposed B panels, Conv consumes
+                        // OC-blocked panels; each kernel re-validates the
+                        // panel against its launch and ignores a mismatch.
+                        let packed_b = match n.op {
+                            OpKind::Gemm => n
+                                .inputs
                                 .get(1)
                                 .and_then(|&v| packed.transposed_b(v))
-                                .map(Arc::as_ref)
-                        } else {
-                            None
+                                .map(Arc::as_ref),
+                            OpKind::Conv => n
+                                .inputs
+                                .get(1)
+                                .and_then(|&v| packed.conv_oc(v))
+                                .map(Arc::as_ref),
+                            _ => None,
                         };
                         execute_fast_into_packed(
                             n.op,

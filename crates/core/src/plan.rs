@@ -16,10 +16,31 @@
 use std::collections::BTreeSet;
 
 use dnnf_graph::{Graph, NodeId, ValueId};
-use dnnf_ops::MappingType;
+use dnnf_ops::{MappingType, OpKind};
 use dnnf_profiledb::{ProfileDatabase, ProfileKey};
 
 use crate::{analyze_pair, CoreError, Ecg, FusionVerdict, LatencyModel};
+
+/// Anchors a block may fuse *through* downstream: reduction-shaped operators
+/// that are memory-bound, not compute-bound, so absorbing one costs the
+/// block nothing while letting the scalar-tape epilogue **after** it stay in
+/// the same block instead of being stranded behind a fusion barrier. Table 3
+/// paints a Many-to-Many successor red because a compute-intensive consumer
+/// loses its continuous reads — a concern for a second Conv/Gemm, not for a
+/// pooling window or a softmax normalization, which read each input a
+/// bounded number of times and have no weight panel to disrupt.
+///
+/// The override is safe for determinism: a fused block executes its steps
+/// sequentially against block-local scratch in the same tap/accumulation
+/// order as standalone dispatch, so moving one of these anchors inside a
+/// block changes only where its output buffer lives, never its bytes (the
+/// anchored-DAG differential proptests and the golden model test pin this).
+fn fuses_through_anchor(op: OpKind) -> bool {
+    matches!(
+        op,
+        OpKind::MaxPool | OpKind::AveragePool | OpKind::GlobalAveragePool | OpKind::Softmax
+    )
+}
 
 /// Tunable knobs of the fusion plan exploration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -463,7 +484,14 @@ impl<'a, L: LatencyModel> FusionPlanner<'a, L> {
             Direction::Successor => analyze_pair(*mapping, candidate_type),
             Direction::Predecessor => analyze_pair(candidate_type, *mapping),
         };
-        if decision.verdict == FusionVerdict::Break {
+        if decision.verdict == FusionVerdict::Break
+            && !(direction == Direction::Successor
+                && fuses_through_anchor(graph.node(candidate).op))
+        {
+            // Red cell — except for the through-anchor override: a
+            // pool/softmax *successor* joins the block anyway (see
+            // `fuses_through_anchor`), so the epilogue tape behind it is
+            // reachable instead of stranded.
             return;
         }
         // Once the block has absorbed a compute-intensive anchor, stop
@@ -710,6 +738,131 @@ mod tests {
         assert_eq!(plan.fused_layer_count(), 1);
         assert_eq!(plan.blocks()[0].mapping_type, MappingType::ManyToMany);
         assert!((plan.fusion_rate(&g) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn epilogues_fuse_through_pool_anchors() {
+        // Conv -> bias -> Relu -> MaxPool -> Mul(scale) -> Conv: the pool is
+        // a Many-to-Many successor (a red cell), but the through-anchor
+        // override absorbs it, so the scalar epilogue behind it joins the
+        // conv's block instead of being stranded. The trailing conv stays a
+        // hard barrier.
+        let mut g = Graph::new("through-pool");
+        let x = g.add_input("x", Shape::new(vec![1, 8, 16, 16]));
+        let w = g.add_weight("w", Shape::new(vec![8, 8, 3, 3]));
+        let c = g
+            .add_op(
+                OpKind::Conv,
+                Attrs::new().with_ints("pads", vec![1, 1, 1, 1]),
+                &[x, w],
+                "conv",
+            )
+            .unwrap()[0];
+        let b = g.add_weight("b", Shape::new(vec![1, 8, 1, 1]));
+        let bias = g
+            .add_op(OpKind::Add, Attrs::new(), &[c, b], "bias")
+            .unwrap()[0];
+        let r = g
+            .add_op(OpKind::Relu, Attrs::new(), &[bias], "relu")
+            .unwrap()[0];
+        let p = g
+            .add_op(
+                OpKind::MaxPool,
+                Attrs::new()
+                    .with_ints("kernel_shape", vec![2, 2])
+                    .with_ints("strides", vec![2, 2]),
+                &[r],
+                "pool",
+            )
+            .unwrap()[0];
+        let s = g.add_weight("scale", Shape::new(vec![1, 8, 1, 1]));
+        let scaled = g
+            .add_op(OpKind::Mul, Attrs::new(), &[p, s], "scale_mul")
+            .unwrap()[0];
+        let w2 = g.add_weight("w2", Shape::new(vec![8, 8, 3, 3]));
+        let c2 = g
+            .add_op(OpKind::Conv, Attrs::new(), &[scaled, w2], "conv2")
+            .unwrap()[0];
+        g.mark_output(c2);
+
+        let plan = plan_graph(&g);
+        let block_of = |name: &str| plan.block_of(g.nodes().find(|n| n.name == name).unwrap().id);
+        assert_eq!(block_of("conv"), block_of("pool"), "pool joins the block");
+        assert_eq!(
+            block_of("pool"),
+            block_of("scale_mul"),
+            "the epilogue behind the pool is not stranded"
+        );
+        assert_ne!(
+            block_of("conv"),
+            block_of("conv2"),
+            "a second conv is still a barrier"
+        );
+    }
+
+    #[test]
+    fn softmax_joins_its_producer_block_but_never_as_a_predecessor() {
+        // Gemm -> Add -> Softmax (the classifier-tail shape): Softmax is a
+        // Many-to-Many successor of the Gemm-anchored block — a red cell —
+        // but the override absorbs it, so the whole tail is one block.
+        let mut g = Graph::new("through-softmax");
+        let x = g.add_input("x", Shape::new(vec![4, 16]));
+        let w = g.add_weight("w", Shape::new(vec![16, 16]));
+        let mm = g
+            .add_op(OpKind::Gemm, Attrs::new(), &[x, w], "gemm")
+            .unwrap()[0];
+        let b = g.add_weight("b", Shape::new(vec![16]));
+        let biased = g
+            .add_op(OpKind::Add, Attrs::new(), &[mm, b], "bias")
+            .unwrap()[0];
+        let sm = g
+            .add_op(
+                OpKind::Softmax,
+                Attrs::new().with_int("axis", 1),
+                &[biased],
+                "softmax",
+            )
+            .unwrap()[0];
+        g.mark_output(sm);
+        let plan = plan_graph(&g);
+        let block_of = |name: &str| plan.block_of(g.nodes().find(|n| n.name == name).unwrap().id);
+        assert_eq!(block_of("gemm"), block_of("bias"));
+        assert_eq!(block_of("bias"), block_of("softmax"));
+
+        // Predecessor direction gets no override: a block growing upstream
+        // into a pool/softmax still stops at the red cell. Pool -> Conv ->
+        // Relu: the conv block must not swallow the upstream pool.
+        let mut g = Graph::new("pool-upstream");
+        let x = g.add_input("x", Shape::new(vec![1, 4, 16, 16]));
+        let p = g
+            .add_op(
+                OpKind::MaxPool,
+                Attrs::new()
+                    .with_ints("kernel_shape", vec![2, 2])
+                    .with_ints("strides", vec![2, 2]),
+                &[x],
+                "pool",
+            )
+            .unwrap()[0];
+        let w = g.add_weight("w", Shape::new(vec![4, 4, 3, 3]));
+        let c = g
+            .add_op(
+                OpKind::Conv,
+                Attrs::new().with_ints("pads", vec![1, 1, 1, 1]),
+                &[p, w],
+                "conv",
+            )
+            .unwrap()[0];
+        let r = g.add_op(OpKind::Relu, Attrs::new(), &[c], "relu").unwrap()[0];
+        g.mark_output(r);
+        let plan = plan_graph(&g);
+        let pool_id = g.nodes().find(|n| n.name == "pool").unwrap().id;
+        let conv_id = g.nodes().find(|n| n.name == "conv").unwrap().id;
+        assert_ne!(
+            plan.block_of(pool_id),
+            plan.block_of(conv_id),
+            "upstream pools stay outside — the override is successor-only"
+        );
     }
 
     #[test]

@@ -57,6 +57,52 @@ pub fn has_fast_kernel(op: OpKind) -> bool {
     )
 }
 
+/// Output channels per block of a packed conv weight panel — one full
+/// [`LANES`]-wide bundle, so a panel tap feeds all lanes with a single
+/// contiguous load.
+pub const CONV_PANEL_LANES: usize = LANES;
+
+/// Packs a convolution weight `(OC, ICpg, k…)` into the OC-blocked panel
+/// layout the lane-blocked conv kernels consume: shape
+/// `[OC / LANES, ICpg · ∏k, LANES]`, where `panel[ob][t][l] =
+/// w[ob·LANES + l][t]` and `t` ravels `(ic, k…)` row-major — the kernels'
+/// exact tap order. Eight SIMD lanes then own eight whole output channels of
+/// one output position, and each tap's eight weights are one contiguous
+/// load instead of a stride-`ICpg·∏k` gather from the `(OC, ICpg, k…)`
+/// layout.
+///
+/// Returns `None` when the layout does not apply: rank < 3, or `OC` not a
+/// multiple of [`CONV_PANEL_LANES`] (the kernels then keep the column-lane
+/// path, which handles any channel count).
+#[must_use]
+pub fn pack_conv_oc_panel(w: &Tensor) -> Option<Tensor> {
+    let dims = w.shape().dims();
+    if dims.len() < 3 || dims[0] == 0 || !dims[0].is_multiple_of(CONV_PANEL_LANES) {
+        return None;
+    }
+    let oc = dims[0];
+    let taps: usize = dims[1..].iter().product();
+    if taps == 0 {
+        return None;
+    }
+    let blocks = oc / CONV_PANEL_LANES;
+    let src = w.data();
+    let mut packed = vec![0.0f32; oc * taps];
+    for ob in 0..blocks {
+        let block_base = ob * taps * CONV_PANEL_LANES;
+        for l in 0..CONV_PANEL_LANES {
+            let w_row = (ob * CONV_PANEL_LANES + l) * taps;
+            for t in 0..taps {
+                packed[block_base + t * CONV_PANEL_LANES + l] = src[w_row + t];
+            }
+        }
+    }
+    Some(
+        Tensor::from_vec(Shape::new(vec![blocks, taps, CONV_PANEL_LANES]), packed)
+            .expect("panel sized to its shape"),
+    )
+}
+
 /// Executes `op` with its optimized kernel on the calling thread. Equivalent
 /// to [`execute_fast_into_threaded`] with a serial pool.
 ///
@@ -103,14 +149,24 @@ pub fn execute_fast_into_threaded(
 
 /// [`execute_fast_into_threaded`] with an optional **prepacked operand**: a
 /// kernel-friendly re-layout of one input, prepared once by the caller and
-/// reused across runs. Today the only packed form is a transposed `Gemm` B
-/// panel: when `op` is `Gemm` with `transB = 1` and `packed_b` carries `B`
-/// already transposed to `(K, N)` row-major, the kernel reads the panel with
-/// contiguous loads instead of strided gathers. Packing never changes
-/// results — the panel supplies the same operand values in the same
-/// accumulation order, so outputs are bit-identical to the unpacked call
-/// (pinned by the kernel tests). `packed_b` is ignored for every other
-/// operator and for untransposed `Gemm`.
+/// reused across runs. Two packed forms exist today:
+///
+/// * a transposed `Gemm` B panel — when `op` is `Gemm` with `transB = 1` and
+///   `packed_b` carries `B` already transposed to `(K, N)` row-major, the
+///   kernel reads the panel with contiguous loads instead of strided
+///   gathers;
+/// * an OC-blocked `Conv` weight panel ([`pack_conv_oc_panel`]) — when `op`
+///   is an ungrouped `Conv` whose output-channel count is a multiple of
+///   [`CONV_PANEL_LANES`], the kernel switches from column lanes to
+///   channel-block lanes: eight output channels of one output position
+///   accumulate in lockstep, each tap's eight weights arriving as one
+///   contiguous panel load instead of an `(OC, ICpg, k…)`-stride gather.
+///
+/// Packing never changes results — a panel supplies the same operand values
+/// in the same accumulation order, so outputs are bit-identical to the
+/// unpacked call (pinned by the kernel tests). `packed_b` is ignored for
+/// every other operator, for untransposed `Gemm`, and for convs the panel
+/// layout does not fit (grouped, remainder channels, or the scalar path).
 ///
 /// # Errors
 ///
@@ -134,7 +190,7 @@ pub fn execute_fast_into_packed(
 ) -> Result<bool, OpError> {
     debug_assert_eq!(out.len(), out_shape.numel());
     match op {
-        OpKind::Conv => fast_conv(attrs, inputs, out_shape, out, pool)?,
+        OpKind::Conv => fast_conv(attrs, inputs, packed_b, out_shape, out, pool)?,
         OpKind::MatMul => fast_matmul(op, inputs, out_shape, out, pool)?,
         OpKind::Gemm => fast_gemm(attrs, inputs, packed_b, out_shape, out, pool)?,
         OpKind::MaxPool | OpKind::AveragePool => {
@@ -179,10 +235,16 @@ fn spatial_attrs(attrs: &Attrs, spatial_rank: usize) -> (Vec<usize>, Vec<usize>,
 /// Direct convolution with precomputed strides. Accumulates over input
 /// channels then kernel taps in row-major order — the reference kernel's
 /// exact summation sequence. Parallel over `(batch, out_channel)` output
-/// planes; each plane is owned by one thread.
+/// planes; each plane is owned by one thread. With a prepacked OC panel
+/// (`packed`, see [`pack_conv_oc_panel`]) and an ungrouped conv whose
+/// channel count fits the panel, the kernel parallelizes over
+/// `(batch, channel-block)` super-planes instead and lanes own whole output
+/// channels — same elements, same per-element tap order, different loop
+/// nesting across *independent* elements, so results stay bit-identical.
 fn fast_conv(
     attrs: &Attrs,
     inputs: &[&Tensor],
+    packed: Option<&Tensor>,
     out_shape: &Shape,
     out: &mut [f32],
     pool: WorkPool,
@@ -218,6 +280,46 @@ fn fast_conv(
             .saturating_mul(in_per_group)
             .saturating_mul(kernel_elems),
     );
+
+    // OC-blocked lane path: with an ungrouped conv, a channel count that
+    // fills whole lane bundles, and a prepacked panel matching this weight
+    // ([`pack_conv_oc_panel`]'s layout), lanes own eight output channels of
+    // one output position instead of eight output columns — each tap's
+    // weights arrive as one contiguous panel load (the `(OC, ICpg, k…)`
+    // layout would gather them with stride `ICpg·∏k`) and the input value is
+    // a splat. Every output element still accumulates with the scalar tap
+    // order, so the path is bit-identical to the column-lane and scalar
+    // paths; the scalar mode ignores the panel entirely.
+    let panel = packed.filter(|p| {
+        group == 1
+            && out_channels.is_multiple_of(CONV_PANEL_LANES)
+            && p.shape().dims()
+                == [
+                    out_channels / CONV_PANEL_LANES,
+                    in_per_group * kernel_elems,
+                    CONV_PANEL_LANES,
+                ]
+    });
+    if pool.use_simd() {
+        if let Some(panel) = panel {
+            fast_conv_packed(
+                panel.data(),
+                xdat,
+                bias,
+                &xd,
+                &xs,
+                &w.shape().dims()[2..],
+                out_shape,
+                &strides,
+                &dilations,
+                &pads,
+                in_per_group,
+                out,
+                pool,
+            );
+            return Ok(());
+        }
+    }
 
     if spatial_rank == 2 {
         let (oh, ow) = (out_shape.dim(2), out_shape.dim(3));
@@ -371,6 +473,467 @@ fn fast_conv(
         }
     });
     Ok(())
+}
+
+/// The OC-blocked convolution path: lanes own [`CONV_PANEL_LANES`] whole
+/// output channels of one output position, weights stream from the packed
+/// panel ([`pack_conv_oc_panel`]), inputs splat. Parallel over
+/// `(batch, channel-block)` super-planes of [`CONV_PANEL_LANES`] output
+/// planes each — exact chunks, since the caller guarantees
+/// `OC % CONV_PANEL_LANES == 0` — so each super-plane is written by exactly
+/// one thread. Interior columns additionally take a register-blocked
+/// microkernel tile: [`CONV_PACK_COLS`] consecutive columns accumulate in
+/// independent registers sharing each tap's single panel load, which both
+/// amortizes the weight traffic and breaks the loop-carried dependence on
+/// one accumulator. Every output element still accumulates with the scalar
+/// kernel's tap order (`acc = acc + x * w`, input channels then kernel taps
+/// row-major, no FMA), so the path is bit-identical to the column-lane and
+/// scalar paths.
+#[allow(clippy::too_many_arguments)]
+fn fast_conv_packed(
+    panel: &[f32],
+    xdat: &[f32],
+    bias: Option<&[f32]>,
+    xd: &[usize],
+    xs: &[usize],
+    kernel_sp: &[usize],
+    out_shape: &Shape,
+    strides: &[usize],
+    dilations: &[usize],
+    pads: &[usize],
+    in_per_group: usize,
+    out: &mut [f32],
+    pool: WorkPool,
+) {
+    const B: usize = CONV_PANEL_LANES;
+    let spatial_rank = kernel_sp.len();
+    let out_channels = out_shape.dim(1);
+    let blocks = out_channels / B;
+    let out_sp: Vec<usize> = out_shape.dims()[2..].to_vec();
+    let out_sp_count: usize = out_sp.iter().product();
+    let taps: usize = in_per_group * kernel_sp.iter().product::<usize>();
+
+    // Interior columns of the innermost axis: every innermost tap in bounds,
+    // same derivation as the column-lane kernels.
+    let last = spatial_rank - 1;
+    let ow = out_sp[last];
+    let iw = xd[2 + last];
+    let (sw, dw, pw) = (strides[last], dilations[last], pads[last]);
+    let kw = kernel_sp[last];
+    let span = (kw - 1) * dw;
+    let x_hi = if iw + pw > span {
+        ((iw + pw - span - 1) / sw + 1).min(ow)
+    } else {
+        0
+    };
+    let x_lo = pw.div_ceil(sw).min(x_hi);
+
+    if spatial_rank == 2 {
+        let tile = ConvPacked2d {
+            xdat,
+            panel,
+            ih: xd[2],
+            iw,
+            kh: kernel_sp[0],
+            kw,
+            sh: strides[0],
+            sw,
+            dh: dilations[0],
+            dw,
+            ph: pads[0],
+            pw,
+            in_per_group,
+            xs1: xs[1],
+            xs2: xs[2],
+        };
+        let (oh, xs0) = (out_sp[0], xs[0]);
+        pool.run_chunks(out, B * out_sp_count, |super_plane, chunk| {
+            let n = super_plane / blocks;
+            let ob = super_plane % blocks;
+            let bias_v = bias.map_or_else(
+                || F32Lanes::<B>::splat(0.0),
+                |b| F32Lanes::<B>::load(&b[ob * B..]),
+            );
+            let x_plane = n * xs0;
+            let p_block = ob * taps * B;
+            for oy in 0..oh {
+                let pos = oy * ow;
+                for ox in 0..x_lo {
+                    tile.border_col(chunk, out_sp_count, x_plane, p_block, bias_v, oy, ox, pos);
+                }
+                let mut ox = x_lo;
+                while ox + CONV_PACK_COLS <= x_hi {
+                    tile.interior_cols::<CONV_PACK_COLS>(
+                        chunk,
+                        out_sp_count,
+                        x_plane,
+                        p_block,
+                        bias_v,
+                        oy,
+                        ox,
+                        pos,
+                    );
+                    ox += CONV_PACK_COLS;
+                }
+                while ox < x_hi {
+                    tile.interior_cols::<1>(
+                        chunk,
+                        out_sp_count,
+                        x_plane,
+                        p_block,
+                        bias_v,
+                        oy,
+                        ox,
+                        pos,
+                    );
+                    ox += 1;
+                }
+                for ox in x_hi..ow {
+                    tile.border_col(chunk, out_sp_count, x_plane, p_block, bias_v, oy, ox, pos);
+                }
+            }
+        });
+        return;
+    }
+
+    // Generic spatial rank (1-D / 3-D and beyond): outer kernel axes walk by
+    // odometer with per-tap bounds checks (uniform over a row and over the
+    // channel lanes), the innermost axis takes the same border/interior
+    // split.
+    let tile = ConvPackedNd {
+        xdat,
+        panel,
+        xd_sp: &xd[2..],
+        xs_sp: &xs[2..],
+        kernel_sp,
+        kernel_count: kernel_sp.iter().product(),
+        outer_count: kernel_sp[..last].iter().product(),
+        strides,
+        dilations,
+        pads,
+        in_per_group,
+        xs1: xs[1],
+    };
+    let outer_sp = &out_sp[..last];
+    let xs0 = xs[0];
+    pool.run_chunks(out, B * out_sp_count, |super_plane, chunk| {
+        let n = super_plane / blocks;
+        let ob = super_plane % blocks;
+        let bias_v = bias.map_or_else(
+            || F32Lanes::<B>::splat(0.0),
+            |b| F32Lanes::<B>::load(&b[ob * B..]),
+        );
+        let x_plane = n * xs0;
+        let p_block = ob * taps * B;
+        let mut outer_pos = vec![0usize; last];
+        let mut k_pos = vec![0usize; spatial_rank];
+        let mut pos = 0usize;
+        while pos < out_sp_count {
+            for ox in 0..x_lo {
+                tile.border_col(
+                    chunk,
+                    out_sp_count,
+                    x_plane,
+                    p_block,
+                    bias_v,
+                    &outer_pos,
+                    &mut k_pos,
+                    ox,
+                    pos,
+                );
+            }
+            let mut ox = x_lo;
+            while ox + CONV_PACK_COLS <= x_hi {
+                tile.interior_cols::<CONV_PACK_COLS>(
+                    chunk,
+                    out_sp_count,
+                    x_plane,
+                    p_block,
+                    bias_v,
+                    &outer_pos,
+                    &mut k_pos[..last],
+                    ox,
+                    pos,
+                );
+                ox += CONV_PACK_COLS;
+            }
+            while ox < x_hi {
+                tile.interior_cols::<1>(
+                    chunk,
+                    out_sp_count,
+                    x_plane,
+                    p_block,
+                    bias_v,
+                    &outer_pos,
+                    &mut k_pos[..last],
+                    ox,
+                    pos,
+                );
+                ox += 1;
+            }
+            for ox in x_hi..ow {
+                tile.border_col(
+                    chunk,
+                    out_sp_count,
+                    x_plane,
+                    p_block,
+                    bias_v,
+                    &outer_pos,
+                    &mut k_pos,
+                    ox,
+                    pos,
+                );
+            }
+            advance(&mut outer_pos, outer_sp);
+            pos += ow;
+        }
+    });
+}
+
+/// Columns per register-blocked interior tile of the packed conv path: four
+/// independent lane-bundle accumulators share each tap's panel load.
+const CONV_PACK_COLS: usize = 4;
+
+/// Loop constants of one 2-D OC-blocked packed convolution launch.
+struct ConvPacked2d<'a> {
+    xdat: &'a [f32],
+    panel: &'a [f32],
+    ih: usize,
+    iw: usize,
+    kh: usize,
+    kw: usize,
+    sh: usize,
+    sw: usize,
+    dh: usize,
+    dw: usize,
+    ph: usize,
+    pw: usize,
+    in_per_group: usize,
+    xs1: usize,
+    xs2: usize,
+}
+
+impl ConvPacked2d<'_> {
+    /// `R` consecutive interior columns at `(oy, ox…ox+R)`: every `kx` tap
+    /// in bounds, `ky` checks uniform across the tile. Lane `l` of
+    /// accumulator `r` owns output element `(oc0 + l, oy, ox + r)`; each
+    /// accumulates `acc = acc + x * w` over input channels then kernel taps
+    /// row-major — the scalar order. The panel index advances over skipped
+    /// `ky` rows so every tap reads its own fixed panel slot.
+    #[allow(clippy::too_many_arguments)]
+    fn interior_cols<const R: usize>(
+        &self,
+        chunk: &mut [f32],
+        plane_sp: usize,
+        x_plane: usize,
+        p_block: usize,
+        bias_v: F32Lanes<CONV_PANEL_LANES>,
+        oy: usize,
+        ox: usize,
+        row_pos: usize,
+    ) {
+        const B: usize = CONV_PANEL_LANES;
+        let mut acc = [bias_v; R];
+        let mut t = p_block;
+        for ic in 0..self.in_per_group {
+            let x_ic = x_plane + ic * self.xs1;
+            for ky in 0..self.kh {
+                let y = oy * self.sh + ky * self.dh;
+                if y < self.ph || y - self.ph >= self.ih {
+                    t += self.kw * B;
+                    continue;
+                }
+                let x_row = x_ic + (y - self.ph) * self.xs2;
+                for kx in 0..self.kw {
+                    let wv = F32Lanes::<B>::load(&self.panel[t..]);
+                    t += B;
+                    let xb = x_row + ox * self.sw + kx * self.dw - self.pw;
+                    for (r, a) in acc.iter_mut().enumerate() {
+                        let xv = F32Lanes::<B>::splat(self.xdat[xb + r * self.sw]);
+                        *a = *a + xv * wv;
+                    }
+                }
+            }
+        }
+        for (r, a) in acc.iter().enumerate() {
+            for (l, &v) in a.to_array().iter().enumerate() {
+                chunk[l * plane_sp + row_pos + ox + r] = v;
+            }
+        }
+    }
+
+    /// One border column with full per-tap bounds checks — the checks
+    /// depend only on `(oy, ox, ky, kx)`, so they are uniform across the
+    /// channel lanes and skip exactly the taps the scalar kernel skips.
+    #[allow(clippy::too_many_arguments)]
+    fn border_col(
+        &self,
+        chunk: &mut [f32],
+        plane_sp: usize,
+        x_plane: usize,
+        p_block: usize,
+        bias_v: F32Lanes<CONV_PANEL_LANES>,
+        oy: usize,
+        ox: usize,
+        row_pos: usize,
+    ) {
+        const B: usize = CONV_PANEL_LANES;
+        let mut acc = bias_v;
+        let mut t = p_block;
+        for ic in 0..self.in_per_group {
+            let x_ic = x_plane + ic * self.xs1;
+            for ky in 0..self.kh {
+                let y = oy * self.sh + ky * self.dh;
+                if y < self.ph || y - self.ph >= self.ih {
+                    t += self.kw * B;
+                    continue;
+                }
+                let x_row = x_ic + (y - self.ph) * self.xs2;
+                for kx in 0..self.kw {
+                    let xx = ox * self.sw + kx * self.dw;
+                    if xx >= self.pw && xx - self.pw < self.iw {
+                        let xv = F32Lanes::<B>::splat(self.xdat[x_row + (xx - self.pw)]);
+                        acc = acc + xv * F32Lanes::<B>::load(&self.panel[t..]);
+                    }
+                    t += B;
+                }
+            }
+        }
+        for (l, &v) in acc.to_array().iter().enumerate() {
+            chunk[l * plane_sp + row_pos + ox] = v;
+        }
+    }
+}
+
+/// Loop constants of one generic-rank OC-blocked packed convolution launch.
+struct ConvPackedNd<'a> {
+    xdat: &'a [f32],
+    panel: &'a [f32],
+    xd_sp: &'a [usize],
+    xs_sp: &'a [usize],
+    kernel_sp: &'a [usize],
+    kernel_count: usize,
+    outer_count: usize,
+    strides: &'a [usize],
+    dilations: &'a [usize],
+    pads: &'a [usize],
+    in_per_group: usize,
+    xs1: usize,
+}
+
+impl ConvPackedNd<'_> {
+    /// `R` consecutive interior columns of the row at `outer_pos`: innermost
+    /// taps all in bounds, outer-axis checks uniform across the tile and the
+    /// channel lanes. Skipped outer taps advance the panel index by a whole
+    /// innermost run, so in-bounds taps read their fixed panel slots in the
+    /// scalar ravel order.
+    #[allow(clippy::too_many_arguments)]
+    fn interior_cols<const R: usize>(
+        &self,
+        chunk: &mut [f32],
+        plane_sp: usize,
+        x_plane: usize,
+        p_block: usize,
+        bias_v: F32Lanes<CONV_PANEL_LANES>,
+        outer_pos: &[usize],
+        k_outer: &mut [usize],
+        ox: usize,
+        row_pos: usize,
+    ) {
+        const B: usize = CONV_PANEL_LANES;
+        let rank = self.kernel_sp.len();
+        let last = rank - 1;
+        let (sw, dw, pw) = (self.strides[last], self.dilations[last], self.pads[last]);
+        let xs_last = self.xs_sp[last];
+        let kw = self.kernel_sp[last];
+        let lane_step = sw * xs_last;
+        let mut acc = [bias_v; R];
+        let mut t = p_block;
+        for ic in 0..self.in_per_group {
+            let x_base = x_plane + ic * self.xs1;
+            k_outer.iter_mut().for_each(|p| *p = 0);
+            for _ in 0..self.outer_count {
+                let mut x_off = x_base;
+                let mut in_bounds = true;
+                for d in 0..last {
+                    let pos = outer_pos[d] * self.strides[d] + k_outer[d] * self.dilations[d];
+                    if pos < self.pads[d] || pos - self.pads[d] >= self.xd_sp[d] {
+                        in_bounds = false;
+                        break;
+                    }
+                    x_off += (pos - self.pads[d]) * self.xs_sp[d];
+                }
+                if in_bounds {
+                    for kx in 0..kw {
+                        let wv = F32Lanes::<B>::load(&self.panel[t..]);
+                        t += B;
+                        let xb = x_off + (ox * sw + kx * dw - pw) * xs_last;
+                        for (r, a) in acc.iter_mut().enumerate() {
+                            let xv = F32Lanes::<B>::splat(self.xdat[xb + r * lane_step]);
+                            *a = *a + xv * wv;
+                        }
+                    }
+                } else {
+                    t += kw * B;
+                }
+                advance(k_outer, &self.kernel_sp[..last]);
+            }
+        }
+        for (r, a) in acc.iter().enumerate() {
+            for (l, &v) in a.to_array().iter().enumerate() {
+                chunk[l * plane_sp + row_pos + ox + r] = v;
+            }
+        }
+    }
+
+    /// One border column with per-tap bounds checks on every axis — uniform
+    /// across the channel lanes, skipping exactly the taps the scalar kernel
+    /// skips.
+    #[allow(clippy::too_many_arguments)]
+    fn border_col(
+        &self,
+        chunk: &mut [f32],
+        plane_sp: usize,
+        x_plane: usize,
+        p_block: usize,
+        bias_v: F32Lanes<CONV_PANEL_LANES>,
+        outer_pos: &[usize],
+        k_pos: &mut [usize],
+        ox: usize,
+        row_pos: usize,
+    ) {
+        const B: usize = CONV_PANEL_LANES;
+        let rank = self.kernel_sp.len();
+        let last = rank - 1;
+        let mut acc = bias_v;
+        let mut t = p_block;
+        for ic in 0..self.in_per_group {
+            let x_base = x_plane + ic * self.xs1;
+            k_pos.iter_mut().for_each(|p| *p = 0);
+            for _ in 0..self.kernel_count {
+                let mut x_off = x_base;
+                let mut in_bounds = true;
+                for d in 0..rank {
+                    let out_coord = if d == last { ox } else { outer_pos[d] };
+                    let pos = out_coord * self.strides[d] + k_pos[d] * self.dilations[d];
+                    if pos < self.pads[d] || pos - self.pads[d] >= self.xd_sp[d] {
+                        in_bounds = false;
+                        break;
+                    }
+                    x_off += (pos - self.pads[d]) * self.xs_sp[d];
+                }
+                if in_bounds {
+                    let xv = F32Lanes::<B>::splat(self.xdat[x_off]);
+                    acc = acc + xv * F32Lanes::<B>::load(&self.panel[t..]);
+                }
+                t += B;
+                advance(k_pos, self.kernel_sp);
+            }
+        }
+        for (l, &v) in acc.to_array().iter().enumerate() {
+            chunk[l * plane_sp + row_pos + ox] = v;
+        }
+    }
 }
 
 /// Loop constants of one generic-rank (1-D / 3-D / higher) convolution
@@ -684,6 +1247,10 @@ fn fast_matmul(
         let a_row = &adat[a_base + i * a_row_stride..a_base + i * a_row_stride + k];
         let mut j0 = 0usize;
         if simd {
+            while j0 + 2 * LANES <= n {
+                matmul_cols2::<LANES>(chunk, j0, a_row, bdat, b_base, b_row_stride);
+                j0 += 2 * LANES;
+            }
             while j0 + LANES <= n {
                 matmul_cols::<LANES>(chunk, j0, a_row, bdat, b_base, b_row_stride);
                 j0 += LANES;
@@ -720,6 +1287,32 @@ fn matmul_cols<const N: usize>(
         acc = acc + F32Lanes::<N>::splat(av) * bv;
     }
     acc.store(&mut chunk[j..]);
+}
+
+/// Register-blocked tile of `2 * N` consecutive `MatMul` output columns: two
+/// independent lane-bundle accumulators share each reduction step's `a`
+/// splat, halving the splat traffic and breaking the loop-carried dependence
+/// on a single accumulator. Each column's accumulation sequence is exactly
+/// [`matmul_cols`]'s, so the tile is bit-identical to two single-bundle
+/// calls.
+fn matmul_cols2<const N: usize>(
+    chunk: &mut [f32],
+    j: usize,
+    a_row: &[f32],
+    bdat: &[f32],
+    b_base: usize,
+    b_row_stride: usize,
+) {
+    let mut acc0 = F32Lanes::<N>::splat(0.0);
+    let mut acc1 = F32Lanes::<N>::splat(0.0);
+    for (p, &av) in a_row.iter().enumerate() {
+        let row = b_base + p * b_row_stride + j;
+        let avv = F32Lanes::<N>::splat(av);
+        acc0 = acc0 + avv * F32Lanes::<N>::load(&bdat[row..]);
+        acc1 = acc1 + avv * F32Lanes::<N>::load(&bdat[row + N..]);
+    }
+    acc0.store(&mut chunk[j..]);
+    acc1.store(&mut chunk[j + N..]);
 }
 
 /// ONNX `Gemm` with transpose flags, `alpha`/`beta` scaling and broadcast
@@ -800,6 +1393,15 @@ fn fast_gemm(
     pool.run_chunks(out, n, |i, chunk| {
         let mut j0 = 0usize;
         if simd {
+            if !trans_b {
+                while j0 + 2 * LANES <= n {
+                    gemm_cols2::<LANES>(
+                        chunk, i, j0, k, trans_a, adat, bdat, a_cols, b_cols, alpha, beta, c_dat,
+                        c_si, c_sj,
+                    );
+                    j0 += 2 * LANES;
+                }
+            }
             while j0 + LANES <= n {
                 gemm_cols::<LANES>(
                     chunk, i, j0, k, trans_a, trans_b, adat, bdat, a_cols, b_cols, alpha, beta,
@@ -881,6 +1483,55 @@ fn gemm_cols<const N: usize>(
         v = v + F32Lanes::<N>::splat(beta) * cv;
     }
     v.store(&mut chunk[j..]);
+}
+
+/// Register-blocked tile of `2 * N` consecutive `Gemm` output columns for
+/// the contiguous-B case (`transB = 0`, or a prepacked panel): two
+/// independent lane-bundle accumulators share each reduction step's `a`
+/// splat. Per column, the accumulation and `alpha`/`beta`/bias sequence is
+/// exactly [`gemm_cols`]'s, so the tile is bit-identical to two
+/// single-bundle calls.
+#[allow(clippy::too_many_arguments)]
+fn gemm_cols2<const N: usize>(
+    chunk: &mut [f32],
+    i: usize,
+    j: usize,
+    k: usize,
+    trans_a: bool,
+    adat: &[f32],
+    bdat: &[f32],
+    a_cols: usize,
+    b_cols: usize,
+    alpha: f32,
+    beta: f32,
+    c_dat: Option<&[f32]>,
+    c_si: usize,
+    c_sj: usize,
+) {
+    let mut acc0 = F32Lanes::<N>::splat(0.0);
+    let mut acc1 = F32Lanes::<N>::splat(0.0);
+    for p in 0..k {
+        let av = if trans_a {
+            adat[p * a_cols + i]
+        } else {
+            adat[i * a_cols + p]
+        };
+        let avv = F32Lanes::<N>::splat(av);
+        let row = p * b_cols + j;
+        acc0 = acc0 + avv * F32Lanes::<N>::load(&bdat[row..]);
+        acc1 = acc1 + avv * F32Lanes::<N>::load(&bdat[row + N..]);
+    }
+    let alpha_v = F32Lanes::<N>::splat(alpha);
+    let mut v0 = alpha_v * acc0;
+    let mut v1 = alpha_v * acc1;
+    if let Some(cd) = c_dat {
+        let beta_v = F32Lanes::<N>::splat(beta);
+        let c_base = i * c_si + j * c_sj;
+        v0 = v0 + beta_v * F32Lanes::<N>::gather(cd, c_base, c_sj);
+        v1 = v1 + beta_v * F32Lanes::<N>::gather(cd, c_base + N * c_sj, c_sj);
+    }
+    v0.store(&mut chunk[j..]);
+    v1.store(&mut chunk[j + N..]);
 }
 
 /// `MaxPool` / `AveragePool` with the reference kernel's window order and
@@ -1378,6 +2029,13 @@ mod tests {
     use super::*;
     use crate::{execute, infer_shapes};
 
+    /// Shape-infers a `Conv` output for explicit packed-vs-unpacked runs.
+    fn infer_conv_shape(attrs: &Attrs, x: &Tensor, w: &Tensor) -> Shape {
+        infer_shapes(OpKind::Conv, attrs, &[x.shape().clone(), w.shape().clone()])
+            .unwrap()
+            .remove(0)
+    }
+
     /// Runs `op` through both the fast and reference kernels and checks the
     /// outputs are bit-identical (same taps, same accumulation order). The
     /// fast kernel runs with its lane-blocked (SIMD) path enabled — the
@@ -1589,6 +2247,111 @@ mod tests {
             .unwrap());
             assert_eq!(with, without);
         }
+    }
+
+    #[test]
+    fn prepacked_conv_oc_panel_is_bit_identical_to_the_strided_weights() {
+        // OC-blocked panels replace the strided weight walk with contiguous
+        // lane loads, but every tap value and the per-element accumulation
+        // order are the scalar kernel's, so outputs must match bit for bit —
+        // across the border/interior split, strides, dilations, bias, every
+        // pool configuration, and both the 2-D and odometer (3-D) paths.
+        let x = Tensor::random(Shape::new(vec![2, 3, 7, 13]), 200);
+        let w = Tensor::random(Shape::new(vec![CONV_PANEL_LANES * 2, 3, 3, 3]), 201);
+        let b = Tensor::random(Shape::new(vec![CONV_PANEL_LANES * 2]), 202);
+        let x3 = Tensor::random(Shape::new(vec![1, 2, 4, 5, 11]), 203);
+        let w3 = Tensor::random(Shape::new(vec![CONV_PANEL_LANES, 2, 3, 3, 3]), 204);
+        let cases: [(&Tensor, &Tensor, Option<&Tensor>, Attrs); 5] = [
+            (
+                &x,
+                &w,
+                Some(&b),
+                Attrs::new().with_ints("pads", vec![1, 1, 1, 1]),
+            ),
+            (&x, &w, None, Attrs::new().with_ints("strides", vec![2, 2])),
+            (
+                &x,
+                &w,
+                Some(&b),
+                Attrs::new()
+                    .with_ints("pads", vec![2, 0, 2, 0])
+                    .with_ints("dilations", vec![2, 1]),
+            ),
+            (&x, &w, None, Attrs::new()),
+            (
+                &x3,
+                &w3,
+                None,
+                Attrs::new().with_ints("pads", vec![1, 1, 1, 1, 1, 1]),
+            ),
+        ];
+        for (x, w, b, attrs) in cases {
+            let panel = pack_conv_oc_panel(w).expect("lane-aligned OC packs");
+            let inputs: Vec<&Tensor> = match b {
+                Some(b) => vec![x, w, b],
+                None => vec![x, w],
+            };
+            let out_shape = infer_conv_shape(&attrs, x, w);
+            let mut unpacked = vec![0.0f32; out_shape.numel()];
+            assert!(
+                execute_fast_into(OpKind::Conv, &attrs, &inputs, &out_shape, &mut unpacked)
+                    .unwrap()
+            );
+            for pool in [
+                WorkPool::serial(),
+                WorkPool::serial().with_simd(false),
+                WorkPool::with_min_work(3, 0),
+                WorkPool::with_min_work(7, 0),
+            ] {
+                let mut packed = vec![0.0f32; out_shape.numel()];
+                assert!(execute_fast_into_packed(
+                    OpKind::Conv,
+                    &attrs,
+                    &inputs,
+                    Some(&panel),
+                    &out_shape,
+                    &mut packed,
+                    pool,
+                )
+                .unwrap());
+                assert_eq!(packed, unpacked, "packed conv diverged for {attrs:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn conv_oc_panel_packing_gates_on_lane_aligned_output_channels() {
+        // Non-multiple-of-LANES OC has no panel form.
+        let w = Tensor::random(Shape::new(vec![CONV_PANEL_LANES + 1, 2, 3, 3]), 210);
+        assert!(pack_conv_oc_panel(&w).is_none());
+        // Rank < 3 (not a conv weight) has no panel form either.
+        let m = Tensor::random(Shape::new(vec![CONV_PANEL_LANES, 4]), 211);
+        assert!(pack_conv_oc_panel(&m).is_none());
+        // A grouped conv ignores a (mis-sized for its per-group walk) panel
+        // and still matches the unpacked kernel.
+        let x = Tensor::random(Shape::new(vec![1, CONV_PANEL_LANES, 6, 6]), 212);
+        let w = Tensor::random(Shape::new(vec![CONV_PANEL_LANES, 1, 3, 3]), 213);
+        let panel = pack_conv_oc_panel(&w).unwrap();
+        let attrs = Attrs::new()
+            .with_int("group", CONV_PANEL_LANES as i64)
+            .with_ints("pads", vec![1, 1, 1, 1]);
+        let out_shape = infer_conv_shape(&attrs, &x, &w);
+        let mut unpacked = vec![0.0f32; out_shape.numel()];
+        assert!(
+            execute_fast_into(OpKind::Conv, &attrs, &[&x, &w], &out_shape, &mut unpacked).unwrap()
+        );
+        let mut packed = vec![0.0f32; out_shape.numel()];
+        assert!(execute_fast_into_packed(
+            OpKind::Conv,
+            &attrs,
+            &[&x, &w],
+            Some(&panel),
+            &out_shape,
+            &mut packed,
+            WorkPool::serial(),
+        )
+        .unwrap());
+        assert_eq!(packed, unpacked);
     }
 
     #[test]

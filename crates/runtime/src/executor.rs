@@ -264,6 +264,32 @@ impl Executor {
         )
     }
 
+    /// Runs a compiled model against a caller-supplied [`WeightStore`]
+    /// instead of the model's cached one. Outputs are bit-identical for any
+    /// store built from the model's graph — packed or unpacked, panels only
+    /// change access patterns — so this exists for packed-vs-unpacked
+    /// differential tests and the `conv_pack_speedup` benchmark column
+    /// (which times fused runs with [`WeightStore::build_unpacked`]).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Executor::run_compiled`].
+    pub fn run_compiled_with_store(
+        &self,
+        model: &CompiledModel,
+        store: &WeightStore,
+        inputs: &HashMap<String, Tensor>,
+    ) -> Result<ExecutionReport, RuntimeError> {
+        self.run_plan_with_store(
+            model.graph(),
+            &model.plan,
+            &model.engine,
+            store,
+            inputs,
+            None,
+        )
+    }
+
     /// Runs a graph without any fusion (every operator is its own kernel)
     /// through the reference interpreter. This is the unfused baseline —
     /// `OurB` in the paper's evaluation — and the semantic oracle of the

@@ -50,8 +50,19 @@ impl DeviceLatencyModel {
         let set: BTreeSet<NodeId> = nodes.iter().copied().collect();
         let mut work = BlockWork::default();
         let mut counted = BTreeSet::new();
+        // Widest member step, by first-output element count. The engine
+        // executes a fused block step by step, parallelizing each step over
+        // its *own* output, so the block's achievable parallelism is set by
+        // its widest step — not by what escapes. A block whose tail
+        // contracts (Conv + epilogue fused through a pool, Gemm behind a
+        // wide Flatten) still parallelizes its anchor over the anchor's full
+        // output.
+        let mut widest_step: u64 = 0;
         for &n in nodes {
             let node = graph.node(n);
+            if let Some(&out) = node.outputs.first() {
+                widest_step = widest_step.max(graph.value(out).shape.numel() as u64);
+            }
             let input_shapes: Vec<Shape> = node
                 .inputs
                 .iter()
@@ -113,6 +124,7 @@ impl DeviceLatencyModel {
                 None => 1,
             };
         }
+        work.output_elems = work.output_elems.max(widest_step);
         work
     }
 }

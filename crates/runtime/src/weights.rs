@@ -77,8 +77,9 @@ pub fn materialize_weights(graph: &Graph) -> HashMap<ValueId, Tensor> {
 ///
 /// Every weight tensor lives behind an `Arc`, so handing it to a run's
 /// environment is a reference-count bump, not a copy; the store also carries
-/// the prepacked kernel layouts ([`PackedWeights`] — today, transposed
-/// `Gemm` B panels) so repeat inference never re-packs either. The store is
+/// the prepacked kernel layouts ([`PackedWeights`] — transposed `Gemm` B
+/// panels and OC-blocked `Conv` panels) so repeat inference never re-packs
+/// either. The store is
 /// immutable after construction and `Send + Sync`: concurrent executors can
 /// read it freely.
 ///
@@ -104,33 +105,64 @@ impl WeightStore {
     /// into a fresh store.
     #[must_use]
     pub fn build(graph: &Graph) -> Self {
+        let mut store = Self::build_unpacked(graph);
+        // Prepack kernel-friendly layouts once, so the kernels' inner loops
+        // load contiguously on every run. Packing is an access-pattern
+        // change only; results are bit-identical (pinned by the kernel
+        // tests and the runtime packed-vs-unpacked differential).
+        //
+        // * Gemm, transB = 1: the rank-2 weight's (K, N) transpose panel.
+        // * Conv, group = 1, OC lane-aligned: the OC-blocked
+        //   (OC/LANES, ICpg·∏k, LANES) panel.
+        let mut packed = PackedWeights::default();
+        for node_id in graph.topo_order() {
+            let node = graph.node(node_id);
+            let Some(&b) = node.inputs.get(1) else {
+                continue;
+            };
+            if !graph.value(b).is_weight() {
+                continue;
+            }
+            let Some(tensor) = &store.tensors[b.index()] else {
+                continue;
+            };
+            match node.op {
+                OpKind::Gemm
+                    if node.attrs.int_or("transB", 0) != 0 && packed.transposed_b(b).is_none() =>
+                {
+                    if let Ok(panel) = tensor.transpose(&[1, 0]) {
+                        packed.insert_transposed_b(b, Arc::new(panel));
+                    }
+                }
+                OpKind::Conv
+                    if node.attrs.int_or("group", 1) == 1 && packed.conv_oc(b).is_none() =>
+                {
+                    if let Some(panel) = dnnf_ops::pack_conv_oc_panel(tensor) {
+                        packed.insert_conv_oc(b, Arc::new(panel));
+                    }
+                }
+                _ => {}
+            }
+        }
+        store.packed = packed;
+        store
+    }
+
+    /// Materializes every weight of `graph` into a store with **no**
+    /// prepacked layouts. Kernels then read the original strided operands.
+    /// Outputs are bit-identical to a packed store's; only access patterns
+    /// differ — this exists for packed-vs-unpacked differential tests and
+    /// the `conv_pack_speedup` benchmark column.
+    #[must_use]
+    pub fn build_unpacked(graph: &Graph) -> Self {
         let mut tensors: Vec<Option<Arc<Tensor>>> = vec![None; graph.value_count()];
         for (id, tensor) in materialize_weights(graph) {
             tensors[id.index()] = Some(Arc::new(tensor));
         }
-        // Prepack: a rank-2 weight consumed transposed by a Gemm gets its
-        // (K, N) panel laid out once, so the kernel's inner loop loads
-        // contiguously on every run. Packing is an access-pattern change
-        // only; results are bit-identical (pinned by the kernel tests).
-        let mut packed = PackedWeights::default();
-        for node_id in graph.topo_order() {
-            let node = graph.node(node_id);
-            if node.op != OpKind::Gemm || node.attrs.int_or("transB", 0) == 0 {
-                continue;
-            }
-            let Some(&b) = node.inputs.get(1) else {
-                continue;
-            };
-            if !graph.value(b).is_weight() || packed.transposed_b(b).is_some() {
-                continue;
-            }
-            if let Some(tensor) = &tensors[b.index()] {
-                if let Ok(panel) = tensor.transpose(&[1, 0]) {
-                    packed.insert_transposed_b(b, Arc::new(panel));
-                }
-            }
+        WeightStore {
+            tensors,
+            packed: PackedWeights::default(),
         }
-        WeightStore { tensors, packed }
     }
 
     /// The store cached on `model` — built on first call, pointer-identical
@@ -257,6 +289,63 @@ mod tests {
             .transposed_b(w_t)
             .expect("transB weight packed");
         assert_eq!(panel.as_ref(), &reference[&w_t].transpose(&[1, 0]).unwrap());
+    }
+
+    #[test]
+    fn store_packs_lane_aligned_ungrouped_conv_weights() {
+        let lanes = dnnf_ops::CONV_PANEL_LANES;
+        let mut g = Graph::new("conv-pack");
+        let x = g.add_input("x", Shape::new(vec![1, 2, 6, 6]));
+        // Lane-aligned OC, group 1: packed.
+        let w_ok = g.add_weight("conv.w", Shape::new(vec![lanes, 2, 3, 3]));
+        let c1 = g
+            .add_op(
+                OpKind::Conv,
+                Attrs::new().with_ints("pads", vec![1, 1, 1, 1]),
+                &[x, w_ok],
+                "conv",
+            )
+            .unwrap()[0];
+        // Ragged OC: no panel form.
+        let w_ragged = g.add_weight("conv2.w", Shape::new(vec![3, lanes, 1, 1]));
+        let c2 = g
+            .add_op(OpKind::Conv, Attrs::new(), &[c1, w_ragged], "conv2")
+            .unwrap()[0];
+        // Grouped conv: never packed, even with lane-aligned OC.
+        let w_grouped = g.add_weight("conv3.w", Shape::new(vec![3, 1, 1, 1]));
+        let c3 = g
+            .add_op(
+                OpKind::Conv,
+                Attrs::new().with_int("group", 3),
+                &[c2, w_grouped],
+                "conv3",
+            )
+            .unwrap()[0];
+        g.mark_output(c3);
+
+        let store = WeightStore::build(&g);
+        assert_eq!(store.packed().len(), 1);
+        let panel = store.packed().conv_oc(w_ok).expect("aligned conv packed");
+        assert_eq!(
+            panel.shape().dims(),
+            &[1, 2 * 3 * 3, lanes],
+            "panel is (OC/LANES, ICpg*k, LANES)"
+        );
+        assert_eq!(
+            panel.as_ref(),
+            &dnnf_ops::pack_conv_oc_panel(store.get(w_ok).unwrap()).unwrap()
+        );
+        assert!(store.packed().conv_oc(w_ragged).is_none());
+        assert!(store.packed().conv_oc(w_grouped).is_none());
+
+        // The unpacked builder materializes the same tensors, no panels.
+        let unpacked = WeightStore::build_unpacked(&g);
+        assert!(unpacked.packed().is_empty());
+        assert_eq!(unpacked.len(), store.len());
+        assert_eq!(
+            unpacked.get(w_ok).unwrap().as_ref(),
+            store.get(w_ok).unwrap().as_ref()
+        );
     }
 
     #[test]

@@ -188,6 +188,119 @@ fn cached_path_is_bit_identical_to_the_uncached_path() {
     assert_eq!(uncached.memory, cached.memory);
 }
 
+/// Conv with a lane-aligned output-channel count (so the OC-blocked panel
+/// actually packs) -> Add bias -> Relu -> MaxPool -> Flatten -> Gemm.
+fn lane_aligned_cnn() -> Graph {
+    let oc = dnnf_ops::CONV_PANEL_LANES * 2;
+    let mut g = Graph::new("lane-aligned-cnn");
+    let x = g.add_input("x", Shape::new(vec![1, 3, 8, 8]));
+    let w = g.add_weight("conv.w", Shape::new(vec![oc, 3, 3, 3]));
+    let conv = g
+        .add_op(
+            OpKind::Conv,
+            Attrs::new()
+                .with_ints("pads", vec![1, 1, 1, 1])
+                .with_ints("strides", vec![2, 1]),
+            &[x, w],
+            "conv",
+        )
+        .unwrap()[0];
+    let b = g.add_weight("conv.b", Shape::new(vec![1, oc, 1, 1]));
+    let biased = g
+        .add_op(OpKind::Add, Attrs::new(), &[conv, b], "bias")
+        .unwrap()[0];
+    let relu = g
+        .add_op(OpKind::Relu, Attrs::new(), &[biased], "relu")
+        .unwrap()[0];
+    let pooled = g
+        .add_op(
+            OpKind::MaxPool,
+            Attrs::new()
+                .with_ints("kernel_shape", vec![2, 2])
+                .with_ints("strides", vec![2, 2]),
+            &[relu],
+            "pool",
+        )
+        .unwrap()[0];
+    let flat = g
+        .add_op(
+            OpKind::Flatten,
+            Attrs::new().with_int("axis", 1),
+            &[pooled],
+            "flatten",
+        )
+        .unwrap()[0];
+    let fc = g.add_weight("fc.w", Shape::new(vec![10, oc * 2 * 4]));
+    let out = g
+        .add_op(
+            OpKind::Gemm,
+            Attrs::new().with_int("transB", 1),
+            &[flat, fc],
+            "fc",
+        )
+        .unwrap()[0];
+    g.mark_output(out);
+    g
+}
+
+#[test]
+fn packed_conv_panels_are_bit_identical_to_unpacked_across_threads_and_scalar_mode() {
+    let graph = lane_aligned_cnn();
+    let model = compile(&graph);
+    let store = WeightStore::of_model(&model);
+    let conv_w = model
+        .graph()
+        .values()
+        .find(|v| v.is_weight() && store.packed().conv_oc(v.id).is_some())
+        .expect("the lane-aligned conv weight must be packed");
+    assert_eq!(
+        store.packed().conv_oc(conv_w.id).unwrap().shape().dims(),
+        &[2, 3 * 3 * 3, dnnf_ops::CONV_PANEL_LANES]
+    );
+    let unpacked = WeightStore::build_unpacked(model.graph());
+    assert!(unpacked.packed().is_empty());
+
+    let inputs = inputs_for(&graph, 41);
+    let mut options: Vec<ExecOptions> = [1usize, 2, 3, 8]
+        .iter()
+        .map(|&t| ExecOptions::with_threads(t))
+        .collect();
+    // DNNF_FORCE_SCALAR's programmatic equivalent: panels are ignored
+    // entirely in scalar mode, which must not change results either.
+    options.push(ExecOptions::serial().scalar_kernels());
+    options.push(ExecOptions::with_threads(4).scalar_kernels());
+
+    let baseline = executor().run_compiled(&model, &inputs).unwrap().outputs;
+    for opts in options {
+        let exec = Executor::new(DeviceSpec::snapdragon_865_cpu())
+            .without_cache_simulation()
+            .with_options(opts);
+        let packed_run = exec
+            .run_compiled_with_store(&model, &store, &inputs)
+            .unwrap();
+        let unpacked_run = exec
+            .run_compiled_with_store(&model, &unpacked, &inputs)
+            .unwrap();
+        for ((p, u), b) in packed_run
+            .outputs
+            .iter()
+            .zip(&unpacked_run.outputs)
+            .zip(&baseline)
+        {
+            assert_eq!(
+                p.first_disagreement(u, 0.0),
+                None,
+                "packed vs unpacked diverged under {opts:?}"
+            );
+            assert_eq!(
+                p.first_disagreement(b, 0.0),
+                None,
+                "run under {opts:?} diverged from the serial baseline"
+            );
+        }
+    }
+}
+
 #[test]
 fn transposed_gemm_weights_are_prepacked_and_results_match_the_reference() {
     let graph = gemm_cnn();

@@ -429,6 +429,21 @@ fn extract_batch(queue: &mut VecDeque<Pending>, max_batch: usize) -> Vec<Pending
     batch
 }
 
+/// Whether any queue currently satisfies a dispatch condition (batching
+/// window expired, waiting rows filling a batch, or shutdown drain). Used
+/// by a worker that just claimed a batch to decide whether to pass its
+/// wakeup on to a sleeping peer.
+fn any_dispatchable(state: &State, shared: &Shared, now: Instant) -> bool {
+    state.queues.iter().any(|queue| {
+        let Some(front) = queue.front() else {
+            return false;
+        };
+        state.shutdown
+            || now >= front.enqueued + shared.config.batch_window
+            || queue.iter().map(|p| p.rows).sum::<usize>() >= shared.config.max_batch
+    })
+}
+
 fn worker_loop(shared: &Shared) {
     let executor = {
         let e = Executor::new(shared.config.device.clone()).with_options(shared.config.exec);
@@ -438,7 +453,13 @@ fn worker_loop(shared: &Shared) {
             e.without_cache_simulation()
         }
     };
+    let queue_count = shared.models.len();
     let mut state = shared.state.lock().expect("serve state lock");
+    // Where the next readiness scan begins. Rotated to just past the last
+    // dispatched model, so under sustained load every ready queue is served
+    // in turn — a fixed low-to-high scan would let a saturated tenant 0
+    // (always ready by row count) starve every later-registered tenant.
+    let mut scan_start = 0usize;
     loop {
         let now = Instant::now();
         // A model is dispatchable once its oldest request's batching window
@@ -447,7 +468,9 @@ fn worker_loop(shared: &Shared) {
         // to sleep until.
         let mut dispatchable = None;
         let mut earliest_deadline: Option<Instant> = None;
-        for (idx, queue) in state.queues.iter().enumerate() {
+        for k in 0..queue_count {
+            let idx = (scan_start + k) % queue_count;
+            let queue = &state.queues[idx];
             let Some(front) = queue.front() else { continue };
             let deadline = front.enqueued + shared.config.batch_window;
             let rows_waiting: usize = queue.iter().map(|p| p.rows).sum();
@@ -461,7 +484,16 @@ fn worker_loop(shared: &Shared) {
         }
 
         if let Some(idx) = dispatchable {
+            scan_start = (idx + 1) % queue_count;
             let batch = extract_batch(&mut state.queues[idx], shared.config.max_batch);
+            // `submit` only ever wakes one worker per request. If another
+            // queue (or the remainder of this one) is already dispatchable,
+            // hand the wakeup on before going off to execute — otherwise a
+            // sleeping peer stays parked until its batch-window timeout and
+            // ready tenants drain serially instead of concurrently.
+            if any_dispatchable(&state, shared, now) {
+                shared.cvar.notify_one();
+            }
             drop(state);
             dispatch(&shared.models[idx], batch, &executor);
             state = shared.state.lock().expect("serve state lock");

@@ -3,8 +3,9 @@
 //! eviction pressure.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use dnnf_core::{CompiledModel, Compiler, CompilerOptions};
 use dnnf_graph::Graph;
@@ -277,6 +278,143 @@ fn two_tenants_are_served_independently() {
         }
     }
     server.shutdown();
+}
+
+/// Regression test for the lost-wakeup after dispatch: when a worker
+/// extracts a batch while *another* tenant's queue is also dispatchable, it
+/// must hand the condvar on so the second worker drains that tenant
+/// concurrently instead of the first worker serving both serially (or, in
+/// the worst interleaving, the second tenant stalling until its batch
+/// window expires). With a multi-second window, every full batch must
+/// dispatch on the row threshold alone — none may ride out the timeout.
+#[test]
+fn two_workers_drain_two_ready_tenants_without_window_timeouts() {
+    let window = Duration::from_secs(5);
+    let server = Server::builder(ServeConfig {
+        workers: 2,
+        max_batch: 4,
+        batch_window: window,
+        ..ServeConfig::default()
+    })
+    .model("a", compile(&conv_graph(2)))
+    .expect("register a")
+    .model("b", compile(&conv_graph(4)))
+    .expect("register b")
+    .start();
+
+    let start = Instant::now();
+    let rounds = 3u64;
+    for round in 0..rounds {
+        // Interleave single-row submits so both queues cross the row
+        // threshold back to back while the workers are already moving.
+        let mut tickets = Vec::new();
+        for i in 0..4u64 {
+            tickets.push(server.submit("a", request(1, round * 100 + i)).unwrap());
+            tickets.push(
+                server
+                    .submit("b", request(1, round * 100 + 50 + i))
+                    .unwrap(),
+            );
+        }
+        for ticket in tickets {
+            ticket.wait().expect("response");
+        }
+    }
+    let elapsed = start.elapsed();
+    let stats = server.stats();
+    let a = stats.model("a").expect("stats a").clone();
+    let b = stats.model("b").expect("stats b").clone();
+    server.shutdown();
+
+    // If either tenant's ready batch had been left to its window deadline,
+    // a round would take ≥ 5 s; dispatched on the row threshold, the whole
+    // test takes milliseconds.
+    assert!(
+        elapsed < window / 2,
+        "ready tenants waited out the batch window: {elapsed:?}"
+    );
+    for (name, m) in [("a", &a), ("b", &b)] {
+        assert_eq!(m.completed, rounds * 4, "tenant {name}: {m:?}");
+        assert_eq!(
+            m.batches, rounds,
+            "tenant {name} must dispatch one full batch per round: {m:?}"
+        );
+        assert_eq!(m.max_coalesced, 4, "tenant {name}: {m:?}");
+    }
+}
+
+/// Regression test for scan-order starvation: a tenant with a standing
+/// backlog of full batches must not monopolize the workers. The rotating
+/// scan start guarantees the light tenant's ready batch is picked up after
+/// at most one dispatch per worker, so its waits stay bounded by the batch
+/// window rather than the length of the heavy tenant's burst.
+#[test]
+fn a_saturated_tenant_cannot_starve_the_other_tenants_dispatches() {
+    let window = Duration::from_millis(400);
+    let server = Server::builder(ServeConfig {
+        workers: 2,
+        max_batch: 4,
+        batch_window: window,
+        queue_capacity: 64,
+        ..ServeConfig::default()
+    })
+    .model("heavy", compile(&conv_graph(4)))
+    .expect("register heavy")
+    .model("light", compile(&conv_graph(2)))
+    .expect("register light")
+    .start();
+
+    let stop = AtomicBool::new(false);
+    let mut waits: Vec<Duration> = Vec::new();
+    std::thread::scope(|scope| {
+        let server = &server;
+        let stop = &stop;
+        scope.spawn(move || {
+            // Keep the heavy queue permanently dispatchable: every request
+            // is a full batch, and backpressure only slows the firehose.
+            // The wall-clock bound keeps a scheduler regression from
+            // turning this test into a deadlock (the light tenant would
+            // never finish, so `stop` would never be set).
+            let begin = Instant::now();
+            let mut seed = 0u64;
+            while !stop.load(Ordering::Relaxed) && begin.elapsed() < Duration::from_secs(10) {
+                match server.submit("heavy", request(4, seed)) {
+                    Ok(_) => seed += 1,
+                    Err(ServeError::QueueFull { .. }) => {
+                        std::thread::sleep(Duration::from_micros(200));
+                    }
+                    Err(e) => panic!("heavy submit failed: {e:?}"),
+                }
+            }
+        });
+
+        // Let the saturator build a standing backlog before probing.
+        while server.stats().model("heavy").expect("stats").pending < 16 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        for i in 0..20u64 {
+            let begin = Instant::now();
+            let ticket = server
+                .submit("light", request(4, 1000 + i))
+                .expect("light submit");
+            ticket.wait().expect("light response");
+            waits.push(begin.elapsed());
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+    let heavy = server.stats().model("heavy").expect("stats").clone();
+    server.shutdown();
+
+    // The heavy tenant really was being served the whole time — this is
+    // contention, not an idle server.
+    assert!(heavy.batches >= 20, "heavy tenant barely ran: {heavy:?}");
+    waits.sort();
+    let p99 = waits[waits.len() - 1]; // 20 samples: P99 is the max
+    assert!(
+        p99 <= window,
+        "light tenant starved under heavy load: P99 wait {p99:?} > window {window:?} ({waits:?})"
+    );
 }
 
 #[test]

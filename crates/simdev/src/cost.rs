@@ -21,7 +21,9 @@ pub struct BlockWork {
     pub access_disrupting_ops: usize,
     /// Whether the kernel contains a compute-intensive (Many-to-Many) anchor.
     pub has_compute_anchor: bool,
-    /// Number of output elements (used to estimate achievable parallelism).
+    /// Number of output elements of the kernel's widest parallel step (used
+    /// to estimate achievable parallelism — a fused kernel runs step by
+    /// step, each step parallelized over its own output).
     pub output_elems: u64,
 }
 
