@@ -1,0 +1,118 @@
+//! Standalone random-model differential fuzzer.
+//!
+//! Generates seeded random graphs (element-wise DAGs, anchored
+//! Conv/MatMul/Gemm/pool DAGs, attention-shaped MatMul chains including
+//! KV-cache `Concat` splices), compiles each through the fused engine, and
+//! checks every case against the reference interpreter at
+//! `num_threads ∈ {1, 2, 8}` with and without `force_scalar` — within
+//! `1e-5` of the reference and bit-identical across configurations.
+//!
+//! ```text
+//! cargo run --release -p dnnf-bench --bin random_model -- \
+//!     [--seed <start>] [--count <n>] [--max-nodes <n>]
+//! ```
+//!
+//! Every failure prints its seed; replay one exactly with
+//! `--seed <failing-seed> --count 1`. Exits non-zero if any seed fails.
+
+use std::process::ExitCode;
+
+use dnnf_bench::fuzz::{check_seed, FuzzFailure};
+
+struct Args {
+    seed: u64,
+    count: u64,
+    max_nodes: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seed: 0,
+        count: 100,
+        max_nodes: 12,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--count" => {
+                args.count = value("--count")?
+                    .parse()
+                    .map_err(|e| format!("--count: {e}"))?;
+            }
+            "--max-nodes" => {
+                args.max_nodes = value("--max-nodes")?
+                    .parse()
+                    .map_err(|e| format!("--max-nodes: {e}"))?;
+                if args.max_nodes == 0 {
+                    return Err("--max-nodes must be at least 1".into());
+                }
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: random_model [--seed <start>] [--count <n>] [--max-nodes <n>]".into(),
+                );
+            }
+            other => return Err(format!("unknown flag `{other}` (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "random_model: seeds {}..{} (max {} nodes per graph)",
+        args.seed,
+        args.seed + args.count,
+        args.max_nodes
+    );
+    let mut failures: Vec<FuzzFailure> = Vec::new();
+    let mut nodes_total = 0usize;
+    let mut blocks_total = 0usize;
+    for seed in args.seed..args.seed + args.count {
+        match check_seed(seed, args.max_nodes) {
+            Ok(outcome) => {
+                nodes_total += outcome.nodes;
+                blocks_total += outcome.fused_blocks;
+            }
+            Err(failure) => {
+                eprintln!("FAIL {failure}");
+                eprintln!(
+                    "     replay: cargo run --release -p dnnf-bench --bin random_model -- --seed {} --count 1 --max-nodes {}",
+                    failure.seed, args.max_nodes
+                );
+                failures.push(failure);
+            }
+        }
+    }
+    let checked = args.count as usize;
+    println!(
+        "checked {checked} seeds: {} passed, {} failed ({nodes_total} ops, {blocks_total} fused blocks total)",
+        checked - failures.len(),
+        failures.len()
+    );
+    if failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "failing seeds: {:?}",
+            failures.iter().map(|f| f.seed).collect::<Vec<_>>()
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -13,6 +13,8 @@
 
 #![warn(missing_docs)]
 
+pub mod fuzz;
+
 use std::fmt;
 
 use dnnf_baselines::{taso_optimize, BaselineFramework, PatternFuser};

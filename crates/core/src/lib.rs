@@ -60,6 +60,7 @@ mod latency;
 mod mapping;
 pub mod plan;
 pub mod rewrite;
+mod seq;
 
 pub use batch::BatchInstance;
 pub use compiler::{CompilationStats, CompiledModel, Compiler, CompilerOptions, RuntimeCacheSlot};
@@ -73,3 +74,4 @@ pub use intra::{eliminate_data_movement, DataMovementElimination};
 pub use latency::{AnalyticLatencyModel, LatencyModel};
 pub use mapping::{analyze_pair, fusable_cell_count, FusionDecision, FusionVerdict};
 pub use plan::{block_profile_key, FusionBlock, FusionPlan, FusionPlanner, PlanOptions};
+pub use seq::SeqInstance;

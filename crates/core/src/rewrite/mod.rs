@@ -229,6 +229,9 @@ pub(crate) fn rebuild_replacing(
         match value.kind {
             dnnf_graph::ValueKind::Input => {
                 let id = new.add_input(value.name.clone(), value.shape.clone());
+                if let Some(axis) = graph.seq_axis(value.id) {
+                    new.mark_seq_axis(id, axis)?;
+                }
                 map.insert(value.id, id);
             }
             dnnf_graph::ValueKind::Weight => {

@@ -229,6 +229,42 @@ pub(crate) fn batch_shape_signature(graph: &Graph) -> String {
     s
 }
 
+/// Builds the sequence-polymorphic shape signature: identical to
+/// [`shape_signature`] except every input's *marked* sequence axis (see
+/// `Graph::mark_seq_axis`) is printed as the symbolic `S`
+/// (`token_ids=1;past_k0=2xSx8`). Unmarked inputs print unchanged. Keying a
+/// cache entry by this signature expresses that one compiled plan serves
+/// any sequence length — the autoregressive analogue of
+/// [`batch_shape_signature`].
+#[must_use]
+pub(crate) fn seq_shape_signature(graph: &Graph) -> String {
+    let mut s = String::new();
+    for (i, &id) in graph.inputs().iter().enumerate() {
+        if i > 0 {
+            s.push(';');
+        }
+        let v = graph.value(id);
+        s.push_str(&v.name);
+        s.push('=');
+        let seq_axis = graph.seq_axis(id);
+        let dims: Vec<String> = v
+            .shape
+            .dims()
+            .iter()
+            .enumerate()
+            .map(|(axis, d)| {
+                if Some(axis) == seq_axis {
+                    "S".to_string()
+                } else {
+                    d.to_string()
+                }
+            })
+            .collect();
+        s.push_str(&dims.join("x"));
+    }
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -416,5 +452,33 @@ mod tests {
         let g8 = g.with_batch_size(8).unwrap();
         assert_eq!(g8.batch_shape_signature(), g.batch_shape_signature());
         assert_ne!(g8.shape_signature(), g.shape_signature());
+    }
+
+    #[test]
+    fn seq_shape_signature_symbolizes_only_marked_axes() {
+        let mut g = Graph::new("seq-sig");
+        let q = g.add_input("q", Shape::new(vec![2, 1, 8]));
+        let past = g.add_input("past", Shape::new(vec![2, 6, 8]));
+        g.mark_seq_axis(past, 1).unwrap();
+        let kt = g
+            .add_op(
+                OpKind::Transpose,
+                Attrs::new().with_ints("perm", vec![0, 2, 1]),
+                &[past],
+                "kt",
+            )
+            .unwrap()[0];
+        let scores = g
+            .add_op(OpKind::MatMul, Attrs::new(), &[q, kt], "scores")
+            .unwrap()[0];
+        g.mark_output(scores);
+        assert_eq!(g.seq_shape_signature(), "q=2x1x8;past=2xSx8");
+        // Every sequence-length variant shares one signature.
+        let g3 = g.with_seq_len(3).unwrap();
+        assert_eq!(g3.seq_shape_signature(), g.seq_shape_signature());
+        assert_ne!(g3.shape_signature(), g.shape_signature());
+        // Unmarked graphs degrade to the plain static signature.
+        let plain = base_graph();
+        assert_eq!(plain.seq_shape_signature(), plain.shape_signature());
     }
 }

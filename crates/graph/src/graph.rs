@@ -20,6 +20,13 @@ pub struct Graph {
     inputs: Vec<ValueId>,
     outputs: Vec<ValueId>,
     weight_data: BTreeMap<ValueId, Tensor>,
+    /// Inputs whose marked axis is the symbolic sequence dimension, set with
+    /// [`Graph::mark_seq_axis`]. Unlike the batch convention (always the
+    /// leading axis of every input), sequence axes are opt-in and per-input:
+    /// an autoregressive step graph marks only its KV-cache inputs, whose
+    /// sequence axis is axis 1 (`[heads, seq, head_dim]`), while the
+    /// fixed-length token inputs stay unmarked.
+    seq_axes: BTreeMap<ValueId, usize>,
 }
 
 impl Graph {
@@ -33,6 +40,7 @@ impl Graph {
             inputs: Vec::new(),
             outputs: Vec::new(),
             weight_data: BTreeMap::new(),
+            seq_axes: BTreeMap::new(),
         }
     }
 
@@ -407,9 +415,15 @@ impl Graph {
         if !changed {
             return Ok(g);
         }
-        // Re-infer every node output in topological order so rebatched
-        // input shapes propagate through the whole graph.
-        for id in self.topo_order() {
+        Self::reinfer_all(&mut g)?;
+        Ok(g)
+    }
+
+    /// Re-infers every node output in topological order so rebound input
+    /// shapes propagate through the whole graph. Shared by
+    /// [`Graph::with_batch_size`] and [`Graph::with_seq_len`].
+    fn reinfer_all(g: &mut Graph) -> Result<(), GraphError> {
+        for id in g.topo_order() {
             let input_shapes: Vec<Shape> = g.nodes[id.0]
                 .inputs
                 .iter()
@@ -433,7 +447,100 @@ impl Graph {
                 g.values[vid.0].shape = shape;
             }
         }
+        Ok(())
+    }
+
+    /// Marks `axis` of graph input `id` as its symbolic sequence dimension.
+    /// Marked inputs are the ones [`Graph::with_seq_len`] rebinds and the
+    /// ones [`Graph::seq_shape_signature`] prints symbolically; unmarked
+    /// inputs keep their static shape. The markings survive
+    /// [`Graph::with_batch_size`] / [`Graph::with_seq_len`] cloning.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::UnknownValue`] for an invalid id and
+    /// [`GraphError::Invalid`] when the value is not a graph input or the
+    /// axis is out of range for its rank.
+    pub fn mark_seq_axis(&mut self, id: ValueId, axis: usize) -> Result<(), GraphError> {
+        let value = self
+            .values
+            .get(id.0)
+            .ok_or(GraphError::UnknownValue { id: id.0 })?;
+        if value.kind != ValueKind::Input {
+            return Err(GraphError::Invalid {
+                reason: format!("value `{}` is not a graph input", value.name),
+            });
+        }
+        if axis >= value.shape.rank() {
+            return Err(GraphError::Invalid {
+                reason: format!(
+                    "seq axis {axis} out of range for input `{}` of rank {}",
+                    value.name,
+                    value.shape.rank()
+                ),
+            });
+        }
+        self.seq_axes.insert(id, axis);
+        Ok(())
+    }
+
+    /// The marked sequence axis of input `id`, if any.
+    #[must_use]
+    pub fn seq_axis(&self, id: ValueId) -> Option<usize> {
+        self.seq_axes.get(&id).copied()
+    }
+
+    /// Rebuilds this graph with every marked sequence axis (see
+    /// [`Graph::mark_seq_axis`]) set to `seq`, re-running shape inference
+    /// over all nodes. Node and value ids, names, weights, attached weight
+    /// data and the seq-axis markings themselves are preserved exactly —
+    /// the sequence-length analogue of [`Graph::with_batch_size`], which is
+    /// what lets one compiled plan (keyed by
+    /// [`Graph::seq_shape_signature`]) serve an autoregressive decode loop
+    /// whose KV-cache length grows every step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::Invalid`] when `seq == 0` or no input carries a
+    /// seq-axis marking, and [`GraphError::ShapeInference`] when an operator
+    /// is not polymorphic in the marked dimension (e.g. a `Reshape` whose
+    /// target shape bakes in the original sequence length).
+    pub fn with_seq_len(&self, seq: usize) -> Result<Graph, GraphError> {
+        if seq == 0 {
+            return Err(GraphError::Invalid {
+                reason: "sequence length must be at least 1".into(),
+            });
+        }
+        if self.seq_axes.is_empty() {
+            return Err(GraphError::Invalid {
+                reason: "no input carries a seq-axis marking".into(),
+            });
+        }
+        let mut g = self.clone();
+        let mut changed = false;
+        for (&id, &axis) in &self.seq_axes {
+            let v = &mut g.values[id.0];
+            if v.shape.dim(axis) != seq {
+                let mut dims = v.shape.dims().to_vec();
+                dims[axis] = seq;
+                v.shape = Shape::new(dims);
+                changed = true;
+            }
+        }
+        if !changed {
+            return Ok(g);
+        }
+        Self::reinfer_all(&mut g)?;
         Ok(g)
+    }
+
+    /// The current sequence length: the marked dimension of the first marked
+    /// input (all marked inputs agree on any graph produced by
+    /// [`Graph::with_seq_len`]). `None` when no input is marked.
+    #[must_use]
+    pub fn seq_len(&self) -> Option<usize> {
+        let (&id, &axis) = self.seq_axes.iter().next()?;
+        Some(self.values[id.0].shape.dim(axis))
     }
 
     /// The leading dimension of the first graph input — the batch size by
@@ -476,6 +583,16 @@ impl Graph {
     #[must_use]
     pub fn batch_shape_signature(&self) -> String {
         crate::fingerprint::batch_shape_signature(self)
+    }
+
+    /// Like [`Graph::shape_signature`] but with every *marked* sequence axis
+    /// (see [`Graph::mark_seq_axis`]) printed as the symbolic `S`, e.g.
+    /// `token_ids=1;past_k0=2xSx8`. Sequence-polymorphic cache entries are
+    /// keyed by this signature so one compiled plan serves every KV-cache
+    /// length of a decode loop.
+    #[must_use]
+    pub fn seq_shape_signature(&self) -> String {
+        crate::fingerprint::seq_shape_signature(self)
     }
 
     /// Exports the graph in Graphviz DOT format (nodes labelled with operator
@@ -730,6 +847,90 @@ mod tests {
         ));
         assert_eq!(scalar.batch_size(), None);
         assert_eq!(Graph::new("empty").batch_size(), None);
+    }
+
+    /// Single-query attention score fragment over a length-6 KV cache:
+    /// `q [2,1,8] @ transpose(past, [0,2,1]) [2,8,S] -> scores [2,1,S]`.
+    fn toy_seq_graph() -> Graph {
+        let mut g = Graph::new("toy-seq");
+        let q = g.add_input("q", Shape::new(vec![2, 1, 8]));
+        let past = g.add_input("past", Shape::new(vec![2, 6, 8]));
+        g.mark_seq_axis(past, 1).unwrap();
+        let kt = g
+            .add_op(
+                OpKind::Transpose,
+                Attrs::new().with_ints("perm", vec![0, 2, 1]),
+                &[past],
+                "kt",
+            )
+            .unwrap()[0];
+        let scores = g
+            .add_op(OpKind::MatMul, Attrs::new(), &[q, kt], "scores")
+            .unwrap()[0];
+        g.mark_output(scores);
+        g
+    }
+
+    #[test]
+    fn with_seq_len_rebinds_only_marked_axes() {
+        let g = toy_seq_graph();
+        assert_eq!(g.seq_len(), Some(6));
+        let g3 = g.with_seq_len(3).unwrap();
+        assert_eq!(g3.seq_len(), Some(3));
+        assert_eq!(g3.node_count(), g.node_count());
+        assert_eq!(g3.value_count(), g.value_count());
+        // The unmarked input keeps its static shape; the marked one and
+        // everything downstream rebind.
+        assert_eq!(g3.value(g3.inputs()[0]).shape.dims(), &[2, 1, 8]);
+        assert_eq!(g3.value(g3.inputs()[1]).shape.dims(), &[2, 3, 8]);
+        let out = *g3.outputs().first().unwrap();
+        assert_eq!(g3.value(out).shape.dims(), &[2, 1, 3]);
+        // Markings survive the rebind, so the result rebinds again.
+        assert_eq!(g3.seq_axis(g3.inputs()[1]), Some(1));
+        assert!(g3.validate().is_ok());
+    }
+
+    #[test]
+    fn with_seq_len_round_trips_to_the_same_fingerprint() {
+        let g = toy_seq_graph();
+        // Rebinding to the current length is the identity.
+        assert_eq!(g.with_seq_len(6).unwrap().fingerprint(), g.fingerprint());
+        let back = g.with_seq_len(1).unwrap().with_seq_len(6).unwrap();
+        assert_eq!(back.fingerprint(), g.fingerprint());
+    }
+
+    #[test]
+    fn with_seq_len_rejects_zero_and_unmarked_graphs() {
+        let g = toy_seq_graph();
+        assert!(matches!(g.with_seq_len(0), Err(GraphError::Invalid { .. })));
+        let unmarked = toy_cnn();
+        assert_eq!(unmarked.seq_len(), None);
+        assert!(matches!(
+            unmarked.with_seq_len(2),
+            Err(GraphError::Invalid { .. })
+        ));
+    }
+
+    #[test]
+    fn mark_seq_axis_rejects_non_inputs_and_bad_axes() {
+        let mut g = Graph::new("marks");
+        let x = g.add_input("x", Shape::new(vec![2, 4]));
+        let w = g.add_weight("w", Shape::new(vec![4]));
+        assert!(matches!(
+            g.mark_seq_axis(w, 0),
+            Err(GraphError::Invalid { .. })
+        ));
+        assert!(matches!(
+            g.mark_seq_axis(x, 2),
+            Err(GraphError::Invalid { .. })
+        ));
+        assert!(matches!(
+            g.mark_seq_axis(ValueId(99), 0),
+            Err(GraphError::UnknownValue { id: 99 })
+        ));
+        g.mark_seq_axis(x, 1).unwrap();
+        assert_eq!(g.seq_axis(x), Some(1));
+        assert_eq!(g.seq_axis(w), None);
     }
 
     #[test]

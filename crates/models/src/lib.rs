@@ -22,6 +22,7 @@
 mod cnn2d;
 mod cnn3d;
 pub mod common;
+pub mod decoder;
 mod rcnn;
 mod transformer;
 
@@ -30,6 +31,7 @@ use std::fmt;
 use dnnf_graph::{Graph, GraphError};
 
 pub use common::ModelScale;
+pub use decoder::{decoder_prefill, decoder_step, DecoderConfig};
 pub use transformer::{transformer, TransformerConfig};
 
 /// The kind of task a model targets (column "Task" of Table 5).

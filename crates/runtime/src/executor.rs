@@ -192,6 +192,102 @@ impl Executor {
         )
     }
 
+    /// Runs a compiled model accepting any KV-cache (sequence) length: the
+    /// marked sequence axes ([`Graph::mark_seq_axis`]) of the provided
+    /// inputs may differ from the length the model was compiled at. When
+    /// they do, the model's expensive fusion plan is reused verbatim and
+    /// only cheap shape inference + code generation re-run for the
+    /// requested length ([`CompiledModel::instance_for_seq`], cached on the
+    /// model) — the per-step dispatch of an autoregressive decode loop.
+    ///
+    /// Inputs are taken as `Arc<Tensor>` so the growing KV-cache tensors a
+    /// `DecodeSession` holds are shared into the engine without copying a
+    /// cache that gets larger every token. The weight store is shared with
+    /// the native path (weights are length-free and value ids are stable
+    /// under rebinding), and outputs are bit-identical across thread counts
+    /// and scalar mode exactly as for [`Executor::run_compiled`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RuntimeError`] if inputs are missing, disagree on their
+    /// sequence length, or mismatch the model beyond the marked axes; and
+    /// [`RuntimeError::Core`] when the model cannot be rebound (e.g. an
+    /// operator whose attributes bake in the native sequence length).
+    pub fn run_compiled_seq(
+        &self,
+        model: &CompiledModel,
+        inputs: &HashMap<String, Arc<Tensor>>,
+    ) -> Result<ExecutionReport, RuntimeError> {
+        let graph = model.graph();
+        let seq_len = self.requested_seq(graph, inputs)?;
+        let store = WeightStore::of_model(model);
+        if seq_len.is_none() || seq_len == model.native_seq_len() {
+            // Native length (or nothing to rebind): the precompiled engine
+            // serves the request directly.
+            return self.run_plan_with_store_arc(
+                graph,
+                &model.plan,
+                &model.engine,
+                &store,
+                inputs,
+                None,
+            );
+        }
+        let instance = model
+            .instance_for_seq(seq_len.expect("checked above"))
+            .map_err(RuntimeError::Core)?;
+        self.run_plan_with_store_arc(
+            instance.graph(),
+            &model.plan,
+            instance.engine(),
+            &store,
+            inputs,
+            None,
+        )
+    }
+
+    /// The sequence length the provided inputs request, read off the marked
+    /// sequence axes. `None` when no input is marked or a marked input's
+    /// rank disagrees with the graph (the native path then reports the
+    /// precise mismatch); an error when inputs are missing or two marked
+    /// inputs disagree on the length.
+    fn requested_seq(
+        &self,
+        graph: &Graph,
+        inputs: &HashMap<String, Arc<Tensor>>,
+    ) -> Result<Option<usize>, RuntimeError> {
+        let mut seq_len: Option<usize> = None;
+        for &input_id in graph.inputs() {
+            let Some(axis) = graph.seq_axis(input_id) else {
+                continue;
+            };
+            let value = graph.value(input_id);
+            let tensor = inputs
+                .get(&value.name)
+                .ok_or_else(|| RuntimeError::MissingInput {
+                    name: value.name.clone(),
+                })?;
+            if tensor.shape().rank() != value.shape.rank() {
+                return Ok(None);
+            }
+            let s = tensor.shape().dim(axis);
+            match seq_len {
+                None => seq_len = Some(s),
+                Some(prev) if prev != s => {
+                    let mut expected = value.shape.dims().to_vec();
+                    expected[axis] = prev;
+                    return Err(RuntimeError::InputShapeMismatch {
+                        name: value.name.clone(),
+                        expected,
+                        actual: tensor.shape().dims().to_vec(),
+                    });
+                }
+                Some(_) => {}
+            }
+        }
+        Ok(seq_len)
+    }
+
     /// The batch size the provided inputs request, by the leading-dimension
     /// convention. `None` when the graph has no inputs or an input's rank
     /// disagrees with the graph (the native path then reports the precise
@@ -385,9 +481,8 @@ impl Executor {
         self.run_plan_with_store(graph, plan, engine, &store, inputs, None)
     }
 
-    /// The shared engine-dispatch path: boundary tensors in slot storage,
-    /// weights handed out of `store` by `Arc` clone (no copying, no
-    /// re-materialization), prepacked panels forwarded to the kernels.
+    /// [`Executor::run_plan_with_store_arc`] over a map of owned tensors:
+    /// each graph input is cloned into a shared handle once per run.
     fn run_plan_with_store(
         &self,
         graph: &Graph,
@@ -395,6 +490,25 @@ impl Executor {
         engine: &dnnf_core::CompiledPlan,
         store: &WeightStore,
         inputs: &HashMap<String, Tensor>,
+        profile: Option<&mut ProfileDatabase>,
+    ) -> Result<ExecutionReport, RuntimeError> {
+        let shared: HashMap<String, Arc<Tensor>> = inputs
+            .iter()
+            .map(|(name, tensor)| (name.clone(), Arc::new(tensor.clone())))
+            .collect();
+        self.run_plan_with_store_arc(graph, plan, engine, store, &shared, profile)
+    }
+
+    /// The shared engine-dispatch path: boundary tensors in slot storage,
+    /// inputs and weights handed out by `Arc` clone (no copying, no
+    /// re-materialization), prepacked panels forwarded to the kernels.
+    fn run_plan_with_store_arc(
+        &self,
+        graph: &Graph,
+        plan: &FusionPlan,
+        engine: &dnnf_core::CompiledPlan,
+        store: &WeightStore,
+        inputs: &HashMap<String, Arc<Tensor>>,
         mut profile: Option<&mut ProfileDatabase>,
     ) -> Result<ExecutionReport, RuntimeError> {
         let order = plan.execution_order(graph);
@@ -403,8 +517,8 @@ impl Executor {
         // Slot-indexed boundary storage: inputs, weights, block outputs.
         let mut env: Vec<Option<Arc<Tensor>>> = vec![None; graph.value_count()];
         for &input_id in graph.inputs() {
-            let tensor = self.checked_input(graph, input_id, inputs)?;
-            env[input_id.index()] = Some(Arc::new(tensor.clone()));
+            let tensor = self.checked_input_arc(graph, input_id, inputs)?;
+            env[input_id.index()] = Some(Arc::clone(tensor));
         }
         for value in graph.values() {
             if value.is_weight() {
@@ -554,6 +668,28 @@ impl Executor {
         input_id: ValueId,
         inputs: &'a HashMap<String, Tensor>,
     ) -> Result<&'a Tensor, RuntimeError> {
+        let value = graph.value(input_id);
+        let tensor = inputs
+            .get(&value.name)
+            .ok_or_else(|| RuntimeError::MissingInput {
+                name: value.name.clone(),
+            })?;
+        if tensor.shape() != &value.shape {
+            return Err(RuntimeError::InputShapeMismatch {
+                name: value.name.clone(),
+                expected: value.shape.dims().to_vec(),
+                actual: tensor.shape().dims().to_vec(),
+            });
+        }
+        Ok(tensor)
+    }
+
+    fn checked_input_arc<'a>(
+        &self,
+        graph: &Graph,
+        input_id: ValueId,
+        inputs: &'a HashMap<String, Arc<Tensor>>,
+    ) -> Result<&'a Arc<Tensor>, RuntimeError> {
         let value = graph.value(input_id);
         let tensor = inputs
             .get(&value.name)

@@ -57,6 +57,7 @@
 
 #![warn(missing_docs)]
 
+mod decode;
 mod error;
 mod executor;
 mod latency;
@@ -65,6 +66,7 @@ mod options;
 mod plan_cache;
 mod weights;
 
+pub use decode::{greedy_argmax, DecodeSession};
 pub use dnnf_ops::WorkPool;
 pub use error::RuntimeError;
 pub use executor::{ExecutionReport, Executor};

@@ -353,6 +353,46 @@ impl PlanCache {
         self.compile_keyed(compiler, &canonical, key)
     }
 
+    /// Compiles `graph` through the cache under a **sequence-polymorphic**
+    /// key: the graph is normalized to sequence length 1
+    /// ([`Graph::with_seq_len`]) and keyed by the normalized fingerprint
+    /// plus the symbolic sequence shape signature
+    /// ([`Graph::seq_shape_signature`], `token_ids=1;past_k0=2xSx8`), so
+    /// every KV-cache length of one decode-step graph shares a single cache
+    /// entry. The returned model is the length-1 canonical compilation; run
+    /// it at any cache length with `Executor::run_compiled_seq`, which
+    /// reuses the plan and re-runs only cheap codegen per length. This is
+    /// what makes a T-token decode cost exactly one plan search.
+    ///
+    /// Graphs with no seq-marked inputs ([`Graph::mark_seq_axis`]) or whose
+    /// operators bake in the native sequence length fall back to the
+    /// exact-shape [`PlanCache::compile_cached`] behaviour.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation errors ([`CoreError`]) from the cold path.
+    pub fn compile_seq<L: LatencyModel>(
+        &self,
+        compiler: &mut Compiler<L>,
+        graph: &Graph,
+    ) -> Result<(Arc<CompiledModel>, CacheOutcome), CoreError> {
+        let canonical = match graph.seq_len() {
+            Some(1) => graph.clone(),
+            Some(_) => match graph.with_seq_len(1) {
+                Ok(g) => g,
+                // Not seq-polymorphic: cache per exact shape instead.
+                Err(_) => return self.compile_cached(compiler, graph),
+            },
+            None => return self.compile_cached(compiler, graph),
+        };
+        let key = PlanKey {
+            fingerprint: canonical.fingerprint(),
+            shape_signature: canonical.seq_shape_signature(),
+            options: compiler.options().cache_key(),
+        };
+        self.compile_keyed(compiler, &canonical, key)
+    }
+
     fn compile_keyed<L: LatencyModel>(
         &self,
         compiler: &mut Compiler<L>,

@@ -607,3 +607,193 @@ proptest! {
         }
     }
 }
+
+/// Builds an attention-shaped MatMul chain — the dataflow of one decoder
+/// attention head: scores = q·kᵀ, scaling, a decomposed softmax
+/// (`ReduceMax`/`Sub`/`Exp`/`ReduceSum`/`Div`) and the context MatMul.
+/// Random head counts, lengths and widths; half the seeds splice a "past"
+/// segment onto the keys/values with `Concat` first (the KV-cache step
+/// form), and half escape the attention probabilities mid-chain.
+fn random_attention_chain(rng: &mut TestRng) -> Graph {
+    let heads = 1 + rng.below(3) as usize;
+    let q_len = 1 + rng.below(4) as usize;
+    let kv_len = 1 + rng.below(6) as usize;
+    let head_dim = 1 + rng.below(8) as usize;
+    let mut g = Graph::new("proptest-attention");
+    let q = g.add_input("q", Shape::new(vec![heads, q_len, head_dim]));
+    let mut k = g.add_input("k", Shape::new(vec![heads, kv_len, head_dim]));
+    let mut v = g.add_input("v", Shape::new(vec![heads, kv_len, head_dim]));
+    if rng.below(2) == 0 {
+        let past_len = 1 + rng.below(6) as usize;
+        let past_shape = Shape::new(vec![heads, past_len, head_dim]);
+        let pk = g.add_input("past_k", past_shape.clone());
+        let pv = g.add_input("past_v", past_shape);
+        let cat = Attrs::new().with_int("axis", 1);
+        k = g
+            .add_op(OpKind::Concat, cat.clone(), &[pk, k], "k.cat")
+            .unwrap()[0];
+        v = g.add_op(OpKind::Concat, cat, &[pv, v], "v.cat").unwrap()[0];
+    }
+    let kt = g
+        .add_op(
+            OpKind::Transpose,
+            Attrs::new().with_ints("perm", vec![0, 2, 1]),
+            &[k],
+            "kt",
+        )
+        .unwrap()[0];
+    let scores = g
+        .add_op(OpKind::MatMul, Attrs::new(), &[q, kt], "scores")
+        .unwrap()[0];
+    let scale = g.add_weight("scale", Shape::new(vec![1]));
+    let scaled = g
+        .add_op(OpKind::Mul, Attrs::new(), &[scores, scale], "scaled")
+        .unwrap()[0];
+    let reduce = Attrs::new()
+        .with_ints("axes", vec![-1])
+        .with_int("keepdims", 1);
+    let max = g
+        .add_op(OpKind::ReduceMax, reduce.clone(), &[scaled], "softmax.max")
+        .unwrap()[0];
+    let shifted = g
+        .add_op(OpKind::Sub, Attrs::new(), &[scaled, max], "softmax.shift")
+        .unwrap()[0];
+    let exp = g
+        .add_op(OpKind::Exp, Attrs::new(), &[shifted], "softmax.exp")
+        .unwrap()[0];
+    let sum = g
+        .add_op(OpKind::ReduceSum, reduce, &[exp], "softmax.sum")
+        .unwrap()[0];
+    let probs = g
+        .add_op(OpKind::Div, Attrs::new(), &[exp, sum], "softmax.div")
+        .unwrap()[0];
+    let ctx = g
+        .add_op(OpKind::MatMul, Attrs::new(), &[probs, v], "ctx")
+        .unwrap()[0];
+    g.mark_output(ctx);
+    if rng.below(2) == 0 {
+        g.mark_output(probs);
+    }
+    g
+}
+
+/// Runs the full differential for one attention-chain seed: reference
+/// oracle, then the fused engine at `num_threads ∈ {1, 2, 8}` with and
+/// without `force_scalar` — within 1e-5 of the reference and bit-identical
+/// across every configuration.
+fn check_attention_seed(seed: u64) {
+    let mut rng = TestRng::new(seed);
+    let graph = random_attention_chain(&mut rng);
+    let inputs = inputs_for(&graph, seed ^ 0xAC4E);
+    let base = Executor::new(DeviceSpec::snapdragon_865_cpu()).without_cache_simulation();
+
+    let ecg = Ecg::new(graph.clone());
+    let singletons = FusionPlan::singletons(&ecg);
+    let reference = base
+        .clone()
+        .with_options(ExecOptions::serial())
+        .run_plan_reference(&graph, &singletons, &inputs)
+        .unwrap();
+
+    let mut compiler = Compiler::new(CompilerOptions::without_rewriting());
+    let compiled = compiler.compile(&graph).unwrap();
+
+    let mut per_config: Vec<Vec<Tensor>> = Vec::new();
+    for threads in [1usize, 2, 8] {
+        for force_scalar in [false, true] {
+            let options = ExecOptions {
+                num_threads: threads,
+                force_scalar,
+                min_parallel_work: 0,
+            };
+            let run = base
+                .clone()
+                .with_options(options)
+                .run_compiled(&compiled, &inputs)
+                .unwrap();
+            for (r, e) in reference.outputs.iter().zip(&run.outputs) {
+                assert_agrees(
+                    r,
+                    e,
+                    1e-5,
+                    &format!("attention (seed {seed}, {threads} thr, scalar={force_scalar})"),
+                );
+            }
+            per_config.push(run.outputs);
+        }
+    }
+    for (config, outputs) in per_config.iter().enumerate().skip(1) {
+        for (a, b) in per_config[0].iter().zip(outputs) {
+            assert_eq!(
+                a.first_disagreement(b, 0.0),
+                None,
+                "attention outputs not bit-identical (seed {seed}, config {config})"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn attention_chains_match_reference_and_are_bit_deterministic(seed in any::<u64>()) {
+        check_attention_seed(seed);
+    }
+}
+
+/// Pinned regression seeds for the attention-chain differential: one per
+/// structural family the generator covers, replayed verbatim on every run
+/// so a generator change can never silently retire a once-failing shape.
+#[test]
+fn pinned_attention_regression_seeds_still_pass() {
+    for &seed in PINNED_ATTENTION_SEEDS {
+        check_attention_seed(seed);
+    }
+}
+
+/// Seeds covering each structural family (see the coverage test below).
+const PINNED_ATTENTION_SEEDS: &[u64] = &[0, 1, 2, 3, 5, 8, 13, 21];
+
+/// The attention generator must keep producing every structural family
+/// over a short seed range: the KV-cache (`Concat`-spliced) and plain
+/// forms, single-query (decode-step-shaped) and multi-query chains, the
+/// mid-chain probability escape, and head widths crossing the 8-lane SIMD
+/// bundle.
+#[test]
+fn attention_generator_covers_kv_splice_decode_shape_and_lane_widths() {
+    let mut spliced = None;
+    let mut plain = None;
+    let mut single_query = None;
+    let mut multi_query = None;
+    let mut probs_escape = None;
+    let mut wide_head = None;
+    for seed in 0..64u64 {
+        let mut rng = TestRng::new(seed);
+        let graph = random_attention_chain(&mut rng);
+        let has_splice = graph.inputs().len() == 5;
+        *if has_splice { &mut spliced } else { &mut plain } = Some(seed);
+        let q_shape = &graph.value(graph.inputs()[0]).shape;
+        *if q_shape.dim(1) == 1 {
+            &mut single_query
+        } else {
+            &mut multi_query
+        } = Some(seed);
+        if graph.outputs().len() == 2 {
+            probs_escape.get_or_insert(seed);
+        }
+        if q_shape.dim(2) >= 8 {
+            wide_head.get_or_insert(seed);
+        }
+    }
+    for (name, seen) in [
+        ("KV-spliced (Concat) form", spliced),
+        ("plain (no past) form", plain),
+        ("single-query (decode-step) shape", single_query),
+        ("multi-query shape", multi_query),
+        ("mid-chain probability escape", probs_escape),
+        (">= 8-wide head dimension", wide_head),
+    ] {
+        assert!(seen.is_some(), "no seed in 0..64 produced the {name}");
+    }
+}
