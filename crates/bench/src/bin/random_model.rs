@@ -9,20 +9,25 @@
 //!
 //! ```text
 //! cargo run --release -p dnnf-bench --bin random_model -- \
-//!     [--seed <start>] [--count <n>] [--max-nodes <n>]
+//!     [--seed <start>] [--count <n>] [--max-nodes <n>] [--export <dir>]
 //! ```
 //!
 //! Every failure prints its seed; replay one exactly with
-//! `--seed <failing-seed> --count 1`. Exits non-zero if any seed fails.
+//! `--seed <failing-seed> --count 1`. With `--export <dir>`, each failing
+//! seed's graph is also saved as `<dir>/seed-<seed>.dnnfg` (the text format
+//! of `docs/graph-format.md`), so a repro travels as a file instead of a
+//! replay one-liner. Exits non-zero if any seed fails.
 
+use std::path::PathBuf;
 use std::process::ExitCode;
 
-use dnnf_bench::fuzz::{check_seed, FuzzFailure};
+use dnnf_bench::fuzz::{check_seed, random_fuzz_graph, FuzzFailure};
 
 struct Args {
     seed: u64,
     count: u64,
     max_nodes: usize,
+    export: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -30,6 +35,7 @@ fn parse_args() -> Result<Args, String> {
         seed: 0,
         count: 100,
         max_nodes: 12,
+        export: None,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(flag) = iter.next() {
@@ -56,15 +62,29 @@ fn parse_args() -> Result<Args, String> {
                     return Err("--max-nodes must be at least 1".into());
                 }
             }
+            "--export" => {
+                args.export = Some(PathBuf::from(value("--export")?));
+            }
             "--help" | "-h" => {
                 return Err(
-                    "usage: random_model [--seed <start>] [--count <n>] [--max-nodes <n>]".into(),
+                    "usage: random_model [--seed <start>] [--count <n>] [--max-nodes <n>] [--export <dir>]"
+                        .into(),
                 );
             }
             other => return Err(format!("unknown flag `{other}` (try --help)")),
         }
     }
     Ok(args)
+}
+
+/// Regenerates the failing seed's graph (generation is deterministic in the
+/// seed) and saves it as a `.dnnfg` repro file.
+fn export_repro(dir: &std::path::Path, seed: u64, max_nodes: usize) -> Result<PathBuf, String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    let path = dir.join(format!("seed-{seed}.dnnfg"));
+    let graph = random_fuzz_graph(seed, max_nodes);
+    dnnf_io::save(&graph, &path).map_err(|e| e.to_string())?;
+    Ok(path)
 }
 
 fn main() -> ExitCode {
@@ -96,6 +116,12 @@ fn main() -> ExitCode {
                     "     replay: cargo run --release -p dnnf-bench --bin random_model -- --seed {} --count 1 --max-nodes {}",
                     failure.seed, args.max_nodes
                 );
+                if let Some(dir) = &args.export {
+                    match export_repro(dir, failure.seed, args.max_nodes) {
+                        Ok(path) => eprintln!("     repro saved: {}", path.display()),
+                        Err(message) => eprintln!("     repro export failed: {message}"),
+                    }
+                }
                 failures.push(failure);
             }
         }

@@ -370,10 +370,16 @@ fn disagreement(reference: &Tensor, engine: &Tensor, tol: f32) -> Option<String>
 /// with and without `force_scalar`. Engine runs must match the reference
 /// within [`FUZZ_TOLERANCE`] and each other bit for bit.
 ///
+/// Every seed also exercises the `.dnnfg` serialization round-trip: the
+/// graph is exported and re-imported, the import must fingerprint
+/// identically (and re-export byte-identically), and a compile of the
+/// *imported* graph must produce bit-identical outputs to the original's
+/// compile — tolerance 0, not [`FUZZ_TOLERANCE`].
+///
 /// # Errors
 ///
 /// Returns the [`FuzzFailure`] describing the first disagreement (or a
-/// compile/execution error).
+/// compile/execution/serialization error).
 pub fn check_seed(seed: u64, max_nodes: usize) -> Result<FuzzOutcome, FuzzFailure> {
     let fail = |context: String| FuzzFailure { seed, context };
     let graph = random_fuzz_graph(seed, max_nodes);
@@ -426,6 +432,46 @@ pub fn check_seed(seed: u64, max_nodes: usize) -> Result<FuzzOutcome, FuzzFailur
             }
         }
     }
+    // Serialization round-trip. Fingerprint identity means the imported
+    // graph would hit the same PlanCache entry; compiling it from scratch
+    // and demanding bit-identical outputs proves the stronger claim that
+    // nothing the compiler consumes was lost in the text form.
+    let text = dnnf_io::to_text(&graph);
+    let imported = dnnf_io::from_text(&text)
+        .map_err(|e| fail(format!("dnnfg round-trip: import rejected own export: {e}")))?;
+    if imported.fingerprint() != graph.fingerprint() {
+        return Err(fail(format!(
+            "dnnfg round-trip: fingerprint drift ({} -> {})",
+            graph.fingerprint(),
+            imported.fingerprint()
+        )));
+    }
+    if dnnf_io::to_text(&imported) != text {
+        return Err(fail(
+            "dnnfg round-trip: re-export is not byte-identical".into(),
+        ));
+    }
+    let recompiled = Compiler::new(CompilerOptions::without_rewriting())
+        .compile(&imported)
+        .map_err(|e| fail(format!("dnnfg round-trip: compile of import failed: {e}")))?;
+    let rerun = base
+        .clone()
+        .with_options(ExecOptions {
+            num_threads: 1,
+            force_scalar: false,
+            min_parallel_work: 0,
+        })
+        .run_compiled(&recompiled, &inputs)
+        .map_err(|e| fail(format!("dnnfg round-trip: run of import failed: {e}")))?;
+    let first = baseline.as_ref().expect("at least one engine config ran");
+    for (i, (b, e)) in first.iter().zip(&rerun.outputs).enumerate() {
+        if let Some(diff) = disagreement(b, e, 0.0) {
+            return Err(fail(format!(
+                "dnnfg round-trip: output {i} of imported graph not bit-identical: {diff}"
+            )));
+        }
+    }
+
     Ok(FuzzOutcome {
         seed,
         nodes: graph.node_count(),

@@ -1,0 +1,221 @@
+//! Typed errors for the strict `.dnnfg` parser.
+
+use std::fmt;
+
+use dnnf_graph::GraphError;
+
+/// Errors raised while parsing or building a graph from `.dnnfg` text, or
+/// while reading/writing `.dnnfg` files.
+///
+/// The parser is strict: any deviation from the grammar in
+/// `docs/graph-format.md` rejects the whole file with one of these variants —
+/// there is no partial import and no repair. Every variant is documented in
+/// the spec's error table; a conforming reimplementation must detect the same
+/// conditions (the exact variant names are this implementation's, but the
+/// *conditions* are normative).
+#[derive(Debug, Clone, PartialEq)]
+pub enum IoError {
+    /// The text does not end with a `checksum` line (or does not end with a
+    /// newline at all). A file cut off mid-write loses its trailing checksum
+    /// line first, so this is the truncation signal.
+    Truncated,
+    /// The first line is not a `dnnfusion-graph/v<N>` header.
+    BadHeader {
+        /// The first line as found.
+        found: String,
+    },
+    /// The header names a format version this reader does not implement.
+    /// Readers must reject unknown versions rather than guess (see the
+    /// forward-compatibility policy in the spec).
+    UnknownVersion {
+        /// The version number from the header.
+        found: u32,
+    },
+    /// The trailing checksum does not match the FNV-1a/64 hash of the
+    /// preceding bytes (bit damage anywhere in the file lands here), or the
+    /// stated checksum is not 16 lowercase hex digits.
+    BadChecksum {
+        /// The checksum as stated in the file.
+        stated: String,
+        /// The checksum computed over the file body.
+        computed: String,
+    },
+    /// A line violates the grammar: wrong keyword, wrong token count,
+    /// unparsable number, bad escape sequence, out-of-order ids, a
+    /// declared name or role that disagrees with the reconstructed graph,
+    /// or trailing garbage after the final section.
+    Malformed {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// What was wrong.
+        reason: String,
+    },
+    /// A section declared `<n>` entries but the file holds fewer before the
+    /// next section (or the end of the body).
+    CountMismatch {
+        /// Section keyword (`values`, `nodes`, `outputs`, `seq_axes`,
+        /// `weights`).
+        section: &'static str,
+        /// Entry count the section header declared.
+        declared: usize,
+        /// Entries actually present.
+        found: usize,
+    },
+    /// A `node` line names an operator this build does not provide.
+    UnknownOp {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// The operator name as found.
+        name: String,
+    },
+    /// A `value` line names an element type this build does not provide.
+    UnknownDataType {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// The dtype token as found.
+        token: String,
+    },
+    /// A line references a value id that does not exist at that point in
+    /// the replay (node inputs, output markings, seq-axis markings and
+    /// weight-data rows all reference values by id).
+    BadValueRef {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// The offending value id.
+        id: usize,
+    },
+    /// A produced value's declared shape disagrees with the shape the
+    /// operator's own shape inference derives during the replay.
+    ShapeMismatch {
+        /// Name of the value whose shapes disagree.
+        value: String,
+        /// Shape stated in the file.
+        declared: String,
+        /// Shape inferred by the replay.
+        inferred: String,
+    },
+    /// A `weight` data row's element count disagrees with the weight's
+    /// declared shape, or its hex payload length disagrees with its own
+    /// element count.
+    WeightLengthMismatch {
+        /// Name of the weight value.
+        value: String,
+        /// Element count the shape (or the row's own count field) requires.
+        expected: usize,
+        /// Element count actually supplied.
+        found: usize,
+    },
+    /// The graph builder itself rejected the replay — most commonly an
+    /// operator's shape inference refusing the declared inputs, which means
+    /// the file describes a graph this engine cannot represent.
+    Graph {
+        /// The underlying builder error.
+        source: GraphError,
+    },
+    /// Reading the file from disk failed (not found, permissions, non-UTF-8
+    /// bytes).
+    Read {
+        /// The path as given.
+        path: String,
+        /// The OS error message.
+        message: String,
+    },
+    /// Writing the file to disk failed.
+    Write {
+        /// The path as given.
+        path: String,
+        /// The OS error message.
+        message: String,
+    },
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::Truncated => {
+                write!(f, "truncated file: no trailing `checksum` line")
+            }
+            IoError::BadHeader { found } => {
+                write!(f, "expected `dnnfusion-graph/v1` header, found `{found}`")
+            }
+            IoError::UnknownVersion { found } => {
+                write!(
+                    f,
+                    "unsupported format version {found} (this reader implements v1)"
+                )
+            }
+            IoError::BadChecksum { stated, computed } => {
+                write!(
+                    f,
+                    "checksum mismatch: file states {stated}, body hashes to {computed}"
+                )
+            }
+            IoError::Malformed { line, reason } => {
+                write!(f, "malformed line {line}: {reason}")
+            }
+            IoError::CountMismatch {
+                section,
+                declared,
+                found,
+            } => {
+                write!(
+                    f,
+                    "section `{section}` declares {declared} entries but holds {found}"
+                )
+            }
+            IoError::UnknownOp { line, name } => {
+                write!(f, "line {line}: unknown operator `{name}`")
+            }
+            IoError::UnknownDataType { line, token } => {
+                write!(f, "line {line}: unknown data type `{token}`")
+            }
+            IoError::BadValueRef { line, id } => {
+                write!(f, "line {line}: reference to nonexistent value {id}")
+            }
+            IoError::ShapeMismatch {
+                value,
+                declared,
+                inferred,
+            } => {
+                write!(
+                    f,
+                    "value `{value}`: declared shape {declared} but shape inference derives {inferred}"
+                )
+            }
+            IoError::WeightLengthMismatch {
+                value,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "weight `{value}`: expected {expected} data elements, found {found}"
+                )
+            }
+            IoError::Graph { source } => {
+                write!(f, "graph construction rejected: {source}")
+            }
+            IoError::Read { path, message } => {
+                write!(f, "cannot read `{path}`: {message}")
+            }
+            IoError::Write { path, message } => {
+                write!(f, "cannot write `{path}`: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IoError::Graph { source } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for IoError {
+    fn from(source: GraphError) -> Self {
+        IoError::Graph { source }
+    }
+}

@@ -1,0 +1,70 @@
+//! `.dnnfg` — a versioned, checksummed, human-readable text serialization
+//! for DNNFusion computational graphs.
+//!
+//! Until this crate existed, every workload the engine could run was a
+//! hard-coded Rust builder in `dnnf-models`. `.dnnfg` is the gateway for
+//! graphs that arrive from *outside* the binary: interop fixtures for the
+//! fuzzer, serving tenants loaded at startup, and reproducible bug reports.
+//! The format serializes a complete [`Graph`](dnnf_graph::Graph) —
+//! topology, operator attributes, shapes and dtypes, explicit weight data
+//! (bit-exact), output markings and sequence-axis markings — as a
+//! line-oriented text file with a `dnnfusion-graph/v1` header and a
+//! trailing FNV-1a/64 checksum, the same envelope discipline the
+//! plan-cache and profile-database files use. `docs/graph-format.md` is
+//! the normative spec.
+//!
+//! # Guarantees
+//!
+//! * **Fingerprint round-trip** — [`from_text`]`(`[`to_text`]`(g))`
+//!   reconstructs a graph with `g`'s structural fingerprint, so imported
+//!   graphs hit the same `PlanCache` entries and compile to bit-identical
+//!   results.
+//! * **Canonical form** — export is deterministic, and re-exporting an
+//!   import is byte-identical.
+//! * **Strict import** — parsing replays the graph through the ordinary
+//!   builder API with shape inference re-run, and any damage (truncation,
+//!   bit-rot, unknown ops or versions, shape or weight-length lies)
+//!   rejects the whole file with a typed [`IoError`]. No partial imports,
+//!   no repair, no panics.
+//!
+//! # Example
+//!
+//! ```
+//! use dnnf_graph::Graph;
+//! use dnnf_ops::{Attrs, OpKind};
+//! use dnnf_tensor::Shape;
+//!
+//! // Build a tiny graph, serialize it, and import it back.
+//! let mut g = Graph::new("toy");
+//! let x = g.add_input("x", Shape::new(vec![1, 8]));
+//! let w = g.add_weight("w", Shape::new(vec![8, 4]));
+//! let y = g.add_op(OpKind::MatMul, Attrs::new(), &[x, w], "fc").unwrap()[0];
+//! let z = g.add_op(OpKind::Relu, Attrs::new(), &[y], "act").unwrap()[0];
+//! g.mark_output(z);
+//!
+//! let text = dnnf_io::to_text(&g);
+//! assert!(text.starts_with("dnnfusion-graph/v1\n"));
+//!
+//! let back = dnnf_io::from_text(&text).unwrap();
+//! assert_eq!(back.fingerprint(), g.fingerprint());
+//! // The canonical form is stable: re-exporting reproduces the bytes.
+//! assert_eq!(dnnf_io::to_text(&back), text);
+//!
+//! // Damage is rejected wholesale with a typed error.
+//! let damaged = text.replace("MatMul", "MatMux");
+//! assert!(matches!(
+//!     dnnf_io::from_text(&damaged),
+//!     Err(dnnf_io::IoError::BadChecksum { .. })
+//! ));
+//! ```
+
+#![warn(missing_docs)]
+
+mod error;
+mod export;
+mod import;
+mod text;
+
+pub use error::IoError;
+pub use export::{save, to_text, FORMAT_HEADER};
+pub use import::{from_text, load};

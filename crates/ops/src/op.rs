@@ -270,6 +270,15 @@ impl OpKind {
         }
     }
 
+    /// Parses the ONNX-style name produced by [`OpKind::name`] back into the
+    /// operator kind. Returns `None` for names no bundled operator carries —
+    /// the strict-import path of the `.dnnfg` graph format turns that into a
+    /// typed unknown-operator error rather than guessing.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<OpKind> {
+        OpKind::all().into_iter().find(|op| op.name() == name)
+    }
+
     /// The operator's mapping type per the paper's Table 2 classification,
     /// assuming non-broadcasting inputs. Use
     /// [`OpKind::mapping_type_with_shapes`] when input shapes are known.
@@ -716,6 +725,16 @@ mod tests {
             total >= 70,
             "expected a rich operator vocabulary, got {total}"
         );
+    }
+
+    #[test]
+    fn from_name_round_trips_every_op_and_rejects_unknowns() {
+        for op in OpKind::all() {
+            assert_eq!(OpKind::from_name(op.name()), Some(op));
+        }
+        assert_eq!(OpKind::from_name("NotAnOp"), None);
+        assert_eq!(OpKind::from_name("conv"), None); // case-sensitive
+        assert_eq!(OpKind::from_name(""), None);
     }
 
     #[test]

@@ -36,6 +36,14 @@ pub enum ServeError {
         /// The rendered runtime error.
         message: String,
     },
+    /// A `.dnnfg` model file could not be loaded or compiled at
+    /// registration time (see `docs/graph-format.md` for the format).
+    ModelLoad {
+        /// The path of the model file.
+        path: String,
+        /// The rendered import or compile error.
+        message: String,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -48,6 +56,9 @@ impl fmt::Display for ServeError {
             ServeError::BadRequest { reason } => write!(f, "bad request: {reason}"),
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
             ServeError::Engine { message } => write!(f, "engine error: {message}"),
+            ServeError::ModelLoad { path, message } => {
+                write!(f, "cannot load model from `{path}`: {message}")
+            }
         }
     }
 }

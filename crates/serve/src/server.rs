@@ -7,8 +7,8 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use dnnf_core::CompiledModel;
-use dnnf_runtime::Executor;
+use dnnf_core::{CompiledModel, Compiler, CompilerOptions};
+use dnnf_runtime::{Executor, PlanCache};
 use dnnf_tensor::{Shape, Tensor};
 
 use crate::{ServeConfig, ServeError};
@@ -187,6 +187,39 @@ impl ServerBuilder {
             max_coalesced: AtomicU64::new(0),
         });
         Ok(self)
+    }
+
+    /// Hosts the graph stored in the `.dnnfg` file at `path` under `name`.
+    ///
+    /// The file is parsed with the strict importer of `dnnf-io` (see
+    /// `docs/graph-format.md`), compiled through the process-wide
+    /// [`PlanCache`] under a **batch-polymorphic** key
+    /// ([`PlanCache::compile_batched`]), and registered exactly as
+    /// [`ServerBuilder::model`] would — so a tenant loaded from disk serves
+    /// bit-identical responses to one built and compiled in memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::ModelLoad`] when the file cannot be read,
+    /// fails strict import, or fails to compile; and the same
+    /// [`ServeError::BadRequest`] cases as [`ServerBuilder::model`] (name
+    /// taken, no inputs, rank-0 input).
+    pub fn model_from_dnnfg(
+        self,
+        name: impl Into<String>,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<Self, ServeError> {
+        let path = path.as_ref();
+        let load_error = |message: String| ServeError::ModelLoad {
+            path: path.display().to_string(),
+            message,
+        };
+        let graph = dnnf_io::load(path).map_err(|e| load_error(e.to_string()))?;
+        let mut compiler = Compiler::new(CompilerOptions::default());
+        let (model, _) = PlanCache::global()
+            .compile_batched(&mut compiler, &graph)
+            .map_err(|e| load_error(format!("compile failed: {e}")))?;
+        self.model(name, model)
     }
 
     /// Starts the worker pool and returns the running server.

@@ -465,3 +465,73 @@ fn concurrent_clients_race_one_plan_cache_under_eviction_pressure() {
         "expected disk-tier warm starts: {stats:?}"
     );
 }
+
+#[test]
+fn tenant_loaded_from_dnnfg_file_matches_in_memory_tenant_bit_for_bit() {
+    let graph = conv_graph(4);
+    let dir = std::env::temp_dir().join("dnnf-serve-dnnfg-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("conv4.dnnfg");
+    dnnf_io::save(&graph, &path).expect("export model");
+
+    let server = Server::builder(ServeConfig {
+        workers: 1,
+        batch_window: Duration::ZERO, // pass-through
+        ..ServeConfig::default()
+    })
+    .model("memory", compile(&graph))
+    .expect("register in-memory tenant")
+    .model_from_dnnfg("file", &path)
+    .expect("register file-loaded tenant")
+    .start();
+
+    let inputs = request(2, 77);
+    let from_memory = server
+        .submit("memory", inputs.clone())
+        .expect("submit memory")
+        .wait()
+        .expect("memory response");
+    let from_file = server
+        .submit("file", inputs)
+        .expect("submit file")
+        .wait()
+        .expect("file response");
+    server.shutdown();
+    std::fs::remove_file(&path).ok();
+
+    assert_eq!(from_file.outputs.len(), from_memory.outputs.len());
+    for (got, want) in from_file.outputs.iter().zip(&from_memory.outputs) {
+        assert_eq!(got.shape(), want.shape());
+        // Tolerance 0: the file round-trip must not perturb a single bit.
+        assert_eq!(got.data(), want.data());
+    }
+}
+
+#[test]
+fn model_from_dnnfg_surfaces_load_errors_without_panicking() {
+    let missing = match Server::builder(ServeConfig::default())
+        .model_from_dnnfg("ghost", "/nonexistent/ghost.dnnfg")
+    {
+        Ok(_) => panic!("missing file must be rejected"),
+        Err(e) => e,
+    };
+    match &missing {
+        ServeError::ModelLoad { path, .. } => assert!(path.contains("ghost.dnnfg")),
+        other => panic!("expected ModelLoad, got {other:?}"),
+    }
+    assert!(missing.to_string().contains("cannot load model"));
+
+    // A corrupt file fails strict import and is rejected the same way.
+    let dir = std::env::temp_dir().join("dnnf-serve-dnnfg-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("corrupt.dnnfg");
+    let mut text = dnnf_io::to_text(&conv_graph(4));
+    text.truncate(text.len() / 2);
+    std::fs::write(&path, text).expect("write corrupt file");
+    let corrupt = match Server::builder(ServeConfig::default()).model_from_dnnfg("corrupt", &path) {
+        Ok(_) => panic!("corrupt file must be rejected"),
+        Err(e) => e,
+    };
+    std::fs::remove_file(&path).ok();
+    assert!(matches!(corrupt, ServeError::ModelLoad { .. }));
+}

@@ -11,6 +11,9 @@
 //! * [`ops`] — the ONNX-flavoured operator library with mapping types,
 //!   mathematical properties, cost model and reference kernels;
 //! * [`graph`] — the computational graph IR with shape inference;
+//! * [`io`] — the versioned, checksummed `.dnnfg` text serialization with
+//!   export/strict-import round-trip guarantees (spec:
+//!   `docs/graph-format.md`);
 //! * [`core`] — DNNFusion itself: the Extended Computational Graph, Table 3
 //!   mapping analysis, graph rewriting, fusion plan generation, fused code
 //!   generation and the end-to-end [`core::Compiler`];
@@ -57,6 +60,12 @@ pub mod core {
 /// Computational graph IR.
 pub mod graph {
     pub use dnnf_graph::*;
+}
+
+/// `.dnnfg` graph serialization: versioned, checksummed text export and
+/// strict import (see `docs/graph-format.md`).
+pub mod io {
+    pub use dnnf_io::*;
 }
 
 /// The 15 evaluated model architectures.
